@@ -1,0 +1,97 @@
+"""Shared deployments for the experiment benchmarks (see DESIGN.md §4).
+
+Two canonical deployments:
+
+* ``typical`` — a µs-granularity middleware deployment (ROS2-executor
+  regime): scheduler overheads of a few µs, callback WCETs of ms.
+* ``embedded`` — a microcontroller-class node where overheads are
+  comparable to the callbacks (the regime that stresses the analysis).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.curves import LeakyBucketCurve, SporadicCurve
+from repro.timing.wcet import WcetModel
+
+MS = 1_000
+
+
+@pytest.fixture(scope="session")
+def typical_client() -> RosslClient:
+    tasks = TaskSystem(
+        [
+            Task(name="telemetry", priority=1, wcet=3 * MS, type_tag=1),
+            Task(name="lidar", priority=2, wcet=8 * MS, type_tag=2),
+            Task(name="control", priority=3, wcet=1 * MS, type_tag=3),
+            Task(name="estop", priority=4, wcet=200, type_tag=4),
+        ],
+        {
+            "telemetry": SporadicCurve(100 * MS),
+            "lidar": SporadicCurve(25 * MS),
+            "control": SporadicCurve(10 * MS),
+            "estop": LeakyBucketCurve(burst=2, rate_separation=500 * MS),
+        },
+    )
+    return RosslClient.make(tasks, sockets=[0, 1, 2, 3])
+
+
+@pytest.fixture(scope="session")
+def typical_wcet() -> WcetModel:
+    return WcetModel(
+        failed_read=2, success_read=4, selection=2, dispatch=2,
+        completion=2, idling=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def embedded_client() -> RosslClient:
+    tasks = TaskSystem(
+        [
+            Task(name="sample", priority=1, wcet=40, type_tag=1),
+            Task(name="radio", priority=2, wcet=25, type_tag=2),
+        ],
+        {
+            "sample": SporadicCurve(1_000),
+            "radio": LeakyBucketCurve(burst=4, rate_separation=800),
+        },
+    )
+    return RosslClient.make(tasks, sockets=[0, 1])
+
+
+@pytest.fixture(scope="session")
+def embedded_wcet() -> WcetModel:
+    return WcetModel(
+        failed_read=6, success_read=9, selection=5, dispatch=4,
+        completion=4, idling=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def fig3_client() -> RosslClient:
+    """The paper's Fig. 3 setting: two tasks, one socket, j2 ≻ j1."""
+    tasks = TaskSystem(
+        [
+            Task(name="t1", priority=1, wcet=12, type_tag=1),
+            Task(name="t2", priority=2, wcet=8, type_tag=2),
+        ],
+        {"t1": SporadicCurve(200), "t2": SporadicCurve(200)},
+    )
+    return RosslClient.make(tasks, sockets=[0])
+
+
+@pytest.fixture(scope="session")
+def fig3_wcet() -> WcetModel:
+    return WcetModel(
+        failed_read=3, success_read=5, selection=2, dispatch=2,
+        completion=2, idling=3,
+    )
+
+
+def print_experiment(title: str, body: str) -> None:
+    """Uniform experiment output block (survives in bench_output.txt)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

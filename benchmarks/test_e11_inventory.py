@@ -1,0 +1,75 @@
+"""E11 (section 5, proof-effort table): the component inventory.
+
+The paper reports its Rocq development broken into components (a)–(g)
+with line counts.  We cannot reproduce Rocq line counts; the analog is
+this repository's inventory in the same shape: each paper component
+mapped to the module(s) that substitute for it, with measured LoC.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from conftest import print_experiment
+from repro.analysis.report import format_table
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: paper component → (paper LoC, our substituting subpackages/modules)
+COMPONENTS = [
+    ("(a) trace-instrumented semantics", 2_150,
+     ["lang/tokens.py", "lang/lexer.py", "lang/parser.py", "lang/syntax.py",
+      "lang/typecheck.py", "lang/values.py", "lang/heap.py",
+      "lang/interp.py", "lang/builtins.py", "lang/errors.py"]),
+    ("(b) Rössl C source", 300, ["rossl/source.py"]),
+    ("(c) specifications of Rössl", 615, ["verification/specs.py", "traces/validity.py"]),
+    ("(d) trace-property verification", 4_300,
+     ["verification/model_check.py", "verification/monitor.py", "traces/protocol.py"]),
+    ("(e) marker traces → timed processor states", 12_350,
+     ["timing", "traces/markers.py", "traces/basic_actions.py", "traces/pending.py"]),
+    ("(f) timed states → schedules", 11_700, ["schedule"]),
+    ("(g) the RTA (SBF, jitter, aRSA)", 4_000, ["rta"]),
+    ("— runtime substrate (scheduler model, sockets, sim)", None,
+     ["rossl/runtime.py", "rossl/env.py", "rossl/client.py", "sim"]),
+    ("— end-to-end adequacy & experiments", None, ["analysis"]),
+    ("— EXT: compiled-code cost semantics & WCET toolchain", None,
+     ["lang/compile.py", "lang/vm.py", "lang/cost.py", "lang/generator.py",
+      "lang/pretty.py", "rossl/vmtiming.py"]),
+    ("— EXT: EDF policy transfer", None, ["edf"]),
+    ("— EXT: deployment specs & CLI", None, ["config.py", "cli.py"]),
+]
+
+
+def count_loc(relative: str) -> int:
+    path = SRC / relative
+    if path.is_file():
+        files = [path]
+    else:
+        files = sorted(path.rglob("*.py"))
+    return sum(
+        1
+        for f in files
+        for line in f.read_text().splitlines()
+        if line.strip()
+    )
+
+
+def test_inventory_table(benchmark):
+    def build():
+        rows = []
+        for name, paper_loc, modules in COMPONENTS:
+            ours = sum(count_loc(m) for m in modules)
+            rows.append((name, paper_loc, ", ".join(modules), ours))
+        return rows
+
+    rows = benchmark(build)
+    total_paper = sum(r[1] for r in rows if r[1])
+    total_ours = sum(r[3] for r in rows)
+    rows.append(("TOTAL", total_paper, "", total_ours))
+    print_experiment(
+        "E11 / section 5 — component inventory (paper Rocq LoC vs. this repo)",
+        format_table(["component", "paper LoC", "our modules", "our LoC"], rows),
+    )
+    # Every mapped component exists and is non-trivial.
+    for name, _, modules, ours in rows[:-1]:
+        assert ours > 50, f"component {name} looks empty ({ours} LoC)"

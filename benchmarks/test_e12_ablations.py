@@ -1,0 +1,115 @@
+"""E12 (ablations): sensitivity of the response-time bound to the
+design parameters the analysis accounts for.
+
+Sweeps the three levers the paper's accounting makes explicit:
+
+* number of sockets (polling overhead and jitter grow with it),
+* scheduler-path WCET scale (overhead inflation),
+* workload burstiness (arrival-curve shape).
+
+Checks the expected monotone shapes and benchmarks the analysis itself.
+"""
+
+from __future__ import annotations
+
+from conftest import print_experiment
+from repro.analysis.campaigns import sweep
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.curves import LeakyBucketCurve, SporadicCurve
+from repro.rta.jitter import jitter_bound
+from repro.rta.npfp import analyse
+from repro.timing.wcet import WcetModel
+
+BASE_WCET = WcetModel(
+    failed_read=2, success_read=3, selection=2, dispatch=2,
+    completion=2, idling=2,
+)
+
+
+def client_with(sockets: int, burst: int = 1) -> RosslClient:
+    tasks = TaskSystem(
+        [
+            Task(name="bg", priority=1, wcet=60, type_tag=1),
+            Task(name="fg", priority=2, wcet=20, type_tag=2),
+        ],
+        {
+            "bg": SporadicCurve(2_000),
+            "fg": LeakyBucketCurve(burst=burst, rate_separation=1_000),
+        },
+    )
+    return RosslClient.make(tasks, sockets=list(range(sockets)))
+
+
+def test_sweep_sockets(benchmark):
+    def evaluate(n):
+        client = client_with(n)
+        analysis = analyse(client, BASE_WCET)
+        assert analysis.schedulable
+        return (
+            jitter_bound(BASE_WCET, n).bound,
+            analysis.response_time_bound("fg"),
+            analysis.response_time_bound("bg"),
+        )
+
+    result = benchmark.pedantic(
+        sweep, args=("sockets", [1, 2, 4, 8], ["jitter J", "R_fg", "R_bg"],
+                     evaluate),
+        rounds=1, iterations=1,
+    )
+    print_experiment("E12a — bound vs. number of sockets", result.table())
+    for metric in ("jitter J", "R_fg", "R_bg"):
+        column = result.column(metric)
+        assert all(b >= a for a, b in zip(column, column[1:])), (
+            f"{metric} must grow with socket count"
+        )
+
+
+def test_sweep_overhead_scale(benchmark):
+    def evaluate(scale):
+        wcet = WcetModel(
+            failed_read=2 * scale, success_read=3 * scale,
+            selection=2 * scale, dispatch=2 * scale,
+            completion=2 * scale, idling=2 * scale,
+        )
+        client = client_with(2)
+        analysis = analyse(client, wcet)
+        assert analysis.schedulable
+        return (
+            analysis.jitter.bound,
+            analysis.response_time_bound("fg"),
+        )
+
+    result = benchmark.pedantic(
+        sweep, args=("overhead ×", [1, 2, 3, 5], ["jitter J", "R_fg"], evaluate),
+        rounds=1, iterations=1,
+    )
+    print_experiment("E12b — bound vs. scheduler-path WCET scale", result.table())
+    column = result.column("R_fg")
+    assert all(b > a for a, b in zip(column, column[1:]))
+
+
+def test_sweep_burstiness(benchmark):
+    def evaluate(burst):
+        client = client_with(2, burst=burst)
+        analysis = analyse(client, BASE_WCET)
+        assert analysis.schedulable
+        return (
+            analysis.response_time_bound("fg"),
+            analysis.response_time_bound("bg"),
+        )
+
+    result = benchmark.pedantic(
+        sweep, args=("fg burst", [1, 2, 3, 4], ["R_fg", "R_bg"], evaluate),
+        rounds=1, iterations=1,
+    )
+    print_experiment("E12c — bound vs. workload burstiness", result.table())
+    for metric in ("R_fg", "R_bg"):
+        column = result.column(metric)
+        assert all(b >= a for a, b in zip(column, column[1:]))
+
+
+def test_benchmark_full_analysis(benchmark):
+    client = client_with(4, burst=2)
+    analysis = benchmark(analyse, client, BASE_WCET)
+    assert analysis.schedulable

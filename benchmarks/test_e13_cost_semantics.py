@@ -1,0 +1,124 @@
+"""E13 (extension, paper §2.3 and §6): WCETs from a cost semantics.
+
+The paper assumes basic-action WCETs "determined experimentally or by
+static analysis" and conjectures (§6, VeriRT comparison) the approach
+extends to compiled code.  This experiment makes both concrete:
+
+1. compile Rössl to bytecode and run it on the VM, whose instruction
+   counter is a cost semantics (timestamps = executed instructions);
+2. derive the WCET model by measurement over stress runs (Zolda-Kirner
+   style), and bound the scheduler helpers *statically* with the cost
+   analyzer (loop bounds from the arrival curves' max backlog);
+3. run the overhead-aware RTA on the derived model and validate its
+   bounds against fresh VM-timed executions.
+"""
+
+from __future__ import annotations
+
+from conftest import print_experiment
+from repro.analysis.report import format_table
+from repro.lang.cost import CostAnalyzer
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rossl.source import rossl_source
+from repro.rossl.vmtiming import measure_wcet_model, simulate_vm
+from repro.rta.curves import LeakyBucketCurve, SporadicCurve
+from repro.rta.npfp import analyse
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.timing.timed_trace import job_arrival_times
+
+
+def vm_client() -> RosslClient:
+    tasks = TaskSystem(
+        [
+            Task(name="lo", priority=1, wcet=10, type_tag=1),
+            Task(name="hi", priority=2, wcet=10, type_tag=2),
+        ],
+        {
+            "lo": SporadicCurve(6_000),
+            "hi": LeakyBucketCurve(burst=2, rate_separation=5_000),
+        },
+    )
+    return RosslClient.make(tasks, sockets=[0])
+
+
+def burst(client, at, jobs):
+    out, serial = [], 0
+    for name, count in jobs.items():
+        tag = client.tasks.by_name(name).type_tag
+        for _ in range(count):
+            out.append(Arrival(at, client.sockets[0], (tag, serial)))
+            serial += 1
+    return ArrivalSequence(out)
+
+
+def test_cost_semantics_pipeline(benchmark):
+    client = vm_client()
+
+    def pipeline():
+        stress = [
+            simulate_vm(client, burst(client, 300, {"lo": 1, "hi": 2}), 40_000),
+            simulate_vm(client, burst(client, 1_500, {"lo": 1, "hi": 2}), 40_000),
+            simulate_vm(client, ArrivalSequence([]), 10_000),
+        ]
+        measured = measure_wcet_model(stress, margin=1.5)
+        tasks = measured.tasks_with_measured_wcets(client.tasks)
+        derived = RosslClient.make(tasks, client.sockets)
+        analysis = analyse(derived, measured.wcet)
+        return measured, derived, analysis
+
+    measured, derived, analysis = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    assert analysis.schedulable
+
+    # Static bounds for the scheduler helpers (max backlog 3 = curve max).
+    typed = typecheck(parse_program(rossl_source(client)))
+    analyzer = CostAnalyzer(
+        typed, {"npfp_enqueue": [3], "npfp_dequeue": [3, 3]}
+    )
+    static_dequeue = analyzer.call_cost("npfp_dequeue")
+    # The measured Selection interval is the dequeue plus loop glue; the
+    # static helper bound must dominate the dominant part.
+    assert measured.wcet.selection <= static_dequeue + 20
+
+    # Validation on fresh arrivals.
+    violations = 0
+    checked = 0
+    worst_ratio = 0.0
+    for at in (700, 2_300, 4_100):
+        arrivals = burst(derived, at, {"lo": 1, "hi": 2})
+        run = simulate_vm(derived, arrivals, 60_000)
+        completions = run.timed_trace.completions()
+        for job, t_arr in job_arrival_times(run.timed_trace, arrivals).items():
+            name = derived.tasks.msg_to_task(job.data).name
+            bound = analysis.response_time_bound(name)
+            done = completions.get(job)
+            checked += 1
+            if done is None or done - t_arr > bound:
+                violations += 1
+            else:
+                worst_ratio = max(worst_ratio, (done - t_arr) / bound)
+    assert violations == 0
+
+    rows = [
+        ("WcetFR (measured, ×1.5)", measured.wcet.failed_read),
+        ("WcetSR", measured.wcet.success_read),
+        ("WcetSel", measured.wcet.selection),
+        ("static npfp_dequeue bound (Q=3)", static_dequeue),
+        ("WcetDisp", measured.wcet.dispatch),
+        ("WcetCompl", measured.wcet.completion),
+        ("WcetIdling", measured.wcet.idling),
+        ("C_lo / C_hi (measured)",
+         f"{measured.exec_maxima['lo']} / {measured.exec_maxima['hi']}"),
+        ("R+J bound: lo / hi (instructions)",
+         f"{analysis.response_time_bound('lo')} / "
+         f"{analysis.response_time_bound('hi')}"),
+        ("jobs validated on fresh runs", checked),
+        ("bound violations", violations),
+        ("worst observed/bound ratio", f"{worst_ratio:.3f}"),
+    ]
+    print_experiment(
+        "E13 — WCETs from the VM cost semantics, closed loop to the RTA",
+        format_table(["quantity", "value (VM instructions)"], rows),
+    )

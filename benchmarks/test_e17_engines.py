@@ -1,0 +1,111 @@
+"""E17 (engineering): execution-engine throughput on the Rössl workload.
+
+Compares the three ways this reproduction can execute the C scheduler —
+the definitional interpreter (the verification semantics), the bytecode
+VM (the cost semantics), and the peephole-optimized VM — on an identical
+read-outcome script.  All three emit the same marker trace; the
+comparison is wall-clock throughput and (for the VMs) executed
+instruction counts, quantifying the cost of each level of semantic
+fidelity.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import print_experiment
+from repro.analysis.report import format_table
+from repro.lang.compile import compile_program
+from repro.lang.errors import OutOfFuel
+from repro.lang.interp import run_program
+from repro.lang.optimize import optimize_program
+from repro.lang.vm import VM
+from repro.rossl.env import HorizonReached, ScriptedEnvironment
+from repro.rossl.runtime import TraceRecorder
+from repro.rossl.source import build_rossl
+
+
+def make_script(client, length=400, seed=3):
+    rng = random.Random(seed)
+    tags = [t.type_tag for t in client.tasks.tasks]
+    return [
+        None if rng.random() < 0.6 else (rng.choice(tags), rng.randrange(50))
+        for _ in range(length)
+    ]
+
+
+def run_interp(typed, script):
+    recorder = TraceRecorder()
+    try:
+        run_program(typed, ScriptedEnvironment(script), recorder,
+                    fuel=10_000_000)
+    except (OutOfFuel, HorizonReached):
+        pass
+    return recorder.trace
+
+
+def run_vm(compiled, script):
+    recorder = TraceRecorder()
+    vm = VM(compiled, ScriptedEnvironment(script), recorder, fuel=50_000_000)
+    try:
+        vm.call("main", [])
+    except (OutOfFuel, HorizonReached):
+        pass
+    return recorder.trace, vm.executed
+
+
+def test_engines_agree(benchmark, fig3_client):
+    typed = build_rossl(fig3_client)
+    plain = compile_program(typed)
+    optimized = optimize_program(plain)
+    script = make_script(fig3_client, length=150)
+
+    def run_all():
+        return (
+            run_interp(typed, script),
+            run_vm(plain, script),
+            run_vm(optimized, script),
+        )
+
+    trace_interp, (trace_vm, cost_vm), (trace_opt, cost_opt) = (
+        benchmark.pedantic(run_all, rounds=1, iterations=1)
+    )
+    assert trace_interp == trace_vm == trace_opt
+    assert cost_opt <= cost_vm
+    print_experiment(
+        "E17a — engine agreement",
+        f"{len(trace_interp)} markers identical across interpreter, VM, "
+        f"optimized VM; instructions: VM {cost_vm}, optimized {cost_opt} "
+        f"({100 * (cost_vm - cost_opt) / cost_vm:.1f}% saved)",
+    )
+
+
+def test_benchmark_interpreter(benchmark, fig3_client):
+    typed = build_rossl(fig3_client)
+    script = make_script(fig3_client)
+    trace = benchmark(run_interp, typed, script)
+    assert trace
+
+
+def test_benchmark_vm(benchmark, fig3_client):
+    compiled = compile_program(build_rossl(fig3_client))
+    script = make_script(fig3_client)
+    trace, _ = benchmark(run_vm, compiled, script)
+    assert trace
+
+
+def test_benchmark_optimized_vm(benchmark, fig3_client):
+    compiled = optimize_program(compile_program(build_rossl(fig3_client)))
+    script = make_script(fig3_client)
+    trace, _ = benchmark(run_vm, compiled, script)
+    assert trace
+
+
+def test_benchmark_python_reference_model(benchmark, fig3_client):
+    script = make_script(fig3_client)
+
+    def run_model():
+        return fig3_client.model().run_to_trace(ScriptedEnvironment(script))
+
+    trace = benchmark(run_model)
+    assert trace

@@ -1,0 +1,75 @@
+"""E1 (Fig. 3): the example run of Rössl with two jobs on one socket.
+
+Regenerates the figure's timeline: j1 arrives first, j2 (higher
+priority) arrives while j1 is being read; Rössl reads both, stops
+polling after an all-fail pass, executes j2 first, then j1, then idles.
+Benchmarks the simulation path that produces such runs.
+"""
+
+from __future__ import annotations
+
+from conftest import print_experiment
+from repro.schedule.conversion import convert
+from repro.sim.simulator import WcetDurations, simulate
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.traces.markers import MCompletion, MDispatch, MReadE
+
+
+def fig3_arrivals(client):
+    """j1 (low) at t=1; j2 (high) lands while j1's read is in flight."""
+    return ArrivalSequence(
+        [
+            Arrival(1, 0, (1, 1)),  # j1: task t1
+            Arrival(4, 0, (2, 2)),  # j2: task t2, arrives during j1's read
+        ]
+    )
+
+
+def run_fig3(client, wcet):
+    return simulate(
+        client, fig3_arrivals(client), wcet, horizon=120,
+        durations=WcetDurations(),
+    )
+
+
+def test_fig3_order_and_timeline(benchmark, fig3_client, fig3_wcet):
+    result = benchmark.pedantic(run_fig3, args=(fig3_client, fig3_wcet), rounds=3, iterations=1)
+    trace, ts = result.timed_trace.trace, result.timed_trace.ts
+
+    reads = [(m.job, t) for m, t in zip(trace, ts)
+             if isinstance(m, MReadE) and m.job is not None]
+    assert [job.data for job, _ in reads] == [(1, 1), (2, 2)]
+
+    dispatch_order = [m.job.data for m in trace if isinstance(m, MDispatch)]
+    assert dispatch_order == [(2, 2), (1, 1)], "j2 must run before j1"
+
+    responses = result.response_times()
+    schedule = convert(result.timed_trace, fig3_client.sockets)
+    from repro.schedule.render import render_timeline
+
+    lines = ["schedule of processor states (paper Fig. 3 timeline):"]
+    lines.append(render_timeline(schedule, width=72))
+    lines.append("")
+    for segment in schedule:
+        lines.append(f"  {segment}")
+    lines.append("")
+    lines.append("response times:")
+    for job, (arr, done, resp) in sorted(
+        responses.items(), key=lambda kv: kv[1][0]
+    ):
+        name = fig3_client.tasks.msg_to_task(job.data).name
+        lines.append(
+            f"  {name} {job}: arrived {arr}, completed {done}, response {resp}"
+        )
+    print_experiment("E1 / Fig. 3 — example run with two jobs on one socket",
+                     "\n".join(lines))
+
+    # j2 (read second, higher priority) must complete before j1.
+    completion = {m.job.data: t for m, t in zip(trace, ts)
+                  if isinstance(m, MCompletion)}
+    assert completion[(2, 2)] < completion[(1, 1)]
+
+
+def test_benchmark_fig3_simulation(benchmark, fig3_client, fig3_wcet):
+    result = benchmark(run_fig3, fig3_client, fig3_wcet)
+    assert len(result.timed_trace) > 10

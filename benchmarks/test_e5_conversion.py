@@ -1,0 +1,63 @@
+"""E5 (section 2.4): timed trace → schedule conversion.
+
+Regenerates the conversion evidence: the finite look-ahead parser maps
+every resolved instant to exactly one processor state, attributes every
+overhead to a job, and balances total time.  Benchmarks conversion
+throughput on long traces.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import print_experiment
+from repro.schedule.conversion import convert
+from repro.schedule.metrics import state_durations, total_overhead, utilization_of
+from repro.schedule.states import Idle, job_of
+from repro.sim.simulator import UniformDurations, simulate
+from repro.sim.workloads import generate_arrivals
+
+
+def long_run(client, wcet, seed=0, horizon=60_000):
+    rng = random.Random(seed)
+    arrivals = generate_arrivals(client, horizon=horizon * 3 // 4, rng=rng,
+                                 intensity=1.2)
+    return simulate(client, arrivals, wcet, horizon=horizon,
+                    durations=UniformDurations(rng))
+
+
+def test_conversion_total_and_attributed(benchmark, typical_client, typical_wcet):
+    result = long_run(typical_client, typical_wcet)
+    schedule = benchmark(convert, result.timed_trace, typical_client.sockets)
+
+    # Totality: segments cover [start, end) with no gaps (checked by the
+    # FiniteSchedule constructor) and durations balance.
+    durations = state_durations(schedule)
+    assert sum(durations.values()) == schedule.duration
+
+    # Attribution: every non-idle segment names a job that was read.
+    read_jobs = {
+        m.job for m in result.timed_trace.trace
+        if type(m).__name__ == "MReadE" and m.job is not None
+    }
+    for segment in schedule:
+        job = job_of(segment.state)
+        if not isinstance(segment.state, Idle):
+            assert job in read_jobs
+
+    overhead = total_overhead(schedule)
+    body = (
+        f"{len(result.timed_trace)} markers → {len(schedule.segments)} "
+        f"segments over [{schedule.start}, {schedule.end})\n"
+        f"state totals: {durations}\n"
+        f"total overhead (blackout): {overhead} "
+        f"({100 * overhead / schedule.duration:.2f}% of the schedule), "
+        f"utilization {utilization_of(schedule):.3f}"
+    )
+    print_experiment("E5 / section 2.4 — trace → schedule conversion", body)
+
+
+def test_benchmark_conversion(benchmark, typical_client, typical_wcet):
+    result = long_run(typical_client, typical_wcet, seed=1)
+    schedule = benchmark(convert, result.timed_trace, typical_client.sockets)
+    assert schedule.duration > 0

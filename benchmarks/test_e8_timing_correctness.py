@@ -1,0 +1,45 @@
+"""E8 (Thm. 5.1): end-to-end timing correctness.
+
+Regenerates the paper's final theorem as a measurement: across a
+randomized campaign (adversarial and uniform timing), every job whose
+analytic deadline ``t_arr + R_i + J_i`` falls inside the horizon
+completes by it.  Prints bound vs. observed-worst per task.
+"""
+
+from __future__ import annotations
+
+from conftest import print_experiment
+from repro.analysis.adequacy import check_timing_correctness, run_adequacy_campaign
+from repro.rta.npfp import analyse
+from repro.sim.simulator import WcetDurations, simulate
+from repro.sim.workloads import burst_at
+
+
+def test_campaign_no_violations(benchmark, embedded_client, embedded_wcet):
+    report = benchmark.pedantic(
+        run_adequacy_campaign,
+        args=(embedded_client, embedded_wcet),
+        kwargs={"horizon": 8_000, "runs": 12, "seed": 17, "intensity": 1.2},
+        rounds=1, iterations=1,
+    )
+    assert report.ok, report.violations[:3]
+    assert report.jobs_checked > 20
+    print_experiment(
+        "E8 / Thm. 5.1 — timing correctness campaign (embedded deployment)",
+        report.table(),
+    )
+
+
+def test_worst_case_burst_respects_bounds(benchmark, embedded_client, embedded_wcet):
+    analysis = analyse(embedded_client, embedded_wcet)
+    arrivals = burst_at(embedded_client, 30, {"radio": 4, "sample": 1})
+    result = benchmark.pedantic(
+        simulate, args=(embedded_client, arrivals, embedded_wcet, 6_000),
+        kwargs={"durations": WcetDurations()}, rounds=3, iterations=1,
+    )
+    report = check_timing_correctness(result, analysis)
+    assert report.ok
+    print_experiment(
+        "E8b / Thm. 5.1 — adversarial burst, WCET timing",
+        report.table(),
+    )

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""A deeply embedded IoT sensor node (TinyOS/Contiki-style deployment).
+
+Interrupt-free schedulers are the default on resource-constrained nodes
+(paper section 1.1).  This example models an 8-bit-class sensor node
+where scheduling overheads are *not* negligible relative to callback
+WCETs — the regime that motivates RefinedProsa's explicit overhead
+accounting:
+
+* radio packets arrive in bursts (leaky-bucket curve) on one socket,
+* periodic sensor samples arrive on another,
+* per-action scheduler overheads are within an order of magnitude of
+  the callbacks themselves.
+
+It compares the overhead-aware bound against the classic
+overhead-oblivious NPFP analysis and shows, by simulation, that the
+naive bound is *unsafe* here (observed responses exceed it) while the
+overhead-aware bound holds.
+
+Run:  python examples/iot_sensor_node.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.adequacy import check_timing_correctness
+from repro.analysis.report import format_table
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.baselines import ideal_npfp_bound
+from repro.rta.curves import LeakyBucketCurve, SporadicCurve
+from repro.rta.npfp import analyse
+from repro.sim.simulator import WcetDurations, simulate
+from repro.sim.workloads import burst_at, generate_arrivals
+from repro.timing.arrivals import ArrivalSequence
+from repro.timing.wcet import WcetModel
+
+
+def build_node() -> tuple[RosslClient, WcetModel]:
+    tasks = TaskSystem(
+        [
+            Task(name="sample", priority=1, wcet=40, type_tag=1),
+            Task(name="radio", priority=2, wcet=25, type_tag=2),
+        ],
+        {
+            "sample": SporadicCurve(1_000),
+            "radio": LeakyBucketCurve(burst=4, rate_separation=800),
+        },
+    )
+    client = RosslClient.make(tasks, sockets=[0, 1])
+    # On a microcontroller the scheduler path is comparable to the
+    # callbacks: overheads matter.
+    wcet = WcetModel(
+        failed_read=6, success_read=9, selection=5, dispatch=4,
+        completion=4, idling=5,
+    )
+    return client, wcet
+
+
+def main() -> None:
+    client, wcet = build_node()
+    analysis = analyse(client, wcet)
+    assert analysis.schedulable
+
+    print("=== overhead-aware vs. overhead-oblivious bounds ===")
+    rows = []
+    for task in client.tasks:
+        aware = analysis.response_time_bound(task.name)
+        naive = ideal_npfp_bound(client, task.name)
+        rows.append((task.name, task.wcet, naive, aware, f"{aware / naive:.2f}x"))
+    print(format_table(
+        ["task", "C_i", "naive bound", "aware bound", "inflation"], rows
+    ))
+
+    # Adversarial scenario: a maximal radio burst lands while a sample
+    # is pending, everything at WCET.
+    burst = burst_at(client, 50, {"radio": 4}, sock=1)
+    sample = burst_at(client, 49, {"sample": 1}, sock=0)
+    arrivals = ArrivalSequence(list(burst) + list(sample))
+    result = simulate(client, arrivals, wcet, horizon=5_000,
+                      durations=WcetDurations())
+    report = check_timing_correctness(result, analysis)
+    assert report.ok
+
+    print()
+    print("burst scenario (4 radio packets + 1 sample, WCET timing):")
+    naive_sample = ideal_npfp_bound(client, "sample")
+    observed = report.observed_worst["sample"]
+    print(report.table())
+    print()
+    print(f"naive bound for 'sample': {naive_sample}; observed: {observed}")
+    if observed > naive_sample:
+        print("→ the overhead-oblivious analysis is UNSAFE for this node:")
+        print("  the observed response exceeds its claimed bound, while the")
+        print("  overhead-aware bound of RefinedProsa holds.")
+    else:
+        print("→ (this run did not exceed the naive bound; the randomized")
+        print("   campaign in benchmarks/test_e10 demonstrates the crossover)")
+
+    # A broader randomized validation.
+    rng = random.Random(11)
+    arrivals = generate_arrivals(client, horizon=4_000, rng=rng, intensity=1.0)
+    result = simulate(client, arrivals, wcet, horizon=8_000,
+                      durations=WcetDurations())
+    report = check_timing_correctness(result, analysis)
+    assert report.ok
+    print()
+    print("randomized validation:")
+    print(report.table())
+
+
+if __name__ == "__main__":
+    main()

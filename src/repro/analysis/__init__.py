@@ -1,0 +1,29 @@
+"""End-to-end analysis: the executable Thm. 5.1 and experiment harnesses.
+
+* :mod:`~repro.analysis.adequacy` — the timing-correctness pipeline:
+  simulate a deployment, check every assumption of Thm. 5.1
+  (consistency, WCET respect, arrival-curve conformance), compute the
+  analytic bounds ``R_i + J_i``, and verify that every job whose bound
+  falls inside the horizon completed within it;
+* :mod:`~repro.analysis.campaigns` — randomized campaign and parameter
+  sweep drivers;
+* :mod:`~repro.analysis.report` — plain-text table rendering shared by
+  benchmarks, examples, and EXPERIMENTS.md regeneration.
+"""
+
+from repro.analysis.adequacy import (
+    TimingCorrectnessReport,
+    check_timing_correctness,
+    run_adequacy_campaign,
+)
+from repro.analysis.campaigns import CampaignResult, sweep
+from repro.analysis.report import format_table
+
+__all__ = [
+    "CampaignResult",
+    "TimingCorrectnessReport",
+    "check_timing_correctness",
+    "format_table",
+    "run_adequacy_campaign",
+    "sweep",
+]

@@ -1,0 +1,207 @@
+"""Timing correctness, end to end: the executable Thm. 5.1.
+
+The theorem: for a client with arrival curves ``α_i``, basic-action
+WCETs, and callback WCETs ``C_i``, any execution whose timed trace
+respects the WCETs and is consistent with an arrival sequence bounded by
+the curves satisfies — for every job of task ``τ_i`` with
+``t_arr + R_i + J_i < t_hrzn`` —
+
+    ``∃k. tr[k] = M_Completion j ∧ ts[k] ≤ t_arr + R_i + J_i``.
+
+:func:`check_timing_correctness` verifies exactly this statement on one
+simulated run, after first re-checking every assumption with the
+independent checkers (so a buggy simulator cannot vacuously pass).
+:func:`run_adequacy_campaign` repeats it over randomized workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.analysis.report import format_table
+from repro.rossl.client import RosslClient
+from repro.rta.curves import check_curve_respected
+from repro.rta.npfp import AnalysisResult, analyse
+from repro.sim.simulator import (
+    DurationPolicy,
+    SimulationResult,
+    UniformDurations,
+    WcetDurations,
+    simulate,
+)
+from repro.sim.workloads import generate_arrivals
+from repro.timing.arrivals import ArrivalSequence
+from repro.timing.timed_trace import check_consistency, job_arrival_times
+from repro.timing.wcet import WcetModel, check_wcet_respected
+
+
+@dataclass(frozen=True)
+class BoundViolation:
+    """A job that missed its analytic response-time bound."""
+
+    task: str
+    arrival: int
+    bound: int
+    completion: int | None  # None: never completed within the horizon
+
+    def __str__(self) -> str:
+        done = "never" if self.completion is None else str(self.completion)
+        return (
+            f"task {self.task}: arrived {self.arrival}, bound "
+            f"{self.arrival + self.bound}, completed {done}"
+        )
+
+
+@dataclass
+class TimingCorrectnessReport:
+    """Outcome of checking Thm. 5.1 on one or more runs."""
+
+    analysis: AnalysisResult
+    jobs_checked: int = 0
+    jobs_beyond_horizon: int = 0
+    runs: int = 0
+    observed_worst: dict[str, int] = field(default_factory=dict)
+    violations: list[BoundViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def tightness(self, task_name: str) -> float | None:
+        """observed worst response / analytic bound (None if no job ran)."""
+        if task_name not in self.observed_worst:
+            return None
+        return self.observed_worst[task_name] / self.analysis.response_time_bound(
+            task_name
+        )
+
+    def table(self) -> str:
+        rows = []
+        for task in self.analysis.tasks:
+            name = task.name
+            bound = (
+                self.analysis.response_time_bound(name)
+                if self.analysis.bounds[name].schedulable
+                else None
+            )
+            observed = self.observed_worst.get(name)
+            ratio = self.tightness(name) if bound else None
+            rows.append((name, task.wcet, task.priority, bound, observed, ratio))
+        return format_table(
+            ["task", "C_i", "prio", "bound R_i+J_i", "observed worst", "ratio"],
+            rows,
+            title=(
+                f"Timing correctness over {self.runs} run(s): "
+                f"{self.jobs_checked} jobs checked, "
+                f"{self.jobs_beyond_horizon} beyond horizon, "
+                f"{len(self.violations)} violations"
+            ),
+        )
+
+
+def check_timing_correctness(
+    result: SimulationResult,
+    analysis: AnalysisResult,
+    report: TimingCorrectnessReport | None = None,
+) -> TimingCorrectnessReport:
+    """Check Thm. 5.1 on one simulated run (and its assumptions)."""
+    client = result.client
+    timed = result.timed_trace
+    # Re-verify the theorem's hypotheses with the independent checkers.
+    check_consistency(timed, result.arrivals)
+    check_wcet_respected(timed, client.tasks, result.wcet)
+    for task in client.tasks:
+        times = [a.time for a in result.arrivals.of_task(client.tasks, task.name)]
+        check_curve_respected(times, client.tasks.arrival_curve(task.name))
+
+    if report is None:
+        report = TimingCorrectnessReport(analysis=analysis)
+    report.runs += 1
+    horizon = timed.horizon
+    completions = timed.completions()
+    arrival_of = job_arrival_times(timed, result.arrivals)
+
+    for job, t_arr in arrival_of.items():
+        task = client.tasks.msg_to_task(job.data)
+        if not analysis.bounds[task.name].schedulable:
+            continue
+        bound = analysis.response_time_bound(task.name)
+        deadline = t_arr + bound
+        if deadline >= horizon:
+            report.jobs_beyond_horizon += 1
+            continue
+        report.jobs_checked += 1
+        done = completions.get(job)
+        if done is None or done > deadline:
+            report.violations.append(
+                BoundViolation(task.name, t_arr, bound, done)
+            )
+        if done is not None:
+            response = done - t_arr
+            previous = report.observed_worst.get(task.name, 0)
+            report.observed_worst[task.name] = max(previous, response)
+    # Arrivals never read at all: if their deadline fell inside the
+    # horizon, the theorem is violated (the scheduler starved them).
+    # Unread arrivals are the per-socket FIFO suffixes beyond the jobs
+    # actually read on that socket.
+    if len(arrival_of) < len(result.arrivals):
+        for sock in client.sockets:
+            queue = result.arrivals.on_socket(sock)
+            read_on_sock = sum(
+                1
+                for m in timed.trace
+                if type(m).__name__ == "MReadE"
+                and m.job is not None
+                and m.sock == sock
+            )
+            for arrival in queue[read_on_sock:]:
+                task = client.tasks.msg_to_task(arrival.data)
+                if not analysis.bounds[task.name].schedulable:
+                    continue
+                bound = analysis.response_time_bound(task.name)
+                if arrival.time + bound < horizon:
+                    report.violations.append(
+                        BoundViolation(task.name, arrival.time, bound, None)
+                    )
+                else:
+                    report.jobs_beyond_horizon += 1
+    return report
+
+
+def run_adequacy_campaign(
+    client: RosslClient,
+    wcet: WcetModel,
+    horizon: int,
+    runs: int,
+    seed: int = 0,
+    intensity: float = 1.0,
+    adversarial_fraction: float = 0.5,
+    analysis_horizon: int = 1_000_000,
+) -> TimingCorrectnessReport:
+    """Randomized campaign: ``runs`` simulations, all checked.
+
+    A fraction of the runs uses adversarial always-WCET timing; the rest
+    draws durations uniformly.  Raises if the system is unschedulable
+    (campaigns are for validating bounds, not for overload studies).
+    """
+    analysis = analyse(client, wcet, analysis_horizon)
+    if not analysis.schedulable:
+        raise ValueError("campaigns need a schedulable system")
+    report = TimingCorrectnessReport(analysis=analysis)
+    rng = random.Random(seed)
+    for index in range(runs):
+        arrivals = generate_arrivals(
+            client,
+            horizon=max(1, horizon // 2),
+            rng=rng,
+            intensity=intensity,
+        )
+        policy: DurationPolicy
+        if index < runs * adversarial_fraction:
+            policy = WcetDurations()
+        else:
+            policy = UniformDurations(rng)
+        result = simulate(client, arrivals, wcet, horizon, durations=policy)
+        check_timing_correctness(result, analysis, report)
+    return report

@@ -1,0 +1,55 @@
+"""Parameter sweeps over deployments.
+
+:func:`sweep` evaluates a metric across a parameter range — used by the
+ablation benchmarks (response-time bound vs. number of sockets, vs. WCET
+scaling, vs. workload burstiness) and by EXPERIMENTS.md regeneration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.analysis.report import format_table
+
+P = TypeVar("P")
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Rows of (parameter value, metric values) for one sweep."""
+
+    parameter: str
+    metrics: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+
+    def table(self, title: str | None = None) -> str:
+        return format_table(
+            [self.parameter, *self.metrics], self.rows, title=title
+        )
+
+    def column(self, metric: str) -> list[object]:
+        index = 1 + self.metrics.index(metric)
+        return [row[index] for row in self.rows]
+
+    def parameters(self) -> list[object]:
+        return [row[0] for row in self.rows]
+
+
+def sweep(
+    parameter: str,
+    values: Iterable[P],
+    metrics: Sequence[str],
+    evaluate: Callable[[P], Sequence[object]],
+) -> CampaignResult:
+    """Evaluate ``evaluate(value)`` (one cell per metric) per value."""
+    rows = []
+    metric_names = tuple(metrics)
+    for value in values:
+        cells = tuple(evaluate(value))
+        if len(cells) != len(metric_names):
+            raise ValueError(
+                f"evaluate returned {len(cells)} cells for {len(metric_names)} metrics"
+            )
+        rows.append((value, *cells))
+    return CampaignResult(parameter, metric_names, tuple(rows))

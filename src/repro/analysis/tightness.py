@@ -1,0 +1,106 @@
+"""Tightness study: how close do observed responses come to the bounds?
+
+A sound bound is easy to state (infinity qualifies); the paper's analysis
+is useful because its bounds are *tight enough to act on*.  This module
+quantifies that on this reproduction: across randomized campaigns it
+collects the ratio ``observed response / analytic bound`` per job and
+reports distribution statistics per task.  Ratios must never exceed 1
+(soundness); the spread below 1 measures conservatism — dominated by the
+deliberate worst-case assumptions (WCET timing, burst arrivals, the
+conservative SBF carry-in; see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.analysis.report import format_table
+from repro.rossl.client import RosslClient
+from repro.rta.npfp import analyse
+from repro.sim.simulator import UniformDurations, WcetDurations, simulate
+from repro.sim.workloads import generate_arrivals
+from repro.timing.wcet import WcetModel
+
+
+@dataclass
+class TightnessStudy:
+    """Collected response/bound ratios per task."""
+
+    ratios: dict[str, list[float]] = field(default_factory=dict)
+    jobs: int = 0
+
+    def add(self, task: str, ratio: float) -> None:
+        self.ratios.setdefault(task, []).append(ratio)
+        self.jobs += 1
+
+    def percentile(self, task: str, q: float) -> float | None:
+        values = sorted(self.ratios.get(task, []))
+        if not values:
+            return None
+        index = min(len(values) - 1, int(q * (len(values) - 1) + 0.5))
+        return values[index]
+
+    @property
+    def worst(self) -> float:
+        return max((max(v) for v in self.ratios.values() if v), default=0.0)
+
+    def table(self) -> str:
+        rows = []
+        for task in sorted(self.ratios):
+            values = self.ratios[task]
+            rows.append(
+                (
+                    task,
+                    len(values),
+                    f"{self.percentile(task, 0.5):.3f}",
+                    f"{self.percentile(task, 0.9):.3f}",
+                    f"{max(values):.3f}",
+                )
+            )
+        return format_table(
+            ["task", "jobs", "median ratio", "p90 ratio", "max ratio"],
+            rows,
+            title=f"observed response / analytic bound over {self.jobs} jobs",
+        )
+
+
+def run_tightness_study(
+    client: RosslClient,
+    wcet: WcetModel,
+    horizon: int,
+    runs: int,
+    seed: int = 0,
+    intensity: float = 1.2,
+    adversarial_fraction: float = 0.5,
+) -> TightnessStudy:
+    """Randomized campaign collecting response/bound ratios.
+
+    Raises if any ratio exceeds 1 — tightness reporting presupposes
+    soundness.
+    """
+    analysis = analyse(client, wcet)
+    if not analysis.schedulable:
+        raise ValueError("tightness studies need a schedulable system")
+    study = TightnessStudy()
+    rng = random.Random(seed)
+    for index in range(runs):
+        arrivals = generate_arrivals(
+            client, horizon=max(1, horizon // 2), rng=rng, intensity=intensity
+        )
+        policy = (
+            WcetDurations()
+            if index < runs * adversarial_fraction
+            else UniformDurations(rng)
+        )
+        result = simulate(client, arrivals, wcet, horizon, durations=policy)
+        for job, (_, _, response) in result.response_times().items():
+            name = client.tasks.msg_to_task(job.data).name
+            bound = analysis.response_time_bound(name)
+            ratio = response / bound
+            if ratio > 1.0:
+                raise AssertionError(
+                    f"soundness violation: {job} of {name} at ratio {ratio:.3f}"
+                )
+            study.add(name, ratio)
+    return study

@@ -1,0 +1,123 @@
+"""Canonical deployments used across examples, benchmarks, and papers.
+
+Each factory returns a fully configured deployment (client + WCET
+model).  They encode the three regimes the paper's narrative covers:
+
+* :func:`fig3_deployment` — the paper's running example (Fig. 3): two
+  tasks, one socket, the high-priority job arriving second;
+* :func:`robot_deployment` — a µs-granularity ROS2-executor-like robot
+  (§1.1's middleware motivation): overheads of a few µs against
+  millisecond callbacks — the regime where jitter is negligible (E9);
+* :func:`embedded_deployment` — a microcontroller-class sensor node
+  (§1.1's deeply-embedded motivation): overheads comparable to the
+  callbacks — the regime where overhead-oblivious analysis is unsafe
+  (E10);
+* :func:`edf_deployment` — the EDF extension's alarm/report node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.curves import LeakyBucketCurve, SporadicCurve
+from repro.timing.wcet import WcetModel
+
+MS = 1_000  # µs per ms in the robot deployment's time base
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """A named deployment: client, WCET model, and its time unit."""
+
+    name: str
+    client: RosslClient
+    wcet: WcetModel
+    time_unit: str
+
+
+def fig3_deployment() -> CaseStudy:
+    tasks = TaskSystem(
+        [
+            Task(name="t1", priority=1, wcet=12, type_tag=1),
+            Task(name="t2", priority=2, wcet=8, type_tag=2),
+        ],
+        {"t1": SporadicCurve(200), "t2": SporadicCurve(200)},
+    )
+    return CaseStudy(
+        name="fig3",
+        client=RosslClient.make(tasks, [0]),
+        wcet=WcetModel(failed_read=3, success_read=5, selection=2,
+                       dispatch=2, completion=2, idling=3),
+        time_unit="abstract",
+    )
+
+
+def robot_deployment() -> CaseStudy:
+    tasks = TaskSystem(
+        [
+            Task(name="telemetry", priority=1, wcet=3 * MS, type_tag=1),
+            Task(name="lidar", priority=2, wcet=8 * MS, type_tag=2),
+            Task(name="control", priority=3, wcet=1 * MS, type_tag=3),
+            Task(name="estop", priority=4, wcet=200, type_tag=4),
+        ],
+        {
+            "telemetry": SporadicCurve(100 * MS),
+            "lidar": SporadicCurve(25 * MS),
+            "control": SporadicCurve(10 * MS),
+            "estop": LeakyBucketCurve(burst=2, rate_separation=500 * MS),
+        },
+    )
+    return CaseStudy(
+        name="robot",
+        client=RosslClient.make(tasks, [0, 1, 2, 3]),
+        wcet=WcetModel(failed_read=2, success_read=4, selection=2,
+                       dispatch=2, completion=2, idling=2),
+        time_unit="µs",
+    )
+
+
+def embedded_deployment() -> CaseStudy:
+    tasks = TaskSystem(
+        [
+            Task(name="sample", priority=1, wcet=40, type_tag=1),
+            Task(name="radio", priority=2, wcet=25, type_tag=2),
+        ],
+        {
+            "sample": SporadicCurve(1_000),
+            "radio": LeakyBucketCurve(burst=4, rate_separation=800),
+        },
+    )
+    return CaseStudy(
+        name="embedded",
+        client=RosslClient.make(tasks, [0, 1]),
+        wcet=WcetModel(failed_read=6, success_read=9, selection=5,
+                       dispatch=4, completion=4, idling=5),
+        time_unit="cycles",
+    )
+
+
+def edf_deployment() -> CaseStudy:
+    tasks = TaskSystem(
+        [
+            Task(name="alarm", priority=0, wcet=12, type_tag=1, deadline=180),
+            Task(name="report", priority=0, wcet=60, type_tag=2, deadline=2700),
+        ],
+        {"alarm": SporadicCurve(300), "report": SporadicCurve(400)},
+    )
+    return CaseStudy(
+        name="edf-node",
+        client=RosslClient.make(tasks, [0], policy="edf"),
+        wcet=WcetModel(failed_read=2, success_read=2, selection=1,
+                       dispatch=1, completion=1, idling=1),
+        time_unit="abstract",
+    )
+
+
+ALL_CASE_STUDIES = (
+    fig3_deployment,
+    robot_deployment,
+    embedded_deployment,
+    edf_deployment,
+)

@@ -1,0 +1,136 @@
+"""Deployment specifications: declarative JSON for clients + WCETs.
+
+The CLI (:mod:`repro.cli`) and user tooling describe a Rössl deployment
+in one JSON document::
+
+    {
+      "policy": "npfp",
+      "sockets": [0, 1],
+      "wcet": {"failed_read": 4, "success_read": 6, "selection": 3,
+               "dispatch": 2, "completion": 2, "idling": 3},
+      "tasks": [
+        {"name": "control", "priority": 2, "wcet": 150, "type_tag": 1,
+         "curve": {"kind": "sporadic", "min_separation": 2000}},
+        {"name": "logger", "priority": 1, "wcet": 400, "type_tag": 2,
+         "deadline": 5000,
+         "curve": {"kind": "leaky-bucket", "burst": 2, "rate_separation": 900}}
+      ]
+    }
+
+Curve kinds: ``sporadic`` (``min_separation``), ``leaky-bucket``
+(``burst``, ``rate_separation``), ``table`` (``steps`` as ``[[window,
+count], …]``, ``tail_separation``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.curves import ArrivalCurve, LeakyBucketCurve, SporadicCurve, TableCurve
+from repro.timing.wcet import WcetModel
+
+
+class SpecError(Exception):
+    """A deployment specification is malformed."""
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A parsed deployment: client plus WCET model."""
+
+    client: RosslClient
+    wcet: WcetModel
+
+
+def _require(mapping: Mapping[str, Any], key: str, where: str) -> Any:
+    if key not in mapping:
+        raise SpecError(f"{where}: missing required key {key!r}")
+    return mapping[key]
+
+
+def parse_curve(spec: Mapping[str, Any], where: str) -> ArrivalCurve:
+    kind = _require(spec, "kind", where)
+    try:
+        if kind == "sporadic":
+            return SporadicCurve(_require(spec, "min_separation", where))
+        if kind == "leaky-bucket":
+            return LeakyBucketCurve(
+                burst=_require(spec, "burst", where),
+                rate_separation=_require(spec, "rate_separation", where),
+            )
+        if kind == "table":
+            steps = tuple(
+                (int(w), int(c)) for w, c in _require(spec, "steps", where)
+            )
+            return TableCurve(
+                steps=steps,
+                tail_separation=_require(spec, "tail_separation", where),
+            )
+    except (ValueError, TypeError) as exc:
+        raise SpecError(f"{where}: bad curve parameters: {exc}") from exc
+    raise SpecError(f"{where}: unknown curve kind {kind!r}")
+
+
+def parse_deployment(spec: Mapping[str, Any]) -> Deployment:
+    """Build a :class:`Deployment` from a parsed JSON document."""
+    try:
+        wcet_spec = _require(spec, "wcet", "deployment")
+        wcet = WcetModel(
+            failed_read=_require(wcet_spec, "failed_read", "wcet"),
+            success_read=_require(wcet_spec, "success_read", "wcet"),
+            selection=_require(wcet_spec, "selection", "wcet"),
+            dispatch=_require(wcet_spec, "dispatch", "wcet"),
+            completion=_require(wcet_spec, "completion", "wcet"),
+            idling=_require(wcet_spec, "idling", "wcet"),
+        )
+    except (ValueError, TypeError) as exc:
+        raise SpecError(f"wcet: {exc}") from exc
+
+    task_specs = _require(spec, "tasks", "deployment")
+    if not isinstance(task_specs, list) or not task_specs:
+        raise SpecError("deployment: 'tasks' must be a non-empty list")
+    tasks = []
+    curves = {}
+    for index, task_spec in enumerate(task_specs):
+        where = f"tasks[{index}]"
+        try:
+            task = Task(
+                name=_require(task_spec, "name", where),
+                priority=_require(task_spec, "priority", where),
+                wcet=_require(task_spec, "wcet", where),
+                type_tag=_require(task_spec, "type_tag", where),
+                deadline=task_spec.get("deadline"),
+            )
+        except (ValueError, TypeError) as exc:
+            raise SpecError(f"{where}: {exc}") from exc
+        tasks.append(task)
+        if "curve" in task_spec:
+            curves[task.name] = parse_curve(task_spec["curve"], f"{where}.curve")
+    try:
+        system = TaskSystem(tasks, curves)
+        client = RosslClient.make(
+            system,
+            sockets=spec.get("sockets", [0]),
+            policy=spec.get("policy", "npfp"),
+        )
+    except ValueError as exc:
+        raise SpecError(str(exc)) from exc
+    return Deployment(client=client, wcet=wcet)
+
+
+def load_deployment(path: str | Path) -> Deployment:
+    """Load a deployment spec from a JSON file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise SpecError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise SpecError(f"{path}: the top level must be an object")
+    return parse_deployment(document)

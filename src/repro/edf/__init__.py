@@ -1,0 +1,43 @@
+"""Non-preemptive EDF: the policy-transfer extension.
+
+The paper notes (§5, §6) that parts of the development transfer to other
+scheduling policies — ProKOS, the closest related work, verifies both FP
+and EDF.  This package realizes the transfer for *earliest-deadline-
+first* scheduling of Rössl:
+
+* messages carry their **absolute deadline** in the second payload word
+  (an event-driven, interrupt-free scheduler has no clock of its own;
+  deadlines arrive in message headers, as they do in practice);
+* EDF is then literally "fixed-priority with priority = −deadline": the
+  scheduler core, the protocol STS, the trace machinery, the conversion,
+  and the monitors are all reused unchanged with the EDF priority
+  function (:func:`~repro.edf.policy.edf_priority`);
+* the analysis side (:mod:`~repro.edf.analysis`) is a demand-bound-
+  function schedulability test for non-preemptive EDF under restricted
+  supply, reusing the release curves, jitter bound, and SBF of the NPFP
+  analysis.
+"""
+
+from repro.edf.analysis import EdfAnalysis, edf_analysis, edf_schedulable
+from repro.edf.policy import (
+    EdfRosslModel,
+    build_edf_rossl,
+    deadline_of,
+    edf_message,
+    edf_priority,
+    edf_source,
+    with_deadline_payloads,
+)
+
+__all__ = [
+    "EdfAnalysis",
+    "EdfRosslModel",
+    "build_edf_rossl",
+    "deadline_of",
+    "edf_analysis",
+    "edf_message",
+    "edf_priority",
+    "edf_schedulable",
+    "edf_source",
+    "with_deadline_payloads",
+]

@@ -1,0 +1,148 @@
+"""The EDF scheduling policy for Rössl.
+
+Payload convention: ``(type_tag, absolute_deadline, …)``.  The priority
+of a message is the *negation* of its deadline — earliest deadline
+first is then exactly "highest priority first", so the NPFP scheduler
+core, trace validity, and marker specs are reused verbatim with
+:func:`edf_priority` as the priority function.
+
+The MiniC side makes the same move: :func:`edf_source` generates a
+translation unit whose ``job_priority`` returns ``0 - j->data[1]``; the
+scheduler core (``npfp_enqueue``/``npfp_dequeue``/``fds_run``) is
+byte-for-byte the one verified for NPFP.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import TypedProgram, typecheck
+from repro.model.message import Message, MsgData
+from repro.model.task import TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rossl.runtime import RosslModel
+from repro.rossl.source import DEFAULT_MSG_CAP, _SCHEDULER_CORE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.timing.arrivals import ArrivalSequence
+
+
+def deadline_of(data: MsgData) -> int:
+    """The absolute deadline a payload carries (second word)."""
+    if len(data) < 2:
+        raise ValueError(
+            f"EDF payloads carry (tag, deadline, …); got {data}"
+        )
+    return data[1]
+
+
+def edf_priority(data: MsgData) -> int:
+    """EDF as a priority function: earlier deadline = higher priority."""
+    return -deadline_of(data)
+
+
+def edf_message(tasks: TaskSystem, task_name: str, deadline: int, *payload: int) -> Message:
+    """A message announcing an EDF job: tag, absolute deadline, payload."""
+    task = tasks.by_name(task_name)
+    return Message((task.type_tag, deadline, *payload))
+
+
+class EdfRosslModel(RosslModel):
+    """Rössl with non-preemptive EDF selection.
+
+    Identical to the NPFP reference model except that ``npfp_dequeue``
+    compares message deadlines instead of task priorities (FIFO among
+    equal deadlines, matching the MiniC scan)."""
+
+    def _npfp_dequeue(self):
+        if not self._queue:
+            return None
+        best_index = 0
+        best_priority = edf_priority(self._queue[0].data)
+        for i in range(1, len(self._queue)):
+            priority = edf_priority(self._queue[i].data)
+            if priority > best_priority:
+                best_index, best_priority = i, priority
+        return self._queue.pop(best_index)
+
+
+def edf_client_source(client: RosslClient) -> str:
+    """The EDF client part: deadline-based priority, sockets, ``main``."""
+    priority_table = (
+        "// EDF: priority is the negated absolute deadline carried in\n"
+        "// the message's second word.\n"
+        "int task_priority(int type) {\n"
+        "    return 0;  // unused under EDF\n"
+        "}\n"
+        "\n"
+        "int msg_deadline(int *data, int len) {\n"
+        "    return data[1];\n"
+        "}\n"
+    )
+    socket_setup = "\n".join(
+        f"    fds.socks[{index}] = {sock};"
+        for index, sock in enumerate(client.sockets)
+    )
+    main = (
+        "void main() {\n"
+        "    struct fd_scheduler fds;\n"
+        "    fds.sched.queue = NULL;\n"
+        f"    fds.nsocks = {client.num_sockets};\n"
+        f"{socket_setup}\n"
+        "    fds_run(&fds);\n"
+        "}\n"
+    )
+    return priority_table + "\n" + main
+
+
+_NPFP_PRIORITY = (
+    "int job_priority(struct job *j) {\n"
+    "    return task_priority(msg_identify_type(j->data, j->len));\n"
+    "}"
+)
+
+_EDF_PRIORITY = (
+    "int job_priority(struct job *j) {\n"
+    "    return 0 - msg_deadline(j->data, j->len);\n"
+    "}"
+)
+
+
+def edf_source(client: RosslClient, msg_cap: int = DEFAULT_MSG_CAP) -> str:
+    """The full EDF translation unit: the unchanged scheduler core with
+    a deadline-based ``job_priority``."""
+    core = _SCHEDULER_CORE.format(msg_cap=msg_cap, nsocks=client.num_sockets)
+    # Swap the job_priority body: negated deadline instead of task table.
+    if _NPFP_PRIORITY not in core:  # pragma: no cover - template drift guard
+        raise AssertionError("scheduler core template changed; update EDF swap")
+    core = core.replace(_NPFP_PRIORITY, _EDF_PRIORITY)
+    return edf_client_source(client) + "\n" + core
+
+
+def with_deadline_payloads(
+    arrivals: "ArrivalSequence", tasks: TaskSystem
+) -> "ArrivalSequence":
+    """Rewrite arrival payloads to the EDF convention.
+
+    Each payload becomes ``(tag, arrival_time + D_task, rest…)`` — the
+    absolute deadline travels in the message, as a clock-less scheduler
+    requires.  Lets the curve-conformant NPFP workload generators be
+    reused for EDF experiments.
+    """
+    from repro.timing.arrivals import Arrival, ArrivalSequence
+
+    rewritten = []
+    for a in arrivals:
+        task = tasks.msg_to_task(a.data)
+        if task.deadline is None:
+            raise ValueError(f"task {task.name!r} has no relative deadline")
+        rewritten.append(
+            Arrival(a.time, a.sock, (a.data[0], a.time + task.deadline) + a.data[1:])
+        )
+    return ArrivalSequence(rewritten)
+
+
+def build_edf_rossl(client: RosslClient, msg_cap: int = DEFAULT_MSG_CAP) -> TypedProgram:
+    """Parse and typecheck the EDF scheduler for ``client``."""
+    return typecheck(parse_program(edf_source(client, msg_cap)))

@@ -1,0 +1,157 @@
+"""The instrumented builtins, shared by the interpreter and the VM.
+
+These implement the effectful rules of Fig. 6 — the axiomatized ``read``
+system call (READ-STEP-SUCCESS / READ-STEP-FAILURE) and the ghost marker
+calls (TRACE-STEP-*) — over a heap, an environment, a marker sink, and
+the trace state ``σ_trace``.  Keeping them in one place guarantees the
+tree-walking interpreter (:mod:`repro.lang.interp`) and the bytecode VM
+(:mod:`repro.lang.vm`) have *identical* observable behaviour, which the
+differential tests then confirm end to end.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import UndefinedBehavior
+from repro.lang.heap import Heap
+from repro.lang.values import Value, VInt, VPtr
+from repro.model.job import Job
+from repro.rossl.env import Environment
+from repro.traces.markers import (
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+)
+from repro.traces.trace_state import TraceState
+
+#: Builtins with their VM arity (also used by the compiler).
+BUILTIN_ARITY = {
+    "malloc": 1,
+    "free": 1,
+    "read": 3,
+    "read_start": 0,
+    "selection_start": 0,
+    "idling_start": 0,
+    "dispatch_start": 2,
+    "execution_start": 2,
+    "completion_start": 2,
+}
+
+
+class TraceRuntime:
+    """Shared effectful state: heap + σ_trace + environment + sink."""
+
+    def __init__(self, heap: Heap, env: Environment, sink) -> None:
+        self.heap = heap
+        self.env = env
+        self.sink = sink
+        self.trace_state = TraceState()
+        self.current_job: Job | None = None
+
+    def call(self, name: str, args: list[Value]) -> Value | None:
+        handler = getattr(self, f"builtin_{name}", None)
+        if handler is None:  # pragma: no cover - typechecker prevents this
+            raise UndefinedBehavior(f"call to unknown builtin {name!r}")
+        return handler(args)
+
+    # -- memory -------------------------------------------------------------
+
+    def builtin_malloc(self, args: list[Value]) -> Value:
+        (size,) = args
+        assert isinstance(size, VInt)
+        return self.heap.alloc(size.value, kind="malloc")
+
+    def builtin_free(self, args: list[Value]) -> None:
+        (ptr,) = args
+        if not isinstance(ptr, VPtr):  # pragma: no cover - typechecked
+            raise UndefinedBehavior("free of non-pointer")
+        self.heap.free(ptr)
+        return None
+
+    # -- the read system call (Fig. 6) ---------------------------------------
+
+    def builtin_read(self, args: list[Value]) -> Value:
+        sock, buf, maxlen = args
+        if (
+            not isinstance(sock, VInt)
+            or not isinstance(buf, VPtr)
+            or not isinstance(maxlen, VInt)
+        ):  # pragma: no cover - typechecked
+            raise UndefinedBehavior("read: bad arguments")
+        data = self.env.read(sock.value)
+        if data is None:
+            self.sink.emit(MReadE(sock.value, None))
+            return VInt(-1)
+        if len(data) > maxlen.value:
+            raise UndefinedBehavior(
+                f"read: message of {len(data)} words exceeds buffer of "
+                f"{maxlen.value}"
+            )
+        for i, word in enumerate(data):
+            self.heap.store(buf.moved(i), VInt(word))
+        job = self.trace_state.record_read(tuple(data))
+        self.sink.emit(MReadE(sock.value, job))
+        return VInt(len(data))
+
+    # -- ghost marker calls (TRACE-STEP rules) --------------------------------
+
+    def _load_payload(self, ptr: Value, length: Value, what: str) -> tuple[int, ...]:
+        if not isinstance(ptr, VPtr) or not isinstance(length, VInt):
+            raise UndefinedBehavior(f"{what}: bad arguments")  # pragma: no cover
+        if length.value < 0:
+            raise UndefinedBehavior(f"{what}: negative length {length.value}")
+        words = []
+        for i in range(length.value):
+            cell = self.heap.load(ptr.moved(i))
+            if not isinstance(cell, VInt):
+                raise UndefinedBehavior(f"{what}: payload word {i} is not an integer")
+            words.append(cell.value)
+        return tuple(words)
+
+    def builtin_read_start(self, args: list[Value]) -> None:
+        self.sink.emit(MReadS())
+        return None
+
+    def builtin_selection_start(self, args: list[Value]) -> None:
+        self.sink.emit(MSelection())
+        return None
+
+    def builtin_idling_start(self, args: list[Value]) -> None:
+        self.sink.emit(MIdling())
+        return None
+
+    def builtin_dispatch_start(self, args: list[Value]) -> None:
+        data = self._load_payload(args[0], args[1], "dispatch_start")
+        try:
+            job = self.trace_state.resolve_dispatch(data)
+        except RuntimeError as exc:
+            raise UndefinedBehavior(str(exc)) from exc
+        self.current_job = job
+        self.sink.emit(MDispatch(job))
+        return None
+
+    def builtin_execution_start(self, args: list[Value]) -> None:
+        data = self._load_payload(args[0], args[1], "execution_start")
+        job = self.current_job
+        if job is None or job.data != data:
+            raise UndefinedBehavior(
+                f"execution_start for payload {data} does not match the "
+                f"dispatched job {job}"
+            )
+        self.sink.emit(MExecution(job))
+        return None
+
+    def builtin_completion_start(self, args: list[Value]) -> None:
+        data = self._load_payload(args[0], args[1], "completion_start")
+        job = self.current_job
+        if job is None or job.data != data:
+            raise UndefinedBehavior(
+                f"completion_start for payload {data} does not match the "
+                f"dispatched job {job}"
+            )
+        self.current_job = None
+        self.sink.emit(MCompletion(job))
+        return None

@@ -1,0 +1,371 @@
+"""A bytecode compiler for MiniC.
+
+Lowers a type-checked program to a stack-machine bytecode executed by
+:mod:`repro.lang.vm`.  This is the reproduction's nod to the paper's
+related-work discussion (§6): RefinedProsa reasons about C source under
+RefinedC's semantics, and the authors conjecture the approach extends to
+*compiled* code.  Here the conjecture is testable: the VM is a second,
+lower-level semantics, differentially checked to emit the same marker
+traces as the definitional interpreter, and its *instruction counter* is
+a concrete cost semantics against which WCETs can be measured and
+statically bounded (:mod:`repro.lang.cost`).
+
+Lowering notes:
+
+* every local variable (including block-scoped ones) gets its own heap
+  block, allocated at function entry and killed at return — function-
+  scoped lifetimes, as a C compiler's stack frame would give (the
+  interpreter's stricter block-scoped lifetimes catch more dangling-
+  pointer UB; Rössl exercises neither);
+* member offsets, array scales, and array-decay decisions are resolved
+  at compile time from the typechecker's expression-type table;
+* ``&&``/``||`` compile to short-circuit jumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.lang.builtins import BUILTIN_ARITY
+from repro.lang.syntax import (
+    AssignStmt,
+    Binary,
+    Block,
+    BreakStmt,
+    Call,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FuncDef,
+    IfStmt,
+    Index,
+    IntLit,
+    Member,
+    NullLit,
+    ReturnStmt,
+    SizeofType,
+    Stmt,
+    TArray,
+    TPtr,
+    TStruct,
+    TVoid,
+    Unary,
+    Var,
+    WhileStmt,
+)
+from repro.lang.typecheck import BUILTINS, TypedProgram
+
+
+@dataclass(slots=True)
+class Instr:
+    """One bytecode instruction: opcode plus up to two operands."""
+
+    op: str
+    a: Any = None
+    b: Any = None
+
+    def __str__(self) -> str:
+        parts = [self.op]
+        if self.a is not None:
+            parts.append(str(self.a))
+        if self.b is not None:
+            parts.append(str(self.b))
+        return " ".join(parts)
+
+
+@dataclass
+class CompiledFunction:
+    """Bytecode for one function."""
+
+    name: str
+    params: int
+    #: size (in words) of each local slot; parameters occupy the first
+    #: ``params`` slots.
+    slot_sizes: list[int]
+    code: list[Instr]
+    returns_value: bool
+    #: (start_pc, end_pc) of each while loop, in source order — the
+    #: handles the static cost analysis attaches loop bounds to.
+    loops: list[tuple[int, int]] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        lines = [f"func {self.name}/{self.params} slots={self.slot_sizes}"]
+        lines += [f"  {pc:4d}: {instr}" for pc, instr in enumerate(self.code)]
+        return "\n".join(lines)
+
+
+@dataclass
+class CompiledProgram:
+    typed: TypedProgram
+    functions: dict[str, CompiledFunction]
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(f) for f in self.functions.values())
+
+
+class _FunctionCompiler:
+    def __init__(self, typed: TypedProgram, func: FuncDef) -> None:
+        self.typed = typed
+        self.func = func
+        self.code: list[Instr] = []
+        self.slot_sizes: list[int] = []
+        self.scopes: list[dict[str, int]] = [{}]
+        self.loop_stack: list[tuple[list[int], list[int]]] = []  # (breaks, continues)
+        self.loops: list[tuple[int, int]] = []
+
+    # -- emission helpers ----------------------------------------------------
+
+    def emit(self, op: str, a: Any = None, b: Any = None) -> int:
+        self.code.append(Instr(op, a, b))
+        return len(self.code) - 1
+
+    def here(self) -> int:
+        return len(self.code)
+
+    def patch(self, index: int, target: int) -> None:
+        self.code[index].a = target
+
+    # -- slots -----------------------------------------------------------------
+
+    def new_slot(self, name: str, ctype: CType) -> int:
+        slot = len(self.slot_sizes)
+        self.slot_sizes.append(self.typed.sizeof(ctype))
+        self.scopes[-1][name] = slot
+        return slot
+
+    def slot_of(self, name: str) -> int:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise AssertionError(f"unresolved variable {name!r}")  # pragma: no cover
+
+    # -- expressions ------------------------------------------------------------
+
+    def compile_expr(self, expr: Expr, keep_result: bool = True) -> None:
+        """Compile ``expr``, leaving its value on the stack (unless the
+        expression is a void call and ``keep_result`` is False)."""
+        if isinstance(expr, IntLit):
+            self.emit("push", expr.value)
+            return
+        if isinstance(expr, NullLit):
+            self.emit("push_null")
+            return
+        if isinstance(expr, SizeofType):
+            self.emit("push", self.typed.sizeof(expr.ctype))
+            return
+        if isinstance(expr, Var):
+            static = self.typed.type_of(expr)
+            self.emit("local", self.slot_of(expr.name))
+            if not isinstance(static, TArray):
+                self.emit("load")
+            return
+        if isinstance(expr, Unary):
+            self._compile_unary(expr)
+            return
+        if isinstance(expr, Binary):
+            self._compile_binary(expr)
+            return
+        if isinstance(expr, Call):
+            self._compile_call(expr, keep_result)
+            return
+        if isinstance(expr, (Member, Index)):
+            self.compile_addr(expr)
+            if not isinstance(self.typed.type_of(expr), TArray):
+                self.emit("load")
+            return
+        raise AssertionError(f"unhandled expression {expr!r}")  # pragma: no cover
+
+    def _compile_unary(self, expr: Unary) -> None:
+        if expr.op == "&":
+            self.compile_addr(expr.operand)
+            return
+        if expr.op == "*":
+            self.compile_expr(expr.operand)
+            self.emit("load")
+            return
+        self.compile_expr(expr.operand)
+        self.emit("neg" if expr.op == "-" else "not")
+
+    def _compile_binary(self, expr: Binary) -> None:
+        op = expr.op
+        if op in ("&&", "||"):
+            # Short-circuit: the result is a 0/1 integer.
+            self.compile_expr(expr.lhs)
+            short = self.emit("jz" if op == "&&" else "jnz", None)
+            self.compile_expr(expr.rhs)
+            second = self.emit("jz" if op == "&&" else "jnz", None)
+            self.emit("push", 1 if op == "&&" else 0)
+            done = self.emit("jmp", None)
+            target = self.here()
+            self.patch(short, target)
+            self.patch(second, target)
+            self.emit("push", 0 if op == "&&" else 1)
+            self.patch(done, self.here())
+            return
+        self.compile_expr(expr.lhs)
+        self.compile_expr(expr.rhs)
+        static = self.typed.type_of(expr)
+        if op in ("+", "-") and isinstance(static, TPtr):
+            # pointer ± int, scaled by the pointee size
+            self.emit("ptr_add", self.typed.sizeof(static.target),
+                      1 if op == "+" else -1)
+            return
+        table = {
+            "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+            "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+            "==": "eq", "!=": "ne",
+        }
+        self.emit(table[op])
+
+    def _compile_call(self, expr: Call, keep_result: bool) -> None:
+        for arg in expr.args:
+            self.compile_expr(arg)
+        if expr.name in BUILTIN_ARITY:
+            returns = not isinstance(BUILTINS[expr.name][1], TVoid)
+            self.emit("callb", expr.name, len(expr.args))
+        else:
+            callee = self.typed.functions[expr.name]
+            returns = not isinstance(callee.ret, TVoid)
+            self.emit("call", expr.name, len(expr.args))
+        if returns and not keep_result:
+            self.emit("pop")
+
+    def compile_addr(self, expr: Expr) -> None:
+        """Compile ``expr`` as an lvalue: leaves its address on the stack."""
+        if isinstance(expr, Var):
+            self.emit("local", self.slot_of(expr.name))
+            return
+        if isinstance(expr, Unary) and expr.op == "*":
+            self.compile_expr(expr.operand)
+            return
+        if isinstance(expr, Member):
+            obj_type = self.typed.type_of(expr.obj)
+            if expr.arrow:
+                self.compile_expr(expr.obj)
+                assert isinstance(obj_type, TPtr) and isinstance(obj_type.target, TStruct)
+                struct_name = obj_type.target.name
+                self.emit("null_check")
+            else:
+                self.compile_addr(expr.obj)
+                assert isinstance(obj_type, TStruct)
+                struct_name = obj_type.name
+            offset = self.typed.layouts[struct_name].offsets[expr.fieldname]
+            if offset:
+                self.emit("offset", offset)
+            return
+        if isinstance(expr, Index):
+            base_type = self.typed.type_of(expr.base)
+            if isinstance(base_type, TArray):
+                self.compile_addr(expr.base)
+                self.compile_expr(expr.index)
+                self.emit("index", self.typed.sizeof(base_type.elem),
+                          base_type.size)
+            else:
+                assert isinstance(base_type, TPtr)
+                self.compile_expr(expr.base)
+                self.compile_expr(expr.index)
+                self.emit("index", self.typed.sizeof(base_type.target), None)
+            return
+        raise AssertionError(f"not an lvalue: {expr!r}")  # pragma: no cover
+
+    # -- statements ----------------------------------------------------------------
+
+    def compile_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            self.scopes.append({})
+            for inner in stmt.stmts:
+                self.compile_stmt(inner)
+            self.scopes.pop()
+            return
+        if isinstance(stmt, DeclStmt):
+            slot = self.new_slot(stmt.name, stmt.ctype)
+            if stmt.init is not None:
+                self.emit("local", slot)
+                self.compile_expr(stmt.init)
+                self.emit("store")
+            return
+        if isinstance(stmt, AssignStmt):
+            self.compile_addr(stmt.lhs)
+            self.compile_expr(stmt.rhs)
+            self.emit("store")
+            return
+        if isinstance(stmt, ExprStmt):
+            self.compile_expr(stmt.expr, keep_result=False)
+            return
+        if isinstance(stmt, IfStmt):
+            self.compile_expr(stmt.cond)
+            to_else = self.emit("jz", None)
+            self.compile_stmt(stmt.then)
+            if stmt.els is None:
+                self.patch(to_else, self.here())
+            else:
+                to_end = self.emit("jmp", None)
+                self.patch(to_else, self.here())
+                self.compile_stmt(stmt.els)
+                self.patch(to_end, self.here())
+            return
+        if isinstance(stmt, WhileStmt):
+            start = self.here()
+            self.compile_expr(stmt.cond)
+            exit_jump = self.emit("jz", None)
+            breaks: list[int] = []
+            continues: list[int] = []
+            self.loop_stack.append((breaks, continues))
+            self.compile_stmt(stmt.body)
+            self.loop_stack.pop()
+            for index in continues:
+                self.patch(index, self.here())
+            self.emit("jmp", start)
+            end = self.here()
+            self.patch(exit_jump, end)
+            for index in breaks:
+                self.patch(index, end)
+            self.loops.append((start, end))
+            return
+        if isinstance(stmt, ReturnStmt):
+            if stmt.value is None:
+                self.emit("ret")
+            else:
+                self.compile_expr(stmt.value)
+                self.emit("retv")
+            return
+        if isinstance(stmt, BreakStmt):
+            if not self.loop_stack:  # pragma: no cover - parser allows, C doesn't
+                raise AssertionError("break outside a loop")
+            self.loop_stack[-1][0].append(self.emit("jmp", None))
+            return
+        if isinstance(stmt, ContinueStmt):
+            if not self.loop_stack:  # pragma: no cover
+                raise AssertionError("continue outside a loop")
+            self.loop_stack[-1][1].append(self.emit("jmp", None))
+            return
+        raise AssertionError(f"unhandled statement {stmt!r}")  # pragma: no cover
+
+    def compile(self) -> CompiledFunction:
+        for param in self.func.params:
+            self.new_slot(param.name, param.ctype)
+        self.compile_stmt(self.func.body)
+        if isinstance(self.func.ret, TVoid):
+            self.emit("ret")
+        else:
+            self.emit("fell_off", self.func.name)
+        return CompiledFunction(
+            name=self.func.name,
+            params=len(self.func.params),
+            slot_sizes=self.slot_sizes,
+            code=self.code,
+            returns_value=not isinstance(self.func.ret, TVoid),
+            loops=self.loops,
+        )
+
+
+def compile_program(typed: TypedProgram) -> CompiledProgram:
+    """Compile every function of a type-checked program."""
+    functions = {
+        name: _FunctionCompiler(typed, func).compile()
+        for name, func in typed.functions.items()
+    }
+    return CompiledProgram(typed, functions)

@@ -1,0 +1,220 @@
+"""Static worst-case cost analysis for MiniC (a miniature aiT/OTAWA).
+
+The paper treats WCETs of basic actions as parameters "to be determined
+experimentally or by static analysis" (§2.2) and cites industrial WCET
+tools.  This module is the reproduction's static-analysis half: it
+computes an upper bound on the **VM instruction count** (the cost
+semantics of :mod:`repro.lang.vm`) of calling a function, given bounds
+on every loop's iteration count.
+
+The analysis mirrors the compiler's code shapes exactly — each AST form
+costs what its compiled bytecode executes on its longest path — so the
+soundness statement is concrete and testable:
+
+    for every execution in which each loop iterates at most its bound,
+    ``vm.executed`` for the call is ≤ ``function_cost(...)``.
+
+Loops are identified per function in source (pre-)order; ``loop_bounds``
+maps function names to their per-loop iteration bounds.  Recursive
+functions are rejected (their cost is unbounded without further
+annotation), matching the paper's observation that basic actions contain
+no unbounded control flow.
+"""
+
+from __future__ import annotations
+
+from repro.lang.builtins import BUILTIN_ARITY
+from repro.lang.syntax import (
+    AssignStmt,
+    Binary,
+    Block,
+    BreakStmt,
+    Call,
+    ContinueStmt,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    IfStmt,
+    Index,
+    IntLit,
+    Member,
+    NullLit,
+    ReturnStmt,
+    SizeofType,
+    Stmt,
+    TArray,
+    TVoid,
+    Unary,
+    Var,
+    WhileStmt,
+)
+from repro.lang.typecheck import BUILTINS, TypedProgram
+
+#: Bounds on loop iteration counts: function name → bounds, one per
+#: ``while`` in source order.
+LoopBounds = dict[str, list[int]]
+
+
+class CostError(Exception):
+    """The cost of a function cannot be bounded (recursion, or a loop
+    without a bound)."""
+
+
+class CostAnalyzer:
+    """Computes worst-case VM instruction counts per function call."""
+
+    def __init__(self, typed: TypedProgram, loop_bounds: LoopBounds | None = None) -> None:
+        self.typed = typed
+        self.loop_bounds: LoopBounds = dict(loop_bounds or {})
+        self._cache: dict[str, int] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def function_cost(self, name: str) -> int:
+        """Worst-case instructions executed *inside* a call of ``name``
+        (excluding the caller's ``call`` instruction itself)."""
+        return self._function_cost(name, stack=())
+
+    def call_cost(self, name: str) -> int:
+        """Worst-case cost of the call as the caller pays it: the
+        ``call`` instruction plus the callee body."""
+        return 1 + self.function_cost(name)
+
+    # -- functions ----------------------------------------------------------
+
+    def _function_cost(self, name: str, stack: tuple[str, ...]) -> int:
+        if name in self._cache:
+            return self._cache[name]
+        if name in stack:
+            raise CostError(
+                f"recursion through {name!r} ({' -> '.join(stack + (name,))})"
+            )
+        func = self.typed.functions.get(name)
+        if func is None:
+            raise CostError(f"unknown function {name!r}")
+        bounds = iter(self.loop_bounds.get(name, []))
+        body = self._stmt_cost(func.body, name, stack + (name,), bounds)
+        # Implicit trailing `ret` for void functions (a non-void function
+        # reaching its `fell_off` is UB, not a cost to bound).
+        total = body + (1 if isinstance(func.ret, TVoid) else 0)
+        self._cache[name] = total
+        return total
+
+    # -- statements ----------------------------------------------------------
+
+    def _stmt_cost(self, stmt: Stmt, fn: str, stack, bounds) -> int:
+        if isinstance(stmt, Block):
+            return sum(self._stmt_cost(s, fn, stack, bounds) for s in stmt.stmts)
+        if isinstance(stmt, DeclStmt):
+            if stmt.init is None:
+                return 0
+            # local; init; store
+            return 1 + self._expr_cost(stmt.init, fn, stack) + 1
+        if isinstance(stmt, AssignStmt):
+            return (
+                self._addr_cost(stmt.lhs, fn, stack)
+                + self._expr_cost(stmt.rhs, fn, stack)
+                + 1
+            )
+        if isinstance(stmt, ExprStmt):
+            cost = self._expr_cost(stmt.expr, fn, stack)
+            if isinstance(stmt.expr, Call) and self._call_returns(stmt.expr):
+                cost += 1  # discarded result: pop
+            return cost
+        if isinstance(stmt, IfStmt):
+            cond = self._expr_cost(stmt.cond, fn, stack) + 1  # jz
+            then = self._stmt_cost(stmt.then, fn, stack, bounds)
+            if stmt.els is None:
+                return cond + then
+            els = self._stmt_cost(stmt.els, fn, stack, bounds)
+            return cond + max(then + 1, els)  # +1: jmp over else
+        if isinstance(stmt, WhileStmt):
+            try:
+                bound = next(bounds)
+            except StopIteration:
+                raise CostError(
+                    f"{fn}: missing loop bound for while at {stmt.pos}"
+                ) from None
+            if bound < 0:
+                raise CostError(f"{fn}: negative loop bound {bound}")
+            cond = self._expr_cost(stmt.cond, fn, stack) + 1  # jz
+            body = self._stmt_cost(stmt.body, fn, stack, bounds)
+            # bound iterations of (cond; body; jmp-back) + the failing check.
+            return bound * (cond + body + 1) + cond
+        if isinstance(stmt, ReturnStmt):
+            if stmt.value is None:
+                return 1
+            return self._expr_cost(stmt.value, fn, stack) + 1
+        if isinstance(stmt, (BreakStmt, ContinueStmt)):
+            return 1
+        raise AssertionError(f"unhandled statement {stmt!r}")  # pragma: no cover
+
+    # -- expressions ----------------------------------------------------------
+
+    def _call_returns(self, call: Call) -> bool:
+        if call.name in BUILTIN_ARITY:
+            return not isinstance(BUILTINS[call.name][1], TVoid)
+        return not isinstance(self.typed.functions[call.name].ret, TVoid)
+
+    def _expr_cost(self, expr: Expr, fn: str, stack) -> int:
+        if isinstance(expr, (IntLit, NullLit, SizeofType)):
+            return 1
+        if isinstance(expr, Var):
+            if isinstance(self.typed.type_of(expr), TArray):
+                return 1  # decay: address only
+            return 2  # local; load
+        if isinstance(expr, Unary):
+            if expr.op == "&":
+                return self._addr_cost(expr.operand, fn, stack)
+            if expr.op == "*":
+                return self._expr_cost(expr.operand, fn, stack) + 1
+            return self._expr_cost(expr.operand, fn, stack) + 1
+        if isinstance(expr, Binary):
+            lhs = self._expr_cost(expr.lhs, fn, stack)
+            rhs = self._expr_cost(expr.rhs, fn, stack)
+            if expr.op in ("&&", "||"):
+                # lhs; j; rhs; j; push; jmp; push — longest path.
+                return lhs + rhs + 4
+            return lhs + rhs + 1
+        if isinstance(expr, Call):
+            args = sum(self._expr_cost(a, fn, stack) for a in expr.args)
+            if expr.name in BUILTIN_ARITY:
+                return args + 1  # callb (builtin work is not VM instructions)
+            return args + 1 + self._function_cost(expr.name, stack)
+        if isinstance(expr, (Member, Index)):
+            cost = self._addr_cost(expr, fn, stack)
+            if not isinstance(self.typed.type_of(expr), TArray):
+                cost += 1  # load
+            return cost
+        raise AssertionError(f"unhandled expression {expr!r}")  # pragma: no cover
+
+    def _addr_cost(self, expr: Expr, fn: str, stack) -> int:
+        if isinstance(expr, Var):
+            return 1
+        if isinstance(expr, Unary) and expr.op == "*":
+            return self._expr_cost(expr.operand, fn, stack)
+        if isinstance(expr, Member):
+            obj_type = self.typed.type_of(expr.obj)
+            if expr.arrow:
+                base = self._expr_cost(expr.obj, fn, stack) + 1  # null_check
+                struct_name = obj_type.target.name  # type: ignore[union-attr]
+            else:
+                base = self._addr_cost(expr.obj, fn, stack)
+                struct_name = obj_type.name  # type: ignore[union-attr]
+            offset = self.typed.layouts[struct_name].offsets[expr.fieldname]
+            return base + (1 if offset else 0)
+        if isinstance(expr, Index):
+            base_type = self.typed.type_of(expr.base)
+            if isinstance(base_type, TArray):
+                base = self._addr_cost(expr.base, fn, stack)
+            else:
+                base = self._expr_cost(expr.base, fn, stack)
+            return base + self._expr_cost(expr.index, fn, stack) + 1
+        raise AssertionError(f"not an lvalue: {expr!r}")  # pragma: no cover
+
+
+def function_cost(
+    typed: TypedProgram, name: str, loop_bounds: LoopBounds | None = None
+) -> int:
+    """Convenience one-shot wrapper around :class:`CostAnalyzer`."""
+    return CostAnalyzer(typed, loop_bounds).function_cost(name)

@@ -1,0 +1,51 @@
+"""MiniC error hierarchy.
+
+``UndefinedBehavior`` is the important one: the adequacy theorem
+(Thm. 3.4) asserts executions are never *stuck*, and in this
+reproduction "stuck" means the interpreter raises
+:class:`UndefinedBehavior` (out-of-bounds access, use-after-free, null
+dereference, read of an uninitialized cell, division by zero, …).  The
+bounded model checker asserts no explored execution raises it.
+"""
+
+from __future__ import annotations
+
+
+class MiniCError(Exception):
+    """Base class for all MiniC front-end and runtime errors."""
+
+
+class LexError(MiniCError):
+    """Lexical error, with source line/column."""
+
+    def __init__(self, line: int, col: int, message: str) -> None:
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class ParseError(MiniCError):
+    """Syntax error, with source line/column."""
+
+    def __init__(self, line: int, col: int, message: str) -> None:
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class TypeError_(MiniCError):
+    """Static type error (named with a trailing underscore to avoid
+    shadowing the builtin)."""
+
+
+class UndefinedBehavior(MiniCError):
+    """The program performed an operation with undefined behaviour."""
+
+
+class OutOfFuel(MiniCError):
+    """The fuel bound was exhausted before the program finished.
+
+    Not an error in the program: Rössl's ``fds_run`` never returns, so
+    drivers bound execution with fuel and treat this as reaching the
+    observation horizon (the trace so far is an execution prefix).
+    """

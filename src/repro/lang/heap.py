@@ -1,0 +1,106 @@
+"""The block-structured heap ``σ_heap`` with undefined-behaviour checks.
+
+Every access is validated: loads/stores to dead blocks (use-after-free,
+escaped locals), out-of-bounds offsets, loads of uninitialized cells,
+and invalid ``free`` calls all raise
+:class:`~repro.lang.errors.UndefinedBehavior` — the interpreter-level
+meaning of "stuck" in the adequacy theorem (Thm. 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.errors import UndefinedBehavior
+from repro.lang.values import NULL, UNDEF, Cell, Undef, Value, VPtr
+
+
+@dataclass
+class _Block:
+    cells: list[Cell]
+    alive: bool = True
+    #: "malloc" blocks may be freed; "local" blocks die at scope exit.
+    kind: str = "malloc"
+
+
+@dataclass
+class Heap:
+    """Word-addressed, block-structured memory."""
+
+    _blocks: dict[int, _Block] = field(default_factory=dict)
+    _next_block: int = 1  # block 0 is NULL
+
+    def alloc(self, size: int, kind: str = "malloc") -> VPtr:
+        """Allocate a fresh block of ``size`` uninitialized words."""
+        if size <= 0:
+            raise UndefinedBehavior(f"allocation of non-positive size {size}")
+        block_id = self._next_block
+        self._next_block += 1
+        self._blocks[block_id] = _Block(cells=[UNDEF] * size, kind=kind)
+        return VPtr(block_id, 0)
+
+    def free(self, ptr: VPtr) -> None:
+        """Release a ``malloc`` block; pointer must be its start."""
+        if ptr.is_null:
+            return  # free(NULL) is a no-op, as in C
+        block = self._blocks.get(ptr.block)
+        if block is None or not block.alive:
+            raise UndefinedBehavior(f"free of invalid or already-freed pointer {ptr}")
+        if block.kind != "malloc":
+            raise UndefinedBehavior(f"free of non-heap pointer {ptr}")
+        if ptr.offset != 0:
+            raise UndefinedBehavior(f"free of interior pointer {ptr}")
+        block.alive = False
+
+    def kill(self, ptr: VPtr) -> None:
+        """End the lifetime of a local block (scope exit)."""
+        block = self._blocks.get(ptr.block)
+        if block is None or not block.alive:  # pragma: no cover - internal
+            raise UndefinedBehavior(f"kill of invalid block {ptr}")
+        block.alive = False
+
+    def _checked_block(self, ptr: VPtr, what: str) -> _Block:
+        if ptr.is_null:
+            raise UndefinedBehavior(f"{what} through NULL pointer")
+        block = self._blocks.get(ptr.block)
+        if block is None:
+            raise UndefinedBehavior(f"{what} through wild pointer {ptr}")
+        if not block.alive:
+            raise UndefinedBehavior(f"{what} through dangling pointer {ptr}")
+        if not 0 <= ptr.offset < len(block.cells):
+            raise UndefinedBehavior(
+                f"{what} out of bounds: offset {ptr.offset} in block of "
+                f"size {len(block.cells)}"
+            )
+        return block
+
+    def load(self, ptr: VPtr) -> Value:
+        """Read one word; UB on invalid pointers or uninitialized cells."""
+        block = self._checked_block(ptr, "load")
+        cell = block.cells[ptr.offset]
+        if isinstance(cell, Undef):
+            raise UndefinedBehavior(f"load of uninitialized cell at {ptr}")
+        return cell
+
+    def store(self, ptr: VPtr, value: Value) -> None:
+        """Write one word; UB on invalid pointers."""
+        block = self._checked_block(ptr, "store")
+        block.cells[ptr.offset] = value
+
+    def valid(self, ptr: VPtr) -> bool:
+        """Whether ``ptr`` may be dereferenced right now."""
+        if ptr.is_null:
+            return False
+        block = self._blocks.get(ptr.block)
+        return (
+            block is not None and block.alive and 0 <= ptr.offset < len(block.cells)
+        )
+
+    @property
+    def live_blocks(self) -> int:
+        """Number of live blocks (for leak checks in tests)."""
+        return sum(1 for b in self._blocks.values() if b.alive)
+
+    def live_malloc_blocks(self) -> int:
+        """Number of live ``malloc`` blocks (leak detection)."""
+        return sum(1 for b in self._blocks.values() if b.alive and b.kind == "malloc")

@@ -1,0 +1,414 @@
+"""The instrumented MiniC semantics (the Caesium analog, paper Fig. 6).
+
+A definitional interpreter over the block-structured heap of
+:mod:`repro.lang.heap`, extended with the paper's trace machinery:
+
+* state is ``σ = (σ_heap, σ_trace)`` where ``σ_trace = (idx, id_map)``
+  (shared with the Python Rössl model via
+  :class:`repro.traces.trace_state.TraceState`);
+* the ``read`` builtin implements READ-STEP-SUCCESS / READ-STEP-FAILURE:
+  it consults an :class:`~repro.rossl.env.Environment` (the source of
+  read nondeterminism), writes the message into the buffer, assigns a
+  fresh job id, and emits ``M_ReadE``;
+* the ghost marker builtins implement the TRACE-STEP rules, emitting the
+  remaining marker events; ``dispatch_start`` resolves the dispatched
+  payload to a job through ``id_map`` (TRACE-STEP-DISPATCH).
+
+"Stuck" executions — undefined behaviour — raise
+:class:`~repro.lang.errors.UndefinedBehavior`; Rössl's verified property
+(Thm. 3.4 analog) is that no execution raises it and every emitted trace
+satisfies the scheduler protocol and functional correctness.
+
+The interpreter is *fuel-bounded*: Rössl's ``fds_run`` never returns, so
+drivers give finite fuel (``OutOfFuel`` marks the observation horizon)
+or stop it with :class:`~repro.rossl.env.HorizonReached` from the sink
+or environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import OutOfFuel, UndefinedBehavior
+from repro.lang.heap import Heap
+from repro.lang.syntax import (
+    AssignStmt,
+    Binary,
+    Block,
+    BreakStmt,
+    Call,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    IfStmt,
+    Index,
+    IntLit,
+    Member,
+    NullLit,
+    ReturnStmt,
+    SizeofType,
+    Stmt,
+    TArray,
+    TPtr,
+    TStruct,
+    TVoid,
+    Unary,
+    Var,
+    WhileStmt,
+)
+from repro.lang.typecheck import TypedProgram
+from repro.lang.values import NULL, Value, VInt, VPtr
+from repro.lang.builtins import TraceRuntime
+from repro.rossl.env import Environment
+from repro.rossl.runtime import MarkerSink
+
+
+class _Return(Exception):
+    def __init__(self, value: Value | None) -> None:
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+@dataclass
+class _Local:
+    loc: VPtr
+    ctype: CType
+
+
+class _Frame:
+    """One function activation: a stack of block scopes of locals."""
+
+    def __init__(self) -> None:
+        self.scopes: list[dict[str, _Local]] = [{}]
+
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self, heap: Heap) -> None:
+        for local in self.scopes.pop().values():
+            heap.kill(local.loc)
+
+    def declare(self, name: str, local: _Local) -> None:
+        self.scopes[-1][name] = local
+
+    def lookup(self, name: str) -> _Local:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise UndefinedBehavior(f"use of undeclared variable {name!r}")  # pragma: no cover
+
+
+class Interpreter:
+    """Executes a type-checked MiniC program with trace instrumentation.
+
+    Args:
+        typed: output of :func:`repro.lang.typecheck.typecheck`.
+        env: answers ``read`` calls (socket nondeterminism).
+        sink: receives the emitted marker events.
+        fuel: statement-execution budget; exhausting it raises
+            :class:`~repro.lang.errors.OutOfFuel`.
+    """
+
+    def __init__(
+        self,
+        typed: TypedProgram,
+        env: Environment,
+        sink: MarkerSink,
+        fuel: int = 1_000_000,
+    ) -> None:
+        self.typed = typed
+        self.env = env
+        self.sink = sink
+        self.fuel = fuel
+        self.heap = Heap()
+        self.runtime = TraceRuntime(self.heap, env, sink)
+
+    # -- fuel --------------------------------------------------------------
+
+    def _burn(self) -> None:
+        if self.fuel <= 0:
+            raise OutOfFuel("fuel exhausted")
+        self.fuel -= 1
+
+    # -- function calls ------------------------------------------------------
+
+    def call(self, name: str, args: list[Value]) -> Value | None:
+        """Call a defined function with already-evaluated arguments."""
+        func = self.typed.functions.get(name)
+        if func is None:
+            raise UndefinedBehavior(f"call to undefined function {name!r}")
+        if len(args) != len(func.params):
+            raise UndefinedBehavior(
+                f"{name}: expected {len(func.params)} arguments, got {len(args)}"
+            )
+        frame = _Frame()
+        for param, arg in zip(func.params, args):
+            size = self.typed.sizeof(param.ctype)
+            loc = self.heap.alloc(size, kind="local")
+            self.heap.store(loc, arg)
+            frame.declare(param.name, _Local(loc, param.ctype))
+        try:
+            self._exec_block(frame, func.body, new_scope=False)
+        except _Return as ret:
+            frame.pop_scope(self.heap)
+            return ret.value
+        frame.pop_scope(self.heap)
+        if not isinstance(func.ret, TVoid):
+            raise UndefinedBehavior(f"{name}: fell off the end of a non-void function")
+        return None
+
+    # -- statements ----------------------------------------------------------
+
+    def _exec_block(self, frame: _Frame, block: Block, new_scope: bool = True) -> None:
+        if new_scope:
+            frame.push_scope()
+        try:
+            for stmt in block.stmts:
+                self._exec_stmt(frame, stmt)
+        finally:
+            if new_scope:
+                frame.pop_scope(self.heap)
+
+    def _exec_stmt(self, frame: _Frame, stmt: Stmt) -> None:
+        self._burn()
+        if isinstance(stmt, Block):
+            self._exec_block(frame, stmt)
+            return
+        if isinstance(stmt, DeclStmt):
+            size = self.typed.sizeof(stmt.ctype)
+            loc = self.heap.alloc(size, kind="local")
+            if stmt.init is not None:
+                self.heap.store(loc, self._eval(frame, stmt.init))
+            frame.declare(stmt.name, _Local(loc, stmt.ctype))
+            return
+        if isinstance(stmt, AssignStmt):
+            target = self._eval_lvalue(frame, stmt.lhs)
+            value = self._eval(frame, stmt.rhs)
+            self.heap.store(target, value)
+            return
+        if isinstance(stmt, ExprStmt):
+            self._eval(frame, stmt.expr, allow_void=True)
+            return
+        if isinstance(stmt, IfStmt):
+            if self._truthy(self._eval(frame, stmt.cond)):
+                self._exec_block(frame, stmt.then)
+            elif stmt.els is not None:
+                self._exec_block(frame, stmt.els)
+            return
+        if isinstance(stmt, WhileStmt):
+            while True:
+                self._burn()
+                if not self._truthy(self._eval(frame, stmt.cond)):
+                    return
+                try:
+                    self._exec_block(frame, stmt.body)
+                except _Break:
+                    return
+                except _Continue:
+                    continue
+        if isinstance(stmt, ReturnStmt):
+            value = None if stmt.value is None else self._eval(frame, stmt.value)
+            raise _Return(value)
+        if isinstance(stmt, BreakStmt):
+            raise _Break()
+        if isinstance(stmt, ContinueStmt):
+            raise _Continue()
+        raise AssertionError(f"unhandled statement {stmt!r}")  # pragma: no cover
+
+    # -- expressions ----------------------------------------------------------
+
+    def _truthy(self, value: Value) -> bool:
+        if isinstance(value, VInt):
+            return value.value != 0
+        return not value.is_null
+
+    def _eval(self, frame: _Frame, expr: Expr, allow_void: bool = False) -> Value:
+        result = self._eval_raw(frame, expr, allow_void)
+        return result  # type: ignore[return-value]
+
+    def _eval_raw(self, frame: _Frame, expr: Expr, allow_void: bool) -> Value | None:
+        if isinstance(expr, IntLit):
+            return VInt(expr.value)
+        if isinstance(expr, NullLit):
+            return NULL
+        if isinstance(expr, SizeofType):
+            return VInt(self.typed.sizeof(expr.ctype))
+        if isinstance(expr, Var):
+            local = frame.lookup(expr.name)
+            if isinstance(local.ctype, TArray):
+                return local.loc  # array-to-pointer decay
+            return self.heap.load(local.loc)
+        if isinstance(expr, Unary):
+            return self._eval_unary(frame, expr)
+        if isinstance(expr, Binary):
+            return self._eval_binary(frame, expr)
+        if isinstance(expr, Call):
+            result = self._eval_call(frame, expr)
+            if result is None and not allow_void:
+                raise UndefinedBehavior(
+                    f"using void result of {expr.name} as a value"
+                )  # pragma: no cover - typechecker prevents this
+            return result
+        if isinstance(expr, (Member, Index)):
+            loc = self._eval_lvalue(frame, expr)
+            if isinstance(self.typed.type_of(expr), TArray):
+                return loc  # decay
+            return self.heap.load(loc)
+        raise AssertionError(f"unhandled expression {expr!r}")  # pragma: no cover
+
+    def _eval_unary(self, frame: _Frame, expr: Unary) -> Value:
+        if expr.op == "&":
+            return self._eval_lvalue(frame, expr.operand)
+        if expr.op == "*":
+            ptr = self._eval(frame, expr.operand)
+            if not isinstance(ptr, VPtr):  # pragma: no cover - typechecked
+                raise UndefinedBehavior("dereference of non-pointer")
+            return self.heap.load(ptr)
+        value = self._eval(frame, expr.operand)
+        if expr.op == "-":
+            if not isinstance(value, VInt):  # pragma: no cover - typechecked
+                raise UndefinedBehavior("unary minus on non-integer")
+            return VInt(-value.value)
+        if expr.op == "!":
+            return VInt(0 if self._truthy(value) else 1)
+        raise AssertionError(f"unhandled unary {expr.op!r}")  # pragma: no cover
+
+    def _eval_binary(self, frame: _Frame, expr: Binary) -> Value:
+        op = expr.op
+        if op == "&&":
+            if not self._truthy(self._eval(frame, expr.lhs)):
+                return VInt(0)
+            return VInt(1 if self._truthy(self._eval(frame, expr.rhs)) else 0)
+        if op == "||":
+            if self._truthy(self._eval(frame, expr.lhs)):
+                return VInt(1)
+            return VInt(1 if self._truthy(self._eval(frame, expr.rhs)) else 0)
+        lhs = self._eval(frame, expr.lhs)
+        rhs = self._eval(frame, expr.rhs)
+        if op in ("==", "!="):
+            equal = lhs == rhs
+            return VInt(int(equal if op == "==" else not equal))
+        if isinstance(lhs, VPtr) and op in ("+", "-") and isinstance(rhs, VInt):
+            # pointer arithmetic, scaled by the pointee size
+            static = self.typed.type_of(expr)
+            assert isinstance(static, TPtr)
+            scale = self.typed.sizeof(static.target)
+            delta = rhs.value * scale
+            return lhs.moved(delta if op == "+" else -delta)
+        if not (isinstance(lhs, VInt) and isinstance(rhs, VInt)):
+            raise UndefinedBehavior(
+                f"bad operands for {op}: {lhs}, {rhs}"
+            )  # pragma: no cover - typechecked
+        a, b = lhs.value, rhs.value
+        if op == "+":
+            return VInt(a + b)
+        if op == "-":
+            return VInt(a - b)
+        if op == "*":
+            return VInt(a * b)
+        if op in ("/", "%"):
+            if b == 0:
+                raise UndefinedBehavior("division by zero")
+            quotient = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                quotient = -quotient
+            if op == "/":
+                return VInt(quotient)
+            return VInt(a - quotient * b)
+        if op == "<":
+            return VInt(int(a < b))
+        if op == "<=":
+            return VInt(int(a <= b))
+        if op == ">":
+            return VInt(int(a > b))
+        if op == ">=":
+            return VInt(int(a >= b))
+        raise AssertionError(f"unhandled binary {op!r}")  # pragma: no cover
+
+    def _eval_lvalue(self, frame: _Frame, expr: Expr) -> VPtr:
+        if isinstance(expr, Var):
+            return frame.lookup(expr.name).loc
+        if isinstance(expr, Unary) and expr.op == "*":
+            ptr = self._eval(frame, expr.operand)
+            if not isinstance(ptr, VPtr):  # pragma: no cover - typechecked
+                raise UndefinedBehavior("dereference of non-pointer")
+            return ptr
+        if isinstance(expr, Member):
+            if expr.arrow:
+                base = self._eval(frame, expr.obj)
+                if not isinstance(base, VPtr):  # pragma: no cover - typechecked
+                    raise UndefinedBehavior("-> on non-pointer")
+                if base.is_null:
+                    raise UndefinedBehavior("-> through NULL pointer")
+                obj_type = self.typed.type_of(expr.obj)
+                assert isinstance(obj_type, TPtr) and isinstance(obj_type.target, TStruct)
+                struct_name = obj_type.target.name
+            else:
+                base = self._eval_lvalue(frame, expr.obj)
+                obj_type = self.typed.type_of(expr.obj)
+                assert isinstance(obj_type, TStruct)
+                struct_name = obj_type.name
+            layout = self.typed.layouts[struct_name]
+            return base.moved(layout.offsets[expr.fieldname])
+        if isinstance(expr, Index):
+            base_type = self.typed.type_of(expr.base)
+            index = self._eval(frame, expr.index)
+            if not isinstance(index, VInt):  # pragma: no cover - typechecked
+                raise UndefinedBehavior("non-integer array index")
+            if isinstance(base_type, TArray):
+                base = self._eval_lvalue(frame, expr.base)
+                if not 0 <= index.value < base_type.size:
+                    raise UndefinedBehavior(
+                        f"array index {index.value} out of bounds [0,{base_type.size})"
+                    )
+                scale = self.typed.sizeof(base_type.elem)
+            else:
+                assert isinstance(base_type, TPtr)
+                ptr = self._eval(frame, expr.base)
+                if not isinstance(ptr, VPtr):  # pragma: no cover - typechecked
+                    raise UndefinedBehavior("indexing a non-pointer")
+                base = ptr
+                scale = self.typed.sizeof(base_type.target)
+            return base.moved(index.value * scale)
+        raise UndefinedBehavior(f"expression is not an lvalue: {expr!r}")
+
+    # -- calls and builtins ---------------------------------------------------
+
+    def _eval_call(self, frame: _Frame, expr: Call) -> Value | None:
+        args = [self._eval(frame, arg) for arg in expr.args]
+        name = expr.name
+        if name in self.typed.functions:
+            return self.call(name, args)
+        return self.runtime.call(name, args)
+
+    @property
+    def trace_state(self):
+        """The semantics' trace state (held by the shared runtime)."""
+        return self.runtime.trace_state
+
+
+def run_program(
+    typed: TypedProgram,
+    env: Environment,
+    sink: MarkerSink,
+    entry: str = "main",
+    fuel: int = 1_000_000,
+    args: list[Value] | None = None,
+) -> Value | None:
+    """Run ``entry`` to completion (or until fuel/horizon).
+
+    Propagates :class:`~repro.lang.errors.OutOfFuel`; callers that treat
+    fuel exhaustion as the observation horizon should catch it.  The
+    sink/environment may raise
+    :class:`~repro.rossl.env.HorizonReached`, which also propagates.
+    """
+    return Interpreter(typed, env, sink, fuel=fuel).call(entry, args or [])

@@ -1,0 +1,117 @@
+"""Hand-written lexer for the MiniC subset.
+
+Supports decimal integer literals, identifiers/keywords, the operator
+and punctuation set of :mod:`repro.lang.tokens`, line comments ``//``
+and block comments ``/* ... */``.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+# Longest-match first for multi-character operators.
+_MULTI_CHAR_OPS: list[tuple[str, TokenKind]] = [
+    ("->", TokenKind.ARROW),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NEQ),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("&&", TokenKind.AND),
+    ("||", TokenKind.OR),
+]
+
+_SINGLE_CHAR_OPS: dict[str, TokenKind] = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "&": TokenKind.AMP,
+    "!": TokenKind.BANG,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal pos, line, col
+        for _ in range(count):
+            if source[pos] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            pos += 1
+
+    while pos < n:
+        ch = source[pos]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", pos):
+            while pos < n and source[pos] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", pos):
+            start_line, start_col = line, col
+            advance(2)
+            while pos < n and not source.startswith("*/", pos):
+                advance(1)
+            if pos >= n:
+                raise LexError(start_line, start_col, "unterminated block comment")
+            advance(2)
+            continue
+        if ch.isdigit():
+            start_line, start_col = line, col
+            start = pos
+            while pos < n and source[pos].isdigit():
+                advance(1)
+            if pos < n and (source[pos].isalpha() or source[pos] == "_"):
+                raise LexError(line, col, f"bad character {source[pos]!r} in number")
+            tokens.append(Token(TokenKind.INT_LIT, source[start:pos], start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, col
+            start = pos
+            while pos < n and (source[pos].isalnum() or source[pos] == "_"):
+                advance(1)
+            text = source[start:pos]
+            kind = KEYWORDS.get(text, TokenKind.IDENT)
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        matched = False
+        for op_text, kind in _MULTI_CHAR_OPS:
+            if source.startswith(op_text, pos):
+                tokens.append(Token(kind, op_text, line, col))
+                advance(len(op_text))
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_CHAR_OPS:
+            tokens.append(Token(_SINGLE_CHAR_OPS[ch], ch, line, col))
+            advance(1)
+            continue
+        raise LexError(line, col, f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

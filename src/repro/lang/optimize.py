@@ -1,0 +1,209 @@
+"""Peephole optimization of MiniC bytecode.
+
+A small, semantics-preserving optimizer over the stack bytecode:
+
+* **constant folding** — ``push a; push b; add`` → ``push (a+b)`` (with
+  the VM's exact C-style truncating division; folds that would divide by
+  zero are left for the VM to flag as UB at runtime);
+* **unary folding** — ``push a; neg/not`` → ``push …``;
+* **constant branches** — ``push c; jz L`` → ``jmp L`` or nothing;
+* **push/pop annihilation**;
+* **jump threading** — jumps to unconditional jumps retarget to the
+  final destination;
+* **jump-to-next elimination**.
+
+All rewrites are basic-block-safe: a pattern is only folded when none of
+its interior instructions is a jump target.  The interesting property,
+checked by the fuzz suite: optimization preserves results and marker
+traces, only ever *reduces* the executed-instruction count, and
+therefore never invalidates a static WCET bound computed for the
+unoptimized code — the cost analysis stays sound across optimization,
+the way a WCET obtained at one optimization level stays sound for a
+faster build.
+"""
+
+from __future__ import annotations
+
+from repro.lang.compile import CompiledFunction, CompiledProgram, Instr
+
+#: binary opcodes we can fold, with their Python evaluators.
+_JUMPS = ("jmp", "jz", "jnz")
+
+
+def _fold_binary(op: str, a: int, b: int) -> int | None:
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op in ("div", "mod"):
+        if b == 0:
+            return None  # leave the UB for the VM to detect
+        quotient = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            quotient = -quotient
+        return quotient if op == "div" else a - quotient * b
+    if op == "lt":
+        return int(a < b)
+    if op == "le":
+        return int(a <= b)
+    if op == "gt":
+        return int(a > b)
+    if op == "ge":
+        return int(a >= b)
+    if op == "eq":
+        return int(a == b)
+    if op == "ne":
+        return int(a != b)
+    return None
+
+
+def _jump_targets(code: list[Instr]) -> set[int]:
+    return {ins.a for ins in code if ins.op in _JUMPS}
+
+
+def _peephole_pass(code: list[Instr]) -> tuple[list[Instr], bool]:
+    """One folding pass; returns (new code, changed?)."""
+    targets = _jump_targets(code)
+    new_code: list[Instr] = []
+    mapping: dict[int, int] = {}
+    changed = False
+    i = 0
+    n = len(code)
+    while i < n:
+        mapping[i] = len(new_code)
+        ins = code[i]
+        # push a; push b; <binop>
+        if (
+            ins.op == "push"
+            and i + 2 < n
+            and code[i + 1].op == "push"
+            and i + 1 not in targets
+            and i + 2 not in targets
+        ):
+            folded = _fold_binary(code[i + 2].op, ins.a, code[i + 1].a)
+            if folded is not None:
+                mapping[i + 1] = len(new_code)
+                mapping[i + 2] = len(new_code)
+                new_code.append(Instr("push", folded))
+                i += 3
+                changed = True
+                continue
+        # push a; neg|not
+        if (
+            ins.op == "push"
+            and i + 1 < n
+            and code[i + 1].op in ("neg", "not")
+            and i + 1 not in targets
+        ):
+            value = -ins.a if code[i + 1].op == "neg" else int(ins.a == 0)
+            mapping[i + 1] = len(new_code)
+            new_code.append(Instr("push", value))
+            i += 2
+            changed = True
+            continue
+        # push c; jz|jnz L  →  jmp L / (nothing)
+        if (
+            ins.op == "push"
+            and i + 1 < n
+            and code[i + 1].op in ("jz", "jnz")
+            and i + 1 not in targets
+        ):
+            taken = (ins.a == 0) == (code[i + 1].op == "jz")
+            mapping[i + 1] = len(new_code)
+            if taken:
+                new_code.append(Instr("jmp", code[i + 1].a))
+            # not taken: both instructions vanish
+            i += 2
+            changed = True
+            continue
+        # push; pop
+        if (
+            ins.op == "push"
+            and i + 1 < n
+            and code[i + 1].op == "pop"
+            and i + 1 not in targets
+        ):
+            mapping[i + 1] = len(new_code)
+            i += 2
+            changed = True
+            continue
+        new_code.append(Instr(ins.op, ins.a, ins.b))
+        i += 1
+    mapping[n] = len(new_code)
+    for ins in new_code:
+        if ins.op in _JUMPS:
+            ins.a = mapping[ins.a]
+    return new_code, changed
+
+
+def _thread_jumps(code: list[Instr]) -> bool:
+    """Retarget jumps that land on unconditional jumps.  In place."""
+    changed = False
+    for ins in code:
+        if ins.op not in _JUMPS:
+            continue
+        seen = set()
+        target = ins.a
+        while (
+            target < len(code)
+            and code[target].op == "jmp"
+            and target not in seen
+        ):
+            seen.add(target)
+            target = code[target].a
+        if target != ins.a:
+            ins.a = target
+            changed = True
+    return changed
+
+
+def _drop_jumps_to_next(code: list[Instr]) -> tuple[list[Instr], bool]:
+    targets = _jump_targets(code)
+    new_code: list[Instr] = []
+    mapping: dict[int, int] = {}
+    changed = False
+    for i, ins in enumerate(code):
+        mapping[i] = len(new_code)
+        if ins.op == "jmp" and ins.a == i + 1:
+            changed = True
+            continue
+        new_code.append(Instr(ins.op, ins.a, ins.b))
+    mapping[len(code)] = len(new_code)
+    for ins in new_code:
+        if ins.op in _JUMPS:
+            ins.a = mapping[ins.a]
+    return new_code, changed
+
+
+def optimize_function(func: CompiledFunction, max_passes: int = 8) -> CompiledFunction:
+    """Optimize one function's code to a fixpoint (bounded)."""
+    code = [Instr(i.op, i.a, i.b) for i in func.code]
+    for _ in range(max_passes):
+        code, changed_fold = _peephole_pass(code)
+        changed_thread = _thread_jumps(code)
+        code, changed_next = _drop_jumps_to_next(code)
+        if not (changed_fold or changed_thread or changed_next):
+            break
+    # Loop regions are invalidated by index shuffling; the optimizer is
+    # for execution, not for the (AST-level) cost analysis, so drop them.
+    return CompiledFunction(
+        name=func.name,
+        params=func.params,
+        slot_sizes=list(func.slot_sizes),
+        code=code,
+        returns_value=func.returns_value,
+        loops=[],
+    )
+
+
+def optimize_program(program: CompiledProgram) -> CompiledProgram:
+    """Optimize every function of a compiled program."""
+    return CompiledProgram(
+        typed=program.typed,
+        functions={
+            name: optimize_function(func)
+            for name, func in program.functions.items()
+        },
+    )

@@ -1,0 +1,357 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (informal)::
+
+    program   := (structdef | funcdef)*
+    structdef := "struct" IDENT "{" (type IDENT ("[" INT "]")? ";")* "}" ";"
+    funcdef   := type IDENT "(" params? ")" block
+    block     := "{" stmt* "}"
+    stmt      := decl | assign | exprstmt | if | while | return
+               | break | continue | block
+    decl      := type IDENT ("[" INT "]")? ("=" expr)? ";"
+    assign    := expr "=" expr ";"
+    expr      := precedence-climbing over || && == != < <= > >= + - * / %
+                 with unary - ! * & and postfix call/index/member
+
+Types are ``int``, ``void`` (returns only), ``struct N``, with any
+number of ``*``.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.syntax import (
+    AssignStmt,
+    Binary,
+    Block,
+    BreakStmt,
+    Call,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FuncDef,
+    IfStmt,
+    Index,
+    IntLit,
+    Member,
+    NullLit,
+    Param,
+    Pos,
+    Program,
+    ReturnStmt,
+    SizeofType,
+    Stmt,
+    StructDef,
+    TArray,
+    TInt,
+    TPtr,
+    TStruct,
+    TVoid,
+    Unary,
+    Var,
+    WhileStmt,
+)
+from repro.lang.tokens import Token, TokenKind as K
+
+# Binary operator precedence (higher binds tighter).
+_BINOP_PRECEDENCE: dict[K, tuple[str, int]] = {
+    K.OR: ("||", 1),
+    K.AND: ("&&", 2),
+    K.EQ: ("==", 3),
+    K.NEQ: ("!=", 3),
+    K.LT: ("<", 4),
+    K.LE: ("<=", 4),
+    K.GT: (">", 4),
+    K.GE: (">=", 4),
+    K.PLUS: ("+", 5),
+    K.MINUS: ("-", 5),
+    K.STAR: ("*", 6),
+    K.SLASH: ("/", 6),
+    K.PERCENT: ("%", 6),
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _at(self, kind: K) -> bool:
+        return self._peek().kind is kind
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not K.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: K) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(
+                token.line, token.col, f"expected {kind.value!r}, got {token.text!r}"
+            )
+        return self._advance()
+
+    def _pos_of(self, token: Token) -> Pos:
+        return Pos(token.line, token.col)
+
+    # -- types ------------------------------------------------------------
+
+    def _at_type_start(self) -> bool:
+        return self._peek().kind in (K.KW_INT, K.KW_VOID, K.KW_STRUCT)
+
+    def _parse_type(self) -> CType:
+        token = self._peek()
+        base: CType
+        if token.kind is K.KW_INT:
+            self._advance()
+            base = TInt()
+        elif token.kind is K.KW_VOID:
+            self._advance()
+            base = TVoid()
+        elif token.kind is K.KW_STRUCT:
+            self._advance()
+            name = self._expect(K.IDENT)
+            base = TStruct(name.text)
+        else:
+            raise ParseError(token.line, token.col, f"expected a type, got {token.text!r}")
+        while self._at(K.STAR):
+            self._advance()
+            base = TPtr(base)
+        return base
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        structs: list[StructDef] = []
+        functions: list[FuncDef] = []
+        while not self._at(K.EOF):
+            if self._at(K.KW_STRUCT) and self._peek(2).kind is K.LBRACE:
+                structs.append(self._parse_struct())
+            else:
+                functions.append(self._parse_function())
+        return Program(tuple(structs), tuple(functions))
+
+    def _parse_struct(self) -> StructDef:
+        start = self._expect(K.KW_STRUCT)
+        name = self._expect(K.IDENT)
+        self._expect(K.LBRACE)
+        fields: list[tuple[str, CType]] = []
+        while not self._at(K.RBRACE):
+            ftype = self._parse_type()
+            fname = self._expect(K.IDENT)
+            if self._at(K.LBRACKET):
+                self._advance()
+                size = self._expect(K.INT_LIT)
+                self._expect(K.RBRACKET)
+                ftype = TArray(ftype, int(size.text))
+            self._expect(K.SEMI)
+            fields.append((fname.text, ftype))
+        self._expect(K.RBRACE)
+        self._expect(K.SEMI)
+        return StructDef(name.text, tuple(fields), self._pos_of(start))
+
+    def _parse_function(self) -> FuncDef:
+        start = self._peek()
+        ret = self._parse_type()
+        name = self._expect(K.IDENT)
+        self._expect(K.LPAREN)
+        params: list[Param] = []
+        if not self._at(K.RPAREN):
+            while True:
+                ptype = self._parse_type()
+                pname = self._expect(K.IDENT)
+                params.append(Param(pname.text, ptype))
+                if self._at(K.COMMA):
+                    self._advance()
+                    continue
+                break
+        self._expect(K.RPAREN)
+        body = self._parse_block()
+        return FuncDef(name.text, ret, tuple(params), body, self._pos_of(start))
+
+    # -- statements ---------------------------------------------------------
+
+    def _parse_block(self) -> Block:
+        start = self._expect(K.LBRACE)
+        stmts: list[Stmt] = []
+        while not self._at(K.RBRACE):
+            stmts.append(self._parse_stmt())
+        self._expect(K.RBRACE)
+        return Block(tuple(stmts), self._pos_of(start))
+
+    def _parse_stmt(self) -> Stmt:
+        token = self._peek()
+        if token.kind is K.LBRACE:
+            return self._parse_block()
+        if self._at_type_start():
+            return self._parse_decl()
+        if token.kind is K.KW_IF:
+            return self._parse_if()
+        if token.kind is K.KW_WHILE:
+            return self._parse_while()
+        if token.kind is K.KW_RETURN:
+            self._advance()
+            value = None if self._at(K.SEMI) else self._parse_expr()
+            self._expect(K.SEMI)
+            return ReturnStmt(value, self._pos_of(token))
+        if token.kind is K.KW_BREAK:
+            self._advance()
+            self._expect(K.SEMI)
+            return BreakStmt(self._pos_of(token))
+        if token.kind is K.KW_CONTINUE:
+            self._advance()
+            self._expect(K.SEMI)
+            return ContinueStmt(self._pos_of(token))
+        expr = self._parse_expr()
+        if self._at(K.ASSIGN):
+            self._advance()
+            rhs = self._parse_expr()
+            self._expect(K.SEMI)
+            return AssignStmt(expr, rhs, self._pos_of(token))
+        self._expect(K.SEMI)
+        return ExprStmt(expr, self._pos_of(token))
+
+    def _parse_decl(self) -> DeclStmt:
+        start = self._peek()
+        ctype = self._parse_type()
+        name = self._expect(K.IDENT)
+        if self._at(K.LBRACKET):
+            self._advance()
+            size = self._expect(K.INT_LIT)
+            self._expect(K.RBRACKET)
+            ctype = TArray(ctype, int(size.text))
+        init: Expr | None = None
+        if self._at(K.ASSIGN):
+            self._advance()
+            init = self._parse_expr()
+        self._expect(K.SEMI)
+        return DeclStmt(name.text, ctype, init, self._pos_of(start))
+
+    def _parse_if(self) -> IfStmt:
+        start = self._expect(K.KW_IF)
+        self._expect(K.LPAREN)
+        cond = self._parse_expr()
+        self._expect(K.RPAREN)
+        then = self._parse_block()
+        els: Block | None = None
+        if self._at(K.KW_ELSE):
+            self._advance()
+            if self._at(K.KW_IF):
+                # else-if chain: wrap the nested if in a block.
+                nested = self._parse_if()
+                els = Block((nested,), nested.pos)
+            else:
+                els = self._parse_block()
+        return IfStmt(cond, then, els, self._pos_of(start))
+
+    def _parse_while(self) -> WhileStmt:
+        start = self._expect(K.KW_WHILE)
+        self._expect(K.LPAREN)
+        cond = self._parse_expr()
+        self._expect(K.RPAREN)
+        body = self._parse_block()
+        return WhileStmt(cond, body, self._pos_of(start))
+
+    # -- expressions ----------------------------------------------------------
+
+    def _parse_expr(self, min_precedence: int = 1) -> Expr:
+        lhs = self._parse_unary()
+        while True:
+            entry = _BINOP_PRECEDENCE.get(self._peek().kind)
+            if entry is None:
+                return lhs
+            op, precedence = entry
+            if precedence < min_precedence:
+                return lhs
+            token = self._advance()
+            rhs = self._parse_expr(precedence + 1)
+            lhs = Binary(op, lhs, rhs, self._pos_of(token))
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.kind in (K.MINUS, K.BANG, K.STAR, K.AMP):
+            self._advance()
+            operand = self._parse_unary()
+            op = {K.MINUS: "-", K.BANG: "!", K.STAR: "*", K.AMP: "&"}[token.kind]
+            return Unary(op, operand, self._pos_of(token))
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind is K.LBRACKET:
+                self._advance()
+                index = self._parse_expr()
+                self._expect(K.RBRACKET)
+                expr = Index(expr, index, self._pos_of(token))
+            elif token.kind is K.DOT:
+                self._advance()
+                name = self._expect(K.IDENT)
+                expr = Member(expr, name.text, False, self._pos_of(token))
+            elif token.kind is K.ARROW:
+                self._advance()
+                name = self._expect(K.IDENT)
+                expr = Member(expr, name.text, True, self._pos_of(token))
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind is K.INT_LIT:
+            self._advance()
+            return IntLit(int(token.text), self._pos_of(token))
+        if token.kind is K.KW_NULL:
+            self._advance()
+            return NullLit(self._pos_of(token))
+        if token.kind is K.KW_SIZEOF:
+            self._advance()
+            self._expect(K.LPAREN)
+            ctype = self._parse_type()
+            self._expect(K.RPAREN)
+            return SizeofType(ctype, self._pos_of(token))
+        if token.kind is K.IDENT:
+            self._advance()
+            if self._at(K.LPAREN):
+                self._advance()
+                args: list[Expr] = []
+                if not self._at(K.RPAREN):
+                    while True:
+                        args.append(self._parse_expr())
+                        if self._at(K.COMMA):
+                            self._advance()
+                            continue
+                        break
+                self._expect(K.RPAREN)
+                return Call(token.text, tuple(args), self._pos_of(token))
+            return Var(token.text, self._pos_of(token))
+        if token.kind is K.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(K.RPAREN)
+            return expr
+        raise ParseError(token.line, token.col, f"unexpected token {token.text!r}")
+
+
+def parse_program(source: str) -> Program:
+    """Parse MiniC source into a :class:`~repro.lang.syntax.Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a single expression (testing helper)."""
+    parser = _Parser(tokenize(source))
+    expr = parser._parse_expr()
+    parser._expect(K.EOF)
+    return expr

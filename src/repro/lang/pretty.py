@@ -1,0 +1,173 @@
+"""Pretty printer for MiniC.
+
+Produces parseable source: ``parse_program(pretty(program))`` yields a
+structurally equal AST (positions excepted) — enforced by round-trip
+property tests.  Used for diagnostics, source transformations (the
+mutation experiments), and dumping generated client code.
+"""
+
+from __future__ import annotations
+
+from repro.lang.syntax import (
+    AssignStmt,
+    Binary,
+    Block,
+    BreakStmt,
+    Call,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FuncDef,
+    IfStmt,
+    Index,
+    IntLit,
+    Member,
+    NullLit,
+    Program,
+    ReturnStmt,
+    SizeofType,
+    Stmt,
+    StructDef,
+    TArray,
+    TInt,
+    TPtr,
+    TStruct,
+    TVoid,
+    Unary,
+    Var,
+    WhileStmt,
+)
+
+# Mirrors the parser's precedence table; used to parenthesize minimally.
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "==": 3, "!=": 3,
+    "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5, "*": 6, "/": 6, "%": 6,
+}
+_UNARY_PRECEDENCE = 7
+
+
+def pretty_type(ctype: CType) -> str:
+    if isinstance(ctype, TInt):
+        return "int"
+    if isinstance(ctype, TVoid):
+        return "void"
+    if isinstance(ctype, TStruct):
+        return f"struct {ctype.name}"
+    if isinstance(ctype, TPtr):
+        return f"{pretty_type(ctype.target)} *"
+    if isinstance(ctype, TArray):  # printed at the declarator, not here
+        raise ValueError("array types are printed at their declarator")
+    raise AssertionError(f"unhandled type {ctype!r}")  # pragma: no cover
+
+
+def _declarator(ctype: CType, name: str) -> str:
+    if isinstance(ctype, TArray):
+        return f"{pretty_type(ctype.elem)} {name}[{ctype.size}]"
+    return f"{pretty_type(ctype)} {name}"
+
+
+def pretty_expr(expr: Expr, parent_precedence: int = 0) -> str:
+    text, precedence = _expr(expr)
+    if precedence < parent_precedence:
+        return f"({text})"
+    return text
+
+
+def _expr(expr: Expr) -> tuple[str, int]:
+    if isinstance(expr, IntLit):
+        return str(expr.value), 9
+    if isinstance(expr, NullLit):
+        return "NULL", 9
+    if isinstance(expr, SizeofType):
+        inner = pretty_type(expr.ctype).rstrip()
+        return f"sizeof({inner})", 9
+    if isinstance(expr, Call):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{expr.name}({args})", 8
+    if isinstance(expr, Member):
+        base = pretty_expr(expr.obj, 8)
+        op = "->" if expr.arrow else "."
+        return f"{base}{op}{expr.fieldname}", 8
+    if isinstance(expr, Index):
+        base = pretty_expr(expr.base, 8)
+        return f"{base}[{pretty_expr(expr.index)}]", 8
+    if isinstance(expr, Var):
+        return expr.name, 9
+    if isinstance(expr, Unary):
+        operand = pretty_expr(expr.operand, _UNARY_PRECEDENCE)
+        # Avoid `--x` and `& &x` lexing hazards.
+        spacer = " " if (
+            isinstance(expr.operand, Unary) and expr.operand.op == expr.op
+            and expr.op in ("-", "&")
+        ) else ""
+        return f"{expr.op}{spacer}{operand}", _UNARY_PRECEDENCE
+    if isinstance(expr, Binary):
+        precedence = _PRECEDENCE[expr.op]
+        lhs = pretty_expr(expr.lhs, precedence)
+        rhs = pretty_expr(expr.rhs, precedence + 1)  # left-assoc
+        return f"{lhs} {expr.op} {rhs}", precedence
+    raise AssertionError(f"unhandled expression {expr!r}")  # pragma: no cover
+
+
+def _stmt(stmt: Stmt, indent: int) -> list[str]:
+    pad = "    " * indent
+    if isinstance(stmt, Block):
+        lines = [f"{pad}{{"]
+        for inner in stmt.stmts:
+            lines.extend(_stmt(inner, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, DeclStmt):
+        decl = _declarator(stmt.ctype, stmt.name)
+        if stmt.init is not None:
+            return [f"{pad}{decl} = {pretty_expr(stmt.init)};"]
+        return [f"{pad}{decl};"]
+    if isinstance(stmt, AssignStmt):
+        return [f"{pad}{pretty_expr(stmt.lhs)} = {pretty_expr(stmt.rhs)};"]
+    if isinstance(stmt, ExprStmt):
+        return [f"{pad}{pretty_expr(stmt.expr)};"]
+    if isinstance(stmt, IfStmt):
+        lines = [f"{pad}if ({pretty_expr(stmt.cond)})"]
+        lines.extend(_stmt(stmt.then, indent))
+        if stmt.els is not None:
+            lines.append(f"{pad}else")
+            lines.extend(_stmt(stmt.els, indent))
+        return lines
+    if isinstance(stmt, WhileStmt):
+        lines = [f"{pad}while ({pretty_expr(stmt.cond)})"]
+        lines.extend(_stmt(stmt.body, indent))
+        return lines
+    if isinstance(stmt, ReturnStmt):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {pretty_expr(stmt.value)};"]
+    if isinstance(stmt, BreakStmt):
+        return [f"{pad}break;"]
+    if isinstance(stmt, ContinueStmt):
+        return [f"{pad}continue;"]
+    raise AssertionError(f"unhandled statement {stmt!r}")  # pragma: no cover
+
+
+def pretty_struct(struct: StructDef) -> str:
+    lines = [f"struct {struct.name} {{"]
+    for fname, ftype in struct.fields:
+        lines.append(f"    {_declarator(ftype, fname)};")
+    lines.append("};")
+    return "\n".join(lines)
+
+
+def pretty_function(func: FuncDef) -> str:
+    params = ", ".join(_declarator(p.ctype, p.name) for p in func.params)
+    header = f"{pretty_type(func.ret)} {func.name}({params})"
+    body = "\n".join(_stmt(func.body, 0))
+    return f"{header}\n{body}"
+
+
+def pretty(program: Program) -> str:
+    """Render a whole program as parseable MiniC source."""
+    parts = [pretty_struct(s) for s in program.structs]
+    parts.extend(pretty_function(f) for f in program.functions)
+    return "\n\n".join(parts) + "\n"

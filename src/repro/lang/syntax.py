@@ -1,0 +1,286 @@
+"""Abstract syntax and types for MiniC.
+
+The subset covers what Rössl needs: ``int``, pointers, named structs
+(with inline ``int`` arrays), functions, ``while``/``if``/``return``,
+and side-effecting calls.  There are no casts, no globals, and no
+function pointers — callbacks are modelled by the ghost marker calls, as
+in the paper's instrumented semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+# --------------------------------------------------------------------------
+# Types
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TInt:
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True, slots=True)
+class TVoid:
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True, slots=True)
+class TPtr:
+    target: "CType"
+
+    def __str__(self) -> str:
+        return f"{self.target}*"
+
+
+@dataclass(frozen=True, slots=True)
+class TStruct:
+    name: str
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class TArray:
+    elem: "CType"
+    size: int
+
+    def __str__(self) -> str:
+        return f"{self.elem}[{self.size}]"
+
+
+CType = Union[TInt, TVoid, TPtr, TStruct, TArray]
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Pos:
+    """Source position, carried on every AST node for diagnostics."""
+
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+@dataclass(frozen=True, slots=True)
+class IntLit:
+    value: int
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class NullLit:
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    name: str
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class Unary:
+    """Unary operation; ``op`` ∈ {``-``, ``!``, ``*``, ``&``}."""
+
+    op: str
+    operand: "Expr"
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class Binary:
+    """Binary operation; arithmetic, comparison, or short-circuit logic."""
+
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class Call:
+    name: str
+    args: tuple["Expr", ...]
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class Member:
+    """``obj.field`` (``arrow=False``) or ``obj->field`` (``arrow=True``)."""
+
+    obj: "Expr"
+    fieldname: str
+    arrow: bool
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class Index:
+    base: "Expr"
+    index: "Expr"
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class SizeofType:
+    ctype: CType
+    pos: Pos
+
+
+Expr = Union[IntLit, NullLit, Var, Unary, Binary, Call, Member, Index, SizeofType]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    stmts: tuple["Stmt", ...]
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class DeclStmt:
+    """``Type name;`` / ``Type name = init;`` / ``Type name[N];``"""
+
+    name: str
+    ctype: CType
+    init: Expr | None
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class AssignStmt:
+    lhs: Expr
+    rhs: Expr
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class ExprStmt:
+    expr: Expr
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class IfStmt:
+    cond: Expr
+    then: Block
+    els: Block | None
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class WhileStmt:
+    cond: Expr
+    body: Block
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class ReturnStmt:
+    value: Expr | None
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class BreakStmt:
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class ContinueStmt:
+    pos: Pos
+
+
+Stmt = Union[
+    Block,
+    DeclStmt,
+    AssignStmt,
+    ExprStmt,
+    IfStmt,
+    WhileStmt,
+    ReturnStmt,
+    BreakStmt,
+    ContinueStmt,
+]
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class StructDef:
+    name: str
+    fields: tuple[tuple[str, CType], ...]
+    pos: Pos
+
+
+@dataclass(frozen=True, slots=True)
+class Param:
+    name: str
+    ctype: CType
+
+
+@dataclass(frozen=True, slots=True)
+class FuncDef:
+    name: str
+    ret: CType
+    params: tuple[Param, ...]
+    body: Block
+    pos: Pos
+
+
+def ast_equal(a: object, b: object) -> bool:
+    """Structural AST equality, ignoring source positions.
+
+    Used by the pretty-printer round-trip tests: reparsing printed
+    source yields different ``Pos`` values but must otherwise agree.
+    """
+    if isinstance(a, Pos) and isinstance(b, Pos):
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(ast_equal(x, y) for x, y in zip(a, b))
+    if hasattr(a, "__dataclass_fields__"):
+        return all(
+            ast_equal(getattr(a, f), getattr(b, f))
+            for f in a.__dataclass_fields__
+        )
+    return a == b
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    structs: tuple[StructDef, ...] = field(default=())
+    functions: tuple[FuncDef, ...] = field(default=())
+
+    def struct(self, name: str) -> StructDef:
+        for s in self.structs:
+            if s.name == name:
+                return s
+        raise KeyError(f"no struct {name!r}")
+
+    def function(self, name: str) -> FuncDef:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(f"no function {name!r}")

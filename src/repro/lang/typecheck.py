@@ -1,0 +1,479 @@
+"""Static type checking and struct layout for MiniC.
+
+The checker validates the program and produces a :class:`TypedProgram`:
+the AST plus (a) word-level struct layouts and (b) a side table mapping
+every expression node to its type.  The interpreter consumes this table
+to resolve member offsets, array decay, and pointer arithmetic without
+re-inferring types at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.errors import TypeError_
+from repro.lang.syntax import (
+    AssignStmt,
+    Binary,
+    Block,
+    BreakStmt,
+    Call,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FuncDef,
+    IfStmt,
+    Index,
+    IntLit,
+    Member,
+    NullLit,
+    Program,
+    ReturnStmt,
+    SizeofType,
+    Stmt,
+    StructDef,
+    TArray,
+    TInt,
+    TPtr,
+    TStruct,
+    TVoid,
+    Unary,
+    Var,
+    WhileStmt,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TAnyPtr:
+    """Internal type of ``NULL`` and ``malloc``: compatible with any
+    pointer type.  Never written in source."""
+
+    def __str__(self) -> str:
+        return "nullptr_t"
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Word-level layout of a struct: total size plus per-field offsets."""
+
+    size: int
+    offsets: dict[str, int]
+    field_types: dict[str, CType]
+
+
+#: Builtin signatures: name → (param types, return type).  ``malloc`` is
+#: special-cased for its polymorphic return.  The marker builtins mirror
+#: the paper's ghost calls (Fig. 2 / Fig. 6); ``read`` is the
+#: axiomatized system call.
+BUILTINS: dict[str, tuple[tuple[CType, ...], CType]] = {
+    "malloc": ((TInt(),), TAnyPtr()),  # return type refined at use site
+    "free": ((TAnyPtr(),), TVoid()),
+    "read": ((TInt(), TPtr(TInt()), TInt()), TInt()),
+    "read_start": ((), TVoid()),
+    "selection_start": ((), TVoid()),
+    "idling_start": ((), TVoid()),
+    "dispatch_start": ((TPtr(TInt()), TInt()), TVoid()),
+    "execution_start": ((TPtr(TInt()), TInt()), TVoid()),
+    "completion_start": ((TPtr(TInt()), TInt()), TVoid()),
+}
+
+
+@dataclass
+class TypedProgram:
+    """A type-checked program with layouts and an expression-type table."""
+
+    program: Program
+    layouts: dict[str, Layout]
+    expr_types: dict[int, CType | TAnyPtr]
+    functions: dict[str, FuncDef] = field(default_factory=dict)
+
+    def type_of(self, expr: Expr) -> CType | TAnyPtr:
+        return self.expr_types[id(expr)]
+
+    def sizeof(self, ctype: CType) -> int:
+        return _sizeof(ctype, self.layouts)
+
+
+def _sizeof(ctype: CType, layouts: dict[str, Layout]) -> int:
+    if isinstance(ctype, (TInt, TPtr)):
+        return 1
+    if isinstance(ctype, TStruct):
+        if ctype.name not in layouts:
+            raise TypeError_(f"unknown struct {ctype.name!r}")
+        return layouts[ctype.name].size
+    if isinstance(ctype, TArray):
+        return ctype.size * _sizeof(ctype.elem, layouts)
+    raise TypeError_(f"type {ctype} has no size")
+
+
+def _compatible(expected: CType | TAnyPtr, actual: CType | TAnyPtr) -> bool:
+    """Assignment/argument compatibility, including array decay and NULL."""
+    if isinstance(expected, TAnyPtr):
+        return isinstance(actual, (TPtr, TAnyPtr, TArray))
+    if isinstance(actual, TAnyPtr):
+        return isinstance(expected, TPtr)
+    if isinstance(expected, TPtr) and isinstance(actual, TArray):
+        return expected.target == actual.elem  # array-to-pointer decay
+    return expected == actual
+
+
+class _FunctionChecker:
+    def __init__(self, typed: TypedProgram, func: FuncDef) -> None:
+        self.typed = typed
+        self.func = func
+        self.scopes: list[dict[str, CType]] = [{}]
+        for param in func.params:
+            self._check_wellformed(param.ctype, allow_void=False)
+            if param.name in self.scopes[0]:
+                raise TypeError_(f"{func.name}: duplicate parameter {param.name!r}")
+            if isinstance(param.ctype, TArray):
+                raise TypeError_(f"{func.name}: array parameters are not supported")
+            self.scopes[0][param.name] = param.ctype
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check_wellformed(self, ctype: CType, allow_void: bool) -> None:
+        if isinstance(ctype, TVoid):
+            if not allow_void:
+                raise TypeError_(f"{self.func.name}: void is only a return type")
+            return
+        if isinstance(ctype, TPtr):
+            if isinstance(ctype.target, TVoid):
+                raise TypeError_(f"{self.func.name}: void* is not supported")
+            self._check_wellformed(ctype.target, allow_void=False)
+            return
+        if isinstance(ctype, TStruct):
+            if ctype.name not in self.typed.layouts:
+                raise TypeError_(f"{self.func.name}: unknown struct {ctype.name!r}")
+            return
+        if isinstance(ctype, TArray):
+            self._check_wellformed(ctype.elem, allow_void=False)
+            if ctype.size <= 0:
+                raise TypeError_(f"{self.func.name}: array size must be positive")
+            return
+
+    def _lookup(self, name: str, pos) -> CType:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise TypeError_(f"{self.func.name} at {pos}: undeclared variable {name!r}")
+
+    def _declare(self, name: str, ctype: CType, pos) -> None:
+        if name in self.scopes[-1]:
+            raise TypeError_(f"{self.func.name} at {pos}: redeclaration of {name!r}")
+        self.scopes[-1][name] = ctype
+
+    def _record(self, expr: Expr, ctype: CType | TAnyPtr) -> CType | TAnyPtr:
+        self.typed.expr_types[id(expr)] = ctype
+        return ctype
+
+    def _is_lvalue(self, expr: Expr) -> bool:
+        if isinstance(expr, Var):
+            return True
+        if isinstance(expr, Member):
+            return expr.arrow or self._is_lvalue(expr.obj)
+        if isinstance(expr, Index):
+            return True
+        if isinstance(expr, Unary) and expr.op == "*":
+            return True
+        return False
+
+    def _truthy(self, ctype: CType | TAnyPtr, pos) -> None:
+        if not isinstance(ctype, (TInt, TPtr, TAnyPtr)):
+            raise TypeError_(
+                f"{self.func.name} at {pos}: condition must be int or pointer, got {ctype}"
+            )
+
+    # -- expressions ---------------------------------------------------------
+
+    def check_expr(self, expr: Expr) -> CType | TAnyPtr:
+        if isinstance(expr, IntLit):
+            return self._record(expr, TInt())
+        if isinstance(expr, NullLit):
+            return self._record(expr, TAnyPtr())
+        if isinstance(expr, SizeofType):
+            self._check_wellformed(expr.ctype, allow_void=False)
+            _sizeof(expr.ctype, self.typed.layouts)  # must be sized
+            return self._record(expr, TInt())
+        if isinstance(expr, Var):
+            return self._record(expr, self._lookup(expr.name, expr.pos))
+        if isinstance(expr, Unary):
+            return self._check_unary(expr)
+        if isinstance(expr, Binary):
+            return self._check_binary(expr)
+        if isinstance(expr, Call):
+            return self._check_call(expr)
+        if isinstance(expr, Member):
+            return self._check_member(expr)
+        if isinstance(expr, Index):
+            return self._check_index(expr)
+        raise AssertionError(f"unhandled expression {expr!r}")  # pragma: no cover
+
+    def _check_unary(self, expr: Unary) -> CType | TAnyPtr:
+        inner = self.check_expr(expr.operand)
+        where = f"{self.func.name} at {expr.pos}"
+        if expr.op == "-":
+            if not isinstance(inner, TInt):
+                raise TypeError_(f"{where}: unary - needs int, got {inner}")
+            return self._record(expr, TInt())
+        if expr.op == "!":
+            self._truthy(inner, expr.pos)
+            return self._record(expr, TInt())
+        if expr.op == "*":
+            if not isinstance(inner, TPtr):
+                raise TypeError_(f"{where}: cannot dereference {inner}")
+            return self._record(expr, inner.target)
+        if expr.op == "&":
+            if not self._is_lvalue(expr.operand):
+                raise TypeError_(f"{where}: & needs an lvalue")
+            if isinstance(inner, TAnyPtr):  # pragma: no cover - defensive
+                raise TypeError_(f"{where}: cannot take address of NULL")
+            return self._record(expr, TPtr(inner))
+        raise AssertionError(f"unhandled unary op {expr.op!r}")  # pragma: no cover
+
+    def _check_binary(self, expr: Binary) -> CType | TAnyPtr:
+        lhs = self.check_expr(expr.lhs)
+        rhs = self.check_expr(expr.rhs)
+        where = f"{self.func.name} at {expr.pos}"
+        op = expr.op
+        if op in ("&&", "||"):
+            self._truthy(lhs, expr.pos)
+            self._truthy(rhs, expr.pos)
+            return self._record(expr, TInt())
+        if op in ("==", "!="):
+            pointerish = (TPtr, TAnyPtr, TArray)
+            if isinstance(lhs, TInt) and isinstance(rhs, TInt):
+                return self._record(expr, TInt())
+            if isinstance(lhs, pointerish) and isinstance(rhs, pointerish):
+                return self._record(expr, TInt())
+            raise TypeError_(f"{where}: cannot compare {lhs} with {rhs}")
+        if op in ("<", "<=", ">", ">="):
+            if isinstance(lhs, TInt) and isinstance(rhs, TInt):
+                return self._record(expr, TInt())
+            raise TypeError_(f"{where}: ordering needs ints, got {lhs} and {rhs}")
+        if op in ("+", "-"):
+            if isinstance(lhs, TInt) and isinstance(rhs, TInt):
+                return self._record(expr, TInt())
+            # pointer arithmetic: ptr ± int (and array decay)
+            base = lhs
+            if isinstance(base, TArray):
+                base = TPtr(base.elem)
+            if isinstance(base, TPtr) and isinstance(rhs, TInt):
+                return self._record(expr, base)
+            raise TypeError_(f"{where}: bad operands for {op}: {lhs}, {rhs}")
+        if op in ("*", "/", "%"):
+            if isinstance(lhs, TInt) and isinstance(rhs, TInt):
+                return self._record(expr, TInt())
+            raise TypeError_(f"{where}: arithmetic needs ints, got {lhs} and {rhs}")
+        raise AssertionError(f"unhandled binary op {op!r}")  # pragma: no cover
+
+    def _check_call(self, expr: Call) -> CType | TAnyPtr:
+        where = f"{self.func.name} at {expr.pos}"
+        if expr.name in BUILTINS:
+            param_types, ret = BUILTINS[expr.name]
+        elif expr.name in self.typed.functions:
+            callee = self.typed.functions[expr.name]
+            param_types = tuple(p.ctype for p in callee.params)
+            ret = callee.ret
+        else:
+            raise TypeError_(f"{where}: call to undefined function {expr.name!r}")
+        if len(expr.args) != len(param_types):
+            raise TypeError_(
+                f"{where}: {expr.name} expects {len(param_types)} args, got {len(expr.args)}"
+            )
+        for i, (arg, expected) in enumerate(zip(expr.args, param_types)):
+            actual = self.check_expr(arg)
+            if not _compatible(expected, actual):
+                raise TypeError_(
+                    f"{where}: argument {i + 1} of {expr.name}: expected "
+                    f"{expected}, got {actual}"
+                )
+        return self._record(expr, ret)
+
+    def _check_member(self, expr: Member) -> CType | TAnyPtr:
+        obj = self.check_expr(expr.obj)
+        where = f"{self.func.name} at {expr.pos}"
+        if expr.arrow:
+            if not (isinstance(obj, TPtr) and isinstance(obj.target, TStruct)):
+                raise TypeError_(f"{where}: -> needs struct pointer, got {obj}")
+            struct_type = obj.target
+        else:
+            if not isinstance(obj, TStruct):
+                raise TypeError_(f"{where}: . needs a struct, got {obj}")
+            if not self._is_lvalue(expr.obj):
+                raise TypeError_(f"{where}: member access needs an lvalue base")
+            struct_type = obj
+        layout = self.typed.layouts[struct_type.name]
+        if expr.fieldname not in layout.field_types:
+            raise TypeError_(
+                f"{where}: struct {struct_type.name} has no field {expr.fieldname!r}"
+            )
+        return self._record(expr, layout.field_types[expr.fieldname])
+
+    def _check_index(self, expr: Index) -> CType | TAnyPtr:
+        base = self.check_expr(expr.base)
+        index = self.check_expr(expr.index)
+        where = f"{self.func.name} at {expr.pos}"
+        if not isinstance(index, TInt):
+            raise TypeError_(f"{where}: array index must be int, got {index}")
+        if isinstance(base, TArray):
+            return self._record(expr, base.elem)
+        if isinstance(base, TPtr):
+            return self._record(expr, base.target)
+        raise TypeError_(f"{where}: cannot index into {base}")
+
+    # -- statements ----------------------------------------------------------
+
+    def check_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            self.scopes.append({})
+            for inner in stmt.stmts:
+                self.check_stmt(inner)
+            self.scopes.pop()
+            return
+        if isinstance(stmt, DeclStmt):
+            self._check_wellformed(stmt.ctype, allow_void=False)
+            _sizeof(stmt.ctype, self.typed.layouts)
+            if stmt.init is not None:
+                if isinstance(stmt.ctype, (TArray, TStruct)):
+                    raise TypeError_(
+                        f"{self.func.name} at {stmt.pos}: aggregate initializers "
+                        "are not supported"
+                    )
+                actual = self.check_expr(stmt.init)
+                if not _compatible(stmt.ctype, actual):
+                    raise TypeError_(
+                        f"{self.func.name} at {stmt.pos}: cannot initialize "
+                        f"{stmt.ctype} with {actual}"
+                    )
+            self._declare(stmt.name, stmt.ctype, stmt.pos)
+            return
+        if isinstance(stmt, AssignStmt):
+            if not self._is_lvalue(stmt.lhs):
+                raise TypeError_(
+                    f"{self.func.name} at {stmt.pos}: assignment target is not an lvalue"
+                )
+            lhs = self.check_expr(stmt.lhs)
+            rhs = self.check_expr(stmt.rhs)
+            if isinstance(lhs, (TArray, TStruct)):
+                raise TypeError_(
+                    f"{self.func.name} at {stmt.pos}: aggregate assignment is "
+                    "not supported"
+                )
+            if not _compatible(lhs, rhs):
+                raise TypeError_(
+                    f"{self.func.name} at {stmt.pos}: cannot assign {rhs} to {lhs}"
+                )
+            return
+        if isinstance(stmt, ExprStmt):
+            self.check_expr(stmt.expr)
+            return
+        if isinstance(stmt, IfStmt):
+            self._truthy(self.check_expr(stmt.cond), stmt.pos)
+            self.check_stmt(stmt.then)
+            if stmt.els is not None:
+                self.check_stmt(stmt.els)
+            return
+        if isinstance(stmt, WhileStmt):
+            self._truthy(self.check_expr(stmt.cond), stmt.pos)
+            self.check_stmt(stmt.body)
+            return
+        if isinstance(stmt, ReturnStmt):
+            if stmt.value is None:
+                if not isinstance(self.func.ret, TVoid):
+                    raise TypeError_(
+                        f"{self.func.name} at {stmt.pos}: missing return value"
+                    )
+                return
+            if isinstance(self.func.ret, TVoid):
+                raise TypeError_(
+                    f"{self.func.name} at {stmt.pos}: void function returns a value"
+                )
+            actual = self.check_expr(stmt.value)
+            if not _compatible(self.func.ret, actual):
+                raise TypeError_(
+                    f"{self.func.name} at {stmt.pos}: returning {actual}, "
+                    f"declared {self.func.ret}"
+                )
+            return
+        if isinstance(stmt, (BreakStmt, ContinueStmt)):
+            return
+        raise AssertionError(f"unhandled statement {stmt!r}")  # pragma: no cover
+
+
+def _build_layouts(structs: tuple[StructDef, ...]) -> dict[str, Layout]:
+    defined = {s.name for s in structs}
+    if len(defined) != len(structs):
+        raise TypeError_("duplicate struct definitions")
+    layouts: dict[str, Layout] = {}
+
+    def build(struct: StructDef, building: tuple[str, ...]) -> Layout:
+        if struct.name in layouts:
+            return layouts[struct.name]
+        if struct.name in building:
+            raise TypeError_(
+                f"struct {struct.name} recursively contains itself by value"
+            )
+        offsets: dict[str, int] = {}
+        field_types: dict[str, CType] = {}
+        offset = 0
+        for fname, ftype in struct.fields:
+            if fname in offsets:
+                raise TypeError_(f"struct {struct.name}: duplicate field {fname!r}")
+            if isinstance(ftype, TVoid):
+                raise TypeError_(f"struct {struct.name}: void field {fname!r}")
+            size = _field_size(ftype, struct.name, building)
+            offsets[fname] = offset
+            field_types[fname] = ftype
+            offset += size
+        layout = Layout(size=offset, offsets=offsets, field_types=field_types)
+        layouts[struct.name] = layout
+        return layout
+
+    def _field_size(ftype: CType, owner: str, building: tuple[str, ...]) -> int:
+        if isinstance(ftype, (TInt, TPtr)):
+            if isinstance(ftype, TPtr):
+                _check_ptr_target(ftype.target, owner)
+            return 1
+        if isinstance(ftype, TStruct):
+            if ftype.name not in defined:
+                raise TypeError_(f"struct {owner}: unknown struct {ftype.name!r}")
+            inner = next(s for s in structs if s.name == ftype.name)
+            return build(inner, building + (owner,)).size
+        if isinstance(ftype, TArray):
+            if ftype.size <= 0:
+                raise TypeError_(f"struct {owner}: array size must be positive")
+            return ftype.size * _field_size(ftype.elem, owner, building)
+        raise TypeError_(f"struct {owner}: bad field type {ftype}")
+
+    def _check_ptr_target(target: CType, owner: str) -> None:
+        if isinstance(target, TStruct) and target.name not in defined:
+            raise TypeError_(f"struct {owner}: pointer to unknown struct {target.name!r}")
+        if isinstance(target, TPtr):
+            _check_ptr_target(target.target, owner)
+
+    for struct in structs:
+        build(struct, ())
+    return layouts
+
+
+def typecheck(program: Program) -> TypedProgram:
+    """Check ``program``; returns the typed program or raises
+    :class:`~repro.lang.errors.TypeError_`."""
+    layouts = _build_layouts(program.structs)
+    functions: dict[str, FuncDef] = {}
+    for func in program.functions:
+        if func.name in functions:
+            raise TypeError_(f"duplicate function {func.name!r}")
+        if func.name in BUILTINS:
+            raise TypeError_(f"function {func.name!r} shadows a builtin")
+        functions[func.name] = func
+    typed = TypedProgram(program, layouts, {}, functions)
+    for func in program.functions:
+        if isinstance(func.ret, (TArray, TStruct)):
+            raise TypeError_(f"{func.name}: aggregate return types are not supported")
+        checker = _FunctionChecker(typed, func)
+        checker.check_stmt(func.body)
+    return typed

@@ -1,0 +1,67 @@
+"""Runtime values and memory locations for the MiniC semantics.
+
+Memory is word-addressed and block-structured (CompCert/Caesium style):
+a location is a ``(block, offset)`` pair; distinct allocations live in
+distinct blocks, so out-of-bounds offsets are detected rather than
+silently reaching a neighbouring object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class VInt:
+    """An integer value (mathematical integer; MiniC has no overflow —
+    Rössl's arithmetic stays tiny, and Caesium likewise separates
+    integer-range side conditions from the core semantics)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class VPtr:
+    """A pointer: block id plus word offset.  ``NULL`` is block 0."""
+
+    block: int
+    offset: int
+
+    @property
+    def is_null(self) -> bool:
+        return self.block == 0
+
+    def moved(self, delta: int) -> "VPtr":
+        return VPtr(self.block, self.offset + delta)
+
+    def __str__(self) -> str:
+        if self.is_null:
+            return "NULL"
+        return f"&b{self.block}+{self.offset}"
+
+
+#: The null pointer (block 0 is never allocated).
+NULL = VPtr(0, 0)
+
+
+class Undef:
+    """The poison value stored in uninitialized cells; loading it is UB."""
+
+    _instance: "Undef | None" = None
+
+    def __new__(cls) -> "Undef":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "undef"
+
+
+UNDEF = Undef()
+
+Value = VInt | VPtr
+Cell = Value | Undef

@@ -1,0 +1,235 @@
+"""A stack-machine VM for compiled MiniC, with a cost semantics.
+
+Executes the bytecode of :mod:`repro.lang.compile` over the same
+block-structured heap and instrumented builtins as the definitional
+interpreter — the observable marker trace is identical by construction
+(and checked by differential tests).
+
+The VM maintains an **instruction counter** (:attr:`VM.executed`): every
+executed instruction costs exactly one unit.  This is the concrete cost
+semantics used by the static WCET analysis (:mod:`repro.lang.cost`) and
+the VM-timed simulations — the reproduction's answer to "where do WCETs
+come from" (paper section 2.3: measurement or static analysis).
+
+Divergence from the interpreter, by design: locals have function-scoped
+lifetimes (as compiled stack frames do), so a pointer to an inner-block
+local that escapes its block — but not its function — is not flagged
+here.  Rössl contains no such pattern; both semantics agree on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.builtins import TraceRuntime
+from repro.lang.compile import CompiledFunction, CompiledProgram, Instr
+from repro.lang.errors import OutOfFuel, UndefinedBehavior
+from repro.lang.heap import Heap
+from repro.lang.values import NULL, Value, VInt, VPtr
+from repro.rossl.env import Environment
+from repro.rossl.runtime import MarkerSink
+
+
+@dataclass
+class _Frame:
+    func: CompiledFunction
+    pc: int = 0
+    locals: list[VPtr] = field(default_factory=list)
+    stack: list[Value] = field(default_factory=list)
+
+
+def _truthy(value: Value) -> bool:
+    if isinstance(value, VInt):
+        return value.value != 0
+    return not value.is_null
+
+
+class VM:
+    """Executes compiled MiniC with trace instrumentation and costs."""
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        env: Environment,
+        sink: MarkerSink,
+        fuel: int = 10_000_000,
+    ) -> None:
+        self.program = program
+        self.fuel = fuel
+        self.heap = Heap()
+        self.runtime = TraceRuntime(self.heap, env, sink)
+        #: executed-instruction counter: the cost semantics.
+        self.executed = 0
+
+    # -- frames ------------------------------------------------------------
+
+    def _enter(self, name: str, args: list[Value]) -> _Frame:
+        func = self.program.functions.get(name)
+        if func is None:  # pragma: no cover - typechecked
+            raise UndefinedBehavior(f"call to undefined function {name!r}")
+        if len(args) != func.params:
+            raise UndefinedBehavior(
+                f"{name}: expected {func.params} arguments, got {len(args)}"
+            )
+        frame = _Frame(func)
+        for size in func.slot_sizes:
+            frame.locals.append(self.heap.alloc(size, kind="local"))
+        for slot, arg in enumerate(args):
+            self.heap.store(frame.locals[slot], arg)
+        return frame
+
+    def _leave(self, frame: _Frame) -> None:
+        for block in frame.locals:
+            self.heap.kill(block)
+
+    # -- execution ------------------------------------------------------------
+
+    def call(self, name: str, args: list[Value]) -> Value | None:
+        """Run ``name`` to completion; returns its value (None for void)."""
+        call_stack: list[_Frame] = [self._enter(name, args)]
+        return_value: Value | None = None
+        while call_stack:
+            frame = call_stack[-1]
+            code = frame.func.code
+            instr = code[frame.pc]
+            if self.executed >= self.fuel:
+                raise OutOfFuel(f"instruction budget exhausted in {frame.func.name}")
+            self.executed += 1
+            frame.pc += 1
+            op = instr.op
+            stack = frame.stack
+
+            if op == "push":
+                stack.append(VInt(instr.a))
+            elif op == "push_null":
+                stack.append(NULL)
+            elif op == "local":
+                stack.append(frame.locals[instr.a])
+            elif op == "load":
+                ptr = stack.pop()
+                if not isinstance(ptr, VPtr):  # pragma: no cover - typechecked
+                    raise UndefinedBehavior("load from non-pointer")
+                stack.append(self.heap.load(ptr))
+            elif op == "store":
+                value = stack.pop()
+                ptr = stack.pop()
+                if not isinstance(ptr, VPtr):  # pragma: no cover - typechecked
+                    raise UndefinedBehavior("store to non-pointer")
+                self.heap.store(ptr, value)
+            elif op == "offset":
+                ptr = stack.pop()
+                assert isinstance(ptr, VPtr)
+                stack.append(ptr.moved(instr.a))
+            elif op == "null_check":
+                ptr = stack[-1]
+                if isinstance(ptr, VPtr) and ptr.is_null:
+                    raise UndefinedBehavior("-> through NULL pointer")
+            elif op == "index":
+                index = stack.pop()
+                ptr = stack.pop()
+                assert isinstance(index, VInt) and isinstance(ptr, VPtr)
+                if instr.b is not None and not 0 <= index.value < instr.b:
+                    raise UndefinedBehavior(
+                        f"array index {index.value} out of bounds [0,{instr.b})"
+                    )
+                stack.append(ptr.moved(index.value * instr.a))
+            elif op == "ptr_add":
+                delta = stack.pop()
+                ptr = stack.pop()
+                assert isinstance(delta, VInt) and isinstance(ptr, VPtr)
+                stack.append(ptr.moved(instr.b * delta.value * instr.a))
+            elif op == "neg":
+                value = stack.pop()
+                assert isinstance(value, VInt)
+                stack.append(VInt(-value.value))
+            elif op == "not":
+                stack.append(VInt(0 if _truthy(stack.pop()) else 1))
+            elif op in ("eq", "ne"):
+                rhs = stack.pop()
+                lhs = stack.pop()
+                equal = lhs == rhs
+                stack.append(VInt(int(equal if op == "eq" else not equal)))
+            elif op in ("add", "sub", "mul", "div", "mod", "lt", "le", "gt", "ge"):
+                rhs = stack.pop()
+                lhs = stack.pop()
+                if not (isinstance(lhs, VInt) and isinstance(rhs, VInt)):
+                    raise UndefinedBehavior(  # pragma: no cover - typechecked
+                        f"bad operands for {op}"
+                    )
+                stack.append(_arith(op, lhs.value, rhs.value))
+            elif op == "jmp":
+                frame.pc = instr.a
+            elif op == "jz":
+                if not _truthy(stack.pop()):
+                    frame.pc = instr.a
+            elif op == "jnz":
+                if _truthy(stack.pop()):
+                    frame.pc = instr.a
+            elif op == "callb":
+                args_list = stack[len(stack) - instr.b :] if instr.b else []
+                del stack[len(stack) - instr.b :]
+                result = self.runtime.call(instr.a, list(args_list))
+                if result is not None:
+                    stack.append(result)
+            elif op == "call":
+                args_list = list(stack[len(stack) - instr.b :]) if instr.b else []
+                del stack[len(stack) - instr.b :]
+                call_stack.append(self._enter(instr.a, args_list))
+            elif op == "ret":
+                self._leave(frame)
+                call_stack.pop()
+                # void: nothing pushed on the caller's stack
+            elif op == "retv":
+                result = stack.pop()
+                self._leave(frame)
+                call_stack.pop()
+                if call_stack:
+                    call_stack[-1].stack.append(result)
+                else:
+                    return_value = result
+            elif op == "fell_off":
+                raise UndefinedBehavior(
+                    f"{instr.a}: fell off the end of a non-void function"
+                )
+            elif op == "pop":
+                stack.pop()
+            else:  # pragma: no cover - compiler emits only known ops
+                raise AssertionError(f"unknown opcode {op!r}")
+        return return_value
+
+
+def _arith(op: str, a: int, b: int) -> VInt:
+    if op == "add":
+        return VInt(a + b)
+    if op == "sub":
+        return VInt(a - b)
+    if op == "mul":
+        return VInt(a * b)
+    if op in ("div", "mod"):
+        if b == 0:
+            raise UndefinedBehavior("division by zero")
+        quotient = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            quotient = -quotient
+        if op == "div":
+            return VInt(quotient)
+        return VInt(a - quotient * b)
+    if op == "lt":
+        return VInt(int(a < b))
+    if op == "le":
+        return VInt(int(a <= b))
+    if op == "gt":
+        return VInt(int(a > b))
+    return VInt(int(a >= b))
+
+
+def run_compiled(
+    program: CompiledProgram,
+    env: Environment,
+    sink: MarkerSink,
+    entry: str = "main",
+    fuel: int = 10_000_000,
+    args: list[Value] | None = None,
+) -> Value | None:
+    """Compile-and-run convenience mirroring :func:`repro.lang.interp.run_program`."""
+    return VM(program, env, sink, fuel=fuel).call(entry, args or [])

@@ -1,0 +1,29 @@
+"""Core domain model: messages, jobs, tasks, and task systems.
+
+This package implements the *statics* and *dynamics* of the abstract
+workload model of RefinedProsa (paper section 4.1):
+
+* a :class:`~repro.model.task.Task` describes a class of jobs (a callback
+  type): its worst-case execution time ``C_i`` and priority ``P_i``;
+* a :class:`~repro.model.message.Message` is the raw datagram payload that
+  announces a job to the scheduler;
+* a :class:`~repro.model.job.Job` is a runtime instance — a message paired
+  with a unique identifier assigned by the instrumented ``read`` semantics
+  (paper Fig. 6, the ``idx`` counter).
+
+Time is modelled as non-negative integers in arbitrary units ("cycles"),
+exactly as in the paper (footnote 3).
+"""
+
+from repro.model.job import Job, JobId
+from repro.model.message import Message, MsgData
+from repro.model.task import Task, TaskSystem
+
+__all__ = [
+    "Job",
+    "JobId",
+    "Message",
+    "MsgData",
+    "Task",
+    "TaskSystem",
+]

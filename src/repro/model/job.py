@@ -1,0 +1,38 @@
+"""Jobs: runtime instances of tasks.
+
+Following the paper (section 3.2), ``Job ≜ (msg_data * job_id)``: a job is
+a message payload paired with a unique identifier.  The identifier is
+assigned by the instrumented ``read`` semantics (the ``σ_trace.idx``
+counter of Fig. 6) — it is *not* derived from the payload, because two
+packets may carry identical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.message import MsgData
+
+#: Unique job identifier (``job_id ≜ ℕ`` in the paper).
+JobId = int
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Job:
+    """A job: message data plus the unique id assigned at read time.
+
+    Jobs are immutable and hashable; equality is structural on
+    ``(data, jid)``.  Uniqueness of ``jid`` across a trace is a *verified
+    property* (Def. 3.2, third clause), not an assumption of this class.
+    """
+
+    data: MsgData
+    jid: JobId
+
+    def __post_init__(self) -> None:
+        if self.jid < 0:
+            raise ValueError(f"job id must be non-negative, got {self.jid}")
+
+    def __str__(self) -> str:
+        payload = ",".join(str(w) for w in self.data)
+        return f"j{self.jid}({payload})"

@@ -1,0 +1,42 @@
+"""Messages: the raw datagram payloads that announce jobs.
+
+In the paper, ``msg_data ≜ list ℤ`` — a message is just a sequence of
+integers read from a datagram socket.  Two distinct jobs may carry
+identical data (two identical packets), which is exactly why the
+instrumented semantics assigns separate unique identifiers (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Message payload type: an immutable sequence of integers (``list ℤ`` in
+#: the paper; we use a tuple so payloads are hashable and can key maps
+#: like the semantics' ``id_map``).
+MsgData = tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A datagram payload.
+
+    The first payload word conventionally identifies the task type (this
+    is what the client's ``msg_identify_type`` C function inspects, see
+    Def. 3.3), but the model layer treats the payload as opaque.
+    """
+
+    data: MsgData
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.data, tuple):
+            raise TypeError(f"message data must be a tuple, got {type(self.data).__name__}")
+        if any(not isinstance(word, int) for word in self.data):
+            raise TypeError("message data must contain only integers")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @staticmethod
+    def of(*words: int) -> "Message":
+        """Convenience constructor: ``Message.of(3, 1, 4)``."""
+        return Message(tuple(words))

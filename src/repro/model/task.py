@@ -1,0 +1,151 @@
+"""Tasks and task systems: the static workload description.
+
+A :class:`Task` corresponds to one callback type registered with Rössl
+(paper section 4.1 "statics"): it fixes the callback's worst-case
+execution time ``C_i`` and its scheduling priority ``P_i``.  The arrival
+curve ``α_i`` — the bound on how many jobs of the task may arrive in any
+window — lives in :mod:`repro.rta.curves` and is associated with tasks
+through a :class:`TaskSystem`.
+
+Priority convention: **larger number = higher priority** (the paper only
+requires a total priority order; we fix this direction throughout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
+
+from repro.model.message import MsgData
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.rta.curves import ArrivalCurve
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """A task (callback type).
+
+    Attributes:
+        name: human-readable identifier, unique within a task system.
+        priority: fixed priority ``P_i``; larger is higher.
+        wcet: worst-case execution time ``C_i`` of one callback
+            invocation, in time units; must be positive (Thm. 5.1
+            requires ``0 < C_i``).
+        type_tag: the integer tag that identifies this task in message
+            payloads (the value ``msg_identify_type`` extracts).
+        deadline: relative deadline ``D_i`` (completion due ``D_i``
+            after arrival); only consumed by deadline-based analyses
+            such as the EDF extension — the NPFP analysis ignores it.
+    """
+
+    name: str
+    priority: int
+    wcet: int
+    type_tag: int
+    deadline: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.wcet <= 0:
+            raise ValueError(f"task {self.name!r}: wcet must be positive, got {self.wcet}")
+        if self.type_tag < 0:
+            raise ValueError(f"task {self.name!r}: type_tag must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"task {self.name!r}: deadline must be positive")
+
+    def __str__(self) -> str:
+        return f"{self.name}(P={self.priority}, C={self.wcet})"
+
+
+class TaskSystem:
+    """An immutable collection of tasks with payload-to-task resolution.
+
+    This is the model-level counterpart of the client configuration of
+    Def. 3.3: the task list ``τ``, the ``msg_to_task`` mapping (here:
+    the first payload word is the task's ``type_tag``), and ``task_prio``
+    (stored on each task).  Arrival curves are attached per task and
+    consumed by the RTA layer.
+    """
+
+    def __init__(
+        self,
+        tasks: Iterable[Task],
+        arrival_curves: Mapping[str, "ArrivalCurve"] | None = None,
+    ) -> None:
+        self._tasks: tuple[Task, ...] = tuple(tasks)
+        if not self._tasks:
+            raise ValueError("a task system needs at least one task")
+        names = [t.name for t in self._tasks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate task names in {names}")
+        tags = [t.type_tag for t in self._tasks]
+        if len(set(tags)) != len(tags):
+            raise ValueError(f"duplicate task type tags in {tags}")
+        self._by_name = {t.name: t for t in self._tasks}
+        self._by_tag = {t.type_tag: t for t in self._tasks}
+        self._curves: dict[str, "ArrivalCurve"] = dict(arrival_curves or {})
+        unknown = set(self._curves) - set(self._by_name)
+        if unknown:
+            raise ValueError(f"arrival curves given for unknown tasks: {sorted(unknown)}")
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task: object) -> bool:
+        return isinstance(task, Task) and self._by_name.get(task.name) == task
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        return self._tasks
+
+    def by_name(self, name: str) -> Task:
+        """Look up a task by name; raises ``KeyError`` if absent."""
+        return self._by_name[name]
+
+    def msg_to_task(self, data: MsgData) -> Task:
+        """Resolve a message payload to its task (Def. 3.3 ``msg_to_task``).
+
+        The first payload word is interpreted as the task's type tag.
+        Raises ``KeyError`` for empty payloads or unknown tags — a
+        well-formed client never sends such messages.
+        """
+        if not data:
+            raise KeyError("empty message payload has no task type")
+        tag = data[0]
+        if tag not in self._by_tag:
+            raise KeyError(f"no task with type tag {tag}")
+        return self._by_tag[tag]
+
+    def priority_of(self, data: MsgData) -> int:
+        """Priority of the job a payload announces (``task_prio``)."""
+        return self.msg_to_task(data).priority
+
+    def arrival_curve(self, name: str) -> "ArrivalCurve":
+        """The arrival curve ``α_i`` attached to task ``name``.
+
+        Raises ``KeyError`` when the system was built without a curve for
+        the task — analyses that need curves require them explicitly.
+        """
+        return self._curves[name]
+
+    @property
+    def has_curves(self) -> bool:
+        """Whether every task has an attached arrival curve."""
+        return all(t.name in self._curves for t in self._tasks)
+
+    def with_curves(self, curves: Mapping[str, "ArrivalCurve"]) -> "TaskSystem":
+        """A copy of this system with (replaced) arrival curves."""
+        return TaskSystem(self._tasks, curves)
+
+    def higher_or_equal_priority(self, task: Task) -> tuple[Task, ...]:
+        """Tasks with priority ≥ ``task``'s, excluding ``task`` itself."""
+        return tuple(
+            t for t in self._tasks if t.name != task.name and t.priority >= task.priority
+        )
+
+    def lower_priority(self, task: Task) -> tuple[Task, ...]:
+        """Tasks with priority strictly below ``task``'s."""
+        return tuple(t for t in self._tasks if t.priority < task.priority)

@@ -1,0 +1,40 @@
+"""Rössl: a fixed-priority, non-preemptive, interrupt-free scheduler.
+
+Rössl (paper section 2.1) is the case study of RefinedProsa: it accepts
+jobs arriving as messages over datagram sockets and dispatches a
+registered callback per job, polling in a loop — no timer interrupts.
+This package provides:
+
+* :mod:`repro.rossl.env` — the socket environment (the paper's
+  axiomatized non-blocking ``read``, footnote 4);
+* :mod:`repro.rossl.runtime` — a pure-Python reference model of the
+  scheduling loop of Fig. 2, emitting the marker-function trace;
+* :mod:`repro.rossl.source` — the same scheduler written in the MiniC
+  C subset and executed under the instrumented semantics of
+  :mod:`repro.lang` (the Caesium analog);
+* :mod:`repro.rossl.client` — client configuration per Def. 3.3.
+
+The reference model and the MiniC implementation are checked
+trace-equivalent by the differential tests.
+"""
+
+from repro.rossl.client import RosslClient
+from repro.rossl.env import (
+    Environment,
+    HorizonReached,
+    QueueEnvironment,
+    ScriptedEnvironment,
+)
+from repro.rossl.runtime import MarkerSink, RosslModel, TraceRecorder, TraceState
+
+__all__ = [
+    "Environment",
+    "HorizonReached",
+    "MarkerSink",
+    "QueueEnvironment",
+    "RosslClient",
+    "RosslModel",
+    "ScriptedEnvironment",
+    "TraceRecorder",
+    "TraceState",
+]

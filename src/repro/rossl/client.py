@@ -1,0 +1,94 @@
+"""Client configuration for Rössl (Def. 3.3).
+
+A client of Rössl provides: the task list ``τ`` (callback types), the
+socket list ``input_socks``, the ``msg_to_task`` mapping (here realized
+by task type tags in the first payload word, the convention the MiniC
+``msg_identify_type`` implements), and ``task_prio`` (stored on the
+tasks).  A :class:`RosslClient` bundles these and offers factories for
+the runtime model, the protocol automaton, and validity checkers so
+that experiments can be written against one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.model.job import Job
+from repro.model.message import Message, MsgData
+from repro.model.task import Task, TaskSystem
+from repro.rossl.runtime import RosslModel
+from repro.traces.markers import SocketId
+from repro.traces.protocol import SchedulerProtocol
+
+
+@dataclass(frozen=True)
+class RosslClient:
+    """A concrete deployment of Rössl: tasks plus sockets.
+
+    Construct with :meth:`make` to get input validation.  ``policy``
+    selects the selection rule: ``"npfp"`` (the paper's fixed-priority
+    scheduler) or ``"edf"`` (the deadline-driven extension, see
+    :mod:`repro.edf`).
+    """
+
+    tasks: TaskSystem
+    sockets: tuple[SocketId, ...] = field(default=(0,))
+    policy: str = "npfp"
+
+    @staticmethod
+    def make(
+        tasks: Iterable[Task] | TaskSystem,
+        sockets: Iterable[SocketId],
+        policy: str = "npfp",
+    ) -> "RosslClient":
+        system = tasks if isinstance(tasks, TaskSystem) else TaskSystem(tasks)
+        socks = tuple(sockets)
+        if not socks:
+            raise ValueError("a client must register at least one socket")
+        if len(set(socks)) != len(socks):
+            raise ValueError(f"duplicate sockets in {socks}")
+        if policy not in ("npfp", "edf"):
+            raise ValueError(f"unknown policy {policy!r}")
+        return RosslClient(system, socks, policy)
+
+    @property
+    def num_sockets(self) -> int:
+        return len(self.sockets)
+
+    def model(self) -> RosslModel:
+        """A fresh scheduler instance for this client."""
+        if self.policy == "edf":
+            from repro.edf.policy import EdfRosslModel
+
+            return EdfRosslModel(self.sockets, self.tasks)
+        return RosslModel(self.sockets, self.tasks)
+
+    def priority_fn(self):
+        """The priority function matching this client's policy (for the
+        validity checkers and monitors)."""
+        if self.policy == "edf":
+            from repro.edf.policy import edf_priority
+
+            return edf_priority
+        return self.tasks.priority_of
+
+    def protocol(self) -> SchedulerProtocol:
+        """The scheduler-protocol STS for this client's sockets."""
+        return SchedulerProtocol(self.sockets)
+
+    def message_for(self, task_name: str, *payload: int) -> Message:
+        """A message announcing a job of ``task_name``.
+
+        The first word carries the task's type tag; the rest is free
+        payload.
+        """
+        task = self.tasks.by_name(task_name)
+        return Message((task.type_tag, *payload))
+
+    def task_of_job(self, job: Job) -> Task:
+        """Resolve a job to its task (``msg_to_task``)."""
+        return self.tasks.msg_to_task(job.data)
+
+    def priority_of(self, data: MsgData) -> int:
+        return self.tasks.priority_of(data)

@@ -1,0 +1,106 @@
+"""Socket environments: the axiomatized ``read`` system call.
+
+The paper models ``read`` only for non-blocking, message-based I/O on
+datagram sockets (footnote 4): a read either returns one whole message
+or fails immediately when no message is queued.  An
+:class:`Environment` answers read requests; concrete environments:
+
+* :class:`QueueEnvironment` — per-socket FIFO queues with explicit
+  injection; used by simulators, which inject arrivals as simulated
+  time passes;
+* :class:`ScriptedEnvironment` — a predetermined outcome per read call;
+  used for deterministic replay (differential testing) and by the
+  bounded model checker, which enumerates all outcome scripts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Protocol, Sequence
+
+from repro.model.message import MsgData
+from repro.traces.markers import SocketId
+
+
+class HorizonReached(Exception):
+    """Raised by a driver to stop the (infinite) scheduling loop.
+
+    ``RosslModel.run`` treats this as a clean end of observation: the
+    trace collected so far is a prefix of the infinite execution.
+    """
+
+
+class Environment(Protocol):
+    """Answers non-blocking datagram reads."""
+
+    def read(self, sock: SocketId) -> MsgData | None:
+        """Return the next queued message on ``sock`` or ``None``."""
+        ...  # pragma: no cover - protocol
+
+
+class QueueEnvironment:
+    """Per-socket FIFO message queues with explicit injection."""
+
+    def __init__(self, sockets: Iterable[SocketId]) -> None:
+        self._queues: dict[SocketId, deque[MsgData]] = {
+            sock: deque() for sock in sockets
+        }
+        if not self._queues:
+            raise ValueError("environment needs at least one socket")
+
+    @property
+    def sockets(self) -> tuple[SocketId, ...]:
+        return tuple(self._queues)
+
+    def inject(self, sock: SocketId, data: MsgData) -> None:
+        """Enqueue a message on ``sock`` (a job arrival)."""
+        if sock not in self._queues:
+            raise KeyError(f"unknown socket {sock}")
+        self._queues[sock].append(tuple(data))
+
+    def read(self, sock: SocketId) -> MsgData | None:
+        queue = self._queues[sock]
+        if not queue:
+            return None
+        return queue.popleft()
+
+    def queued(self, sock: SocketId) -> int:
+        """Number of messages currently queued on ``sock``."""
+        return len(self._queues[sock])
+
+    @property
+    def total_queued(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+
+class ScriptedEnvironment:
+    """Replays a fixed sequence of read outcomes.
+
+    The ``script`` lists the outcome of each successive read call,
+    regardless of socket (the caller controls the socket order through
+    the scheduler's round-robin polling).  When the script is exhausted
+    the environment raises :class:`HorizonReached`, ending the run —
+    this makes scripts natural inputs for bounded exploration.
+    """
+
+    def __init__(self, script: Sequence[MsgData | None]) -> None:
+        self._script: tuple[MsgData | None, ...] = tuple(
+            None if item is None else tuple(item) for item in script
+        )
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Number of read calls answered so far."""
+        return self._pos
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._script)
+
+    def read(self, sock: SocketId) -> MsgData | None:
+        if self._pos >= len(self._script):
+            raise HorizonReached(f"script exhausted after {self._pos} reads")
+        outcome = self._script[self._pos]
+        self._pos += 1
+        return outcome

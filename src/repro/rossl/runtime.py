@@ -1,0 +1,179 @@
+"""Pure-Python reference model of the Rössl scheduling loop (Fig. 2).
+
+This module mirrors the C scheduler structure faithfully:
+
+* ``check_sockets_until_empty`` — repeat full polling passes over all
+  sockets until one pass where every read fails;
+* ``npfp_dequeue`` — pop the highest-priority pending job (FIFO among
+  equal priorities);
+* ``npfp_dispatch`` — run the job's callback to completion.
+
+Marker emission follows the instrumented Caesium semantics of Fig. 6,
+including the trace state ``(idx, id_map)`` that assigns each read
+message a fresh unique job id and lets the dispatch marker recover the
+job from the raw payload.
+
+The model is trace-equivalent to the MiniC implementation in
+:mod:`repro.rossl.source` (enforced by differential tests) and is the
+fast path for large simulation campaigns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from repro.model.job import Job
+from repro.model.task import TaskSystem
+from repro.rossl.env import Environment, HorizonReached
+from repro.traces.trace_state import TraceState
+from repro.traces.markers import (
+    Marker,
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+    SocketId,
+)
+
+
+class MarkerSink(Protocol):
+    """Receives marker events in execution order.
+
+    Sinks may raise :class:`~repro.rossl.env.HorizonReached` from
+    :meth:`emit` to stop the loop (e.g. when a simulation horizon is
+    reached); ``RosslModel.run`` catches it.
+    """
+
+    def emit(self, marker: Marker) -> None: ...  # pragma: no cover - protocol
+
+
+class TraceRecorder:
+    """The simplest sink: collect markers into a list."""
+
+    def __init__(self) -> None:
+        self.trace: list[Marker] = []
+
+    def emit(self, marker: Marker) -> None:
+        self.trace.append(marker)
+
+
+class TeeSink:
+    """Fan a marker stream out to several sinks (recorder + monitors)."""
+
+    def __init__(self, *sinks: MarkerSink) -> None:
+        self._sinks = sinks
+
+    def emit(self, marker: Marker) -> None:
+        for sink in self._sinks:
+            sink.emit(marker)
+
+
+
+
+class RosslModel:
+    """The Rössl scheduling loop, one-to-one with Fig. 2.
+
+    Args:
+        sockets: the client's ``input_socks``, polled in this order.
+        tasks: the client's task system; supplies job priorities via
+            ``msg_to_task`` ∘ ``task_prio``.
+    """
+
+    def __init__(self, sockets: Iterable[SocketId], tasks: TaskSystem) -> None:
+        self.sockets: tuple[SocketId, ...] = tuple(sockets)
+        if not self.sockets:
+            raise ValueError("Rössl needs at least one input socket")
+        self.tasks = tasks
+        self.trace_state = TraceState()
+        # The scheduler's internal ready queue, in read order (FIFO among
+        # equal priorities, matching the MiniC linked-list insert).
+        self._queue: list[Job] = []
+
+    # -- phases of one loop iteration (Fig. 2) ---------------------------
+
+    def _check_sockets_until_empty(self, env: Environment, sink: MarkerSink) -> None:
+        """Polling phase: full passes until an all-fail pass (line 3)."""
+        while True:
+            any_success = False
+            for sock in self.sockets:
+                sink.emit(MReadS())
+                data = env.read(sock)
+                if data is None:
+                    sink.emit(MReadE(sock, None))
+                else:
+                    job = self.trace_state.record_read(tuple(data))
+                    self._queue.append(job)
+                    any_success = True
+                    sink.emit(MReadE(sock, job))
+            if not any_success:
+                return
+
+    def _npfp_dequeue(self) -> Job | None:
+        """Selection: pop the highest-priority pending job (line 6)."""
+        if not self._queue:
+            return None
+        best_index = 0
+        best_priority = self.tasks.priority_of(self._queue[0].data)
+        for i in range(1, len(self._queue)):
+            priority = self.tasks.priority_of(self._queue[i].data)
+            if priority > best_priority:
+                best_index, best_priority = i, priority
+        return self._queue.pop(best_index)
+
+    def _iteration(self, env: Environment, sink: MarkerSink) -> None:
+        """One iteration of the ``while(1)`` loop of ``fds_run``."""
+        self._check_sockets_until_empty(env, sink)
+        sink.emit(MSelection())
+        job = self._npfp_dequeue()
+        if job is None:
+            sink.emit(MIdling())
+        else:
+            resolved = self.trace_state.resolve_dispatch(job.data)
+            if resolved != job:  # pragma: no cover - internal consistency
+                raise RuntimeError(
+                    f"trace state resolved {resolved}, queue held {job}"
+                )
+            sink.emit(MDispatch(job))
+            sink.emit(MExecution(job))
+            # The callback body runs here; its effects are external to
+            # the scheduler, so the model only accounts for its time
+            # (which the timing layer bounds by the task's WCET).
+            sink.emit(MCompletion(job))
+
+    # -- drivers ----------------------------------------------------------
+
+    def run(
+        self,
+        env: Environment,
+        sink: MarkerSink,
+        max_iterations: int | None = None,
+    ) -> None:
+        """Run the scheduling loop.
+
+        Runs forever unless ``max_iterations`` is given or the
+        environment/sink raises :class:`HorizonReached` (which is
+        swallowed: the trace so far is a valid execution prefix).
+        """
+        iterations = 0
+        try:
+            while max_iterations is None or iterations < max_iterations:
+                self._iteration(env, sink)
+                iterations += 1
+        except HorizonReached:
+            return
+
+    def run_to_trace(
+        self, env: Environment, max_iterations: int | None = None
+    ) -> list[Marker]:
+        """Convenience: run and return the collected marker trace."""
+        recorder = TraceRecorder()
+        self.run(env, recorder, max_iterations=max_iterations)
+        return recorder.trace
+
+    @property
+    def queue_snapshot(self) -> tuple[Job, ...]:
+        """The pending queue, in read order (for tests and monitors)."""
+        return tuple(self._queue)

@@ -1,0 +1,228 @@
+"""Rössl in MiniC: the C source of the scheduler (paper Fig. 2).
+
+The scheduler core (``fds_run``, ``check_sockets_until_empty``,
+``npfp_enqueue``/``npfp_dequeue``/``npfp_dispatch``) is fixed source
+text mirroring the paper's Fig. 2, with the lightblue ghost marker calls
+(``read_start``, ``selection_start``, ``idling_start``,
+``dispatch_start``, ``execution_start``, ``completion_start``) at the
+same program points.  The client part (Def. 3.3) — the task-priority
+table realizing ``msg_to_task``/``task_prio``, the socket registration,
+and ``main`` — is generated from a :class:`~repro.rossl.client.RosslClient`.
+
+:class:`MiniCRossl` wraps parse → typecheck → run so tests and
+simulators can drive the C scheduler exactly like the Python reference
+model; the differential tests check the two emit identical traces.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import OutOfFuel
+from repro.lang.interp import run_program
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import TypedProgram, typecheck
+from repro.rossl.client import RosslClient
+from repro.rossl.env import Environment, HorizonReached
+from repro.rossl.runtime import MarkerSink, TraceRecorder
+from repro.traces.markers import Marker
+
+#: Maximum message length in words (the ``max_length`` of Fig. 6).
+DEFAULT_MSG_CAP = 8
+
+_SCHEDULER_CORE = """\
+// ---- Rossl: fixed-priority, non-preemptive, interrupt-free scheduler ----
+// Structure follows Fig. 2 of the paper; ghost marker calls are the
+// lightblue annotations.
+
+struct job {{
+    int len;
+    int data[{msg_cap}];
+    struct job *next;
+}};
+
+struct sched {{
+    struct job *queue;  // pending jobs, in read (FIFO) order
+}};
+
+struct fd_scheduler {{
+    struct sched sched;
+    int nsocks;
+    int socks[{nsocks}];
+}};
+
+// The client's msg_identify_type (Def. 3.3): the first payload word is
+// the task's type tag.
+int msg_identify_type(int *data, int len) {{
+    return data[0];
+}}
+
+int job_priority(struct job *j) {{
+    return task_priority(msg_identify_type(j->data, j->len));
+}}
+
+void npfp_enqueue(struct sched *s, struct job *j) {{
+    j->next = NULL;
+    if (s->queue == NULL) {{
+        s->queue = j;
+        return;
+    }}
+    struct job *cur = s->queue;
+    while (cur->next != NULL) {{
+        cur = cur->next;
+    }}
+    cur->next = j;
+}}
+
+// Pop the highest-priority pending job; FIFO among equal priorities
+// (strict > while scanning from the head keeps the earliest).
+struct job *npfp_dequeue(struct sched *s) {{
+    if (s->queue == NULL) {{
+        return NULL;
+    }}
+    struct job *best = s->queue;
+    int bestp = job_priority(best);
+    struct job *cur = best->next;
+    while (cur != NULL) {{
+        int p = job_priority(cur);
+        if (p > bestp) {{
+            best = cur;
+            bestp = p;
+        }}
+        cur = cur->next;
+    }}
+    if (best == s->queue) {{
+        s->queue = best->next;
+    }} else {{
+        struct job *prev = s->queue;
+        while (prev->next != best) {{
+            prev = prev->next;
+        }}
+        prev->next = best->next;
+    }}
+    best->next = NULL;
+    return best;
+}}
+
+// Execute the selected job's callback (the callback body is external;
+// the markers delimit the Exec basic action).
+void npfp_dispatch(struct sched *s, struct job *j) {{
+    execution_start(j->data, j->len);
+    completion_start(j->data, j->len);
+}}
+
+// One polling pass: read every socket once; returns whether any read
+// succeeded.
+int check_sockets_one_pass(struct fd_scheduler *fds) {{
+    int any = 0;
+    int i = 0;
+    while (i < fds->nsocks) {{
+        read_start();
+        struct job *j = malloc(sizeof(struct job));
+        int n = read(fds->socks[i], j->data, {msg_cap});
+        if (n < 0) {{
+            free(j);
+        }} else {{
+            j->len = n;
+            npfp_enqueue(&fds->sched, j);
+            any = 1;
+        }}
+        i = i + 1;
+    }}
+    return any;
+}}
+
+// Polling phase: repeat passes until one where all reads fail.
+void check_sockets_until_empty(struct fd_scheduler *fds) {{
+    int again = 1;
+    while (again) {{
+        again = check_sockets_one_pass(fds);
+    }}
+}}
+
+// The main scheduling loop (Fig. 2).
+void fds_run(struct fd_scheduler *fds) {{
+    while (1) {{
+        check_sockets_until_empty(fds);  // receive jobs on all sockets
+        selection_start();
+        struct job *j = npfp_dequeue(&fds->sched);  // highest-priority job
+        if (!j) {{
+            idling_start();  // no job: wait for new input
+        }} else {{
+            dispatch_start(j->data, j->len);
+            npfp_dispatch(&fds->sched, j);  // execute the job
+            free(j);  // release the memory
+        }}
+    }}
+}}
+"""
+
+
+def client_source(client: RosslClient, msg_cap: int = DEFAULT_MSG_CAP) -> str:
+    """Generate the client part: priority table, socket setup, ``main``."""
+    branches = "\n".join(
+        f"    if (type == {task.type_tag}) {{ return {task.priority}; }}"
+        for task in client.tasks
+    )
+    priority_table = (
+        "// The client's task_prio table (Def. 3.3).\n"
+        "int task_priority(int type) {\n"
+        f"{branches}\n"
+        "    return -1;  // unknown task type\n"
+        "}\n"
+    )
+    socket_setup = "\n".join(
+        f"    fds.socks[{index}] = {sock};"
+        for index, sock in enumerate(client.sockets)
+    )
+    main = (
+        "void main() {\n"
+        "    struct fd_scheduler fds;\n"
+        "    fds.sched.queue = NULL;\n"
+        f"    fds.nsocks = {client.num_sockets};\n"
+        f"{socket_setup}\n"
+        "    fds_run(&fds);\n"
+        "}\n"
+    )
+    return priority_table + "\n" + main
+
+
+def rossl_source(client: RosslClient, msg_cap: int = DEFAULT_MSG_CAP) -> str:
+    """The full MiniC translation unit for the client's policy."""
+    if client.policy == "edf":
+        from repro.edf.policy import edf_source
+
+        return edf_source(client, msg_cap)
+    core = _SCHEDULER_CORE.format(msg_cap=msg_cap, nsocks=client.num_sockets)
+    return client_source(client, msg_cap) + "\n" + core
+
+
+def build_rossl(client: RosslClient, msg_cap: int = DEFAULT_MSG_CAP) -> TypedProgram:
+    """Parse and typecheck the Rössl program for ``client``."""
+    return typecheck(parse_program(rossl_source(client, msg_cap)))
+
+
+class MiniCRossl:
+    """The C scheduler, drivable like the Python reference model.
+
+    ``run`` executes ``main`` under the instrumented semantics until the
+    fuel budget runs out or the environment/sink signals the horizon.
+    """
+
+    def __init__(self, client: RosslClient, msg_cap: int = DEFAULT_MSG_CAP) -> None:
+        self.client = client
+        self.msg_cap = msg_cap
+        self.typed = build_rossl(client, msg_cap)
+
+    def run(
+        self, env: Environment, sink: MarkerSink, fuel: int = 100_000
+    ) -> None:
+        """Run the scheduler; returns when fuel or the horizon is reached."""
+        try:
+            run_program(self.typed, env, sink, entry="main", fuel=fuel)
+        except (OutOfFuel, HorizonReached):
+            return
+        raise AssertionError("fds_run returned — unreachable")  # pragma: no cover
+
+    def run_to_trace(self, env: Environment, fuel: int = 100_000) -> list[Marker]:
+        recorder = TraceRecorder()
+        self.run(env, recorder, fuel=fuel)
+        return recorder.trace

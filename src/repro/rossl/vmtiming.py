@@ -1,0 +1,216 @@
+"""VM-timed execution of Rössl: timestamps from the cost semantics.
+
+Where :mod:`repro.sim.simulator` draws basic-action durations from an
+assumed WCET model, this module obtains time from *below*: the compiled
+Rössl runs on the bytecode VM and every marker is stamped with the VM's
+executed-instruction counter.  Time units are instructions; arrivals are
+given in the same units.
+
+On top of that, :func:`measure_wcet_model` implements measurement-based
+WCET estimation (the paper's "determined experimentally", §2.2, citing
+Zolda & Kirner's timed-trace approach): it extracts the maximum observed
+duration of every basic-action interval from a set of stress traces and
+returns a :class:`~repro.timing.wcet.WcetModel` (plus per-task execution
+maxima), optionally inflated by a safety margin.  The closed loop —
+derive WCETs from the cost semantics, run the RTA, validate the bounds
+against fresh VM-timed executions — is exercised in
+``tests/test_vmtiming.py`` and experiment E13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.lang.compile import compile_program
+from repro.lang.errors import OutOfFuel
+from repro.lang.vm import VM
+from repro.model.message import MsgData
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rossl.env import HorizonReached, QueueEnvironment
+from repro.rossl.source import build_rossl
+from repro.timing.arrivals import ArrivalSequence
+from repro.timing.timed_trace import TimedTrace
+from repro.timing.wcet import WcetModel
+from repro.traces.markers import (
+    Marker,
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+    SocketId,
+)
+
+
+class VmTimedDriver:
+    """Environment + sink for a VM run: the clock is ``vm.executed``."""
+
+    def __init__(self, client: RosslClient, arrivals: ArrivalSequence) -> None:
+        self.client = client
+        self._queues = QueueEnvironment(client.sockets)
+        self._pending = list(arrivals.restricted_to(client.sockets))
+        self._delivered = 0
+        self.trace: list[Marker] = []
+        self.timestamps: list[int] = []
+        self.vm: VM | None = None
+
+    def attach(self, vm: VM) -> None:
+        self.vm = vm
+
+    @property
+    def clock(self) -> int:
+        assert self.vm is not None, "driver not attached to a VM"
+        return self.vm.executed
+
+    def read(self, sock: SocketId) -> MsgData | None:
+        while (
+            self._delivered < len(self._pending)
+            and self._pending[self._delivered].time < self.clock
+        ):
+            arrival = self._pending[self._delivered]
+            self._queues.inject(arrival.sock, arrival.data)
+            self._delivered += 1
+        return self._queues.read(sock)
+
+    def emit(self, marker: Marker) -> None:
+        self.trace.append(marker)
+        self.timestamps.append(self.clock)
+
+    def timed_trace(self, horizon: int) -> TimedTrace:
+        return TimedTrace.make(self.trace, self.timestamps, horizon)
+
+
+@dataclass(frozen=True)
+class VmRun:
+    """One VM-timed execution of the compiled Rössl."""
+
+    client: RosslClient
+    arrivals: ArrivalSequence
+    timed_trace: TimedTrace
+    instructions: int
+
+
+def simulate_vm(
+    client: RosslClient,
+    arrivals: ArrivalSequence,
+    instruction_budget: int,
+    optimize: bool = False,
+) -> VmRun:
+    """Run the compiled Rössl for ``instruction_budget`` instructions.
+
+    ``optimize=True`` runs the peephole-optimized build — same traces,
+    fewer instructions per basic action, hence smaller measured WCETs
+    (like measuring on a higher optimization level).
+    """
+    compiled = compile_program(build_rossl(client))
+    if optimize:
+        from repro.lang.optimize import optimize_program
+
+        compiled = optimize_program(compiled)
+    driver = VmTimedDriver(client, arrivals)
+    vm = VM(compiled, driver, driver, fuel=instruction_budget)
+    driver.attach(vm)
+    try:
+        vm.call("main", [])
+    except (OutOfFuel, HorizonReached):
+        pass
+    return VmRun(
+        client=client,
+        arrivals=arrivals,
+        timed_trace=driver.timed_trace(horizon=instruction_budget + 1),
+        instructions=vm.executed,
+    )
+
+
+@dataclass(frozen=True)
+class MeasuredWcets:
+    """Measurement-derived WCETs: the basic-action model plus per-task
+    execution maxima (the measured ``C_i``)."""
+
+    wcet: WcetModel
+    exec_maxima: dict[str, int]
+
+    def tasks_with_measured_wcets(self, tasks: TaskSystem) -> TaskSystem:
+        """A copy of the task system whose ``C_i`` are the measured
+        execution maxima (tasks never observed keep their declared C)."""
+        replaced = [
+            Task(
+                name=t.name,
+                priority=t.priority,
+                wcet=self.exec_maxima.get(t.name, t.wcet),
+                type_tag=t.type_tag,
+            )
+            for t in tasks
+        ]
+        curves = {
+            t.name: tasks.arrival_curve(t.name) for t in tasks
+        } if tasks.has_curves else None
+        return TaskSystem(replaced, curves)
+
+
+def measure_wcet_model(
+    runs: list[VmRun],
+    margin: float = 1.0,
+) -> MeasuredWcets:
+    """Extract per-basic-action maxima from timed traces (Zolda-Kirner
+    style measurement-based WCET estimation).
+
+    ``margin ≥ 1`` inflates every bound to hedge against unobserved
+    paths — measurement-based estimation is only as good as the stress
+    coverage, which is precisely why the paper prefers to treat WCETs as
+    assumed inputs.
+    """
+    if margin < 1.0:
+        raise ValueError("safety margin must be at least 1")
+    maxima = {
+        "failed_read": 2, "success_read": 2, "selection": 1,
+        "dispatch": 1, "completion": 1, "idling": 1,
+    }
+    exec_maxima: dict[str, int] = {}
+    for run in runs:
+        trace, ts = run.timed_trace.trace, run.timed_trace.ts
+        n = len(trace)
+        for i, marker in enumerate(trace):
+            if isinstance(marker, MReadS):
+                if i + 2 >= n:
+                    continue
+                end = trace[i + 1]
+                assert isinstance(end, MReadE)
+                duration = ts[i + 2] - ts[i]
+                key = "failed_read" if end.job is None else "success_read"
+                maxima[key] = max(maxima[key], duration)
+                continue
+            if i + 1 >= n:
+                continue
+            duration = ts[i + 1] - ts[i]
+            if isinstance(marker, MSelection):
+                maxima["selection"] = max(maxima["selection"], duration)
+            elif isinstance(marker, MDispatch):
+                maxima["dispatch"] = max(maxima["dispatch"], duration)
+            elif isinstance(marker, MExecution):
+                name = run.client.tasks.msg_to_task(marker.job.data).name
+                exec_maxima[name] = max(exec_maxima.get(name, 1), duration)
+            elif isinstance(marker, MCompletion):
+                maxima["completion"] = max(maxima["completion"], duration)
+            elif isinstance(marker, MIdling):
+                maxima["idling"] = max(maxima["idling"], duration)
+
+    def pad(value: int) -> int:
+        return ceil(value * margin)
+
+    wcet = WcetModel(
+        failed_read=max(2, pad(maxima["failed_read"])),
+        success_read=max(2, pad(maxima["success_read"])),
+        selection=pad(maxima["selection"]),
+        dispatch=pad(maxima["dispatch"]),
+        completion=pad(maxima["completion"]),
+        idling=pad(maxima["idling"]),
+    )
+    return MeasuredWcets(
+        wcet=wcet,
+        exec_maxima={name: pad(v) for name, v in exec_maxima.items()},
+    )

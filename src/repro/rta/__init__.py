@@ -1,0 +1,47 @@
+"""Response-time analysis: the Prosa/aRSA side of RefinedProsa.
+
+Implements paper section 4: arrival curves and release curves
+(:mod:`~repro.rta.curves`), the release-jitter bounds of Def. 4.3
+(:mod:`~repro.rta.jitter`), the supply bound function of section 4.4
+(:mod:`~repro.rta.sbf`), the busy-window fixed-point solver for NPFP
+under restricted supply (:mod:`~repro.rta.arsa`), the composed
+overhead-aware bound ``R_i + J_i`` of Thm. 4.2
+(:mod:`~repro.rta.npfp`), an overhead-oblivious baseline
+(:mod:`~repro.rta.baselines`), and a brute-force exact explorer for
+tiny systems (:mod:`~repro.rta.exact`).
+"""
+
+from repro.rta.arsa import ArsaResult, busy_window_bound, solve_response_time
+from repro.rta.baselines import ideal_npfp_bound
+from repro.rta.curves import (
+    ArrivalCurve,
+    LeakyBucketCurve,
+    SporadicCurve,
+    TableCurve,
+    check_curve_respected,
+    release_curve,
+)
+from repro.rta.jitter import JitterBounds, jitter_bound
+from repro.rta.npfp import AnalysisResult, analyse, response_time_bound
+from repro.rta.sbf import SupplyBoundFunction, blackout_bound, make_sbf
+
+__all__ = [
+    "AnalysisResult",
+    "ArrivalCurve",
+    "ArsaResult",
+    "JitterBounds",
+    "LeakyBucketCurve",
+    "SporadicCurve",
+    "SupplyBoundFunction",
+    "TableCurve",
+    "analyse",
+    "blackout_bound",
+    "busy_window_bound",
+    "check_curve_respected",
+    "ideal_npfp_bound",
+    "jitter_bound",
+    "make_sbf",
+    "release_curve",
+    "response_time_bound",
+    "solve_response_time",
+]

@@ -1,0 +1,46 @@
+"""Baseline analyses for comparison experiments.
+
+``ideal_npfp_bound`` is the classic *overhead-oblivious* NPFP
+response-time analysis: same busy-window recurrence, but on an ideal
+unit-speed processor (``SBF(Δ) = Δ``), with the raw arrival curves and
+no release jitter.  This is the analysis one would (incorrectly) apply
+to Rössl while ignoring its scheduling overheads — experiment E10 shows
+simulated response times *exceed* this baseline while staying below the
+overhead-aware bound, reproducing the paper's motivation for explicit
+overhead accounting.
+
+``utilization`` supports quick sanity checks and ablation sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.model.task import TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.arsa import solve_response_time
+from repro.rta.sbf import IdealSupply
+
+
+def ideal_npfp_bound(
+    client: RosslClient, task_name: str, horizon: int = 1_000_000
+) -> int | None:
+    """Overhead-oblivious NPFP response-time bound for one task."""
+    tasks = client.tasks
+    if not tasks.has_curves:
+        raise ValueError("every task needs an arrival curve for the analysis")
+    curves = {task.name: tasks.arrival_curve(task.name) for task in tasks}
+    result = solve_response_time(
+        tasks.by_name(task_name), tasks.tasks, curves, IdealSupply(), horizon
+    )
+    return None if result is None else result.response_bound
+
+
+def utilization(tasks: TaskSystem, window: int = 100_000) -> float:
+    """Long-run processor demand of the workload: the sum over tasks of
+    ``α_i(W)·C_i / W`` for a large window ``W`` (approaches the true
+    utilization as ``W`` grows)."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    demand = sum(
+        tasks.arrival_curve(task.name)(window) * task.wcet for task in tasks
+    )
+    return demand / window

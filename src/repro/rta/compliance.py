@@ -1,0 +1,138 @@
+"""Priority compliance and work conservation, checked via jitter (§4.3).
+
+The paper's key modelling lemma: Rössl's schedules violate aRSA's
+priority-policy compliance and work conservation only within a window of
+at most ``J = 1 + max(PB + SB + DB, IB)`` after a job's arrival — so
+delaying each *release* by at most ``J`` repairs both properties.
+
+This module makes the lemma decidable on concrete runs.  For each job
+``j`` the *violation window* is the set of instants ``t`` with
+``arrival(j) ≤ t < read(j)`` at which the schedule does something it
+could not do if ``j`` were visible:
+
+* it **dispatches a strictly lower-priority job** (priority compliance
+  broken — Fig. 7a), or
+* it **idles** (work conservation broken — Fig. 7b).
+
+(Executing or finishing an already-dispatched job is fine: the policy is
+non-preemptive.)  The *needed jitter* of ``j`` is then
+``last violating instant + 1 − arrival(j)``; the lemma states it never
+exceeds ``J``, making the jitter-shifted release sequence compliant.
+
+``check_jitter_compliance`` computes every job's needed jitter and
+verifies the lemma; campaigns assert it across random workloads for both
+policies (the checker is parametric in the priority function, so EDF
+reuses it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.job import Job
+from repro.schedule.conversion import FiniteSchedule
+from repro.schedule.states import DispatchOvh, Idle
+from repro.timing.arrivals import ArrivalSequence
+from repro.timing.timed_trace import TimedTrace, job_arrival_times
+from repro.traces.markers import MDispatch, MReadE
+from repro.traces.validity import PriorityFn
+
+
+class ComplianceError(Exception):
+    """A job's needed release jitter exceeds the bound ``J``."""
+
+    def __init__(self, job: Job, needed: int, bound: int) -> None:
+        super().__init__(
+            f"job {job} needs release jitter {needed} > bound {bound}"
+        )
+        self.job = job
+        self.needed = needed
+        self.bound = bound
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """Per-job needed jitters and the worst case observed."""
+
+    needed_jitter: dict[Job, int]
+    bound: int
+
+    @property
+    def worst(self) -> int:
+        return max(self.needed_jitter.values(), default=0)
+
+    @property
+    def ok(self) -> bool:
+        return self.worst <= self.bound
+
+
+def _read_times(timed: TimedTrace) -> dict[Job, int]:
+    return {
+        marker.job: stamp
+        for marker, stamp in zip(timed.trace, timed.ts)
+        if isinstance(marker, MReadE) and marker.job is not None
+    }
+
+
+def _dispatch_times(timed: TimedTrace) -> list[tuple[int, Job]]:
+    return [
+        (stamp, marker.job)
+        for marker, stamp in zip(timed.trace, timed.ts)
+        if isinstance(marker, MDispatch)
+    ]
+
+
+def needed_jitters(
+    timed: TimedTrace,
+    arrivals: ArrivalSequence,
+    schedule: FiniteSchedule,
+    priority: PriorityFn,
+) -> dict[Job, int]:
+    """The minimal release delay per job that removes all violations.
+
+    0 means the job was never overlooked; the paper's lemma bounds every
+    value by ``J`` (Def. 4.3).
+    """
+    arrival_of = job_arrival_times(timed, arrivals)
+    read_of = _read_times(timed)
+    dispatches = _dispatch_times(timed)
+    idle_segments = [s for s in schedule if isinstance(s.state, Idle)]
+
+    result: dict[Job, int] = {}
+    for job, arrived in arrival_of.items():
+        read = read_of[job]
+        last_violation: int | None = None
+        my_priority = priority(job.data)
+        # (a) dispatch decisions that overlooked this (unread) job and
+        # picked something of strictly lower priority.
+        for stamp, other in dispatches:
+            if arrived <= stamp < read and priority(other.data) < my_priority:
+                last_violation = max(last_violation or 0, stamp)
+        # (b) idle instants while this job had arrived but was unread.
+        for segment in idle_segments:
+            lo = max(segment.start, arrived)
+            hi = min(segment.end, read)
+            if lo < hi:
+                last_violation = max(last_violation or 0, hi - 1)
+        if last_violation is None:
+            result[job] = 0
+        else:
+            result[job] = last_violation + 1 - arrived
+    return result
+
+
+def check_jitter_compliance(
+    timed: TimedTrace,
+    arrivals: ArrivalSequence,
+    schedule: FiniteSchedule,
+    priority: PriorityFn,
+    jitter_bound: int,
+) -> ComplianceReport:
+    """Verify the §4.3 lemma on one run; raises :class:`ComplianceError`
+    with the worst offender if any needed jitter exceeds the bound."""
+    needed = needed_jitters(timed, arrivals, schedule, priority)
+    report = ComplianceReport(needed_jitter=needed, bound=jitter_bound)
+    if not report.ok:
+        worst_job = max(needed, key=needed.__getitem__)
+        raise ComplianceError(worst_job, needed[worst_job], jitter_bound)
+    return report

@@ -1,0 +1,164 @@
+"""Arrival curves ``α_i`` and release curves ``β_i`` (paper section 4).
+
+An arrival curve upper-bounds how many jobs of a task may arrive in any
+half-open window: ``|{j : t ≤ a_j < t+Δ}| ≤ α(Δ)`` (Eq. 2).  Curves are
+monotone staircase functions with ``α(0) = 0``.
+
+The *release curve* (section 4.3) accounts for release jitter:
+``β(Δ) = 0`` if ``Δ = 0`` else ``α(Δ + J)`` — jitter may compress
+releases closer together than arrivals, and ``β`` bounds the release
+sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class ArrivalCurve(Protocol):
+    """A monotone staircase bound on arrivals per window length."""
+
+    def __call__(self, delta: int) -> int:
+        """Maximum number of arrivals in any window of length ``delta``."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True, slots=True)
+class SporadicCurve:
+    """Sporadic arrivals with minimum inter-arrival separation ``T``:
+    ``α(Δ) = ⌈Δ/T⌉``.  (A periodic task with period ``T`` is the dense
+    instance of this bound.)"""
+
+    min_separation: int
+
+    def __post_init__(self) -> None:
+        if self.min_separation <= 0:
+            raise ValueError("minimum separation must be positive")
+
+    def __call__(self, delta: int) -> int:
+        if delta <= 0:
+            return 0
+        return ceil(delta / self.min_separation)
+
+
+@dataclass(frozen=True, slots=True)
+class LeakyBucketCurve:
+    """Token-bucket arrivals: a burst of up to ``burst`` jobs plus one
+    job per ``rate_separation`` thereafter: ``α(Δ) = b + ⌊(Δ-1)/T⌋``
+    for ``Δ > 0``."""
+
+    burst: int
+    rate_separation: int
+
+    def __post_init__(self) -> None:
+        if self.burst <= 0:
+            raise ValueError("burst must be positive")
+        if self.rate_separation <= 0:
+            raise ValueError("rate separation must be positive")
+
+    def __call__(self, delta: int) -> int:
+        if delta <= 0:
+            return 0
+        return self.burst + (delta - 1) // self.rate_separation
+
+
+@dataclass(frozen=True)
+class TableCurve:
+    """An explicit staircase: ``steps[k] = (window, count)`` means the
+    curve jumps to ``count`` at window length ``window``; beyond the
+    table it continues with ``tail_separation`` between extra jobs."""
+
+    steps: tuple[tuple[int, int], ...]
+    tail_separation: int
+
+    def __post_init__(self) -> None:
+        previous_window, previous_count = 0, 0
+        for window, count in self.steps:
+            if window <= previous_window or count < previous_count:
+                raise ValueError("table steps must be strictly increasing")
+            previous_window, previous_count = window, count
+        if self.tail_separation <= 0:
+            raise ValueError("tail separation must be positive")
+
+    def __call__(self, delta: int) -> int:
+        if delta <= 0:
+            return 0
+        result = 0
+        last_window = 0
+        for window, count in self.steps:
+            if delta >= window:
+                result = count
+                last_window = window
+            else:
+                return result
+        return result + (delta - last_window) // self.tail_separation
+
+
+@dataclass(frozen=True, slots=True)
+class ShiftedCurve:
+    """``β(Δ) = base(Δ + shift)`` for ``Δ > 0`` — the release curve."""
+
+    base: ArrivalCurve
+    shift: int
+
+    def __call__(self, delta: int) -> int:
+        if delta <= 0:
+            return 0
+        return self.base(delta + self.shift)
+
+
+def release_curve(alpha: ArrivalCurve, max_jitter: int) -> ArrivalCurve:
+    """The release curve ``β`` for arrival curve ``α`` and jitter bound
+    ``J`` (section 4.3): ``β(Δ) = α(Δ + J)`` for ``Δ > 0``."""
+    if max_jitter < 0:
+        raise ValueError("jitter bound must be non-negative")
+    return ShiftedCurve(alpha, max_jitter)
+
+
+class CurveViolation(Exception):
+    """An arrival sequence exceeds its arrival curve."""
+
+
+def check_curve_respected(times: Sequence[int], alpha: ArrivalCurve) -> None:
+    """Check Eq. 2 for the given (sorted or unsorted) arrival times.
+
+    Uses the pairwise criterion: for sorted times ``a_1 ≤ … ≤ a_m``,
+    Eq. 2 holds iff ``j - i + 1 ≤ α(a_j - a_i + 1)`` for all ``i ≤ j``.
+    Raises :class:`CurveViolation` on failure.
+    """
+    sorted_times = sorted(times)
+    m = len(sorted_times)
+    for i in range(m):
+        for j in range(i, m):
+            window = sorted_times[j] - sorted_times[i] + 1
+            count = j - i + 1
+            if count > alpha(window):
+                raise CurveViolation(
+                    f"{count} arrivals within a window of {window} "
+                    f"(allowed {alpha(window)})"
+                )
+
+
+def respects_curve(times: Sequence[int], alpha: ArrivalCurve) -> bool:
+    """Boolean form of :func:`check_curve_respected`."""
+    try:
+        check_curve_respected(times, alpha)
+    except CurveViolation:
+        return False
+    return True
+
+
+def check_staircase(alpha: ArrivalCurve, horizon: int) -> None:
+    """Sanity-check curve axioms on a prefix: ``α(0) = 0`` and
+    monotonicity up to ``horizon`` (used by property tests)."""
+    if alpha(0) != 0:
+        raise ValueError("arrival curves must satisfy α(0) = 0")
+    previous = 0
+    for delta in range(1, horizon + 1):
+        value = alpha(delta)
+        if value < previous:
+            raise ValueError(f"arrival curve decreases at Δ={delta}")
+        previous = value

@@ -1,0 +1,110 @@
+"""Brute-force worst-case exploration for tiny task systems.
+
+For small horizons and task sets, enumerate *every* arrival pattern
+consistent with the arrival curves (arrival times per task, on one
+socket), simulate each under adversarial (always-WCET) timing, and take
+the maximum observed response time per task.
+
+The result is a *lower bound* on the true worst case (the duration
+policy is fixed to WCET; some pathologies need sub-WCET timing), which
+is exactly what the soundness property test needs: the analytic bound of
+:func:`repro.rta.npfp.analyse` must dominate every observed response
+time, in particular these exhaustively-found ones.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement, product
+from typing import Iterator, Sequence
+
+from repro.rossl.client import RosslClient
+from repro.rta.curves import respects_curve
+from repro.sim.simulator import WcetDurations, simulate
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.timing.wcet import WcetModel
+
+
+def _conformant_patterns(
+    alpha, horizon: int, max_jobs: int
+) -> Iterator[tuple[int, ...]]:
+    """All multisets of ≤ ``max_jobs`` arrival times in ``[0, horizon)``
+    that respect ``alpha`` (including the empty pattern)."""
+    yield ()
+    for count in range(1, max_jobs + 1):
+        for times in combinations_with_replacement(range(horizon), count):
+            if respects_curve(times, alpha):
+                yield times
+
+
+def enumerate_arrival_sequences(
+    client: RosslClient, horizon: int, max_jobs_per_task: int = 3
+) -> Iterator[ArrivalSequence]:
+    """Every curve-conformant arrival sequence on the client's first
+    socket with at most ``max_jobs_per_task`` jobs per task."""
+    tasks = list(client.tasks)
+    sock = client.sockets[0]
+    per_task_patterns = [
+        list(
+            _conformant_patterns(
+                client.tasks.arrival_curve(task.name), horizon, max_jobs_per_task
+            )
+        )
+        for task in tasks
+    ]
+    for combo in product(*per_task_patterns):
+        arrivals = []
+        serial = 0
+        for task, times in zip(tasks, combo):
+            for t in times:
+                arrivals.append(Arrival(t, sock, (task.type_tag, serial)))
+                serial += 1
+        yield ArrivalSequence(arrivals)
+
+
+def exact_worst_responses(
+    client: RosslClient,
+    wcet: WcetModel,
+    arrival_horizon: int,
+    max_jobs_per_task: int = 3,
+    sim_horizon: int | None = None,
+) -> dict[str, int]:
+    """Exhaustive worst observed response time per task (0 if no job of
+    the task ever ran).
+
+    ``sim_horizon`` defaults to a value large enough for every enumerated
+    job to complete under WCET timing.
+    """
+    tasks = list(client.tasks)
+    if sim_horizon is None:
+        total_jobs = max_jobs_per_task * len(tasks)
+        per_job = max(t.wcet for t in tasks) + wcet.overhead_per_job(
+            client.num_sockets
+        )
+        sim_horizon = arrival_horizon + (total_jobs + 2) * per_job + 100
+    worst: dict[str, int] = {task.name: 0 for task in tasks}
+    for arrivals in enumerate_arrival_sequences(
+        client, arrival_horizon, max_jobs_per_task
+    ):
+        result = simulate(client, arrivals, wcet, sim_horizon, WcetDurations())
+        for job, (_, _, response) in result.response_times().items():
+            name = client.tasks.msg_to_task(job.data).name
+            worst[name] = max(worst[name], response)
+        # Every enumerated job must have completed within the horizon.
+        read = {
+            m.job
+            for m in result.timed_trace.trace
+            if type(m).__name__ == "MReadE" and m.job is not None
+        }
+        done = set(result.timed_trace.completions())
+        if read - done:
+            raise RuntimeError(
+                "simulation horizon too short for exhaustive exploration"
+            )
+    return worst
+
+
+def count_sequences(
+    client: RosslClient, horizon: int, max_jobs_per_task: int = 3
+) -> int:
+    """Number of sequences the exhaustive explorer would visit."""
+    return sum(1 for _ in enumerate_arrival_sequences(client, horizon, max_jobs_per_task))

@@ -1,0 +1,128 @@
+"""The overhead-aware response-time analysis for Rössl (Thm. 4.2).
+
+Top-level composition of section 4: given a client (tasks with arrival
+curves, sockets) and the WCET model,
+
+1. compute the jitter bound ``J`` (Def. 4.3);
+2. shift arrival curves into release curves ``β_k(Δ) = α_k(Δ + J)``;
+3. build the supply bound function from the release curves (section 4.4);
+4. run the aRSA busy-window analysis per task, yielding ``R_i`` w.r.t.
+   the release sequence;
+5. report ``R_i + J`` — a response-time bound w.r.t. the *arrival*
+   sequence (Thm. 4.2) — which Thm. 5.1 transfers to the timed trace of
+   the C implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.arsa import ArsaResult, solve_response_time
+from repro.rta.curves import ArrivalCurve, release_curve
+from repro.rta.jitter import JitterBounds, jitter_bound
+from repro.rta.sbf import SupplyBoundFunction, make_sbf
+from repro.timing.wcet import WcetModel
+
+
+@dataclass(frozen=True)
+class TaskBound:
+    """Analysis outcome for one task."""
+
+    task: Task
+    arsa: ArsaResult | None  # None: unschedulable / unbounded
+
+    @property
+    def schedulable(self) -> bool:
+        return self.arsa is not None
+
+    def release_bound(self) -> int:
+        """``R_i`` w.r.t. the release sequence."""
+        if self.arsa is None:
+            raise ValueError(f"task {self.task.name} has no response-time bound")
+        return self.arsa.response_bound
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """The full analysis of one deployment."""
+
+    tasks: TaskSystem
+    wcet: WcetModel
+    num_sockets: int
+    jitter: JitterBounds
+    sbf: SupplyBoundFunction
+    bounds: dict[str, TaskBound]
+
+    @property
+    def schedulable(self) -> bool:
+        return all(b.schedulable for b in self.bounds.values())
+
+    def response_time_bound(self, task_name: str) -> int:
+        """``R_i + J_i``: the bound w.r.t. the arrival sequence (Thm. 4.2)."""
+        return self.bounds[task_name].release_bound() + self.jitter.bound
+
+    def rows(self) -> list[tuple[str, int, int, int | None, int | None]]:
+        """Report rows: (task, C, priority, R_release, R_total)."""
+        out = []
+        for task in self.tasks:
+            bound = self.bounds[task.name]
+            if bound.schedulable:
+                release = bound.release_bound()
+                total = release + self.jitter.bound
+            else:
+                release = total = None
+            out.append((task.name, task.wcet, task.priority, release, total))
+        return out
+
+
+def analyse(
+    client: RosslClient,
+    wcet: WcetModel,
+    horizon: int = 1_000_000,
+) -> AnalysisResult:
+    """Run the overhead-aware RTA for a deployment.
+
+    Every task of the client must carry an arrival curve.  ``horizon``
+    bounds the busy-window search; tasks whose busy window does not
+    close within it are reported unschedulable.
+    """
+    tasks = client.tasks
+    if not tasks.has_curves:
+        raise ValueError("every task needs an arrival curve for the analysis")
+    jitter = jitter_bound(wcet, client.num_sockets)
+    release_curves: dict[str, ArrivalCurve] = {
+        task.name: release_curve(tasks.arrival_curve(task.name), jitter.bound)
+        for task in tasks
+    }
+    sbf = make_sbf(tasks.tasks, release_curves, wcet, client.num_sockets)
+    bounds = {
+        task.name: TaskBound(
+            task,
+            solve_response_time(task, tasks.tasks, release_curves, sbf, horizon),
+        )
+        for task in tasks
+    }
+    return AnalysisResult(
+        tasks=tasks,
+        wcet=wcet,
+        num_sockets=client.num_sockets,
+        jitter=jitter,
+        sbf=sbf,
+        bounds=bounds,
+    )
+
+
+def response_time_bound(
+    client: RosslClient,
+    wcet: WcetModel,
+    task_name: str,
+    horizon: int = 1_000_000,
+) -> int | None:
+    """Convenience: ``R_i + J_i`` for one task, or ``None``."""
+    result = analyse(client, wcet, horizon)
+    bound = result.bounds[task_name]
+    if not bound.schedulable:
+        return None
+    return result.response_time_bound(task_name)

@@ -1,0 +1,68 @@
+"""Schedules of processor states and the trace→schedule conversion.
+
+This package implements the abstraction step of paper section 2.4: a
+timed trace of marker functions is converted — by a finite look-ahead
+parser — into a *schedule* mapping every instant to a
+:class:`~repro.schedule.states.ProcessorState`, the representation
+Prosa-style response-time analyses consume.  The paper's validity
+constraints (a)–(e) on such schedules are decidable checkers in
+:mod:`repro.schedule.validity`, and :mod:`repro.schedule.metrics`
+measures supply/blackout for the SBF experiments.
+"""
+
+from repro.schedule.busy import BusyWindow, busy_windows, longest_busy_window
+from repro.schedule.conversion import ConversionError, FiniteSchedule, Segment, convert
+from repro.schedule.extend import extend_with_pending_completions, pending_at_horizon
+from repro.schedule.infinite import TotalSchedule
+from repro.schedule.render import render_timeline
+from repro.schedule.metrics import (
+    blackout_in,
+    max_blackout_over_windows,
+    min_supply_over_windows,
+    state_durations,
+    supply_in,
+)
+from repro.schedule.states import (
+    CompletionOvh,
+    DispatchOvh,
+    Executes,
+    Idle,
+    PollingOvh,
+    ProcessorState,
+    ReadOvh,
+    SelectionOvh,
+    is_overhead,
+    is_supply,
+)
+from repro.schedule.validity import ScheduleValidityError, check_schedule_validity
+
+__all__ = [
+    "BusyWindow",
+    "CompletionOvh",
+    "ConversionError",
+    "DispatchOvh",
+    "Executes",
+    "FiniteSchedule",
+    "Idle",
+    "PollingOvh",
+    "ProcessorState",
+    "ReadOvh",
+    "ScheduleValidityError",
+    "Segment",
+    "SelectionOvh",
+    "TotalSchedule",
+    "blackout_in",
+    "busy_windows",
+    "check_schedule_validity",
+    "convert",
+    "extend_with_pending_completions",
+    "longest_busy_window",
+    "pending_at_horizon",
+    "render_timeline",
+    "is_overhead",
+    "is_supply",
+    "max_blackout_over_windows",
+    "min_supply_over_windows",
+    "state_durations",
+    "supply_in",
+]

@@ -1,0 +1,80 @@
+"""Busy windows: maximal non-idle stretches of a schedule.
+
+aRSA's supply bound function is only required to hold *within a busy
+window* (paper §4.2, appendix remark); these helpers locate the busy
+windows of concrete schedules so experiments can validate the SBF
+exactly where the analysis uses it (and, more strictly, everywhere —
+our conservative SBF holds globally, see E7).
+
+A *busy window* here is a maximal interval in which the processor is
+never ``Idle``.  Gaps shorter than one instant cannot exist (segments
+are integral), so detection is a linear scan over segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedule.conversion import FiniteSchedule
+from repro.schedule.metrics import supply_in
+from repro.schedule.states import Idle
+
+
+@dataclass(frozen=True, slots=True)
+class BusyWindow:
+    """One maximal non-idle stretch ``[start, end)``."""
+
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def __str__(self) -> str:
+        return f"busy [{self.start},{self.end})"
+
+
+def busy_windows(schedule: FiniteSchedule) -> list[BusyWindow]:
+    """All maximal non-idle stretches, in order."""
+    windows: list[BusyWindow] = []
+    current_start: int | None = None
+    for segment in schedule:
+        if isinstance(segment.state, Idle):
+            if current_start is not None:
+                windows.append(BusyWindow(current_start, segment.start))
+                current_start = None
+        else:
+            if current_start is None:
+                current_start = segment.start
+    if current_start is not None:
+        windows.append(BusyWindow(current_start, schedule.end))
+    return windows
+
+
+def longest_busy_window(schedule: FiniteSchedule) -> BusyWindow | None:
+    """The longest busy window, or ``None`` for an all-idle schedule."""
+    windows = busy_windows(schedule)
+    if not windows:
+        return None
+    return max(windows, key=lambda w: w.length)
+
+
+def min_supply_in_busy_prefixes(
+    schedule: FiniteSchedule, delta: int
+) -> int | None:
+    """Minimum supply over the length-``delta`` *prefixes* of busy
+    windows (the exact anchoring aRSA uses for the SBF).
+
+    Returns ``None`` when no busy window is at least ``delta`` long.
+    """
+    if delta <= 0:
+        return 0
+    candidates = [
+        supply_in(schedule, window.start, window.start + delta)
+        for window in busy_windows(schedule)
+        if window.length >= delta
+    ]
+    if not candidates:
+        return None
+    return min(candidates)

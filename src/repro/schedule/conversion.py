@@ -1,0 +1,228 @@
+"""Converting a timed trace into a schedule of processor states.
+
+This is the finite look-ahead parser of paper section 2.4.  The
+difficulty is attributing *failed* reads to jobs:
+
+* failed reads followed (within the polling phase) by a successful read
+  of ``j`` become ``ReadOvh j`` together with that read;
+* the concluding failed reads of a polling phase (the all-fail pass plus
+  any trailing failures after the phase's last success) become
+  ``PollingOvh j`` when job ``j`` is executed next;
+* when the polling phase found nothing and nothing is pending, the
+  failed reads, the failed selection, and the idling action all map to
+  ``Idle``.
+
+Everything else maps one-to-one: ``Selection j`` → ``SelectionOvh j``,
+``Disp j`` → ``DispatchOvh j``, ``Exec j`` → ``Executes j``, ``Compl j``
+→ ``CompletionOvh j``.
+
+Because attribution looks into the future, work that is unresolved at
+the observation horizon (buffered failed reads, a selection whose
+outcome was cut off) is *not* part of the returned schedule: the
+schedule ends at the last instant whose state is determined,
+``FiniteSchedule.end``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.schedule.states import (
+    CompletionOvh,
+    DispatchOvh,
+    Executes,
+    Idle,
+    PollingOvh,
+    ProcessorState,
+    ReadOvh,
+    SelectionOvh,
+)
+from repro.traces.basic_actions import (
+    Compl,
+    Disp,
+    Exec,
+    IdlingAction,
+    Read,
+    Selection,
+)
+from repro.traces.markers import SocketId
+from repro.traces.protocol import ActionSpan, SchedulerProtocol
+from repro.timing.timed_trace import TimedTrace
+
+
+class ConversionError(Exception):
+    """The timed trace cannot be converted (protocol violation or
+    malformed action sequence)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A maximal run of one processor state over ``[start, end)``."""
+
+    state: ProcessorState
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def __str__(self) -> str:
+        return f"[{self.start},{self.end}) {self.state}"
+
+
+@dataclass(frozen=True)
+class FiniteSchedule:
+    """A schedule over ``[start, end)`` as contiguous maximal segments."""
+
+    segments: tuple[Segment, ...]
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        previous_end = self.start
+        for segment in self.segments:
+            if segment.start != previous_end:
+                raise ValueError(
+                    f"segments not contiguous at {segment}: expected start "
+                    f"{previous_end}"
+                )
+            if segment.duration <= 0:
+                raise ValueError(f"empty segment {segment}")
+            previous_end = segment.end
+        if previous_end != self.end:
+            raise ValueError(
+                f"segments end at {previous_end}, schedule claims {self.end}"
+            )
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self.segments)
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def state_at(self, time: int) -> ProcessorState:
+        """The processor state at instant ``time`` (``sched t``)."""
+        if not self.start <= time < self.end:
+            raise IndexError(f"instant {time} outside [{self.start},{self.end})")
+        lo, hi = 0, len(self.segments) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            segment = self.segments[mid]
+            if time < segment.start:
+                hi = mid - 1
+            elif time >= segment.end:
+                lo = mid + 1
+            else:
+                return segment.state
+        raise AssertionError("contiguous segments must cover the range")  # pragma: no cover
+
+
+def _merge(segments: Iterable[Segment]) -> list[Segment]:
+    """Coalesce adjacent segments with equal states (e.g. consecutive
+    idle loop iterations form one Idle run)."""
+    merged: list[Segment] = []
+    for segment in segments:
+        if merged and merged[-1].state == segment.state and merged[-1].end == segment.start:
+            merged[-1] = Segment(segment.state, merged[-1].start, segment.end)
+        else:
+            merged.append(segment)
+    return merged
+
+
+def _action_times(timed: TimedTrace, span: ActionSpan) -> tuple[int, int]:
+    start = timed.ts[span.start]
+    end = timed.ts[span.end] if span.end < len(timed.ts) else timed.horizon
+    return start, end
+
+
+def convert(
+    timed: TimedTrace, sockets: Iterable[SocketId]
+) -> FiniteSchedule:
+    """Convert a protocol-conforming timed trace into a schedule.
+
+    Raises :class:`ConversionError` if the trace violates the scheduler
+    protocol (via :class:`~repro.traces.protocol.ProtocolError` wrapped).
+    """
+    protocol = SchedulerProtocol(sockets)
+    try:
+        actions = protocol.run(timed.trace)
+    except Exception as exc:  # ProtocolError
+        raise ConversionError(f"trace rejected by the scheduler protocol: {exc}") from exc
+
+    segments: list[Segment] = []
+    #: buffered failed-read intervals awaiting attribution
+    buffered: list[tuple[int, int]] = []
+    #: a resolved Selection/Disp/Exec/Compl group under construction
+    index = 0
+    resolved_end = timed.start_time
+
+    def flush_buffered(state: ProcessorState) -> None:
+        nonlocal resolved_end
+        for start, end in buffered:
+            segments.append(Segment(state, start, end))
+        buffered.clear()
+
+    while index < len(actions):
+        span = actions[index]
+        action = span.action
+        start, end = _action_times(timed, span)
+        if isinstance(action, Read):
+            if action.failed:
+                buffered.append((start, end))
+                index += 1
+                continue
+            # Failed reads before a success join its ReadOvh.
+            job = action.job
+            assert job is not None
+            if buffered:
+                ovh_start = buffered[0][0]
+                buffered.clear()
+            else:
+                ovh_start = start
+            segments.append(Segment(ReadOvh(job), ovh_start, end))
+            resolved_end = end
+            index += 1
+            continue
+        if isinstance(action, Selection):
+            if action.job is not None:
+                job = action.job
+                # The concluding failed reads become PollingOvh j.
+                flush_buffered(PollingOvh(job))
+                segments.append(Segment(SelectionOvh(job), start, end))
+                resolved_end = end
+                index += 1
+                continue
+            # Failed selection: reads + selection + idling are Idle.
+            if index + 1 >= len(actions) or not isinstance(
+                actions[index + 1].action, IdlingAction
+            ):
+                raise ConversionError(
+                    "failed selection not followed by idling"
+                )  # pragma: no cover - protocol guarantees this
+            idling_span = actions[index + 1]
+            _, idle_end = _action_times(timed, idling_span)
+            idle_start = buffered[0][0] if buffered else start
+            buffered.clear()
+            segments.append(Segment(Idle(), idle_start, idle_end))
+            resolved_end = idle_end
+            index += 2
+            continue
+        if isinstance(action, Disp):
+            segments.append(Segment(DispatchOvh(action.job), start, end))
+        elif isinstance(action, Exec):
+            segments.append(Segment(Executes(action.job), start, end))
+        elif isinstance(action, Compl):
+            segments.append(Segment(CompletionOvh(action.job), start, end))
+        else:  # pragma: no cover - IdlingAction is consumed with Selection
+            raise ConversionError(f"unexpected action {action}")
+        resolved_end = end
+        index += 1
+
+    merged = _merge(segments)
+    start_time = timed.start_time
+    if not merged:
+        return FiniteSchedule((), start_time, start_time)
+    return FiniteSchedule(tuple(merged), merged[0].start, merged[-1].end)

@@ -1,0 +1,72 @@
+"""Extending finite schedules to Prosa's total representation (§6).
+
+Prosa reasons over total schedules ``ℕ → ProcessorState`` with every job
+eventually completed, while a real observation is a finite prefix that
+may cut jobs off mid-flight.  Like ProKOS and RefinedProsa (related-work
+discussion), we extend the finite schedule by *manually scheduling the
+completion of any pending jobs* after the horizon — highest priority
+first, each for its remaining WCET budget — and idling forever after.
+(The paper notes that, unlike ProKOS, no infinite extension with future
+*arrivals* is needed: the final theorem only speaks about jobs whose
+deadline falls inside the horizon.)
+
+The extension preserves everything the RTA needs: it never changes the
+prefix, every read job eventually completes, and the appended segments
+respect the per-job WCET budget.
+"""
+
+from __future__ import annotations
+
+from repro.model.job import Job
+from repro.model.task import TaskSystem
+from repro.schedule.conversion import FiniteSchedule, Segment
+from repro.schedule.infinite import TotalSchedule
+from repro.schedule.states import Executes
+from repro.timing.timed_trace import TimedTrace
+from repro.traces.markers import MCompletion, MReadE
+from repro.traces.validity import PriorityFn
+
+
+def pending_at_horizon(timed: TimedTrace) -> list[Job]:
+    """Jobs read but not completed within the observation (in read order)."""
+    completed = {m.job for m in timed.trace if isinstance(m, MCompletion)}
+    return [
+        m.job
+        for m in timed.trace
+        if isinstance(m, MReadE) and m.job is not None and m.job not in completed
+    ]
+
+
+def service_received(timed: TimedTrace, job: Job) -> int:
+    """Execution time ``job`` received within the observation."""
+    total = 0
+    for index, marker in enumerate(timed.trace):
+        if type(marker).__name__ == "MExecution" and marker.job == job:
+            start, end = timed.interval(index)
+            total += end - start
+    return total
+
+
+def extend_with_pending_completions(
+    schedule: FiniteSchedule,
+    timed: TimedTrace,
+    tasks: TaskSystem,
+    priority: PriorityFn | None = None,
+) -> TotalSchedule:
+    """The ProKOS-style extension: complete every pending job after the
+    horizon (priority order, remaining WCET each), then idle forever."""
+    priority_fn = priority or tasks.priority_of
+    pending = sorted(
+        pending_at_horizon(timed),
+        key=lambda j: (-priority_fn(j.data), j.jid),
+    )
+    segments = list(schedule.segments)
+    cursor = schedule.end
+    for job in pending:
+        budget = tasks.msg_to_task(job.data).wcet - service_received(timed, job)
+        if budget <= 0:
+            budget = 1  # a cut-off job still needs an instant to wrap up
+        segments.append(Segment(Executes(job), cursor, cursor + budget))
+        cursor += budget
+    extended = FiniteSchedule(tuple(segments), schedule.start, cursor)
+    return TotalSchedule(extended)

@@ -1,0 +1,53 @@
+"""Total (possibly infinite) schedules: ``ℕ → ProcessorState``.
+
+Prosa reasons over total schedules while the scheduler only ever
+produces a finite prefix.  Like ProKOS and RefinedProsa (related-work
+discussion, section 6), we extend the finite schedule beyond its horizon
+with ``Idle`` — the paper notes that, because the final theorem only
+guarantees jobs whose response-time bound lies *within* the horizon, no
+infinite extension with future arrivals is needed.
+"""
+
+from __future__ import annotations
+
+from repro.schedule.conversion import FiniteSchedule
+from repro.schedule.states import Idle, ProcessorState
+
+
+class TotalSchedule:
+    """A total schedule: the finite prefix, then ``Idle`` forever.
+
+    Instants before ``finite.start`` (the scheduler had not emitted its
+    first marker yet) are also ``Idle``.
+    """
+
+    def __init__(self, finite: FiniteSchedule) -> None:
+        self.finite = finite
+
+    def __call__(self, time: int) -> ProcessorState:
+        return self.state_at(time)
+
+    def state_at(self, time: int) -> ProcessorState:
+        if time < 0:
+            raise IndexError("time must be a natural number")
+        if self.finite.start <= time < self.finite.end:
+            return self.finite.state_at(time)
+        return Idle()
+
+    def service_in(self, job, start: int, end: int) -> int:
+        """Instants in ``[start, end)`` during which ``job`` executes.
+
+        Only the finite prefix can serve jobs; the idle extension never
+        does.
+        """
+        total = 0
+        for segment in self.finite:
+            if type(segment.state).__name__ != "Executes":
+                continue
+            if segment.state.job != job:
+                continue
+            lo = max(start, segment.start)
+            hi = min(end, segment.end)
+            if lo < hi:
+                total += hi - lo
+        return total

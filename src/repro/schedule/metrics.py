@@ -1,0 +1,102 @@
+"""Measuring schedules: supply, blackout, and state-duration totals.
+
+Terminology follows aRSA (paper section 4.2): *supply* is time in which
+the processor can progress jobs (``Executes`` or ``Idle``); *blackout*
+is the complement — every overhead state.  These metrics validate the
+supply bound function empirically: for every window length ``Δ``, the
+measured minimum supply over all windows must dominate ``SBF(Δ)``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.schedule.conversion import FiniteSchedule
+from repro.schedule.states import ProcessorState, is_overhead
+
+
+def blackout_in(schedule: FiniteSchedule, start: int, end: int) -> int:
+    """Total blackout time within ``[start, end)`` (clipped to the
+    schedule's extent)."""
+    total = 0
+    for segment in schedule:
+        if not is_overhead(segment.state):
+            continue
+        lo = max(start, segment.start)
+        hi = min(end, segment.end)
+        if lo < hi:
+            total += hi - lo
+    return total
+
+
+def supply_in(schedule: FiniteSchedule, start: int, end: int) -> int:
+    """Total supply within ``[start, end) ∩ [schedule.start, schedule.end)``."""
+    lo = max(start, schedule.start)
+    hi = min(end, schedule.end)
+    if lo >= hi:
+        return 0
+    return (hi - lo) - blackout_in(schedule, lo, hi)
+
+
+def _candidate_window_starts(schedule: FiniteSchedule, delta: int) -> list[int]:
+    """Window starts at which a sliding-window extremum can occur.
+
+    The blackout indicator is piecewise constant with breakpoints at
+    segment boundaries; the window integral is piecewise linear in the
+    start, so extrema occur where either window edge hits a boundary.
+    """
+    boundaries: set[int] = {schedule.start, schedule.end}
+    for segment in schedule:
+        boundaries.add(segment.start)
+        boundaries.add(segment.end)
+    candidates: set[int] = set()
+    for b in boundaries:
+        for start in (b, b - delta):
+            if schedule.start <= start and start + delta <= schedule.end:
+                candidates.add(start)
+    return sorted(candidates)
+
+
+def max_blackout_over_windows(schedule: FiniteSchedule, delta: int) -> int:
+    """Maximum blackout over all windows ``[t, t+Δ)`` inside the schedule.
+
+    Returns 0 when ``Δ`` is 0 or exceeds the schedule duration.
+    """
+    if delta <= 0 or delta > schedule.duration:
+        return 0
+    return max(
+        blackout_in(schedule, start, start + delta)
+        for start in _candidate_window_starts(schedule, delta)
+    )
+
+
+def min_supply_over_windows(schedule: FiniteSchedule, delta: int) -> int:
+    """Minimum supply over all windows ``[t, t+Δ)`` inside the schedule."""
+    if delta <= 0 or delta > schedule.duration:
+        return 0
+    return delta - max_blackout_over_windows(schedule, delta)
+
+
+def state_durations(schedule: FiniteSchedule) -> dict[str, int]:
+    """Total time per state *kind* (class name), e.g. for reports."""
+    totals: dict[str, int] = defaultdict(int)
+    for segment in schedule:
+        totals[type(segment.state).__name__] += segment.duration
+    return dict(totals)
+
+
+def total_overhead(schedule: FiniteSchedule) -> int:
+    """Total blackout time over the whole schedule."""
+    return blackout_in(schedule, schedule.start, schedule.end)
+
+
+def utilization_of(schedule: FiniteSchedule) -> float:
+    """Fraction of the schedule spent executing jobs."""
+    if schedule.duration == 0:
+        return 0.0
+    executing = sum(
+        segment.duration
+        for segment in schedule
+        if type(segment.state).__name__ == "Executes"
+    )
+    return executing / schedule.duration

@@ -1,0 +1,85 @@
+"""ASCII rendering of schedules: regenerating the paper's Fig. 3 bars.
+
+Renders a :class:`~repro.schedule.conversion.FiniteSchedule` as a
+one-character-per-instant timeline (scaled on request), with a legend
+mapping glyphs to processor states.  Used by experiment E1 and the
+examples to print the figure-style timeline next to the segment list.
+"""
+
+from __future__ import annotations
+
+from repro.schedule.conversion import FiniteSchedule
+from repro.schedule.states import (
+    CompletionOvh,
+    DispatchOvh,
+    Executes,
+    Idle,
+    PollingOvh,
+    ProcessorState,
+    ReadOvh,
+    SelectionOvh,
+)
+
+_GLYPHS: list[tuple[type, str, str]] = [
+    (Idle, ".", "Idle"),
+    (Executes, "#", "Executes"),
+    (ReadOvh, "r", "ReadOvh"),
+    (PollingOvh, "p", "PollingOvh"),
+    (SelectionOvh, "s", "SelectionOvh"),
+    (DispatchOvh, "d", "DispatchOvh"),
+    (CompletionOvh, "c", "CompletionOvh"),
+]
+
+
+def glyph_of(state: ProcessorState) -> str:
+    for state_type, glyph, _ in _GLYPHS:
+        if isinstance(state, state_type):
+            return glyph
+    raise AssertionError(f"unhandled state {state!r}")  # pragma: no cover
+
+
+def legend() -> str:
+    """One-line legend for the timeline glyphs."""
+    return "  ".join(f"{glyph}={name}" for _, glyph, name in _GLYPHS)
+
+
+def render_timeline(
+    schedule: FiniteSchedule,
+    width: int = 72,
+    ruler: bool = True,
+) -> str:
+    """Render the schedule as glyph rows of at most ``width`` columns.
+
+    Each column covers ``ceil(duration / width)`` instants; a column
+    showing mixed states displays the glyph of its *first* instant, with
+    overhead states taking precedence so short overheads stay visible.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    duration = schedule.duration
+    if duration == 0:
+        return "(empty schedule)"
+    scale = max(1, -(-duration // width))  # ceil division
+    columns: list[str] = []
+    for start in range(schedule.start, schedule.end, scale):
+        end = min(start + scale, schedule.end)
+        chosen: str | None = None
+        for t in range(start, end):
+            glyph = glyph_of(schedule.state_at(t))
+            if chosen is None:
+                chosen = glyph
+            elif glyph not in (".", "#") and chosen in (".", "#"):
+                chosen = glyph  # overheads win over idle/exec backgrounds
+        columns.append(chosen or ".")
+    lines = []
+    if ruler:
+        label = f"[{schedule.start}..{schedule.end})  1 column = {scale} instant(s)"
+        lines.append(label)
+    lines.append("".join(columns))
+    lines.append(legend())
+    return "\n".join(lines)
+
+
+def render_segments(schedule: FiniteSchedule) -> str:
+    """The segment list, one per line (the Fig. 3 annotations)."""
+    return "\n".join(f"  {segment}" for segment in schedule)

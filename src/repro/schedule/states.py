@@ -1,0 +1,113 @@
+"""Processor states (paper section 2.4).
+
+::
+
+    ProcessorState ≜ Idle | Executes j | ReadOvh j | PollingOvh j
+                   | SelectionOvh j | DispatchOvh j | CompletionOvh j
+
+``Executes`` is the only state in which the job under analysis makes
+progress; ``Idle`` is available-but-unused time; every ``…Ovh`` state is
+*overhead* — scheduler work attributed to a job — and is modelled as
+blackout (no supply) in the aRSA instantiation (section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.model.job import Job
+
+
+@dataclass(frozen=True, slots=True)
+class Idle:
+    """Nothing to do: polling found nothing and no job is pending."""
+
+    def __str__(self) -> str:
+        return "Idle"
+
+
+@dataclass(frozen=True, slots=True)
+class Executes:
+    """The callback of ``job`` is running (supply consumed by the job)."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"Executes({self.job})"
+
+
+@dataclass(frozen=True, slots=True)
+class ReadOvh:
+    """Reads (failed ones plus the successful one) that brought ``job``
+    into the system."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"ReadOvh({self.job})"
+
+
+@dataclass(frozen=True, slots=True)
+class PollingOvh:
+    """The concluding failed reads of the polling phase before ``job``
+    was selected."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"PollingOvh({self.job})"
+
+
+@dataclass(frozen=True, slots=True)
+class SelectionOvh:
+    """Selecting ``job`` from the pending queue."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"SelectionOvh({self.job})"
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchOvh:
+    """Preparing ``job``'s callback invocation."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"DispatchOvh({self.job})"
+
+
+@dataclass(frozen=True, slots=True)
+class CompletionOvh:
+    """Cleanup after ``job``'s callback returned."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"CompletionOvh({self.job})"
+
+
+ProcessorState = Union[
+    Idle, Executes, ReadOvh, PollingOvh, SelectionOvh, DispatchOvh, CompletionOvh
+]
+
+OVERHEAD_STATES = (ReadOvh, PollingOvh, SelectionOvh, DispatchOvh, CompletionOvh)
+
+
+def is_overhead(state: ProcessorState) -> bool:
+    """Whether ``state`` is blackout (supply-restricted) time."""
+    return isinstance(state, OVERHEAD_STATES)
+
+
+def is_supply(state: ProcessorState) -> bool:
+    """Whether ``state`` provides supply (Idle or Executes)."""
+    return not is_overhead(state)
+
+
+def job_of(state: ProcessorState) -> Job | None:
+    """The job a state is attributed to (``None`` for Idle)."""
+    if isinstance(state, Idle):
+        return None
+    return state.job

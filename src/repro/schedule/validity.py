@@ -1,0 +1,156 @@
+"""Validity constraints on schedules (paper section 2.4, Def. 2.2).
+
+The constraints the paper proves about every converted schedule:
+
+(a) every discrete instance (maximal run) of each processor state except
+    ``Idle`` is bounded by its WCET-derived bound — ``PollingOvh`` by
+    ``PB`` (Def. 2.2), ``ReadOvh`` by ``RB``, ``SelectionOvh`` /
+    ``DispatchOvh`` / ``CompletionOvh`` by the respective action WCETs,
+    and ``Executes j`` by ``C_{task(j)}``;
+(b) consistency with the arrival sequence (checked on the timed trace,
+    :func:`repro.timing.timed_trace.check_consistency`);
+(c) functional correctness (checked on the trace,
+    :func:`repro.traces.validity.check_tr_valid`);
+(d) a schedule-level version of the scheduler protocol: for every
+    executed job the states run ``PollingOvh j → SelectionOvh j →
+    DispatchOvh j → Executes j → CompletionOvh j``, the job was read
+    (``ReadOvh j``) earlier, and each job executes at most once;
+(e) unique job identifiers (also trace-level).
+
+This module implements (a) and (d); (b), (c), (e) live on the trace
+side, and :func:`check_schedule_validity` composes them when given the
+originating timed trace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.model.job import Job
+from repro.model.task import TaskSystem
+from repro.schedule.conversion import FiniteSchedule, Segment
+from repro.schedule.states import (
+    CompletionOvh,
+    DispatchOvh,
+    Executes,
+    Idle,
+    PollingOvh,
+    ReadOvh,
+    SelectionOvh,
+)
+from repro.timing.wcet import WcetModel
+
+
+class ScheduleValidityError(Exception):
+    """A schedule violates one of the validity constraints."""
+
+    def __init__(self, constraint: str, message: str) -> None:
+        super().__init__(f"[{constraint}] {message}")
+        self.constraint = constraint
+
+
+def check_state_bounds(
+    schedule: FiniteSchedule,
+    tasks: TaskSystem,
+    wcet: WcetModel,
+    num_sockets: int,
+) -> None:
+    """Constraint (a): per-instance duration bounds (Def. 2.2 and kin)."""
+    bounds = {
+        ReadOvh: wcet.read_ovh_bound(num_sockets),
+        PollingOvh: wcet.polling_bound(num_sockets),
+        SelectionOvh: wcet.selection_bound,
+        DispatchOvh: wcet.dispatch_bound,
+        CompletionOvh: wcet.completion_bound,
+    }
+    for segment in schedule:
+        state = segment.state
+        if isinstance(state, Idle):
+            continue
+        if isinstance(state, Executes):
+            bound = tasks.msg_to_task(state.job.data).wcet
+        else:
+            bound = bounds[type(state)]
+        if segment.duration > bound:
+            raise ScheduleValidityError(
+                "state-wcet",
+                f"{segment} exceeds its bound {bound}",
+            )
+
+
+def check_schedule_protocol(schedule: FiniteSchedule) -> None:
+    """Constraint (d): the schedule-level scheduler protocol."""
+    read: set[Job] = set()
+    executed: set[Job] = set()
+    segments = schedule.segments
+    for position, segment in enumerate(segments):
+        state = segment.state
+        if isinstance(state, ReadOvh):
+            if state.job in read:
+                raise ScheduleValidityError(
+                    "protocol", f"job {state.job} read twice ({segment})"
+                )
+            read.add(state.job)
+            continue
+        if isinstance(state, PollingOvh):
+            tail_segments = segments[position + 1 : position + 5]
+            tail = [type(s.state) for s in tail_segments]
+            expected = [SelectionOvh, DispatchOvh, Executes, CompletionOvh]
+            # The observation horizon may cut the cycle short: a proper
+            # prefix is fine at the very end of the schedule.
+            truncated = position + 1 + len(tail_segments) == len(segments)
+            pattern_ok = (
+                tail == expected
+                or (truncated and tail == expected[: len(tail)])
+            )
+            jobs_match = all(
+                getattr(s.state, "job", None) == state.job
+                for s in tail_segments
+            )
+            if not pattern_ok or not jobs_match:
+                raise ScheduleValidityError(
+                    "protocol",
+                    f"PollingOvh({state.job}) not followed by "
+                    f"Selection/Dispatch/Executes/Completion of the same job "
+                    f"(got {[str(s) for s in segments[position + 1 : position + 5]]})",
+                )
+            continue
+        if isinstance(state, SelectionOvh):
+            if position == 0 or not isinstance(segments[position - 1].state, PollingOvh):
+                raise ScheduleValidityError(
+                    "protocol", f"{segment} without a preceding PollingOvh"
+                )
+            continue
+        if isinstance(state, Executes):
+            if state.job not in read:
+                raise ScheduleValidityError(
+                    "protocol", f"{segment} of a job that was never read"
+                )
+            if state.job in executed:
+                raise ScheduleValidityError(
+                    "protocol", f"job {state.job} executed twice"
+                )
+            executed.add(state.job)
+            continue
+
+
+def check_schedule_validity(
+    schedule: FiniteSchedule,
+    tasks: TaskSystem,
+    wcet: WcetModel,
+    num_sockets: int,
+) -> None:
+    """Constraints (a) and (d) together; raises on violation.
+
+    Constraints (b), (c), (e) are trace-level: check them with
+    :func:`repro.timing.timed_trace.check_consistency` and
+    :func:`repro.traces.validity.check_tr_valid` on the originating
+    timed trace.
+    """
+    check_state_bounds(schedule, tasks, wcet, num_sockets)
+    check_schedule_protocol(schedule)
+
+
+def instances(schedule: FiniteSchedule, state_type: type) -> list[Segment]:
+    """All maximal runs of the given state class (helper for tests)."""
+    return [s for s in schedule if isinstance(s.state, state_type)]

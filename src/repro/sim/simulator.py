@@ -1,0 +1,235 @@
+"""The timed driver: stamping markers and delivering arrivals.
+
+The scheduler implementations know nothing about time (exactly as the
+RefinedC verification is "completely agnostic to the concrete timing
+behavior", section 2.2).  Time lives here:
+
+* the driver is the scheduler's :class:`MarkerSink`; when a marker is
+  emitted it is stamped with the current clock and the clock advances by
+  the duration of the work the marker starts (drawn from a
+  :class:`DurationPolicy`, never exceeding the WCET);
+* the driver is also the scheduler's read :class:`Environment`: before
+  answering a read it delivers every arrival with time strictly before
+  the current clock — the clock at a read is the ``M_ReadE`` timestamp,
+  so Def. 2.1 consistency holds by construction;
+* a read spans two marker intervals: the syscall part (after
+  ``M_ReadS``) and the post-processing part (after ``M_ReadE``); their
+  sum is bounded by ``WcetFR``/``WcetSR`` depending on the outcome.
+
+The simulation ends at the ``horizon``: the first marker that would be
+stamped at or past it raises :class:`HorizonReached` instead, so every
+recorded timestamp is below the horizon.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.model.message import MsgData
+from repro.rossl.client import RosslClient
+from repro.rossl.env import HorizonReached, QueueEnvironment
+from repro.rossl.source import MiniCRossl
+from repro.schedule.conversion import FiniteSchedule, convert
+from repro.timing.arrivals import ArrivalSequence
+from repro.timing.timed_trace import TimedTrace, job_arrival_times
+from repro.timing.wcet import WcetModel
+from repro.traces.markers import (
+    Marker,
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+    SocketId,
+)
+
+
+class DurationPolicy(Protocol):
+    """Draws the actual duration of one piece of work, in ``[1, bound]``."""
+
+    def pick(self, kind: str, bound: int) -> int: ...  # pragma: no cover
+
+
+class WcetDurations:
+    """Adversarial timing: every action takes exactly its WCET."""
+
+    def pick(self, kind: str, bound: int) -> int:
+        return bound
+
+
+@dataclass
+class UniformDurations:
+    """Durations uniform in ``[1, bound]`` (seeded)."""
+
+    rng: random.Random
+
+    def pick(self, kind: str, bound: int) -> int:
+        return self.rng.randint(1, bound)
+
+
+@dataclass
+class FractionDurations:
+    """Durations at a fixed fraction of the WCET (at least 1)."""
+
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+
+    def pick(self, kind: str, bound: int) -> int:
+        return max(1, min(bound, round(self.fraction * bound)))
+
+
+class TimedDriver:
+    """MarkerSink + Environment with a clock (see module docstring)."""
+
+    def __init__(
+        self,
+        client: RosslClient,
+        arrivals: ArrivalSequence,
+        wcet: WcetModel,
+        horizon: int,
+        durations: DurationPolicy | None = None,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.client = client
+        self.wcet = wcet
+        self.horizon = horizon
+        self.durations = durations or WcetDurations()
+        self.clock = 0
+        self.trace: list[Marker] = []
+        self.timestamps: list[int] = []
+        self._queues = QueueEnvironment(client.sockets)
+        self._pending_arrivals = list(arrivals.restricted_to(client.sockets))
+        self._delivered = 0
+        self._read_syscall_duration: int | None = None
+
+    # -- Environment protocol ------------------------------------------------
+
+    def _deliver_up_to_clock(self) -> None:
+        """Move arrivals with time < clock into the socket queues."""
+        while (
+            self._delivered < len(self._pending_arrivals)
+            and self._pending_arrivals[self._delivered].time < self.clock
+        ):
+            arrival = self._pending_arrivals[self._delivered]
+            self._queues.inject(arrival.sock, arrival.data)
+            self._delivered += 1
+
+    def read(self, sock: SocketId) -> MsgData | None:
+        self._deliver_up_to_clock()
+        return self._queues.read(sock)
+
+    # -- MarkerSink protocol ---------------------------------------------------
+
+    def emit(self, marker: Marker) -> None:
+        if self.clock >= self.horizon:
+            raise HorizonReached(f"horizon {self.horizon} reached at {self.clock}")
+        self.trace.append(marker)
+        self.timestamps.append(self.clock)
+        self.clock += self._interval_duration(marker)
+
+    def _interval_duration(self, marker: Marker) -> int:
+        wcet = self.wcet
+        if isinstance(marker, MReadS):
+            # Syscall part: leave at least one unit for post-processing
+            # under either outcome.
+            bound = min(wcet.failed_read, wcet.success_read) - 1
+            duration = self.durations.pick("read_syscall", bound)
+            self._read_syscall_duration = duration
+            return duration
+        if isinstance(marker, MReadE):
+            syscall = self._read_syscall_duration
+            assert syscall is not None, "M_ReadE without a preceding M_ReadS"
+            self._read_syscall_duration = None
+            total_bound = (
+                wcet.failed_read if marker.job is None else wcet.success_read
+            )
+            kind = "read_post_fail" if marker.job is None else "read_post_success"
+            return self.durations.pick(kind, total_bound - syscall)
+        if isinstance(marker, MSelection):
+            return self.durations.pick("selection", wcet.selection)
+        if isinstance(marker, MDispatch):
+            return self.durations.pick("dispatch", wcet.dispatch)
+        if isinstance(marker, MExecution):
+            bound = self.client.tasks.msg_to_task(marker.job.data).wcet
+            return self.durations.pick("execution", bound)
+        if isinstance(marker, MCompletion):
+            return self.durations.pick("completion", wcet.completion)
+        if isinstance(marker, MIdling):
+            return self.durations.pick("idling", wcet.idling)
+        raise AssertionError(f"unhandled marker {marker}")  # pragma: no cover
+
+    def timed_trace(self) -> TimedTrace:
+        return TimedTrace.make(self.trace, self.timestamps, self.horizon)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything one simulated run produced."""
+
+    client: RosslClient
+    arrivals: ArrivalSequence
+    wcet: WcetModel
+    timed_trace: TimedTrace
+    implementation: str = "python"
+    _schedule_cache: list = field(default_factory=list, compare=False)
+
+    def schedule(self) -> FiniteSchedule:
+        """The converted schedule (cached)."""
+        if not self._schedule_cache:
+            self._schedule_cache.append(
+                convert(self.timed_trace, self.client.sockets)
+            )
+        return self._schedule_cache[0]
+
+    def response_times(self) -> dict:
+        """Per completed job: (arrival time, completion time, response).
+
+        Jobs read but not completed within the horizon are omitted; the
+        adequacy pipeline accounts for them via the horizon condition of
+        Thm. 5.1.
+        """
+        arrival_of = job_arrival_times(self.timed_trace, self.arrivals)
+        completions = self.timed_trace.completions()
+        return {
+            job: (arrival_of[job], done, done - arrival_of[job])
+            for job, done in completions.items()
+        }
+
+
+def simulate(
+    client: RosslClient,
+    arrivals: ArrivalSequence,
+    wcet: WcetModel,
+    horizon: int,
+    durations: DurationPolicy | None = None,
+    implementation: str = "python",
+    fuel: int = 5_000_000,
+) -> SimulationResult:
+    """Run one simulation to the horizon and package the results.
+
+    ``implementation`` selects the scheduler: ``"python"`` (the fast
+    reference model) or ``"minic"`` (the C source under the instrumented
+    semantics).  Both produce identical traces for identical inputs.
+    """
+    driver = TimedDriver(client, arrivals, wcet, horizon, durations)
+    if implementation == "python":
+        client.model().run(driver, driver)
+    elif implementation == "minic":
+        MiniCRossl(client).run(driver, driver, fuel=fuel)
+    else:
+        raise ValueError(f"unknown implementation {implementation!r}")
+    return SimulationResult(
+        client=client,
+        arrivals=arrivals,
+        wcet=wcet,
+        timed_trace=driver.timed_trace(),
+        implementation=implementation,
+    )

@@ -1,0 +1,37 @@
+"""Timing layer: timestamps, WCET assumptions, arrival sequences.
+
+This package implements Step 2 of RefinedProsa (paper section 2.3):
+marker traces are enriched with *timestamps* (one per marker, strictly
+increasing, in arbitrary integer time units), jobs arrive according to
+an *arrival sequence*, and three families of assumptions tie them
+together:
+
+* every basic action finishes within its WCET
+  (:class:`~repro.timing.wcet.WcetModel`);
+* the timed trace is *consistent* with the arrival sequence (Def. 2.1):
+  jobs are read only after they arrive, and a failed read means nothing
+  unread had arrived;
+* job arrivals respect the tasks' arrival curves (Eq. 2, checked in
+  :mod:`repro.rta.curves`).
+
+All three are decidable predicates here, checked on every simulated run.
+"""
+
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.timing.timed_trace import (
+    ConsistencyError,
+    TimedTrace,
+    check_consistency,
+)
+from repro.timing.wcet import WcetError, WcetModel, check_wcet_respected
+
+__all__ = [
+    "Arrival",
+    "ArrivalSequence",
+    "ConsistencyError",
+    "TimedTrace",
+    "WcetError",
+    "WcetModel",
+    "check_consistency",
+    "check_wcet_respected",
+]

@@ -1,0 +1,95 @@
+"""Arrival sequences: the workload of one run.
+
+The paper models arrivals as ``arr : sock → 𝕋 → list Job``.  Since job
+*ids* are assigned by the semantics at read time, an arrival here is a
+message payload on a socket at a time instant; the consistency check
+(Def. 2.1) matches read jobs to arrivals FIFO per socket, which is
+exactly the behaviour of the axiomatized datagram sockets.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.model.message import MsgData
+from repro.model.task import TaskSystem
+from repro.traces.markers import SocketId
+
+
+@dataclass(frozen=True, slots=True)
+class Arrival:
+    """One message arrival: payload ``data`` on ``sock`` at ``time``."""
+
+    time: int
+    sock: SocketId
+    data: MsgData
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"arrival time must be non-negative, got {self.time}")
+        if not self.data:
+            raise ValueError("arrivals must carry a non-empty payload")
+
+
+class ArrivalSequence:
+    """An immutable, time-sorted collection of arrivals.
+
+    Sorting is stable: same-instant arrivals on one socket keep their
+    construction order (they are enqueued in that order).
+    """
+
+    def __init__(self, arrivals: Iterable[Arrival]) -> None:
+        self._arrivals: tuple[Arrival, ...] = tuple(
+            sorted(arrivals, key=lambda a: a.time)
+        )
+        self._times = [a.time for a in self._arrivals]
+
+    def __iter__(self) -> Iterator[Arrival]:
+        return iter(self._arrivals)
+
+    def __len__(self) -> int:
+        return len(self._arrivals)
+
+    @property
+    def arrivals(self) -> tuple[Arrival, ...]:
+        return self._arrivals
+
+    def on_socket(self, sock: SocketId) -> tuple[Arrival, ...]:
+        """Arrivals on ``sock``, in time order (the socket's FIFO order)."""
+        return tuple(a for a in self._arrivals if a.sock == sock)
+
+    def before(self, time: int) -> tuple[Arrival, ...]:
+        """Arrivals strictly before ``time``."""
+        return self._arrivals[: bisect_left(self._times, time)]
+
+    def in_window(self, start: int, end: int) -> tuple[Arrival, ...]:
+        """Arrivals in the half-open window ``[start, end)``."""
+        lo = bisect_left(self._times, start)
+        hi = bisect_left(self._times, end)
+        return self._arrivals[lo:hi]
+
+    def of_task(self, tasks: TaskSystem, name: str) -> tuple[Arrival, ...]:
+        """Arrivals whose payload resolves to task ``name``."""
+        return tuple(
+            a for a in self._arrivals if tasks.msg_to_task(a.data).name == name
+        )
+
+    def count_in_window(self, tasks: TaskSystem, name: str, start: int, end: int) -> int:
+        """Number of task-``name`` arrivals in ``[start, end)``."""
+        return sum(
+            1
+            for a in self.in_window(start, end)
+            if tasks.msg_to_task(a.data).name == name
+        )
+
+    @property
+    def last_time(self) -> int:
+        """Time of the latest arrival (0 when empty)."""
+        return self._arrivals[-1].time if self._arrivals else 0
+
+    def restricted_to(self, sockets: Iterable[SocketId]) -> "ArrivalSequence":
+        """The sub-sequence on the given sockets."""
+        socks = set(sockets)
+        return ArrivalSequence(a for a in self._arrivals if a.sock in socks)

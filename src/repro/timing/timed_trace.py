@@ -1,0 +1,176 @@
+"""Timed traces ``(tr, ts)`` and consistency with arrivals (Def. 2.1).
+
+A timed trace pairs each marker with the instant it was emitted.
+Timestamps are strictly increasing naturals; the trace additionally
+carries the observation *horizon* ``t_hrzn`` (Thm. 5.1) — the time up to
+which the scheduler is known to have run — which closes the last
+marker's interval.
+
+Consistency (Def. 2.1) is checked in operational FIFO form, matching the
+axiomatized datagram sockets: replaying the per-socket queues, every
+successful read must pop the queue head (which arrived strictly before
+the read's timestamp) and every failed read must find the queue empty of
+arrivals strictly before its timestamp.  This implies both clauses of
+the paper's set-based definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.traces.markers import Marker, MCompletion, MReadE, Trace
+from repro.model.job import Job
+from repro.timing.arrivals import Arrival, ArrivalSequence
+
+
+class ConsistencyError(Exception):
+    """A timed trace is inconsistent with an arrival sequence."""
+
+    def __init__(self, index: int, message: str) -> None:
+        super().__init__(f"at marker {index}: {message}")
+        self.index = index
+
+
+@dataclass(frozen=True)
+class TimedTrace:
+    """A marker trace with per-marker timestamps and a horizon.
+
+    Invariants (checked at construction): ``len(ts) == len(trace)``,
+    timestamps strictly increasing and non-negative, and
+    ``horizon > ts[-1]`` (each marker interval lasts at least one unit).
+    """
+
+    trace: tuple[Marker, ...]
+    ts: tuple[int, ...]
+    horizon: int
+
+    def __post_init__(self) -> None:
+        if len(self.trace) != len(self.ts):
+            raise ValueError(
+                f"{len(self.trace)} markers but {len(self.ts)} timestamps"
+            )
+        if self.ts:
+            if self.ts[0] < 0:
+                raise ValueError("timestamps must be non-negative")
+            for i in range(1, len(self.ts)):
+                if self.ts[i] <= self.ts[i - 1]:
+                    raise ValueError(
+                        f"timestamps must be strictly increasing: "
+                        f"ts[{i - 1}]={self.ts[i - 1]} >= ts[{i}]={self.ts[i]}"
+                    )
+            if self.horizon <= self.ts[-1]:
+                raise ValueError(
+                    f"horizon {self.horizon} must exceed the last timestamp "
+                    f"{self.ts[-1]}"
+                )
+        elif self.horizon < 0:
+            raise ValueError("horizon must be non-negative")
+
+    @staticmethod
+    def make(trace: Trace, ts: Sequence[int], horizon: int) -> "TimedTrace":
+        return TimedTrace(tuple(trace), tuple(ts), horizon)
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+    def interval(self, index: int) -> tuple[int, int]:
+        """The half-open time interval of marker ``index``'s work."""
+        start = self.ts[index]
+        end = self.ts[index + 1] if index + 1 < len(self.ts) else self.horizon
+        return start, end
+
+    @property
+    def start_time(self) -> int:
+        """Time of the first marker (0 for the empty trace)."""
+        return self.ts[0] if self.ts else 0
+
+    def completion_time(self, job: Job) -> int | None:
+        """The timestamp of ``M_Completion job``, or ``None`` if the job
+        has not completed within this trace (Thm. 5.1's ``ts[k]``)."""
+        for marker, stamp in zip(self.trace, self.ts):
+            if isinstance(marker, MCompletion) and marker.job == job:
+                return stamp
+        return None
+
+    def completions(self) -> dict[Job, int]:
+        """All completion times, keyed by job."""
+        return {
+            marker.job: stamp
+            for marker, stamp in zip(self.trace, self.ts)
+            if isinstance(marker, MCompletion)
+        }
+
+
+def check_consistency(timed: TimedTrace, arrivals: ArrivalSequence) -> None:
+    """Def. 2.1: the timed trace is consistent with the arrival sequence.
+
+    Raises :class:`ConsistencyError` at the first violating read.
+    """
+    pending: dict[int, list[Arrival]] = {}
+    consumed: dict[int, int] = {}
+    for index, (marker, stamp) in enumerate(zip(timed.trace, timed.ts)):
+        if not isinstance(marker, MReadE):
+            continue
+        sock = marker.sock
+        if sock not in pending:
+            pending[sock] = list(arrivals.on_socket(sock))
+            consumed[sock] = 0
+        queue = pending[sock]
+        position = consumed[sock]
+        available = position < len(queue) and queue[position].time < stamp
+        if marker.job is None:
+            if available:
+                raise ConsistencyError(
+                    index,
+                    f"failed read on socket {sock} at {stamp}, but "
+                    f"{queue[position].data} arrived at {queue[position].time}",
+                )
+        else:
+            if not available:
+                raise ConsistencyError(
+                    index,
+                    f"read of {marker.job} on socket {sock} at {stamp} with "
+                    "no matching arrival before it",
+                )
+            head = queue[position]
+            if head.data != marker.job.data:
+                raise ConsistencyError(
+                    index,
+                    f"read of {marker.job} on socket {sock} does not match "
+                    f"the queue head {head.data} (arrived {head.time})",
+                )
+            consumed[sock] = position + 1
+
+
+def consistent(timed: TimedTrace, arrivals: ArrivalSequence) -> bool:
+    """Boolean form of :func:`check_consistency`."""
+    try:
+        check_consistency(timed, arrivals)
+    except ConsistencyError:
+        return False
+    return True
+
+
+def job_arrival_times(
+    timed: TimedTrace, arrivals: ArrivalSequence
+) -> dict[Job, int]:
+    """Map each read job to the arrival time of the message it consumed.
+
+    Uses the same FIFO replay as :func:`check_consistency` (which must
+    hold); this is the witness for the existential in Def. 2.1 and the
+    ``t_arr`` against which response times are measured (Thm. 5.1).
+    """
+    check_consistency(timed, arrivals)
+    result: dict[Job, int] = {}
+    position: dict[int, int] = {}
+    queues: dict[int, tuple[Arrival, ...]] = {}
+    for marker in timed.trace:
+        if isinstance(marker, MReadE) and marker.job is not None:
+            sock = marker.sock
+            if sock not in queues:
+                queues[sock] = arrivals.on_socket(sock)
+                position[sock] = 0
+            result[marker.job] = queues[sock][position[sock]].time
+            position[sock] += 1
+    return result

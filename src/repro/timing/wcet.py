@@ -1,0 +1,177 @@
+"""WCET assumptions on basic actions (paper sections 2.3 and 5).
+
+WCETs are *parameters* of the verification: the paper assumes them to be
+obtained from measurement or static analysis and requires (Thm. 5.1)
+
+* ``WcetSel``, ``WcetDisp``, ``WcetCompl``, ``WcetIdling`` strictly
+  positive, and
+* ``1 < WcetFR`` and ``1 < WcetSR`` — a read spans *two* marker
+  intervals (``M_ReadS`` and ``M_ReadE``), each at least one time unit.
+
+:func:`check_wcet_respected` is the decidable form of the paper's WCET
+assumption on a timed trace (the ``M_Dispatch`` instance is shown in
+section 2.3); the derived per-processor-state bounds (``PB``, ``SB``,
+``DB``, ``CB``, ``IB``, ``RB``) feed the jitter bound (Def. 4.3) and the
+supply bound function (section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.task import TaskSystem
+from repro.traces.markers import (
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+)
+from repro.timing.timed_trace import TimedTrace
+
+
+class WcetError(Exception):
+    """A basic action in a timed trace exceeded its WCET."""
+
+    def __init__(self, index: int, what: str, duration: int, bound: int) -> None:
+        super().__init__(
+            f"at marker {index}: {what} took {duration} > WCET {bound}"
+        )
+        self.index = index
+        self.what = what
+        self.duration = duration
+        self.bound = bound
+
+
+@dataclass(frozen=True, slots=True)
+class WcetModel:
+    """Worst-case execution times of Rössl's basic actions.
+
+    All values are in the trace's (arbitrary) integer time units.
+    Callback WCETs ``C_i`` live on the tasks themselves.
+    """
+
+    failed_read: int
+    success_read: int
+    selection: int
+    dispatch: int
+    completion: int
+    idling: int
+
+    def __post_init__(self) -> None:
+        if self.failed_read <= 1:
+            raise ValueError(f"WcetFR must exceed 1, got {self.failed_read}")
+        if self.success_read <= 1:
+            raise ValueError(f"WcetSR must exceed 1, got {self.success_read}")
+        for name in ("selection", "dispatch", "completion", "idling"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"Wcet {name} must be positive")
+
+    # -- derived per-processor-state bounds --------------------------------
+    #
+    # A polling phase consists of full passes over the n sockets, ending
+    # with an all-fail pass.  Between a success and the next success at
+    # most 2(n-1) reads fail (tail of one pass + head of the next); before
+    # the final selection at most 2n-1 reads fail (tail of the last
+    # successful pass + the full all-fail pass).  These are slightly more
+    # conservative than the paper's informal "at most as many failed reads
+    # as there are sockets" (see DESIGN.md, deliberate deviations).
+
+    def read_ovh_bound(self, num_sockets: int) -> int:
+        """RB: longest ReadOvh(j) instance — failed reads attributed to a
+        successful read, plus the successful read itself."""
+        return 2 * (num_sockets - 1) * self.failed_read + self.success_read
+
+    def polling_bound(self, num_sockets: int) -> int:
+        """PB: longest PollingOvh(j) instance — the failed reads between
+        the last successful read and the selection."""
+        return (2 * num_sockets - 1) * self.failed_read
+
+    @property
+    def selection_bound(self) -> int:
+        """SB: longest SelectionOvh(j) instance."""
+        return self.selection
+
+    @property
+    def dispatch_bound(self) -> int:
+        """DB: longest DispatchOvh(j) instance."""
+        return self.dispatch
+
+    @property
+    def completion_bound(self) -> int:
+        """CB: longest CompletionOvh(j) instance."""
+        return self.completion
+
+    def idle_instance_bound(self, num_sockets: int) -> int:
+        """IB: longest *scheduler-caused* Idle stretch after an arrival —
+        one all-fail polling pass, the failed selection, and the idling
+        action (an idling iteration of the loop)."""
+        return num_sockets * self.failed_read + self.selection + self.idling
+
+    def overhead_per_job(self, num_sockets: int) -> int:
+        """Total overhead attributable to one executed job: its ReadOvh,
+        PollingOvh, SelectionOvh, DispatchOvh and CompletionOvh."""
+        return (
+            self.read_ovh_bound(num_sockets)
+            + self.polling_bound(num_sockets)
+            + self.selection
+            + self.dispatch
+            + self.completion
+        )
+
+
+def check_wcet_respected(
+    timed: TimedTrace, tasks: TaskSystem, wcet: WcetModel
+) -> None:
+    """Check every complete basic action against its WCET.
+
+    Raises :class:`WcetError` at the first violation.  Actions cut by the
+    observation horizon (their closing marker has not happened yet) are
+    in flight and not checked.
+    """
+    trace, ts = timed.trace, timed.ts
+    n = len(trace)
+    for i, marker in enumerate(trace):
+        if isinstance(marker, MReadS):
+            # The read action spans [ts[i], ts[i+2]): syscall + result
+            # post-processing.  Complete only if marker i+2 exists.
+            if i + 2 >= n:
+                continue
+            end_marker = trace[i + 1]
+            assert isinstance(end_marker, MReadE), "protocol guarantees ReadE"
+            duration = ts[i + 2] - ts[i]
+            bound = wcet.failed_read if end_marker.job is None else wcet.success_read
+            what = "failed read" if end_marker.job is None else "successful read"
+            if duration > bound:
+                raise WcetError(i, what, duration, bound)
+            continue
+        if i + 1 >= n:
+            continue  # in flight at the horizon
+        duration = ts[i + 1] - ts[i]
+        if isinstance(marker, MSelection):
+            if duration > wcet.selection:
+                raise WcetError(i, "selection", duration, wcet.selection)
+        elif isinstance(marker, MDispatch):
+            if duration > wcet.dispatch:
+                raise WcetError(i, "dispatch", duration, wcet.dispatch)
+        elif isinstance(marker, MExecution):
+            bound = tasks.msg_to_task(marker.job.data).wcet
+            if duration > bound:
+                raise WcetError(i, f"execution of {marker.job}", duration, bound)
+        elif isinstance(marker, MCompletion):
+            if duration > wcet.completion:
+                raise WcetError(i, "completion", duration, wcet.completion)
+        elif isinstance(marker, MIdling):
+            if duration > wcet.idling:
+                raise WcetError(i, "idling", duration, wcet.idling)
+
+
+def wcet_respected(timed: TimedTrace, tasks: TaskSystem, wcet: WcetModel) -> bool:
+    """Boolean form of :func:`check_wcet_respected`."""
+    try:
+        check_wcet_respected(timed, tasks, wcet)
+    except WcetError:
+        return False
+    return True

@@ -1,0 +1,69 @@
+"""Marker-function traces, basic actions, and the scheduler protocol.
+
+This package is the executable counterpart of the paper's trace layer
+(sections 2.2 and 3.1):
+
+* :mod:`repro.traces.markers` — the marker-function events of Fig. 4;
+* :mod:`repro.traces.basic_actions` — the basic actions of Fig. 4;
+* :mod:`repro.traces.protocol` — the state-transition system of Fig. 5,
+  parametric in the socket list, deciding ``tr_prot`` (Def. 3.1) and
+  recovering the basic-action sequence of an accepted trace;
+* :mod:`repro.traces.pending` — the derived ``pending_jobs`` /
+  ``read_jobs`` sets of Def. 3.2;
+* :mod:`repro.traces.validity` — the functional-correctness predicate
+  ``tr_valid`` (Def. 3.2).
+"""
+
+from repro.traces.basic_actions import (
+    BasicAction,
+    Compl,
+    Disp,
+    Exec,
+    IdlingAction,
+    Read,
+    Selection,
+)
+from repro.traces.markers import (
+    Marker,
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+    SocketId,
+    Trace,
+)
+from repro.traces.pending import dispatched_jobs, pending_jobs, read_jobs
+from repro.traces.protocol import ProtocolError, SchedulerProtocol, tr_prot
+from repro.traces.validity import TraceValidityError, check_tr_valid, tr_valid
+
+__all__ = [
+    "BasicAction",
+    "Compl",
+    "Disp",
+    "Exec",
+    "IdlingAction",
+    "Marker",
+    "MCompletion",
+    "MDispatch",
+    "MExecution",
+    "MIdling",
+    "MReadE",
+    "MReadS",
+    "MSelection",
+    "ProtocolError",
+    "Read",
+    "SchedulerProtocol",
+    "Selection",
+    "SocketId",
+    "Trace",
+    "TraceValidityError",
+    "check_tr_valid",
+    "dispatched_jobs",
+    "pending_jobs",
+    "read_jobs",
+    "tr_prot",
+    "tr_valid",
+]

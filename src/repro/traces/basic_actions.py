@@ -1,0 +1,97 @@
+"""Basic actions (paper Fig. 4, left column).
+
+A *basic action* is one logical, loop-free chunk of scheduler work::
+
+    basic_actions ≜ Read sock j⊥ | Selection j⊥ | Disp j | Exec j
+                  | Compl j | Idling
+
+A trace of marker functions accepted by the scheduler protocol (Fig. 5)
+decodes into a sequence of basic actions; the decoding is performed by
+:meth:`repro.traces.protocol.SchedulerProtocol.run`.  Each basic action
+spans one or two marker intervals:
+
+* ``Read`` spans the ``M_ReadS`` interval plus the following ``M_ReadE``
+  interval (the paper coalesces the two markers into one action);
+* every other action spans exactly the interval of its opening marker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.model.job import Job
+from repro.traces.markers import SocketId
+
+
+@dataclass(frozen=True, slots=True)
+class Read:
+    """A ``read`` on ``sock``: successful (``job``) or failed (``None``)."""
+
+    sock: SocketId
+    job: Job | None
+
+    @property
+    def failed(self) -> bool:
+        return self.job is None
+
+    def __str__(self) -> str:
+        outcome = "⊥" if self.job is None else str(self.job)
+        return f"Read(sock={self.sock}, {outcome})"
+
+
+@dataclass(frozen=True, slots=True)
+class Selection:
+    """Selecting the next job: ``job`` was picked, or ``None`` if the
+    pending queue was empty."""
+
+    job: Job | None
+
+    @property
+    def failed(self) -> bool:
+        return self.job is None
+
+    def __str__(self) -> str:
+        outcome = "⊥" if self.job is None else str(self.job)
+        return f"Selection({outcome})"
+
+
+@dataclass(frozen=True, slots=True)
+class Disp:
+    """Dispatch overhead: preparing to run ``job``'s callback."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"Disp({self.job})"
+
+
+@dataclass(frozen=True, slots=True)
+class Exec:
+    """The callback for ``job`` executing (the only non-overhead work)."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"Exec({self.job})"
+
+
+@dataclass(frozen=True, slots=True)
+class Compl:
+    """Completion overhead: cleanup after ``job``'s callback returned."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"Compl({self.job})"
+
+
+@dataclass(frozen=True, slots=True)
+class IdlingAction:
+    """The scheduler idling: no pending jobs after a failed selection."""
+
+    def __str__(self) -> str:
+        return "Idling"
+
+
+BasicAction = Union[Read, Selection, Disp, Exec, Compl, IdlingAction]

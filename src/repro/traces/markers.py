@@ -1,0 +1,106 @@
+"""Marker-function events (paper Fig. 4, right column).
+
+Marker functions are ghost calls inserted into Rössl's C code; each call
+appends one event to the execution trace.  The event datatypes here are
+exactly the paper's::
+
+    marker ≜ M_ReadS | M_ReadE sock j⊥ | M_Selection | M_Dispatch j
+           | M_Execution j | M_Completion j | M_Idling
+
+``M_ReadE`` is the "pseudo marker" recording the outcome of the ``read``
+system call: it carries the socket and either the job that was read or
+``None`` for a failed (would-block) read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.model.job import Job
+
+#: Sockets are identified by small integers (indices into the client's
+#: ``input_socks`` list, Def. 3.3).
+SocketId = int
+
+
+@dataclass(frozen=True, slots=True)
+class MReadS:
+    """Start of a ``read`` system call (beginning of a Read action)."""
+
+    def __str__(self) -> str:
+        return "M_ReadS"
+
+
+@dataclass(frozen=True, slots=True)
+class MReadE:
+    """Outcome of a ``read``: job ``job`` from socket ``sock``, or a
+    failed read when ``job is None``."""
+
+    sock: SocketId
+    job: Job | None
+
+    def __str__(self) -> str:
+        outcome = "⊥" if self.job is None else str(self.job)
+        return f"M_ReadE(sock={self.sock}, {outcome})"
+
+
+@dataclass(frozen=True, slots=True)
+class MSelection:
+    """Start of the selection phase (``selection_start()``)."""
+
+    def __str__(self) -> str:
+        return "M_Selection"
+
+
+@dataclass(frozen=True, slots=True)
+class MDispatch:
+    """Start of dispatching job ``job`` (``dispatch_start(j)``)."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"M_Dispatch({self.job})"
+
+
+@dataclass(frozen=True, slots=True)
+class MExecution:
+    """Start of the callback execution for job ``job``."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"M_Execution({self.job})"
+
+
+@dataclass(frozen=True, slots=True)
+class MCompletion:
+    """The callback for ``job`` returned; completion overhead begins.
+
+    The timestamp of this marker is the job's *completion time* in the
+    sense of Thm. 5.1.
+    """
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"M_Completion({self.job})"
+
+
+@dataclass(frozen=True, slots=True)
+class MIdling:
+    """The scheduler found nothing to run (``idling_start()``)."""
+
+    def __str__(self) -> str:
+        return "M_Idling"
+
+
+Marker = Union[MReadS, MReadE, MSelection, MDispatch, MExecution, MCompletion, MIdling]
+
+#: A trace is a finite sequence of marker events.
+Trace = Sequence[Marker]
+
+
+def format_trace(trace: Trace) -> str:
+    """Render a trace for debugging/reports, one marker per line."""
+    return "\n".join(f"[{i:4d}] {m}" for i, m in enumerate(trace))

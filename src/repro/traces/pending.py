@@ -1,0 +1,70 @@
+"""Derived job sets over traces (Def. 3.2).
+
+``read_jobs(tr, i)`` — jobs read strictly before index ``i``;
+``dispatched_jobs(tr, i)`` — jobs dispatched strictly before ``i``;
+``pending_jobs(tr, i)`` — read but not yet dispatched::
+
+    pending_jobs(i) ≜ { j | ∃ k_r < i. tr[k_r] = M_ReadE _ j
+                          ∧ ∀ k < i. tr[k] ≠ M_Dispatch j }
+
+These are the sets the functional-correctness predicate quantifies over.
+The incremental :class:`PendingTracker` provides O(1)-per-event updates
+for monitors and simulators; the plain functions are the specification.
+"""
+
+from __future__ import annotations
+
+from repro.model.job import Job
+from repro.traces.markers import Marker, MDispatch, MReadE, Trace
+
+
+def read_jobs(trace: Trace, index: int | None = None) -> set[Job]:
+    """Jobs successfully read strictly before ``index`` (default: end)."""
+    stop = len(trace) if index is None else index
+    return {
+        m.job
+        for m in trace[:stop]
+        if isinstance(m, MReadE) and m.job is not None
+    }
+
+
+def dispatched_jobs(trace: Trace, index: int | None = None) -> set[Job]:
+    """Jobs dispatched strictly before ``index`` (default: end)."""
+    stop = len(trace) if index is None else index
+    return {m.job for m in trace[:stop] if isinstance(m, MDispatch)}
+
+
+def pending_jobs(trace: Trace, index: int | None = None) -> set[Job]:
+    """Jobs read but not dispatched strictly before ``index``."""
+    return read_jobs(trace, index) - dispatched_jobs(trace, index)
+
+
+class PendingTracker:
+    """Incrementally maintained ``pending_jobs`` set.
+
+    Feed markers in trace order via :meth:`observe`; :attr:`pending`
+    always equals ``pending_jobs(tr, i)`` for the next index ``i``.
+    """
+
+    def __init__(self) -> None:
+        self._pending: set[Job] = set()
+        self._read: set[Job] = set()
+
+    @property
+    def pending(self) -> frozenset[Job]:
+        return frozenset(self._pending)
+
+    @property
+    def read(self) -> frozenset[Job]:
+        return frozenset(self._read)
+
+    def observe(self, marker: Marker) -> None:
+        """Advance the tracker past one marker event."""
+        if isinstance(marker, MReadE) and marker.job is not None:
+            self._pending.add(marker.job)
+            self._read.add(marker.job)
+        elif isinstance(marker, MDispatch):
+            # A dispatch of an unread job is a protocol violation; the
+            # tracker stays permissive here (validity checking is the
+            # job of tr_valid) and simply discards if present.
+            self._pending.discard(marker.job)

@@ -1,0 +1,347 @@
+"""The scheduler protocol: the state-transition system of Fig. 5.
+
+The protocol describes every marker sequence the Rössl scheduling loop
+(Fig. 2) may emit.  It is parametric in the client's socket list (the
+paper's Fig. 5 shows the two-socket instance); sockets are polled in a
+fixed round-robin order, full pass after full pass, until one pass in
+which every read fails:
+
+* polling: ``M_ReadS`` / ``M_ReadE sock j⊥`` pairs, one per socket per
+  pass; a pass with at least one success is followed by another pass;
+* a pass with only failures exits to ``M_Selection``;
+* then either ``M_Dispatch j`` → ``M_Execution j`` → ``M_Completion j``
+  (a job runs) or ``M_Idling`` (nothing pending); either way the loop
+  returns to polling.
+
+``tr_prot`` (Def. 3.1) holds iff the trace is accepted starting from the
+Idling state.  Accepted traces *decode* into basic-action sequences
+(Fig. 4); the decoder here also records which marker intervals each
+action spans, which the timing layer uses to attribute time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.model.job import Job
+from repro.traces.basic_actions import (
+    BasicAction,
+    Compl,
+    Disp,
+    Exec,
+    IdlingAction,
+    Read,
+    Selection,
+)
+from repro.traces.markers import (
+    Marker,
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+    SocketId,
+    Trace,
+)
+
+
+class ProtocolError(Exception):
+    """A trace violates the scheduler protocol.
+
+    Attributes:
+        index: position of the offending marker (``len(trace)`` when the
+            trace is rejected for ending in a non-restartable state).
+        state: the protocol state at the violation.
+    """
+
+    def __init__(self, index: int, state: "ProtocolState", message: str) -> None:
+        super().__init__(f"at marker {index}, in state {state}: {message}")
+        self.index = index
+        self.state = state
+
+
+# --------------------------------------------------------------------------
+# Protocol states
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class StIdle:
+    """Initial state / after ``M_Idling``: the next marker starts polling."""
+
+    def __str__(self) -> str:
+        return "Idle"
+
+
+@dataclass(frozen=True, slots=True)
+class StPollExpectReadS:
+    """Within a polling pass, expecting ``M_ReadS`` for socket index
+    ``sock_idx``; ``success_in_pass`` tracks whether any read of the
+    current pass succeeded."""
+
+    sock_idx: int
+    success_in_pass: bool
+
+    def __str__(self) -> str:
+        return f"Poll[expect ReadS #{self.sock_idx}, success={self.success_in_pass}]"
+
+
+@dataclass(frozen=True, slots=True)
+class StPollExpectReadE:
+    """Expecting the ``M_ReadE`` outcome for socket index ``sock_idx``."""
+
+    sock_idx: int
+    success_in_pass: bool
+    read_start_index: int
+
+    def __str__(self) -> str:
+        return f"Poll[expect ReadE #{self.sock_idx}, success={self.success_in_pass}]"
+
+
+@dataclass(frozen=True, slots=True)
+class StExpectSelection:
+    """The polling phase ended with an all-fail pass; expecting
+    ``M_Selection``."""
+
+    def __str__(self) -> str:
+        return "ExpectSelection"
+
+
+@dataclass(frozen=True, slots=True)
+class StSelected:
+    """After ``M_Selection``: expecting ``M_Dispatch j`` or ``M_Idling``;
+    ``selection_index`` is the marker index of the ``M_Selection``."""
+
+    selection_index: int
+
+    def __str__(self) -> str:
+        return "Selected"
+
+
+@dataclass(frozen=True, slots=True)
+class StDispatched:
+    """After ``M_Dispatch job``: expecting ``M_Execution job``."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"Dispatched({self.job})"
+
+
+@dataclass(frozen=True, slots=True)
+class StExecuting:
+    """After ``M_Execution job``: expecting ``M_Completion job``."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"Executing({self.job})"
+
+
+@dataclass(frozen=True, slots=True)
+class StCompleted:
+    """After ``M_Completion job``: the next marker starts polling."""
+
+    job: Job
+
+    def __str__(self) -> str:
+        return f"Completed({self.job})"
+
+
+ProtocolState = Union[
+    StIdle,
+    StPollExpectReadS,
+    StPollExpectReadE,
+    StExpectSelection,
+    StSelected,
+    StDispatched,
+    StExecuting,
+    StCompleted,
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ActionSpan:
+    """A decoded basic action together with the marker intervals it covers.
+
+    The action occupies the half-open marker-index range
+    ``[start, end)``; with timestamps ``ts`` it occupies the time range
+    ``[ts[start], ts[end])`` (``ts[len(tr)]`` is the trace horizon).
+    ``Read`` actions span two marker intervals (``M_ReadS`` + ``M_ReadE``),
+    every other action spans one.
+    """
+
+    action: BasicAction
+    start: int
+    end: int
+
+    def __str__(self) -> str:
+        return f"{self.action} @ markers [{self.start},{self.end})"
+
+
+class SchedulerProtocol:
+    """The Fig. 5 STS for a given socket list.
+
+    Sockets are polled in the order given by ``sockets``.  Use
+    :meth:`accepts` / :meth:`check` for ``tr_prot``, :meth:`run` to also
+    decode the basic-action sequence, and :meth:`step` to drive the
+    automaton incrementally (used by the online monitor).
+    """
+
+    def __init__(self, sockets: Iterable[SocketId]) -> None:
+        self.sockets: tuple[SocketId, ...] = tuple(sockets)
+        if not self.sockets:
+            raise ValueError("the protocol needs at least one socket")
+        if len(set(self.sockets)) != len(self.sockets):
+            raise ValueError(f"duplicate sockets in {self.sockets}")
+
+    @property
+    def num_sockets(self) -> int:
+        return len(self.sockets)
+
+    def initial_state(self) -> ProtocolState:
+        """The start state: Idling (Def. 3.1)."""
+        return StIdle()
+
+    def step(
+        self, state: ProtocolState, marker: Marker, index: int
+    ) -> tuple[ProtocolState, list[ActionSpan]]:
+        """One protocol transition.
+
+        Returns the successor state and the basic actions *completed* by
+        this marker (a marker may retroactively resolve a pending
+        ``Selection``, hence the list).  Raises :class:`ProtocolError`
+        if ``marker`` is not enabled in ``state``.
+        """
+        n = self.num_sockets
+        if isinstance(state, (StIdle, StCompleted)):
+            if isinstance(marker, MReadS):
+                return StPollExpectReadE(0, False, index), []
+            raise ProtocolError(index, state, f"expected M_ReadS, got {marker}")
+
+        if isinstance(state, StPollExpectReadS):
+            if isinstance(marker, MReadS):
+                return (
+                    StPollExpectReadE(state.sock_idx, state.success_in_pass, index),
+                    [],
+                )
+            raise ProtocolError(index, state, f"expected M_ReadS, got {marker}")
+
+        if isinstance(state, StPollExpectReadE):
+            if not isinstance(marker, MReadE):
+                raise ProtocolError(index, state, f"expected M_ReadE, got {marker}")
+            expected_sock = self.sockets[state.sock_idx]
+            if marker.sock != expected_sock:
+                raise ProtocolError(
+                    index,
+                    state,
+                    f"read outcome for socket {marker.sock}, expected {expected_sock}",
+                )
+            read = ActionSpan(
+                Read(marker.sock, marker.job), state.read_start_index, index + 1
+            )
+            success = state.success_in_pass or marker.job is not None
+            if state.sock_idx + 1 < n:
+                return StPollExpectReadS(state.sock_idx + 1, success), [read]
+            if success:
+                return StPollExpectReadS(0, False), [read]
+            return StExpectSelection(), [read]
+
+        if isinstance(state, StExpectSelection):
+            if isinstance(marker, MSelection):
+                return StSelected(index), []
+            raise ProtocolError(index, state, f"expected M_Selection, got {marker}")
+
+        if isinstance(state, StSelected):
+            if isinstance(marker, MDispatch):
+                selection = ActionSpan(
+                    Selection(marker.job), state.selection_index, state.selection_index + 1
+                )
+                dispatch = ActionSpan(Disp(marker.job), index, index + 1)
+                return StDispatched(marker.job), [selection, dispatch]
+            if isinstance(marker, MIdling):
+                selection = ActionSpan(
+                    Selection(None), state.selection_index, state.selection_index + 1
+                )
+                idling = ActionSpan(IdlingAction(), index, index + 1)
+                return StIdle(), [selection, idling]
+            raise ProtocolError(
+                index, state, f"expected M_Dispatch or M_Idling, got {marker}"
+            )
+
+        if isinstance(state, StDispatched):
+            if isinstance(marker, MExecution) and marker.job == state.job:
+                return StExecuting(state.job), [ActionSpan(Exec(state.job), index, index + 1)]
+            raise ProtocolError(
+                index, state, f"expected M_Execution({state.job}), got {marker}"
+            )
+
+        if isinstance(state, StExecuting):
+            if isinstance(marker, MCompletion) and marker.job == state.job:
+                return StCompleted(state.job), [
+                    ActionSpan(Compl(state.job), index, index + 1)
+                ]
+            raise ProtocolError(
+                index, state, f"expected M_Completion({state.job}), got {marker}"
+            )
+
+        raise AssertionError(f"unhandled protocol state {state!r}")  # pragma: no cover
+
+    def enabled_markers(self, state: ProtocolState) -> str:
+        """Human-readable description of the markers enabled in ``state``."""
+        if isinstance(state, (StIdle, StCompleted, StPollExpectReadS)):
+            return "M_ReadS"
+        if isinstance(state, StPollExpectReadE):
+            return f"M_ReadE(sock={self.sockets[state.sock_idx]}, _)"
+        if isinstance(state, StExpectSelection):
+            return "M_Selection"
+        if isinstance(state, StSelected):
+            return "M_Dispatch(_) | M_Idling"
+        if isinstance(state, StDispatched):
+            return f"M_Execution({state.job})"
+        if isinstance(state, StExecuting):
+            return f"M_Completion({state.job})"
+        raise AssertionError(f"unhandled protocol state {state!r}")  # pragma: no cover
+
+    def check(self, trace: Trace) -> ProtocolState:
+        """Check ``tr_prot``: raises :class:`ProtocolError` on violation,
+        returns the final protocol state on success.
+
+        Any prefix of an accepting run is accepted (the scheduler loops
+        forever, so finite traces are always prefixes).
+        """
+        state = self.initial_state()
+        for index, marker in enumerate(trace):
+            state, _ = self.step(state, marker, index)
+        return state
+
+    def accepts(self, trace: Trace) -> bool:
+        """Boolean form of :meth:`check` (the paper's ``tr_prot tr``)."""
+        try:
+            self.check(trace)
+        except ProtocolError:
+            return False
+        return True
+
+    def run(self, trace: Trace) -> list[ActionSpan]:
+        """Decode an accepted trace into its basic-action sequence.
+
+        Raises :class:`ProtocolError` if the trace is rejected.  Actions
+        whose extent is not yet determined by the (finite) trace — e.g. a
+        trailing ``M_Selection`` with no resolving marker — are omitted;
+        they correspond to scheduler work still in flight at the horizon.
+        """
+        state = self.initial_state()
+        actions: list[ActionSpan] = []
+        for index, marker in enumerate(trace):
+            state, completed = self.step(state, marker, index)
+            actions.extend(completed)
+        return actions
+
+
+def tr_prot(trace: Trace, sockets: Iterable[SocketId]) -> bool:
+    """Def. 3.1: the trace satisfies the scheduler protocol."""
+    return SchedulerProtocol(sockets).accepts(trace)

@@ -1,0 +1,150 @@
+"""JSON (de)serialization of traces, timed traces, and arrivals.
+
+Runs are valuable artifacts: a stored timed trace can be re-checked by
+every validator, re-converted to a schedule, and compared against future
+versions of the scheduler (golden regression tests, `tests/golden/`).
+The format is deliberately plain JSON — stable, diffable, and
+independent of Python pickling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.model.job import Job
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.timing.timed_trace import TimedTrace
+from repro.traces.markers import (
+    Marker,
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+    Trace,
+)
+
+
+class SerializeError(Exception):
+    """Malformed serialized trace data."""
+
+
+def _job_to_json(job: Job | None) -> Any:
+    if job is None:
+        return None
+    return {"data": list(job.data), "jid": job.jid}
+
+
+def _job_from_json(obj: Any) -> Job | None:
+    if obj is None:
+        return None
+    try:
+        return Job(tuple(obj["data"]), obj["jid"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializeError(f"bad job object {obj!r}: {exc}") from exc
+
+
+def marker_to_json(marker: Marker) -> dict[str, Any]:
+    if isinstance(marker, MReadS):
+        return {"kind": "read_start"}
+    if isinstance(marker, MReadE):
+        return {"kind": "read_end", "sock": marker.sock,
+                "job": _job_to_json(marker.job)}
+    if isinstance(marker, MSelection):
+        return {"kind": "selection"}
+    if isinstance(marker, MDispatch):
+        return {"kind": "dispatch", "job": _job_to_json(marker.job)}
+    if isinstance(marker, MExecution):
+        return {"kind": "execution", "job": _job_to_json(marker.job)}
+    if isinstance(marker, MCompletion):
+        return {"kind": "completion", "job": _job_to_json(marker.job)}
+    if isinstance(marker, MIdling):
+        return {"kind": "idling"}
+    raise SerializeError(f"unknown marker {marker!r}")  # pragma: no cover
+
+
+def marker_from_json(obj: dict[str, Any]) -> Marker:
+    kind = obj.get("kind")
+    if kind == "read_start":
+        return MReadS()
+    if kind == "read_end":
+        return MReadE(obj["sock"], _job_from_json(obj.get("job")))
+    if kind == "selection":
+        return MSelection()
+    if kind == "idling":
+        return MIdling()
+    if kind in ("dispatch", "execution", "completion"):
+        job = _job_from_json(obj.get("job"))
+        if job is None:
+            raise SerializeError(f"{kind} marker requires a job")
+        return {"dispatch": MDispatch, "execution": MExecution,
+                "completion": MCompletion}[kind](job)
+    raise SerializeError(f"unknown marker kind {kind!r}")
+
+
+def trace_to_json(trace: Trace) -> list[dict[str, Any]]:
+    return [marker_to_json(m) for m in trace]
+
+
+def trace_from_json(objs: list[dict[str, Any]]) -> list[Marker]:
+    return [marker_from_json(o) for o in objs]
+
+
+def timed_trace_to_json(timed: TimedTrace) -> dict[str, Any]:
+    return {
+        "markers": trace_to_json(timed.trace),
+        "timestamps": list(timed.ts),
+        "horizon": timed.horizon,
+    }
+
+
+def timed_trace_from_json(obj: dict[str, Any]) -> TimedTrace:
+    try:
+        return TimedTrace.make(
+            trace_from_json(obj["markers"]),
+            obj["timestamps"],
+            obj["horizon"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializeError(f"bad timed trace: {exc}") from exc
+
+
+def arrivals_to_json(arrivals: ArrivalSequence) -> list[dict[str, Any]]:
+    return [
+        {"time": a.time, "sock": a.sock, "data": list(a.data)}
+        for a in arrivals
+    ]
+
+
+def arrivals_from_json(objs: list[dict[str, Any]]) -> ArrivalSequence:
+    try:
+        return ArrivalSequence(
+            Arrival(o["time"], o["sock"], tuple(o["data"])) for o in objs
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializeError(f"bad arrivals: {exc}") from exc
+
+
+def run_to_json(timed: TimedTrace, arrivals: ArrivalSequence) -> str:
+    """Serialize a full observed run (pretty-printed, diff-friendly)."""
+    return json.dumps(
+        {
+            "timed_trace": timed_trace_to_json(timed),
+            "arrivals": arrivals_to_json(arrivals),
+        },
+        indent=1,
+    )
+
+
+def run_from_json(text: str) -> tuple[TimedTrace, ArrivalSequence]:
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializeError(f"invalid JSON: {exc}") from exc
+    return (
+        timed_trace_from_json(obj["timed_trace"]),
+        arrivals_from_json(obj["arrivals"]),
+    )

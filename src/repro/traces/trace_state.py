@@ -1,0 +1,43 @@
+"""The semantics' trace state ``σ_trace`` (paper Fig. 6).
+
+``idx`` is the next fresh job id; ``id_map`` maps raw payloads to the
+queue of jobs read with that payload and not yet dispatched.  The
+``READ-STEP-SUCCESS`` rule appends a fresh job; the dispatch marker pops
+the head (footnote 5: any read-but-undispatched id would do — the head
+is the canonical choice).  Shared by the instrumented MiniC semantics
+and the pure-Python Rössl reference model, which keeps their job-id
+assignment identical by construction.
+"""
+
+from __future__ import annotations
+
+from repro.model.job import Job
+from repro.model.message import MsgData
+
+
+class TraceState:
+    """``σ_trace = {idx : job_id; id_map : msg_data →fin list Job}``."""
+
+    def __init__(self) -> None:
+        self.idx: int = 0
+        self._id_map: dict[MsgData, list[Job]] = {}
+
+    def record_read(self, data: MsgData) -> Job:
+        """Assign a fresh id to a successfully read payload."""
+        job = Job(data, self.idx)
+        self.idx += 1
+        self._id_map.setdefault(data, []).append(job)
+        return job
+
+    def resolve_dispatch(self, data: MsgData) -> Job:
+        """Recover the job a dispatch of ``data`` refers to (pops it)."""
+        queue = self._id_map.get(data)
+        if not queue:
+            raise RuntimeError(
+                f"dispatch of payload {data} with no read-but-undispatched job"
+            )
+        return queue.pop(0)
+
+    def outstanding(self) -> set[Job]:
+        """Jobs read but not yet dispatched (``trace_state_inv``)."""
+        return {job for queue in self._id_map.values() for job in queue}

@@ -1,0 +1,122 @@
+"""Functional correctness of traces: ``tr_valid`` (Def. 3.2).
+
+A trace is functionally correct iff
+
+1. *selected jobs have the highest priority*: every dispatched job has
+   priority ≥ every other pending job at the dispatch point;
+2. *idling only if no jobs are pending*: ``M_Idling`` only occurs with
+   an empty pending set;
+3. *jobs have unique identifiers*: no job is read twice.
+
+In the paper these are proven in RefinedC for all traces; here they are
+decidable predicates checked on concrete traces (and, via the bounded
+model checker in :mod:`repro.verification.model_check`, on *all* traces
+up to a depth bound).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.model.message import MsgData
+from repro.model.task import TaskSystem
+from repro.traces.markers import (
+    Marker,
+    MDispatch,
+    MIdling,
+    MReadE,
+    Trace,
+)
+from repro.traces.pending import PendingTracker
+
+#: Priority assignment on message payloads (the composition of the
+#: client's ``msg_to_task`` and ``task_prio``, Def. 3.3).
+PriorityFn = Callable[[MsgData], int]
+
+
+class TraceValidityError(Exception):
+    """A trace violates functional correctness (Def. 3.2)."""
+
+    def __init__(self, index: int, clause: str, message: str) -> None:
+        super().__init__(f"at marker {index} [{clause}]: {message}")
+        self.index = index
+        self.clause = clause
+
+
+class ValidityMonitor:
+    """Incremental ``tr_valid`` checker.
+
+    Feed markers in trace order via :meth:`observe`; raises
+    :class:`TraceValidityError` at the first violating marker.  The
+    monitor is the runtime analog of the separation-logic invariants
+    carried through the RefinedC proof (section 3.3's state
+    interpretation): it holds at every step of the execution.
+    """
+
+    def __init__(self, priority: PriorityFn) -> None:
+        self._priority = priority
+        self._tracker = PendingTracker()
+        self._seen_ids: set[int] = set()
+        self._index = 0
+
+    def observe(self, marker: Marker) -> None:
+        index = self._index
+        if isinstance(marker, MReadE) and marker.job is not None:
+            if marker.job.jid in self._seen_ids:
+                raise TraceValidityError(
+                    index,
+                    "unique-ids",
+                    f"job id {marker.job.jid} read twice",
+                )
+            self._seen_ids.add(marker.job.jid)
+        elif isinstance(marker, MDispatch):
+            pending = self._tracker.pending
+            if marker.job not in pending:
+                raise TraceValidityError(
+                    index,
+                    "highest-priority",
+                    f"dispatched job {marker.job} is not pending",
+                )
+            prio = self._priority(marker.job.data)
+            for other in pending:
+                if self._priority(other.data) > prio:
+                    raise TraceValidityError(
+                        index,
+                        "highest-priority",
+                        f"dispatched {marker.job} (priority {prio}) while "
+                        f"{other} (priority {self._priority(other.data)}) is pending",
+                    )
+        elif isinstance(marker, MIdling):
+            pending = self._tracker.pending
+            if pending:
+                raise TraceValidityError(
+                    index,
+                    "idle-implies-empty",
+                    f"idling with pending jobs {sorted(map(str, pending))}",
+                )
+        self._tracker.observe(marker)
+        self._index += 1
+
+
+def check_tr_valid(trace: Trace, priority: PriorityFn | TaskSystem) -> None:
+    """Check Def. 3.2; raises :class:`TraceValidityError` on violation.
+
+    ``priority`` may be a raw priority function on payloads or a
+    :class:`~repro.model.task.TaskSystem` (whose ``priority_of`` is used).
+    """
+    if isinstance(priority, TaskSystem):
+        priority_fn: PriorityFn = priority.priority_of
+    else:
+        priority_fn = priority
+    monitor = ValidityMonitor(priority_fn)
+    for marker in trace:
+        monitor.observe(marker)
+
+
+def tr_valid(trace: Trace, priority: PriorityFn | TaskSystem) -> bool:
+    """Boolean form of :func:`check_tr_valid` (the paper's ``tr_valid``)."""
+    try:
+        check_tr_valid(trace, priority)
+    except TraceValidityError:
+        return False
+    return True

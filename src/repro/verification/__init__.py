@@ -1,0 +1,34 @@
+"""Verification layer: the executable stand-in for RefinedC (section 3).
+
+The paper proves, foundationally in Rocq, that every trace Rössl can
+emit satisfies the scheduler protocol and functional correctness
+(Thm. 3.4), using separation-logic specifications on the marker
+functions (section 3.1).  A Python library cannot produce foundational
+proofs; this package provides the strongest executable analogs:
+
+* :mod:`~repro.verification.specs` — the marker-function Hoare
+  specifications as runtime-checked contracts over the ghost state
+  (``current_trace``, ``currently_pending``);
+* :mod:`~repro.verification.monitor` — an online monitor asserting the
+  protocol and functional correctness at *every step* of an execution
+  (the state-interpretation invariant of section 3.3);
+* :mod:`~repro.verification.model_check` — bounded exhaustive
+  exploration of the read nondeterminism: every possible sequence of
+  read outcomes up to a depth is executed (on the MiniC implementation
+  under the instrumented semantics, or on the reference model) and every
+  resulting trace is checked for protocol conformance, functional
+  correctness, and absence of undefined behaviour ("not stuck").
+"""
+
+from repro.verification.model_check import ExplorationReport, Violation, explore
+from repro.verification.monitor import OnlineMonitor
+from repro.verification.specs import MarkerSpecMonitor, SpecViolation
+
+__all__ = [
+    "ExplorationReport",
+    "MarkerSpecMonitor",
+    "OnlineMonitor",
+    "SpecViolation",
+    "Violation",
+    "explore",
+]

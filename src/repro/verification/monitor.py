@@ -1,0 +1,44 @@
+"""Online monitor: the state-interpretation invariant of section 3.3.
+
+RefinedC's adequacy argument threads a state interpretation through the
+execution asserting ``tr_prot tr ∗ tr_valid tr`` at *every step*.  The
+:class:`OnlineMonitor` is the runtime counterpart: a marker sink that
+advances the scheduler-protocol automaton and the functional-correctness
+monitor on each event and fails fast on the first violation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.traces.markers import Marker, SocketId
+from repro.traces.protocol import ProtocolState, SchedulerProtocol
+from repro.traces.validity import PriorityFn, ValidityMonitor
+
+
+class OnlineMonitor:
+    """Checks ``tr_prot`` and ``tr_valid`` incrementally.
+
+    Raises :class:`~repro.traces.protocol.ProtocolError` or
+    :class:`~repro.traces.validity.TraceValidityError` at the first
+    offending marker; both identify the marker index.
+    """
+
+    def __init__(self, sockets: Iterable[SocketId], priority: PriorityFn) -> None:
+        self._protocol = SchedulerProtocol(sockets)
+        self._state: ProtocolState = self._protocol.initial_state()
+        self._validity = ValidityMonitor(priority)
+        self._index = 0
+
+    @property
+    def markers_seen(self) -> int:
+        return self._index
+
+    @property
+    def protocol_state(self) -> ProtocolState:
+        return self._state
+
+    def emit(self, marker: Marker) -> None:
+        self._state, _ = self._protocol.step(self._state, marker, self._index)
+        self._validity.observe(marker)
+        self._index += 1

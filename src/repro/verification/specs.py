@@ -1,0 +1,117 @@
+"""Marker-function specifications as runtime contracts (section 3.1).
+
+The paper gives each marker function a separation-logic Hoare triple
+over two ghost assertions: ``current_trace tr`` (the trace so far) and
+``currently_pending js`` (the set of read-but-undispatched jobs).  The
+``idling_start()`` spec, for example, requires the last marker to be
+``M_Selection`` and the pending set to be empty.
+
+:class:`MarkerSpecMonitor` maintains both ghost states and checks each
+marker's precondition as it is emitted — the runtime analog of RefinedC
+discharging the precondition at every call site.  It deliberately
+re-states the preconditions *per marker function* (rather than reusing
+the protocol automaton) so the checked conditions mirror the paper's
+specs one-to-one.
+"""
+
+from __future__ import annotations
+
+from repro.model.job import Job
+from repro.traces.markers import (
+    Marker,
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+)
+from repro.traces.validity import PriorityFn
+
+
+class SpecViolation(Exception):
+    """A marker function was called with its precondition violated."""
+
+    def __init__(self, marker: Marker, message: str) -> None:
+        super().__init__(f"{marker}: {message}")
+        self.marker = marker
+
+
+class MarkerSpecMonitor:
+    """Checks marker-function preconditions online.
+
+    Use as a :class:`~repro.rossl.runtime.MarkerSink` (e.g. inside a
+    :class:`~repro.rossl.runtime.TeeSink` next to a recorder).
+    """
+
+    def __init__(self, priority: PriorityFn) -> None:
+        self._priority = priority
+        #: ghost state: current_trace tr
+        self.current_trace: list[Marker] = []
+        #: ghost state: currently_pending js
+        self.currently_pending: set[Job] = set()
+
+    def _last(self) -> Marker | None:
+        return self.current_trace[-1] if self.current_trace else None
+
+    def emit(self, marker: Marker) -> None:
+        last = self._last()
+        if isinstance(marker, MReadS):
+            # read_start(): the scheduler is between iteration phases —
+            # at the very start, after a read result, after completing a
+            # job, or after idling.
+            if not (
+                last is None
+                or isinstance(last, (MReadE, MCompletion, MIdling))
+            ):
+                raise SpecViolation(marker, f"read_start after {last}")
+        elif isinstance(marker, MReadE):
+            if not isinstance(last, MReadS):
+                raise SpecViolation(marker, "read outcome without read_start")
+            if marker.job is not None:
+                if any(marker.job.jid == j.jid for j in self.currently_pending):
+                    raise SpecViolation(marker, "job id not fresh")
+        elif isinstance(marker, MSelection):
+            # selection_start(): the polling phase just concluded.
+            if not isinstance(last, MReadE):
+                raise SpecViolation(marker, f"selection_start after {last}")
+        elif isinstance(marker, MIdling):
+            # idling_start() spec (section 3.1): last marker M_Selection
+            # and currently_pending = ∅.
+            if not isinstance(last, MSelection):
+                raise SpecViolation(marker, f"idling_start after {last}")
+            if self.currently_pending:
+                raise SpecViolation(
+                    marker,
+                    f"idling with pending jobs "
+                    f"{sorted(str(j) for j in self.currently_pending)}",
+                )
+        elif isinstance(marker, MDispatch):
+            # dispatch_start(j): last marker M_Selection, j pending and
+            # of maximal priority.
+            if not isinstance(last, MSelection):
+                raise SpecViolation(marker, f"dispatch_start after {last}")
+            if marker.job not in self.currently_pending:
+                raise SpecViolation(marker, "dispatched job is not pending")
+            my_priority = self._priority(marker.job.data)
+            for other in self.currently_pending:
+                if self._priority(other.data) > my_priority:
+                    raise SpecViolation(
+                        marker,
+                        f"pending job {other} has higher priority",
+                    )
+        elif isinstance(marker, MExecution):
+            if not (isinstance(last, MDispatch) and last.job == marker.job):
+                raise SpecViolation(marker, f"execution_start after {last}")
+        elif isinstance(marker, MCompletion):
+            if not (isinstance(last, MExecution) and last.job == marker.job):
+                raise SpecViolation(marker, f"completion_start after {last}")
+        else:  # pragma: no cover - exhaustive over Marker
+            raise SpecViolation(marker, "unknown marker")
+        # postcondition: the ghost state advances.
+        self.current_trace.append(marker)
+        if isinstance(marker, MReadE) and marker.job is not None:
+            self.currently_pending.add(marker.job)
+        elif isinstance(marker, MDispatch):
+            self.currently_pending.discard(marker.job)

@@ -1,0 +1,43 @@
+"""Shared fixtures: canonical task systems and clients used across tests.
+
+``two_task_client`` mirrors the paper's running example (Fig. 3): two
+tasks on one socket, where ``hi`` jobs outrank ``lo`` jobs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+
+
+@pytest.fixture
+def two_tasks() -> TaskSystem:
+    return TaskSystem(
+        [
+            Task(name="lo", priority=1, wcet=10, type_tag=1),
+            Task(name="hi", priority=2, wcet=5, type_tag=2),
+        ]
+    )
+
+
+@pytest.fixture
+def two_task_client(two_tasks: TaskSystem) -> RosslClient:
+    return RosslClient.make(two_tasks, sockets=[0])
+
+
+@pytest.fixture
+def three_tasks() -> TaskSystem:
+    return TaskSystem(
+        [
+            Task(name="low", priority=1, wcet=8, type_tag=1),
+            Task(name="mid", priority=5, wcet=4, type_tag=2),
+            Task(name="high", priority=9, wcet=2, type_tag=3),
+        ]
+    )
+
+
+@pytest.fixture
+def two_socket_client(three_tasks: TaskSystem) -> RosslClient:
+    return RosslClient.make(three_tasks, sockets=[0, 1])

@@ -1,0 +1,162 @@
+"""Tests for the end-to-end timing-correctness pipeline (Thm. 5.1) and
+the campaign/report helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.adequacy import (
+    TimingCorrectnessReport,
+    check_timing_correctness,
+    run_adequacy_campaign,
+)
+from repro.analysis.campaigns import sweep
+from repro.analysis.report import format_table
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.curves import SporadicCurve
+from repro.rta.npfp import analyse
+from repro.sim.simulator import WcetDurations, simulate
+from repro.sim.workloads import burst_at, generate_arrivals
+from repro.timing.wcet import WcetModel
+
+WCET = WcetModel(
+    failed_read=2, success_read=2, selection=1, dispatch=1, completion=1, idling=1
+)
+
+
+def light_client() -> RosslClient:
+    tasks = TaskSystem(
+        [
+            Task(name="slow", priority=1, wcet=20, type_tag=1),
+            Task(name="fast", priority=2, wcet=5, type_tag=2),
+        ],
+        {"slow": SporadicCurve(400), "fast": SporadicCurve(150)},
+    )
+    return RosslClient.make(tasks, [0])
+
+
+class TestFormatTable:
+    def test_alignment_and_none(self):
+        text = format_table(["a", "bbb"], [(1, None), ("xx", 2.5)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "—" in text
+        assert "2.500" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [(1, 2)])
+
+
+class TestCheckTimingCorrectness:
+    def test_single_run_clean(self):
+        client = light_client()
+        analysis = analyse(client, WCET)
+        assert analysis.schedulable
+        arrivals = burst_at(client, 10, {"slow": 1, "fast": 1})
+        result = simulate(client, arrivals, WCET, horizon=2000, durations=WcetDurations())
+        report = check_timing_correctness(result, analysis)
+        assert report.ok
+        assert report.jobs_checked == 2
+        assert set(report.observed_worst) == {"slow", "fast"}
+
+    def test_tightness_is_at_most_one(self):
+        client = light_client()
+        analysis = analyse(client, WCET)
+        arrivals = burst_at(client, 10, {"slow": 1, "fast": 1})
+        result = simulate(client, arrivals, WCET, horizon=2000)
+        report = check_timing_correctness(result, analysis)
+        for name in ("slow", "fast"):
+            ratio = report.tightness(name)
+            assert ratio is not None and 0 < ratio <= 1
+
+    def test_jobs_beyond_horizon_excused(self):
+        client = light_client()
+        analysis = analyse(client, WCET)
+        bound = analysis.response_time_bound("slow")
+        # Arrival so late that its deadline falls past the horizon.
+        horizon = 100 + bound
+        arrivals = burst_at(client, horizon - 5, {"slow": 1})
+        result = simulate(client, arrivals, WCET, horizon=horizon)
+        report = check_timing_correctness(result, analysis)
+        assert report.ok
+        assert report.jobs_beyond_horizon == 1
+        assert report.jobs_checked == 0
+
+    def test_starved_job_detected(self):
+        """A doctored run in which a job silently never completes must
+        be reported as a violation, not pass vacuously."""
+        client = light_client()
+        analysis = analyse(client, WCET)
+        arrivals = burst_at(client, 10, {"fast": 1})
+        result = simulate(client, arrivals, WCET, horizon=2000)
+        # Truncate the trace right before the dispatch: the job was read
+        # but never completed, yet the horizon is far beyond its bound.
+        timed = result.timed_trace
+        cut = next(
+            i for i, m in enumerate(timed.trace) if type(m).__name__ == "MDispatch"
+        )
+        from repro.timing.timed_trace import TimedTrace
+        from repro.sim.simulator import SimulationResult
+
+        doctored = SimulationResult(
+            client=client,
+            arrivals=arrivals,
+            wcet=WCET,
+            timed_trace=TimedTrace.make(
+                timed.trace[:cut], timed.ts[:cut], timed.horizon
+            ),
+        )
+        report = check_timing_correctness(doctored, analysis)
+        assert not report.ok
+        assert report.violations[0].completion is None
+
+    def test_table_renders(self):
+        client = light_client()
+        analysis = analyse(client, WCET)
+        arrivals = burst_at(client, 10, {"slow": 1, "fast": 1})
+        result = simulate(client, arrivals, WCET, horizon=2000)
+        report = check_timing_correctness(result, analysis)
+        text = report.table()
+        assert "slow" in text and "fast" in text and "bound" in text
+
+
+class TestCampaign:
+    def test_campaign_runs_clean(self):
+        client = light_client()
+        report = run_adequacy_campaign(
+            client, WCET, horizon=3000, runs=6, seed=3, intensity=1.0
+        )
+        assert report.ok
+        assert report.runs == 6
+        assert report.jobs_checked > 0
+
+    def test_campaign_rejects_unschedulable(self):
+        tasks = TaskSystem(
+            [
+                Task(name="a", priority=1, wcet=9, type_tag=1),
+                Task(name="b", priority=2, wcet=9, type_tag=2),
+            ],
+            {"a": SporadicCurve(10), "b": SporadicCurve(10)},
+        )
+        client = RosslClient.make(tasks, [0])
+        with pytest.raises(ValueError, match="schedulable"):
+            run_adequacy_campaign(client, WCET, horizon=500, runs=1,
+                                  analysis_horizon=3000)
+
+
+class TestSweep:
+    def test_sweep_shapes(self):
+        result = sweep(
+            "n", [1, 2, 3], ["double", "square"], lambda n: (2 * n, n * n)
+        )
+        assert result.parameters() == [1, 2, 3]
+        assert result.column("square") == [1, 4, 9]
+        assert "double" in result.table("title")
+
+    def test_sweep_cell_count_mismatch(self):
+        with pytest.raises(ValueError):
+            sweep("n", [1], ["a", "b"], lambda n: (n,))

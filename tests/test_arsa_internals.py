@@ -1,0 +1,146 @@
+"""Edge-case tests for the aRSA busy-window solver internals and the
+EDF campaign driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.edf.analysis import run_edf_campaign
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.arsa import (
+    _offsets_to_check,
+    solve_response_time,
+    start_time_bound,
+)
+from repro.rta.curves import LeakyBucketCurve, SporadicCurve
+from repro.rta.sbf import IdealSupply
+from repro.timing.wcet import WcetModel
+
+WCET = WcetModel(
+    failed_read=2, success_read=2, selection=1, dispatch=1, completion=1, idling=1
+)
+
+
+def system(specs):
+    """specs: name -> (priority, wcet, curve)."""
+    tasks = TaskSystem(
+        [
+            Task(name=n, priority=p, wcet=c, type_tag=i + 1)
+            for i, (n, (p, c, _)) in enumerate(specs.items())
+        ],
+        {n: curve for n, (_, _, curve) in specs.items()},
+    )
+    return tasks
+
+
+class TestOffsets:
+    def test_offsets_at_curve_steps_only(self):
+        beta = SporadicCurve(10)
+        offsets = _offsets_to_check(beta, busy_window=35)
+        # β(A+1) steps at A = 0, 10, 20, 30.
+        assert offsets == [0, 10, 20, 30]
+
+    def test_bursty_curve_single_initial_offset(self):
+        beta = LeakyBucketCurve(burst=3, rate_separation=50)
+        offsets = _offsets_to_check(beta, busy_window=60)
+        assert offsets[0] == 0
+        assert all(a < 60 for a in offsets)
+
+    def test_empty_window(self):
+        assert _offsets_to_check(SporadicCurve(10), 0) == []
+
+
+class TestStartTimeBound:
+    def test_zero_offset_single_task(self):
+        tasks = system({"a": (1, 10, SporadicCurve(1000))})
+        curves = {"a": SporadicCurve(1000)}
+        start = start_time_bound(
+            tasks.by_name("a"), tasks.tasks, curves, IdealSupply(), 0, 10_000
+        )
+        assert start == 0  # nothing ahead of it
+
+    def test_blocking_delays_start(self):
+        tasks = system({
+            "low": (1, 21, SporadicCurve(1000)),
+            "high": (2, 5, SporadicCurve(1000)),
+        })
+        curves = {n: SporadicCurve(1000) for n in ("low", "high")}
+        start = start_time_bound(
+            tasks.by_name("high"), tasks.tasks, curves, IdealSupply(), 0, 10_000
+        )
+        assert start == 20  # B = C_low − 1
+
+    def test_unbounded_returns_none(self):
+        # The higher-priority task saturates the processor (C = T): the
+        # lower-priority job can never start.
+        tasks = system({
+            "a": (1, 5, SporadicCurve(100)),
+            "b": (2, 10, SporadicCurve(10)),
+        })
+        curves = {"a": SporadicCurve(100), "b": SporadicCurve(10)}
+        assert start_time_bound(
+            tasks.by_name("a"), tasks.tasks, curves, IdealSupply(), 0, 2_000
+        ) is None
+
+    def test_second_job_offset_includes_prior_self(self):
+        tasks = system({"a": (1, 10, SporadicCurve(15))})
+        curves = {"a": SporadicCurve(15)}
+        # Offset 15: one earlier job of the same task must finish first.
+        start = start_time_bound(
+            tasks.by_name("a"), tasks.tasks, curves, IdealSupply(), 15, 10_000
+        )
+        assert start == 10
+
+
+class TestSolverDetails:
+    def test_offsets_recorded_in_result(self):
+        tasks = system({"a": (1, 10, SporadicCurve(25))})
+        curves = {"a": SporadicCurve(25)}
+        result = solve_response_time(
+            tasks.by_name("a"), tasks.tasks, curves, IdealSupply()
+        )
+        assert result is not None
+        assert result.offsets[0][0] == 0
+        assert all(resp <= result.response_bound for _, _, resp in result.offsets)
+
+    def test_response_bound_is_max_over_offsets(self):
+        tasks = system({
+            "a": (1, 10, SporadicCurve(30)),
+            "b": (2, 8, SporadicCurve(40)),
+        })
+        curves = {"a": SporadicCurve(30), "b": SporadicCurve(40)}
+        result = solve_response_time(
+            tasks.by_name("a"), tasks.tasks, curves, IdealSupply()
+        )
+        assert result is not None
+        assert result.response_bound == max(r for _, _, r in result.offsets)
+
+
+class TestEdfCampaign:
+    def edf_client(self):
+        tasks = TaskSystem(
+            [
+                Task(name="a", priority=0, wcet=10, type_tag=1, deadline=200),
+                Task(name="b", priority=0, wcet=15, type_tag=2, deadline=350),
+            ],
+            {"a": SporadicCurve(250), "b": SporadicCurve(300)},
+        )
+        return RosslClient.make(tasks, [0], policy="edf")
+
+    def test_campaign_clean(self):
+        report = run_edf_campaign(
+            self.edf_client(), WCET, horizon=2_000, runs=6, seed=2
+        )
+        assert report.ok
+        assert report.runs == 6
+        assert report.jobs_checked > 0
+
+    def test_campaign_rejects_unschedulable(self):
+        tasks = TaskSystem(
+            [Task(name="a", priority=0, wcet=50, type_tag=1, deadline=20)],
+            {"a": SporadicCurve(60)},
+        )
+        client = RosslClient.make(tasks, [0], policy="edf")
+        with pytest.raises(ValueError, match="schedulable"):
+            run_edf_campaign(client, WCET, horizon=500, runs=1)

@@ -1,0 +1,99 @@
+"""Tests for busy-window detection and SBF anchoring."""
+
+from __future__ import annotations
+
+import random
+
+from repro.model.job import Job
+from repro.rossl.client import RosslClient
+from repro.rta.npfp import analyse
+from repro.schedule.busy import (
+    BusyWindow,
+    busy_windows,
+    longest_busy_window,
+    min_supply_in_busy_prefixes,
+)
+from repro.schedule.conversion import FiniteSchedule, Segment
+from repro.schedule.states import Executes, Idle, ReadOvh
+from repro.sim.simulator import WcetDurations, simulate
+from repro.sim.workloads import generate_arrivals
+
+J = Job((1,), 0)
+
+
+def schedule_of(pattern: str) -> FiniteSchedule:
+    """Build a schedule from a glyph string: '.'=Idle, '#'=Executes,
+    'r'=ReadOvh (one instant each)."""
+    segments = []
+    for i, ch in enumerate(pattern):
+        state = {".": Idle(), "#": Executes(J), "r": ReadOvh(J)}[ch]
+        segments.append(Segment(state, i, i + 1))
+    merged = []
+    for s in segments:
+        if merged and merged[-1].state == s.state:
+            merged[-1] = Segment(s.state, merged[-1].start, s.end)
+        else:
+            merged.append(s)
+    return FiniteSchedule(tuple(merged), 0, len(pattern))
+
+
+class TestBusyWindows:
+    def test_all_idle(self):
+        assert busy_windows(schedule_of("....")) == []
+        assert longest_busy_window(schedule_of("....")) is None
+
+    def test_single_window(self):
+        assert busy_windows(schedule_of("..r##.")) == [BusyWindow(2, 5)]
+
+    def test_multiple_windows(self):
+        windows = busy_windows(schedule_of("r#..##..r"))
+        assert windows == [BusyWindow(0, 2), BusyWindow(4, 6), BusyWindow(8, 9)]
+
+    def test_window_at_both_ends(self):
+        windows = busy_windows(schedule_of("#..#"))
+        assert windows == [BusyWindow(0, 1), BusyWindow(3, 4)]
+
+    def test_longest(self):
+        assert longest_busy_window(schedule_of("r#..###.")) == BusyWindow(4, 7)
+
+    def test_empty_schedule(self):
+        assert busy_windows(FiniteSchedule((), 0, 0)) == []
+
+
+class TestBusyPrefixSupply:
+    def test_prefix_supply(self):
+        # busy window [2,7): r # # r #  → supply at prefix 3 = 2 (##)
+        schedule = schedule_of("..r##r#..")
+        assert min_supply_in_busy_prefixes(schedule, 3) == 2
+        assert min_supply_in_busy_prefixes(schedule, 5) == 3
+
+    def test_none_when_no_window_long_enough(self):
+        assert min_supply_in_busy_prefixes(schedule_of("r#.."), 5) is None
+
+    def test_zero_delta(self):
+        assert min_supply_in_busy_prefixes(schedule_of("r#"), 0) == 0
+
+    def test_sbf_dominated_in_busy_prefixes(self, two_tasks):
+        """The precise aRSA-anchored check: SBF(Δ) ≤ supply in every
+        length-Δ busy-window prefix of simulated schedules."""
+        from repro.rta.curves import SporadicCurve
+        from repro.timing.wcet import WcetModel
+
+        curves = {"lo": SporadicCurve(200), "hi": SporadicCurve(150)}
+        client = RosslClient.make(two_tasks.with_curves(curves), [0])
+        wcet = WcetModel(2, 3, 2, 2, 2, 2)
+        analysis = analyse(client, wcet)
+        sbf = analysis.sbf
+        for seed in range(4):
+            rng = random.Random(seed)
+            arrivals = generate_arrivals(client, horizon=1_500, rng=rng,
+                                         intensity=1.4)
+            result = simulate(client, arrivals, wcet, horizon=2_500,
+                              durations=WcetDurations())
+            schedule = result.schedule()
+            longest = longest_busy_window(schedule)
+            if longest is None:
+                continue
+            for delta in range(1, longest.length + 1):
+                measured = min_supply_in_busy_prefixes(schedule, delta)
+                assert measured is None or sbf(delta) <= measured

@@ -1,0 +1,172 @@
+"""Tests for the deployment-spec loader and the CLI commands."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.config import SpecError, load_deployment, parse_curve, parse_deployment
+
+SPEC = {
+    "policy": "npfp",
+    "sockets": [0],
+    "wcet": {
+        "failed_read": 2, "success_read": 2, "selection": 1,
+        "dispatch": 1, "completion": 1, "idling": 1,
+    },
+    "tasks": [
+        {
+            "name": "a", "priority": 2, "wcet": 10, "type_tag": 1,
+            "curve": {"kind": "sporadic", "min_separation": 300},
+        },
+        {
+            "name": "b", "priority": 1, "wcet": 20, "type_tag": 2,
+            "curve": {"kind": "leaky-bucket", "burst": 2,
+                      "rate_separation": 500},
+        },
+    ],
+}
+
+
+@pytest.fixture
+def spec_path(tmp_path: Path) -> str:
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC))
+    return str(path)
+
+
+@pytest.fixture
+def edf_spec_path(tmp_path: Path) -> str:
+    spec = json.loads(json.dumps(SPEC))
+    spec["policy"] = "edf"
+    spec["tasks"][0]["deadline"] = 200
+    spec["tasks"][1]["deadline"] = 900
+    path = tmp_path / "edf.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+class TestSpecParsing:
+    def test_roundtrip(self, spec_path: str):
+        deployment = load_deployment(spec_path)
+        assert deployment.client.num_sockets == 1
+        assert deployment.client.tasks.by_name("a").priority == 2
+        assert deployment.wcet.failed_read == 2
+        assert deployment.client.tasks.has_curves
+
+    def test_curve_kinds(self):
+        assert parse_curve({"kind": "sporadic", "min_separation": 5}, "x")(5) == 1
+        assert parse_curve(
+            {"kind": "leaky-bucket", "burst": 3, "rate_separation": 10}, "x"
+        )(1) == 3
+        table = parse_curve(
+            {"kind": "table", "steps": [[1, 2]], "tail_separation": 5}, "x"
+        )
+        assert table(1) == 2
+
+    def test_unknown_curve_kind(self):
+        with pytest.raises(SpecError, match="unknown curve kind"):
+            parse_curve({"kind": "weird"}, "x")
+
+    def test_missing_key(self):
+        with pytest.raises(SpecError, match="missing required key"):
+            parse_deployment({"tasks": []})
+
+    def test_empty_tasks(self):
+        spec = dict(SPEC, tasks=[])
+        with pytest.raises(SpecError, match="non-empty"):
+            parse_deployment(spec)
+
+    def test_bad_wcet_value(self):
+        spec = json.loads(json.dumps(SPEC))
+        spec["wcet"]["failed_read"] = 1
+        with pytest.raises(SpecError, match="WcetFR"):
+            parse_deployment(spec)
+
+    def test_bad_json_file(self, tmp_path: Path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SpecError, match="not valid JSON"):
+            load_deployment(path)
+
+    def test_missing_file(self, tmp_path: Path):
+        with pytest.raises(SpecError, match="cannot read"):
+            load_deployment(tmp_path / "nope.json")
+
+    def test_non_object_top_level(self, tmp_path: Path):
+        path = tmp_path / "arr.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(SpecError, match="top level"):
+            load_deployment(path)
+
+
+class TestCliCommands:
+    def test_analyze_npfp(self, spec_path: str, capsys):
+        assert main(["analyze", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "NPFP" in out and "R+J" in out
+
+    def test_analyze_edf(self, edf_spec_path: str, capsys):
+        assert main(["analyze", edf_spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "EDF" in out and "schedulable: True" in out
+
+    def test_analyze_unschedulable_exit_code(self, tmp_path: Path, capsys):
+        spec = json.loads(json.dumps(SPEC))
+        spec["tasks"][0]["curve"] = {"kind": "sporadic", "min_separation": 12}
+        spec["tasks"][1]["curve"] = {"kind": "sporadic", "min_separation": 25}
+        path = tmp_path / "overload.json"
+        path.write_text(json.dumps(spec))
+        assert main(["analyze", str(path), "--horizon", "5000"]) == 1
+
+    def test_simulate(self, spec_path: str, capsys):
+        assert main(
+            ["simulate", spec_path, "--runs", "2", "--horizon", "3000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+
+    def test_verify(self, spec_path: str, capsys):
+        assert main(["verify", spec_path, "--depth", "3"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_python_semantics(self, spec_path: str, capsys):
+        assert main(
+            ["verify", spec_path, "--depth", "3", "--semantics", "python"]
+        ) == 0
+
+    def test_source(self, spec_path: str, capsys):
+        assert main(["source", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "fds_run" in out and "task_priority" in out
+
+    def test_wcet(self, spec_path: str, capsys):
+        assert main(["wcet", spec_path, "--backlog", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "npfp_dequeue" in out and "measured WCET model" in out
+
+    def test_wcet_edf(self, edf_spec_path: str, capsys):
+        assert main(["wcet", edf_spec_path]) == 0
+        assert "measured" in capsys.readouterr().out
+
+    def test_render(self, spec_path: str, capsys):
+        assert main(["render", spec_path, "--horizon", "2000", "--width", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "markers" in out and "Idle" in out
+
+    def test_render_edf(self, edf_spec_path: str, capsys):
+        assert main(["render", edf_spec_path, "--horizon", "2000"]) == 0
+
+    def test_bad_spec_exit_code(self, tmp_path: Path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert main(["analyze", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_shipped_example_specs(self, capsys):
+        root = Path(__file__).resolve().parent.parent / "examples" / "specs"
+        assert main(["analyze", str(root / "robot.json")]) == 0
+        assert main(["analyze", str(root / "edf_node.json")]) == 0

@@ -1,0 +1,139 @@
+"""Tests for the §4.3 jitter lemma checker: every job's violation window
+fits within J, across crafted scenarios and randomized campaigns, for
+both scheduling policies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.edf import edf_priority, with_deadline_payloads
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.compliance import (
+    ComplianceError,
+    check_jitter_compliance,
+    needed_jitters,
+)
+from repro.rta.curves import SporadicCurve
+from repro.rta.jitter import jitter_bound
+from repro.sim.simulator import UniformDurations, WcetDurations, simulate
+from repro.sim.workloads import generate_arrivals
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.timing.wcet import WcetModel
+
+WCET = WcetModel(
+    failed_read=3, success_read=5, selection=2, dispatch=2, completion=2, idling=3
+)
+
+
+@pytest.fixture
+def client(two_tasks: TaskSystem) -> RosslClient:
+    curves = {"lo": SporadicCurve(150), "hi": SporadicCurve(100)}
+    return RosslClient.make(two_tasks.with_curves(curves), [0])
+
+
+def compliance_of(client, arrivals, horizon=400, durations=None):
+    result = simulate(client, arrivals, WCET, horizon=horizon,
+                      durations=durations or WcetDurations())
+    bound = jitter_bound(WCET, client.num_sockets).bound
+    return check_jitter_compliance(
+        result.timed_trace,
+        arrivals,
+        result.schedule(),
+        client.priority_fn(),
+        bound,
+    )
+
+
+class TestCraftedScenarios:
+    def test_no_violation_for_promptly_read_job(self, client):
+        # Arrives while the scheduler idles *before* the poll that reads
+        # it — needs only the idle-window jitter, well within J.
+        arrivals = ArrivalSequence([Arrival(1, 0, (2, 1))])
+        report = compliance_of(client, arrivals)
+        assert report.ok
+
+    def test_fig7a_overlooked_high_priority(self, client):
+        # lo arrives first and is selected; hi lands right after the
+        # all-fail pass (t=8) — overlooked at the dispatch, needing
+        # positive jitter, but within J.
+        arrivals = ArrivalSequence([Arrival(1, 0, (1, 1)), Arrival(8, 0, (2, 2))])
+        report = compliance_of(client, arrivals)
+        assert report.ok
+        assert report.worst > 0, "the scenario must exhibit a violation"
+
+    def test_fig7b_idle_arrival(self, client):
+        # Arrival mid-idle-iteration: work conservation violated for the
+        # rest of the idle window.
+        arrivals = ArrivalSequence([Arrival(4, 0, (2, 1))])
+        report = compliance_of(client, arrivals)
+        assert report.ok
+        assert report.worst > 0
+
+    def test_needed_jitter_zero_when_nothing_overlooked(self, client):
+        report = compliance_of(client, ArrivalSequence([]))
+        assert report.needed_jitter == {}
+        assert report.worst == 0
+
+    def test_violation_detected_with_artificially_small_bound(self, client):
+        arrivals = ArrivalSequence([Arrival(4, 0, (2, 1))])
+        result = simulate(client, arrivals, WCET, horizon=400,
+                          durations=WcetDurations())
+        with pytest.raises(ComplianceError):
+            check_jitter_compliance(
+                result.timed_trace, arrivals, result.schedule(),
+                client.priority_fn(), jitter_bound=0,
+            )
+
+
+class TestCampaigns:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_npfp_lemma_holds_randomized(self, seed: int, client):
+        rng = random.Random(seed)
+        arrivals = generate_arrivals(client, horizon=600, rng=rng, intensity=1.3)
+        policy = WcetDurations() if seed % 2 == 0 else UniformDurations(rng)
+        report = compliance_of(client, arrivals, horizon=1_200, durations=policy)
+        assert report.ok, (
+            f"seed {seed}: needed jitter {report.worst} > J {report.bound}"
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_edf_lemma_holds_randomized(self, seed: int):
+        tasks = TaskSystem(
+            [
+                Task(name="a", priority=0, wcet=10, type_tag=1, deadline=300),
+                Task(name="b", priority=0, wcet=15, type_tag=2, deadline=500),
+            ],
+            {"a": SporadicCurve(150), "b": SporadicCurve(200)},
+        )
+        client = RosslClient.make(tasks, [0], policy="edf")
+        rng = random.Random(seed)
+        base = generate_arrivals(client, horizon=600, rng=rng, intensity=1.2)
+        arrivals = with_deadline_payloads(base, client.tasks)
+        result = simulate(client, arrivals, WCET, horizon=1_500,
+                          durations=WcetDurations())
+        bound = jitter_bound(WCET, client.num_sockets).bound
+        report = check_jitter_compliance(
+            result.timed_trace, arrivals, result.schedule(),
+            edf_priority, bound,
+        )
+        assert report.ok
+
+    @pytest.mark.parametrize("sockets", [1, 2, 3])
+    def test_lemma_holds_across_socket_counts(self, sockets: int, three_tasks):
+        curves = {n: SporadicCurve(200) for n in ("low", "mid", "high")}
+        client = RosslClient.make(
+            three_tasks.with_curves(curves), list(range(sockets))
+        )
+        rng = random.Random(sockets)
+        arrivals = generate_arrivals(client, horizon=500, rng=rng, intensity=1.2)
+        result = simulate(client, arrivals, WCET, horizon=1_200,
+                          durations=WcetDurations())
+        bound = jitter_bound(WCET, sockets).bound
+        report = check_jitter_compliance(
+            result.timed_trace, arrivals, result.schedule(),
+            client.priority_fn(), bound,
+        )
+        assert report.ok

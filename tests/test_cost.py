@@ -1,0 +1,218 @@
+"""Tests for the static cost (WCET) analysis, including its soundness
+against the VM's concrete cost semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.compile import compile_program
+from repro.lang.cost import CostAnalyzer, CostError, function_cost
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck
+from repro.lang.vm import VM
+from repro.rossl.client import RosslClient
+from repro.rossl.env import ScriptedEnvironment
+from repro.rossl.runtime import TraceRecorder
+from repro.rossl.source import rossl_source
+
+
+def static_and_dynamic(source: str, loop_bounds=None, entry="main", script=()):
+    """Static bound for `entry` vs. actual VM instruction count."""
+    typed = typecheck(parse_program(source))
+    static = function_cost(typed, entry, loop_bounds)
+    vm = VM(compile_program(typed), ScriptedEnvironment(script), TraceRecorder())
+    vm.call(entry, [])
+    return static, vm.executed
+
+
+class TestExactness:
+    """On branch-free code the static cost equals the dynamic count."""
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int main() { return 1 + 2 * 3; }",
+            "int main() { int x = 4; int y = x; return x + y; }",
+            "struct p { int a; int b; };"
+            "int main() { struct p v; v.a = 1; v.b = 2; return v.a + v.b; }",
+            "int main() { int a[4]; a[1] = 9; return a[1]; }",
+            "int f(int x) { return x * 2; } int main() { return f(21); }",
+        ],
+    )
+    def test_straight_line_exact(self, source: str):
+        static, dynamic = static_and_dynamic(source)
+        assert static == dynamic
+
+
+class TestSoundness:
+    def test_if_takes_worst_branch(self):
+        # Condition true: the cheap branch runs, the bound covers the
+        # expensive one.
+        source = (
+            "int main() { int x = 1;"
+            " if (x) { x = 2; } else { x = 3; x = 4; x = 5; }"
+            " return x; }"
+        )
+        static, dynamic = static_and_dynamic(source)
+        assert dynamic <= static
+
+    def test_loop_with_exact_bound(self):
+        source = (
+            "int main() { int i = 0; int s = 0;"
+            " while (i < 7) { s = s + i; i = i + 1; } return s; }"
+        )
+        static, dynamic = static_and_dynamic(source, {"main": [7]})
+        assert dynamic <= static
+        # Tight: the bound only over-counts by a constant per iteration.
+        assert static <= dynamic + 10
+
+    def test_loop_bound_larger_than_actual(self):
+        source = (
+            "int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }"
+        )
+        static, dynamic = static_and_dynamic(source, {"main": [10]})
+        assert dynamic <= static
+
+    def test_early_break_within_bound(self):
+        source = (
+            "int main() { int i = 0;"
+            " while (i < 100) { i = i + 1; if (i == 4) { break; } }"
+            " return i; }"
+        )
+        static, dynamic = static_and_dynamic(source, {"main": [100]})
+        assert dynamic <= static
+
+    def test_nested_loops_bounds_in_source_order(self):
+        source = (
+            "int main() { int i = 0; int s = 0;"
+            " while (i < 3) {"
+            "   int j = 0;"
+            "   while (j < 4) { s = s + 1; j = j + 1; }"
+            "   i = i + 1;"
+            " } return s; }"
+        )
+        # Outer loop first in source order, then the inner loop.
+        static, dynamic = static_and_dynamic(source, {"main": [3, 4]})
+        assert dynamic <= static
+
+    def test_calls_inline_callee_cost(self):
+        source = (
+            "int triple(int x) { return x + x + x; }"
+            "int main() { return triple(triple(2)); }"
+        )
+        static, dynamic = static_and_dynamic(source)
+        assert static == dynamic
+
+    def test_short_circuit_costs_cover_both_paths(self):
+        for cond in ("1 && 1", "0 && 1", "1 || 0", "0 || 0"):
+            source = f"int main() {{ return {cond}; }}"
+            static, dynamic = static_and_dynamic(source)
+            assert dynamic <= static
+
+
+class TestErrors:
+    def test_recursion_rejected(self):
+        source = (
+            "int f(int n) { if (n == 0) { return 0; } return f(n - 1); }"
+            "int main() { return f(3); }"
+        )
+        typed = typecheck(parse_program(source))
+        with pytest.raises(CostError, match="recursion"):
+            function_cost(typed, "main")
+
+    def test_missing_loop_bound_rejected(self):
+        typed = typecheck(parse_program(
+            "int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }"
+        ))
+        with pytest.raises(CostError, match="missing loop bound"):
+            function_cost(typed, "main")
+
+    def test_negative_bound_rejected(self):
+        typed = typecheck(parse_program(
+            "int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }"
+        ))
+        with pytest.raises(CostError, match="negative"):
+            function_cost(typed, "main", {"main": [-1]})
+
+    def test_unknown_function(self):
+        typed = typecheck(parse_program("int main() { return 0; }"))
+        with pytest.raises(CostError, match="unknown function"):
+            function_cost(typed, "nope")
+
+
+class TestRosslHelperCosts:
+    """Static WCETs for Rössl's basic-action code, checked against the
+    VM on adversarial queue states — the paper's 'statically derived
+    WCETs' (§2.2) made concrete."""
+
+    def driver_source(self, client: RosslClient, queue_len: int, dequeue: bool):
+        """A main that enqueues ``queue_len`` jobs, then (optionally)
+        dequeues one.  Job payloads alternate task tags so the scan
+        cannot shortcut."""
+        tags = [t.type_tag for t in client.tasks.tasks]
+        setup = []
+        for i in range(queue_len):
+            tag = tags[i % len(tags)]
+            setup.append(
+                "    {"
+                "  struct job *j = malloc(sizeof(struct job));"
+                f" j->data[0] = {tag}; j->len = 1;"
+                "  npfp_enqueue(&s, j); }"
+            )
+        body = "\n".join(setup)
+        tail = "    struct job *got = npfp_dequeue(&s);\n" if dequeue else ""
+        return (
+            rossl_source(client)
+            + "\nvoid driver() {\n    struct sched s;\n    s.queue = NULL;\n"
+            + body + "\n" + tail + "}\n"
+        )
+
+    def measure(self, client: RosslClient, queue_len: int, dequeue: bool) -> int:
+        source = self.driver_source(client, queue_len, dequeue)
+        typed = typecheck(parse_program(source))
+        vm = VM(compile_program(typed), ScriptedEnvironment([]), TraceRecorder())
+        vm.call("driver", [])
+        return vm.executed
+
+    def rossl_bounds(self, max_queue: int) -> dict[str, list[int]]:
+        """Loop bounds for the scheduler helpers, parametric in the
+        maximum pending-queue length."""
+        return {
+            # walk to the tail: ≤ max_queue-ish nodes
+            "npfp_enqueue": [max_queue],
+            # priority scan + unlink walk
+            "npfp_dequeue": [max_queue, max_queue],
+        }
+
+    @pytest.mark.parametrize("queue_len", [1, 3, 6])
+    def test_dequeue_cost_statically_bounded(
+        self, two_task_client: RosslClient, queue_len: int
+    ):
+        typed = typecheck(parse_program(rossl_source(two_task_client)))
+        analyzer = CostAnalyzer(typed, self.rossl_bounds(queue_len))
+        static_dequeue = analyzer.call_cost("npfp_dequeue")
+        with_dequeue = self.measure(two_task_client, queue_len, dequeue=True)
+        without = self.measure(two_task_client, queue_len, dequeue=False)
+        # driver tail = `struct job *got = npfp_dequeue(&s);`
+        # ≈ local + &s + call + store; the call dominates.
+        dynamic_dequeue = with_dequeue - without
+        assert 0 < dynamic_dequeue <= static_dequeue + 3
+
+    def test_dequeue_cost_grows_linearly_with_queue(self, two_task_client):
+        costs = [
+            self.measure(two_task_client, n, dequeue=True)
+            - self.measure(two_task_client, n, dequeue=False)
+            for n in (1, 2, 4, 8)
+        ]
+        assert costs == sorted(costs)
+        assert costs[-1] > costs[0]
+
+    def test_enqueue_cost_statically_bounded(self, two_task_client):
+        typed = typecheck(parse_program(rossl_source(two_task_client)))
+        analyzer = CostAnalyzer(typed, self.rossl_bounds(8))
+        static_enqueue = analyzer.call_cost("npfp_enqueue")
+        # Measuring enqueue of the 8th element (longest tail walk):
+        delta = self.measure(two_task_client, 8, False) - self.measure(
+            two_task_client, 7, False
+        )
+        assert 0 < delta <= static_enqueue + 30  # + malloc/init glue

@@ -1,0 +1,166 @@
+"""Cross-feature tests: EDF on the VM, struct-array aggregates in the
+language stack, and serialization round trips on generated traces."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edf import build_edf_rossl, edf_priority, with_deadline_payloads
+from repro.lang.compile import compile_program
+from repro.lang.errors import OutOfFuel
+from repro.lang.interp import run_program
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck
+from repro.lang.values import VInt
+from repro.lang.vm import run_compiled
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rossl.env import HorizonReached, ScriptedEnvironment
+from repro.rossl.runtime import TraceRecorder
+from repro.rossl.vmtiming import simulate_vm
+from repro.rta.curves import SporadicCurve
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.traces.serialize import trace_from_json, trace_to_json
+from repro.traces.validity import tr_valid
+
+
+def edf_client() -> RosslClient:
+    tasks = TaskSystem(
+        [
+            Task(name="a", priority=0, wcet=10, type_tag=1, deadline=5_000),
+            Task(name="b", priority=0, wcet=15, type_tag=2, deadline=9_000),
+        ],
+        {"a": SporadicCurve(8_000), "b": SporadicCurve(9_000)},
+    )
+    return RosslClient.make(tasks, [0], policy="edf")
+
+
+class TestEdfOnVm:
+    def test_edf_minic_runs_on_vm_matching_interpreter(self):
+        client = edf_client()
+        typed = build_edf_rossl(client)
+        compiled = compile_program(typed)
+        script = [(1, 500, 7), (2, 100, 8), None, (1, 80, 9), None, None, None]
+
+        def run(engine):
+            recorder = TraceRecorder()
+            try:
+                engine(recorder)
+            except (OutOfFuel, HorizonReached):
+                pass
+            return recorder.trace
+
+        trace_interp = run(lambda r: run_program(
+            typed, ScriptedEnvironment(script), r, fuel=500_000))
+        trace_vm = run(lambda r: run_compiled(
+            compiled, ScriptedEnvironment(script), r, fuel=5_000_000))
+        assert trace_interp == trace_vm
+        assert tr_valid(trace_vm, edf_priority)
+
+    def test_edf_vm_timed_run(self):
+        """EDF under instruction-count time: the vmtiming driver works
+        for the EDF policy too (it compiles via the client's policy)."""
+        client = edf_client()
+        arrivals = with_deadline_payloads(
+            ArrivalSequence([Arrival(1_000, 0, (1, 1)), Arrival(1_000, 0, (2, 2))]),
+            client.tasks,
+        )
+        run = simulate_vm(client, arrivals, 80_000)
+        completions = run.timed_trace.completions()
+        assert len(completions) == 2
+        assert tr_valid(run.timed_trace.trace, edf_priority)
+        # The job with the earlier absolute deadline completes first.
+        by_deadline = sorted(completions, key=lambda j: j.data[1])
+        assert completions[by_deadline[0]] < completions[by_deadline[1]]
+
+
+AGGREGATE_SOURCE = """
+struct pair { int a; int b; };
+struct grid {
+    struct pair cells[3];
+    int n;
+};
+
+int total(struct grid *g) {
+    int s = 0;
+    int i = 0;
+    while (i < g->n) {
+        s = s + g->cells[i].a + g->cells[i].b;
+        i = i + 1;
+    }
+    return s;
+}
+
+int main() {
+    struct grid g;
+    g.n = 3;
+    int i = 0;
+    while (i < 3) {
+        g.cells[i].a = i;
+        g.cells[i].b = 10 * i;
+        i = i + 1;
+    }
+    return total(&g);
+}
+"""
+
+
+class TestAggregates:
+    def test_layout_of_struct_array_field(self):
+        typed = typecheck(parse_program(AGGREGATE_SOURCE))
+        layout = typed.layouts["grid"]
+        assert layout.size == 7
+        assert layout.offsets == {"cells": 0, "n": 6}
+
+    def test_interpreter_and_vm_agree(self):
+        typed = typecheck(parse_program(AGGREGATE_SOURCE))
+        expected = (0 + 0) + (1 + 10) + (2 + 20)
+        interp = run_program(typed, ScriptedEnvironment([]), TraceRecorder())
+        vm = run_compiled(
+            compile_program(typed), ScriptedEnvironment([]), TraceRecorder()
+        )
+        assert interp == vm == VInt(expected)
+
+    def test_out_of_bounds_struct_array_detected(self):
+        source = AGGREGATE_SOURCE.replace("g.n = 3;", "g.n = 4;")
+        typed = typecheck(parse_program(source))
+        from repro.lang.errors import UndefinedBehavior
+
+        with pytest.raises(UndefinedBehavior):
+            run_program(typed, ScriptedEnvironment([]), TraceRecorder())
+        with pytest.raises(UndefinedBehavior):
+            run_compiled(
+                compile_program(typed), ScriptedEnvironment([]), TraceRecorder()
+            )
+
+    def test_pretty_roundtrip_of_aggregates(self):
+        from repro.lang.pretty import pretty
+        from repro.lang.syntax import ast_equal
+
+        program = parse_program(AGGREGATE_SOURCE)
+        assert ast_equal(program, parse_program(pretty(program)))
+
+
+class TestSerializationProperty:
+    @given(st.integers(0, 10_000), st.integers(1, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_random_scheduler_traces_roundtrip(self, seed: int, length: int):
+        """Any trace the scheduler can emit survives JSON round trip."""
+        rng = random.Random(seed)
+        tasks = TaskSystem(
+            [
+                Task(name="x", priority=1, wcet=5, type_tag=1),
+                Task(name="y", priority=2, wcet=5, type_tag=2),
+            ]
+        )
+        client = RosslClient.make(tasks, [0, 1][: rng.randint(1, 2)])
+        script = [
+            None if rng.random() < 0.5 else (rng.choice([1, 2]), rng.randrange(9))
+            for _ in range(length)
+        ]
+        trace = client.model().run_to_trace(ScriptedEnvironment(script))
+        assert trace_from_json(trace_to_json(trace)) == trace

@@ -1,0 +1,120 @@
+"""Tests for arrival curves, release curves, and curve conformance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rta.curves import (
+    CurveViolation,
+    LeakyBucketCurve,
+    ShiftedCurve,
+    SporadicCurve,
+    TableCurve,
+    check_curve_respected,
+    check_staircase,
+    release_curve,
+    respects_curve,
+)
+
+
+class TestSporadicCurve:
+    def test_values(self):
+        alpha = SporadicCurve(10)
+        assert alpha(0) == 0
+        assert alpha(1) == 1
+        assert alpha(10) == 1
+        assert alpha(11) == 2
+        assert alpha(100) == 10
+
+    def test_rejects_nonpositive_separation(self):
+        with pytest.raises(ValueError):
+            SporadicCurve(0)
+
+    def test_staircase_axioms(self):
+        check_staircase(SporadicCurve(7), 100)
+
+
+class TestLeakyBucketCurve:
+    def test_burst_then_rate(self):
+        alpha = LeakyBucketCurve(burst=3, rate_separation=10)
+        assert alpha(0) == 0
+        assert alpha(1) == 3
+        assert alpha(10) == 3
+        assert alpha(11) == 4
+        assert alpha(21) == 5
+
+    def test_staircase_axioms(self):
+        check_staircase(LeakyBucketCurve(2, 5), 100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeakyBucketCurve(0, 5)
+        with pytest.raises(ValueError):
+            LeakyBucketCurve(1, 0)
+
+
+class TestTableCurve:
+    def test_steps_and_tail(self):
+        alpha = TableCurve(steps=((1, 2), (20, 3)), tail_separation=10)
+        assert alpha(0) == 0
+        assert alpha(1) == 2
+        assert alpha(19) == 2
+        assert alpha(20) == 3
+        assert alpha(29) == 3
+        assert alpha(30) == 4
+
+    def test_rejects_non_increasing_steps(self):
+        with pytest.raises(ValueError):
+            TableCurve(steps=((5, 2), (5, 3)), tail_separation=1)
+
+    def test_staircase_axioms(self):
+        check_staircase(TableCurve(steps=((1, 1), (8, 4)), tail_separation=3), 60)
+
+
+class TestReleaseCurve:
+    def test_shift_semantics(self):
+        alpha = SporadicCurve(10)
+        beta = release_curve(alpha, 5)
+        assert beta(0) == 0
+        assert beta(1) == alpha(6)
+        assert beta(10) == alpha(15)
+
+    def test_zero_jitter_keeps_positive_values(self):
+        alpha = SporadicCurve(10)
+        beta = release_curve(alpha, 0)
+        assert all(beta(d) == alpha(d) for d in range(1, 50))
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            release_curve(SporadicCurve(1), -1)
+
+    def test_release_curve_dominates_arrival_curve(self):
+        alpha = LeakyBucketCurve(2, 7)
+        beta = release_curve(alpha, 4)
+        assert all(beta(d) >= alpha(d) for d in range(0, 100))
+
+
+class TestConformance:
+    def test_sporadic_spacing_ok(self):
+        check_curve_respected([0, 10, 20, 35], SporadicCurve(10))
+
+    def test_sporadic_violation(self):
+        with pytest.raises(CurveViolation):
+            check_curve_respected([0, 5], SporadicCurve(10))
+
+    def test_burst_allowed_by_bucket(self):
+        assert respects_curve([3, 3, 3], LeakyBucketCurve(3, 10))
+
+    def test_burst_too_big_for_bucket(self):
+        assert not respects_curve([3, 3, 3, 3], LeakyBucketCurve(3, 10))
+
+    def test_unsorted_input_handled(self):
+        check_curve_respected([20, 0, 10], SporadicCurve(10))
+
+    def test_empty_sequence_conforms(self):
+        check_curve_respected([], SporadicCurve(1))
+
+    def test_pairwise_criterion_catches_interior_cluster(self):
+        # 3 arrivals within a window of 11 needs α(11) ≥ 3; sporadic T=10
+        # gives α(11) = 2.
+        assert not respects_curve([0, 6, 10], SporadicCurve(10))

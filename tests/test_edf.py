@@ -1,0 +1,226 @@
+"""Tests for the non-preemptive EDF extension: policy, differential
+equivalence, trace validity under the EDF priority, and the
+schedulability analysis (soundness against simulation)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.edf import (
+    EdfRosslModel,
+    deadline_of,
+    edf_analysis,
+    edf_message,
+    edf_priority,
+    edf_schedulable,
+    edf_source,
+    with_deadline_payloads,
+)
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rossl.env import ScriptedEnvironment
+from repro.rossl.source import MiniCRossl
+from repro.rta.curves import SporadicCurve
+from repro.sim.simulator import WcetDurations, simulate
+from repro.sim.workloads import generate_arrivals
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.timing.timed_trace import job_arrival_times
+from repro.timing.wcet import WcetModel
+from repro.traces.markers import MDispatch
+from repro.traces.validity import tr_valid
+
+WCET = WcetModel(
+    failed_read=2, success_read=2, selection=1, dispatch=1, completion=1, idling=1
+)
+
+
+def edf_client(deadlines=(200, 300), periods=(400, 500), wcets=(10, 15)):
+    tasks = TaskSystem(
+        [
+            Task(name=f"t{i}", priority=0, wcet=wcets[i], type_tag=i + 1,
+                 deadline=deadlines[i])
+            for i in range(len(deadlines))
+        ],
+        {f"t{i}": SporadicCurve(periods[i]) for i in range(len(deadlines))},
+    )
+    return RosslClient.make(tasks, sockets=[0], policy="edf")
+
+
+class TestPolicyBasics:
+    def test_deadline_of(self):
+        assert deadline_of((1, 77, 3)) == 77
+        with pytest.raises(ValueError):
+            deadline_of((1,))
+
+    def test_edf_priority_orders_by_deadline(self):
+        assert edf_priority((1, 10)) > edf_priority((1, 20))
+
+    def test_edf_message(self):
+        client = edf_client()
+        msg = edf_message(client.tasks, "t0", 99, 5)
+        assert msg.data == (1, 99, 5)
+
+    def test_client_policy_validation(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            RosslClient.make(edf_client().tasks, [0], policy="rm")
+
+    def test_client_model_and_priority_fn(self):
+        client = edf_client()
+        assert isinstance(client.model(), EdfRosslModel)
+        assert client.priority_fn()((1, 5)) == -5
+
+    def test_task_deadline_validation(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Task(name="x", priority=1, wcet=1, type_tag=0, deadline=0)
+
+
+class TestEdfScheduling:
+    def test_earliest_deadline_dispatched_first(self):
+        client = edf_client()
+        model = client.model()
+        # Two jobs: t0 with deadline 500, t1 with deadline 100.
+        script = [(1, 500), (2, 100), None, None, None]
+        trace = model.run_to_trace(ScriptedEnvironment(script))
+        dispatched = [m.job.data for m in trace if isinstance(m, MDispatch)]
+        assert dispatched == [(2, 100), (1, 500)]
+
+    def test_fifo_among_equal_deadlines(self):
+        client = edf_client()
+        script = [(1, 100, 7), (2, 100, 8), None, None, None]
+        trace = client.model().run_to_trace(ScriptedEnvironment(script))
+        dispatched = [m.job.data for m in trace if isinstance(m, MDispatch)]
+        assert dispatched == [(1, 100, 7), (2, 100, 8)]
+
+    def test_trace_valid_under_edf_priority(self):
+        client = edf_client()
+        script = [(1, 500), (2, 100), None, None, None]
+        trace = client.model().run_to_trace(ScriptedEnvironment(script))
+        assert tr_valid(trace, edf_priority)
+        # … and *invalid* under the NPFP task priorities (all equal here,
+        # so NPFP-FIFO would have run t0 first): dispatching (2,100)
+        # before (1,500) violates nothing priority-wise (equal), so check
+        # the converse: the NPFP model's trace violates EDF validity.
+        npfp_trace = RosslClient.make(
+            client.tasks, [0], policy="npfp"
+        ).model().run_to_trace(ScriptedEnvironment(script))
+        assert not tr_valid(npfp_trace, edf_priority)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_minic_edf_matches_python_model(self, seed: int):
+        client = edf_client()
+        rng = random.Random(seed)
+        tags = [t.type_tag for t in client.tasks.tasks]
+        script = []
+        for _ in range(rng.randrange(1, 25)):
+            if rng.random() < 0.5:
+                script.append(None)
+            else:
+                script.append((rng.choice(tags), rng.randrange(1_000), rng.randrange(9)))
+        trace_py = client.model().run_to_trace(ScriptedEnvironment(script))
+        trace_c = MiniCRossl(client).run_to_trace(
+            ScriptedEnvironment(script), fuel=500_000
+        )
+        assert trace_py == trace_c
+
+    def test_edf_source_contains_deadline_priority(self):
+        source = edf_source(edf_client())
+        assert "msg_deadline" in source
+        assert "0 - msg_deadline(j->data, j->len)" in source
+
+
+class TestWithDeadlinePayloads:
+    def test_rewrites_payloads(self):
+        client = edf_client(deadlines=(50, 80))
+        arrivals = ArrivalSequence(
+            [Arrival(10, 0, (1, 99)), Arrival(20, 0, (2,))]
+        )
+        rewritten = with_deadline_payloads(arrivals, client.tasks)
+        assert rewritten.arrivals[0].data == (1, 60, 99)
+        assert rewritten.arrivals[1].data == (2, 100)
+
+    def test_requires_deadlines(self):
+        tasks = TaskSystem(
+            [Task(name="a", priority=1, wcet=1, type_tag=1)],
+            {"a": SporadicCurve(10)},
+        )
+        with pytest.raises(ValueError, match="deadline"):
+            with_deadline_payloads(
+                ArrivalSequence([Arrival(0, 0, (1,))]), tasks
+            )
+
+
+class TestEdfAnalysis:
+    def test_light_system_schedulable(self):
+        client = edf_client(deadlines=(200, 300), periods=(400, 500),
+                            wcets=(10, 15))
+        assert edf_schedulable(client, WCET)
+
+    def test_overload_unschedulable(self):
+        client = edf_client(deadlines=(15, 15), periods=(20, 20),
+                            wcets=(12, 12))
+        result = edf_analysis(client, WCET, horizon=5_000)
+        assert not result.schedulable
+
+    def test_jitter_consuming_deadline_unschedulable(self):
+        # Deadline smaller than the jitter bound: hopeless.
+        client = edf_client(deadlines=(3, 300), periods=(400, 500),
+                            wcets=(1, 1))
+        result = edf_analysis(client, WCET)
+        assert not result.schedulable
+        assert result.failing_window == 0
+
+    def test_requires_deadlines(self):
+        tasks = TaskSystem(
+            [Task(name="a", priority=1, wcet=5, type_tag=1)],
+            {"a": SporadicCurve(100)},
+        )
+        client = RosslClient.make(tasks, [0], policy="edf")
+        with pytest.raises(ValueError, match="deadline"):
+            edf_analysis(client, WCET)
+
+    def test_requires_curves(self):
+        tasks = TaskSystem(
+            [Task(name="a", priority=1, wcet=5, type_tag=1, deadline=50)]
+        )
+        client = RosslClient.make(tasks, [0], policy="edf")
+        with pytest.raises(ValueError, match="arrival curve"):
+            edf_analysis(client, WCET)
+
+    def test_tighter_deadlines_harder(self):
+        loose = edf_client(deadlines=(300, 400), periods=(300, 350), wcets=(30, 40))
+        tight = edf_client(deadlines=(60, 70), periods=(300, 350), wcets=(30, 40))
+        assert edf_schedulable(loose, WCET)
+        # The tight variant may or may not pass, but it can never pass
+        # when the loose one fails; here we check monotonicity holds in
+        # the expected direction on this instance.
+        if edf_schedulable(tight, WCET):
+            assert edf_schedulable(loose, WCET)
+
+
+class TestEdfSoundness:
+    """If the test says schedulable, simulated runs miss no deadlines."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_no_deadline_misses_when_schedulable(self, seed: int):
+        client = edf_client(deadlines=(150, 250), periods=(350, 450),
+                            wcets=(12, 18))
+        analysis = edf_analysis(client, WCET)
+        assert analysis.schedulable
+        rng = random.Random(seed)
+        base = generate_arrivals(client, horizon=2_000, rng=rng, intensity=1.0)
+        arrivals = with_deadline_payloads(base, client.tasks)
+        result = simulate(client, arrivals, WCET, horizon=4_000,
+                          durations=WcetDurations())
+        completions = result.timed_trace.completions()
+        for job, t_arr in job_arrival_times(result.timed_trace, arrivals).items():
+            deadline = deadline_of(job.data)
+            if deadline >= 4_000:
+                continue  # horizon condition
+            done = completions.get(job)
+            assert done is not None, f"seed {seed}: {job} never completed"
+            assert done <= deadline, (
+                f"seed {seed}: {job} (arrived {t_arr}) completed {done} "
+                f"after its deadline {deadline}"
+            )

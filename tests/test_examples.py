@@ -1,0 +1,60 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The examples are executable documentation; each contains assertions of
+its own (bounds hold, violations detected, model checks clean), so
+running them is a meaningful end-to-end test of the public API.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "iot_sensor_node.py",
+        "verify_rossl.py",
+        "wcet_toolchain.py",
+        "edf_deadlines.py",
+    ],
+)
+def test_example_runs(name: str, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+@pytest.mark.slow
+def test_ros2_executor_runs(capsys):
+    # The one-second (µs-granularity) simulation takes a few seconds.
+    run_example("ros2_executor.py")
+    assert "jitter" in capsys.readouterr().out
+
+
+def test_all_examples_are_covered():
+    listed = {
+        "quickstart.py", "iot_sensor_node.py", "verify_rossl.py",
+        "wcet_toolchain.py", "edf_deadlines.py", "ros2_executor.py",
+    }
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert present == listed

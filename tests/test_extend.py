@@ -1,0 +1,116 @@
+"""Tests for the ProKOS-style schedule extension (§6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.task import TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.curves import SporadicCurve
+from repro.schedule.extend import (
+    extend_with_pending_completions,
+    pending_at_horizon,
+    service_received,
+)
+from repro.schedule.states import Executes, Idle
+from repro.sim.simulator import WcetDurations, simulate
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.timing.timed_trace import TimedTrace
+from repro.timing.wcet import WcetModel
+
+WCET = WcetModel(
+    failed_read=3, success_read=5, selection=2, dispatch=2, completion=2, idling=3
+)
+
+
+def curved(two_tasks: TaskSystem):
+    curves = {"lo": SporadicCurve(100), "hi": SporadicCurve(100)}
+    return RosslClient.make(two_tasks.with_curves(curves), [0])
+
+
+def cut_run(client, arrivals, horizon, cut_after_markers):
+    """Simulate and truncate the observation after N markers."""
+    result = simulate(client, arrivals, WCET, horizon,
+                      durations=WcetDurations())
+    timed = result.timed_trace
+    cut = min(cut_after_markers, len(timed))
+    return result, TimedTrace.make(
+        timed.trace[:cut], timed.ts[:cut],
+        timed.ts[cut] if cut < len(timed) else timed.horizon,
+    )
+
+
+class TestPendingDetection:
+    def test_no_pending_on_complete_run(self, two_tasks):
+        client = curved(two_tasks)
+        arrivals = ArrivalSequence([Arrival(1, 0, (2, 1))])
+        result = simulate(client, arrivals, WCET, 300,
+                          durations=WcetDurations())
+        assert pending_at_horizon(result.timed_trace) == []
+
+    def test_cutoff_job_is_pending(self, two_tasks):
+        client = curved(two_tasks)
+        arrivals = ArrivalSequence([Arrival(1, 0, (2, 1)), Arrival(1, 0, (1, 2))])
+        # Cut just after both reads and the first dispatch.
+        _, prefix = cut_run(client, arrivals, 400, cut_after_markers=8)
+        pending = pending_at_horizon(prefix)
+        assert len(pending) >= 1
+
+    def test_service_received(self, two_tasks):
+        client = curved(two_tasks)
+        arrivals = ArrivalSequence([Arrival(1, 0, (2, 1))])
+        result = simulate(client, arrivals, WCET, 300,
+                          durations=WcetDurations())
+        job = next(iter(result.timed_trace.completions()))
+        # Full WCET-timed execution: service equals hi's WCET (C=5).
+        assert service_received(result.timed_trace, job) == 5
+
+
+class TestExtension:
+    def test_pending_jobs_complete_in_extension(self, two_tasks):
+        client = curved(two_tasks)
+        arrivals = ArrivalSequence(
+            [Arrival(1, 0, (2, 1)), Arrival(1, 0, (1, 2))]
+        )
+        from repro.schedule.conversion import convert
+
+        _, prefix = cut_run(client, arrivals, 400, cut_after_markers=8)
+        schedule = convert(prefix, client.sockets)
+        total = extend_with_pending_completions(
+            schedule, prefix, client.tasks
+        )
+        for job in pending_at_horizon(prefix):
+            served = total.service_in(job, 0, 10_000)
+            assert served >= 1
+        # Beyond the extension: idle forever.
+        assert total.state_at(100_000) == Idle()
+
+    def test_extension_preserves_prefix(self, two_tasks):
+        client = curved(two_tasks)
+        arrivals = ArrivalSequence([Arrival(1, 0, (2, 1)), Arrival(1, 0, (1, 2))])
+        from repro.schedule.conversion import convert
+
+        _, prefix = cut_run(client, arrivals, 400, cut_after_markers=8)
+        schedule = convert(prefix, client.sockets)
+        total = extend_with_pending_completions(schedule, prefix, client.tasks)
+        for t in range(schedule.start, schedule.end):
+            assert total.state_at(t) == schedule.state_at(t)
+
+    def test_priority_order_in_extension(self, two_tasks):
+        client = curved(two_tasks)
+        # Two unserved jobs: hi must be completed first in the extension.
+        arrivals = ArrivalSequence([Arrival(1, 0, (1, 1)), Arrival(1, 0, (2, 2))])
+        from repro.schedule.conversion import convert
+
+        _, prefix = cut_run(client, arrivals, 400, cut_after_markers=5)
+        pending = pending_at_horizon(prefix)
+        assert len(pending) == 2
+        schedule = convert(prefix, client.sockets)
+        total = extend_with_pending_completions(schedule, prefix, client.tasks)
+        appended = [
+            s for s in total.finite.segments if s.start >= schedule.end
+        ]
+        assert [client.tasks.msg_to_task(s.state.job.data).name
+                for s in appended if isinstance(s.state, Executes)] == [
+            "hi", "lo",
+        ]

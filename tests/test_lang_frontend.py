@@ -1,0 +1,256 @@
+"""Tests for the MiniC lexer, parser, and type checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.errors import LexError, ParseError, TypeError_
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.syntax import (
+    Binary,
+    Call,
+    IntLit,
+    Member,
+    TArray,
+    TInt,
+    TPtr,
+    TStruct,
+    Unary,
+)
+from repro.lang.tokens import TokenKind as K
+from repro.lang.typecheck import typecheck
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        kinds = [t.kind for t in tokenize("int foo while whilee")]
+        assert kinds == [K.KW_INT, K.IDENT, K.KW_WHILE, K.IDENT, K.EOF]
+
+    def test_multichar_operators(self):
+        kinds = [t.kind for t in tokenize("-> == != <= >= && || = < >")]
+        assert kinds[:-1] == [
+            K.ARROW, K.EQ, K.NEQ, K.LE, K.GE, K.AND, K.OR, K.ASSIGN, K.LT, K.GT,
+        ]
+
+    def test_line_comments_skipped(self):
+        kinds = [t.kind for t in tokenize("1 // comment\n2")]
+        assert kinds == [K.INT_LIT, K.INT_LIT, K.EOF]
+
+    def test_block_comments_skipped(self):
+        kinds = [t.kind for t in tokenize("1 /* x\ny */ 2")]
+        assert kinds == [K.INT_LIT, K.INT_LIT, K.EOF]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("/* oops")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_number_followed_by_letter_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("12ab")
+
+
+class TestParser:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.rhs, Binary) and expr.rhs.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert isinstance(expr, Binary) and expr.op == "*"
+
+    def test_comparison_binds_looser_than_arith(self):
+        expr = parse_expression("1 + 2 < 3 * 4")
+        assert isinstance(expr, Binary) and expr.op == "<"
+
+    def test_logical_or_loosest(self):
+        expr = parse_expression("1 && 2 || 3")
+        assert isinstance(expr, Binary) and expr.op == "||"
+
+    def test_unary_chain(self):
+        expr = parse_expression("!!x")
+        assert isinstance(expr, Unary) and isinstance(expr.operand, Unary)
+
+    def test_postfix_member_chain(self):
+        expr = parse_expression("a->b.c")
+        assert isinstance(expr, Member) and not expr.arrow
+        assert isinstance(expr.obj, Member) and expr.obj.arrow
+
+    def test_call_with_args(self):
+        expr = parse_expression("f(1, g(2))")
+        assert isinstance(expr, Call) and len(expr.args) == 2
+        assert isinstance(expr.args[1], Call)
+
+    def test_struct_def_and_layout_syntax(self):
+        program = parse_program(
+            "struct pair { int a; int b[4]; struct pair *next; };"
+        )
+        struct = program.struct("pair")
+        assert struct.fields[0] == ("a", TInt())
+        assert struct.fields[1] == ("b", TArray(TInt(), 4))
+        assert struct.fields[2] == ("next", TPtr(TStruct("pair")))
+
+    def test_function_parsing(self):
+        program = parse_program("int add(int a, int b) { return a + b; }")
+        func = program.function("add")
+        assert [p.name for p in func.params] == ["a", "b"]
+        assert func.ret == TInt()
+
+    def test_else_if_chain(self):
+        program = parse_program(
+            "int f(int x) { if (x == 1) { return 1; } else if (x == 2)"
+            " { return 2; } else { return 3; } }"
+        )
+        assert program.function("f") is not None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("int f() { return 1 }")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse_program("int f() { return }")
+        assert exc_info.value.line == 1
+
+    def test_sizeof(self):
+        expr = parse_expression("sizeof(struct pair)")
+        assert expr.ctype == TStruct("pair")
+
+    def test_null_literal(self):
+        program = parse_program("int f(int *p) { if (p == NULL) { return 0; } return 1; }")
+        assert program.function("f") is not None
+
+
+class TestTypecheck:
+    def check(self, source: str):
+        return typecheck(parse_program(source))
+
+    def test_simple_function(self):
+        typed = self.check("int add(int a, int b) { return a + b; }")
+        assert "add" in typed.functions
+
+    def test_struct_layout_offsets(self):
+        typed = self.check(
+            "struct job { int len; int data[8]; struct job *next; };"
+            "int f() { return sizeof(struct job); }"
+        )
+        layout = typed.layouts["job"]
+        assert layout.size == 10
+        assert layout.offsets == {"len": 0, "data": 1, "next": 9}
+
+    def test_nested_struct_layout(self):
+        typed = self.check(
+            "struct inner { int a; int b; };"
+            "struct outer { struct inner i; int c; };"
+            "int f() { return 0; }"
+        )
+        assert typed.layouts["outer"].size == 3
+        assert typed.layouts["outer"].offsets["c"] == 2
+
+    def test_value_recursive_struct_rejected(self):
+        with pytest.raises(TypeError_, match="recursively"):
+            self.check("struct a { struct a x; }; int f() { return 0; }")
+
+    def test_pointer_recursion_allowed(self):
+        typed = self.check("struct a { struct a *next; }; int f() { return 0; }")
+        assert typed.layouts["a"].size == 1
+
+    def test_undeclared_variable(self):
+        with pytest.raises(TypeError_, match="undeclared"):
+            self.check("int f() { return x; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(TypeError_, match="undefined function"):
+            self.check("int f() { return g(); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(TypeError_, match="expects 1 args"):
+            self.check("int g(int a) { return a; } int f() { return g(1, 2); }")
+
+    def test_argument_type_mismatch(self):
+        with pytest.raises(TypeError_, match="argument 1"):
+            self.check(
+                "int g(int *p) { return 0; } int f() { return g(3); }"
+            )
+
+    def test_assign_int_to_pointer_rejected(self):
+        with pytest.raises(TypeError_, match="cannot assign"):
+            self.check("int f() { int *p; p = 3; return 0; }")
+
+    def test_null_assignable_to_any_pointer(self):
+        self.check("struct s { int x; }; int f() { struct s *p; p = NULL; return 0; }")
+
+    def test_malloc_result_assignable_to_pointer(self):
+        self.check("int f() { int *p; p = malloc(4); free(p); return 0; }")
+
+    def test_deref_non_pointer_rejected(self):
+        with pytest.raises(TypeError_, match="dereference"):
+            self.check("int f(int x) { return *x; }")
+
+    def test_member_on_non_struct_rejected(self):
+        with pytest.raises(TypeError_, match="needs a struct"):
+            self.check("int f(int x) { return x.y; }")
+
+    def test_arrow_on_struct_value_rejected(self):
+        with pytest.raises(TypeError_, match="struct pointer"):
+            self.check(
+                "struct s { int x; }; int f() { struct s v; return v->x; }"
+            )
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError_, match="no field"):
+            self.check("struct s { int x; }; int f(struct s *p) { return p->y; }")
+
+    def test_array_decay_in_call(self):
+        self.check(
+            "int g(int *p) { return p[0]; }"
+            "int f() { int a[4]; a[0] = 1; return g(a); }"
+        )
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(TypeError_, match="returning"):
+            self.check("int *f() { return 3; }")
+
+    def test_void_function_returning_value_rejected(self):
+        with pytest.raises(TypeError_, match="void function"):
+            self.check("void f() { return 3; }")
+
+    def test_ordering_on_pointers_rejected(self):
+        with pytest.raises(TypeError_, match="ordering"):
+            self.check("int f(int *p, int *q) { return p < q; }")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(TypeError_, match="duplicate function"):
+            self.check("int f() { return 0; } int f() { return 1; }")
+
+    def test_shadowing_builtin_rejected(self):
+        with pytest.raises(TypeError_, match="shadows a builtin"):
+            self.check("int malloc(int n) { return n; }")
+
+    def test_redeclaration_in_same_scope_rejected(self):
+        with pytest.raises(TypeError_, match="redeclaration"):
+            self.check("int f() { int x; int x; return 0; }")
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        self.check("int f() { int x = 1; { int x = 2; } return x; }")
+
+    def test_condition_must_be_scalar(self):
+        with pytest.raises(TypeError_, match="condition"):
+            self.check("struct s { int x; }; int f() { struct s v; if (v) { } return 0; }")
+
+    def test_address_of_rvalue_rejected(self):
+        with pytest.raises(TypeError_, match="lvalue"):
+            self.check("int f() { int *p = &3; return 0; }")
+
+    def test_pointer_arithmetic_typed(self):
+        self.check("int f(int *p) { return *(p + 1); }")

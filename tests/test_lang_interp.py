@@ -1,0 +1,323 @@
+"""Tests for the MiniC interpreter: evaluation, heap, UB detection,
+and the instrumented read/marker builtins (Fig. 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.errors import OutOfFuel, UndefinedBehavior
+from repro.lang.heap import Heap
+from repro.lang.interp import Interpreter, run_program
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck
+from repro.lang.values import NULL, VInt, VPtr
+from repro.rossl.env import QueueEnvironment, ScriptedEnvironment
+from repro.rossl.runtime import TraceRecorder
+from repro.traces.markers import MIdling, MReadE, MReadS, MSelection
+
+
+def run_int(source: str, entry: str = "main", fuel: int = 100_000) -> int:
+    typed = typecheck(parse_program(source))
+    env = ScriptedEnvironment([])
+    result = run_program(typed, env, TraceRecorder(), entry=entry, fuel=fuel)
+    assert isinstance(result, VInt)
+    return result.value
+
+
+class TestHeap:
+    def test_alloc_store_load(self):
+        heap = Heap()
+        ptr = heap.alloc(2)
+        heap.store(ptr, VInt(7))
+        assert heap.load(ptr) == VInt(7)
+
+    def test_load_uninitialized_is_ub(self):
+        heap = Heap()
+        ptr = heap.alloc(1)
+        with pytest.raises(UndefinedBehavior, match="uninitialized"):
+            heap.load(ptr)
+
+    def test_out_of_bounds_is_ub(self):
+        heap = Heap()
+        ptr = heap.alloc(2)
+        with pytest.raises(UndefinedBehavior, match="out of bounds"):
+            heap.load(ptr.moved(2))
+
+    def test_use_after_free_is_ub(self):
+        heap = Heap()
+        ptr = heap.alloc(1)
+        heap.store(ptr, VInt(1))
+        heap.free(ptr)
+        with pytest.raises(UndefinedBehavior, match="dangling"):
+            heap.load(ptr)
+
+    def test_double_free_is_ub(self):
+        heap = Heap()
+        ptr = heap.alloc(1)
+        heap.free(ptr)
+        with pytest.raises(UndefinedBehavior, match="already-freed|invalid"):
+            heap.free(ptr)
+
+    def test_free_null_is_noop(self):
+        Heap().free(NULL)
+
+    def test_free_interior_pointer_is_ub(self):
+        heap = Heap()
+        ptr = heap.alloc(2)
+        with pytest.raises(UndefinedBehavior, match="interior"):
+            heap.free(ptr.moved(1))
+
+    def test_free_local_is_ub(self):
+        heap = Heap()
+        ptr = heap.alloc(1, kind="local")
+        with pytest.raises(UndefinedBehavior, match="non-heap"):
+            heap.free(ptr)
+
+    def test_null_access_is_ub(self):
+        with pytest.raises(UndefinedBehavior, match="NULL"):
+            Heap().load(NULL)
+
+    def test_live_block_accounting(self):
+        heap = Heap()
+        a = heap.alloc(1)
+        heap.alloc(1, kind="local")
+        assert heap.live_blocks == 2
+        assert heap.live_malloc_blocks() == 1
+        heap.free(a)
+        assert heap.live_malloc_blocks() == 0
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        assert run_int("int main() { return 2 + 3 * 4 - 1; }") == 13
+
+    def test_c_style_truncating_division(self):
+        assert run_int("int main() { return -7 / 2; }") == -3
+        assert run_int("int main() { return -7 % 2; }") == -1
+        assert run_int("int main() { return 7 / -2; }") == -3
+
+    def test_division_by_zero_is_ub(self):
+        with pytest.raises(UndefinedBehavior, match="division"):
+            run_int("int main() { int z = 0; return 1 / z; }")
+
+    def test_comparisons(self):
+        assert run_int("int main() { return (1 < 2) + (2 <= 2) + (3 > 4); }") == 2
+
+    def test_short_circuit_and(self):
+        # The RHS would divide by zero; && must not evaluate it.
+        assert run_int("int main() { int z = 0; return 0 && (1 / z); }") == 0
+
+    def test_short_circuit_or(self):
+        assert run_int("int main() { int z = 0; return 1 || (1 / z); }") == 1
+
+    def test_logical_not(self):
+        assert run_int("int main() { return !0 + !5; }") == 1
+
+    def test_while_loop(self):
+        assert run_int(
+            "int main() { int i = 0; int s = 0;"
+            " while (i < 5) { s = s + i; i = i + 1; } return s; }"
+        ) == 10
+
+    def test_break_and_continue(self):
+        assert run_int(
+            "int main() { int i = 0; int s = 0; while (1) {"
+            " i = i + 1; if (i > 10) { break; }"
+            " if (i % 2 == 0) { continue; } s = s + i; } return s; }"
+        ) == 25
+
+    def test_nested_function_calls(self):
+        assert run_int(
+            "int sq(int x) { return x * x; }"
+            "int main() { return sq(sq(2)); }"
+        ) == 16
+
+    def test_recursion(self):
+        assert run_int(
+            "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }"
+            "int main() { return fact(5); }"
+        ) == 120
+
+    def test_pointers_and_address_of(self):
+        assert run_int(
+            "void set(int *p, int v) { *p = v; }"
+            "int main() { int x = 1; set(&x, 42); return x; }"
+        ) == 42
+
+    def test_struct_member_access(self):
+        assert run_int(
+            "struct pt { int x; int y; };"
+            "int main() { struct pt p; p.x = 3; p.y = 4; return p.x * p.y; }"
+        ) == 12
+
+    def test_struct_pointer_arrow(self):
+        assert run_int(
+            "struct pt { int x; int y; };"
+            "int get(struct pt *p) { return p->x + p->y; }"
+            "int main() { struct pt p; p.x = 1; p.y = 2; return get(&p); }"
+        ) == 3
+
+    def test_arrays(self):
+        assert run_int(
+            "int main() { int a[3]; a[0] = 1; a[1] = 2; a[2] = 3;"
+            " return a[0] + a[1] + a[2]; }"
+        ) == 6
+
+    def test_array_out_of_bounds_is_ub(self):
+        with pytest.raises(UndefinedBehavior, match="out of bounds"):
+            run_int("int main() { int a[2]; a[0] = 1; int i = 2; a[i] = 5; return 0; }")
+
+    def test_malloc_free_linked_list(self):
+        assert run_int(
+            "struct node { int v; struct node *next; };"
+            "int main() {"
+            "  struct node *head = NULL;"
+            "  int i = 0;"
+            "  while (i < 4) {"
+            "    struct node *n = malloc(sizeof(struct node));"
+            "    n->v = i; n->next = head; head = n; i = i + 1;"
+            "  }"
+            "  int s = 0;"
+            "  while (head != NULL) {"
+            "    s = s + head->v;"
+            "    struct node *dead = head;"
+            "    head = head->next;"
+            "    free(dead);"
+            "  }"
+            "  return s;"
+            "}"
+        ) == 6
+
+    def test_use_after_scope_exit_is_ub(self):
+        source = (
+            "int *escape() { int x = 1; return &x; }"
+            "int main() { int *p = escape(); return *p; }"
+        )
+        with pytest.raises(UndefinedBehavior, match="dangling"):
+            run_int(source)
+
+    def test_pointer_arithmetic_scaled_by_struct_size(self):
+        assert run_int(
+            "struct pt { int x; int y; };"
+            "int main() {"
+            "  struct pt *a = malloc(2 * sizeof(struct pt));"
+            "  (*(a + 1)).x = 9;"
+            "  struct pt *b = a + 1;"
+            "  int r = b->x;"
+            "  free(a);"
+            "  return r;"
+            "}"
+        ) == 9
+
+    def test_sizeof(self):
+        assert run_int(
+            "struct job { int len; int data[8]; struct job *next; };"
+            "int main() { return sizeof(struct job); }"
+        ) == 10
+
+    def test_uninitialized_local_read_is_ub(self):
+        with pytest.raises(UndefinedBehavior, match="uninitialized"):
+            run_int("int main() { int x; return x; }")
+
+    def test_fuel_exhaustion(self):
+        with pytest.raises(OutOfFuel):
+            run_int("int main() { while (1) { } return 0; }", fuel=100)
+
+    def test_falling_off_non_void_is_ub(self):
+        with pytest.raises(UndefinedBehavior, match="fell off"):
+            run_int("int main() { int x = 1; }")
+
+    def test_null_deref_is_ub(self):
+        with pytest.raises(UndefinedBehavior, match="NULL"):
+            run_int(
+                "struct s { int x; };"
+                "int main() { struct s *p = NULL; return p->x; }"
+            )
+
+
+class TestInstrumentedBuiltins:
+    def make(self, source: str, script):
+        typed = typecheck(parse_program(source))
+        recorder = TraceRecorder()
+        env = ScriptedEnvironment(script)
+        return typed, env, recorder
+
+    def test_read_failure_emits_marker_and_returns_minus_one(self):
+        source = (
+            "int main() { int buf[8]; read_start();"
+            " return read(5, buf, 8); }"
+        )
+        typed, env, recorder = self.make(source, [None])
+        result = run_program(typed, env, recorder)
+        assert result == VInt(-1)
+        assert recorder.trace == [MReadS(), MReadE(5, None)]
+
+    def test_read_success_writes_buffer_and_assigns_id(self):
+        source = (
+            "int main() { int buf[8]; read_start();"
+            " int n = read(3, buf, 8);"
+            " return buf[0] * 100 + buf[1] * 10 + n; }"
+        )
+        typed, env, recorder = self.make(source, [(4, 2)])
+        result = run_program(typed, env, recorder)
+        assert result == VInt(4 * 100 + 2 * 10 + 2)
+        read_end = recorder.trace[1]
+        assert isinstance(read_end, MReadE)
+        assert read_end.job is not None
+        assert read_end.job.data == (4, 2)
+        assert read_end.job.jid == 0
+
+    def test_oversized_message_is_ub(self):
+        source = "int main() { int buf[2]; return read(0, buf, 2); }"
+        typed, env, recorder = self.make(source, [(1, 2, 3)])
+        with pytest.raises(UndefinedBehavior, match="exceeds buffer"):
+            run_program(typed, env, recorder)
+
+    def test_marker_builtins_emit(self):
+        source = (
+            "int main() { selection_start(); idling_start(); return 0; }"
+        )
+        typed, env, recorder = self.make(source, [])
+        run_program(typed, env, recorder)
+        assert recorder.trace == [MSelection(), MIdling()]
+
+    def test_dispatch_without_read_is_ub(self):
+        source = (
+            "int main() { int buf[2]; buf[0] = 9; buf[1] = 9;"
+            " dispatch_start(buf, 2); return 0; }"
+        )
+        typed, env, recorder = self.make(source, [])
+        with pytest.raises(UndefinedBehavior, match="no read-but-undispatched"):
+            run_program(typed, env, recorder)
+
+    def test_dispatch_resolves_read_job(self):
+        source = (
+            "int main() { int buf[8];"
+            " int n = read(0, buf, 8);"
+            " dispatch_start(buf, n);"
+            " execution_start(buf, n);"
+            " completion_start(buf, n);"
+            " return 0; }"
+        )
+        typed, env, recorder = self.make(source, [(7, 7)])
+        run_program(typed, env, recorder)
+        kinds = [type(m).__name__ for m in recorder.trace]
+        assert kinds == ["MReadE", "MDispatch", "MExecution", "MCompletion"]
+        jobs = {m.job for m in recorder.trace if hasattr(m, "job") and m.job}
+        assert len(jobs) == 1
+
+    def test_execution_without_dispatch_is_ub(self):
+        source = (
+            "int main() { int buf[1]; buf[0] = 1;"
+            " execution_start(buf, 1); return 0; }"
+        )
+        typed, env, recorder = self.make(source, [])
+        with pytest.raises(UndefinedBehavior, match="does not match"):
+            run_program(typed, env, recorder)
+
+    def test_interpreter_tracks_leaks(self):
+        source = "int main() { int *p = malloc(4); return 0; }"
+        typed, env, recorder = self.make(source, [])
+        interp = Interpreter(typed, env, recorder)
+        interp.call("main", [])
+        assert interp.heap.live_malloc_blocks() == 1

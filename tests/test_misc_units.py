@@ -1,0 +1,164 @@
+"""Unit tests for smaller APIs: value/heap helpers, marker formatting,
+protocol spans, schedule segments, and report edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.heap import Heap
+from repro.lang.values import NULL, UNDEF, Undef, VInt, VPtr
+from repro.model.job import Job
+from repro.schedule.conversion import Segment
+from repro.schedule.states import Executes, Idle
+from repro.traces.basic_actions import Read, Selection
+from repro.traces.markers import (
+    MDispatch,
+    MIdling,
+    MReadE,
+    MReadS,
+    format_trace,
+)
+from repro.traces.protocol import ActionSpan, SchedulerProtocol
+
+J = Job((1, 2), 0)
+
+
+class TestValues:
+    def test_vint_str(self):
+        assert str(VInt(42)) == "42"
+
+    def test_null_identity_and_str(self):
+        assert NULL.is_null
+        assert str(NULL) == "NULL"
+
+    def test_vptr_moved_and_str(self):
+        ptr = VPtr(3, 1)
+        assert ptr.moved(2) == VPtr(3, 3)
+        assert str(ptr) == "&b3+1"
+
+    def test_undef_is_singleton(self):
+        assert Undef() is UNDEF
+        assert repr(UNDEF) == "undef"
+
+
+class TestHeapHelpers:
+    def test_valid_predicate(self):
+        heap = Heap()
+        ptr = heap.alloc(2)
+        assert heap.valid(ptr)
+        assert heap.valid(ptr.moved(1))
+        assert not heap.valid(ptr.moved(2))  # one past the end
+        assert not heap.valid(NULL)
+        heap.free(ptr)
+        assert not heap.valid(ptr)
+
+    def test_valid_on_wild_pointer(self):
+        assert not Heap().valid(VPtr(99, 0))
+
+    def test_alloc_nonpositive_rejected(self):
+        from repro.lang.errors import UndefinedBehavior
+
+        with pytest.raises(UndefinedBehavior):
+            Heap().alloc(0)
+
+
+class TestMarkerFormatting:
+    def test_format_trace_lines(self):
+        text = format_trace([MReadS(), MReadE(0, J), MIdling()])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "M_ReadS" in lines[0]
+        assert "j0(1,2)" in lines[1]
+
+    def test_marker_strs(self):
+        assert str(MReadE(1, None)) == "M_ReadE(sock=1, ⊥)"
+        assert str(MDispatch(J)) == "M_Dispatch(j0(1,2))"
+
+    def test_action_strs(self):
+        assert str(Read(0, None)) == "Read(sock=0, ⊥)"
+        assert str(Selection(J)) == "Selection(j0(1,2))"
+        assert Read(0, None).failed
+        assert not Selection(J).failed
+
+
+class TestProtocolSpans:
+    def test_action_span_str(self):
+        span = ActionSpan(Read(0, None), 3, 5)
+        assert "markers [3,5)" in str(span)
+
+    def test_protocol_state_strs(self):
+        protocol = SchedulerProtocol([0])
+        state = protocol.initial_state()
+        assert str(state) == "Idle"
+        state, _ = protocol.step(state, MReadS(), 0)
+        assert "Poll" in str(state)
+
+
+class TestSegments:
+    def test_segment_duration_and_str(self):
+        segment = Segment(Executes(J), 4, 9)
+        assert segment.duration == 5
+        assert str(segment) == "[4,9) Executes(j0(1,2))"
+
+    def test_idle_state_str(self):
+        assert str(Idle()) == "Idle"
+
+
+class TestVmTimingHelpers:
+    def test_tasks_with_measured_wcets_preserves_curves(self):
+        from repro.model.task import Task, TaskSystem
+        from repro.rossl.vmtiming import MeasuredWcets
+        from repro.rta.curves import SporadicCurve
+        from repro.timing.wcet import WcetModel
+
+        tasks = TaskSystem(
+            [Task(name="a", priority=1, wcet=5, type_tag=1)],
+            {"a": SporadicCurve(100)},
+        )
+        measured = MeasuredWcets(
+            wcet=WcetModel(2, 2, 1, 1, 1, 1), exec_maxima={"a": 9}
+        )
+        replaced = measured.tasks_with_measured_wcets(tasks)
+        assert replaced.by_name("a").wcet == 9
+        assert replaced.has_curves
+
+    def test_unobserved_task_keeps_declared_wcet(self):
+        from repro.model.task import Task, TaskSystem
+        from repro.rossl.vmtiming import MeasuredWcets
+        from repro.timing.wcet import WcetModel
+
+        tasks = TaskSystem([Task(name="a", priority=1, wcet=5, type_tag=1)])
+        measured = MeasuredWcets(
+            wcet=WcetModel(2, 2, 1, 1, 1, 1), exec_maxima={}
+        )
+        assert measured.tasks_with_measured_wcets(tasks).by_name("a").wcet == 5
+
+
+class TestModelCheckReport:
+    def test_violation_recorded_for_buggy_minic(self, two_task_client):
+        """End-to-end: a buggy scheduler program produces a Violation in
+        the exploration report rather than crashing the explorer."""
+        from repro.rossl.source import MiniCRossl, rossl_source
+        from repro.lang.parser import parse_program
+        from repro.lang.typecheck import typecheck
+        from repro.verification.model_check import _run_one
+
+        source = rossl_source(two_task_client).replace(
+            "free(j);  // release the memory",
+            "free(j);\n            free(j);  // BUG: double free",
+        )
+        assert "BUG" in source
+
+        class BuggyMiniC(MiniCRossl):
+            def __init__(self, client):
+                self.client = client
+                self.msg_cap = 8
+                self.typed = typecheck(parse_program(source))
+
+        buggy = BuggyMiniC(two_task_client)
+        trace, violation = _run_one(
+            two_task_client, ((1, 0), None, None), "minic", buggy, 100_000
+        )
+        assert violation is not None
+        assert violation.kind == "stuck"
+        assert "free" in violation.detail

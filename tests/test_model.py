@@ -1,0 +1,130 @@
+"""Unit tests for repro.model: messages, jobs, tasks, task systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.job import Job
+from repro.model.message import Message
+from repro.model.task import Task, TaskSystem
+
+
+class TestMessage:
+    def test_of_builds_tuple_payload(self):
+        assert Message.of(3, 1, 4).data == (3, 1, 4)
+
+    def test_len(self):
+        assert len(Message.of(1, 2)) == 2
+
+    def test_rejects_list_payload(self):
+        with pytest.raises(TypeError):
+            Message([1, 2])  # type: ignore[arg-type]
+
+    def test_rejects_non_integer_words(self):
+        with pytest.raises(TypeError):
+            Message(("x",))  # type: ignore[arg-type]
+
+    def test_messages_are_hashable_and_equal_by_value(self):
+        assert Message.of(1) == Message.of(1)
+        assert {Message.of(1), Message.of(1)} == {Message.of(1)}
+
+
+class TestJob:
+    def test_str_mentions_id_and_payload(self):
+        assert str(Job((2, 7), 3)) == "j3(2,7)"
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            Job((1,), -1)
+
+    def test_jobs_with_same_data_different_ids_are_distinct(self):
+        assert Job((1,), 0) != Job((1,), 1)
+
+    def test_jobs_are_hashable(self):
+        assert len({Job((1,), 0), Job((1,), 0)}) == 1
+
+
+class TestTask:
+    def test_rejects_nonpositive_wcet(self):
+        with pytest.raises(ValueError):
+            Task(name="t", priority=1, wcet=0, type_tag=0)
+
+    def test_rejects_negative_type_tag(self):
+        with pytest.raises(ValueError):
+            Task(name="t", priority=1, wcet=1, type_tag=-1)
+
+    def test_str(self):
+        assert str(Task(name="t", priority=2, wcet=7, type_tag=0)) == "t(P=2, C=7)"
+
+
+class TestTaskSystem:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TaskSystem([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate task names"):
+            TaskSystem(
+                [
+                    Task(name="a", priority=1, wcet=1, type_tag=0),
+                    Task(name="a", priority=2, wcet=1, type_tag=1),
+                ]
+            )
+
+    def test_rejects_duplicate_tags(self):
+        with pytest.raises(ValueError, match="duplicate task type tags"):
+            TaskSystem(
+                [
+                    Task(name="a", priority=1, wcet=1, type_tag=0),
+                    Task(name="b", priority=2, wcet=1, type_tag=0),
+                ]
+            )
+
+    def test_msg_to_task_resolves_first_word(self, two_tasks: TaskSystem):
+        assert two_tasks.msg_to_task((2, 99, 98)).name == "hi"
+        assert two_tasks.msg_to_task((1,)).name == "lo"
+
+    def test_msg_to_task_rejects_unknown_tag(self, two_tasks: TaskSystem):
+        with pytest.raises(KeyError):
+            two_tasks.msg_to_task((42,))
+
+    def test_msg_to_task_rejects_empty_payload(self, two_tasks: TaskSystem):
+        with pytest.raises(KeyError):
+            two_tasks.msg_to_task(())
+
+    def test_priority_of(self, two_tasks: TaskSystem):
+        assert two_tasks.priority_of((2,)) == 2
+        assert two_tasks.priority_of((1,)) == 1
+
+    def test_by_name(self, two_tasks: TaskSystem):
+        assert two_tasks.by_name("hi").wcet == 5
+
+    def test_contains(self, two_tasks: TaskSystem):
+        assert two_tasks.by_name("hi") in two_tasks
+        assert Task(name="hi", priority=3, wcet=5, type_tag=2) not in two_tasks
+
+    def test_priority_partitions(self, three_tasks: TaskSystem):
+        high = three_tasks.by_name("high")
+        mid = three_tasks.by_name("mid")
+        assert [t.name for t in three_tasks.higher_or_equal_priority(mid)] == ["high"]
+        assert [t.name for t in three_tasks.lower_priority(mid)] == ["low"]
+        assert three_tasks.higher_or_equal_priority(high) == ()
+        assert {t.name for t in three_tasks.lower_priority(high)} == {"low", "mid"}
+
+    def test_equal_priority_is_higher_or_equal(self):
+        system = TaskSystem(
+            [
+                Task(name="a", priority=3, wcet=1, type_tag=0),
+                Task(name="b", priority=3, wcet=1, type_tag=1),
+            ]
+        )
+        assert [t.name for t in system.higher_or_equal_priority(system.by_name("a"))] == ["b"]
+
+    def test_arrival_curve_requires_attachment(self, two_tasks: TaskSystem):
+        assert not two_tasks.has_curves
+        with pytest.raises(KeyError):
+            two_tasks.arrival_curve("hi")
+
+    def test_with_curves_rejects_unknown_task(self, two_tasks: TaskSystem):
+        with pytest.raises(ValueError, match="unknown tasks"):
+            two_tasks.with_curves({"nope": object()})  # type: ignore[dict-item]

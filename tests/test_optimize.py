@@ -1,0 +1,141 @@
+"""Tests for the bytecode peephole optimizer: semantics preservation,
+instruction-count reduction, and cost-bound stability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.compile import compile_program
+from repro.lang.cost import CostAnalyzer
+from repro.lang.generator import generate_program
+from repro.lang.optimize import optimize_program
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck
+from repro.lang.values import VInt
+from repro.lang.vm import VM
+from repro.rossl.client import RosslClient
+from repro.rossl.env import HorizonReached, ScriptedEnvironment
+from repro.rossl.runtime import TraceRecorder
+from repro.rossl.source import build_rossl
+from repro.lang.errors import OutOfFuel, UndefinedBehavior
+
+
+def run_vm(compiled, script=(), entry="main", fuel=2_000_000):
+    recorder = TraceRecorder()
+    vm = VM(compiled, ScriptedEnvironment(script), recorder, fuel=fuel)
+    result = vm.call(entry, [])
+    return result, vm.executed, recorder.trace
+
+
+def both(source: str, script=()):
+    typed = typecheck(parse_program(source))
+    plain = compile_program(typed)
+    optimized = optimize_program(plain)
+    return run_vm(plain, script), run_vm(optimized, script)
+
+
+class TestFolding:
+    def test_constant_arithmetic_folds(self):
+        source = "int main() { return 2 + 3 * 4; }"
+        (r1, n1, _), (r2, n2, _) = both(source)
+        assert r1 == r2 == VInt(14)
+        assert n2 < n1
+        # Fully folded: push 14; retv.
+        typed = typecheck(parse_program(source))
+        optimized = optimize_program(compile_program(typed))
+        assert [i.op for i in optimized.functions["main"].code[:2]] == [
+            "push", "retv",
+        ]
+
+    def test_truncating_division_folds_like_the_vm(self):
+        (r1, _, _), (r2, _, _) = both("int main() { return -7 / 2 + -7 % 2; }")
+        assert r1 == r2
+
+    def test_division_by_zero_not_folded(self):
+        source = "int main() { return 1 / 0; }"
+        typed = typecheck(parse_program(source))
+        optimized = optimize_program(compile_program(typed))
+        with pytest.raises(UndefinedBehavior, match="division"):
+            run_vm(optimized)
+
+    def test_unary_folds(self):
+        (r1, n1, _), (r2, n2, _) = both("int main() { return -(5) + !0; }")
+        assert r1 == r2
+        assert n2 <= n1
+
+    def test_constant_branch_folds(self):
+        source = "int main() { if (1) { return 7; } return 8; }"
+        (r1, n1, _), (r2, n2, _) = both(source)
+        assert r1 == r2 == VInt(7)
+        assert n2 < n1
+
+    def test_constant_false_branch_removed(self):
+        source = "int main() { if (0) { return 7; } return 8; }"
+        (r1, _, _), (r2, _, _) = both(source)
+        assert r1 == r2 == VInt(8)
+
+
+class TestControlFlowIntegrity:
+    def test_loops_survive(self):
+        source = (
+            "int main() { int i = 0; int s = 0;"
+            " while (i < 6) { s = s + 2 * 3; i = i + 1; } return s; }"
+        )
+        (r1, n1, _), (r2, n2, _) = both(source)
+        assert r1 == r2 == VInt(36)
+        assert n2 < n1  # the 2*3 folds once, saving 6 instructions/iter
+
+    def test_jump_target_blocks_folding(self):
+        # `while (1)` with a break: the loop head is a jump target; the
+        # optimizer must not merge across it.
+        source = (
+            "int main() { int i = 0; while (1) { i = i + 1;"
+            " if (i >= 3) { break; } } return i; }"
+        )
+        (r1, _, _), (r2, _, _) = both(source)
+        assert r1 == r2 == VInt(3)
+
+    def test_short_circuit_behaviour_preserved(self):
+        source = "int main() { int z = 0; return (0 && (1 / z)) + 1; }"
+        (r1, _, _), (r2, _, _) = both(source)
+        assert r1 == r2 == VInt(1)
+
+
+class TestOnRossl:
+    def test_rossl_traces_identical_and_cheaper(self, two_task_client: RosslClient):
+        typed = build_rossl(two_task_client)
+        plain = compile_program(typed)
+        optimized = optimize_program(plain)
+        script = [(1, 1), (2, 2), None, None, None]
+
+        def run(compiled):
+            recorder = TraceRecorder()
+            vm = VM(compiled, ScriptedEnvironment(script), recorder,
+                    fuel=500_000)
+            try:
+                vm.call("main", [])
+            except (OutOfFuel, HorizonReached):
+                pass
+            return recorder.trace, vm.executed
+
+        trace_plain, cost_plain = run(plain)
+        trace_opt, cost_opt = run(optimized)
+        assert trace_plain == trace_opt
+        assert cost_opt <= cost_plain
+
+
+class TestFuzzOptimizer:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_generated_programs_preserved_and_bounded(self, seed: int):
+        generated = generate_program(seed, helpers=2, body_size=4)
+        typed = typecheck(parse_program(generated.source))
+        plain = compile_program(typed)
+        optimized = optimize_program(plain)
+        (r1, n1, _) = run_vm(plain)
+        (r2, n2, _) = run_vm(optimized)
+        assert r1 == r2, generated.source
+        assert n2 <= n1
+        # A static bound for the unoptimized code stays sound for the
+        # optimized build (optimization only removes work).
+        static = CostAnalyzer(typed, generated.loop_bounds).function_cost("main")
+        assert n2 <= static

@@ -1,0 +1,114 @@
+"""Tests for the MiniC pretty printer, including round-trips on the
+real Rössl source."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.pretty import pretty, pretty_expr, pretty_type
+from repro.lang.syntax import TInt, TPtr, TStruct, ast_equal
+from repro.lang.typecheck import typecheck
+from repro.rossl.client import RosslClient
+from repro.rossl.source import rossl_source
+
+
+def roundtrip(source: str) -> None:
+    program = parse_program(source)
+    printed = pretty(program)
+    reparsed = parse_program(printed)
+    assert ast_equal(program, reparsed), printed
+
+
+class TestPrettyTypes:
+    def test_scalar_types(self):
+        assert pretty_type(TInt()) == "int"
+        assert pretty_type(TPtr(TInt())) == "int *"
+        assert pretty_type(TPtr(TPtr(TStruct("s")))) == "struct s * *"
+
+
+class TestPrettyExpr:
+    def check(self, source: str, expected: str | None = None):
+        expr = parse_expression(source)
+        printed = pretty_expr(expr)
+        assert ast_equal(expr, parse_expression(printed)), printed
+        if expected is not None:
+            assert printed == expected
+
+    def test_precedence_no_redundant_parens(self):
+        self.check("1 + 2 * 3", "1 + 2 * 3")
+
+    def test_parens_kept_when_needed(self):
+        self.check("(1 + 2) * 3", "(1 + 2) * 3")
+
+    def test_left_associativity(self):
+        self.check("1 - 2 - 3", "1 - 2 - 3")
+        self.check("1 - (2 - 3)", "1 - (2 - 3)")
+
+    def test_unary_chains_lex_safely(self):
+        self.check("-(-x)")
+        self.check("!(!x)")
+        self.check("&a[0]")
+
+    def test_postfix_chain(self):
+        self.check("a->b.c[2]", "a->b.c[2]")
+
+    def test_mixed_logic(self):
+        self.check("a && b || c", "a && b || c")
+        self.check("a && (b || c)", "a && (b || c)")
+
+    def test_calls_and_sizeof(self):
+        self.check("f(1, g(x), sizeof(struct s))")
+
+
+class TestPrettyProgram:
+    def test_small_program_roundtrip(self):
+        roundtrip(
+            "struct node { int v; int data[4]; struct node *next; };"
+            "int sum(struct node *head) {"
+            "  int s = 0;"
+            "  while (head != NULL) { s = s + head->v; head = head->next; }"
+            "  return s;"
+            "}"
+        )
+
+    def test_control_flow_roundtrip(self):
+        roundtrip(
+            "int f(int x) {"
+            "  if (x < 0) { return -x; } else if (x == 0) { return 1; }"
+            "  while (1) { x = x - 1; if (x < 3) { break; } continue; }"
+            "  return x;"
+            "}"
+        )
+
+    def test_rossl_source_roundtrip(self, two_socket_client: RosslClient):
+        source = rossl_source(two_socket_client)
+        program = parse_program(source)
+        printed = pretty(program)
+        reparsed = parse_program(printed)
+        assert ast_equal(program, reparsed)
+        # The printed source must also typecheck.
+        typecheck(reparsed)
+
+    def test_printed_rossl_runs_identically(self, two_task_client: RosslClient):
+        """Parsing the pretty-printed Rössl gives the same traces."""
+        from repro.lang.interp import run_program
+        from repro.lang.errors import OutOfFuel
+        from repro.rossl.env import HorizonReached, ScriptedEnvironment
+        from repro.rossl.runtime import TraceRecorder
+
+        original = parse_program(rossl_source(two_task_client))
+        reparsed = parse_program(pretty(original))
+        script = [(1, 5), (2, 6), None, None, None]
+        traces = []
+        for program in (original, reparsed):
+            typed = typecheck(program)
+            recorder = TraceRecorder()
+            try:
+                run_program(typed, ScriptedEnvironment(script), recorder,
+                            fuel=100_000)
+            except (OutOfFuel, HorizonReached):
+                pass
+            traces.append(recorder.trace)
+        assert traces[0] == traces[1]
+        assert len(traces[0]) > 5

@@ -1,0 +1,331 @@
+"""Property-based tests (hypothesis) over the core invariants.
+
+Each property mirrors a lemma of the paper:
+
+* arrival/release curves are monotone staircases; release dominates;
+* every STS random walk is accepted (completeness of the protocol);
+* simulated runs satisfy the full invariant stack for *arbitrary*
+  parameters (the state-interpretation invariant, Def. 2.1, WCETs,
+  schedule validity);
+* the MiniC scheduler and the reference model agree on arbitrary read
+  scripts (the implements-the-model lemma);
+* SBF is monotone, 1-Lipschitz-dominated (``SBF(Δ) ≤ Δ``), with a
+  correct inverse;
+* the analytic response-time bound dominates simulation on random tiny
+  systems (soundness, Thm. 5.1).
+"""
+
+from __future__ import annotations
+
+import random as _random
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rossl.env import ScriptedEnvironment
+from repro.rossl.source import MiniCRossl
+from repro.rta.curves import (
+    LeakyBucketCurve,
+    SporadicCurve,
+    check_staircase,
+    release_curve,
+    respects_curve,
+)
+from repro.rta.npfp import analyse
+from repro.rta.sbf import SupplyBoundFunction
+from repro.schedule.validity import check_schedule_validity
+from repro.sim.simulator import UniformDurations, WcetDurations, simulate
+from repro.sim.workloads import generate_arrivals
+from repro.timing.timed_trace import check_consistency
+from repro.timing.wcet import WcetModel, check_wcet_respected
+from repro.traces.protocol import SchedulerProtocol
+from repro.traces.validity import tr_valid
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+curves = st.one_of(
+    st.integers(1, 500).map(SporadicCurve),
+    st.tuples(st.integers(1, 5), st.integers(1, 300)).map(
+        lambda t: LeakyBucketCurve(burst=t[0], rate_separation=t[1])
+    ),
+)
+
+wcet_models = st.builds(
+    WcetModel,
+    failed_read=st.integers(2, 8),
+    success_read=st.integers(2, 10),
+    selection=st.integers(1, 6),
+    dispatch=st.integers(1, 6),
+    completion=st.integers(1, 6),
+    idling=st.integers(1, 6),
+)
+
+
+@st.composite
+def small_clients(draw):
+    n_tasks = draw(st.integers(1, 3))
+    n_sockets = draw(st.integers(1, 2))
+    tasks = []
+    curve_map = {}
+    for i in range(n_tasks):
+        name = f"t{i}"
+        tasks.append(
+            Task(
+                name=name,
+                priority=draw(st.integers(1, 5)),
+                wcet=draw(st.integers(1, 30)),
+                type_tag=i + 1,
+            )
+        )
+        curve_map[name] = draw(curves)
+    system = TaskSystem(tasks, curve_map)
+    return RosslClient.make(system, sockets=list(range(n_sockets)))
+
+
+def scripts_for(client, max_len=20):
+    tags = [t.type_tag for t in client.tasks.tasks]
+    outcome = st.one_of(
+        st.none(),
+        st.tuples(st.sampled_from(tags), st.integers(0, 3)).map(tuple),
+    )
+    return st.lists(outcome, min_size=0, max_size=max_len)
+
+
+# ---------------------------------------------------------------------------
+# curves
+# ---------------------------------------------------------------------------
+
+
+class TestCurveProperties:
+    @given(curves)
+    @settings(max_examples=40)
+    def test_curves_are_staircases(self, alpha):
+        check_staircase(alpha, 200)
+
+    @given(curves, st.integers(0, 40), st.integers(0, 300))
+    @settings(max_examples=60)
+    def test_release_curve_dominates(self, alpha, jitter, delta):
+        beta = release_curve(alpha, jitter)
+        assert beta(delta) >= alpha(delta)
+
+    @given(curves, st.integers(0, 40))
+    @settings(max_examples=40)
+    def test_release_curve_is_staircase(self, alpha, jitter):
+        check_staircase(release_curve(alpha, jitter), 150)
+
+    @given(st.lists(st.integers(0, 100), max_size=6), curves)
+    @settings(max_examples=60)
+    def test_conformance_monotone_under_removal(self, times, alpha):
+        """Removing an arrival never breaks conformance."""
+        if not respects_curve(times, alpha):
+            assume(False)
+        for i in range(len(times)):
+            assert respects_curve(times[:i] + times[i + 1 :], alpha)
+
+
+# ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolProperties:
+    @given(st.integers(1, 3), st.data())
+    @settings(max_examples=40)
+    def test_every_random_walk_is_accepted(self, n_sockets, data):
+        """Completeness: any path through the STS is an accepted trace."""
+        from repro.model.job import Job
+        from repro.traces.markers import (
+            MCompletion, MDispatch, MExecution, MIdling, MReadE, MReadS,
+            MSelection,
+        )
+        from repro.traces.protocol import (
+            StDispatched, StExecuting, StExpectSelection, StPollExpectReadE,
+            StSelected,
+        )
+
+        protocol = SchedulerProtocol(range(n_sockets))
+        state = protocol.initial_state()
+        trace = []
+        next_id = 0
+        pending = []
+        for index in range(data.draw(st.integers(0, 40))):
+            # Choose any enabled marker in the current state.
+            if isinstance(state, StPollExpectReadE):
+                sock = protocol.sockets[state.sock_idx]
+                if data.draw(st.booleans()):
+                    job = Job((1, next_id), next_id)
+                    next_id += 1
+                    pending.append(job)
+                    marker = MReadE(sock, job)
+                else:
+                    marker = MReadE(sock, None)
+            elif isinstance(state, StExpectSelection):
+                marker = MSelection()
+            elif isinstance(state, StSelected):
+                if pending and data.draw(st.booleans()):
+                    marker = MDispatch(pending.pop(0))
+                elif not pending:
+                    marker = MIdling()
+                else:
+                    marker = MDispatch(pending.pop(0))
+            elif isinstance(state, StDispatched):
+                marker = MExecution(state.job)
+            elif isinstance(state, StExecuting):
+                marker = MCompletion(state.job)
+            else:
+                marker = MReadS()
+            state, _ = protocol.step(state, marker, index)
+            trace.append(marker)
+        assert protocol.accepts(trace)
+
+    @given(st.data())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_decoded_spans_partition_the_trace(self, data):
+        client_strategy = small_clients()
+        client = data.draw(client_strategy)
+        script = data.draw(scripts_for(client))
+        trace = client.model().run_to_trace(ScriptedEnvironment(script))
+        protocol = client.protocol()
+        spans = protocol.run(trace)
+        position = 0
+        for span in spans:
+            assert span.start == position
+            position = span.end
+        assert position <= len(trace)
+
+
+# ---------------------------------------------------------------------------
+# implementation vs. model, and the invariant stack
+# ---------------------------------------------------------------------------
+
+
+class TestImplementationProperties:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_minic_equals_reference_model(self, data):
+        client = data.draw(small_clients())
+        script = data.draw(scripts_for(client, max_len=15))
+        trace_py = client.model().run_to_trace(ScriptedEnvironment(script))
+        trace_c = MiniCRossl(client).run_to_trace(
+            ScriptedEnvironment(script), fuel=500_000
+        )
+        assert trace_py == trace_c
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_simulated_runs_satisfy_all_invariants(self, data):
+        client = data.draw(small_clients())
+        wcet = data.draw(wcet_models)
+        seed = data.draw(st.integers(0, 10_000))
+        rng = _random.Random(seed)
+        horizon = data.draw(st.integers(100, 2_000))
+        arrivals = generate_arrivals(
+            client, horizon=max(1, horizon // 2), rng=rng, intensity=0.8
+        )
+        policy = (
+            WcetDurations() if data.draw(st.booleans()) else UniformDurations(rng)
+        )
+        result = simulate(client, arrivals, wcet, horizon, durations=policy)
+        timed = result.timed_trace
+        assert client.protocol().accepts(timed.trace)
+        assert tr_valid(timed.trace, client.tasks)
+        check_consistency(timed, arrivals)
+        check_wcet_respected(timed, client.tasks, wcet)
+        check_schedule_validity(
+            result.schedule(), client.tasks, wcet, client.num_sockets
+        )
+
+
+# ---------------------------------------------------------------------------
+# SBF
+# ---------------------------------------------------------------------------
+
+
+class TestSbfProperties:
+    @given(st.lists(curves, min_size=1, max_size=3), wcet_models,
+           st.integers(1, 3))
+    @settings(max_examples=40)
+    def test_sbf_monotone_and_dominated(self, curve_list, wcet, n_sockets):
+        sbf = SupplyBoundFunction(curve_list, wcet, n_sockets)
+        previous = 0
+        for delta in range(0, 150):
+            value = sbf(delta)
+            assert value >= previous
+            assert value <= delta
+            previous = value
+
+    @given(st.lists(curves, min_size=1, max_size=2), wcet_models,
+           st.integers(1, 2), st.integers(1, 200))
+    @settings(max_examples=40)
+    def test_inverse_is_least_satisfying_delta(self, curve_list, wcet,
+                                               n_sockets, demand):
+        sbf = SupplyBoundFunction(curve_list, wcet, n_sockets)
+        least = sbf.inverse(demand, 50_000)
+        if least is None:
+            assert sbf(50_000) < demand
+        else:
+            assert sbf(least) >= demand
+            assert least == 0 or sbf(least - 1) < demand
+
+
+# ---------------------------------------------------------------------------
+# RTA soundness
+# ---------------------------------------------------------------------------
+
+
+class TestJitterLemmaProperty:
+    @given(st.data())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_needed_jitter_within_bound(self, data):
+        """§4.3 lemma: on arbitrary clients/WCETs/workloads, every job's
+        violation window fits within J = 1 + max(PB+SB+DB, IB)."""
+        from repro.rta.compliance import check_jitter_compliance
+        from repro.rta.jitter import jitter_bound
+
+        client = data.draw(small_clients())
+        wcet = data.draw(wcet_models)
+        seed = data.draw(st.integers(0, 10_000))
+        rng = _random.Random(seed)
+        arrivals = generate_arrivals(client, horizon=500, rng=rng, intensity=1.2)
+        policy = (
+            WcetDurations() if data.draw(st.booleans()) else UniformDurations(rng)
+        )
+        result = simulate(client, arrivals, wcet, 1_200, durations=policy)
+        bound = jitter_bound(wcet, client.num_sockets).bound
+        report = check_jitter_compliance(
+            result.timed_trace, arrivals, result.schedule(),
+            client.priority_fn(), bound,
+        )
+        assert report.ok
+
+
+class TestRtaSoundnessProperty:
+    @given(st.data())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_bound_dominates_simulation(self, data):
+        client = data.draw(small_clients())
+        wcet = data.draw(wcet_models)
+        analysis = analyse(client, wcet, horizon=30_000)
+        assume(analysis.schedulable)
+        seed = data.draw(st.integers(0, 10_000))
+        rng = _random.Random(seed)
+        arrivals = generate_arrivals(client, horizon=1_500, rng=rng,
+                                     intensity=1.0)
+        result = simulate(client, arrivals, wcet, horizon=4_000,
+                          durations=WcetDurations())
+        for job, (_, _, response) in result.response_times().items():
+            name = client.tasks.msg_to_task(job.data).name
+            bound = analysis.response_time_bound(name)
+            assert response <= bound, (
+                f"job {job} of {name}: response {response} > bound {bound} "
+                f"(wcet={wcet}, seed={seed})"
+            )

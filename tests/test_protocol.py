@@ -1,0 +1,206 @@
+"""Tests for the scheduler-protocol STS (Fig. 5) and trace decoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.job import Job
+from repro.traces.basic_actions import (
+    Compl,
+    Disp,
+    Exec,
+    IdlingAction,
+    Read,
+    Selection,
+)
+from repro.traces.markers import (
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+)
+from repro.traces.protocol import ProtocolError, SchedulerProtocol, tr_prot
+
+J1 = Job((1,), 0)
+J2 = Job((2,), 1)
+
+
+def idle_iteration_markers(sockets):
+    """One loop iteration with no arrivals: all-fail pass then idling."""
+    markers = []
+    for sock in sockets:
+        markers += [MReadS(), MReadE(sock, None)]
+    markers += [MSelection(), MIdling()]
+    return markers
+
+
+def run_one_job_markers(sock, job):
+    """Polling pass reading ``job`` then an all-fail pass, then dispatch."""
+    return [
+        MReadS(),
+        MReadE(sock, job),
+        MReadS(),
+        MReadE(sock, None),
+        MSelection(),
+        MDispatch(job),
+        MExecution(job),
+        MCompletion(job),
+    ]
+
+
+class TestConstruction:
+    def test_rejects_empty_socket_list(self):
+        with pytest.raises(ValueError):
+            SchedulerProtocol([])
+
+    def test_rejects_duplicate_sockets(self):
+        with pytest.raises(ValueError):
+            SchedulerProtocol([0, 0])
+
+
+class TestAcceptance:
+    def test_empty_trace_accepted(self):
+        assert tr_prot([], [0])
+
+    def test_idle_iteration_accepted(self):
+        assert tr_prot(idle_iteration_markers([0]), [0])
+
+    def test_one_job_run_accepted(self):
+        assert tr_prot(run_one_job_markers(0, J1), [0])
+
+    def test_fig3_example_run_accepted(self):
+        """The Fig. 3 run: j1 read, j2 read (arrived during j1's read),
+        empty pass, j2 (higher priority) dispatched, then j1."""
+        trace = [
+            MReadS(), MReadE(0, J1),
+            MReadS(), MReadE(0, J2),
+            MReadS(), MReadE(0, None),
+            MSelection(), MDispatch(J2), MExecution(J2), MCompletion(J2),
+            MReadS(), MReadE(0, None),
+            MSelection(), MDispatch(J1), MExecution(J1), MCompletion(J1),
+            MReadS(), MReadE(0, None),
+            MSelection(), MIdling(),
+        ]
+        assert tr_prot(trace, [0])
+
+    def test_two_socket_pass_order_enforced(self):
+        proto = SchedulerProtocol([0, 1])
+        good = [MReadS(), MReadE(0, None), MReadS(), MReadE(1, None), MSelection(), MIdling()]
+        assert proto.accepts(good)
+        bad = [MReadS(), MReadE(1, None)]  # socket 1 polled first
+        assert not proto.accepts(bad)
+
+    def test_pass_with_success_forces_another_pass(self):
+        # After a pass with a success, M_Selection is premature.
+        trace = [MReadS(), MReadE(0, J1), MSelection()]
+        assert not tr_prot(trace, [0])
+
+    def test_all_fail_pass_forces_selection(self):
+        # After an all-fail pass, another read is a violation.
+        trace = [MReadS(), MReadE(0, None), MReadS()]
+        assert not tr_prot(trace, [0])
+
+    def test_prefixes_of_accepted_traces_accepted(self):
+        trace = run_one_job_markers(0, J1)
+        proto = SchedulerProtocol([0])
+        for cut in range(len(trace) + 1):
+            assert proto.accepts(trace[:cut])
+
+    def test_initial_marker_must_be_read_start(self):
+        assert not tr_prot([MSelection()], [0])
+        assert not tr_prot([MIdling()], [0])
+        assert not tr_prot([MReadE(0, None)], [0])
+
+
+class TestViolations:
+    def test_dispatch_must_match_execution(self):
+        trace = [
+            MReadS(), MReadE(0, J1),
+            MReadS(), MReadE(0, None),
+            MSelection(), MDispatch(J1), MExecution(J2),
+        ]
+        assert not tr_prot(trace, [0])
+
+    def test_execution_must_match_completion(self):
+        trace = run_one_job_markers(0, J1)[:-1] + [MCompletion(J2)]
+        assert not tr_prot(trace, [0])
+
+    def test_read_end_without_start_rejected(self):
+        trace = [MReadS(), MReadE(0, None), MReadE(0, None)]
+        assert not tr_prot(trace, [0])
+
+    def test_error_reports_index_and_state(self):
+        proto = SchedulerProtocol([0])
+        with pytest.raises(ProtocolError) as exc_info:
+            proto.check([MReadS(), MSelection()])
+        assert exc_info.value.index == 1
+
+    def test_wrong_socket_in_read_end(self):
+        proto = SchedulerProtocol([0, 1])
+        with pytest.raises(ProtocolError, match="socket"):
+            proto.check([MReadS(), MReadE(5, None)])
+
+
+class TestDecoding:
+    def test_idle_iteration_actions(self):
+        proto = SchedulerProtocol([0])
+        actions = proto.run(idle_iteration_markers([0]))
+        assert [a.action for a in actions] == [
+            Read(0, None),
+            Selection(None),
+            IdlingAction(),
+        ]
+
+    def test_job_run_actions_and_spans(self):
+        proto = SchedulerProtocol([0])
+        actions = proto.run(run_one_job_markers(0, J1))
+        assert [a.action for a in actions] == [
+            Read(0, J1),
+            Read(0, None),
+            Selection(J1),
+            Disp(J1),
+            Exec(J1),
+            Compl(J1),
+        ]
+        # Read actions span two marker intervals, others one.
+        assert (actions[0].start, actions[0].end) == (0, 2)
+        assert (actions[1].start, actions[1].end) == (2, 4)
+        assert (actions[2].start, actions[2].end) == (4, 5)
+        assert (actions[3].start, actions[3].end) == (5, 6)
+        assert (actions[4].start, actions[4].end) == (6, 7)
+        assert (actions[5].start, actions[5].end) == (7, 8)
+
+    def test_spans_are_contiguous_and_cover_trace(self):
+        proto = SchedulerProtocol([0])
+        trace = run_one_job_markers(0, J1) + idle_iteration_markers([0])
+        actions = proto.run(trace)
+        assert actions[0].start == 0
+        for prev, cur in zip(actions, actions[1:]):
+            assert prev.end == cur.start
+        assert actions[-1].end == len(trace)
+
+    def test_trailing_selection_is_omitted(self):
+        trace = [MReadS(), MReadE(0, None), MSelection()]
+        actions = SchedulerProtocol([0]).run(trace)
+        assert [a.action for a in actions] == [Read(0, None)]
+
+    def test_rejected_trace_raises_in_run(self):
+        with pytest.raises(ProtocolError):
+            SchedulerProtocol([0]).run([MSelection()])
+
+
+class TestEnabledMarkers:
+    def test_descriptions_for_each_state(self):
+        proto = SchedulerProtocol([0])
+        state = proto.initial_state()
+        assert proto.enabled_markers(state) == "M_ReadS"
+        trace = run_one_job_markers(0, J1)
+        descriptions = []
+        for i, m in enumerate(trace):
+            state, _ = proto.step(state, m, i)
+            descriptions.append(proto.enabled_markers(state))
+        assert "M_Selection" in descriptions
+        assert any("M_Dispatch" in d for d in descriptions)

@@ -1,0 +1,109 @@
+"""Tests for the ASCII schedule renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.job import Job
+from repro.schedule.conversion import FiniteSchedule, Segment
+from repro.schedule.render import (
+    glyph_of,
+    legend,
+    render_segments,
+    render_timeline,
+)
+from repro.schedule.states import (
+    CompletionOvh,
+    DispatchOvh,
+    Executes,
+    Idle,
+    PollingOvh,
+    ReadOvh,
+    SelectionOvh,
+)
+
+J = Job((1,), 0)
+
+
+def sample_schedule() -> FiniteSchedule:
+    return FiniteSchedule(
+        (
+            Segment(ReadOvh(J), 0, 4),
+            Segment(PollingOvh(J), 4, 6),
+            Segment(SelectionOvh(J), 6, 7),
+            Segment(DispatchOvh(J), 7, 8),
+            Segment(Executes(J), 8, 18),
+            Segment(CompletionOvh(J), 18, 19),
+            Segment(Idle(), 19, 30),
+        ),
+        0,
+        30,
+    )
+
+
+class TestGlyphs:
+    def test_each_state_has_a_glyph(self):
+        for state in (Idle(), Executes(J), ReadOvh(J), PollingOvh(J),
+                      SelectionOvh(J), DispatchOvh(J), CompletionOvh(J)):
+            assert len(glyph_of(state)) == 1
+
+    def test_glyphs_distinct(self):
+        glyphs = [glyph_of(s) for s in (
+            Idle(), Executes(J), ReadOvh(J), PollingOvh(J),
+            SelectionOvh(J), DispatchOvh(J), CompletionOvh(J),
+        )]
+        assert len(set(glyphs)) == len(glyphs)
+
+    def test_legend_mentions_all_states(self):
+        text = legend()
+        for name in ("Idle", "Executes", "ReadOvh", "PollingOvh",
+                     "SelectionOvh", "DispatchOvh", "CompletionOvh"):
+            assert name in text
+
+
+class TestTimeline:
+    def test_unscaled_render_is_exact(self):
+        text = render_timeline(sample_schedule(), width=30, ruler=False)
+        row = text.splitlines()[0]
+        assert row == "rrrrppsd##########c..........."
+        assert len(row) == 30
+
+    def test_scaling_keeps_overheads_visible(self):
+        text = render_timeline(sample_schedule(), width=10, ruler=False)
+        row = text.splitlines()[0]
+        assert len(row) == 10
+        # Each short overhead run must still contribute a glyph.
+        assert "s" in row or "p" in row or "d" in row
+
+    def test_ruler_reports_scale(self):
+        text = render_timeline(sample_schedule(), width=10)
+        assert "1 column = 3 instant(s)" in text
+
+    def test_empty_schedule(self):
+        empty = FiniteSchedule((), 0, 0)
+        assert "empty" in render_timeline(empty)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_timeline(sample_schedule(), width=0)
+
+    def test_render_segments_lists_all(self):
+        text = render_segments(sample_schedule())
+        assert len(text.splitlines()) == 7
+        assert "[8,18) Executes" in text
+
+    def test_render_of_real_conversion(self, two_task_client):
+        from repro.rta.curves import SporadicCurve
+        from repro.sim.simulator import WcetDurations, simulate
+        from repro.timing.arrivals import Arrival, ArrivalSequence
+        from repro.timing.wcet import WcetModel
+
+        curves = {"lo": SporadicCurve(100), "hi": SporadicCurve(100)}
+        client = two_task_client
+        client = type(client).make(client.tasks.with_curves(curves), [0])
+        wcet = WcetModel(3, 5, 2, 2, 2, 3)
+        arrivals = ArrivalSequence([Arrival(1, 0, (2, 1))])
+        result = simulate(client, arrivals, wcet, horizon=120,
+                          durations=WcetDurations())
+        text = render_timeline(result.schedule(), width=80)
+        assert "#" in text and "Executes" in text

@@ -1,0 +1,123 @@
+"""Robustness properties: every layer must behave on *truncated*
+observations, and the tightness study machinery is validated."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.tightness import TightnessStudy, run_tightness_study
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.compliance import needed_jitters
+from repro.rta.curves import SporadicCurve
+from repro.rta.jitter import jitter_bound
+from repro.schedule.conversion import convert
+from repro.schedule.validity import check_schedule_validity
+from repro.sim.simulator import UniformDurations, simulate
+from repro.sim.workloads import generate_arrivals
+from repro.timing.timed_trace import TimedTrace
+from repro.timing.wcet import WcetModel
+
+WCET = WcetModel(
+    failed_read=3, success_read=4, selection=2, dispatch=2, completion=2, idling=2
+)
+
+
+def curved_client() -> RosslClient:
+    tasks = TaskSystem(
+        [
+            Task(name="a", priority=1, wcet=12, type_tag=1),
+            Task(name="b", priority=2, wcet=7, type_tag=2),
+        ],
+        {"a": SporadicCurve(150), "b": SporadicCurve(100)},
+    )
+    return RosslClient.make(tasks, [0])
+
+
+class TestPrefixRobustness:
+    """The observation horizon can cut a run at ANY marker; every
+    checker and the conversion must handle every prefix."""
+
+    def full_run(self):
+        client = curved_client()
+        rng = random.Random(3)
+        arrivals = generate_arrivals(client, horizon=400, rng=rng, intensity=1.3)
+        result = simulate(client, arrivals, WCET, horizon=800,
+                          durations=UniformDurations(rng))
+        return client, result
+
+    def test_every_prefix_converts_and_validates(self):
+        client, result = self.full_run()
+        timed = result.timed_trace
+        assert len(timed) > 30
+        # Sample a spread of cut points, including the awkward ones.
+        cuts = sorted(set(
+            list(range(0, min(25, len(timed))))
+            + [len(timed) // 2, len(timed) - 1, len(timed)]
+        ))
+        for cut in cuts:
+            prefix = TimedTrace.make(
+                timed.trace[:cut], timed.ts[:cut],
+                timed.ts[cut] if cut < len(timed) else timed.horizon,
+            ) if cut > 0 else TimedTrace.make([], [], 0)
+            assert client.protocol().accepts(prefix.trace)
+            schedule = convert(prefix, client.sockets)
+            check_schedule_validity(
+                schedule, client.tasks, WCET, client.num_sockets
+            )
+            # The prefix schedule is a prefix of the full schedule.
+            full = convert(timed, client.sockets)
+            for segment in schedule:
+                if segment.end <= full.end:
+                    for t in (segment.start, segment.end - 1):
+                        if full.start <= t < full.end:
+                            assert full.state_at(t) == schedule.state_at(t)
+
+    def test_compliance_checker_on_prefixes(self):
+        client, result = self.full_run()
+        timed = result.timed_trace
+        bound = jitter_bound(WCET, client.num_sockets).bound
+        for cut in (len(timed) // 3, 2 * len(timed) // 3, len(timed)):
+            prefix = TimedTrace.make(
+                timed.trace[:cut], timed.ts[:cut],
+                timed.ts[cut] if cut < len(timed) else timed.horizon,
+            )
+            schedule = convert(prefix, client.sockets)
+            needed = needed_jitters(
+                prefix, result.arrivals, schedule, client.priority_fn()
+            )
+            assert all(v <= bound for v in needed.values())
+
+
+class TestTightnessStudy:
+    def test_study_collects_and_reports(self):
+        study = run_tightness_study(
+            curved_client(), WCET, horizon=1_500, runs=4, seed=1
+        )
+        assert study.jobs > 0
+        assert 0 < study.worst <= 1.0
+        text = study.table()
+        assert "median ratio" in text
+
+    def test_percentiles(self):
+        study = TightnessStudy()
+        for value in (0.1, 0.2, 0.3, 0.4, 0.5):
+            study.add("t", value)
+        assert study.percentile("t", 0.0) == 0.1
+        assert study.percentile("t", 1.0) == 0.5
+        assert study.percentile("t", 0.5) == 0.3
+        assert study.percentile("missing", 0.5) is None
+
+    def test_unschedulable_rejected(self):
+        tasks = TaskSystem(
+            [
+                Task(name="a", priority=1, wcet=90, type_tag=1),
+                Task(name="b", priority=2, wcet=90, type_tag=2),
+            ],
+            {"a": SporadicCurve(100), "b": SporadicCurve(100)},
+        )
+        client = RosslClient.make(tasks, [0])
+        with pytest.raises(ValueError, match="schedulable"):
+            run_tightness_study(client, WCET, horizon=500, runs=1)

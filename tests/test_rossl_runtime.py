@@ -1,0 +1,189 @@
+"""Tests for the pure-Python Rössl reference model and environments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.task import TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rossl.env import HorizonReached, QueueEnvironment, ScriptedEnvironment
+from repro.rossl.runtime import RosslModel, TraceRecorder, TraceState
+from repro.traces.markers import (
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+)
+from repro.traces.validity import tr_valid
+
+
+class TestEnvironments:
+    def test_queue_env_fifo_per_socket(self):
+        env = QueueEnvironment([0, 1])
+        env.inject(0, (1, 10))
+        env.inject(0, (1, 11))
+        assert env.read(0) == (1, 10)
+        assert env.read(0) == (1, 11)
+        assert env.read(0) is None
+        assert env.read(1) is None
+
+    def test_queue_env_rejects_unknown_socket(self):
+        env = QueueEnvironment([0])
+        with pytest.raises(KeyError):
+            env.inject(3, (1,))
+
+    def test_queue_env_rejects_empty(self):
+        with pytest.raises(ValueError):
+            QueueEnvironment([])
+
+    def test_queue_env_counts(self):
+        env = QueueEnvironment([0, 1])
+        env.inject(1, (1,))
+        assert env.queued(1) == 1
+        assert env.total_queued == 1
+
+    def test_scripted_env_replays_and_raises_at_end(self):
+        env = ScriptedEnvironment([(1,), None])
+        assert env.read(0) == (1,)
+        assert env.read(0) is None
+        assert env.exhausted
+        with pytest.raises(HorizonReached):
+            env.read(0)
+
+
+class TestTraceState:
+    def test_fresh_ids_are_sequential(self):
+        state = TraceState()
+        assert state.record_read((1,)).jid == 0
+        assert state.record_read((1,)).jid == 1
+        assert state.record_read((2,)).jid == 2
+
+    def test_dispatch_resolves_fifo_per_payload(self):
+        state = TraceState()
+        first = state.record_read((1,))
+        second = state.record_read((1,))
+        assert state.resolve_dispatch((1,)) == first
+        assert state.resolve_dispatch((1,)) == second
+
+    def test_dispatch_without_read_fails(self):
+        with pytest.raises(RuntimeError):
+            TraceState().resolve_dispatch((1,))
+
+    def test_outstanding_tracks_undispatched(self):
+        state = TraceState()
+        job = state.record_read((1,))
+        assert state.outstanding() == {job}
+        state.resolve_dispatch((1,))
+        assert state.outstanding() == set()
+
+
+class TestRosslModel:
+    def test_idle_iteration_trace(self, two_task_client: RosslClient):
+        model = two_task_client.model()
+        env = QueueEnvironment([0])
+        trace = model.run_to_trace(env, max_iterations=1)
+        assert trace == [MReadS(), MReadE(0, None), MSelection(), MIdling()]
+
+    def test_single_job_run(self, two_task_client: RosslClient):
+        model = two_task_client.model()
+        env = QueueEnvironment([0])
+        env.inject(0, (2, 42))
+        trace = model.run_to_trace(env, max_iterations=1)
+        kinds = [type(m).__name__ for m in trace]
+        assert kinds == [
+            "MReadS", "MReadE",     # success
+            "MReadS", "MReadE",     # fail: pass after a success
+            "MSelection", "MDispatch", "MExecution", "MCompletion",
+        ]
+        job = trace[1].job
+        assert job is not None and job.data == (2, 42)
+        assert trace[5].job == job
+
+    def test_fig3_priority_order(self, two_task_client: RosslClient):
+        """Fig. 3: j1 (lo) then j2 (hi) read; j2 runs first, then j1."""
+        model = two_task_client.model()
+        env = QueueEnvironment([0])
+        env.inject(0, (1, 1))  # j1: low priority
+        env.inject(0, (2, 2))  # j2: high priority
+        trace = model.run_to_trace(env, max_iterations=2)
+        dispatched = [m.job.data for m in trace if isinstance(m, MDispatch)]
+        assert dispatched == [(2, 2), (1, 1)]
+
+    def test_traces_satisfy_protocol_and_validity(self, two_socket_client: RosslClient):
+        model = two_socket_client.model()
+        env = QueueEnvironment([0, 1])
+        env.inject(0, (1,))
+        env.inject(1, (3,))
+        env.inject(0, (2,))
+        trace = model.run_to_trace(env, max_iterations=5)
+        assert two_socket_client.protocol().accepts(trace)
+        assert tr_valid(trace, two_socket_client.tasks)
+
+    def test_fifo_among_equal_priorities(self, two_tasks: TaskSystem):
+        client = RosslClient.make(two_tasks, [0])
+        model = client.model()
+        env = QueueEnvironment([0])
+        env.inject(0, (1, 100))
+        env.inject(0, (1, 200))
+        trace = model.run_to_trace(env, max_iterations=2)
+        dispatched = [m.job.data for m in trace if isinstance(m, MDispatch)]
+        assert dispatched == [(1, 100), (1, 200)]
+
+    def test_round_robin_socket_order(self, two_socket_client: RosslClient):
+        model = two_socket_client.model()
+        env = QueueEnvironment([0, 1])
+        trace = model.run_to_trace(env, max_iterations=1)
+        read_socks = [m.sock for m in trace if isinstance(m, MReadE)]
+        assert read_socks == [0, 1]
+
+    def test_horizon_reached_yields_prefix(self, two_task_client: RosslClient):
+        model = two_task_client.model()
+        env = ScriptedEnvironment([None, None])  # two failed reads then stop
+        trace = model.run_to_trace(env)
+        # Each idle iteration consumes one read; the third iteration's
+        # read hits the exhausted script, leaving a dangling M_ReadS.
+        idle_iter = [MReadS(), MReadE(0, None), MSelection(), MIdling()]
+        assert trace == idle_iter + idle_iter + [MReadS()]
+        assert two_task_client.protocol().accepts(trace)
+
+    def test_unique_ids_across_run(self, two_task_client: RosslClient):
+        model = two_task_client.model()
+        env = QueueEnvironment([0])
+        for _ in range(5):
+            env.inject(0, (1,))
+        trace = model.run_to_trace(env, max_iterations=6)
+        ids = [m.job.jid for m in trace if isinstance(m, MReadE) and m.job]
+        assert len(ids) == 5
+        assert len(set(ids)) == 5
+
+    def test_queue_snapshot(self, two_task_client: RosslClient):
+        model = two_task_client.model()
+        env = ScriptedEnvironment([(1, 5), (2, 6)])
+        model.run(env, TraceRecorder())
+        assert [j.data for j in model.queue_snapshot] == [(1, 5), (2, 6)]
+
+    def test_rejects_empty_socket_list(self, two_tasks: TaskSystem):
+        with pytest.raises(ValueError):
+            RosslModel([], two_tasks)
+
+
+class TestRosslClient:
+    def test_message_for_carries_type_tag(self, two_task_client: RosslClient):
+        msg = two_task_client.message_for("hi", 9, 9)
+        assert msg.data == (2, 9, 9)
+
+    def test_rejects_empty_sockets(self, two_tasks: TaskSystem):
+        with pytest.raises(ValueError):
+            RosslClient.make(two_tasks, [])
+
+    def test_rejects_duplicate_sockets(self, two_tasks: TaskSystem):
+        with pytest.raises(ValueError):
+            RosslClient.make(two_tasks, [0, 0])
+
+    def test_task_of_job(self, two_task_client: RosslClient):
+        from repro.model.job import Job
+
+        assert two_task_client.task_of_job(Job((2, 1), 0)).name == "hi"

@@ -1,0 +1,278 @@
+"""Tests for the response-time analysis: jitter, SBF, aRSA solver, the
+composed overhead-aware bound, and its soundness against simulation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.arsa import blocking_bound, busy_window_bound, solve_response_time
+from repro.rta.baselines import ideal_npfp_bound, utilization
+from repro.rta.curves import SporadicCurve, release_curve
+from repro.rta.exact import count_sequences, exact_worst_responses
+from repro.rta.jitter import jitter_bound
+from repro.rta.npfp import analyse, response_time_bound
+from repro.rta.sbf import (
+    IdealSupply,
+    SupplyBoundFunction,
+    blackout_bound,
+    make_sbf,
+)
+from repro.sim.simulator import UniformDurations, WcetDurations, simulate
+from repro.sim.workloads import generate_arrivals
+from repro.timing.wcet import WcetModel
+
+WCET = WcetModel(
+    failed_read=2, success_read=2, selection=1, dispatch=1, completion=1, idling=1
+)
+# failed_read/success_read must exceed 1; the smallest legal model:
+WCET = WcetModel(
+    failed_read=2, success_read=2, selection=1, dispatch=1, completion=1, idling=1
+)
+
+
+def make_client(periods: dict[str, int], wcets: dict[str, int], sockets=(0,)):
+    """Client with sporadic tasks; priority = reverse alphabetical rank
+    given explicitly below."""
+    priorities = {name: i + 1 for i, name in enumerate(sorted(periods))}
+    tasks = TaskSystem(
+        [
+            Task(name=n, priority=priorities[n], wcet=wcets[n], type_tag=i + 1)
+            for i, n in enumerate(sorted(periods))
+        ],
+        {n: SporadicCurve(p) for n, p in periods.items()},
+    )
+    return RosslClient.make(tasks, sockets)
+
+
+class TestJitter:
+    def test_formula(self):
+        j = jitter_bound(WCET, num_sockets=1)
+        # PB = (2*1-1)*2 = 2, SB = 1, DB = 1, IB = 1*2 + 1 + 1 = 4
+        assert j.polling == 2
+        assert j.idle == 4
+        assert j.bound == 1 + max(2 + 1 + 1, 4)
+
+    def test_more_sockets_more_jitter(self):
+        assert (
+            jitter_bound(WCET, 4).bound > jitter_bound(WCET, 1).bound
+        )
+
+    def test_rejects_bad_socket_count(self):
+        with pytest.raises(ValueError):
+            jitter_bound(WCET, 0)
+
+
+class TestSbf:
+    def curves(self, period: int, jitter: int):
+        return [release_curve(SporadicCurve(period), jitter)]
+
+    def test_sbf_zero_at_zero(self):
+        sbf = SupplyBoundFunction(self.curves(100, 5), WCET, 1)
+        assert sbf(0) == 0
+
+    def test_sbf_monotone_and_sublinear(self):
+        sbf = SupplyBoundFunction(self.curves(50, 5), WCET, 1)
+        values = [sbf(d) for d in range(0, 300)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert all(v <= d for d, v in enumerate(values))
+
+    def test_sbf_eventually_positive_for_light_load(self):
+        sbf = SupplyBoundFunction(self.curves(1000, 5), WCET, 1)
+        assert sbf(200) > 0
+
+    def test_blackout_bound_grows_with_sockets(self):
+        curves = self.curves(100, 5)
+        assert blackout_bound(50, curves, WCET, 4) > blackout_bound(50, curves, WCET, 1)
+
+    def test_inverse(self):
+        sbf = SupplyBoundFunction(self.curves(1000, 5), WCET, 1)
+        for demand in (1, 5, 40):
+            least = sbf.inverse(demand, 10_000)
+            assert least is not None
+            assert sbf(least) >= demand
+            assert least == 0 or sbf(least - 1) < demand
+
+    def test_inverse_unreachable(self):
+        sbf = SupplyBoundFunction(self.curves(1000, 5), WCET, 1)
+        assert sbf.inverse(10**9, 100) is None
+
+    def test_ideal_supply(self):
+        ideal = IdealSupply()
+        assert ideal(17) == 17
+        assert ideal.inverse(5, 100) == 5
+        assert ideal.inverse(101, 100) is None
+
+
+class TestArsaSolver:
+    def test_blocking_bound(self):
+        client = make_client(
+            {"a": 100, "b": 100, "c": 100}, {"a": 10, "b": 20, "c": 30}
+        )
+        tasks = client.tasks
+        # priorities: a=1 < b=2 < c=3.
+        assert blocking_bound(tasks.by_name("c"), tasks.tasks) == 19
+        assert blocking_bound(tasks.by_name("b"), tasks.tasks) == 9
+        assert blocking_bound(tasks.by_name("a"), tasks.tasks) == 0
+
+    def test_single_task_ideal_bound_is_wcet(self):
+        client = make_client({"a": 1000}, {"a": 10})
+        tasks = client.tasks
+        curves = {"a": SporadicCurve(1000)}
+        result = solve_response_time(
+            tasks.by_name("a"), tasks.tasks, curves, IdealSupply()
+        )
+        assert result is not None
+        # Alone on an ideal processor: starts immediately, runs C.
+        assert result.response_bound == 10
+
+    def test_highest_priority_with_blocking(self):
+        client = make_client({"a": 1000, "b": 1000}, {"a": 30, "b": 10})
+        tasks = client.tasks
+        curves = {n: SporadicCurve(1000) for n in ("a", "b")}
+        result = solve_response_time(
+            tasks.by_name("b"), tasks.tasks, curves, IdealSupply()
+        )
+        assert result is not None
+        # Blocking C_a - 1 = 29, then own C = 10.
+        assert result.response_bound == 29 + 10
+
+    def test_lower_priority_suffers_interference(self):
+        client = make_client({"a": 100, "b": 50}, {"a": 10, "b": 10})
+        tasks = client.tasks
+        curves = {"a": SporadicCurve(100), "b": SporadicCurve(50)}
+        low = solve_response_time(tasks.by_name("a"), tasks.tasks, curves, IdealSupply())
+        high = solve_response_time(tasks.by_name("b"), tasks.tasks, curves, IdealSupply())
+        assert low is not None and high is not None
+        assert low.response_bound > high.response_bound
+
+    def test_overload_returns_none(self):
+        client = make_client({"a": 10, "b": 10}, {"a": 8, "b": 8})
+        tasks = client.tasks
+        curves = {n: SporadicCurve(10) for n in ("a", "b")}
+        assert (
+            solve_response_time(
+                tasks.by_name("a"), tasks.tasks, curves, IdealSupply(), horizon=5000
+            )
+            is None
+        )
+
+    def test_busy_window_closes_for_light_load(self):
+        client = make_client({"a": 1000}, {"a": 10})
+        tasks = client.tasks
+        curves = {"a": SporadicCurve(1000)}
+        window = busy_window_bound(
+            tasks.by_name("a"), tasks.tasks, curves, IdealSupply(), 10_000
+        )
+        assert window == 10
+
+
+class TestOverheadAwareAnalysis:
+    def test_requires_curves(self, two_tasks: TaskSystem):
+        client = RosslClient.make(two_tasks, [0])
+        with pytest.raises(ValueError, match="arrival curve"):
+            analyse(client, WCET)
+
+    def test_bounds_exceed_ideal(self):
+        client = make_client({"a": 500, "b": 300}, {"a": 20, "b": 10})
+        result = analyse(client, WCET)
+        assert result.schedulable
+        for name in ("a", "b"):
+            aware = result.response_time_bound(name)
+            ideal = ideal_npfp_bound(client, name)
+            assert ideal is not None
+            assert aware > ideal
+
+    def test_rows_report(self):
+        client = make_client({"a": 500, "b": 300}, {"a": 20, "b": 10})
+        rows = analyse(client, WCET).rows()
+        assert len(rows) == 2
+        for name, wcet, prio, release, total in rows:
+            assert total == release + analyse(client, WCET).jitter.bound
+
+    def test_unschedulable_reported(self):
+        client = make_client({"a": 12, "b": 12}, {"a": 9, "b": 9})
+        result = analyse(client, WCET, horizon=3000)
+        assert not result.schedulable
+        rows = dict((r[0], r[4]) for r in result.rows())
+        assert rows["a"] is None
+
+    def test_convenience_single_task(self):
+        client = make_client({"a": 800}, {"a": 15})
+        bound = response_time_bound(client, WCET, "a")
+        assert bound is not None and bound > 15
+
+
+class TestUtilization:
+    def test_value(self):
+        client = make_client({"a": 100}, {"a": 10})
+        assert utilization(client.tasks) == pytest.approx(0.1, abs=0.01)
+
+    def test_rejects_bad_window(self):
+        client = make_client({"a": 100}, {"a": 10})
+        with pytest.raises(ValueError):
+            utilization(client.tasks, window=0)
+
+
+@pytest.fixture(scope="module")
+def exhaustive_client():
+    # Light enough to be schedulable under the conservative SBF
+    # (per-job overhead is RB+PB+SB+DB+CB = 7 here), tight enough that
+    # exhaustive exploration still visits hundreds of scenarios.
+    return make_client({"a": 30, "b": 40}, {"a": 2, "b": 3})
+
+
+@pytest.fixture(scope="module")
+def random_sim_client():
+    return make_client(
+        {"a": 300, "b": 200, "c": 150}, {"a": 25, "b": 12, "c": 6}
+    )
+
+
+@pytest.fixture(scope="module")
+def random_sim_analysis(random_sim_client):
+    result = analyse(random_sim_client, WCET)
+    assert result.schedulable
+    return result
+
+
+class TestSoundness:
+    """The analytic bound must dominate every observed response time."""
+
+    def test_against_exhaustive_exploration(self, exhaustive_client):
+        result = analyse(exhaustive_client, WCET)
+        assert result.schedulable
+        worst = exact_worst_responses(
+            exhaustive_client, WCET, arrival_horizon=31, max_jobs_per_task=2
+        )
+        assert max(worst.values()) > 0  # the exploration did run jobs
+        for name, observed in worst.items():
+            assert observed <= result.response_time_bound(name), (
+                f"task {name}: observed {observed} > bound "
+                f"{result.response_time_bound(name)}"
+            )
+
+    def test_exploration_visits_many_sequences(self, exhaustive_client):
+        assert count_sequences(exhaustive_client, horizon=31, max_jobs_per_task=2) > 500
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_against_randomized_simulation(
+        self, seed: int, random_sim_client, random_sim_analysis
+    ):
+        rng = random.Random(seed)
+        arrivals = generate_arrivals(
+            random_sim_client, horizon=2000, rng=rng, intensity=1.2
+        )
+        policy = WcetDurations() if seed % 2 == 0 else UniformDurations(rng)
+        sim = simulate(
+            random_sim_client, arrivals, WCET, horizon=3000, durations=policy
+        )
+        for job, (_, _, response) in sim.response_times().items():
+            name = random_sim_client.tasks.msg_to_task(job.data).name
+            assert response <= random_sim_analysis.response_time_bound(name), (
+                f"seed {seed}: job {job} of {name} responded in {response} > "
+                f"bound {random_sim_analysis.response_time_bound(name)}"
+            )

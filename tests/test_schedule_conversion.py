@@ -1,0 +1,308 @@
+"""Tests for the timed-trace → schedule conversion and validity checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.job import Job
+from repro.model.task import TaskSystem
+from repro.schedule.conversion import ConversionError, FiniteSchedule, Segment, convert
+from repro.schedule.infinite import TotalSchedule
+from repro.schedule.metrics import (
+    blackout_in,
+    max_blackout_over_windows,
+    min_supply_over_windows,
+    state_durations,
+    supply_in,
+    total_overhead,
+    utilization_of,
+)
+from repro.schedule.states import (
+    CompletionOvh,
+    DispatchOvh,
+    Executes,
+    Idle,
+    PollingOvh,
+    ReadOvh,
+    SelectionOvh,
+    is_overhead,
+    is_supply,
+    job_of,
+)
+from repro.schedule.validity import (
+    ScheduleValidityError,
+    check_schedule_protocol,
+    check_schedule_validity,
+    check_state_bounds,
+    instances,
+)
+from repro.timing.timed_trace import TimedTrace
+from repro.timing.wcet import WcetModel
+from repro.traces.markers import (
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+)
+
+J1 = Job((1, 1), 0)  # lo priority under two_tasks
+J2 = Job((2, 2), 1)  # hi priority
+WCET = WcetModel(
+    failed_read=3, success_read=4, selection=2, dispatch=2, completion=2, idling=3
+)
+
+
+def timed(markers, ts, horizon):
+    return TimedTrace.make(markers, ts, horizon)
+
+
+def one_job_trace():
+    """Read J1, all-fail pass, then run it.  Unit timestamps except exec."""
+    markers = [
+        MReadS(), MReadE(0, J1),     # ReadOvh(J1):      [0, 4)
+        MReadS(), MReadE(0, None),   # PollingOvh(J1):   [4, 7)
+        MSelection(),                # SelectionOvh(J1): [7, 9)
+        MDispatch(J1),               # DispatchOvh(J1):  [9, 11)
+        MExecution(J1),              # Executes(J1):     [11, 21)
+        MCompletion(J1),             # CompletionOvh(J1):[21, 23)
+        MReadS(), MReadE(0, None),   # next polling, unresolved at horizon
+    ]
+    ts = [0, 2, 4, 6, 7, 9, 11, 21, 23, 24]
+    return timed(markers, ts, 30)
+
+
+class TestStates:
+    def test_overhead_partition(self):
+        assert is_overhead(ReadOvh(J1))
+        assert is_overhead(PollingOvh(J1))
+        assert is_supply(Idle())
+        assert is_supply(Executes(J1))
+
+    def test_job_of(self):
+        assert job_of(Idle()) is None
+        assert job_of(Executes(J1)) == J1
+
+
+class TestConvertOneJob:
+    def test_segments(self):
+        schedule = convert(one_job_trace(), [0])
+        expected = [
+            (ReadOvh(J1), 0, 4),
+            (PollingOvh(J1), 4, 7),
+            (SelectionOvh(J1), 7, 9),
+            (DispatchOvh(J1), 9, 11),
+            (Executes(J1), 11, 21),
+            (CompletionOvh(J1), 21, 23),
+        ]
+        assert [(s.state, s.start, s.end) for s in schedule] == expected
+
+    def test_unresolved_tail_excluded(self):
+        schedule = convert(one_job_trace(), [0])
+        # The trailing polling reads (markers 8-9) are unresolved.
+        assert schedule.end == 23
+
+    def test_state_at(self):
+        schedule = convert(one_job_trace(), [0])
+        assert schedule.state_at(0) == ReadOvh(J1)
+        assert schedule.state_at(6) == PollingOvh(J1)
+        assert schedule.state_at(15) == Executes(J1)
+        assert schedule.state_at(22) == CompletionOvh(J1)
+        with pytest.raises(IndexError):
+            schedule.state_at(23)
+
+
+class TestConvertIdle:
+    def test_idle_iteration_maps_to_idle(self):
+        markers = [MReadS(), MReadE(0, None), MSelection(), MIdling()]
+        ts = [0, 2, 3, 5]
+        schedule = convert(timed(markers, ts, 8), [0])
+        assert [(s.state, s.start, s.end) for s in schedule] == [(Idle(), 0, 8)]
+
+    def test_consecutive_idle_iterations_merge(self):
+        markers = [
+            MReadS(), MReadE(0, None), MSelection(), MIdling(),
+            MReadS(), MReadE(0, None), MSelection(), MIdling(),
+        ]
+        ts = [0, 2, 3, 5, 8, 10, 11, 13]
+        schedule = convert(timed(markers, ts, 16), [0])
+        assert len(schedule.segments) == 1
+        assert schedule.segments[0] == Segment(Idle(), 0, 16)
+
+
+class TestFailedReadAttribution:
+    def test_fails_before_success_become_read_ovh(self):
+        # Two sockets: fail on 0, succeed on 1 → one ReadOvh(J1) from 0.
+        markers = [
+            MReadS(), MReadE(0, None),
+            MReadS(), MReadE(1, J1),
+            MReadS(), MReadE(0, None),
+            MReadS(), MReadE(1, None),
+            MSelection(), MDispatch(J1), MExecution(J1), MCompletion(J1),
+        ]
+        ts = [0, 2, 4, 6, 8, 10, 12, 14, 15, 17, 19, 29]
+        schedule = convert(timed(markers, ts, 31), [0, 1])
+        read_segments = instances(schedule, ReadOvh)
+        assert len(read_segments) == 1
+        assert (read_segments[0].start, read_segments[0].end) == (0, 8)
+        polling = instances(schedule, PollingOvh)
+        assert len(polling) == 1
+        assert (polling[0].start, polling[0].end) == (8, 15)
+
+    def test_trailing_fails_of_successful_pass_join_polling_ovh(self):
+        # One socket: success, then the all-fail pass; PollingOvh covers
+        # only the all-fail pass here.  With a success on socket 0 of a
+        # two-socket pass and a fail on socket 1, the trailing fail joins
+        # PollingOvh.
+        markers = [
+            MReadS(), MReadE(0, J1),
+            MReadS(), MReadE(1, None),   # trailing fail of success pass
+            MReadS(), MReadE(0, None),
+            MReadS(), MReadE(1, None),   # all-fail pass
+            MSelection(), MDispatch(J1), MExecution(J1), MCompletion(J1),
+        ]
+        ts = [0, 2, 4, 6, 8, 10, 12, 14, 15, 17, 19, 29]
+        schedule = convert(timed(markers, ts, 31), [0, 1])
+        polling = instances(schedule, PollingOvh)
+        assert len(polling) == 1
+        assert (polling[0].start, polling[0].end) == (4, 15)
+
+    def test_idle_absorbs_failed_polling(self):
+        markers = [
+            MReadS(), MReadE(0, None),
+            MReadS(), MReadE(1, None),
+            MSelection(), MIdling(),
+        ]
+        ts = [0, 2, 4, 6, 7, 9]
+        schedule = convert(timed(markers, ts, 12), [0, 1])
+        assert [(s.state, s.start, s.end) for s in schedule] == [(Idle(), 0, 12)]
+
+
+class TestConvertErrors:
+    def test_protocol_violation_raises_conversion_error(self):
+        markers = [MSelection()]
+        with pytest.raises(ConversionError, match="rejected"):
+            convert(timed(markers, [0], 2), [0])
+
+    def test_empty_trace_gives_empty_schedule(self):
+        schedule = convert(timed([], [], 0), [0])
+        assert schedule.duration == 0
+
+
+class TestFiniteScheduleInvariants:
+    def test_gap_rejected(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            FiniteSchedule((Segment(Idle(), 0, 2), Segment(Idle(), 3, 4)), 0, 4)
+
+    def test_wrong_end_rejected(self):
+        with pytest.raises(ValueError, match="claims"):
+            FiniteSchedule((Segment(Idle(), 0, 2),), 0, 5)
+
+
+class TestValidity:
+    def test_one_job_schedule_valid(self, two_tasks: TaskSystem):
+        schedule = convert(one_job_trace(), [0])
+        check_schedule_validity(schedule, two_tasks, WCET, num_sockets=1)
+
+    def test_state_bound_violation_detected(self, two_tasks: TaskSystem):
+        # Stretch the Executes segment beyond lo's WCET of 10.
+        bad = FiniteSchedule(
+            (
+                Segment(PollingOvh(J1), 0, 2),
+                Segment(SelectionOvh(J1), 2, 3),
+                Segment(DispatchOvh(J1), 3, 4),
+                Segment(Executes(J1), 4, 40),
+                Segment(CompletionOvh(J1), 40, 41),
+            ),
+            0,
+            41,
+        )
+        with pytest.raises(ScheduleValidityError, match="state-wcet"):
+            check_state_bounds(bad, two_tasks, WCET, num_sockets=1)
+
+    def test_protocol_requires_read_before_execute(self):
+        bad = FiniteSchedule(
+            (
+                Segment(PollingOvh(J1), 0, 2),
+                Segment(SelectionOvh(J1), 2, 3),
+                Segment(DispatchOvh(J1), 3, 4),
+                Segment(Executes(J1), 4, 9),
+                Segment(CompletionOvh(J1), 9, 10),
+            ),
+            0,
+            10,
+        )
+        with pytest.raises(ScheduleValidityError, match="never read"):
+            check_schedule_protocol(bad)
+
+    def test_protocol_requires_polling_before_selection(self):
+        bad = FiniteSchedule(
+            (Segment(SelectionOvh(J1), 0, 1),),
+            0,
+            1,
+        )
+        with pytest.raises(ScheduleValidityError, match="preceding PollingOvh"):
+            check_schedule_protocol(bad)
+
+    def test_idle_has_no_bound(self, two_tasks: TaskSystem):
+        long_idle = FiniteSchedule((Segment(Idle(), 0, 100_000),), 0, 100_000)
+        check_state_bounds(long_idle, two_tasks, WCET, num_sockets=1)
+
+
+class TestMetrics:
+    def test_blackout_and_supply(self):
+        schedule = convert(one_job_trace(), [0])
+        # Overheads: [0,11) and [21,23); Executes: [11,21).
+        assert blackout_in(schedule, 0, 23) == 13
+        assert supply_in(schedule, 0, 23) == 10
+        assert total_overhead(schedule) == 13
+
+    def test_window_clipping(self):
+        schedule = convert(one_job_trace(), [0])
+        assert supply_in(schedule, 20, 100) == 1
+
+    def test_max_blackout_window(self):
+        schedule = convert(one_job_trace(), [0])
+        assert max_blackout_over_windows(schedule, 11) == 11
+        assert max_blackout_over_windows(schedule, 23) == 13
+
+    def test_min_supply_window(self):
+        schedule = convert(one_job_trace(), [0])
+        assert min_supply_over_windows(schedule, 11) == 0
+        assert min_supply_over_windows(schedule, 23) == 10
+
+    def test_degenerate_windows(self):
+        schedule = convert(one_job_trace(), [0])
+        assert max_blackout_over_windows(schedule, 0) == 0
+        assert max_blackout_over_windows(schedule, 1000) == 0
+
+    def test_state_durations(self):
+        schedule = convert(one_job_trace(), [0])
+        durations = state_durations(schedule)
+        assert durations["Executes"] == 10
+        assert durations["ReadOvh"] == 4
+
+    def test_utilization(self):
+        schedule = convert(one_job_trace(), [0])
+        assert utilization_of(schedule) == pytest.approx(10 / 23)
+
+
+class TestTotalSchedule:
+    def test_idle_outside_prefix(self):
+        total = TotalSchedule(convert(one_job_trace(), [0]))
+        assert total(22) == CompletionOvh(J1)
+        assert total(23) == Idle()
+        assert total(10_000) == Idle()
+
+    def test_negative_time_rejected(self):
+        total = TotalSchedule(convert(one_job_trace(), [0]))
+        with pytest.raises(IndexError):
+            total(-1)
+
+    def test_service_accumulation(self):
+        total = TotalSchedule(convert(one_job_trace(), [0]))
+        assert total.service_in(J1, 0, 100) == 10
+        assert total.service_in(J1, 0, 16) == 5
+        assert total.service_in(J2, 0, 100) == 0

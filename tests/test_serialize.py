@@ -1,0 +1,127 @@
+"""Tests for trace serialization, including a golden regression run.
+
+The golden file pins the exact timed trace of the canonical Fig. 3
+scenario under WCET timing: any change to the scheduler, the driver, or
+the semantics that alters observable behaviour will show up as a diff.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.model.job import Job
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.sim.simulator import WcetDurations, simulate
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.timing.timed_trace import check_consistency
+from repro.timing.wcet import WcetModel
+from repro.traces.markers import (
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+)
+from repro.traces.serialize import (
+    SerializeError,
+    arrivals_from_json,
+    arrivals_to_json,
+    marker_from_json,
+    marker_to_json,
+    run_from_json,
+    run_to_json,
+    timed_trace_from_json,
+    timed_trace_to_json,
+    trace_from_json,
+    trace_to_json,
+)
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+J = Job((2, 7), 3)
+
+ALL_MARKERS = [
+    MReadS(), MReadE(0, J), MReadE(1, None), MSelection(),
+    MDispatch(J), MExecution(J), MCompletion(J), MIdling(),
+]
+
+
+class TestMarkerRoundTrip:
+    @pytest.mark.parametrize("marker", ALL_MARKERS, ids=range(len(ALL_MARKERS)))
+    def test_roundtrip(self, marker):
+        assert marker_from_json(marker_to_json(marker)) == marker
+
+    def test_trace_roundtrip(self):
+        assert trace_from_json(trace_to_json(ALL_MARKERS)) == ALL_MARKERS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializeError, match="unknown marker kind"):
+            marker_from_json({"kind": "nonsense"})
+
+    def test_dispatch_requires_job(self):
+        with pytest.raises(SerializeError, match="requires a job"):
+            marker_from_json({"kind": "dispatch", "job": None})
+
+    def test_bad_job_rejected(self):
+        with pytest.raises(SerializeError, match="bad job"):
+            marker_from_json({"kind": "dispatch", "job": {"oops": 1}})
+
+
+class TestRunRoundTrip:
+    def fig3_run(self):
+        tasks = TaskSystem(
+            [
+                Task(name="t1", priority=1, wcet=12, type_tag=1),
+                Task(name="t2", priority=2, wcet=8, type_tag=2),
+            ],
+            None,
+        )
+        client = RosslClient.make(tasks, [0])
+        wcet = WcetModel(3, 5, 2, 2, 2, 3)
+        arrivals = ArrivalSequence(
+            [Arrival(1, 0, (1, 1)), Arrival(4, 0, (2, 2))]
+        )
+        return simulate(client, arrivals, wcet, horizon=120,
+                        durations=WcetDurations())
+
+    def test_timed_trace_roundtrip(self):
+        result = self.fig3_run()
+        obj = timed_trace_to_json(result.timed_trace)
+        assert timed_trace_from_json(obj) == result.timed_trace
+
+    def test_arrivals_roundtrip(self):
+        result = self.fig3_run()
+        objs = arrivals_to_json(result.arrivals)
+        restored = arrivals_from_json(objs)
+        assert restored.arrivals == result.arrivals.arrivals
+
+    def test_full_run_roundtrip_and_recheck(self):
+        result = self.fig3_run()
+        text = run_to_json(result.timed_trace, result.arrivals)
+        timed, arrivals = run_from_json(text)
+        assert timed == result.timed_trace
+        # The restored run passes the independent checkers.
+        check_consistency(timed, arrivals)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializeError, match="invalid JSON"):
+            run_from_json("{nope")
+
+    def test_golden_fig3_trace(self):
+        """Regression pin: the canonical Fig. 3 run must not drift."""
+        result = self.fig3_run()
+        current = run_to_json(result.timed_trace, result.arrivals)
+        golden_path = GOLDEN / "fig3_run.json"
+        assert golden_path.exists(), (
+            "golden file missing — regenerate with "
+            "`python -m tests.regen_golden` if intentional"
+        )
+        assert current == golden_path.read_text(), (
+            "the canonical Fig. 3 run changed; if intentional, regenerate "
+            "tests/golden/fig3_run.json"
+        )

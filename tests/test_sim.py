@@ -1,0 +1,230 @@
+"""Tests for the timed simulator and workload generation.
+
+The central guarantees: simulated runs are protocol-conforming,
+functionally correct, Def. 2.1-consistent, WCET-respecting, and
+convertible to valid schedules — i.e. every checkable lemma of the
+paper holds on every simulated execution.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.curves import LeakyBucketCurve, SporadicCurve, check_curve_respected
+from repro.schedule.validity import check_schedule_validity
+from repro.sim.simulator import (
+    FractionDurations,
+    TimedDriver,
+    UniformDurations,
+    WcetDurations,
+    simulate,
+)
+from repro.sim.workloads import burst_at, generate_arrivals
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.timing.timed_trace import check_consistency
+from repro.timing.wcet import WcetModel, check_wcet_respected
+from repro.traces.markers import MCompletion, MDispatch
+from repro.traces.validity import check_tr_valid
+
+WCET = WcetModel(
+    failed_read=3, success_read=4, selection=2, dispatch=2, completion=2, idling=3
+)
+
+
+def curved_client(two_tasks: TaskSystem) -> RosslClient:
+    curves = {"lo": SporadicCurve(200), "hi": SporadicCurve(120)}
+    return RosslClient.make(two_tasks.with_curves(curves), [0])
+
+
+class TestDurationPolicies:
+    def test_wcet_policy_returns_bound(self):
+        assert WcetDurations().pick("x", 7) == 7
+
+    def test_uniform_policy_in_range(self):
+        policy = UniformDurations(random.Random(1))
+        samples = [policy.pick("x", 5) for _ in range(200)]
+        assert min(samples) >= 1 and max(samples) <= 5
+        assert len(set(samples)) > 1
+
+    def test_fraction_policy(self):
+        assert FractionDurations(0.5).pick("x", 10) == 5
+        assert FractionDurations(0.01).pick("x", 10) == 1
+        with pytest.raises(ValueError):
+            FractionDurations(0.0)
+
+
+class TestTimedDriver:
+    def test_rejects_nonpositive_horizon(self, two_tasks: TaskSystem):
+        client = curved_client(two_tasks)
+        with pytest.raises(ValueError):
+            TimedDriver(client, ArrivalSequence([]), WCET, 0)
+
+    def test_idle_run_produces_increasing_timestamps(self, two_tasks: TaskSystem):
+        client = curved_client(two_tasks)
+        result = simulate(client, ArrivalSequence([]), WCET, horizon=100)
+        ts = result.timed_trace.ts
+        assert all(b > a for a, b in zip(ts, ts[1:]))
+        assert ts[-1] < 100
+
+    def test_arrival_visible_only_after_its_time(self, two_tasks: TaskSystem):
+        client = curved_client(two_tasks)
+        arrivals = ArrivalSequence([Arrival(50, 0, (2, 1))])
+        result = simulate(client, arrivals, WCET, horizon=200)
+        reads = [
+            (m, t)
+            for m, t in zip(result.timed_trace.trace, result.timed_trace.ts)
+            if type(m).__name__ == "MReadE" and m.job is not None
+        ]
+        assert len(reads) == 1
+        assert reads[0][1] > 50
+
+    def test_job_completes(self, two_tasks: TaskSystem):
+        client = curved_client(two_tasks)
+        arrivals = ArrivalSequence([Arrival(10, 0, (2, 1))])
+        result = simulate(client, arrivals, WCET, horizon=200)
+        responses = result.response_times()
+        assert len(responses) == 1
+        ((_, (arr, done, resp)),) = responses.items()
+        assert arr == 10
+        assert done > arr
+        assert resp == done - arr
+
+
+ALL_POLICIES = [
+    WcetDurations(),
+    FractionDurations(0.4),
+    UniformDurations(random.Random(7)),
+]
+
+
+class TestSimulatedRunsSatisfyAllInvariants:
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=["wcet", "fraction", "uniform"])
+    @pytest.mark.parametrize("implementation", ["python", "minic"])
+    def test_every_lemma_holds(self, two_tasks: TaskSystem, policy, implementation):
+        client = curved_client(two_tasks)
+        rng = random.Random(42)
+        arrivals = generate_arrivals(client, horizon=400, rng=rng, intensity=1.0)
+        result = simulate(
+            client, arrivals, WCET, horizon=600, durations=policy,
+            implementation=implementation,
+        )
+        timed = result.timed_trace
+        # protocol + functional correctness (Thm. 3.4 analog)
+        assert client.protocol().accepts(timed.trace)
+        check_tr_valid(timed.trace, client.tasks)
+        # Def. 2.1 consistency and WCETs
+        check_consistency(timed, arrivals)
+        check_wcet_respected(timed, client.tasks, WCET)
+        # schedule conversion + validity constraints
+        schedule = result.schedule()
+        check_schedule_validity(schedule, client.tasks, WCET, client.num_sockets)
+
+    def test_edf_runs_satisfy_invariants(self, two_tasks: TaskSystem):
+        """The invariant stack holds for the EDF policy too (validity
+        under the EDF priority function)."""
+        from repro.edf import edf_priority, with_deadline_payloads
+        from repro.model.task import Task, TaskSystem as TS
+        from repro.rta.curves import SporadicCurve as SC
+
+        tasks = TS(
+            [
+                Task(name="a", priority=0, wcet=10, type_tag=1, deadline=250),
+                Task(name="b", priority=0, wcet=15, type_tag=2, deadline=400),
+            ],
+            {"a": SC(150), "b": SC(200)},
+        )
+        client = RosslClient.make(tasks, [0], policy="edf")
+        rng = random.Random(9)
+        base = generate_arrivals(client, horizon=400, rng=rng, intensity=1.2)
+        arrivals = with_deadline_payloads(base, tasks)
+        result = simulate(client, arrivals, WCET, horizon=900,
+                          durations=WcetDurations())
+        timed = result.timed_trace
+        assert client.protocol().accepts(timed.trace)
+        check_tr_valid(timed.trace, edf_priority)
+        check_consistency(timed, arrivals)
+        check_wcet_respected(timed, tasks, WCET)
+        check_schedule_validity(result.schedule(), tasks, WCET, 1)
+
+    def test_python_and_minic_agree_on_timed_traces(self, two_tasks: TaskSystem):
+        client = curved_client(two_tasks)
+        arrivals = generate_arrivals(
+            client, horizon=300, rng=random.Random(5), intensity=1.0
+        )
+        a = simulate(client, arrivals, WCET, horizon=500, implementation="python")
+        b = simulate(client, arrivals, WCET, horizon=500, implementation="minic")
+        assert a.timed_trace == b.timed_trace
+
+
+class TestWorkloadGeneration:
+    def test_generated_arrivals_respect_curves(self, three_tasks: TaskSystem):
+        curves = {
+            "low": SporadicCurve(60),
+            "mid": LeakyBucketCurve(2, 50),
+            "high": SporadicCurve(40),
+        }
+        client = RosslClient.make(three_tasks.with_curves(curves), [0, 1])
+        for seed in range(5):
+            arrivals = generate_arrivals(
+                client, horizon=500, rng=random.Random(seed), intensity=1.5
+            )
+            for task in client.tasks:
+                times = [
+                    a.time for a in arrivals.of_task(client.tasks, task.name)
+                ]
+                check_curve_respected(times, curves[task.name])
+
+    def test_payloads_resolve_to_their_task(self, two_tasks: TaskSystem):
+        client = curved_client(two_tasks)
+        arrivals = generate_arrivals(client, horizon=300, rng=random.Random(2))
+        for arrival in arrivals:
+            client.tasks.msg_to_task(arrival.data)  # must not raise
+
+    def test_socket_pinning(self, three_tasks: TaskSystem):
+        curves = {n: SporadicCurve(50) for n in ("low", "mid", "high")}
+        client = RosslClient.make(three_tasks.with_curves(curves), [0, 1])
+        arrivals = generate_arrivals(
+            client, horizon=400, rng=random.Random(3),
+            socket_of_task={"low": 1, "mid": 1, "high": 1},
+        )
+        assert all(a.sock == 1 for a in arrivals)
+
+    def test_burst_helper(self, two_tasks: TaskSystem):
+        client = curved_client(two_tasks)
+        arrivals = burst_at(client, 25, {"lo": 3, "hi": 2})
+        assert len(arrivals) == 5
+        assert all(a.time == 25 for a in arrivals)
+
+    def test_rejects_bad_horizon(self, two_tasks: TaskSystem):
+        client = curved_client(two_tasks)
+        with pytest.raises(ValueError):
+            generate_arrivals(client, horizon=0, rng=random.Random(0))
+
+
+class TestBurstBehaviour:
+    def test_burst_processed_in_priority_order(self, two_tasks: TaskSystem):
+        client = curved_client(two_tasks)
+        arrivals = burst_at(client, 5, {"lo": 2, "hi": 2})
+        result = simulate(client, arrivals, WCET, horizon=400)
+        dispatched = [
+            client.tasks.msg_to_task(m.job.data).name
+            for m in result.timed_trace.trace
+            if isinstance(m, MDispatch)
+        ]
+        # All four jobs are read in one polling phase before any runs;
+        # both hi jobs must run before both lo jobs.
+        assert dispatched[:2] == ["hi", "hi"]
+        assert dispatched[2:] == ["lo", "lo"]
+
+    def test_all_burst_jobs_complete(self, two_tasks: TaskSystem):
+        client = curved_client(two_tasks)
+        arrivals = burst_at(client, 5, {"lo": 3, "hi": 3})
+        result = simulate(client, arrivals, WCET, horizon=500)
+        completions = [
+            m for m in result.timed_trace.trace if isinstance(m, MCompletion)
+        ]
+        assert len(completions) == 6

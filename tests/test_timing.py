@@ -1,0 +1,248 @@
+"""Tests for timed traces, Def. 2.1 consistency, and WCET checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.job import Job
+from repro.model.task import TaskSystem
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.timing.timed_trace import (
+    ConsistencyError,
+    TimedTrace,
+    check_consistency,
+    consistent,
+    job_arrival_times,
+)
+from repro.timing.wcet import WcetError, WcetModel, check_wcet_respected, wcet_respected
+from repro.traces.markers import (
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+)
+
+J1 = Job((1, 7), 0)
+WCET = WcetModel(
+    failed_read=3, success_read=4, selection=2, dispatch=2, completion=2, idling=3
+)
+
+
+class TestArrivalSequence:
+    def test_sorted_by_time(self):
+        seq = ArrivalSequence([Arrival(5, 0, (1,)), Arrival(2, 0, (2,))])
+        assert [a.time for a in seq] == [2, 5]
+
+    def test_stable_for_same_instant(self):
+        seq = ArrivalSequence([Arrival(3, 0, (1, 1)), Arrival(3, 0, (1, 2))])
+        assert [a.data for a in seq] == [(1, 1), (1, 2)]
+
+    def test_before_is_strict(self):
+        seq = ArrivalSequence([Arrival(3, 0, (1,))])
+        assert seq.before(3) == ()
+        assert len(seq.before(4)) == 1
+
+    def test_window_half_open(self):
+        seq = ArrivalSequence([Arrival(3, 0, (1,)), Arrival(7, 0, (1,))])
+        assert len(seq.in_window(3, 7)) == 1
+        assert len(seq.in_window(3, 8)) == 2
+
+    def test_on_socket_filters(self):
+        seq = ArrivalSequence([Arrival(1, 0, (1,)), Arrival(2, 1, (1,))])
+        assert len(seq.on_socket(0)) == 1
+
+    def test_of_task_and_count(self, two_tasks: TaskSystem):
+        seq = ArrivalSequence(
+            [Arrival(1, 0, (1,)), Arrival(2, 0, (2,)), Arrival(3, 0, (2,))]
+        )
+        assert len(seq.of_task(two_tasks, "hi")) == 2
+        assert seq.count_in_window(two_tasks, "hi", 0, 3) == 1
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            Arrival(-1, 0, (1,))
+
+    def test_rejects_empty_payload(self):
+        with pytest.raises(ValueError):
+            Arrival(0, 0, ())
+
+
+class TestTimedTrace:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="timestamps"):
+            TimedTrace.make([MReadS()], [], 10)
+
+    def test_non_increasing_timestamps_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            TimedTrace.make([MReadS(), MReadE(0, None)], [5, 5], 10)
+
+    def test_horizon_must_exceed_last(self):
+        with pytest.raises(ValueError, match="horizon"):
+            TimedTrace.make([MReadS()], [5], 5)
+
+    def test_interval_uses_horizon_for_last(self):
+        timed = TimedTrace.make([MReadS(), MReadE(0, None)], [0, 3], 10)
+        assert timed.interval(0) == (0, 3)
+        assert timed.interval(1) == (3, 10)
+
+    def test_completion_time(self):
+        timed = TimedTrace.make(
+            [MDispatch(J1), MExecution(J1), MCompletion(J1)], [0, 2, 8], 12
+        )
+        assert timed.completion_time(J1) == 8
+        assert timed.completion_time(Job((1,), 5)) is None
+        assert timed.completions() == {J1: 8}
+
+    def test_empty_trace(self):
+        timed = TimedTrace.make([], [], 0)
+        assert timed.start_time == 0
+
+
+def read_trace(*events, start=0, gap=2, horizon=None):
+    """Build a timed trace of alternating MReadS/MReadE with the given
+    (sock, job) outcomes, ``gap`` time units apart."""
+    markers = []
+    for sock, job in events:
+        markers += [MReadS(), MReadE(sock, job)]
+    ts = [start + gap * i for i in range(len(markers))]
+    h = horizon if horizon is not None else (ts[-1] + gap if ts else 1)
+    return TimedTrace.make(markers, ts, h)
+
+
+class TestConsistency:
+    def test_read_after_arrival_ok(self):
+        timed = read_trace((0, J1), start=5)
+        arrivals = ArrivalSequence([Arrival(3, 0, (1, 7))])
+        check_consistency(timed, arrivals)
+
+    def test_read_before_arrival_rejected(self):
+        # M_ReadE at time 7, arrival at 7: arrival must be strictly earlier.
+        timed = read_trace((0, J1), start=5)
+        arrivals = ArrivalSequence([Arrival(7, 0, (1, 7))])
+        with pytest.raises(ConsistencyError, match="no matching arrival"):
+            check_consistency(timed, arrivals)
+
+    def test_read_with_no_arrival_rejected(self):
+        timed = read_trace((0, J1))
+        with pytest.raises(ConsistencyError):
+            check_consistency(timed, ArrivalSequence([]))
+
+    def test_failed_read_with_pending_arrival_rejected(self):
+        timed = read_trace((0, None), start=10)
+        arrivals = ArrivalSequence([Arrival(2, 0, (1,))])
+        with pytest.raises(ConsistencyError, match="failed read"):
+            check_consistency(timed, arrivals)
+
+    def test_failed_read_with_later_arrival_ok(self):
+        timed = read_trace((0, None), start=10)
+        arrivals = ArrivalSequence([Arrival(50, 0, (1,))])
+        check_consistency(timed, arrivals)
+
+    def test_fifo_order_enforced(self):
+        first = Job((1, 1), 0)
+        second = Job((1, 2), 1)
+        arrivals = ArrivalSequence([Arrival(0, 0, (1, 1)), Arrival(1, 0, (1, 2))])
+        good = read_trace((0, first), (0, second), start=5)
+        check_consistency(good, arrivals)
+        bad = read_trace((0, second), (0, first), start=5)
+        assert not consistent(bad, arrivals)
+
+    def test_sockets_independent(self):
+        j_a = Job((1,), 0)
+        arrivals = ArrivalSequence([Arrival(0, 1, (1,))])
+        timed = read_trace((0, None), (1, j_a), start=5)
+        check_consistency(timed, arrivals)
+
+    def test_job_arrival_times_witness(self):
+        arrivals = ArrivalSequence([Arrival(3, 0, (1, 7))])
+        timed = read_trace((0, J1), start=5)
+        assert job_arrival_times(timed, arrivals) == {J1: 3}
+
+
+class TestWcetModel:
+    def test_read_wcets_must_exceed_one(self):
+        with pytest.raises(ValueError, match="WcetFR"):
+            WcetModel(1, 4, 2, 2, 2, 2)
+        with pytest.raises(ValueError, match="WcetSR"):
+            WcetModel(3, 1, 2, 2, 2, 2)
+
+    def test_positive_action_wcets(self):
+        with pytest.raises(ValueError, match="positive"):
+            WcetModel(3, 4, 0, 2, 2, 2)
+
+    def test_derived_bounds_one_socket(self):
+        assert WCET.read_ovh_bound(1) == 4
+        assert WCET.polling_bound(1) == 3
+        assert WCET.idle_instance_bound(1) == 3 + 2 + 3
+
+    def test_derived_bounds_three_sockets(self):
+        assert WCET.read_ovh_bound(3) == 2 * 2 * 3 + 4
+        assert WCET.polling_bound(3) == 5 * 3
+        assert WCET.idle_instance_bound(3) == 9 + 2 + 3
+
+    def test_overhead_per_job(self):
+        expected = WCET.read_ovh_bound(2) + WCET.polling_bound(2) + 2 + 2 + 2
+        assert WCET.overhead_per_job(2) == expected
+
+
+class TestWcetRespected:
+    def trace_one_job(self, tasks: TaskSystem, durations):
+        """dispatch/exec/compl trace with chosen interval durations."""
+        d_sel, d_disp, d_exec, d_compl = durations
+        markers = [
+            MReadS(), MReadE(0, J1),
+            MReadS(), MReadE(0, None),
+            MSelection(), MDispatch(J1), MExecution(J1), MCompletion(J1),
+        ]
+        ts = [0, 2]                       # successful read: 2 + 2 = 4 ≤ WcetSR
+        ts.append(4)                       # post-processing of success ends
+        ts.append(5)                       # failed read: 1 + 1 = 2... built below
+        ts = [0, 2, 4, 5, 6, 6 + d_sel, 6 + d_sel + d_disp,
+              6 + d_sel + d_disp + d_exec]
+        horizon = ts[-1] + d_compl
+        return TimedTrace.make(markers, ts, horizon)
+
+    def test_respecting_trace_passes(self, two_tasks: TaskSystem):
+        timed = self.trace_one_job(two_tasks, (2, 2, 9, 2))
+        check_wcet_respected(timed, two_tasks, WCET)
+
+    def test_selection_overrun_detected(self, two_tasks: TaskSystem):
+        timed = self.trace_one_job(two_tasks, (3, 2, 9, 2))
+        with pytest.raises(WcetError, match="selection"):
+            check_wcet_respected(timed, two_tasks, WCET)
+
+    def test_execution_overrun_detected(self, two_tasks: TaskSystem):
+        # J1 is a "lo" job with C=10.
+        timed = self.trace_one_job(two_tasks, (2, 2, 11, 2))
+        with pytest.raises(WcetError, match="execution"):
+            check_wcet_respected(timed, two_tasks, WCET)
+
+    def test_read_overrun_detected(self, two_tasks: TaskSystem):
+        markers = [MReadS(), MReadE(0, None), MSelection(), MIdling()]
+        ts = [0, 2, 4, 5]  # failed read takes 4 > WcetFR=3
+        timed = TimedTrace.make(markers, ts, 7)
+        with pytest.raises(WcetError, match="failed read"):
+            check_wcet_respected(timed, two_tasks, WCET)
+
+    def test_inflight_action_at_horizon_not_checked(self, two_tasks: TaskSystem):
+        # Last interval stretches to the horizon, far beyond the WCET,
+        # but it is in flight — not checked.
+        markers = [MReadS(), MReadE(0, None), MSelection(), MIdling()]
+        ts = [0, 1, 2, 4]
+        timed = TimedTrace.make(markers, ts, 1000)
+        assert wcet_respected(timed, two_tasks, WCET)
+
+    def test_completion_overrun_detected(self, two_tasks: TaskSystem):
+        markers = [
+            MReadS(), MReadE(0, J1),
+            MReadS(), MReadE(0, None),
+            MSelection(), MDispatch(J1), MExecution(J1), MCompletion(J1),
+            MReadS(),
+        ]
+        ts = [0, 2, 4, 5, 6, 8, 10, 15, 20]  # completion takes 5 > 2
+        timed = TimedTrace.make(markers, ts, 25)
+        with pytest.raises(WcetError, match="completion"):
+            check_wcet_respected(timed, two_tasks, WCET)

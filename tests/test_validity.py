@@ -1,0 +1,130 @@
+"""Tests for tr_valid (Def. 3.2) and the pending-jobs derived sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.job import Job
+from repro.model.task import TaskSystem
+from repro.traces.markers import (
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+)
+from repro.traces.pending import dispatched_jobs, pending_jobs, read_jobs
+from repro.traces.validity import TraceValidityError, check_tr_valid, tr_valid
+
+LO = (1,)  # priority 1 under the two_tasks fixture
+HI = (2,)  # priority 2
+
+J_LO = Job(LO, 0)
+J_HI = Job(HI, 1)
+
+
+class TestPendingSets:
+    def test_empty_trace(self):
+        assert read_jobs([]) == set()
+        assert pending_jobs([]) == set()
+
+    def test_read_then_pending(self):
+        trace = [MReadS(), MReadE(0, J_LO)]
+        assert read_jobs(trace) == {J_LO}
+        assert pending_jobs(trace) == {J_LO}
+
+    def test_dispatch_removes_from_pending(self):
+        trace = [MReadS(), MReadE(0, J_LO), MDispatch(J_LO)]
+        assert pending_jobs(trace) == set()
+        assert dispatched_jobs(trace) == {J_LO}
+        assert read_jobs(trace) == {J_LO}
+
+    def test_index_is_strict(self):
+        trace = [MReadS(), MReadE(0, J_LO)]
+        assert pending_jobs(trace, 1) == set()
+        assert pending_jobs(trace, 2) == {J_LO}
+
+    def test_failed_reads_do_not_count(self):
+        assert read_jobs([MReadS(), MReadE(0, None)]) == set()
+
+
+class TestTrValid:
+    def test_empty_trace_valid(self, two_tasks: TaskSystem):
+        assert tr_valid([], two_tasks)
+
+    def test_highest_priority_dispatch_ok(self, two_tasks: TaskSystem):
+        trace = [
+            MReadS(), MReadE(0, J_LO),
+            MReadS(), MReadE(0, J_HI),
+            MReadS(), MReadE(0, None),
+            MSelection(), MDispatch(J_HI), MExecution(J_HI), MCompletion(J_HI),
+        ]
+        assert tr_valid(trace, two_tasks)
+
+    def test_low_priority_dispatch_rejected(self, two_tasks: TaskSystem):
+        trace = [
+            MReadS(), MReadE(0, J_LO),
+            MReadS(), MReadE(0, J_HI),
+            MSelection(), MDispatch(J_LO),
+        ]
+        with pytest.raises(TraceValidityError) as exc_info:
+            check_tr_valid(trace, two_tasks)
+        assert exc_info.value.clause == "highest-priority"
+
+    def test_equal_priority_dispatch_ok(self, two_tasks: TaskSystem):
+        other_lo = Job(LO, 7)
+        trace = [
+            MReadS(), MReadE(0, J_LO),
+            MReadS(), MReadE(0, other_lo),
+            MSelection(), MDispatch(other_lo),
+        ]
+        assert tr_valid(trace, two_tasks)
+
+    def test_dispatch_of_unread_job_rejected(self, two_tasks: TaskSystem):
+        trace = [MSelection(), MDispatch(J_LO)]
+        with pytest.raises(TraceValidityError, match="not pending"):
+            check_tr_valid(trace, two_tasks)
+
+    def test_dispatch_of_already_dispatched_job_rejected(self, two_tasks: TaskSystem):
+        trace = [
+            MReadS(), MReadE(0, J_LO),
+            MDispatch(J_LO), MDispatch(J_LO),
+        ]
+        assert not tr_valid(trace, two_tasks)
+
+    def test_idling_with_pending_job_rejected(self, two_tasks: TaskSystem):
+        trace = [MReadS(), MReadE(0, J_LO), MSelection(), MIdling()]
+        with pytest.raises(TraceValidityError) as exc_info:
+            check_tr_valid(trace, two_tasks)
+        assert exc_info.value.clause == "idle-implies-empty"
+
+    def test_idling_after_dispatch_ok(self, two_tasks: TaskSystem):
+        trace = [
+            MReadS(), MReadE(0, J_LO),
+            MDispatch(J_LO),
+            MIdling(),
+        ]
+        assert tr_valid(trace, two_tasks)
+
+    def test_duplicate_job_id_rejected(self, two_tasks: TaskSystem):
+        dup = Job(HI, J_LO.jid)
+        trace = [MReadS(), MReadE(0, J_LO), MReadS(), MReadE(0, dup)]
+        with pytest.raises(TraceValidityError) as exc_info:
+            check_tr_valid(trace, two_tasks)
+        assert exc_info.value.clause == "unique-ids"
+
+    def test_same_payload_distinct_ids_ok(self, two_tasks: TaskSystem):
+        trace = [MReadS(), MReadE(0, Job(LO, 0)), MReadS(), MReadE(0, Job(LO, 1))]
+        assert tr_valid(trace, two_tasks)
+
+    def test_accepts_raw_priority_function(self):
+        trace = [MReadS(), MReadE(0, J_LO), MSelection(), MDispatch(J_LO)]
+        assert tr_valid(trace, lambda data: 0)
+
+    def test_error_reports_marker_index(self, two_tasks: TaskSystem):
+        trace = [MReadS(), MReadE(0, J_LO), MSelection(), MIdling()]
+        with pytest.raises(TraceValidityError) as exc_info:
+            check_tr_valid(trace, two_tasks)
+        assert exc_info.value.index == 3

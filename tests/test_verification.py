@@ -1,0 +1,190 @@
+"""Tests for the verification layer: spec monitors, online monitor, and
+the bounded model checker (Thm. 3.4 stand-in)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.job import Job
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rossl.env import QueueEnvironment
+from repro.rossl.runtime import TeeSink, TraceRecorder
+from repro.traces.markers import (
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+)
+from repro.traces.protocol import ProtocolError
+from repro.traces.validity import TraceValidityError
+from repro.verification.model_check import explore
+from repro.verification.monitor import OnlineMonitor
+from repro.verification.specs import MarkerSpecMonitor, SpecViolation
+
+J_LO = Job((1,), 0)
+J_HI = Job((2,), 1)
+
+
+class TestMarkerSpecs:
+    def make(self, two_tasks: TaskSystem) -> MarkerSpecMonitor:
+        return MarkerSpecMonitor(two_tasks.priority_of)
+
+    def feed(self, monitor: MarkerSpecMonitor, markers) -> None:
+        for m in markers:
+            monitor.emit(m)
+
+    def test_valid_run_accepted(self, two_tasks: TaskSystem):
+        monitor = self.make(two_tasks)
+        self.feed(
+            monitor,
+            [
+                MReadS(), MReadE(0, J_LO),
+                MReadS(), MReadE(0, None),
+                MSelection(), MDispatch(J_LO), MExecution(J_LO), MCompletion(J_LO),
+                MReadS(), MReadE(0, None), MSelection(), MIdling(),
+            ],
+        )
+        assert monitor.currently_pending == set()
+
+    def test_idling_requires_selection_before(self, two_tasks: TaskSystem):
+        monitor = self.make(two_tasks)
+        with pytest.raises(SpecViolation, match="idling_start after"):
+            self.feed(monitor, [MReadS(), MReadE(0, None), MIdling()])
+
+    def test_idling_requires_empty_pending(self, two_tasks: TaskSystem):
+        monitor = self.make(two_tasks)
+        with pytest.raises(SpecViolation, match="pending"):
+            self.feed(
+                monitor,
+                [MReadS(), MReadE(0, J_LO), MReadS(), MReadE(0, None),
+                 MSelection(), MIdling()],
+            )
+
+    def test_dispatch_requires_highest_priority(self, two_tasks: TaskSystem):
+        monitor = self.make(two_tasks)
+        with pytest.raises(SpecViolation, match="higher priority"):
+            self.feed(
+                monitor,
+                [MReadS(), MReadE(0, J_LO), MReadS(), MReadE(0, J_HI),
+                 MReadS(), MReadE(0, None), MSelection(), MDispatch(J_LO)],
+            )
+
+    def test_dispatch_requires_pending(self, two_tasks: TaskSystem):
+        monitor = self.make(two_tasks)
+        with pytest.raises(SpecViolation, match="not pending"):
+            self.feed(
+                monitor,
+                [MReadS(), MReadE(0, None), MSelection(), MDispatch(J_LO)],
+            )
+
+    def test_read_outcome_requires_read_start(self, two_tasks: TaskSystem):
+        monitor = self.make(two_tasks)
+        with pytest.raises(SpecViolation, match="without read_start"):
+            self.feed(monitor, [MReadE(0, None)])
+
+    def test_execution_must_follow_its_dispatch(self, two_tasks: TaskSystem):
+        monitor = self.make(two_tasks)
+        with pytest.raises(SpecViolation, match="execution_start"):
+            self.feed(
+                monitor,
+                [MReadS(), MReadE(0, J_LO), MReadS(), MReadE(0, J_HI),
+                 MReadS(), MReadE(0, None),
+                 MSelection(), MDispatch(J_HI), MExecution(J_LO)],
+            )
+
+    def test_fresh_id_required(self, two_tasks: TaskSystem):
+        monitor = self.make(two_tasks)
+        dup = Job((2,), J_LO.jid)
+        with pytest.raises(SpecViolation, match="fresh"):
+            self.feed(
+                monitor,
+                [MReadS(), MReadE(0, J_LO), MReadS(), MReadE(0, dup)],
+            )
+
+
+class TestOnlineMonitor:
+    def test_accepts_real_run(self, two_task_client: RosslClient):
+        model = two_task_client.model()
+        env = QueueEnvironment([0])
+        env.inject(0, (2, 1))
+        env.inject(0, (1, 2))
+        monitor = OnlineMonitor([0], two_task_client.tasks.priority_of)
+        model.run(env, TeeSink(TraceRecorder(), monitor), max_iterations=4)
+        assert monitor.markers_seen > 0
+
+    def test_detects_protocol_violation(self, two_task_client: RosslClient):
+        monitor = OnlineMonitor([0], two_task_client.tasks.priority_of)
+        with pytest.raises(ProtocolError):
+            monitor.emit(MSelection())
+
+    def test_detects_validity_violation(self, two_task_client: RosslClient):
+        monitor = OnlineMonitor([0], two_task_client.tasks.priority_of)
+        for m in [MReadS(), MReadE(0, J_LO), MReadS(), MReadE(0, None), MSelection()]:
+            monitor.emit(m)
+        with pytest.raises(TraceValidityError):
+            monitor.emit(MIdling())
+
+
+class TestModelCheck:
+    def test_python_model_clean_at_depth_five(self, two_task_client: RosslClient):
+        report = explore(
+            two_task_client, [(1, 9), (2, 9)], max_reads=5, implementation="python"
+        )
+        assert report.ok, report.violations[:1]
+        assert report.scripts_explored == 3**5
+        assert report.max_trace_length > 10
+
+    def test_minic_clean_at_depth_four(self, two_task_client: RosslClient):
+        report = explore(
+            two_task_client, [(1, 9), (2, 9)], max_reads=4, implementation="minic"
+        )
+        assert report.ok, report.violations[:1]
+        assert report.scripts_explored == 3**4
+
+    def test_two_socket_minic_clean(self, two_socket_client: RosslClient):
+        report = explore(
+            two_socket_client, [(3, 0)], max_reads=4, implementation="minic"
+        )
+        assert report.ok
+        assert report.scripts_explored == 2**4
+
+    def test_summary_format(self, two_task_client: RosslClient):
+        report = explore(two_task_client, [], max_reads=2, implementation="python")
+        assert "OK" in report.summary()
+
+    def test_rejects_negative_depth(self, two_task_client: RosslClient):
+        with pytest.raises(ValueError):
+            explore(two_task_client, [], max_reads=-1)
+
+    def test_buggy_scheduler_caught(self, two_tasks: TaskSystem):
+        """Mutation check: a scheduler that dequeues FIFO instead of by
+        priority must be flagged by the exploration machinery."""
+        from repro.rossl.runtime import RosslModel
+
+        class FifoRossl(RosslModel):
+            def _npfp_dequeue(self):
+                if not self._queue:
+                    return None
+                return self._queue.pop(0)
+
+        client = RosslClient.make(two_tasks, [0])
+        from repro.verification.model_check import _run_one
+
+        # Script: read lo then hi, then fail; FIFO dispatches lo first —
+        # a validity/spec violation.
+        script = ((1, 1), (2, 2), None, None, None)
+        recorder_model = FifoRossl(client.sockets, client.tasks)
+
+        from repro.rossl.env import ScriptedEnvironment
+        from repro.verification.monitor import OnlineMonitor
+        from repro.rossl.runtime import TeeSink, TraceRecorder
+
+        monitor = OnlineMonitor(client.sockets, client.tasks.priority_of)
+        with pytest.raises(TraceValidityError, match="highest-priority"):
+            recorder_model.run(
+                ScriptedEnvironment(script), TeeSink(TraceRecorder(), monitor)
+            )

@@ -1,0 +1,210 @@
+"""Tests for the bytecode compiler and VM, centered on differential
+equivalence with the definitional interpreter."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.lang.compile import compile_program
+from repro.lang.errors import OutOfFuel, UndefinedBehavior
+from repro.lang.interp import run_program
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck
+from repro.lang.values import VInt
+from repro.lang.vm import VM, run_compiled
+from repro.rossl.client import RosslClient
+from repro.rossl.env import HorizonReached, ScriptedEnvironment
+from repro.rossl.runtime import TraceRecorder
+from repro.rossl.source import build_rossl, rossl_source
+
+
+def run_both(source: str, entry: str = "main", script=()):
+    """Run interpreter and VM on the same program; return both results."""
+    typed = typecheck(parse_program(source))
+    compiled = compile_program(typed)
+    interp_result = run_program(
+        typed, ScriptedEnvironment(script), TraceRecorder(), entry=entry
+    )
+    vm_result = run_compiled(
+        compiled, ScriptedEnvironment(script), TraceRecorder(), entry=entry
+    )
+    return interp_result, vm_result
+
+
+PROGRAMS = [
+    "int main() { return 2 + 3 * 4 - 1; }",
+    "int main() { return -7 / 2 + -7 % 2; }",
+    "int main() { return (1 < 2) + (2 <= 2) + (3 > 4) + (4 >= 4); }",
+    "int main() { int z = 0; return (0 && (1 / z)) + (1 || (1 / z)); }",
+    "int main() { return !0 + !5 + !(1 == 2); }",
+    "int main() { int i = 0; int s = 0; while (i < 10) { s = s + i;"
+    " i = i + 1; } return s; }",
+    "int main() { int i = 0; int s = 0; while (1) { i = i + 1;"
+    " if (i > 10) { break; } if (i % 2 == 0) { continue; } s = s + i; }"
+    " return s; }",
+    "int sq(int x) { return x * x; } int main() { return sq(sq(3)); }",
+    "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }"
+    "int main() { return fib(12); }",
+    "void bump(int *p) { *p = *p + 1; }"
+    "int main() { int x = 5; bump(&x); bump(&x); return x; }",
+    "struct pt { int x; int y; };"
+    "int main() { struct pt p; p.x = 3; p.y = 4; struct pt *q = &p;"
+    " return q->x * q->y; }",
+    "int main() { int a[5]; int i = 0; while (i < 5) { a[i] = i * i;"
+    " i = i + 1; } return a[0] + a[2] + a[4]; }",
+    "struct node { int v; struct node *next; };"
+    "int main() { struct node *head = NULL; int i = 0;"
+    " while (i < 5) { struct node *n = malloc(sizeof(struct node));"
+    " n->v = i; n->next = head; head = n; i = i + 1; }"
+    " int s = 0; while (head != NULL) { s = s + head->v;"
+    " struct node *d = head; head = head->next; free(d); } return s; }",
+    "struct pt { int x; int y; };"
+    "int main() { struct pt *a = malloc(3 * sizeof(struct pt));"
+    " (a + 2)->x = 7; struct pt *b = a + 2; int r = b->x; free(a);"
+    " return r; }",
+    "int main() { int x = 3; { int x = 4; { int x = 5; } } return x; }",
+]
+
+UB_PROGRAMS = [
+    "int main() { int z = 0; return 1 / z; }",
+    "int main() { int a[2]; int i = 5; a[i] = 1; return 0; }",
+    "int main() { int x; return x; }",
+    "int main() { int *p = malloc(2); free(p); return *p; }",
+    "int main() { int *p = malloc(2); free(p); free(p); return 0; }",
+    "struct s { int x; }; int main() { struct s *p = NULL; return p->x; }",
+]
+
+
+class TestDifferentialResults:
+    @pytest.mark.parametrize("source", PROGRAMS, ids=range(len(PROGRAMS)))
+    def test_same_result(self, source: str):
+        interp_result, vm_result = run_both(source)
+        assert interp_result == vm_result
+        assert isinstance(vm_result, VInt)
+
+    @pytest.mark.parametrize("source", UB_PROGRAMS, ids=range(len(UB_PROGRAMS)))
+    def test_same_undefined_behaviour(self, source: str):
+        typed = typecheck(parse_program(source))
+        compiled = compile_program(typed)
+        with pytest.raises(UndefinedBehavior):
+            run_program(typed, ScriptedEnvironment([]), TraceRecorder())
+        with pytest.raises(UndefinedBehavior):
+            run_compiled(compiled, ScriptedEnvironment([]), TraceRecorder())
+
+
+class TestVmMechanics:
+    def test_instruction_counting(self):
+        typed = typecheck(parse_program("int main() { return 1 + 2; }"))
+        compiled = compile_program(typed)
+        vm = VM(compiled, ScriptedEnvironment([]), TraceRecorder())
+        result = vm.call("main", [])
+        assert result == VInt(3)
+        # push, push, add, retv = 4 instructions.
+        assert vm.executed == 4
+
+    def test_fuel_exhaustion(self):
+        typed = typecheck(parse_program("int main() { while (1) { } return 0; }"))
+        compiled = compile_program(typed)
+        with pytest.raises(OutOfFuel):
+            run_compiled(compiled, ScriptedEnvironment([]), TraceRecorder(),
+                         fuel=100)
+
+    def test_loop_regions_recorded(self):
+        typed = typecheck(parse_program(
+            "int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }"
+        ))
+        compiled = compile_program(typed)
+        main = compiled.functions["main"]
+        assert len(main.loops) == 1
+        start, end = main.loops[0]
+        assert 0 <= start < end <= len(main.code)
+
+    def test_disassembly_renders(self):
+        typed = typecheck(parse_program("int main() { return 1; }"))
+        compiled = compile_program(typed)
+        text = str(compiled)
+        assert "func main/0" in text and "retv" in text
+
+    def test_read_and_markers_through_vm(self):
+        source = (
+            "int main() { int buf[8]; read_start();"
+            " int n = read(0, buf, 8);"
+            " dispatch_start(buf, n); execution_start(buf, n);"
+            " completion_start(buf, n); return buf[0]; }"
+        )
+        typed = typecheck(parse_program(source))
+        compiled = compile_program(typed)
+        recorder = TraceRecorder()
+        result = run_compiled(compiled, ScriptedEnvironment([(9, 1)]), recorder)
+        assert result == VInt(9)
+        kinds = [type(m).__name__ for m in recorder.trace]
+        assert kinds == ["MReadS", "MReadE", "MDispatch", "MExecution", "MCompletion"]
+
+
+class TestRosslOnVm:
+    def run_vm_rossl(self, client, script, fuel=2_000_000):
+        typed = build_rossl(client)
+        compiled = compile_program(typed)
+        recorder = TraceRecorder()
+        try:
+            run_compiled(compiled, ScriptedEnvironment(script), recorder,
+                         fuel=fuel)
+        except (OutOfFuel, HorizonReached):
+            pass
+        return recorder.trace
+
+    def test_vm_rossl_matches_interpreter(self, two_task_client: RosslClient):
+        script = [(1, 1), (2, 2), None, (1, 3), None, None, None]
+        typed = build_rossl(two_task_client)
+        recorder = TraceRecorder()
+        try:
+            run_program(typed, ScriptedEnvironment(script), recorder,
+                        fuel=500_000)
+        except (OutOfFuel, HorizonReached):
+            pass
+        vm_trace = self.run_vm_rossl(two_task_client, script)
+        assert recorder.trace == vm_trace
+        assert len(vm_trace) > 10
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_vm_rossl_random_scripts(self, seed: int, two_socket_client):
+        rng = random.Random(seed)
+        tags = [t.type_tag for t in two_socket_client.tasks.tasks]
+        script = []
+        for _ in range(rng.randrange(1, 30)):
+            if rng.random() < 0.5:
+                script.append(None)
+            else:
+                script.append((rng.choice(tags), rng.randrange(5)))
+        model_trace = two_socket_client.model().run_to_trace(
+            ScriptedEnvironment(script)
+        )
+        vm_trace = self.run_vm_rossl(two_socket_client, script)
+        assert model_trace == vm_trace
+
+    def test_vm_cost_between_markers_is_positive(self, two_task_client):
+        """Consecutive markers are always ≥1 instruction apart — the
+        prerequisite for using instruction counts as timestamps."""
+        typed = build_rossl(two_task_client)
+        compiled = compile_program(typed)
+
+        stamps = []
+
+        class CountingSink:
+            def __init__(self, vm_holder):
+                self.vm_holder = vm_holder
+
+            def emit(self, marker):
+                stamps.append(self.vm_holder[0].executed)
+
+        holder = []
+        sink = CountingSink(holder)
+        vm = VM(compiled, ScriptedEnvironment([(1, 1), None, None]), sink,
+                fuel=100_000)
+        holder.append(vm)
+        with pytest.raises((OutOfFuel, HorizonReached)):
+            vm.call("main", [])
+        assert len(stamps) > 5
+        assert all(b > a for a, b in zip(stamps, stamps[1:]))
