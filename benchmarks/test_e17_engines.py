@@ -1,12 +1,12 @@
 """E17 (engineering): execution-engine throughput on the Rössl workload.
 
-Compares the three ways this reproduction can execute the C scheduler —
-the definitional interpreter (the verification semantics), the bytecode
-VM (the cost semantics), and the peephole-optimized VM — on an identical
-read-outcome script.  All three emit the same marker trace; the
-comparison is wall-clock throughput and (for the VMs) executed
-instruction counts, quantifying the cost of each level of semantic
-fidelity.
+Compares the four registered execution engines — the Python reference
+model, the definitional interpreter (the verification semantics), the
+bytecode VM (the cost semantics), and the peephole-optimized VM — on an
+identical read-outcome script, all built through the engine registry
+(:mod:`repro.engine`).  All emit the same marker trace; the comparison
+is wall-clock throughput and (for the VMs) executed instruction counts,
+quantifying the cost of each level of semantic fidelity.
 """
 
 from __future__ import annotations
@@ -14,15 +14,9 @@ from __future__ import annotations
 import random
 
 from conftest import print_experiment
-from repro.analysis.report import format_table
-from repro.lang.compile import compile_program
-from repro.lang.errors import OutOfFuel
-from repro.lang.interp import run_program
-from repro.lang.optimize import optimize_program
-from repro.lang.vm import VM
-from repro.rossl.env import HorizonReached, ScriptedEnvironment
+from repro.engine import create_engine, engine_names
+from repro.rossl.env import ScriptedEnvironment
 from repro.rossl.runtime import TraceRecorder
-from repro.rossl.source import build_rossl
 
 
 def make_script(client, length=400, seed=3):
@@ -34,78 +28,61 @@ def make_script(client, length=400, seed=3):
     ]
 
 
-def run_interp(typed, script):
+def run_engine(engine, script):
     recorder = TraceRecorder()
-    try:
-        run_program(typed, ScriptedEnvironment(script), recorder,
-                    fuel=10_000_000)
-    except (OutOfFuel, HorizonReached):
-        pass
-    return recorder.trace
-
-
-def run_vm(compiled, script):
-    recorder = TraceRecorder()
-    vm = VM(compiled, ScriptedEnvironment(script), recorder, fuel=50_000_000)
-    try:
-        vm.call("main", [])
-    except (OutOfFuel, HorizonReached):
-        pass
-    return recorder.trace, vm.executed
+    stats = engine.run(ScriptedEnvironment(list(script)), recorder,
+                       fuel=50_000_000)
+    return recorder.trace, stats.instructions
 
 
 def test_engines_agree(benchmark, fig3_client):
-    typed = build_rossl(fig3_client)
-    plain = compile_program(typed)
-    optimized = optimize_program(plain)
+    engines = {
+        name: create_engine(name, fig3_client) for name in engine_names()
+    }
     script = make_script(fig3_client, length=150)
 
     def run_all():
-        return (
-            run_interp(typed, script),
-            run_vm(plain, script),
-            run_vm(optimized, script),
-        )
+        return {name: run_engine(e, script) for name, e in engines.items()}
 
-    trace_interp, (trace_vm, cost_vm), (trace_opt, cost_opt) = (
-        benchmark.pedantic(run_all, rounds=1, iterations=1)
-    )
-    assert trace_interp == trace_vm == trace_opt
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reference = results["python"][0]
+    for name, (trace, _) in results.items():
+        assert trace == reference, f"engine {name} diverged"
+    cost_vm = results["vm"][1]
+    cost_opt = results["vm-opt"][1]
     assert cost_opt <= cost_vm
     print_experiment(
         "E17a — engine agreement",
-        f"{len(trace_interp)} markers identical across interpreter, VM, "
-        f"optimized VM; instructions: VM {cost_vm}, optimized {cost_opt} "
+        f"{len(reference)} markers identical across "
+        f"{', '.join(engine_names())}; instructions: VM {cost_vm}, "
+        f"optimized {cost_opt} "
         f"({100 * (cost_vm - cost_opt) / cost_vm:.1f}% saved)",
     )
 
 
 def test_benchmark_interpreter(benchmark, fig3_client):
-    typed = build_rossl(fig3_client)
+    engine = create_engine("interp", fig3_client)
     script = make_script(fig3_client)
-    trace = benchmark(run_interp, typed, script)
+    trace, _ = benchmark(run_engine, engine, script)
     assert trace
 
 
 def test_benchmark_vm(benchmark, fig3_client):
-    compiled = compile_program(build_rossl(fig3_client))
+    engine = create_engine("vm", fig3_client)
     script = make_script(fig3_client)
-    trace, _ = benchmark(run_vm, compiled, script)
+    trace, _ = benchmark(run_engine, engine, script)
     assert trace
 
 
 def test_benchmark_optimized_vm(benchmark, fig3_client):
-    compiled = optimize_program(compile_program(build_rossl(fig3_client)))
+    engine = create_engine("vm-opt", fig3_client)
     script = make_script(fig3_client)
-    trace, _ = benchmark(run_vm, compiled, script)
+    trace, _ = benchmark(run_engine, engine, script)
     assert trace
 
 
 def test_benchmark_python_reference_model(benchmark, fig3_client):
+    engine = create_engine("python", fig3_client)
     script = make_script(fig3_client)
-
-    def run_model():
-        return fig3_client.model().run_to_trace(ScriptedEnvironment(script))
-
-    trace = benchmark(run_model)
+    trace, _ = benchmark(run_engine, engine, script)
     assert trace

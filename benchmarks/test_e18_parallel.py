@@ -1,0 +1,82 @@
+"""E18 (engineering): parallel campaign throughput and determinism.
+
+Runs the same 200-run adequacy campaign serially (``jobs=1``) and on the
+process pool (``jobs=4``), asserts the reports are bit-identical (the
+determinism contract of :mod:`repro.analysis.parallel`), and records the
+wall-clock comparison in ``BENCH_parallel.json`` at the repo root.
+
+The ≥1.5× speedup assertion only fires on machines with at least four
+CPUs and a working ``fork`` — on smaller boxes (CI runners, containers)
+the numbers are still measured and recorded, but a pool cannot beat the
+serial loop without the cores to run it on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_experiment
+from repro.analysis.adequacy import run_adequacy_campaign
+from repro.analysis.parallel import fork_available
+
+RUNS = 200
+JOBS = 4
+SEED = 2026
+HORIZON = 6_000
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def run_campaign(client, wcet, jobs):
+    start = time.perf_counter()
+    report = run_adequacy_campaign(
+        client, wcet, horizon=HORIZON, runs=RUNS, seed=SEED, jobs=jobs
+    )
+    return report, time.perf_counter() - start
+
+
+def test_parallel_campaign_speedup(benchmark, embedded_client, embedded_wcet):
+    serial, serial_s = benchmark.pedantic(
+        lambda: run_campaign(embedded_client, embedded_wcet, jobs=1),
+        rounds=1, iterations=1,
+    )
+    parallel, parallel_s = run_campaign(embedded_client, embedded_wcet, JOBS)
+
+    # Determinism first: the pool must not change a single cell.
+    assert serial.table() == parallel.table()
+    assert serial.observed_worst == parallel.observed_worst
+    assert serial.violations == parallel.violations
+    assert serial.runs == parallel.runs == RUNS
+    assert serial.ok
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cpus = os.cpu_count() or 1
+    record = {
+        "experiment": "E18",
+        "runs": RUNS,
+        "jobs": JOBS,
+        "seed": SEED,
+        "horizon": HORIZON,
+        "cpu_count": cpus,
+        "fork_available": fork_available(),
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_experiment(
+        "E18 — parallel campaign runner",
+        f"{RUNS}-run campaign: serial {serial_s:.2f}s, jobs={JOBS} "
+        f"{parallel_s:.2f}s — {speedup:.2f}x on {cpus} CPU(s); reports "
+        f"bit-identical; recorded in {RESULT_PATH.name}",
+    )
+
+    if cpus >= JOBS and fork_available():
+        assert speedup >= 1.5, (
+            f"expected >=1.5x speedup at jobs={JOBS} on {cpus} CPUs, "
+            f"got {speedup:.2f}x"
+        )

@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.analysis.report import format_table
+from repro.engine import SchedulerEngine, as_engine
 from repro.rossl.client import RosslClient
 from repro.rta.curves import check_curve_respected
 from repro.rta.npfp import AnalysisResult, analyse
@@ -169,6 +171,85 @@ def check_timing_correctness(
     return report
 
 
+@dataclass(frozen=True)
+class RunOutcome:
+    """The check results of one campaign run, in a mergeable (and
+    picklable) form — the unit of work of the parallel campaign runner.
+
+    Merging outcomes in ``run_index`` order reconstructs exactly the
+    report a serial campaign would have produced, which is what makes
+    ``jobs=N`` bit-identical to ``jobs=1``.
+    """
+
+    run_index: int
+    jobs_checked: int
+    jobs_beyond_horizon: int
+    observed_worst: tuple[tuple[str, int], ...]
+    violations: tuple[BoundViolation, ...]
+
+
+def adequacy_run(
+    client: RosslClient,
+    wcet: WcetModel,
+    analysis: AnalysisResult,
+    horizon: int,
+    runs: int,
+    index: int,
+    seed_root: int,
+    intensity: float,
+    adversarial_fraction: float,
+    engine: str | SchedulerEngine = "python",
+) -> RunOutcome:
+    """One campaign run, fully determined by ``(seed_root, index)``.
+
+    The per-run RNG is derived as ``seed_root + index`` so runs are
+    independent of execution order and of each other — the property the
+    process-pool runner relies on.  The first ``adversarial_fraction``
+    of the index space uses always-WCET timing; the rest draws durations
+    uniformly.
+    """
+    rng = random.Random(seed_root + index)
+    arrivals = generate_arrivals(
+        client,
+        horizon=max(1, horizon // 2),
+        rng=rng,
+        intensity=intensity,
+    )
+    policy: DurationPolicy
+    if index < runs * adversarial_fraction:
+        policy = WcetDurations()
+    else:
+        policy = UniformDurations(rng)
+    result = simulate(
+        client, arrivals, wcet, horizon, durations=policy, engine=engine
+    )
+    local = TimingCorrectnessReport(analysis=analysis)
+    check_timing_correctness(result, analysis, local)
+    return RunOutcome(
+        run_index=index,
+        jobs_checked=local.jobs_checked,
+        jobs_beyond_horizon=local.jobs_beyond_horizon,
+        observed_worst=tuple(sorted(local.observed_worst.items())),
+        violations=tuple(local.violations),
+    )
+
+
+def merge_outcomes(
+    analysis: AnalysisResult, outcomes: Iterable[RunOutcome]
+) -> TimingCorrectnessReport:
+    """Fold per-run outcomes (in run-index order) into one report."""
+    report = TimingCorrectnessReport(analysis=analysis)
+    for outcome in sorted(outcomes, key=lambda o: o.run_index):
+        report.runs += 1
+        report.jobs_checked += outcome.jobs_checked
+        report.jobs_beyond_horizon += outcome.jobs_beyond_horizon
+        for task_name, worst in outcome.observed_worst:
+            previous = report.observed_worst.get(task_name, 0)
+            report.observed_worst[task_name] = max(previous, worst)
+        report.violations.extend(outcome.violations)
+    return report
+
+
 def run_adequacy_campaign(
     client: RosslClient,
     wcet: WcetModel,
@@ -178,30 +259,43 @@ def run_adequacy_campaign(
     intensity: float = 1.0,
     adversarial_fraction: float = 0.5,
     analysis_horizon: int = 1_000_000,
+    engine: str | SchedulerEngine = "python",
+    jobs: int = 1,
 ) -> TimingCorrectnessReport:
     """Randomized campaign: ``runs`` simulations, all checked.
 
     A fraction of the runs uses adversarial always-WCET timing; the rest
     draws durations uniformly.  Raises if the system is unschedulable
     (campaigns are for validating bounds, not for overload studies).
+
+    ``engine`` selects the execution backend (registry name or built
+    engine); ``jobs > 1`` fans the runs out over a process pool
+    (:mod:`repro.analysis.parallel`) — results are bit-identical to the
+    serial campaign because every run's randomness derives from
+    ``seed + run_index`` alone.
     """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
     analysis = analyse(client, wcet, analysis_horizon)
     if not analysis.schedulable:
         raise ValueError("campaigns need a schedulable system")
-    report = TimingCorrectnessReport(analysis=analysis)
-    rng = random.Random(seed)
-    for index in range(runs):
-        arrivals = generate_arrivals(
-            client,
-            horizon=max(1, horizon // 2),
-            rng=rng,
-            intensity=intensity,
+    if jobs > 1:
+        from repro.analysis.parallel import run_campaign_parallel
+
+        outcomes = run_campaign_parallel(
+            client, wcet, analysis, horizon, runs,
+            seed_root=seed, intensity=intensity,
+            adversarial_fraction=adversarial_fraction,
+            engine=engine, jobs=jobs,
         )
-        policy: DurationPolicy
-        if index < runs * adversarial_fraction:
-            policy = WcetDurations()
-        else:
-            policy = UniformDurations(rng)
-        result = simulate(client, arrivals, wcet, horizon, durations=policy)
-        check_timing_correctness(result, analysis, report)
-    return report
+    else:
+        backend = as_engine(engine, client)
+        outcomes = [
+            adequacy_run(
+                client, wcet, analysis, horizon, runs, index,
+                seed_root=seed, intensity=intensity,
+                adversarial_fraction=adversarial_fraction, engine=backend,
+            )
+            for index in range(runs)
+        ]
+    return merge_outcomes(analysis, outcomes)

@@ -29,7 +29,13 @@ class CampaignResult:
         )
 
     def column(self, metric: str) -> list[object]:
-        index = 1 + self.metrics.index(metric)
+        try:
+            index = 1 + self.metrics.index(metric)
+        except ValueError:
+            available = ", ".join(repr(name) for name in self.metrics)
+            raise KeyError(
+                f"unknown metric {metric!r}; available metrics: {available}"
+            ) from None
         return [row[index] for row in self.rows]
 
     def parameters(self) -> list[object]:
@@ -41,8 +47,20 @@ def sweep(
     values: Iterable[P],
     metrics: Sequence[str],
     evaluate: Callable[[P], Sequence[object]],
+    jobs: int = 1,
 ) -> CampaignResult:
-    """Evaluate ``evaluate(value)`` (one cell per metric) per value."""
+    """Evaluate ``evaluate(value)`` (one cell per metric) per value.
+
+    ``jobs > 1`` evaluates the parameter values across a process pool
+    (:func:`repro.analysis.parallel.parallel_sweep`); rows come back in
+    input order either way.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    if jobs > 1:
+        from repro.analysis.parallel import parallel_sweep
+
+        return parallel_sweep(parameter, values, metrics, evaluate, jobs=jobs)
     rows = []
     metric_names = tuple(metrics)
     for value in values:

@@ -1,0 +1,223 @@
+"""Parallel campaign execution: adequacy runs and sweeps on a pool.
+
+The adequacy argument (Thm. 5.1's empirical analog, E8/E15) gets
+stronger with every run we can afford, and campaign runs are
+embarrassingly parallel: each is fully determined by ``(seed_root +
+run_index)`` (see :func:`repro.analysis.adequacy.adequacy_run`), so the
+pool can execute them in any order and the merged report is
+*bit-identical* to a serial campaign.
+
+Design points:
+
+* **fork-based workers** — the pool uses the ``fork`` start method so
+  workers inherit the deployment; platforms without ``fork`` (and
+  ``jobs=1``) fall back to serial execution with the same results;
+* **worker-side engine instantiation** — each worker builds its engine
+  (parse/typecheck/compile of the Rössl program) exactly once in its
+  initializer, not once per run;
+* **chunked submission** — run indices are submitted in contiguous
+  chunks (a few per worker) to amortize task dispatch over the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.analysis.adequacy import RunOutcome, adequacy_run
+from repro.analysis.campaigns import CampaignResult
+from repro.engine import SchedulerEngine, create_engine, resolve_engine_name
+from repro.rossl.client import RosslClient
+from repro.rta.npfp import AnalysisResult
+from repro.timing.wcet import WcetModel
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: chunks submitted per worker — small enough to balance uneven run
+#: costs, large enough to amortize dispatch.
+CHUNKS_PER_JOB = 4
+
+
+def fork_available() -> bool:
+    """Whether the platform supports fork-based worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def split_chunks(items: Sequence[T], jobs: int) -> list[Sequence[T]]:
+    """Contiguous chunks of ``items``, about ``CHUNKS_PER_JOB`` per job."""
+    if not items:
+        return []
+    target = max(1, jobs) * CHUNKS_PER_JOB
+    size = max(1, (len(items) + target - 1) // target)
+    return [items[start:start + size] for start in range(0, len(items), size)]
+
+
+def pool_map_chunks(
+    chunks: Sequence[T],
+    chunk_fn: Callable[[T], R],
+    initializer: Callable[..., None],
+    initargs: tuple,
+    jobs: int,
+) -> list[R] | None:
+    """Map ``chunk_fn`` over ``chunks`` on a fork-based process pool,
+    preserving order.  Returns ``None`` when the platform lacks fork —
+    callers run their serial path instead (same results, one process).
+    """
+    if not fork_available():
+        return None
+    context = multiprocessing.get_context("fork")
+    workers = max(1, min(jobs, len(chunks)))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        return list(pool.map(chunk_fn, chunks))
+
+
+# -- adequacy campaigns ----------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _init_campaign_worker(
+    client: RosslClient,
+    wcet: WcetModel,
+    analysis: AnalysisResult,
+    horizon: int,
+    runs: int,
+    seed_root: int,
+    intensity: float,
+    adversarial_fraction: float,
+    engine_name: str,
+) -> None:
+    _WORKER["campaign"] = (
+        client, wcet, analysis, horizon, runs,
+        seed_root, intensity, adversarial_fraction,
+    )
+    # The expensive part — one engine per worker process, shared by
+    # every run that worker executes.
+    _WORKER["engine"] = create_engine(engine_name, client)
+
+
+def _campaign_chunk(indices: Sequence[int]) -> list[RunOutcome]:
+    (client, wcet, analysis, horizon, runs,
+     seed_root, intensity, adversarial_fraction) = _WORKER["campaign"]
+    engine = _WORKER["engine"]
+    return [
+        adequacy_run(
+            client, wcet, analysis, horizon, runs, index,
+            seed_root=seed_root, intensity=intensity,
+            adversarial_fraction=adversarial_fraction, engine=engine,
+        )
+        for index in indices
+    ]
+
+
+def run_campaign_parallel(
+    client: RosslClient,
+    wcet: WcetModel,
+    analysis: AnalysisResult,
+    horizon: int,
+    runs: int,
+    seed_root: int = 0,
+    intensity: float = 1.0,
+    adversarial_fraction: float = 0.5,
+    engine: str | SchedulerEngine = "python",
+    jobs: int = 2,
+) -> list[RunOutcome]:
+    """Execute ``runs`` adequacy runs across ``jobs`` workers.
+
+    Returns the per-run outcomes (callers merge them with
+    :func:`repro.analysis.adequacy.merge_outcomes`).  Falls back to
+    serial in-process execution when ``jobs <= 1``, the campaign is
+    trivially small, or the platform lacks fork.
+    """
+    engine_name = resolve_engine_name(
+        engine if isinstance(engine, str) else engine.name
+    )
+    indices = list(range(runs))
+    chunks = split_chunks(indices, jobs)
+    outcomes: list[RunOutcome] | None = None
+    if jobs > 1 and len(chunks) > 1:
+        per_chunk = pool_map_chunks(
+            chunks,
+            _campaign_chunk,
+            initializer=_init_campaign_worker,
+            initargs=(
+                client, wcet, analysis, horizon, runs,
+                seed_root, intensity, adversarial_fraction, engine_name,
+            ),
+            jobs=jobs,
+        )
+        if per_chunk is not None:
+            outcomes = [outcome for chunk in per_chunk for outcome in chunk]
+    if outcomes is None:
+        backend = create_engine(engine_name, client)
+        outcomes = [
+            adequacy_run(
+                client, wcet, analysis, horizon, runs, index,
+                seed_root=seed_root, intensity=intensity,
+                adversarial_fraction=adversarial_fraction, engine=backend,
+            )
+            for index in indices
+        ]
+    return outcomes
+
+
+# -- parameter sweeps ------------------------------------------------------
+
+
+def _init_sweep_worker(evaluate: Callable, metric_names: tuple[str, ...]) -> None:
+    _WORKER["sweep"] = (evaluate, metric_names)
+
+
+def _sweep_chunk(values: Sequence) -> list[tuple]:
+    evaluate, metric_names = _WORKER["sweep"]
+    rows = []
+    for value in values:
+        cells = tuple(evaluate(value))
+        if len(cells) != len(metric_names):
+            raise ValueError(
+                f"evaluate returned {len(cells)} cells for "
+                f"{len(metric_names)} metrics"
+            )
+        rows.append((value, *cells))
+    return rows
+
+
+def parallel_sweep(
+    parameter: str,
+    values: Iterable,
+    metrics: Sequence[str],
+    evaluate: Callable,
+    jobs: int = 2,
+) -> CampaignResult:
+    """A parameter sweep across a process pool (rows stay in order).
+
+    Each parameter value is evaluated independently, so the sweep
+    parallelizes like the campaigns do.  With fork workers, ``evaluate``
+    is inherited rather than pickled, so closures work; only the result
+    rows must be picklable.  Falls back to serial evaluation when the
+    pool is unavailable.
+    """
+    from repro.analysis.campaigns import sweep
+
+    metric_names = tuple(metrics)
+    value_list = list(values)
+    chunks = split_chunks(value_list, jobs)
+    if jobs > 1 and len(chunks) > 1:
+        per_chunk = pool_map_chunks(
+            chunks,
+            _sweep_chunk,
+            initializer=_init_sweep_worker,
+            initargs=(evaluate, metric_names),
+            jobs=jobs,
+        )
+        if per_chunk is not None:
+            rows = tuple(row for chunk in per_chunk for row in chunk)
+            return CampaignResult(parameter, metric_names, rows)
+    return sweep(parameter, value_list, metric_names, evaluate)

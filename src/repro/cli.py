@@ -28,7 +28,19 @@ from typing import Sequence
 from repro.analysis.adequacy import run_adequacy_campaign
 from repro.analysis.report import format_table
 from repro.config import Deployment, SpecError, load_deployment
+from repro.engine import engine_names
 from repro.rta.npfp import analyse
+
+
+def _jobs_count(text: str) -> int:
+    """argparse type for ``--jobs``: an integer ≥ 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"--jobs takes an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"--jobs must be at least 1, got {value}")
+    return value
 
 
 def _cmd_analyze(deployment: Deployment, args: argparse.Namespace) -> int:
@@ -67,6 +79,8 @@ def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
         runs=args.runs,
         seed=args.seed,
         intensity=args.intensity,
+        engine=args.engine or deployment.engine,
+        jobs=args.jobs,
     )
     print(report.table())
     return 0 if report.ok else 1
@@ -83,7 +97,11 @@ def _cmd_verify(deployment: Deployment, args: argparse.Namespace) -> int:
         else:
             payloads.append((task.type_tag, 0))
     report = explore(
-        client, payloads, max_reads=args.depth, implementation=args.semantics
+        client,
+        payloads,
+        max_reads=args.depth,
+        implementation=args.engine or args.semantics,
+        jobs=args.jobs,
     )
     print(report.summary())
     for violation in report.violations[:5]:
@@ -181,13 +199,30 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--runs", type=int, default=5)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--intensity", type=float, default=1.0)
+    simulate.add_argument(
+        "--engine", choices=engine_names(), default=None,
+        help="execution backend (default: the spec's engine, or 'python')",
+    )
+    simulate.add_argument(
+        "--jobs", type=_jobs_count, default=1,
+        help="worker processes for the campaign (≥ 1)",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
 
     verify = sub.add_parser("verify", help="bounded model check of the C code")
     verify.add_argument("spec")
     verify.add_argument("--depth", type=int, default=4)
     verify.add_argument(
-        "--semantics", choices=("minic", "python"), default="minic"
+        "--semantics", choices=("minic", "python"), default="minic",
+        help="legacy spelling of --engine ('minic' is the interp engine)",
+    )
+    verify.add_argument(
+        "--engine", choices=engine_names(), default=None,
+        help="execution backend to model-check (overrides --semantics)",
+    )
+    verify.add_argument(
+        "--jobs", type=_jobs_count, default=1,
+        help="worker processes for the exploration (≥ 1)",
     )
     verify.set_defaults(handler=_cmd_verify)
 

@@ -20,6 +20,10 @@ in one JSON document::
 Curve kinds: ``sporadic`` (``min_separation``), ``leaky-bucket``
 (``burst``, ``rate_separation``), ``table`` (``steps`` as ``[[window,
 count], …]``, ``tail_separation``).
+
+An optional top-level ``"engine"`` key names the preferred execution
+backend from the engine registry (``python``, ``interp``, ``vm``,
+``vm-opt``; see :mod:`repro.engine`); the default is ``python``.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.engine import UnknownEngineError, resolve_engine_name
 from repro.model.task import Task, TaskSystem
 from repro.rossl.client import RosslClient
 from repro.rta.curves import ArrivalCurve, LeakyBucketCurve, SporadicCurve, TableCurve
@@ -41,10 +46,15 @@ class SpecError(Exception):
 
 @dataclass(frozen=True)
 class Deployment:
-    """A parsed deployment: client plus WCET model."""
+    """A parsed deployment: client plus WCET model.
+
+    ``engine`` is the spec's preferred execution backend (a registry
+    name, canonicalized); CLI flags override it per invocation.
+    """
 
     client: RosslClient
     wcet: WcetModel
+    engine: str = "python"
 
 
 def _require(mapping: Mapping[str, Any], key: str, where: str) -> Any:
@@ -120,7 +130,11 @@ def parse_deployment(spec: Mapping[str, Any]) -> Deployment:
         )
     except ValueError as exc:
         raise SpecError(str(exc)) from exc
-    return Deployment(client=client, wcet=wcet)
+    try:
+        engine = resolve_engine_name(spec.get("engine", "python"))
+    except UnknownEngineError as exc:
+        raise SpecError(f"engine: {exc}") from exc
+    return Deployment(client=client, wcet=wcet, engine=engine)
 
 
 def load_deployment(path: str | Path) -> Deployment:

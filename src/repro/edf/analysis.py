@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.rossl.client import RosslClient
-from repro.rta.curves import ArrivalCurve, release_curve
+from repro.rta.curves import ArrivalCurve, memoized_curve, release_curve
 from repro.rta.jitter import JitterBounds, jitter_bound
 from repro.rta.sbf import SupplyBoundFunction, make_sbf
 from repro.timing.wcet import WcetModel
@@ -73,8 +73,8 @@ def edf_analysis(
                 effective_deadlines={},
             )
         effective[task.name] = effective_deadline
-        betas[task.name] = release_curve(
-            tasks.arrival_curve(task.name), jitter.bound
+        betas[task.name] = memoized_curve(
+            release_curve(tasks.arrival_curve(task.name), jitter.bound)
         )
     sbf = make_sbf(tasks.tasks, betas, wcet, client.num_sockets)
 

@@ -1,0 +1,56 @@
+"""Execution engines for Rössl deployments, behind one registry.
+
+The reproduction can execute a deployment's scheduler four ways, each a
+different point on the fidelity/throughput spectrum (experiment E17):
+
+* ``"python"``  — the pure-Python reference model (fast, the spec);
+* ``"interp"``  — the MiniC source under the instrumented definitional
+  semantics (the verification semantics, Fig. 6);
+* ``"vm"``      — the compiled bytecode VM (the cost semantics, one
+  unit per executed instruction);
+* ``"vm-opt"``  — the peephole-optimized VM build (same traces, fewer
+  instructions per basic action).
+
+All four are trace-equivalent on identical inputs (enforced by the
+differential tests), so every layer that *drives* a scheduler — the
+timed simulator, the adequacy campaigns, the bounded model checker, the
+VM-timed WCET measurement, the CLI — selects one by name through
+:func:`create_engine` instead of wiring interpreters and VMs up ad hoc.
+Engines carry :class:`EngineCapabilities` so callers can check what a
+backend supports (VM instruction timing, bounded model checking) before
+committing to it.
+"""
+
+from repro.engine.engines import (
+    EngineCapabilities,
+    MiniCInterpEngine,
+    PythonModelEngine,
+    RunStats,
+    SchedulerEngine,
+    VmEngine,
+)
+from repro.engine.registry import (
+    UnknownEngineError,
+    as_engine,
+    create_engine,
+    engine_capabilities,
+    engine_names,
+    register_engine,
+    resolve_engine_name,
+)
+
+__all__ = [
+    "EngineCapabilities",
+    "MiniCInterpEngine",
+    "PythonModelEngine",
+    "RunStats",
+    "SchedulerEngine",
+    "UnknownEngineError",
+    "VmEngine",
+    "as_engine",
+    "create_engine",
+    "engine_capabilities",
+    "engine_names",
+    "register_engine",
+    "resolve_engine_name",
+]

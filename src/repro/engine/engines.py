@@ -1,0 +1,182 @@
+"""The four execution engines behind the registry.
+
+Every engine runs the *same* scheduling loop (the client's policy over
+its sockets) against an :class:`~repro.rossl.env.Environment` and a
+:class:`~repro.rossl.runtime.MarkerSink`, and treats fuel exhaustion and
+:class:`~repro.rossl.env.HorizonReached` as a clean end of observation —
+the trace collected so far is a prefix of the infinite execution.
+Verification exceptions (protocol, validity, spec, undefined behaviour)
+always propagate, so monitors attached to the sink work identically
+under every engine.
+
+Construction cost differs deliberately: the Python model is free, the
+interpreter pays parse+typecheck once, the VM engines additionally pay
+compilation (and optimization for ``vm-opt``).  Engines are therefore
+built once and reused across runs — each :meth:`run` gets fresh
+scheduler state, the compiled artifacts are shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.lang.errors import OutOfFuel
+from repro.rossl.client import RosslClient
+from repro.rossl.env import Environment, HorizonReached
+from repro.rossl.runtime import MarkerSink, TraceRecorder
+from repro.rossl.source import DEFAULT_MSG_CAP
+from repro.traces.markers import Marker
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What an engine can do beyond plain trace emission.
+
+    * ``vm_timing`` — the engine exposes an executed-instruction counter
+      that can serve as the clock of a timed run (the cost semantics);
+      drivers with an ``attach(vm)`` hook get the VM before execution.
+    * ``model_check`` — the engine is usable as the checked artifact in
+      bounded exploration (deterministic replay of read-outcome scripts).
+    """
+
+    vm_timing: bool
+    model_check: bool
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """What one engine run reports back.
+
+    ``instructions`` is the executed-instruction count for VM engines
+    and ``None`` for engines without a cost semantics.
+    """
+
+    instructions: int | None = None
+
+
+@runtime_checkable
+class SchedulerEngine(Protocol):
+    """A way to execute a client's scheduler against env + sink."""
+
+    name: str
+    client: RosslClient
+    capabilities: EngineCapabilities
+
+    def run(
+        self,
+        env: Environment,
+        sink: MarkerSink,
+        fuel: int | None = None,
+    ) -> RunStats: ...  # pragma: no cover - protocol
+
+
+class _EngineBase:
+    """Shared trace convenience for all engines."""
+
+    def run_to_trace(
+        self, env: Environment, fuel: int | None = None
+    ) -> list[Marker]:
+        recorder = TraceRecorder()
+        self.run(env, recorder, fuel=fuel)
+        return recorder.trace
+
+
+class PythonModelEngine(_EngineBase):
+    """The pure-Python reference model (the executable spec)."""
+
+    name = "python"
+    capabilities = EngineCapabilities(vm_timing=False, model_check=True)
+
+    def __init__(self, client: RosslClient, msg_cap: int = DEFAULT_MSG_CAP) -> None:
+        self.client = client
+
+    def run(
+        self, env: Environment, sink: MarkerSink, fuel: int | None = None
+    ) -> RunStats:
+        # A fresh model per run: the scheduler's ready queue and trace
+        # state must not leak between runs.  ``fuel`` has no meaning for
+        # the model — only the environment/sink can end the loop.
+        self.client.model().run(env, sink)
+        return RunStats()
+
+
+class MiniCInterpEngine(_EngineBase):
+    """The MiniC source under the instrumented definitional semantics."""
+
+    name = "interp"
+    capabilities = EngineCapabilities(vm_timing=False, model_check=True)
+    default_fuel = 5_000_000
+
+    def __init__(self, client: RosslClient, msg_cap: int = DEFAULT_MSG_CAP) -> None:
+        from repro.rossl.source import build_rossl
+
+        self.client = client
+        self.typed = build_rossl(client, msg_cap)
+
+    def run(
+        self, env: Environment, sink: MarkerSink, fuel: int | None = None
+    ) -> RunStats:
+        from repro.lang.interp import run_program
+
+        try:
+            run_program(
+                self.typed, env, sink, entry="main",
+                fuel=self.default_fuel if fuel is None else fuel,
+            )
+        except (OutOfFuel, HorizonReached):
+            return RunStats()
+        raise AssertionError("fds_run returned — unreachable")  # pragma: no cover
+
+
+class VmEngine(_EngineBase):
+    """The compiled bytecode VM (cost semantics); optionally optimized.
+
+    The compiled program is built once per engine and shared by every
+    run — a fresh :class:`~repro.lang.vm.VM` per run carries the mutable
+    state.  Before execution, any env/sink with an ``attach`` method
+    receives the VM, which is how the VM-timed drivers obtain the
+    executed-instruction clock (:mod:`repro.rossl.vmtiming`).
+    """
+
+    capabilities = EngineCapabilities(vm_timing=True, model_check=True)
+    default_fuel = 50_000_000
+
+    def __init__(
+        self,
+        client: RosslClient,
+        msg_cap: int = DEFAULT_MSG_CAP,
+        optimize: bool = False,
+    ) -> None:
+        from repro.lang.compile import compile_program
+        from repro.rossl.source import build_rossl
+
+        self.client = client
+        self.name = "vm-opt" if optimize else "vm"
+        compiled = compile_program(build_rossl(client, msg_cap))
+        if optimize:
+            from repro.lang.optimize import optimize_program
+
+            compiled = optimize_program(compiled)
+        self.compiled = compiled
+
+    def run(
+        self, env: Environment, sink: MarkerSink, fuel: int | None = None
+    ) -> RunStats:
+        from repro.lang.vm import VM
+
+        vm = VM(
+            self.compiled, env, sink,
+            fuel=self.default_fuel if fuel is None else fuel,
+        )
+        attached: list[object] = []
+        for endpoint in (env, sink):
+            attach = getattr(endpoint, "attach", None)
+            if attach is not None and not any(endpoint is a for a in attached):
+                attach(vm)
+                attached.append(endpoint)
+        try:
+            vm.call("main", [])
+        except (OutOfFuel, HorizonReached):
+            pass
+        return RunStats(instructions=vm.executed)

@@ -1,0 +1,124 @@
+"""The engine registry: names, aliases, capabilities, construction.
+
+Canonical names are ``"python"``, ``"interp"``, ``"vm"``, ``"vm-opt"``;
+``"minic"`` is accepted as a historical alias for ``"interp"`` (the CLI
+``--semantics minic`` spelling and the simulator's old ``implementation``
+parameter).  :func:`register_engine` lets extensions (e.g. an
+alternative policy backend) plug in without touching the consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.engine.engines import (
+    EngineCapabilities,
+    MiniCInterpEngine,
+    PythonModelEngine,
+    SchedulerEngine,
+    VmEngine,
+)
+from repro.rossl.client import RosslClient
+from repro.rossl.source import DEFAULT_MSG_CAP
+
+EngineFactory = Callable[[RosslClient, int], SchedulerEngine]
+
+
+class UnknownEngineError(ValueError):
+    """An engine name that no registered engine answers to."""
+
+
+def _make_vm(client: RosslClient, msg_cap: int) -> VmEngine:
+    return VmEngine(client, msg_cap, optimize=False)
+
+
+def _make_vm_opt(client: RosslClient, msg_cap: int) -> VmEngine:
+    return VmEngine(client, msg_cap, optimize=True)
+
+
+_FACTORIES: dict[str, EngineFactory] = {
+    "python": lambda client, msg_cap: PythonModelEngine(client, msg_cap),
+    "interp": lambda client, msg_cap: MiniCInterpEngine(client, msg_cap),
+    "vm": _make_vm,
+    "vm-opt": _make_vm_opt,
+}
+
+_CAPABILITIES: dict[str, EngineCapabilities] = {
+    "python": PythonModelEngine.capabilities,
+    "interp": MiniCInterpEngine.capabilities,
+    "vm": VmEngine.capabilities,
+    "vm-opt": VmEngine.capabilities,
+}
+
+_ALIASES: dict[str, str] = {
+    "minic": "interp",
+    "reference": "python",
+    "vm-optimized": "vm-opt",
+}
+
+
+def engine_names() -> tuple[str, ...]:
+    """The canonical registered engine names, in registration order."""
+    return tuple(_FACTORIES)
+
+
+def engine_aliases() -> Mapping[str, str]:
+    """Accepted alias → canonical name."""
+    return dict(_ALIASES)
+
+
+def resolve_engine_name(name: str) -> str:
+    """Canonicalize ``name`` (applying aliases) or raise
+    :class:`UnknownEngineError` naming the available engines."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _FACTORIES:
+        available = ", ".join(sorted(_FACTORIES))
+        raise UnknownEngineError(
+            f"unknown engine {name!r}; available engines: {available}"
+        )
+    return canonical
+
+
+def engine_capabilities(name: str) -> EngineCapabilities:
+    """Capabilities of the engine named ``name``, without building it."""
+    return _CAPABILITIES[resolve_engine_name(name)]
+
+
+def create_engine(
+    name: str, client: RosslClient, msg_cap: int = DEFAULT_MSG_CAP
+) -> SchedulerEngine:
+    """Build the engine named ``name`` for ``client``."""
+    return _FACTORIES[resolve_engine_name(name)](client, msg_cap)
+
+
+def as_engine(
+    engine: str | SchedulerEngine,
+    client: RosslClient,
+    msg_cap: int = DEFAULT_MSG_CAP,
+) -> SchedulerEngine:
+    """Coerce a name or an already-built engine to an engine.
+
+    A passed-in engine instance must belong to the same client — reusing
+    a compiled program across deployments would silently run the wrong
+    scheduler.
+    """
+    if isinstance(engine, str):
+        return create_engine(engine, client, msg_cap)
+    if engine.client is not client:
+        raise ValueError(
+            f"engine {engine.name!r} was built for a different client"
+        )
+    return engine
+
+
+def register_engine(
+    name: str,
+    factory: EngineFactory,
+    capabilities: EngineCapabilities,
+    aliases: tuple[str, ...] = (),
+) -> None:
+    """Register a new engine (or override an existing one)."""
+    _FACTORIES[name] = factory
+    _CAPABILITIES[name] = capabilities
+    for alias in aliases:
+        _ALIASES[alias] = name

@@ -11,18 +11,18 @@ and ``main`` — is generated from a :class:`~repro.rossl.client.RosslClient`.
 
 :class:`MiniCRossl` wraps parse → typecheck → run so tests and
 simulators can drive the C scheduler exactly like the Python reference
-model; the differential tests check the two emit identical traces.
+model; the differential tests check the two emit identical traces.  It
+is a thin veneer over the ``interp`` engine of :mod:`repro.engine` —
+the registry owns all execution paths.
 """
 
 from __future__ import annotations
 
-from repro.lang.errors import OutOfFuel
-from repro.lang.interp import run_program
 from repro.lang.parser import parse_program
 from repro.lang.typecheck import TypedProgram, typecheck
 from repro.rossl.client import RosslClient
-from repro.rossl.env import Environment, HorizonReached
-from repro.rossl.runtime import MarkerSink, TraceRecorder
+from repro.rossl.env import Environment
+from repro.rossl.runtime import MarkerSink
 from repro.traces.markers import Marker
 
 #: Maximum message length in words (the ``max_length`` of Fig. 6).
@@ -208,21 +208,19 @@ class MiniCRossl:
     """
 
     def __init__(self, client: RosslClient, msg_cap: int = DEFAULT_MSG_CAP) -> None:
+        # Lazy import: repro.engine imports this module for the source.
+        from repro.engine import MiniCInterpEngine
+
+        self._engine = MiniCInterpEngine(client, msg_cap)
         self.client = client
         self.msg_cap = msg_cap
-        self.typed = build_rossl(client, msg_cap)
+        self.typed = self._engine.typed
 
     def run(
         self, env: Environment, sink: MarkerSink, fuel: int = 100_000
     ) -> None:
         """Run the scheduler; returns when fuel or the horizon is reached."""
-        try:
-            run_program(self.typed, env, sink, entry="main", fuel=fuel)
-        except (OutOfFuel, HorizonReached):
-            return
-        raise AssertionError("fds_run returned — unreachable")  # pragma: no cover
+        self._engine.run(env, sink, fuel=fuel)
 
     def run_to_trace(self, env: Environment, fuel: int = 100_000) -> list[Marker]:
-        recorder = TraceRecorder()
-        self.run(env, recorder, fuel=fuel)
-        return recorder.trace
+        return self._engine.run_to_trace(env, fuel=fuel)

@@ -22,14 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import ceil
 
-from repro.lang.compile import compile_program
-from repro.lang.errors import OutOfFuel
 from repro.lang.vm import VM
 from repro.model.message import MsgData
 from repro.model.task import Task, TaskSystem
 from repro.rossl.client import RosslClient
-from repro.rossl.env import HorizonReached, QueueEnvironment
-from repro.rossl.source import build_rossl
+from repro.rossl.env import QueueEnvironment
 from repro.timing.arrivals import ArrivalSequence
 from repro.timing.timed_trace import TimedTrace
 from repro.timing.wcet import WcetModel
@@ -99,30 +96,35 @@ def simulate_vm(
     arrivals: ArrivalSequence,
     instruction_budget: int,
     optimize: bool = False,
+    engine=None,
 ) -> VmRun:
     """Run the compiled Rössl for ``instruction_budget`` instructions.
 
     ``optimize=True`` runs the peephole-optimized build — same traces,
     fewer instructions per basic action, hence smaller measured WCETs
-    (like measuring on a higher optimization level).
+    (like measuring on a higher optimization level).  ``engine`` may name
+    any registry engine with the ``vm_timing`` capability (``"vm"``,
+    ``"vm-opt"``) or be a pre-built one, amortizing compilation across
+    many measurement runs.
     """
-    compiled = compile_program(build_rossl(client))
-    if optimize:
-        from repro.lang.optimize import optimize_program
+    from repro.engine import as_engine
 
-        compiled = optimize_program(compiled)
+    backend = as_engine(
+        engine if engine is not None else ("vm-opt" if optimize else "vm"),
+        client,
+    )
+    if not backend.capabilities.vm_timing:
+        raise ValueError(
+            f"engine {backend.name!r} has no instruction counter; "
+            "VM timing needs the 'vm' or 'vm-opt' engine"
+        )
     driver = VmTimedDriver(client, arrivals)
-    vm = VM(compiled, driver, driver, fuel=instruction_budget)
-    driver.attach(vm)
-    try:
-        vm.call("main", [])
-    except (OutOfFuel, HorizonReached):
-        pass
+    stats = backend.run(driver, driver, fuel=instruction_budget)
     return VmRun(
         client=client,
         arrivals=arrivals,
         timed_trace=driver.timed_trace(horizon=instruction_budget + 1),
-        instructions=vm.executed,
+        instructions=stats.instructions,
     )
 
 

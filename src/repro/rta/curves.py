@@ -13,6 +13,7 @@ sequence.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from math import ceil
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
@@ -116,6 +117,48 @@ def release_curve(alpha: ArrivalCurve, max_jitter: int) -> ArrivalCurve:
     if max_jitter < 0:
         raise ValueError("jitter bound must be non-negative")
     return ShiftedCurve(alpha, max_jitter)
+
+
+# -- memoized evaluation ---------------------------------------------------
+#
+# The RTA hot paths (busy-window iteration, SBF extension, ablation
+# sweeps) evaluate the same staircase steps thousands of times.  All
+# shipped curves are frozen dataclasses, i.e. hashable pure functions of
+# their descriptors, so step evaluations can be shared process-wide.
+
+@lru_cache(maxsize=1 << 18)
+def _memoized_value(curve: ArrivalCurve, delta: int) -> int:
+    return curve.base(delta) if isinstance(curve, MemoCurve) else curve(delta)
+
+
+@dataclass(frozen=True, slots=True)
+class MemoCurve:
+    """A curve whose evaluations go through the shared step cache.
+
+    Equality and hashing are structural (the wrapped descriptor), so two
+    analyses of the same deployment share cache entries — the
+    "deployment fingerprint" keying of the memoization layer.
+    """
+
+    base: ArrivalCurve
+
+    def __call__(self, delta: int) -> int:
+        return _memoized_value(self, delta)
+
+
+def memoized_curve(curve: ArrivalCurve) -> ArrivalCurve:
+    """Wrap ``curve`` in the shared evaluation cache when possible.
+
+    Unhashable curves (ad-hoc lambdas in tests) are returned unwrapped —
+    memoization is an optimization, never a requirement.
+    """
+    if isinstance(curve, MemoCurve):
+        return curve
+    try:
+        hash(curve)
+    except TypeError:
+        return curve
+    return MemoCurve(curve)
 
 
 class CurveViolation(Exception):

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.model.task import Task, TaskSystem
 from repro.rossl.client import RosslClient
 from repro.rta.arsa import ArsaResult, solve_response_time
-from repro.rta.curves import ArrivalCurve, release_curve
+from repro.rta.curves import ArrivalCurve, memoized_curve, release_curve
 from repro.rta.jitter import JitterBounds, jitter_bound
 from repro.rta.sbf import SupplyBoundFunction, make_sbf
 from repro.timing.wcet import WcetModel
@@ -92,8 +92,12 @@ def analyse(
     if not tasks.has_curves:
         raise ValueError("every task needs an arrival curve for the analysis")
     jitter = jitter_bound(wcet, client.num_sockets)
+    # Memoized release curves: busy-window iteration, SBF extension, and
+    # repeat analyses of the same deployment share step evaluations.
     release_curves: dict[str, ArrivalCurve] = {
-        task.name: release_curve(tasks.arrival_curve(task.name), jitter.bound)
+        task.name: memoized_curve(
+            release_curve(tasks.arrival_curve(task.name), jitter.bound)
+        )
         for task in tasks
     }
     sbf = make_sbf(tasks.tasks, release_curves, wcet, client.num_sockets)

@@ -27,10 +27,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from repro.engine import SchedulerEngine, as_engine
 from repro.model.message import MsgData
 from repro.rossl.client import RosslClient
 from repro.rossl.env import HorizonReached, QueueEnvironment
-from repro.rossl.source import MiniCRossl
 from repro.schedule.conversion import FiniteSchedule, convert
 from repro.timing.arrivals import ArrivalSequence
 from repro.timing.timed_trace import TimedTrace, job_arrival_times
@@ -212,24 +212,25 @@ def simulate(
     durations: DurationPolicy | None = None,
     implementation: str = "python",
     fuel: int = 5_000_000,
+    engine: str | SchedulerEngine | None = None,
 ) -> SimulationResult:
     """Run one simulation to the horizon and package the results.
 
-    ``implementation`` selects the scheduler: ``"python"`` (the fast
-    reference model) or ``"minic"`` (the C source under the instrumented
-    semantics).  Both produce identical traces for identical inputs.
+    ``engine`` selects the scheduler backend by registry name
+    (``"python"``, ``"interp"``, ``"vm"``, ``"vm-opt"``) or as an
+    already-built :class:`~repro.engine.SchedulerEngine` — passing one
+    in amortizes parse/typecheck/compile across many runs.  All engines
+    produce identical traces for identical inputs; ``implementation`` is
+    the historical spelling of the same choice and is used when
+    ``engine`` is not given (``"minic"`` aliases ``"interp"``).
     """
+    backend = as_engine(engine if engine is not None else implementation, client)
     driver = TimedDriver(client, arrivals, wcet, horizon, durations)
-    if implementation == "python":
-        client.model().run(driver, driver)
-    elif implementation == "minic":
-        MiniCRossl(client).run(driver, driver, fuel=fuel)
-    else:
-        raise ValueError(f"unknown implementation {implementation!r}")
+    backend.run(driver, driver, fuel=fuel)
     return SimulationResult(
         client=client,
         arrivals=arrivals,
         wcet=wcet,
         timed_trace=driver.timed_trace(),
-        implementation=implementation,
+        implementation=backend.name,
     )

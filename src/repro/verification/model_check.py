@@ -17,6 +17,14 @@ and checks on each resulting execution:
 Where the Rocq proof covers all executions, this covers all executions
 up to the bound — decidable, exhaustive-in-the-bound evidence for the
 same statement.
+
+The executing backend is any engine from the registry
+(:mod:`repro.engine`); all engines emit identical traces, so checking a
+faster backend (``"vm-opt"``) explores the same state space as the
+definitional interpreter.  ``jobs > 1`` partitions the script space
+across a process pool (scripts are independent executions), merging the
+per-chunk reports in enumeration order so the result is identical to a
+serial exploration.
 """
 
 from __future__ import annotations
@@ -25,12 +33,12 @@ from dataclasses import dataclass, field
 from itertools import product
 from typing import Sequence
 
-from repro.lang.errors import MiniCError, OutOfFuel, UndefinedBehavior
+from repro.engine import SchedulerEngine, create_engine, resolve_engine_name
+from repro.lang.errors import UndefinedBehavior
 from repro.model.message import MsgData
 from repro.rossl.client import RosslClient
-from repro.rossl.env import HorizonReached, ScriptedEnvironment
+from repro.rossl.env import ScriptedEnvironment
 from repro.rossl.runtime import TeeSink, TraceRecorder
-from repro.rossl.source import MiniCRossl
 from repro.traces.markers import Marker
 from repro.traces.protocol import ProtocolError
 from repro.traces.validity import TraceValidityError
@@ -69,12 +77,19 @@ class ExplorationReport:
             f"{self.max_trace_length}: {status}"
         )
 
+    def absorb(self, other: "ExplorationReport") -> None:
+        """Merge another report into this one (order-insensitive tallies;
+        violations keep the caller's merge order)."""
+        self.scripts_explored += other.scripts_explored
+        self.markers_observed += other.markers_observed
+        self.max_trace_length = max(self.max_trace_length, other.max_trace_length)
+        self.violations.extend(other.violations)
+
 
 def _run_one(
     client: RosslClient,
     script: Sequence[MsgData | None],
-    implementation: str,
-    minic: MiniCRossl | None,
+    engine: SchedulerEngine,
     fuel: int,
 ) -> tuple[list[Marker], Violation | None]:
     recorder = TraceRecorder()
@@ -84,11 +99,7 @@ def _run_one(
     env = ScriptedEnvironment(script)
     script_key = tuple(script)
     try:
-        if implementation == "minic":
-            assert minic is not None
-            minic_interp_run(minic, env, sink, fuel)
-        else:
-            client.model().run(env, sink)
+        engine.run(env, sink, fuel=fuel)
     except UndefinedBehavior as exc:
         return recorder.trace, Violation(script_key, "stuck", str(exc), tuple(recorder.trace))
     except ProtocolError as exc:
@@ -100,15 +111,40 @@ def _run_one(
     return recorder.trace, None
 
 
-def minic_interp_run(minic: MiniCRossl, env, sink, fuel: int) -> None:
-    """Run the MiniC scheduler, treating fuel/horizon as clean stops but
-    letting verification exceptions propagate."""
-    from repro.lang.interp import run_program
+def _explore_scripts(
+    client: RosslClient,
+    scripts: Sequence[tuple[MsgData | None, ...]],
+    engine: SchedulerEngine,
+    fuel: int,
+) -> ExplorationReport:
+    report = ExplorationReport()
+    for script in scripts:
+        trace, violation = _run_one(client, script, engine, fuel)
+        report.scripts_explored += 1
+        report.markers_observed += len(trace)
+        report.max_trace_length = max(report.max_trace_length, len(trace))
+        if violation is not None:
+            report.violations.append(violation)
+    return report
 
-    try:
-        run_program(minic.typed, env, sink, entry="main", fuel=fuel)
-    except (OutOfFuel, HorizonReached):
-        return
+
+# -- process-pool plumbing (workers build their engine once) ---------------
+
+_WORKER: dict = {}
+
+
+def _init_explore_worker(client: RosslClient, engine_name: str, fuel: int) -> None:
+    _WORKER["client"] = client
+    _WORKER["engine"] = create_engine(engine_name, client)
+    _WORKER["fuel"] = fuel
+
+
+def _explore_chunk(
+    scripts: Sequence[tuple[MsgData | None, ...]],
+) -> ExplorationReport:
+    return _explore_scripts(
+        _WORKER["client"], scripts, _WORKER["engine"], _WORKER["fuel"]
+    )
 
 
 def explore(
@@ -117,6 +153,7 @@ def explore(
     max_reads: int,
     implementation: str = "minic",
     fuel: int = 100_000,
+    jobs: int = 1,
 ) -> ExplorationReport:
     """Exhaustively explore all read-outcome sequences of length
     ``max_reads`` over ``{fail} ∪ payloads``.
@@ -124,18 +161,42 @@ def explore(
     Every shorter behaviour is a prefix of an explored one, and all
     checked properties are prefix-closed, so depth ``max_reads`` covers
     everything up to that many reads.  Cost is
-    ``(len(payloads) + 1) ** max_reads`` executions.
+    ``(len(payloads) + 1) ** max_reads`` executions, split across
+    ``jobs`` worker processes when ``jobs > 1``.
     """
     if max_reads < 0:
         raise ValueError("max_reads must be non-negative")
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    engine_name = resolve_engine_name(implementation)
+    if not engine_capable_of_model_check(engine_name):
+        raise ValueError(f"engine {engine_name!r} cannot model-check")
     alphabet: list[MsgData | None] = [None] + [tuple(p) for p in payloads]
-    minic = MiniCRossl(client) if implementation == "minic" else None
+    scripts = list(product(alphabet, repeat=max_reads))
+
+    from repro.analysis.parallel import pool_map_chunks, split_chunks
+
+    chunks = split_chunks(scripts, jobs)
+    if jobs > 1 and len(chunks) > 1:
+        partials = pool_map_chunks(
+            chunks,
+            _explore_chunk,
+            initializer=_init_explore_worker,
+            initargs=(client, engine_name, fuel),
+            jobs=jobs,
+        )
+    else:
+        partials = None
+    if partials is None:  # serial path / fallback
+        engine = create_engine(engine_name, client)
+        partials = [_explore_scripts(client, chunk, engine, fuel) for chunk in chunks]
     report = ExplorationReport()
-    for script in product(alphabet, repeat=max_reads):
-        trace, violation = _run_one(client, script, implementation, minic, fuel)
-        report.scripts_explored += 1
-        report.markers_observed += len(trace)
-        report.max_trace_length = max(report.max_trace_length, len(trace))
-        if violation is not None:
-            report.violations.append(violation)
+    for partial in partials:
+        report.absorb(partial)
     return report
+
+
+def engine_capable_of_model_check(name: str) -> bool:
+    from repro.engine import engine_capabilities
+
+    return engine_capabilities(name).model_check

@@ -1,0 +1,252 @@
+"""Tests for the engine registry (`repro.engine`).
+
+The registry is the single construction point for every way this
+reproduction can execute the scheduler — the Python reference model,
+the MiniC interpreter, and the two bytecode VMs.  These tests pin down
+the registry contract: every canonical name round-trips, aliases
+resolve, unknown names fail with a message naming the alternatives,
+capability flags match the engines, and all engines emit the same
+marker trace on the same read-outcome script.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import (
+    EngineCapabilities,
+    MiniCInterpEngine,
+    PythonModelEngine,
+    RunStats,
+    SchedulerEngine,
+    UnknownEngineError,
+    VmEngine,
+    as_engine,
+    create_engine,
+    engine_capabilities,
+    engine_names,
+    resolve_engine_name,
+)
+from repro.engine.registry import engine_aliases
+from repro.rossl.env import ScriptedEnvironment
+
+
+def make_script(client, length=120, seed=11):
+    rng = random.Random(seed)
+    tags = [t.type_tag for t in client.tasks.tasks]
+    return [
+        None if rng.random() < 0.6 else (rng.choice(tags), rng.randrange(40))
+        for _ in range(length)
+    ]
+
+
+class TestRegistryNames:
+    def test_canonical_names(self):
+        assert set(engine_names()) == {"python", "interp", "vm", "vm-opt"}
+
+    def test_every_name_round_trips(self, two_task_client):
+        for name in engine_names():
+            engine = create_engine(name, two_task_client)
+            assert isinstance(engine, SchedulerEngine)
+            assert engine.name == name
+            assert resolve_engine_name(name) == name
+            assert engine.client is two_task_client
+
+    def test_aliases_resolve_to_canonical(self):
+        for alias, canonical in engine_aliases().items():
+            assert resolve_engine_name(alias) == canonical
+            assert canonical in engine_names()
+
+    def test_minic_alias(self, two_task_client):
+        engine = create_engine("minic", two_task_client)
+        assert isinstance(engine, MiniCInterpEngine)
+        assert engine.name == "interp"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(UnknownEngineError, match="available engines"):
+            resolve_engine_name("qemu")
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(UnknownEngineError) as info:
+            create_engine("jit", None)
+        message = str(info.value)
+        for name in engine_names():
+            assert name in message
+
+    def test_unknown_engine_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            resolve_engine_name("nope")
+
+
+class TestCapabilities:
+    def test_capability_table(self):
+        assert engine_capabilities("python") == EngineCapabilities(
+            vm_timing=False, model_check=True
+        )
+        assert engine_capabilities("interp") == EngineCapabilities(
+            vm_timing=False, model_check=True
+        )
+        for name in ("vm", "vm-opt"):
+            assert engine_capabilities(name) == EngineCapabilities(
+                vm_timing=True, model_check=True
+            )
+
+    def test_capabilities_without_construction(self):
+        # Must not require a client: capability queries are cheap.
+        assert engine_capabilities("minic").model_check
+
+    def test_built_engine_matches_registry(self, two_task_client):
+        for name in engine_names():
+            engine = create_engine(name, two_task_client)
+            assert engine.capabilities == engine_capabilities(name)
+
+
+class TestAsEngine:
+    def test_string_coercion(self, two_task_client):
+        assert isinstance(as_engine("python", two_task_client), PythonModelEngine)
+        assert isinstance(as_engine("vm-opt", two_task_client), VmEngine)
+
+    def test_instance_passthrough(self, two_task_client):
+        engine = create_engine("interp", two_task_client)
+        assert as_engine(engine, two_task_client) is engine
+
+    def test_wrong_client_rejected(self, two_task_client, two_socket_client):
+        engine = create_engine("python", two_task_client)
+        with pytest.raises(ValueError, match="different client"):
+            as_engine(engine, two_socket_client)
+
+
+class TestTraceAgreement:
+    def test_all_engines_emit_identical_traces(self, two_task_client):
+        script = make_script(two_task_client)
+        traces = {}
+        for name in engine_names():
+            engine = create_engine(name, two_task_client)
+            traces[name] = engine.run_to_trace(ScriptedEnvironment(list(script)))
+        reference = traces["python"]
+        assert reference  # non-trivial run
+        for name, trace in traces.items():
+            assert trace == reference, f"engine {name} diverged"
+
+    def test_vm_reports_instruction_counts(self, two_task_client):
+        from repro.rossl.runtime import TraceRecorder
+
+        script = make_script(two_task_client, length=60)
+        plain = create_engine("vm", two_task_client)
+        opt = create_engine("vm-opt", two_task_client)
+        stats_plain = plain.run(ScriptedEnvironment(list(script)), TraceRecorder())
+        stats_opt = opt.run(ScriptedEnvironment(list(script)), TraceRecorder())
+        assert stats_plain.instructions is not None
+        assert stats_opt.instructions is not None
+        assert stats_opt.instructions <= stats_plain.instructions
+
+    def test_python_engine_reports_no_instructions(self, two_task_client):
+        from repro.rossl.runtime import TraceRecorder
+
+        engine = create_engine("python", two_task_client)
+        stats = engine.run(
+            ScriptedEnvironment(make_script(two_task_client, length=30)),
+            TraceRecorder(),
+        )
+        assert stats == RunStats(instructions=None)
+
+    def test_engine_reusable_across_runs(self, two_task_client):
+        # Compiled artifacts are shared; scheduler state must not leak.
+        engine = create_engine("vm", two_task_client)
+        script = make_script(two_task_client, length=80)
+        first = engine.run_to_trace(ScriptedEnvironment(list(script)))
+        second = engine.run_to_trace(ScriptedEnvironment(list(script)))
+        assert first == second
+
+
+class TestRegisterEngine:
+    def test_register_and_unregister_custom_engine(self, two_task_client):
+        from repro.engine import register_engine
+        from repro.engine.registry import _ALIASES, _CAPABILITIES, _FACTORIES
+
+        caps = EngineCapabilities(vm_timing=False, model_check=False)
+
+        def factory(client, msg_cap):
+            engine = PythonModelEngine(client, msg_cap)
+            engine.name = "custom"
+            return engine
+
+        register_engine("custom", factory, caps, aliases=("cst",))
+        try:
+            assert "custom" in engine_names()
+            assert resolve_engine_name("cst") == "custom"
+            assert engine_capabilities("custom") == caps
+            engine = create_engine("custom", two_task_client)
+            assert engine.name == "custom"
+        finally:
+            _FACTORIES.pop("custom")
+            _CAPABILITIES.pop("custom")
+            _ALIASES.pop("cst")
+        with pytest.raises(UnknownEngineError):
+            resolve_engine_name("custom")
+
+
+class TestDeploymentEngineField:
+    def test_spec_engine_key_parsed(self, tmp_path):
+        import json
+
+        from repro.config import load_deployment
+
+        spec = {
+            "tasks": [
+                {
+                    "name": "a",
+                    "priority": 1,
+                    "wcet": 5,
+                    "type_tag": 1,
+                    "curve": {"kind": "sporadic", "min_separation": 100},
+                }
+            ],
+            "sockets": [0],
+            "wcet": {
+                "failed_read": 2,
+                "success_read": 2,
+                "selection": 1,
+                "dispatch": 1,
+                "completion": 1,
+                "idling": 1,
+            },
+            "engine": "minic",
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        deployment = load_deployment(str(path))
+        assert deployment.engine == "interp"  # alias canonicalized
+
+    def test_spec_unknown_engine_rejected(self, tmp_path):
+        import json
+
+        from repro.config import SpecError, load_deployment
+
+        spec = {
+            "tasks": [
+                {
+                    "name": "a",
+                    "priority": 1,
+                    "wcet": 5,
+                    "type_tag": 1,
+                    "curve": {"kind": "sporadic", "min_separation": 100},
+                }
+            ],
+            "sockets": [0],
+            "wcet": {
+                "failed_read": 2,
+                "success_read": 2,
+                "selection": 1,
+                "dispatch": 1,
+                "completion": 1,
+                "idling": 1,
+            },
+            "engine": "turbo",
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        with pytest.raises(SpecError, match="engine"):
+            load_deployment(str(path))

@@ -138,7 +138,8 @@ class TestModelCheckReport:
     def test_violation_recorded_for_buggy_minic(self, two_task_client):
         """End-to-end: a buggy scheduler program produces a Violation in
         the exploration report rather than crashing the explorer."""
-        from repro.rossl.source import MiniCRossl, rossl_source
+        from repro.engine import MiniCInterpEngine
+        from repro.rossl.source import rossl_source
         from repro.lang.parser import parse_program
         from repro.lang.typecheck import typecheck
         from repro.verification.model_check import _run_one
@@ -149,15 +150,14 @@ class TestModelCheckReport:
         )
         assert "BUG" in source
 
-        class BuggyMiniC(MiniCRossl):
+        class BuggyEngine(MiniCInterpEngine):
             def __init__(self, client):
                 self.client = client
-                self.msg_cap = 8
                 self.typed = typecheck(parse_program(source))
 
-        buggy = BuggyMiniC(two_task_client)
+        buggy = BuggyEngine(two_task_client)
         trace, violation = _run_one(
-            two_task_client, ((1, 0), None, None), "minic", buggy, 100_000
+            two_task_client, ((1, 0), None, None), buggy, 100_000
         )
         assert violation is not None
         assert violation.kind == "stuck"

@@ -1,0 +1,203 @@
+"""Tests for the parallel campaign runner (`repro.analysis.parallel`).
+
+The headline property: a campaign with ``jobs=N`` is *bit-identical* to
+the serial campaign with the same ``seed_root`` — same table, same
+observed worsts, same violation list — because every run derives its
+randomness from ``seed_root + run_index`` alone.  The rest pins down
+the plumbing: chunk splitting, the serial fallback, sweep parity, and
+the parallel model-checking explorer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.adequacy import (
+    adequacy_run,
+    merge_outcomes,
+    run_adequacy_campaign,
+)
+from repro.analysis.campaigns import sweep
+from repro.analysis.parallel import (
+    CHUNKS_PER_JOB,
+    fork_available,
+    parallel_sweep,
+    run_campaign_parallel,
+    split_chunks,
+)
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.curves import SporadicCurve
+from repro.rta.npfp import analyse
+from repro.timing.wcet import WcetModel
+
+WCET = WcetModel(
+    failed_read=2, success_read=2, selection=1, dispatch=1, completion=1, idling=1
+)
+
+
+def light_client() -> RosslClient:
+    tasks = TaskSystem(
+        [
+            Task(name="slow", priority=1, wcet=20, type_tag=1),
+            Task(name="fast", priority=2, wcet=5, type_tag=2),
+        ],
+        {"slow": SporadicCurve(400), "fast": SporadicCurve(150)},
+    )
+    return RosslClient.make(tasks, [0])
+
+
+class TestSplitChunks:
+    def test_empty(self):
+        assert split_chunks([], 4) == []
+
+    def test_covers_all_items_in_order(self):
+        items = list(range(37))
+        chunks = split_chunks(items, 4)
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_chunk_count_scales_with_jobs(self):
+        chunks = split_chunks(list(range(100)), 4)
+        assert len(chunks) <= 4 * CHUNKS_PER_JOB
+        assert len(chunks) > 1
+
+    def test_single_item(self):
+        assert split_chunks([7], 8) == [[7]]
+
+
+class TestDeterminism:
+    """The acceptance-criteria property: jobs=1 and jobs=4 agree bit
+    for bit on the same seed_root."""
+
+    def test_serial_vs_parallel_identical_tables(self):
+        client = light_client()
+        serial = run_adequacy_campaign(
+            client, WCET, horizon=2500, runs=8, seed=42, jobs=1
+        )
+        parallel = run_adequacy_campaign(
+            client, WCET, horizon=2500, runs=8, seed=42, jobs=4
+        )
+        assert serial.table() == parallel.table()
+        assert serial.observed_worst == parallel.observed_worst
+        assert serial.jobs_checked == parallel.jobs_checked
+        assert serial.jobs_beyond_horizon == parallel.jobs_beyond_horizon
+        assert serial.violations == parallel.violations
+        assert serial.runs == parallel.runs == 8
+
+    def test_different_seed_roots_differ(self):
+        client = light_client()
+        a = run_adequacy_campaign(client, WCET, horizon=2500, runs=6, seed=1)
+        b = run_adequacy_campaign(client, WCET, horizon=2500, runs=6, seed=2)
+        assert a.observed_worst != b.observed_worst
+
+    def test_outcomes_order_independent(self):
+        """Merging shuffled outcomes reconstructs the serial report."""
+        client = light_client()
+        analysis = analyse(client, WCET)
+        outcomes = [
+            adequacy_run(
+                client, WCET, analysis, horizon=2500, runs=6, index=i,
+                seed_root=7, intensity=1.0, adversarial_fraction=0.5,
+            )
+            for i in range(6)
+        ]
+        forward = merge_outcomes(analysis, outcomes)
+        backward = merge_outcomes(analysis, list(reversed(outcomes)))
+        assert forward.table() == backward.table()
+        assert forward.observed_worst == backward.observed_worst
+
+    def test_engine_choice_preserves_results(self):
+        """Engines are trace-equivalent, so the campaign verdict cannot
+        depend on the engine."""
+        client = light_client()
+        py = run_adequacy_campaign(
+            client, WCET, horizon=1500, runs=2, seed=5, engine="python"
+        )
+        vm = run_adequacy_campaign(
+            client, WCET, horizon=1500, runs=2, seed=5, engine="vm-opt"
+        )
+        assert py.table() == vm.table()
+
+
+class TestCampaignRunner:
+    def test_jobs_must_be_positive(self):
+        client = light_client()
+        with pytest.raises(ValueError, match="jobs"):
+            run_adequacy_campaign(client, WCET, horizon=1000, runs=1, jobs=0)
+
+    def test_run_campaign_parallel_returns_all_runs(self):
+        client = light_client()
+        analysis = analyse(client, WCET)
+        outcomes = run_campaign_parallel(
+            client, WCET, analysis, horizon=2000, runs=5, seed_root=3, jobs=2
+        )
+        assert sorted(o.run_index for o in outcomes) == list(range(5))
+
+    def test_serial_fallback_when_single_chunk(self):
+        # One run → one chunk → in-process execution, same outcome type.
+        client = light_client()
+        analysis = analyse(client, WCET)
+        outcomes = run_campaign_parallel(
+            client, WCET, analysis, horizon=1500, runs=1, seed_root=0, jobs=4
+        )
+        assert len(outcomes) == 1
+        assert outcomes[0].run_index == 0
+
+
+class TestParallelSweep:
+    def test_matches_serial_sweep(self):
+        values = list(range(12))
+        evaluate = lambda n: (2 * n, n * n)  # noqa: E731
+        serial = sweep("n", values, ["double", "square"], evaluate)
+        parallel = parallel_sweep("n", values, ["double", "square"], evaluate,
+                                  jobs=3)
+        assert parallel.rows == serial.rows
+        assert parallel.parameter == serial.parameter
+        assert parallel.metrics == serial.metrics
+
+    def test_sweep_jobs_parameter(self):
+        result = sweep("n", [1, 2, 3, 4, 5, 6, 7, 8], ["sq"],
+                       lambda n: (n * n,), jobs=2)
+        assert result.column("sq") == [1, 4, 9, 16, 25, 36, 49, 64]
+
+    def test_sweep_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            sweep("n", [1], ["sq"], lambda n: (n * n,), jobs=-1)
+
+    def test_closure_evaluate_works(self):
+        # With fork workers the closure is inherited, not pickled.
+        offset = 10
+        result = parallel_sweep(
+            "n", list(range(9)), ["shifted"], lambda n: (n + offset,), jobs=2
+        )
+        assert result.column("shifted") == [n + 10 for n in range(9)]
+
+    def test_cell_count_mismatch_raises(self):
+        if not fork_available():
+            pytest.skip("no fork: serial sweep covers this elsewhere")
+        with pytest.raises(Exception):
+            parallel_sweep("n", list(range(8)), ["a", "b"],
+                           lambda n: (n,), jobs=2)
+
+
+class TestParallelExplore:
+    def test_explore_parallel_matches_serial(self, two_task_client):
+        from repro.verification.model_check import explore
+
+        serial = explore(
+            two_task_client, [(1, 0), (2, 0)], max_reads=3,
+            implementation="python", jobs=1,
+        )
+        parallel = explore(
+            two_task_client, [(1, 0), (2, 0)], max_reads=3,
+            implementation="python", jobs=4,
+        )
+        assert serial.ok and parallel.ok
+        assert serial.scripts_explored == parallel.scripts_explored
+        assert serial.violations == parallel.violations
+
+    def test_explore_rejects_bad_jobs(self, two_task_client):
+        from repro.verification.model_check import explore
+
+        with pytest.raises(ValueError, match="jobs"):
+            explore(two_task_client, [(1, 0)], max_reads=1, jobs=0)
