@@ -5,6 +5,13 @@ process pool (``jobs=4``), asserts the reports are bit-identical (the
 determinism contract of :mod:`repro.analysis.parallel`), and records the
 wall-clock comparison in ``BENCH_parallel.json`` at the repo root.
 
+Timing comes from the observability span tree (``campaign.adequacy``,
+``campaign.worker_init``, ``campaign.chunk``) rather than ad-hoc
+``time.time()`` bracketing, which also yields the overhead breakdown:
+per-worker setup cost (engine construction in the fork initializer),
+per-worker wall-clock chunk occupancy, and the pool's net tax relative
+to the serial campaign (fork, pickling outcomes back, IPC).
+
 The ≥1.5× speedup assertion only fires on machines with at least four
 CPUs and a working ``fork`` — on smaller boxes (CI runners, containers)
 the numbers are still measured and recorded, but a pool cannot beat the
@@ -15,10 +22,10 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 
 from conftest import print_experiment
+from repro import obs
 from repro.analysis.adequacy import run_adequacy_campaign
 from repro.analysis.parallel import fork_available
 
@@ -30,19 +37,53 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 
 def run_campaign(client, wcet, jobs):
-    start = time.perf_counter()
+    obs.reset()
     report = run_adequacy_campaign(
         client, wcet, horizon=HORIZON, runs=RUNS, seed=SEED, jobs=jobs
     )
-    return report, time.perf_counter() - start
+    return report, report.elapsed_seconds, obs.snapshot()
+
+
+def worker_breakdown(snapshot):
+    """Fold the merged worker spans into a per-pid overhead breakdown."""
+    per_worker: dict[int, dict] = {}
+    for record in snapshot.spans:
+        if record.name == "campaign.worker_init":
+            entry = per_worker.setdefault(
+                record.pid,
+                {"pid": record.pid, "chunks": 0, "runs": 0,
+                 "busy_seconds": 0.0, "init_seconds": 0.0},
+            )
+            entry["init_seconds"] += record.seconds
+        elif record.name == "campaign.chunk":
+            entry = per_worker.setdefault(
+                record.pid,
+                {"pid": record.pid, "chunks": 0, "runs": 0,
+                 "busy_seconds": 0.0, "init_seconds": 0.0},
+            )
+            entry["chunks"] += 1
+            entry["runs"] += dict(record.attrs)["runs"]
+            entry["busy_seconds"] += record.seconds
+    workers = sorted(per_worker.values(), key=lambda w: w["pid"])
+    for entry in workers:
+        entry["busy_seconds"] = round(entry["busy_seconds"], 4)
+        entry["init_seconds"] = round(entry["init_seconds"], 4)
+    return workers
 
 
 def test_parallel_campaign_speedup(benchmark, embedded_client, embedded_wcet):
-    serial, serial_s = benchmark.pedantic(
-        lambda: run_campaign(embedded_client, embedded_wcet, jobs=1),
-        rounds=1, iterations=1,
-    )
-    parallel, parallel_s = run_campaign(embedded_client, embedded_wcet, JOBS)
+    obs.enable()
+    try:
+        serial, serial_s, _ = benchmark.pedantic(
+            lambda: run_campaign(embedded_client, embedded_wcet, jobs=1),
+            rounds=1, iterations=1,
+        )
+        parallel, parallel_s, snapshot = run_campaign(
+            embedded_client, embedded_wcet, JOBS
+        )
+    finally:
+        obs.disable()
+        obs.reset()
 
     # Determinism first: the pool must not change a single cell.
     assert serial.table() == parallel.table()
@@ -50,6 +91,20 @@ def test_parallel_campaign_speedup(benchmark, embedded_client, embedded_wcet):
     assert serial.violations == parallel.violations
     assert serial.runs == parallel.runs == RUNS
     assert serial.ok
+
+    workers = worker_breakdown(snapshot)
+    assert sum(w["runs"] for w in workers) == RUNS
+    busy_wall_s = sum(w["busy_seconds"] for w in workers)
+    init_s = sum(w["init_seconds"] for w in workers)
+    # Chunk spans are wall clock, so on a timeshared CPU they include the
+    # time a worker sat descheduled mid-chunk: their sum divided by the
+    # pool's wall time is the mean number of workers with an open chunk —
+    # near `jobs` whether or not they actually computed in parallel.  The
+    # pool's real tax (fork, per-worker engine builds, pickling outcomes,
+    # IPC) is the wall-clock delta against the serial campaign, since the
+    # same 200 runs of compute happen either way.
+    mean_open_workers = busy_wall_s / parallel_s if parallel_s > 0 else 0.0
+    pool_tax_s = parallel_s - serial_s
 
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     cpus = os.cpu_count() or 1
@@ -65,13 +120,22 @@ def test_parallel_campaign_speedup(benchmark, embedded_client, embedded_wcet):
         "parallel_seconds": round(parallel_s, 4),
         "speedup": round(speedup, 3),
         "bit_identical": True,
+        "breakdown": {
+            "worker_init_seconds": round(init_s, 4),
+            "worker_busy_wall_seconds": round(busy_wall_s, 4),
+            "mean_open_workers": round(mean_open_workers, 2),
+            "pool_tax_vs_serial_seconds": round(pool_tax_s, 4),
+            "per_worker": workers,
+        },
     }
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
     print_experiment(
         "E18 — parallel campaign runner",
         f"{RUNS}-run campaign: serial {serial_s:.2f}s, jobs={JOBS} "
-        f"{parallel_s:.2f}s — {speedup:.2f}x on {cpus} CPU(s); reports "
+        f"{parallel_s:.2f}s — {speedup:.2f}x on {cpus} CPU(s); breakdown: "
+        f"init {init_s:.4f}s, {mean_open_workers:.1f} workers open on "
+        f"average, pool tax {pool_tax_s:+.2f}s vs serial; reports "
         f"bit-identical; recorded in {RESULT_PATH.name}",
     )
 

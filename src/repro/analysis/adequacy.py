@@ -20,7 +20,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.analysis.report import format_table
+from repro import obs
+from repro.analysis.report import format_elapsed, format_table
 from repro.engine import SchedulerEngine, as_engine
 from repro.rossl.client import RosslClient
 from repro.rta.curves import check_curve_respected
@@ -65,6 +66,9 @@ class TimingCorrectnessReport:
     runs: int = 0
     observed_worst: dict[str, int] = field(default_factory=dict)
     violations: list[BoundViolation] = field(default_factory=list)
+    #: campaign wall clock, read from the ``campaign.adequacy`` span —
+    #: not part of the determinism contract (never compared).
+    elapsed_seconds: float | None = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -78,7 +82,7 @@ class TimingCorrectnessReport:
             task_name
         )
 
-    def table(self) -> str:
+    def table(self, show_elapsed: bool = False) -> str:
         rows = []
         for task in self.analysis.tasks:
             name = task.name
@@ -90,7 +94,7 @@ class TimingCorrectnessReport:
             observed = self.observed_worst.get(name)
             ratio = self.tightness(name) if bound else None
             rows.append((name, task.wcet, task.priority, bound, observed, ratio))
-        return format_table(
+        text = format_table(
             ["task", "C_i", "prio", "bound R_i+J_i", "observed worst", "ratio"],
             rows,
             title=(
@@ -100,6 +104,9 @@ class TimingCorrectnessReport:
                 f"{len(self.violations)} violations"
             ),
         )
+        if show_elapsed and self.elapsed_seconds is not None:
+            text += "\n" + format_elapsed(self.elapsed_seconds)
+        return text
 
 
 def check_timing_correctness(
@@ -276,26 +283,30 @@ def run_adequacy_campaign(
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
-    analysis = analyse(client, wcet, analysis_horizon)
-    if not analysis.schedulable:
-        raise ValueError("campaigns need a schedulable system")
-    if jobs > 1:
-        from repro.analysis.parallel import run_campaign_parallel
+    with obs.span("campaign.adequacy", runs=runs, jobs=jobs) as sp:
+        analysis = analyse(client, wcet, analysis_horizon)
+        if not analysis.schedulable:
+            raise ValueError("campaigns need a schedulable system")
+        if jobs > 1:
+            from repro.analysis.parallel import run_campaign_parallel
 
-        outcomes = run_campaign_parallel(
-            client, wcet, analysis, horizon, runs,
-            seed_root=seed, intensity=intensity,
-            adversarial_fraction=adversarial_fraction,
-            engine=engine, jobs=jobs,
-        )
-    else:
-        backend = as_engine(engine, client)
-        outcomes = [
-            adequacy_run(
-                client, wcet, analysis, horizon, runs, index,
+            outcomes = run_campaign_parallel(
+                client, wcet, analysis, horizon, runs,
                 seed_root=seed, intensity=intensity,
-                adversarial_fraction=adversarial_fraction, engine=backend,
+                adversarial_fraction=adversarial_fraction,
+                engine=engine, jobs=jobs,
             )
-            for index in range(runs)
-        ]
-    return merge_outcomes(analysis, outcomes)
+        else:
+            backend = as_engine(engine, client)
+            outcomes = [
+                adequacy_run(
+                    client, wcet, analysis, horizon, runs, index,
+                    seed_root=seed, intensity=intensity,
+                    adversarial_fraction=adversarial_fraction, engine=backend,
+                )
+                for index in range(runs)
+            ]
+        report = merge_outcomes(analysis, outcomes)
+    obs.inc("campaign.runs_completed", runs)
+    report.elapsed_seconds = sp.elapsed_seconds
+    return report

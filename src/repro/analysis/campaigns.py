@@ -7,26 +7,36 @@ scaling, vs. workload burstiness) and by EXPERIMENTS.md regeneration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from repro.analysis.report import format_table
+from repro import obs
+from repro.analysis.report import format_elapsed, format_table
 
 P = TypeVar("P")
 
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """Rows of (parameter value, metric values) for one sweep."""
+    """Rows of (parameter value, metric values) for one sweep.
+
+    ``elapsed_seconds`` is the sweep's wall clock, read from its span
+    (:mod:`repro.obs.spans`) — excluded from equality so serial and
+    parallel sweeps still compare bit-identical on their data.
+    """
 
     parameter: str
     metrics: tuple[str, ...]
     rows: tuple[tuple[object, ...], ...]
+    elapsed_seconds: float | None = field(default=None, compare=False)
 
-    def table(self, title: str | None = None) -> str:
-        return format_table(
+    def table(self, title: str | None = None, show_elapsed: bool = False) -> str:
+        text = format_table(
             [self.parameter, *self.metrics], self.rows, title=title
         )
+        if show_elapsed and self.elapsed_seconds is not None:
+            text += "\n" + format_elapsed(self.elapsed_seconds)
+        return text
 
     def column(self, metric: str) -> list[object]:
         try:
@@ -63,11 +73,15 @@ def sweep(
         return parallel_sweep(parameter, values, metrics, evaluate, jobs=jobs)
     rows = []
     metric_names = tuple(metrics)
-    for value in values:
-        cells = tuple(evaluate(value))
-        if len(cells) != len(metric_names):
-            raise ValueError(
-                f"evaluate returned {len(cells)} cells for {len(metric_names)} metrics"
-            )
-        rows.append((value, *cells))
-    return CampaignResult(parameter, metric_names, tuple(rows))
+    with obs.span("sweep.serial", parameter=parameter) as sp:
+        for value in values:
+            cells = tuple(evaluate(value))
+            if len(cells) != len(metric_names):
+                raise ValueError(
+                    f"evaluate returned {len(cells)} cells for "
+                    f"{len(metric_names)} metrics"
+                )
+            rows.append((value, *cells))
+    return CampaignResult(
+        parameter, metric_names, tuple(rows), elapsed_seconds=sp.elapsed_seconds
+    )

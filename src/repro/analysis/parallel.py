@@ -22,9 +22,11 @@ Design points:
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro import obs
 from repro.analysis.adequacy import RunOutcome, adequacy_run
 from repro.analysis.campaigns import CampaignResult
 from repro.engine import SchedulerEngine, create_engine, resolve_engine_name
@@ -78,6 +80,37 @@ def pool_map_chunks(
         return list(pool.map(chunk_fn, chunks))
 
 
+# -- worker-side observability ---------------------------------------------
+#
+# Fork copies the parent's registry into every worker, so each worker
+# resets its (copied) registry in the initializer — otherwise the
+# parent's pre-fork counts would be merged back a second time.  Each
+# chunk ships the *delta* between its start and end snapshots, and the
+# first chunk a worker executes additionally ships the initializer's
+# snapshot (engine construction — the fork-side setup cost).
+
+
+def init_worker_obs(parent_enabled: bool) -> None:
+    """Reset the forked registry and mirror the parent's on/off switch."""
+    obs.reset()
+    obs.set_enabled(parent_enabled)
+
+
+def take_init_snapshot() -> obs.MetricsSnapshot | None:
+    """Snapshot the initializer's work (call at the end of a worker
+    initializer); ``None`` when observability is off."""
+    return obs.snapshot() if obs.enabled() else None
+
+
+def merge_worker_snapshots(
+    snapshots: Iterable[obs.MetricsSnapshot | None],
+) -> None:
+    """Fold worker deltas back into the parent registry, in order."""
+    for snap in snapshots:
+        if snap is not None:
+            obs.merge_snapshot(snap)
+
+
 # -- adequacy campaigns ----------------------------------------------------
 
 _WORKER: dict = {}
@@ -93,28 +126,43 @@ def _init_campaign_worker(
     intensity: float,
     adversarial_fraction: float,
     engine_name: str,
+    obs_enabled: bool = False,
 ) -> None:
+    init_worker_obs(obs_enabled)
     _WORKER["campaign"] = (
         client, wcet, analysis, horizon, runs,
         seed_root, intensity, adversarial_fraction,
     )
     # The expensive part — one engine per worker process, shared by
     # every run that worker executes.
-    _WORKER["engine"] = create_engine(engine_name, client)
+    with obs.span("campaign.worker_init", pid=os.getpid(), engine=engine_name):
+        _WORKER["engine"] = create_engine(engine_name, client)
+    _WORKER["init_snapshot"] = take_init_snapshot()
 
 
-def _campaign_chunk(indices: Sequence[int]) -> list[RunOutcome]:
+def _campaign_chunk(
+    indices: Sequence[int],
+) -> tuple[list[RunOutcome], obs.MetricsSnapshot | None]:
     (client, wcet, analysis, horizon, runs,
      seed_root, intensity, adversarial_fraction) = _WORKER["campaign"]
     engine = _WORKER["engine"]
-    return [
-        adequacy_run(
-            client, wcet, analysis, horizon, runs, index,
-            seed_root=seed_root, intensity=intensity,
-            adversarial_fraction=adversarial_fraction, engine=engine,
-        )
-        for index in indices
-    ]
+    before = obs.snapshot() if obs.enabled() else None
+    with obs.span("campaign.chunk", pid=os.getpid(), runs=len(indices)):
+        outcomes = [
+            adequacy_run(
+                client, wcet, analysis, horizon, runs, index,
+                seed_root=seed_root, intensity=intensity,
+                adversarial_fraction=adversarial_fraction, engine=engine,
+            )
+            for index in indices
+        ]
+    if before is None:
+        return outcomes, None
+    delta = obs.snapshot().diff(before)
+    init_snap = _WORKER.pop("init_snapshot", None)
+    if init_snap is not None:
+        delta = init_snap.merge(delta)
+    return outcomes, delta
 
 
 def run_campaign_parallel(
@@ -143,18 +191,23 @@ def run_campaign_parallel(
     chunks = split_chunks(indices, jobs)
     outcomes: list[RunOutcome] | None = None
     if jobs > 1 and len(chunks) > 1:
-        per_chunk = pool_map_chunks(
-            chunks,
-            _campaign_chunk,
-            initializer=_init_campaign_worker,
-            initargs=(
-                client, wcet, analysis, horizon, runs,
-                seed_root, intensity, adversarial_fraction, engine_name,
-            ),
-            jobs=jobs,
-        )
+        with obs.span("campaign.parallel", jobs=jobs, runs=runs):
+            per_chunk = pool_map_chunks(
+                chunks,
+                _campaign_chunk,
+                initializer=_init_campaign_worker,
+                initargs=(
+                    client, wcet, analysis, horizon, runs,
+                    seed_root, intensity, adversarial_fraction, engine_name,
+                    obs.enabled(),
+                ),
+                jobs=jobs,
+            )
         if per_chunk is not None:
-            outcomes = [outcome for chunk in per_chunk for outcome in chunk]
+            merge_worker_snapshots(snap for _, snap in per_chunk)
+            outcomes = [
+                outcome for chunk, _ in per_chunk for outcome in chunk
+            ]
     if outcomes is None:
         backend = create_engine(engine_name, client)
         outcomes = [
@@ -171,22 +224,33 @@ def run_campaign_parallel(
 # -- parameter sweeps ------------------------------------------------------
 
 
-def _init_sweep_worker(evaluate: Callable, metric_names: tuple[str, ...]) -> None:
+def _init_sweep_worker(
+    evaluate: Callable,
+    metric_names: tuple[str, ...],
+    obs_enabled: bool = False,
+) -> None:
+    init_worker_obs(obs_enabled)
     _WORKER["sweep"] = (evaluate, metric_names)
 
 
-def _sweep_chunk(values: Sequence) -> list[tuple]:
+def _sweep_chunk(
+    values: Sequence,
+) -> tuple[list[tuple], obs.MetricsSnapshot | None]:
     evaluate, metric_names = _WORKER["sweep"]
+    before = obs.snapshot() if obs.enabled() else None
     rows = []
-    for value in values:
-        cells = tuple(evaluate(value))
-        if len(cells) != len(metric_names):
-            raise ValueError(
-                f"evaluate returned {len(cells)} cells for "
-                f"{len(metric_names)} metrics"
-            )
-        rows.append((value, *cells))
-    return rows
+    with obs.span("sweep.chunk", pid=os.getpid(), values=len(values)):
+        for value in values:
+            cells = tuple(evaluate(value))
+            if len(cells) != len(metric_names):
+                raise ValueError(
+                    f"evaluate returned {len(cells)} cells for "
+                    f"{len(metric_names)} metrics"
+                )
+            rows.append((value, *cells))
+    if before is None:
+        return rows, None
+    return rows, obs.snapshot().diff(before)
 
 
 def parallel_sweep(
@@ -210,14 +274,19 @@ def parallel_sweep(
     value_list = list(values)
     chunks = split_chunks(value_list, jobs)
     if jobs > 1 and len(chunks) > 1:
-        per_chunk = pool_map_chunks(
-            chunks,
-            _sweep_chunk,
-            initializer=_init_sweep_worker,
-            initargs=(evaluate, metric_names),
-            jobs=jobs,
-        )
+        with obs.span("sweep.parallel", jobs=jobs, values=len(value_list)) as sp:
+            per_chunk = pool_map_chunks(
+                chunks,
+                _sweep_chunk,
+                initializer=_init_sweep_worker,
+                initargs=(evaluate, metric_names, obs.enabled()),
+                jobs=jobs,
+            )
         if per_chunk is not None:
-            rows = tuple(row for chunk in per_chunk for row in chunk)
-            return CampaignResult(parameter, metric_names, rows)
+            merge_worker_snapshots(snap for _, snap in per_chunk)
+            rows = tuple(row for chunk, _ in per_chunk for row in chunk)
+            return CampaignResult(
+                parameter, metric_names, rows,
+                elapsed_seconds=sp.elapsed_seconds,
+            )
     return sweep(parameter, value_list, metric_names, evaluate)

@@ -33,6 +33,33 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_elapsed(seconds: float) -> str:
+    """One-line wall-clock footer for campaign tables.
+
+    ``seconds`` comes from the campaign's span
+    (:class:`repro.obs.spans.Span`, monotonic clocks) rather than ad-hoc
+    ``time.time()`` bracketing — the same number the trace exporters
+    show, so table footers and Chrome traces never disagree.
+    """
+    if seconds < 0:
+        raise ValueError("elapsed time cannot be negative")
+    return f"elapsed: {seconds:.3f} s"
+
+
+def campaign_elapsed_seconds(span_name: str = "campaign.adequacy") -> float | None:
+    """Total recorded wall clock of all spans named ``span_name``.
+
+    Reads the observability span tree; ``None`` when nothing was
+    recorded (observability off, or no campaign ran).
+    """
+    from repro.obs import find_spans
+
+    records = find_spans(span_name)
+    if not records:
+        return None
+    return sum(record.duration_ns for record in records) / 1e9
+
+
 def _cell(value: object) -> str:
     if value is None:
         return "—"

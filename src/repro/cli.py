@@ -12,7 +12,14 @@ Commands:
 * ``source``   — print the generated MiniC translation unit;
 * ``render``   — simulate a run and print its ASCII schedule timeline;
 * ``wcet``     — static cost bounds for the scheduler helpers plus
-  VM-measured basic-action maxima (the WCET toolchain).
+  VM-measured basic-action maxima (the WCET toolchain);
+* ``profile``  — run ``analyze``/``simulate``/``verify`` with
+  observability on and print the span/metric profile (docs/observability.md).
+
+``analyze``, ``simulate``, ``verify``, and ``profile`` accept
+``--metrics-out PATH`` (JSONL metrics) and ``--trace-out PATH``
+(Chrome trace-event JSON); recording is observational only and never
+changes a result.
 
 All commands read the deployment from a JSON spec (see
 :mod:`repro.config` for the format).
@@ -25,8 +32,9 @@ import random
 import sys
 from typing import Sequence
 
+from repro import __version__, obs
 from repro.analysis.adequacy import run_adequacy_campaign
-from repro.analysis.report import format_table
+from repro.analysis.report import format_elapsed, format_table
 from repro.config import Deployment, SpecError, load_deployment
 from repro.engine import engine_names
 from repro.rta.npfp import analyse
@@ -82,7 +90,11 @@ def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
         engine=args.engine or deployment.engine,
         jobs=args.jobs,
     )
+    # The table goes to stdout (bit-identical across jobs=1/jobs=N);
+    # wall clock is inherently nondeterministic, so it goes to stderr.
     print(report.table())
+    if report.elapsed_seconds is not None:
+        print(format_elapsed(report.elapsed_seconds), file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -138,6 +150,23 @@ def _cmd_render(deployment: Deployment, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(deployment: Deployment, args: argparse.Namespace) -> int:
+    from repro.obs.export import text_summary
+
+    handlers = {
+        "analyze": _cmd_analyze,
+        "simulate": _cmd_simulate,
+        "verify": _cmd_verify,
+    }
+    if args.horizon is None:
+        args.horizon = 1_000_000 if args.profile_command == "analyze" else 100_000
+    with obs.span("cli.profile", command=args.profile_command):
+        code = handlers[args.profile_command](deployment, args)
+    print()
+    print(text_summary())
+    return code
+
+
 def _cmd_wcet(deployment: Deployment, args: argparse.Namespace) -> int:
     from repro.lang.cost import CostAnalyzer
     from repro.lang.parser import parse_program
@@ -180,17 +209,34 @@ def _cmd_wcet(deployment: Deployment, args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability outputs shared by analyze/simulate/verify/profile."""
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="enable observability and write metrics as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="enable observability and write a chrome://tracing-loadable "
+        "span trace (JSON) to PATH",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="RefinedProsa reproduction: analyze/simulate/verify "
         "Rössl deployments",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze = sub.add_parser("analyze", help="response-time analysis")
     analyze.add_argument("spec", help="deployment spec (JSON)")
     analyze.add_argument("--horizon", type=int, default=1_000_000)
+    _add_obs_flags(analyze)
     analyze.set_defaults(handler=_cmd_analyze)
 
     simulate = sub.add_parser("simulate", help="timed simulation campaign")
@@ -207,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_jobs_count, default=1,
         help="worker processes for the campaign (≥ 1)",
     )
+    _add_obs_flags(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     verify = sub.add_parser("verify", help="bounded model check of the C code")
@@ -224,7 +271,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_jobs_count, default=1,
         help="worker processes for the exploration (≥ 1)",
     )
+    _add_obs_flags(verify)
     verify.set_defaults(handler=_cmd_verify)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a command with observability on and print the profile",
+    )
+    profile.add_argument("spec")
+    profile.add_argument(
+        "--command", dest="profile_command",
+        choices=("analyze", "simulate", "verify"), default="analyze",
+        help="which pipeline to profile (default: analyze)",
+    )
+    profile.add_argument(
+        "--horizon", type=int, default=None,
+        help="defaults to the profiled command's own default",
+    )
+    profile.add_argument("--runs", type=int, default=5)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--intensity", type=float, default=1.0)
+    profile.add_argument("--depth", type=int, default=4)
+    profile.add_argument(
+        "--semantics", choices=("minic", "python"), default="minic",
+        help=argparse.SUPPRESS,  # legacy spelling, used by the verify handler
+    )
+    profile.add_argument(
+        "--engine", choices=engine_names(), default=None,
+        help="execution backend for simulate/verify",
+    )
+    profile.add_argument(
+        "--jobs", type=_jobs_count, default=1,
+        help="worker processes (≥ 1); worker metrics merge into the profile",
+    )
+    _add_obs_flags(profile)
+    profile.set_defaults(handler=_cmd_profile)
 
     source = sub.add_parser("source", help="print the generated MiniC")
     source.add_argument("spec")
@@ -251,6 +332,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    if metrics_out or trace_out or args.command == "profile":
+        obs.enable()
     try:
         deployment = load_deployment(args.spec)
     except SpecError as exc:
@@ -260,6 +345,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         return args.handler(deployment, args)
     except BrokenPipeError:  # e.g. `repro source … | head`
         return 0
+    finally:
+        # Exports go to files (and notes to stderr): stdout is identical
+        # with observability on or off — the determinism contract.
+        if metrics_out:
+            from repro.obs.export import write_metrics_jsonl
+
+            lines = write_metrics_jsonl(metrics_out)
+            print(f"wrote {lines} metric lines to {metrics_out}", file=sys.stderr)
+        if trace_out:
+            from repro.obs.export import write_chrome_trace
+
+            events = write_chrome_trace(trace_out)
+            print(f"wrote {events} trace events to {trace_out}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

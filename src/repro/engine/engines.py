@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+from repro import obs
 from repro.lang.errors import OutOfFuel
 from repro.rossl.client import RosslClient
 from repro.rossl.env import Environment, HorizonReached
@@ -90,6 +91,7 @@ class PythonModelEngine(_EngineBase):
 
     def __init__(self, client: RosslClient, msg_cap: int = DEFAULT_MSG_CAP) -> None:
         self.client = client
+        obs.inc("engine.builds")
 
     def run(
         self, env: Environment, sink: MarkerSink, fuel: int | None = None
@@ -112,7 +114,9 @@ class MiniCInterpEngine(_EngineBase):
         from repro.rossl.source import build_rossl
 
         self.client = client
-        self.typed = build_rossl(client, msg_cap)
+        with obs.span("engine.build", engine=self.name):
+            self.typed = build_rossl(client, msg_cap)
+        obs.inc("engine.builds")
 
     def run(
         self, env: Environment, sink: MarkerSink, fuel: int | None = None
@@ -153,11 +157,13 @@ class VmEngine(_EngineBase):
 
         self.client = client
         self.name = "vm-opt" if optimize else "vm"
-        compiled = compile_program(build_rossl(client, msg_cap))
-        if optimize:
-            from repro.lang.optimize import optimize_program
+        with obs.span("engine.build", engine=self.name):
+            compiled = compile_program(build_rossl(client, msg_cap))
+            if optimize:
+                from repro.lang.optimize import optimize_program
 
-            compiled = optimize_program(compiled)
+                compiled = optimize_program(compiled)
+        obs.inc("engine.builds")
         self.compiled = compiled
 
     def run(

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.lang.builtins import TraceRuntime
 from repro.lang.compile import CompiledFunction, CompiledProgram, Instr
 from repro.lang.errors import OutOfFuel, UndefinedBehavior
@@ -86,6 +87,18 @@ class VM:
 
     def call(self, name: str, args: list[Value]) -> Value | None:
         """Run ``name`` to completion; returns its value (None for void)."""
+        start_executed = self.executed
+        try:
+            return self._dispatch(name, args)
+        finally:
+            # Observational only: the dispatch loop itself stays
+            # untouched, the per-call totals are recorded on the way out
+            # (including abnormal exits — fuel exhaustion, horizon).
+            if obs.enabled():
+                obs.inc("vm.calls")
+                obs.inc("vm.instructions", self.executed - start_executed)
+
+    def _dispatch(self, name: str, args: list[Value]) -> Value | None:
         call_stack: list[_Frame] = [self._enter(name, args)]
         return_value: Value | None = None
         while call_stack:

@@ -1,0 +1,92 @@
+"""repro.obs — zero-dependency observability: spans, metrics, exports.
+
+The analyzer instruments the modeled program with marker traces; this
+package extends the same idea to the analyzer *itself*:
+
+* :mod:`repro.obs.spans` — hierarchical timed spans over monotonic
+  clocks (``with obs.span("rta.analyse"): ...``);
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
+  in a process-wide registry with picklable **snapshot / merge / diff**,
+  so parallel workers ship their numbers back to the parent;
+* :mod:`repro.obs.export` — JSONL, Chrome trace-event format, and a
+  human text summary.
+
+Everything is off by default: instrumented hot paths pay one boolean
+check and nothing else.  Enabling recording never changes any analysis,
+simulation, or verification result — metrics are observational only,
+and tests assert byte-identical outputs with recording on and off.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("campaign.adequacy", runs=200):
+        ...
+        obs.inc("sim.runs")
+    obs.export.write_metrics_jsonl("metrics.jsonl")
+    obs.export.write_chrome_trace("trace.json")
+    print(obs.export.text_summary())
+"""
+
+from repro.obs import export
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    HistogramState,
+    MetricsRegistry,
+    MetricsSnapshot,
+    REGISTRY,
+    counter_value,
+    gauge,
+    inc,
+    merge_snapshot,
+    observe,
+    reset,
+    snapshot,
+)
+from repro.obs.spans import (
+    Span,
+    SpanRecord,
+    clear_spans,
+    find_spans,
+    span,
+    span_records,
+)
+from repro.obs.state import enabled, set_enabled
+
+
+def enable() -> None:
+    """Turn on observability recording (process-wide)."""
+    set_enabled(True)
+
+
+def disable() -> None:
+    """Turn off observability recording (process-wide)."""
+    set_enabled(False)
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "HistogramState",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "REGISTRY",
+    "Span",
+    "SpanRecord",
+    "clear_spans",
+    "counter_value",
+    "disable",
+    "enable",
+    "enabled",
+    "export",
+    "find_spans",
+    "gauge",
+    "inc",
+    "merge_snapshot",
+    "observe",
+    "reset",
+    "set_enabled",
+    "snapshot",
+    "span",
+    "span_records",
+]

@@ -1,0 +1,176 @@
+"""Exporters: JSONL metrics, Chrome trace-event files, text summaries.
+
+Three output shapes, all stdlib-only:
+
+* :func:`metrics_jsonl` / :func:`write_metrics_jsonl` — one JSON object
+  per line: ``{"type": "counter"|"gauge"|"histogram"|"span", ...}``.
+  Greppable, streamable, diffable; the CI smoke test parses every line.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (complete ``"ph": "X"`` events), loadable in
+  ``chrome://tracing`` / Perfetto.  Workers show up as separate ``pid``
+  tracks, which is how the E18 per-worker breakdown is read.
+* :func:`text_summary` — a human-oriented profile: spans aggregated by
+  name (count / total / mean), then counters, gauges, and histograms.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.metrics import MetricsSnapshot, snapshot as _global_snapshot
+from repro.obs.spans import SpanRecord
+
+
+def _snap(snap: MetricsSnapshot | None) -> MetricsSnapshot:
+    return _global_snapshot() if snap is None else snap
+
+
+# -- JSONL -----------------------------------------------------------------
+
+
+def metrics_jsonl(snap: MetricsSnapshot | None = None) -> list[str]:
+    """The snapshot as JSONL lines (counters, gauges, histograms, spans)."""
+    snap = _snap(snap)
+    lines = []
+    for name, value in snap.counters:
+        lines.append(json.dumps(
+            {"type": "counter", "name": name, "value": value},
+            sort_keys=True,
+        ))
+    for name, value in snap.gauges:
+        lines.append(json.dumps(
+            {"type": "gauge", "name": name, "value": value},
+            sort_keys=True,
+        ))
+    for name, state in snap.histograms:
+        lines.append(json.dumps(
+            {
+                "type": "histogram",
+                "name": name,
+                "buckets": list(state.buckets),
+                "counts": list(state.counts),
+                "count": state.total,
+                "sum": state.sum,
+            },
+            sort_keys=True,
+        ))
+    for record in snap.spans:
+        lines.append(json.dumps(
+            {
+                "type": "span",
+                "name": record.name,
+                "start_ns": record.start_ns,
+                "duration_ns": record.duration_ns,
+                "parent": record.parent,
+                "depth": record.depth,
+                "pid": record.pid,
+                "attrs": dict(record.attrs),
+            },
+            sort_keys=True,
+        ))
+    return lines
+
+
+def write_metrics_jsonl(
+    path: str | Path, snap: MetricsSnapshot | None = None
+) -> int:
+    """Write the JSONL export to ``path``; returns the number of lines."""
+    lines = metrics_jsonl(snap)
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+# -- Chrome trace-event format ---------------------------------------------
+
+
+def chrome_trace(snap: MetricsSnapshot | None = None) -> dict:
+    """The span records as a ``chrome://tracing``-loadable object."""
+    snap = _snap(snap)
+    events = []
+    for record in snap.spans:
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": record.start_ns / 1_000,   # microseconds
+                "dur": record.duration_ns / 1_000,
+                "pid": record.pid,
+                "tid": record.tid,
+                "args": dict(record.attrs),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | Path, snap: MetricsSnapshot | None = None
+) -> int:
+    """Write the Chrome trace to ``path``; returns the event count."""
+    trace = chrome_trace(snap)
+    Path(path).write_text(json.dumps(trace, sort_keys=True))
+    return len(trace["traceEvents"])
+
+
+# -- human text summary ----------------------------------------------------
+
+
+def _aggregate_spans(
+    spans: Iterable[SpanRecord],
+) -> list[tuple[str, int, float, float]]:
+    """Per span name: (name, count, total seconds, mean milliseconds)."""
+    totals: dict[str, tuple[int, int]] = {}
+    for record in spans:
+        count, dur = totals.get(record.name, (0, 0))
+        totals[record.name] = (count + 1, dur + record.duration_ns)
+    return sorted(
+        (
+            (name, count, dur / 1e9, dur / count / 1e6)
+            for name, (count, dur) in totals.items()
+        ),
+        key=lambda row: -row[2],
+    )
+
+
+def text_summary(snap: MetricsSnapshot | None = None) -> str:
+    """A human-readable profile of the snapshot."""
+    from repro.analysis.report import format_table
+
+    snap = _snap(snap)
+    sections = []
+    if snap.spans:
+        rows = [
+            (name, count, f"{total:.4f}", f"{mean:.3f}")
+            for name, count, total, mean in _aggregate_spans(snap.spans)
+        ]
+        sections.append(format_table(
+            ["span", "count", "total s", "mean ms"], rows, title="spans"
+        ))
+    if snap.counters:
+        sections.append(format_table(
+            ["counter", "value"], list(snap.counters), title="counters"
+        ))
+    if snap.gauges:
+        sections.append(format_table(
+            ["gauge", "value"], list(snap.gauges), title="gauges"
+        ))
+    if snap.histograms:
+        rows = []
+        for name, state in snap.histograms:
+            cells = [
+                f"<={bound}:{count}"
+                for bound, count in zip(state.buckets, state.counts)
+                if count
+            ]
+            if state.counts[-1]:
+                cells.append(f">{state.buckets[-1]}:{state.counts[-1]}")
+            rows.append((name, state.total, state.sum, " ".join(cells) or "—"))
+        sections.append(format_table(
+            ["histogram", "count", "sum", "nonzero buckets"],
+            rows, title="histograms",
+        ))
+    if not sections:
+        return "(no observability data recorded — is repro.obs enabled?)"
+    return "\n\n".join(sections)

@@ -1,0 +1,289 @@
+"""Counters, gauges, and fixed-bucket histograms, process-wide.
+
+The registry is a single process-global object; instrumented layers call
+the module-level helpers (:func:`inc`, :func:`gauge`, :func:`observe`)
+which are no-ops when observability is disabled — one boolean check, no
+allocation, no locking.
+
+Two value types make the registry distributable:
+
+* :class:`MetricsSnapshot` — an immutable, picklable copy of everything
+  recorded so far (counters, gauges, histograms, *and* the span records
+  of :mod:`repro.obs.spans`).  Snapshots :meth:`~MetricsSnapshot.merge`
+  associatively (counters and histogram buckets add, gauges are
+  last-writer-wins, spans concatenate), and :meth:`~MetricsSnapshot.diff`
+  subtracts an earlier snapshot of the *same* process — the pair is how
+  parallel workers report exactly the work of one chunk.
+* :func:`merge_snapshot` folds a snapshot (typically a worker's) back
+  into this process's registry and span recorder, so a parallel campaign
+  ends with the same counts a serial one would have produced.
+
+Metric names are dotted lowercase, ``layer.noun[_unit]`` — e.g.
+``vm.instructions``, ``rta.memo_curve.hits``, ``sim.markers``.  See
+docs/observability.md for the full naming table.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.obs.spans import SpanRecord, _adopt_records, clear_spans, span_records
+from repro.obs.state import enabled
+
+#: Default histogram bucket upper bounds (a 1-2.5-5 decade ladder).
+#: Values above the last edge land in the implicit +inf bucket.
+DEFAULT_BUCKETS: tuple[int, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500,
+    1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+)
+
+
+@dataclass(frozen=True)
+class HistogramState:
+    """A fixed-bucket histogram as an immutable value.
+
+    ``counts`` has ``len(buckets) + 1`` cells: one per upper bound
+    (``value <= bucket``) plus the overflow bucket.
+    """
+
+    buckets: tuple[int, ...]
+    counts: tuple[int, ...]
+    total: int
+    sum: int
+
+    def merge(self, other: "HistogramState") -> "HistogramState":
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with buckets {self.buckets} "
+                f"and {other.buckets}"
+            )
+        return HistogramState(
+            buckets=self.buckets,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            total=self.total + other.total,
+            sum=self.sum + other.sum,
+        )
+
+    def diff(self, earlier: "HistogramState") -> "HistogramState":
+        if self.buckets != earlier.buckets:
+            raise ValueError("histogram buckets changed between snapshots")
+        return HistogramState(
+            buckets=self.buckets,
+            counts=tuple(a - b for a, b in zip(self.counts, earlier.counts)),
+            total=self.total - earlier.total,
+            sum=self.sum - earlier.sum,
+        )
+
+
+def _bucket_index(buckets: tuple[int, ...], value: float) -> int:
+    for i, bound in enumerate(buckets):
+        if value <= bound:
+            return i
+    return len(buckets)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable, picklable view of a registry (plus span records)."""
+
+    counters: tuple[tuple[str, int], ...] = ()
+    gauges: tuple[tuple[str, float], ...] = ()
+    histograms: tuple[tuple[str, HistogramState], ...] = ()
+    spans: tuple[SpanRecord, ...] = ()
+
+    def counter(self, name: str) -> int:
+        """The value of counter ``name`` (0 when absent)."""
+        return dict(self.counters).get(name, 0)
+
+    def gauge_value(self, name: str) -> float | None:
+        return dict(self.gauges).get(name)
+
+    def histogram(self, name: str) -> HistogramState | None:
+        return dict(self.histograms).get(name)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two snapshots; associative, identity = empty snapshot."""
+        counters = dict(self.counters)
+        for name, value in other.counters:
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        gauges.update(other.gauges)  # last-writer-wins
+        histograms = dict(self.histograms)
+        for name, state in other.histograms:
+            mine = histograms.get(name)
+            histograms[name] = state if mine is None else mine.merge(state)
+        return MetricsSnapshot(
+            counters=tuple(sorted(counters.items())),
+            gauges=tuple(sorted(gauges.items())),
+            histograms=tuple(sorted(histograms.items())),
+            spans=self.spans + other.spans,
+        )
+
+    def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What happened after ``earlier`` was taken (same process).
+
+        Counters and histograms subtract (zero entries are dropped);
+        gauges keep their latest values; spans are the suffix recorded
+        since ``earlier`` (the recorder is append-only).
+        """
+        before = dict(earlier.counters)
+        counters = tuple(
+            sorted(
+                (name, value - before.get(name, 0))
+                for name, value in self.counters
+                if value - before.get(name, 0) != 0
+            )
+        )
+        hist_before = dict(earlier.histograms)
+        histograms = []
+        for name, state in self.histograms:
+            prior = hist_before.get(name)
+            delta = state if prior is None else state.diff(prior)
+            if delta.total:
+                histograms.append((name, delta))
+        return MetricsSnapshot(
+            counters=counters,
+            gauges=self.gauges,
+            histograms=tuple(sorted(histograms)),
+            spans=self.spans[len(earlier.spans):],
+        )
+
+
+class MetricsRegistry:
+    """The mutable, thread-safe store behind the module helpers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._hist_buckets: dict[str, tuple[int, ...]] = {}
+        self._hist_counts: dict[str, list[int]] = {}
+        self._hist_total: dict[str, int] = {}
+        self._hist_sum: dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(
+        self, name: str, value: float, buckets: tuple[int, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        with self._lock:
+            known = self._hist_buckets.get(name)
+            if known is None:
+                known = self._hist_buckets[name] = tuple(buckets)
+                self._hist_counts[name] = [0] * (len(known) + 1)
+                self._hist_total[name] = 0
+                self._hist_sum[name] = 0
+            self._hist_counts[name][_bucket_index(known, value)] += 1
+            self._hist_total[name] += 1
+            self._hist_sum[name] += int(value)
+
+    def counter_value(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            return MetricsSnapshot(
+                counters=tuple(sorted(self._counters.items())),
+                gauges=tuple(sorted(self._gauges.items())),
+                histograms=tuple(
+                    sorted(
+                        (
+                            name,
+                            HistogramState(
+                                buckets=self._hist_buckets[name],
+                                counts=tuple(self._hist_counts[name]),
+                                total=self._hist_total[name],
+                                sum=self._hist_sum[name],
+                            ),
+                        )
+                        for name in self._hist_buckets
+                    )
+                ),
+                spans=span_records(),
+            )
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        with self._lock:
+            for name, value in snapshot.counters:
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in snapshot.gauges:
+                self._gauges[name] = value
+            for name, state in snapshot.histograms:
+                known = self._hist_buckets.get(name)
+                if known is None:
+                    self._hist_buckets[name] = state.buckets
+                    self._hist_counts[name] = list(state.counts)
+                    self._hist_total[name] = state.total
+                    self._hist_sum[name] = state.sum
+                    continue
+                if known != state.buckets:
+                    raise ValueError(
+                        f"histogram {name!r}: bucket mismatch on merge"
+                    )
+                counts = self._hist_counts[name]
+                for i, c in enumerate(state.counts):
+                    counts[i] += c
+                self._hist_total[name] += state.total
+                self._hist_sum[name] += state.sum
+        _adopt_records(snapshot.spans)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hist_buckets.clear()
+            self._hist_counts.clear()
+            self._hist_total.clear()
+            self._hist_sum.clear()
+        clear_spans()
+
+
+REGISTRY = MetricsRegistry()
+
+
+def inc(name: str, amount: int = 1) -> None:
+    """Add ``amount`` to counter ``name`` (no-op when disabled)."""
+    if enabled():
+        REGISTRY.inc(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (no-op when disabled)."""
+    if enabled():
+        REGISTRY.gauge(name, value)
+
+
+def observe(
+    name: str, value: float, buckets: tuple[int, ...] = DEFAULT_BUCKETS
+) -> None:
+    """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+    if enabled():
+        REGISTRY.observe(name, value, buckets)
+
+
+def counter_value(name: str) -> int:
+    """Current value of counter ``name`` (0 when absent or disabled)."""
+    return REGISTRY.counter_value(name)
+
+
+def snapshot() -> MetricsSnapshot:
+    """An immutable copy of everything recorded so far."""
+    return REGISTRY.snapshot()
+
+
+def merge_snapshot(snap: MetricsSnapshot) -> None:
+    """Fold ``snap`` (e.g. a worker's chunk delta) into this registry."""
+    REGISTRY.merge_snapshot(snap)
+
+
+def reset() -> None:
+    """Drop all recorded metrics and spans (process-wide)."""
+    REGISTRY.reset()

@@ -1,0 +1,165 @@
+"""Hierarchical timed spans over monotonic clocks.
+
+A span measures one named stretch of work::
+
+    from repro import obs
+
+    with obs.span("rta.analyse", tasks=len(tasks)) as sp:
+        ...
+    sp.elapsed_seconds  # always available, even when recording is off
+
+Spans *always* measure (two ``perf_counter_ns`` calls — callers use them
+at run/campaign granularity, never per instruction), but only *record*
+into the process-wide recorder when :func:`repro.obs.state.enabled` is
+on.  Nesting is tracked per thread: a span entered inside another span
+records that span's name as its parent, which is how the exporters
+rebuild the span tree (and how the Chrome trace nests its slices).
+
+Recorded spans are immutable :class:`SpanRecord` values — picklable on
+purpose, so parallel workers can ship their span data back to the parent
+inside a metrics snapshot (:mod:`repro.obs.metrics`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, as recorded.
+
+    ``start_ns`` is a ``perf_counter_ns`` reading, meaningful only
+    relative to other records from the same process (``pid``) — the
+    exporters keep per-process tracks apart.
+    """
+
+    name: str
+    start_ns: int
+    duration_ns: int
+    depth: int
+    parent: str | None
+    pid: int
+    tid: int
+    attrs: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def seconds(self) -> float:
+        return self.duration_ns / 1e9
+
+
+class _Recorder:
+    """Append-only, thread-safe store of finished spans."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord] = []
+
+    def add(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def extend(self, records: tuple[SpanRecord, ...]) -> None:
+        with self._lock:
+            self._records.extend(records)
+
+    def records(self) -> tuple[SpanRecord, ...]:
+        with self._lock:
+            return tuple(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+
+_RECORDER = _Recorder()
+_STACKS = threading.local()
+
+
+def _stack() -> list[str]:
+    stack = getattr(_STACKS, "spans", None)
+    if stack is None:
+        stack = _STACKS.spans = []
+    return stack
+
+
+def span_records() -> tuple[SpanRecord, ...]:
+    """All spans recorded so far in this process, in completion order."""
+    return _RECORDER.records()
+
+
+def find_spans(name: str) -> tuple[SpanRecord, ...]:
+    """The recorded spans named ``name``."""
+    return tuple(r for r in _RECORDER.records() if r.name == name)
+
+
+def clear_spans() -> None:
+    """Drop every recorded span (used by reset / tests / fork inits)."""
+    _RECORDER.clear()
+
+
+def _adopt_records(records: tuple[SpanRecord, ...]) -> None:
+    """Merge foreign (worker) span records into this process's recorder."""
+    _RECORDER.extend(records)
+
+
+@dataclass
+class Span:
+    """The context manager returned by :func:`span`."""
+
+    name: str
+    attrs: dict[str, object] = field(default_factory=dict)
+    start_ns: int = 0
+    duration_ns: int = 0
+    _depth: int = 0
+    _parent: str | None = None
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes mid-span (recorded with the span)."""
+        self.attrs.update(attrs)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Duration in seconds (valid after the ``with`` block exits)."""
+        return self.duration_ns / 1e9
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self._parent = stack[-1] if stack else None
+        self._depth = len(stack)
+        stack.append(self.name)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration_ns = time.perf_counter_ns() - self.start_ns
+        stack = _stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        from repro.obs.state import enabled
+
+        if enabled():
+            _RECORDER.add(
+                SpanRecord(
+                    name=self.name,
+                    start_ns=self.start_ns,
+                    duration_ns=self.duration_ns,
+                    depth=self._depth,
+                    parent=self._parent,
+                    pid=os.getpid(),
+                    tid=threading.get_ident(),
+                    attrs=tuple(sorted(self.attrs.items())),
+                )
+            )
+
+
+def span(name: str, **attrs: object) -> Span:
+    """Open a timed span named ``name`` with optional attributes.
+
+    Span names follow the same dotted convention as metric names
+    (``layer.operation``, see docs/observability.md).
+    """
+    return Span(name, dict(attrs))

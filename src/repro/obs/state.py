@@ -1,0 +1,24 @@
+"""The observability on/off switch.
+
+Kept in its own tiny module so both :mod:`repro.obs.spans` and
+:mod:`repro.obs.metrics` (and every instrumented layer) can consult it
+without import cycles.  The flag gates *recording* only: disabled code
+paths do no allocation and no bookkeeping beyond one boolean check, and
+metrics are observational either way — enabling observability never
+changes an analysis, simulation, or verification result.
+"""
+
+from __future__ import annotations
+
+_ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether observability recording is on (process-wide)."""
+    return _ENABLED
+
+
+def set_enabled(on: bool) -> None:
+    """Turn observability recording on or off (process-wide)."""
+    global _ENABLED
+    _ENABLED = bool(on)

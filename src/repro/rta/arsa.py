@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Protocol, Sequence
 
+from repro import obs
 from repro.model.task import Task
 from repro.rta.curves import ArrivalCurve
 
@@ -82,18 +83,23 @@ def busy_window_bound(
     own_and_hep = [t for t in tasks if t.priority >= task.priority]
     blocking = blocking_bound(task, tasks)
     length = 1
-    while length <= horizon:
-        demand = blocking + sum(
-            release_curves[t.name](length) * t.wcet for t in own_and_hep
-        )
-        if demand <= sbf(length):
-            return length
-        # Jump: supply must reach at least `demand`.
-        nxt = sbf.inverse(demand, horizon)
-        if nxt is None:
-            return None
-        length = max(nxt, length + 1)
-    return None
+    iterations = 0
+    try:
+        while length <= horizon:
+            iterations += 1
+            demand = blocking + sum(
+                release_curves[t.name](length) * t.wcet for t in own_and_hep
+            )
+            if demand <= sbf(length):
+                return length
+            # Jump: supply must reach at least `demand`.
+            nxt = sbf.inverse(demand, horizon)
+            if nxt is None:
+                return None
+            length = max(nxt, length + 1)
+        return None
+    finally:
+        obs.inc("rta.arsa.busy_window_iterations", iterations)
 
 
 def _offsets_to_check(beta_i: ArrivalCurve, busy_window: int) -> list[int]:
@@ -124,21 +130,26 @@ def start_time_bound(
     beta_i = release_curves[task.name]
     prior_own = (beta_i(offset + 1) - 1) * task.wcet
     s = 0
-    while s <= horizon:
-        demand = (
-            blocking
-            + prior_own
-            + sum(release_curves[t.name](s + 1) * t.wcet for t in hep)
-            + 1
-        )
-        needed = sbf.inverse(demand, horizon + 1)
-        if needed is None:
-            return None
-        candidate = max(needed - 1, 0)
-        if candidate <= s:
-            return s if sbf(s + 1) >= demand else None
-        s = candidate
-    return None
+    iterations = 0
+    try:
+        while s <= horizon:
+            iterations += 1
+            demand = (
+                blocking
+                + prior_own
+                + sum(release_curves[t.name](s + 1) * t.wcet for t in hep)
+                + 1
+            )
+            needed = sbf.inverse(demand, horizon + 1)
+            if needed is None:
+                return None
+            candidate = max(needed - 1, 0)
+            if candidate <= s:
+                return s if sbf(s + 1) >= demand else None
+            s = candidate
+        return None
+    finally:
+        obs.inc("rta.arsa.start_time_iterations", iterations)
 
 
 def solve_response_time(
@@ -153,6 +164,7 @@ def solve_response_time(
     ``None`` means the analysis could not bound the response time within
     ``horizon`` (overload).
     """
+    obs.inc("rta.arsa.tasks_solved")
     window = busy_window_bound(task, tasks, release_curves, sbf, horizon)
     if window is None:
         return None

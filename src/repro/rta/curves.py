@@ -146,6 +146,18 @@ class MemoCurve:
         return _memoized_value(self, delta)
 
 
+def memo_cache_info():
+    """Hit/miss statistics of the shared step cache.
+
+    Returns the ``functools`` ``CacheInfo`` of the process-wide
+    :class:`MemoCurve` evaluation cache — the observability layer
+    records deltas of this around each analysis
+    (:func:`repro.rta.npfp.analyse`), exposing the cache as the
+    ``rta.memo_curve.hits`` / ``rta.memo_curve.misses`` counters.
+    """
+    return _memoized_value.cache_info()
+
+
 def memoized_curve(curve: ArrivalCurve) -> ArrivalCurve:
     """Wrap ``curve`` in the shared evaluation cache when possible.
 

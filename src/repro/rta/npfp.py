@@ -17,10 +17,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.model.task import Task, TaskSystem
 from repro.rossl.client import RosslClient
 from repro.rta.arsa import ArsaResult, solve_response_time
-from repro.rta.curves import ArrivalCurve, memoized_curve, release_curve
+from repro.rta.curves import (
+    ArrivalCurve,
+    memo_cache_info,
+    memoized_curve,
+    release_curve,
+)
 from repro.rta.jitter import JitterBounds, jitter_bound
 from repro.rta.sbf import SupplyBoundFunction, make_sbf
 from repro.timing.wcet import WcetModel
@@ -91,23 +97,36 @@ def analyse(
     tasks = client.tasks
     if not tasks.has_curves:
         raise ValueError("every task needs an arrival curve for the analysis")
-    jitter = jitter_bound(wcet, client.num_sockets)
-    # Memoized release curves: busy-window iteration, SBF extension, and
-    # repeat analyses of the same deployment share step evaluations.
-    release_curves: dict[str, ArrivalCurve] = {
-        task.name: memoized_curve(
-            release_curve(tasks.arrival_curve(task.name), jitter.bound)
+    cache_before = memo_cache_info() if obs.enabled() else None
+    with obs.span("rta.analyse", tasks=len(tasks.tasks), horizon=horizon):
+        jitter = jitter_bound(wcet, client.num_sockets)
+        # Memoized release curves: busy-window iteration, SBF extension,
+        # and repeat analyses of the same deployment share step
+        # evaluations.
+        release_curves: dict[str, ArrivalCurve] = {
+            task.name: memoized_curve(
+                release_curve(tasks.arrival_curve(task.name), jitter.bound)
+            )
+            for task in tasks
+        }
+        sbf = make_sbf(tasks.tasks, release_curves, wcet, client.num_sockets)
+        bounds = {
+            task.name: TaskBound(
+                task,
+                solve_response_time(
+                    task, tasks.tasks, release_curves, sbf, horizon
+                ),
+            )
+            for task in tasks
+        }
+    if cache_before is not None:
+        cache_after = memo_cache_info()
+        obs.inc("rta.analyses")
+        obs.inc("rta.memo_curve.hits", cache_after.hits - cache_before.hits)
+        obs.inc(
+            "rta.memo_curve.misses", cache_after.misses - cache_before.misses
         )
-        for task in tasks
-    }
-    sbf = make_sbf(tasks.tasks, release_curves, wcet, client.num_sockets)
-    bounds = {
-        task.name: TaskBound(
-            task,
-            solve_response_time(task, tasks.tasks, release_curves, sbf, horizon),
-        )
-        for task in tasks
-    }
+        obs.gauge("rta.sbf.extended_to", sbf.extended_to)
     return AnalysisResult(
         tasks=tasks,
         wcet=wcet,

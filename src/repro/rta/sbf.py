@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.model.task import Task
 from repro.rta.curves import ArrivalCurve
 from repro.timing.wcet import WcetModel
@@ -114,6 +115,11 @@ class SupplyBoundFunction:
             )
             self._values.append(max(self._values[-1], slack, 0))
 
+    @property
+    def extended_to(self) -> int:
+        """The largest ``Δ`` whose value is memoized so far."""
+        return len(self._values) - 1
+
     def __call__(self, delta: int) -> int:
         if delta < 0:
             raise ValueError("window length must be non-negative")
@@ -190,13 +196,16 @@ def shared_sbf(
     try:
         cached = _SBF_POOL.get(key)
     except TypeError:
+        obs.inc("rta.sbf.pool_misses")
         return SupplyBoundFunction(curves, wcet, num_sockets, carry_in)
     if cached is None:
+        obs.inc("rta.sbf.pool_misses")
         cached = SupplyBoundFunction(curves, wcet, num_sockets, carry_in)
         _SBF_POOL[key] = cached
         if len(_SBF_POOL) > _SBF_POOL_LIMIT:
             _SBF_POOL.popitem(last=False)
     else:
+        obs.inc("rta.sbf.pool_hits")
         _SBF_POOL.move_to_end(key)
     return cached
 

@@ -27,6 +27,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from repro import obs
 from repro.engine import SchedulerEngine, as_engine
 from repro.model.message import MsgData
 from repro.rossl.client import RosslClient
@@ -226,7 +227,21 @@ def simulate(
     """
     backend = as_engine(engine if engine is not None else implementation, client)
     driver = TimedDriver(client, arrivals, wcet, horizon, durations)
-    backend.run(driver, driver, fuel=fuel)
+    with obs.span("sim.run", engine=backend.name, horizon=horizon):
+        backend.run(driver, driver, fuel=fuel)
+    if obs.enabled():
+        # Tallied after the run from the recorded trace — the timed
+        # driver's emit path stays untouched.
+        obs.inc("sim.runs")
+        obs.inc("sim.markers", len(driver.trace))
+        obs.inc("sim.arrivals_delivered", driver._delivered)
+        obs.observe("sim.markers_per_run", len(driver.trace))
+        kinds: dict[str, int] = {}
+        for marker in driver.trace:
+            kind = type(marker).__name__
+            kinds[kind] = kinds.get(kind, 0) + 1
+        for kind, count in sorted(kinds.items()):
+            obs.inc(f"sim.marker.{kind}", count)
     return SimulationResult(
         client=client,
         arrivals=arrivals,

@@ -29,10 +29,12 @@ serial exploration.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from itertools import product
 from typing import Sequence
 
+from repro import obs
 from repro.engine import SchedulerEngine, create_engine, resolve_engine_name
 from repro.lang.errors import UndefinedBehavior
 from repro.model.message import MsgData
@@ -133,18 +135,37 @@ def _explore_scripts(
 _WORKER: dict = {}
 
 
-def _init_explore_worker(client: RosslClient, engine_name: str, fuel: int) -> None:
+def _init_explore_worker(
+    client: RosslClient,
+    engine_name: str,
+    fuel: int,
+    obs_enabled: bool = False,
+) -> None:
+    from repro.analysis.parallel import init_worker_obs, take_init_snapshot
+
+    init_worker_obs(obs_enabled)
     _WORKER["client"] = client
-    _WORKER["engine"] = create_engine(engine_name, client)
+    with obs.span("verify.worker_init", pid=os.getpid(), engine=engine_name):
+        _WORKER["engine"] = create_engine(engine_name, client)
     _WORKER["fuel"] = fuel
+    _WORKER["init_snapshot"] = take_init_snapshot()
 
 
 def _explore_chunk(
     scripts: Sequence[tuple[MsgData | None, ...]],
-) -> ExplorationReport:
-    return _explore_scripts(
-        _WORKER["client"], scripts, _WORKER["engine"], _WORKER["fuel"]
-    )
+) -> tuple[ExplorationReport, "obs.MetricsSnapshot | None"]:
+    before = obs.snapshot() if obs.enabled() else None
+    with obs.span("verify.chunk", pid=os.getpid(), scripts=len(scripts)):
+        report = _explore_scripts(
+            _WORKER["client"], scripts, _WORKER["engine"], _WORKER["fuel"]
+        )
+    if before is None:
+        return report, None
+    delta = obs.snapshot().diff(before)
+    init_snap = _WORKER.pop("init_snapshot", None)
+    if init_snap is not None:
+        delta = init_snap.merge(delta)
+    return report, delta
 
 
 def explore(
@@ -174,25 +195,40 @@ def explore(
     alphabet: list[MsgData | None] = [None] + [tuple(p) for p in payloads]
     scripts = list(product(alphabet, repeat=max_reads))
 
-    from repro.analysis.parallel import pool_map_chunks, split_chunks
+    from repro.analysis.parallel import (
+        merge_worker_snapshots,
+        pool_map_chunks,
+        split_chunks,
+    )
 
-    chunks = split_chunks(scripts, jobs)
-    if jobs > 1 and len(chunks) > 1:
-        partials = pool_map_chunks(
-            chunks,
-            _explore_chunk,
-            initializer=_init_explore_worker,
-            initargs=(client, engine_name, fuel),
-            jobs=jobs,
-        )
-    else:
-        partials = None
-    if partials is None:  # serial path / fallback
-        engine = create_engine(engine_name, client)
-        partials = [_explore_scripts(client, chunk, engine, fuel) for chunk in chunks]
-    report = ExplorationReport()
-    for partial in partials:
-        report.absorb(partial)
+    with obs.span("verify.explore", depth=max_reads, jobs=jobs):
+        chunks = split_chunks(scripts, jobs)
+        if jobs > 1 and len(chunks) > 1:
+            per_chunk = pool_map_chunks(
+                chunks,
+                _explore_chunk,
+                initializer=_init_explore_worker,
+                initargs=(client, engine_name, fuel, obs.enabled()),
+                jobs=jobs,
+            )
+            if per_chunk is not None:
+                merge_worker_snapshots(snap for _, snap in per_chunk)
+                partials = [partial for partial, _ in per_chunk]
+            else:
+                partials = None
+        else:
+            partials = None
+        if partials is None:  # serial path / fallback
+            engine = create_engine(engine_name, client)
+            partials = [
+                _explore_scripts(client, chunk, engine, fuel) for chunk in chunks
+            ]
+        report = ExplorationReport()
+        for partial in partials:
+            report.absorb(partial)
+    obs.inc("verify.scripts_explored", report.scripts_explored)
+    obs.inc("verify.markers_observed", report.markers_observed)
+    obs.inc("verify.violations", len(report.violations))
     return report
 
 

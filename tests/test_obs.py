@@ -1,0 +1,364 @@
+"""Tests for the observability subsystem (`repro.obs`).
+
+Covers the subsystem contracts the rest of the repo relies on:
+
+* snapshot **merge is associative** (the property that makes worker
+  deltas combinable in any grouping);
+* histogram **bucket edges** land values exactly where the fixed bounds
+  say;
+* the Chrome trace export is **schema-valid** trace-event JSON;
+* **determinism**: enabling observability changes no analysis output;
+* **parallel merge parity**: a campaign with ``jobs=N`` merges worker
+  snapshots such that run-level counters equal the serial campaign's;
+* the CLI surface: ``--version``, ``--metrics-out``/``--trace-out``,
+  and the ``profile`` subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.analysis.adequacy import run_adequacy_campaign
+from repro.analysis.parallel import fork_available
+from repro.cli import main
+from repro.model.task import Task, TaskSystem
+from repro.obs.export import chrome_trace, metrics_jsonl, text_summary
+from repro.obs.metrics import HistogramState, MetricsSnapshot
+from repro.rossl.client import RosslClient
+from repro.rta.curves import SporadicCurve
+from repro.rta.npfp import analyse
+from repro.timing.wcet import WcetModel
+
+WCET = WcetModel(
+    failed_read=2, success_read=2, selection=1, dispatch=1, completion=1, idling=1
+)
+
+
+def small_client() -> RosslClient:
+    tasks = TaskSystem(
+        [
+            Task(name="slow", priority=1, wcet=20, type_tag=1),
+            Task(name="fast", priority=2, wcet=5, type_tag=2),
+        ],
+        {"slow": SporadicCurve(400), "fast": SporadicCurve(150)},
+    )
+    return RosslClient.make(tasks, [0])
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts disabled and empty, and leaves no state behind."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def snap(counters=(), gauges=(), histograms=(), spans=()) -> MetricsSnapshot:
+    return MetricsSnapshot(
+        counters=tuple(counters),
+        gauges=tuple(gauges),
+        histograms=tuple(histograms),
+        spans=tuple(spans),
+    )
+
+
+class TestSnapshotMerge:
+    def test_merge_adds_counters(self):
+        merged = snap([("x", 2)]).merge(snap([("x", 3), ("y", 1)]))
+        assert merged.counter("x") == 5
+        assert merged.counter("y") == 1
+
+    def test_merge_is_associative(self):
+        hist = lambda counts, total, s: HistogramState(  # noqa: E731
+            buckets=(10, 100), counts=counts, total=total, sum=s
+        )
+        a = snap([("c", 1)], [("g", 1.0)], [("h", hist((1, 0, 0), 1, 4))])
+        b = snap([("c", 2), ("d", 5)], [("g", 2.0)],
+                 [("h", hist((0, 2, 0), 2, 60))])
+        c = snap([("d", 1)], [("k", 9.0)], [("h", hist((0, 0, 3), 3, 600))])
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    def test_empty_snapshot_is_identity(self):
+        a = snap([("c", 7)], [("g", 1.5)])
+        assert a.merge(snap()) == a
+        assert snap().merge(a) == a
+
+    def test_merge_gauges_last_writer_wins(self):
+        assert snap([], [("g", 1.0)]).merge(
+            snap([], [("g", 3.0)])
+        ).gauge_value("g") == 3.0
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a = snap(histograms=[("h", HistogramState((1,), (0, 0), 0, 0))])
+        b = snap(histograms=[("h", HistogramState((2,), (0, 0), 0, 0))])
+        with pytest.raises(ValueError, match="buckets"):
+            a.merge(b)
+
+    def test_diff_recovers_the_delta(self):
+        obs.enable()
+        obs.inc("c", 2)
+        before = obs.snapshot()
+        obs.inc("c", 5)
+        obs.inc("d", 1)
+        delta = obs.snapshot().diff(before)
+        assert delta.counter("c") == 5
+        assert delta.counter("d") == 1
+        assert before.merge(delta).counter("c") == 7
+
+    def test_diff_drops_zero_entries(self):
+        obs.enable()
+        obs.inc("c", 2)
+        before = obs.snapshot()
+        delta = obs.snapshot().diff(before)
+        assert delta.counters == ()
+
+    def test_registry_merge_snapshot_accumulates(self):
+        obs.enable()
+        obs.inc("c", 1)
+        obs.merge_snapshot(snap([("c", 10)]))
+        assert obs.counter_value("c") == 11
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        obs.enable()
+        buckets = (10, 100)
+        for value in (0, 10):      # both land in the <=10 bucket
+            obs.observe("h", value, buckets)
+        obs.observe("h", 11, buckets)   # first value above 10 → <=100
+        obs.observe("h", 100, buckets)  # the edge itself → <=100
+        obs.observe("h", 101, buckets)  # above the last edge → overflow
+        state = obs.snapshot().histogram("h")
+        assert state.counts == (2, 2, 1)
+        assert state.total == 5
+        assert state.sum == 0 + 10 + 11 + 100 + 101
+
+    def test_disabled_observe_records_nothing(self):
+        obs.observe("h", 5)
+        obs.inc("c")
+        obs.gauge("g", 1.0)
+        empty = obs.snapshot()
+        assert empty.counters == () and empty.gauges == ()
+        assert empty.histograms == ()
+
+
+class TestSpans:
+    def test_nesting_records_parent_and_depth(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner", detail=1):
+                pass
+        inner, outer = obs.find_spans("inner")[0], obs.find_spans("outer")[0]
+        assert inner.parent == "outer" and inner.depth == 1
+        assert outer.parent is None and outer.depth == 0
+        assert inner.attrs == (("detail", 1),)
+        assert outer.duration_ns >= inner.duration_ns
+
+    def test_span_measures_even_when_disabled(self):
+        with obs.span("quiet") as sp:
+            pass
+        assert sp.elapsed_seconds >= 0.0
+        assert obs.find_spans("quiet") == ()
+
+    def test_chrome_trace_schema(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        trace = json.loads(json.dumps(chrome_trace()))
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        assert len(trace["traceEvents"]) == 2
+        for event in trace["traceEvents"]:
+            assert event["ph"] == "X"
+            assert isinstance(event["name"], str)
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+
+    def test_jsonl_lines_all_parse(self):
+        obs.enable()
+        obs.inc("c", 3)
+        obs.gauge("g", 2.5)
+        obs.observe("h", 7)
+        with obs.span("s"):
+            pass
+        lines = metrics_jsonl()
+        parsed = [json.loads(line) for line in lines]
+        assert {entry["type"] for entry in parsed} == {
+            "counter", "gauge", "histogram", "span"
+        }
+
+    def test_text_summary_has_sections(self):
+        obs.enable()
+        obs.inc("c")
+        with obs.span("s"):
+            pass
+        summary = text_summary()
+        assert "counters" in summary and "spans" in summary
+
+
+class TestDeterminism:
+    """Metrics are observational only: identical results on vs. off."""
+
+    def test_analysis_identical_with_obs_enabled(self):
+        client = small_client()
+        plain = analyse(client, WCET, horizon=100_000)
+        obs.enable()
+        observed = analyse(client, WCET, horizon=100_000)
+        assert plain.rows() == observed.rows()
+        assert plain.jitter == observed.jitter
+        assert plain.schedulable == observed.schedulable
+        # ...and the instrumentation did record the analysis.
+        assert obs.counter_value("rta.analyses") == 1
+        assert obs.counter_value("rta.arsa.tasks_solved") == 2
+
+    def test_campaign_identical_with_obs_enabled(self):
+        client = small_client()
+        plain = run_adequacy_campaign(
+            client, WCET, horizon=2500, runs=4, seed=7
+        )
+        obs.enable()
+        observed = run_adequacy_campaign(
+            client, WCET, horizon=2500, runs=4, seed=7
+        )
+        assert plain.table() == observed.table()
+        assert plain.observed_worst == observed.observed_worst
+        assert obs.counter_value("sim.runs") == 4
+
+    def test_campaign_elapsed_comes_from_the_span(self):
+        client = small_client()
+        report = run_adequacy_campaign(
+            client, WCET, horizon=2000, runs=2, seed=0
+        )
+        assert report.elapsed_seconds is not None
+        assert report.elapsed_seconds > 0
+        assert "elapsed:" in report.table(show_elapsed=True)
+        assert "elapsed:" not in report.table()
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork-based pools")
+class TestParallelMergeParity:
+    def test_merged_worker_counts_equal_serial_counts(self):
+        client = small_client()
+        obs.enable()
+        run_adequacy_campaign(client, WCET, horizon=2500, runs=8, seed=42, jobs=1)
+        serial = dict(obs.snapshot().counters)
+        obs.reset()
+        run_adequacy_campaign(client, WCET, horizon=2500, runs=8, seed=42, jobs=3)
+        merged = dict(obs.snapshot().counters)
+        # One engine per worker vs. one in-process engine: build counts
+        # legitimately differ; every run-level count must not.
+        serial.pop("engine.builds"), merged.pop("engine.builds")
+        assert merged == serial
+
+    def test_worker_spans_reach_the_parent(self):
+        client = small_client()
+        obs.enable()
+        run_adequacy_campaign(client, WCET, horizon=2500, runs=8, seed=1, jobs=3)
+        import os
+
+        chunk_pids = {record.pid for record in obs.find_spans("campaign.chunk")}
+        assert chunk_pids, "no worker chunk spans were merged"
+        assert os.getpid() not in chunk_pids
+        assert obs.find_spans("campaign.worker_init")
+        assert obs.find_spans("campaign.parallel")
+
+
+class TestCli:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    @pytest.fixture
+    def spec_path(self, tmp_path: Path) -> str:
+        spec = {
+            "policy": "npfp",
+            "sockets": [0],
+            "wcet": {
+                "failed_read": 2, "success_read": 2, "selection": 1,
+                "dispatch": 1, "completion": 1, "idling": 1,
+            },
+            "tasks": [
+                {
+                    "name": "a", "priority": 2, "wcet": 10, "type_tag": 1,
+                    "curve": {"kind": "sporadic", "min_separation": 300},
+                },
+                {
+                    "name": "b", "priority": 1, "wcet": 20, "type_tag": 2,
+                    "curve": {"kind": "leaky-bucket", "burst": 2,
+                              "rate_separation": 500},
+                },
+            ],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_analyze_metrics_and_trace_out(
+        self, spec_path: str, tmp_path: Path, capsys
+    ):
+        metrics = tmp_path / "m.jsonl"
+        trace = tmp_path / "t.json"
+        assert main(["analyze", spec_path]) == 0
+        plain_out = capsys.readouterr().out
+        assert main([
+            "analyze", spec_path,
+            "--metrics-out", str(metrics), "--trace-out", str(trace),
+        ]) == 0
+        observed = capsys.readouterr()
+        assert observed.out == plain_out  # byte-identical stdout
+        entries = [
+            json.loads(line) for line in metrics.read_text().splitlines()
+        ]
+        assert entries, "metrics JSONL is empty"
+        hits = [
+            e for e in entries
+            if e["type"] == "counter" and e["name"] == "rta.memo_curve.hits"
+        ]
+        assert hits and hits[0]["value"] > 0
+        loaded = json.loads(trace.read_text())
+        assert loaded["traceEvents"], "chrome trace has no events"
+
+    def test_simulate_metrics_out(self, spec_path: str, tmp_path: Path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        assert main([
+            "simulate", spec_path, "--runs", "2", "--horizon", "3000",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "elapsed:" not in captured.out  # stdout stays deterministic
+        assert "elapsed:" in captured.err
+        names = {
+            json.loads(line)["name"]
+            for line in metrics.read_text().splitlines()
+        }
+        assert "sim.runs" in names and "campaign.runs_completed" in names
+
+    def test_profile_subcommand(self, spec_path: str, capsys):
+        assert main(["profile", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out and "rta.memo_curve.hits" in out
+        assert "spans" in out
+
+    def test_verify_metrics_out(self, spec_path: str, tmp_path: Path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        assert main([
+            "verify", spec_path, "--depth", "2",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        names = {
+            json.loads(line)["name"]
+            for line in metrics.read_text().splitlines()
+        }
+        assert "verify.scripts_explored" in names
