@@ -1,0 +1,106 @@
+"""Benchmark regression gate: compare a fresh E18 record against the
+committed baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE FRESH [--tolerance R]
+
+The E18 benchmark (benchmarks/test_e18_parallel.py) rewrites
+``BENCH_parallel.json`` in place, so CI stashes the committed copy
+before running it and hands both files here.  The gate is deliberately
+generous — CI runners are noisy timeshared boxes — and checks:
+
+* the campaign *configuration* is unchanged (experiment, runs, jobs,
+  seed, horizon): a silent config edit would make every timing
+  comparison meaningless;
+* the fresh run kept the determinism contract (``bit_identical``) and
+  its per-worker run counts still sum to the campaign total;
+* fresh ``serial_seconds`` is within ``--tolerance``× the baseline
+  (default 4×) — catching order-of-magnitude slowdowns, not jitter.
+
+Exit code 0 on pass, 1 on regression, 2 on unusable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Campaign-configuration keys that must match exactly.
+CONFIG_KEYS = ("experiment", "runs", "jobs", "seed", "horizon")
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    missing = [k for k in CONFIG_KEYS + ("serial_seconds",) if k not in record]
+    if missing:
+        print(f"error: {path} is missing keys: {missing}", file=sys.stderr)
+        raise SystemExit(2)
+    return record
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Returns the list of failures (empty: the gate passes)."""
+    failures = []
+    for key in CONFIG_KEYS:
+        if baseline[key] != fresh[key]:
+            failures.append(
+                f"campaign config drifted: {key} was {baseline[key]!r}, "
+                f"now {fresh[key]!r}"
+            )
+    if not fresh.get("bit_identical", False):
+        failures.append("fresh run is not bit-identical across jobs=1/jobs=N")
+    workers = fresh.get("breakdown", {}).get("per_worker", [])
+    if workers:
+        total = sum(w.get("runs", 0) for w in workers)
+        if total != fresh["runs"]:
+            failures.append(
+                f"per-worker run counts sum to {total}, campaign ran "
+                f"{fresh['runs']}"
+            )
+    limit = baseline["serial_seconds"] * tolerance
+    if fresh["serial_seconds"] > limit:
+        failures.append(
+            f"serial wall-clock regressed: {fresh['serial_seconds']:.3f}s "
+            f"> {tolerance:.1f}x baseline ({baseline['serial_seconds']:.3f}s)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_parallel.json")
+    parser.add_argument("fresh", help="BENCH_parallel.json from this run")
+    parser.add_argument(
+        "--tolerance", type=float, default=4.0,
+        help="allowed serial_seconds ratio fresh/baseline (default: 4.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance <= 0:
+        parser.error("--tolerance must be positive")
+    baseline, fresh = load(args.baseline), load(args.fresh)
+
+    ratio = fresh["serial_seconds"] / max(baseline["serial_seconds"], 1e-9)
+    print(f"baseline serial: {baseline['serial_seconds']:.3f}s")
+    print(f"fresh serial:    {fresh['serial_seconds']:.3f}s  ({ratio:.2f}x)")
+    print(f"fresh parallel:  {fresh.get('parallel_seconds', '?')}s "
+          f"(speedup {fresh.get('speedup', '?')}, "
+          f"{fresh.get('cpu_count', '?')} CPUs)")
+
+    failures = compare(baseline, fresh, args.tolerance)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("benchmark gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+// Branch-heavy control flow plus nested counting loops whose bounds the
+// static pass can infer (LB001), giving a full static cost bound
+// (CF001) for every function.
+// Lints clean:  python -m repro lint examples/minic/bounded_filter.c
+
+int clamp(int x, int lo, int hi) {
+    if (x < lo) {
+        return lo;
+    }
+    if (hi < x) {
+        return hi;
+    }
+    return x;
+}
+
+int smooth(int base) {
+    int acc = 0;
+    int round = 0;
+    while (round < 3) {
+        int k = 0;
+        while (k < 5) {
+            acc = acc + clamp(base + k, 0, 100);
+            k = k + 1;
+        }
+        round = round + 1;
+    }
+    return acc;
+}
+
+int main() {
+    return smooth(40);
+}

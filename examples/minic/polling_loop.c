@@ -1,0 +1,27 @@
+// A minimal interrupt-free polling client with the Fig. 6 marker
+// discipline: each activation reads one message and, when the read
+// succeeds, walks the dispatch -> execution -> completion chain.
+// Lints clean:  python -m repro lint examples/minic/polling_loop.c
+
+int poll_socket(int sock) {
+    int msg = 0;
+    read_start();
+    int got = read(sock, &msg, 1);
+    if (got < 0) {
+        return 0;
+    }
+    dispatch_start(&msg, 1);
+    execution_start(&msg, 1);
+    completion_start(&msg, 1);
+    return 1;
+}
+
+int main() {
+    int served = 0;
+    int sock = 0;
+    while (sock < 4) {
+        served = served + poll_socket(sock);
+        sock = sock + 1;
+    }
+    return served;
+}

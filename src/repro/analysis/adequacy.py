@@ -69,6 +69,10 @@ class TimingCorrectnessReport:
     #: campaign wall clock, read from the ``campaign.adequacy`` span —
     #: not part of the determinism contract (never compared).
     elapsed_seconds: float | None = field(default=None, compare=False)
+    #: static-analysis caveats (LB002/CF002 lines from ``--lint``): loops
+    #: the cost pass could not bound, so the WCET inputs rest on the
+    #: spec's declared values alone.  Presentation-only, never compared.
+    static_warnings: tuple[str, ...] = field(default=(), compare=False)
 
     @property
     def ok(self) -> bool:
@@ -104,6 +108,10 @@ class TimingCorrectnessReport:
                 f"{len(self.violations)} violations"
             ),
         )
+        if self.static_warnings:
+            text += "\nstatic-analysis caveats:"
+            for line in self.static_warnings:
+                text += f"\n  {line}"
         if show_elapsed and self.elapsed_seconds is not None:
             text += "\n" + format_elapsed(self.elapsed_seconds)
         return text

@@ -9,12 +9,20 @@ Commands:
   theorem (Thm. 5.1) on the execution;
 * ``verify``   — bounded model check of the generated C scheduler
   (Thm. 3.4 stand-in);
+* ``lint``     — static analysis of MiniC sources (or of the scheduler
+  generated from a JSON spec): marker discipline, CFG/dataflow checks,
+  loop bounds (docs/lang-analysis.md);
 * ``source``   — print the generated MiniC translation unit;
 * ``render``   — simulate a run and print its ASCII schedule timeline;
 * ``wcet``     — static cost bounds for the scheduler helpers plus
   VM-measured basic-action maxima (the WCET toolchain);
 * ``profile``  — run ``analyze``/``simulate``/``verify`` with
   observability on and print the span/metric profile (docs/observability.md).
+
+``analyze`` and ``simulate`` also take ``--lint`` (run the static
+analyzer over the generated scheduler first; refuse to run on errors)
+and ``--Werror`` (treat lint warnings as errors).  Diagnostics always go
+to stderr; results stay on stdout.
 
 ``analyze``, ``simulate``, ``verify``, and ``profile`` accept
 ``--metrics-out PATH`` (JSONL metrics) and ``--trace-out PATH``
@@ -37,6 +45,7 @@ from repro.analysis.adequacy import run_adequacy_campaign
 from repro.analysis.report import format_elapsed, format_table
 from repro.config import Deployment, SpecError, load_deployment
 from repro.engine import engine_names
+from repro.lang.errors import MiniCError
 from repro.rta.npfp import analyse
 
 
@@ -51,7 +60,24 @@ def _jobs_count(text: str) -> int:
     return value
 
 
+def _lint_gate(deployment: Deployment, args: argparse.Namespace):
+    """Run the static analyzer over the generated scheduler when
+    ``--lint`` was given.  Returns the report, or ``None`` when linting
+    is off; the caller must stop if ``report.exit_code(...)`` is
+    non-zero."""
+    if not getattr(args, "lint", False):
+        return None
+    from repro.lang.analysis import analyze_client
+
+    report = analyze_client(deployment.client, source_name=args.spec)
+    print(report.format(), file=sys.stderr)
+    return report
+
+
 def _cmd_analyze(deployment: Deployment, args: argparse.Namespace) -> int:
+    lint_report = _lint_gate(deployment, args)
+    if lint_report is not None and lint_report.exit_code(args.werror):
+        return 1
     client, wcet = deployment.client, deployment.wcet
     if client.policy == "edf":
         from repro.edf import edf_analysis
@@ -80,6 +106,9 @@ def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
         print("simulate currently drives the NPFP analysis pipeline; "
               "EDF specs are checked with 'analyze'", file=sys.stderr)
         return 2
+    lint_report = _lint_gate(deployment, args)
+    if lint_report is not None and lint_report.exit_code(args.werror):
+        return 1
     report = run_adequacy_campaign(
         client,
         wcet,
@@ -90,6 +119,10 @@ def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
         engine=args.engine or deployment.engine,
         jobs=args.jobs,
     )
+    if lint_report is not None:
+        from repro.lang.analysis import bound_warnings
+
+        report.static_warnings = bound_warnings(lint_report)
     # The table goes to stdout (bit-identical across jobs=1/jobs=N);
     # wall clock is inherently nondeterministic, so it goes to stderr.
     print(report.table())
@@ -209,6 +242,52 @@ def _cmd_wcet(deployment: Deployment, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis over MiniC files (or the scheduler generated from
+    JSON specs).  Diagnostics go to stderr (``--json``: stdout); exit 0
+    when clean, 1 on errors (or warnings under ``--Werror``), 2 when an
+    input cannot be read."""
+    from repro.lang.analysis import Severity, analyze_client, analyze_source
+
+    worst = 0
+    min_severity = Severity.WARNING if args.quiet else Severity.INFO
+    for path in args.paths:
+        if str(path).endswith(".json"):
+            try:
+                deployment = load_deployment(path)
+            except SpecError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            report = analyze_client(deployment.client, source_name=str(path))
+        else:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as exc:
+                print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+            report = analyze_source(source, source_name=str(path))
+        if args.json:
+            print(report.to_json())
+        else:
+            print(report.format(min_severity), file=sys.stderr)
+        worst = max(worst, report.exit_code(args.werror))
+    return worst
+
+
+def _add_lint_flags(parser: argparse.ArgumentParser) -> None:
+    """``--lint``/``--Werror`` shared by analyze and simulate."""
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="run the static analyzer over the generated scheduler first; "
+        "refuse to run when it reports errors",
+    )
+    parser.add_argument(
+        "--Werror", dest="werror", action="store_true",
+        help="treat lint warnings as errors",
+    )
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """Observability outputs shared by analyze/simulate/verify/profile."""
     parser.add_argument(
@@ -236,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser("analyze", help="response-time analysis")
     analyze.add_argument("spec", help="deployment spec (JSON)")
     analyze.add_argument("--horizon", type=int, default=1_000_000)
+    _add_lint_flags(analyze)
     _add_obs_flags(analyze)
     analyze.set_defaults(handler=_cmd_analyze)
 
@@ -253,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_jobs_count, default=1,
         help="worker processes for the campaign (≥ 1)",
     )
+    _add_lint_flags(simulate)
     _add_obs_flags(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
@@ -319,6 +400,27 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--intensity", type=float, default=1.2)
     render.set_defaults(handler=_cmd_render)
 
+    lint = sub.add_parser(
+        "lint", help="static analysis of MiniC sources / generated schedulers"
+    )
+    lint.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="MiniC source files (.c) or deployment specs (.json)",
+    )
+    lint.add_argument(
+        "--Werror", dest="werror", action="store_true",
+        help="treat warnings as errors (exit 1)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit diagnostics as JSON on stdout instead of text on stderr",
+    )
+    lint.add_argument(
+        "--quiet", action="store_true",
+        help="suppress info-severity diagnostics",
+    )
+    lint.set_defaults(handler=_cmd_lint, needs_spec=False)
+
     wcet = sub.add_parser("wcet", help="static + measured WCETs")
     wcet.add_argument("spec")
     wcet.add_argument("--backlog", type=int, default=4,
@@ -337,14 +439,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     if metrics_out or trace_out or args.command == "profile":
         obs.enable()
     try:
-        deployment = load_deployment(args.spec)
-    except SpecError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    try:
+        if not getattr(args, "needs_spec", True):
+            return args.handler(args)
+        try:
+            deployment = load_deployment(args.spec)
+        except SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         return args.handler(deployment, args)
     except BrokenPipeError:  # e.g. `repro source … | head`
         return 0
+    except MiniCError as exc:
+        # Front-end failures (lexer/parser/typechecker) are user errors,
+        # not crashes: report on stderr, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         # Exports go to files (and notes to stderr): stdout is identical
         # with observability on or off — the determinism contract.

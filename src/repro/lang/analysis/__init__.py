@@ -1,0 +1,54 @@
+"""repro.lang.analysis — static analysis over typed MiniC programs.
+
+A post-typecheck pipeline phase: lowers each function to a basic-block
+CFG (:mod:`~repro.lang.analysis.cfg`), runs classic forward/backward
+dataflow (:mod:`~repro.lang.analysis.dataflow`), and layers the
+paper-specific checks on top (:mod:`~repro.lang.analysis.checks`) —
+marker discipline per Fig. 6, unreachable code, missing returns,
+definite assignment, and static loop-bound/cost facts that feed the
+WCET story.  Results are structured
+:class:`~repro.lang.analysis.diagnostics.Diagnostic` records; the CLI
+front door is ``python -m repro lint`` (docs/lang-analysis.md).
+"""
+
+from repro.lang.analysis.cfg import CFG, BasicBlock, LoopInfo, build_cfg, describe
+from repro.lang.analysis.checks import (
+    analyze_client,
+    analyze_program,
+    analyze_source,
+    bound_warnings,
+    infer_loop_bounds,
+)
+from repro.lang.analysis.dataflow import (
+    definite_assignment,
+    liveness,
+    reaching_definitions,
+)
+from repro.lang.analysis.diagnostics import (
+    CHECKS,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    make_diagnostic,
+)
+
+__all__ = [
+    "CFG",
+    "CHECKS",
+    "BasicBlock",
+    "Diagnostic",
+    "DiagnosticReport",
+    "LoopInfo",
+    "Severity",
+    "analyze_client",
+    "analyze_program",
+    "analyze_source",
+    "bound_warnings",
+    "build_cfg",
+    "definite_assignment",
+    "describe",
+    "infer_loop_bounds",
+    "liveness",
+    "make_diagnostic",
+    "reaching_definitions",
+]

@@ -1,0 +1,300 @@
+"""Basic-block control-flow graphs for MiniC functions.
+
+Lowers the structured AST (``if``/``while``/``break``/``continue``/
+``return``) into an explicit CFG:
+
+* each :class:`BasicBlock` holds straight-line statements plus an
+  optional branch condition evaluated after them;
+* a virtual **exit block** (always the last index) collects every
+  return and fall-off-the-end edge, with ``fallthrough_preds``
+  distinguishing the latter (the missing-return check keys on it);
+* constant branch conditions are folded — ``while (1)`` has no false
+  edge, so the scheduler's divergent ``fds_run`` loop yields exactly
+  the reachability the paper describes (nothing after it);
+* statements sequenced after a terminator land in **detached** blocks
+  (no predecessors), which is what the unreachable-code check reports.
+
+Loops are recorded in source (pre-)order — the same order
+:mod:`repro.lang.cost` consumes per-function loop bounds in — so the
+static loop-bound pass can hand its inferred bounds straight to the
+cost analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.pretty import pretty_expr
+from repro.lang.syntax import (
+    AssignStmt,
+    Block,
+    BreakStmt,
+    ContinueStmt,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FuncDef,
+    IfStmt,
+    IntLit,
+    Pos,
+    ReturnStmt,
+    Stmt,
+    WhileStmt,
+)
+
+#: Statements that live inside a basic block (everything non-branching).
+LinearStmt = DeclStmt | AssignStmt | ExprStmt | ReturnStmt | BreakStmt | ContinueStmt
+
+
+@dataclass
+class BasicBlock:
+    index: int
+    kind: str = "plain"  # "entry" | "plain" | "loop-head" | "exit"
+    stmts: list[LinearStmt] = field(default_factory=list)
+    #: Branch condition evaluated after ``stmts`` (``None``: unconditional).
+    cond: Expr | None = None
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    @property
+    def terminated(self) -> bool:
+        return bool(self.stmts) and isinstance(
+            self.stmts[-1], (ReturnStmt, BreakStmt, ContinueStmt)
+        )
+
+
+@dataclass
+class LoopInfo:
+    """One source ``while`` loop: head/exit blocks and its back edges."""
+
+    stmt: WhileStmt
+    head: int
+    exit_block: int
+    latches: list[int] = field(default_factory=list)
+    #: Source pre-order index within the function (cost.py's loop order).
+    order: int = 0
+
+    @property
+    def pos(self) -> Pos:
+        return self.stmt.pos
+
+
+@dataclass
+class CFG:
+    function: FuncDef
+    blocks: list[BasicBlock]
+    entry: int
+    exit: int
+    loops: list[LoopInfo]
+    #: Blocks whose control falls into the exit without a ``return``.
+    fallthrough_preds: list[int]
+
+    def block(self, index: int) -> BasicBlock:
+        return self.blocks[index]
+
+    def reachable(self) -> set[int]:
+        """Block indices reachable from the entry."""
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            stack.extend(self.blocks[index].succs)
+        return seen
+
+
+class _Builder:
+    def __init__(self, func: FuncDef) -> None:
+        self.func = func
+        self.blocks: list[BasicBlock] = []
+        self.loops: list[LoopInfo] = []
+        self.fallthrough_preds: list[int] = []
+        #: (head, exit_block, info) for the enclosing loops.
+        self._loop_stack: list[LoopInfo] = []
+
+    def new_block(self, kind: str = "plain") -> int:
+        block = BasicBlock(index=len(self.blocks), kind=kind)
+        self.blocks.append(block)
+        return block.index
+
+    def edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+        if src not in self.blocks[dst].preds:
+            self.blocks[dst].preds.append(src)
+
+    def build(self) -> CFG:
+        entry = self.new_block("entry")
+        last = self._seq(self.func.body.stmts, entry)
+        exit_index = self.new_block("exit")
+        if last is not None:
+            self.edge(last, exit_index)
+            self.fallthrough_preds.append(last)
+        # Route every `return` block into the exit.
+        for block in self.blocks:
+            if block.stmts and isinstance(block.stmts[-1], ReturnStmt):
+                self.edge(block.index, exit_index)
+        return CFG(
+            function=self.func,
+            blocks=self.blocks,
+            entry=entry,
+            exit=exit_index,
+            loops=self.loops,
+            fallthrough_preds=self.fallthrough_preds,
+        )
+
+    # -- statement lowering --------------------------------------------------
+
+    def _seq(self, stmts: tuple[Stmt, ...], current: int | None) -> int | None:
+        for stmt in stmts:
+            if current is None:
+                # Control already left: everything from here is dead code
+                # in a predecessor-less block.
+                current = self.new_block()
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: Stmt, current: int) -> int | None:
+        if isinstance(stmt, Block):
+            return self._seq(stmt.stmts, current)
+        if isinstance(stmt, (DeclStmt, AssignStmt, ExprStmt)):
+            self.blocks[current].stmts.append(stmt)
+            return current
+        if isinstance(stmt, ReturnStmt):
+            self.blocks[current].stmts.append(stmt)
+            return None  # edge to exit added in build()
+        if isinstance(stmt, BreakStmt):
+            self.blocks[current].stmts.append(stmt)
+            if self._loop_stack:
+                self.edge(current, self._loop_stack[-1].exit_block)
+            return None
+        if isinstance(stmt, ContinueStmt):
+            self.blocks[current].stmts.append(stmt)
+            if self._loop_stack:
+                self.edge(current, self._loop_stack[-1].head)
+                self._loop_stack[-1].latches.append(current)
+            return None
+        if isinstance(stmt, IfStmt):
+            return self._if(stmt, current)
+        if isinstance(stmt, WhileStmt):
+            return self._while(stmt, current)
+        raise AssertionError(f"unhandled statement {stmt!r}")  # pragma: no cover
+
+    def _if(self, stmt: IfStmt, current: int) -> int | None:
+        self.blocks[current].cond = stmt.cond
+        folded = _const_truth(stmt.cond)
+        then_entry = self.new_block()
+        if folded is not False:
+            self.edge(current, then_entry)
+        then_end = self._seq(stmt.then.stmts, then_entry)
+
+        els_entry: int | None = None
+        els_end: int | None = None
+        if stmt.els is not None:
+            els_entry = self.new_block()
+            if folded is not True:
+                self.edge(current, els_entry)
+            els_end = self._seq(stmt.els.stmts, els_entry)
+
+        if then_end is None and stmt.els is not None and els_end is None:
+            return None  # both arms terminated
+        join = self.new_block()
+        if then_end is not None:
+            self.edge(then_end, join)
+        if stmt.els is None:
+            if folded is not True:
+                self.edge(current, join)  # false edge skips the then-arm
+        elif els_end is not None:
+            self.edge(els_end, join)
+        return join
+
+    def _while(self, stmt: WhileStmt, current: int) -> int | None:
+        head = self.new_block("loop-head")
+        self.blocks[head].cond = stmt.cond
+        self.edge(current, head)
+        info = LoopInfo(
+            stmt=stmt, head=head, exit_block=-1, order=len(self.loops)
+        )
+        self.loops.append(info)
+
+        folded = _const_truth(stmt.cond)
+        body_entry = self.new_block()
+        exit_block = self.new_block()
+        info.exit_block = exit_block
+        if folded is not False:
+            self.edge(head, body_entry)
+        if folded is not True:
+            self.edge(head, exit_block)
+
+        self._loop_stack.append(info)
+        body_end = self._seq(stmt.body.stmts, body_entry)
+        self._loop_stack.pop()
+        if body_end is not None:
+            self.edge(body_end, head)
+            info.latches.append(body_end)
+        # A `while (1)` with no break leaves the exit block detached;
+        # that is correct — code after it is unreachable.
+        return exit_block if self.blocks[exit_block].preds or folded is not True else None
+
+
+def _const_truth(expr: Expr) -> bool | None:
+    """Truth value of a constant condition, or ``None`` if not constant."""
+    if isinstance(expr, IntLit):
+        return expr.value != 0
+    return None
+
+
+def build_cfg(func: FuncDef) -> CFG:
+    """Lower ``func`` to a basic-block CFG."""
+    return _Builder(func).build()
+
+
+# --------------------------------------------------------------------------
+# Rendering (golden tests, debugging)
+# --------------------------------------------------------------------------
+
+
+def _stmt_text(stmt: LinearStmt) -> str:
+    if isinstance(stmt, DeclStmt):
+        if stmt.init is None:
+            return f"decl {stmt.name}"
+        return f"decl {stmt.name} = {pretty_expr(stmt.init)}"
+    if isinstance(stmt, AssignStmt):
+        return f"{pretty_expr(stmt.lhs)} = {pretty_expr(stmt.rhs)}"
+    if isinstance(stmt, ExprStmt):
+        return pretty_expr(stmt.expr)
+    if isinstance(stmt, ReturnStmt):
+        if stmt.value is None:
+            return "return"
+        return f"return {pretty_expr(stmt.value)}"
+    if isinstance(stmt, BreakStmt):
+        return "break"
+    if isinstance(stmt, ContinueStmt):
+        return "continue"
+    raise AssertionError(f"unhandled statement {stmt!r}")  # pragma: no cover
+
+
+def describe(cfg: CFG) -> str:
+    """Deterministic text rendering of the CFG (used by golden tests)."""
+    lines = [f"fn {cfg.function.name}:"]
+    for block in cfg.blocks:
+        label = f"B{block.index}"
+        if block.kind != "plain":
+            label += f"({block.kind})"
+        body = "; ".join(_stmt_text(s) for s in block.stmts) or "-"
+        succs = ", ".join(f"B{s}" for s in block.succs) or "-"
+        line = f"  {label}: {body}"
+        if block.cond is not None:
+            line += f" | branch {pretty_expr(block.cond)}"
+        line += f" -> {succs}"
+        lines.append(line)
+    if cfg.loops:
+        loops = "; ".join(
+            f"loop#{info.order}@{info.pos} head=B{info.head} "
+            f"latches={[f'B{i}' for i in sorted(info.latches)]}"
+            for info in cfg.loops
+        )
+        lines.append(f"  loops: {loops}")
+    return "\n".join(lines)

@@ -1,0 +1,768 @@
+"""The MiniC static checks: marker discipline, CFG hygiene, loop bounds.
+
+Runs post-typecheck over the CFGs of :mod:`repro.lang.analysis.cfg` and
+reports structured :class:`~repro.lang.analysis.diagnostics.Diagnostic`
+records.  Four check families:
+
+**Marker discipline (MD0xx).**  The paper's Fig. 6 protocol, statically:
+``read_start()`` opens a read region that only the ``read()`` system
+call closes; ``dispatch_start(j)`` opens a dispatch region closed by
+``execution_start(j)``, which opens the execution region closed by
+``completion_start(j)``; ``selection_start``/``idling_start`` may only
+fire with no region open.  The checker runs a forward dataflow over the
+abstract *phase* of the trace state along every CFG path, with
+interprocedural summaries (a callee maps entry phases to exit phases) so
+helpers like ``npfp_dispatch`` — which closes a region its caller opened
+— are checked in the contexts they are actually called from.  Because
+every marker call appends exactly one event at ``σ_trace.idx``,
+trace-index monotonicity reduces to the phase being loop-invariant:
+a loop whose back edge carries a different phase than its entry would
+drift one unclosed region per iteration (MD004).
+
+**CFG hygiene.**  Unreachable statements (UC001) and non-void functions
+whose exit is reachable without a ``return`` (MR001, runtime UB).
+
+**Definite assignment (DA001).**  A must-dataflow pass flagging scalar
+locals possibly read before initialization — the static face of the
+interpreter's ``UndefinedBehavior`` on uninitialized reads.
+
+**Loop bounds and cost (LB/CF).**  Infers iteration bounds for
+canonical counting loops, flags statically unboundable loops (LB002 —
+their WCET contribution is unknowable without annotations, the facts
+``wcet --backlog`` supplies), and feeds the inferred bounds to
+:mod:`repro.lang.cost` to publish per-function worst-case VM
+instruction bounds (CF001).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.lang.analysis.cfg import CFG, build_cfg
+from repro.lang.analysis.dataflow import definite_assignment, expr_address_taken
+from repro.lang.analysis.diagnostics import DiagnosticReport, make_diagnostic
+from repro.lang.cost import CostAnalyzer, CostError
+from repro.lang.errors import LexError, ParseError, TypeError_
+from repro.lang.syntax import (
+    AssignStmt,
+    Binary,
+    Block,
+    Call,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FuncDef,
+    IfStmt,
+    Index,
+    IntLit,
+    Member,
+    NullLit,
+    Pos,
+    ReturnStmt,
+    SizeofType,
+    Stmt,
+    TInt,
+    TPtr,
+    TVoid,
+    Unary,
+    Var,
+    WhileStmt,
+)
+from repro.lang.typecheck import TypedProgram, typecheck
+
+# --------------------------------------------------------------------------
+# The marker phase automaton (Fig. 6)
+# --------------------------------------------------------------------------
+
+#: Abstract trace-state phases: which marker region is currently open.
+PHASE_NONE = "none"
+PHASE_READ = "read"
+PHASE_DISPATCH = "dispatch"
+PHASE_EXEC = "execution"
+ALL_PHASES = (PHASE_NONE, PHASE_READ, PHASE_DISPATCH, PHASE_EXEC)
+
+#: Marker builtins and the read system call participate in the protocol.
+MARKER_CALLS = frozenset(
+    {
+        "read_start",
+        "read",
+        "selection_start",
+        "idling_start",
+        "dispatch_start",
+        "execution_start",
+        "completion_start",
+    }
+)
+
+
+def _marker_step(name: str, phase: str) -> tuple[str, str | None, str | None]:
+    """One automaton step: ``(next_phase, check_id, message)``.
+
+    ``check_id`` is ``None`` when the transition is legal; on a
+    violation the next phase is a deterministic recovery state so one
+    mistake does not cascade into a diagnostic per downstream marker.
+    """
+    if name == "read_start":
+        if phase == PHASE_NONE:
+            return PHASE_READ, None, None
+        return PHASE_READ, "MD001", (
+            f"read_start() emitted while a {phase} region is open"
+        )
+    if name == "read":
+        if phase == PHASE_READ:
+            return PHASE_NONE, None, None
+        return PHASE_NONE, "MD003", (
+            "read() system call without a preceding read_start()"
+            if phase == PHASE_NONE
+            else f"read() inside an open {phase} region"
+        )
+    if name in ("selection_start", "idling_start"):
+        if phase == PHASE_NONE:
+            return PHASE_NONE, None, None
+        return phase, "MD001", (
+            f"{name}() emitted while a {phase} region is open"
+        )
+    if name == "dispatch_start":
+        if phase == PHASE_NONE:
+            return PHASE_DISPATCH, None, None
+        return PHASE_DISPATCH, "MD001", (
+            f"dispatch_start() emitted while a {phase} region is open"
+        )
+    if name == "execution_start":
+        if phase == PHASE_DISPATCH:
+            return PHASE_EXEC, None, None
+        return PHASE_EXEC, "MD003", (
+            "execution_start() without an open dispatch region"
+            f" (phase: {phase})"
+        )
+    if name == "completion_start":
+        if phase == PHASE_EXEC:
+            return PHASE_NONE, None, None
+        return PHASE_NONE, "MD003", (
+            "completion_start() without an open execution region"
+            f" (phase: {phase})"
+        )
+    raise AssertionError(f"not a marker call: {name!r}")  # pragma: no cover
+
+
+_HINTS = {
+    "MD001": "close the open region (read() / execution_start / "
+    "completion_start) before emitting another marker",
+    "MD002": "emit the closing marker on every path out of the function",
+    "MD003": "open the region first (read_start / dispatch_start / "
+    "execution_start) or drop the stray closer",
+    "MD004": "close every region you open inside the loop body",
+}
+
+
+class _MarkerAnalysis:
+    """Interprocedural phase dataflow with function summaries."""
+
+    def __init__(self, typed: TypedProgram, cfgs: dict[str, CFG]) -> None:
+        self.typed = typed
+        self.cfgs = cfgs
+        #: fn → entry phase → frozenset of exit phases (∅: diverges).
+        self.summaries: dict[str, dict[str, frozenset]] = {
+            name: {} for name in cfgs
+        }
+        self.contexts: dict[str, set[str]] = {name: set() for name in cfgs}
+        self._report: DiagnosticReport | None = None
+        self._collect_contexts = False
+        self._seen: set[tuple] = set()
+
+    # -- expression/phase flow ----------------------------------------------
+
+    def _flow_call(self, call: Call, phases: frozenset, fn: str) -> frozenset:
+        if call.name in MARKER_CALLS:
+            out = set()
+            for phase in sorted(phases):
+                nxt, check_id, message = _marker_step(call.name, phase)
+                out.add(nxt)
+                if check_id and self._report is not None:
+                    self._emit(check_id, message, call.pos, fn)
+            return frozenset(out)
+        if call.name in self.summaries:  # user-defined function
+            if self._collect_contexts:
+                self.contexts[call.name] |= set(phases)
+            summary = self.summaries[call.name]
+            out = set()
+            for phase in phases:
+                out |= summary.get(phase, frozenset())
+            return frozenset(out)
+        return phases  # malloc/free and friends: no marker effect
+
+    def _flow_expr(self, expr: Expr, phases: frozenset, fn: str) -> frozenset:
+        if isinstance(expr, (IntLit, NullLit, SizeofType, Var)):
+            return phases
+        if isinstance(expr, Unary):
+            return self._flow_expr(expr.operand, phases, fn)
+        if isinstance(expr, Binary):
+            after_lhs = self._flow_expr(expr.lhs, phases, fn)
+            after_rhs = self._flow_expr(expr.rhs, after_lhs, fn)
+            if expr.op in ("&&", "||"):
+                return after_lhs | after_rhs  # rhs may be skipped
+            return after_rhs
+        if isinstance(expr, Call):
+            for arg in expr.args:
+                phases = self._flow_expr(arg, phases, fn)
+            return self._flow_call(expr, phases, fn)
+        if isinstance(expr, Member):
+            return self._flow_expr(expr.obj, phases, fn)
+        if isinstance(expr, Index):
+            phases = self._flow_expr(expr.base, phases, fn)
+            return self._flow_expr(expr.index, phases, fn)
+        raise AssertionError(f"unhandled expression {expr!r}")  # pragma: no cover
+
+    def _flow_stmt(self, stmt, phases: frozenset, fn: str) -> frozenset:
+        if isinstance(stmt, DeclStmt):
+            if stmt.init is not None:
+                phases = self._flow_expr(stmt.init, phases, fn)
+            return phases
+        if isinstance(stmt, AssignStmt):
+            phases = self._flow_expr(stmt.rhs, phases, fn)
+            if not isinstance(stmt.lhs, Var):
+                phases = self._flow_expr(stmt.lhs, phases, fn)
+            return phases
+        if isinstance(stmt, ExprStmt):
+            return self._flow_expr(stmt.expr, phases, fn)
+        if isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                phases = self._flow_expr(stmt.value, phases, fn)
+            return phases
+        return phases  # break/continue
+
+    def _flow_block(self, block, phases: frozenset, fn: str) -> frozenset:
+        for stmt in block.stmts:
+            phases = self._flow_stmt(stmt, phases, fn)
+        if block.cond is not None:
+            phases = self._flow_expr(block.cond, phases, fn)
+        return phases
+
+    # -- per-function dataflow ----------------------------------------------
+
+    def _solve(self, fn: str, entry_phases: frozenset) -> dict[int, frozenset]:
+        """Fixpoint of the phase sets flowing *into* each block."""
+        cfg = self.cfgs[fn]
+        in_sets: dict[int, frozenset] = {
+            b.index: frozenset() for b in cfg.blocks
+        }
+        in_sets[cfg.entry] = entry_phases
+        out_sets: dict[int, frozenset] = {
+            b.index: frozenset() for b in cfg.blocks
+        }
+        work = [b.index for b in cfg.blocks]
+        while work:
+            index = work.pop(0)
+            block = cfg.blocks[index]
+            if index == cfg.entry:
+                in_value = entry_phases
+            else:
+                in_value = frozenset()
+                for pred in block.preds:
+                    in_value |= out_sets[pred]
+            in_sets[index] = in_value
+            out_value = self._flow_block(block, in_value, fn)
+            if out_value != out_sets[index]:
+                out_sets[index] = out_value
+                for nxt in block.succs:
+                    if nxt not in work:
+                        work.append(nxt)
+        self._last_out = out_sets
+        return in_sets
+
+    def _exit_phases(self, fn: str, in_sets: dict[int, frozenset]) -> frozenset:
+        return in_sets[self.cfgs[fn].exit]
+
+    # -- the three fixpoints -------------------------------------------------
+
+    def compute_summaries(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.cfgs:
+                for phase in ALL_PHASES:
+                    in_sets = self._solve(fn, frozenset({phase}))
+                    exit_set = self._exit_phases(fn, in_sets)
+                    if self.summaries[fn].get(phase) != exit_set:
+                        self.summaries[fn][phase] = exit_set
+                        changed = True
+
+    def compute_contexts(self, roots: set[str]) -> None:
+        for root in roots:
+            self.contexts[root].add(PHASE_NONE)
+        self._collect_contexts = True
+        changed = True
+        while changed:
+            before = {fn: set(ctx) for fn, ctx in self.contexts.items()}
+            for fn in self.cfgs:
+                if self.contexts[fn]:
+                    self._solve(fn, frozenset(self.contexts[fn]))
+            changed = before != self.contexts
+        self._collect_contexts = False
+
+    def _emit(self, check_id: str, message: str, pos: Pos | None, fn: str) -> None:
+        key = (check_id, fn, pos.line if pos else 0, pos.col if pos else 0, message)
+        if key in self._seen or self._report is None:
+            return
+        self._seen.add(key)
+        self._report.add(
+            make_diagnostic(check_id, message, pos, fn, hint=_HINTS.get(check_id))
+        )
+
+    def report_into(self, report: DiagnosticReport, roots: set[str]) -> None:
+        """The final pass: re-run each reachable context and emit."""
+        self._report = report
+        for fn, cfg in self.cfgs.items():
+            entry = frozenset(self.contexts[fn])
+            if not entry:
+                continue  # only ever called from dead code
+            in_sets = self._solve(fn, entry)
+            out_sets = self._last_out
+            # Re-walk reachable blocks with reporting on.
+            for index in sorted(cfg.reachable()):
+                self._flow_block(cfg.blocks[index], in_sets[index], fn)
+            # MD002: exit-phase consistency.
+            exit_set = self._exit_phases(fn, in_sets)
+            open_at_exit = sorted(p for p in exit_set if p != PHASE_NONE)
+            if len(exit_set) > 1:
+                self._emit(
+                    "MD002",
+                    f"function may exit with inconsistent marker state: "
+                    f"{sorted(exit_set)} (a region is closed on some paths "
+                    "but not others)",
+                    cfg.function.pos,
+                    fn,
+                )
+            elif fn in roots and open_at_exit:
+                self._emit(
+                    "MD002",
+                    f"{open_at_exit[0]} region still open when {fn}() "
+                    "returns and no caller can close it",
+                    cfg.function.pos,
+                    fn,
+                )
+            # MD004: loop-invariant phase (trace-index monotonicity).
+            for loop in cfg.loops:
+                head = cfg.blocks[loop.head]
+                entry_flow: frozenset = frozenset()
+                for pred in head.preds:
+                    if pred in loop.latches:
+                        continue
+                    entry_flow |= out_sets[pred]
+                if loop.head == cfg.entry:
+                    entry_flow |= frozenset(self.contexts[fn])
+                back_flow: frozenset = frozenset()
+                for latch in loop.latches:
+                    back_flow |= out_sets[latch]
+                drift = back_flow - entry_flow
+                if drift:
+                    self._emit(
+                        "MD004",
+                        "marker region state is not loop-invariant: "
+                        f"iterations re-enter the loop with {sorted(drift)} "
+                        f"open but it starts with {sorted(entry_flow)}",
+                        loop.pos,
+                        fn,
+                    )
+        self._report = None
+
+
+# --------------------------------------------------------------------------
+# Loop-bound inference
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class LoopFact:
+    """What the bound pass concluded about one source loop."""
+
+    function: str
+    pos: Pos
+    order: int
+    bound: int | None  # None: not statically boundable
+    divergent: bool = False  # constant-true condition
+
+
+def _loops_in(stmt: Stmt) -> list[WhileStmt]:
+    """All ``while`` loops under ``stmt`` in source pre-order (the order
+    :mod:`repro.lang.cost` consumes bounds in)."""
+    found: list[WhileStmt] = []
+    if isinstance(stmt, Block):
+        for inner in stmt.stmts:
+            found.extend(_loops_in(inner))
+    elif isinstance(stmt, IfStmt):
+        found.extend(_loops_in(stmt.then))
+        if stmt.els is not None:
+            found.extend(_loops_in(stmt.els))
+    elif isinstance(stmt, WhileStmt):
+        found.append(stmt)
+        found.extend(_loops_in(stmt.body))
+    return found
+
+
+def _assignments_to(stmt: Stmt, name: str) -> list[AssignStmt]:
+    found: list[AssignStmt] = []
+    if isinstance(stmt, Block):
+        for inner in stmt.stmts:
+            found.extend(_assignments_to(inner, name))
+    elif isinstance(stmt, IfStmt):
+        found.extend(_assignments_to(stmt.then, name))
+        if stmt.els is not None:
+            found.extend(_assignments_to(stmt.els, name))
+    elif isinstance(stmt, WhileStmt):
+        found.extend(_assignments_to(stmt.body, name))
+    elif isinstance(stmt, AssignStmt):
+        if isinstance(stmt.lhs, Var) and stmt.lhs.name == name:
+            found.append(stmt)
+    return found
+
+
+def _address_taken_in(stmt: Stmt, name: str) -> bool:
+    if isinstance(stmt, Block):
+        return any(_address_taken_in(s, name) for s in stmt.stmts)
+    if isinstance(stmt, IfStmt):
+        if _address_taken_in(stmt.then, name):
+            return True
+        return stmt.els is not None and _address_taken_in(stmt.els, name)
+    if isinstance(stmt, WhileStmt):
+        return _address_taken_in(stmt.body, name)
+    exprs: list[Expr] = []
+    if isinstance(stmt, DeclStmt) and stmt.init is not None:
+        exprs = [stmt.init]
+    elif isinstance(stmt, AssignStmt):
+        exprs = [stmt.lhs, stmt.rhs]
+    elif isinstance(stmt, ExprStmt):
+        exprs = [stmt.expr]
+    elif isinstance(stmt, ReturnStmt) and stmt.value is not None:
+        exprs = [stmt.value]
+    return any(name in expr_address_taken(e) for e in exprs)
+
+
+def _step_of(assign: AssignStmt, name: str) -> int | None:
+    """``i = i + c`` (or ``i = c + i``) with constant ``c > 0`` → c."""
+    rhs = assign.rhs
+    if not (isinstance(rhs, Binary) and rhs.op == "+"):
+        return None
+    lhs, rhs_term = rhs.lhs, rhs.rhs
+    if isinstance(lhs, Var) and lhs.name == name and isinstance(rhs_term, IntLit):
+        step = rhs_term.value
+    elif isinstance(rhs_term, Var) and rhs_term.name == name and isinstance(lhs, IntLit):
+        step = lhs.value
+    else:
+        return None
+    return step if step > 0 else None
+
+
+def _initial_value(cfg: CFG, loop, name: str) -> int | None:
+    """Constant initial value of ``name`` on entry to the loop head, found
+    as the last definition in the (unique) non-latch predecessor block."""
+    head = cfg.blocks[loop.head]
+    preheaders = [p for p in head.preds if p not in loop.latches]
+    if len(preheaders) != 1:
+        return None
+    for stmt in reversed(cfg.blocks[preheaders[0]].stmts):
+        if isinstance(stmt, DeclStmt) and stmt.name == name:
+            if isinstance(stmt.init, IntLit):
+                return stmt.init.value
+            return None
+        if isinstance(stmt, AssignStmt) and isinstance(stmt.lhs, Var) \
+                and stmt.lhs.name == name:
+            if isinstance(stmt.rhs, IntLit):
+                return stmt.rhs.value
+            return None
+    return None
+
+
+def infer_loop_bounds(func: FuncDef, cfg: CFG) -> list[LoopFact]:
+    """Bound every loop of ``func`` that matches the canonical counting
+    shape ``i = c0; while (i < N) { …; i = i + step; }``."""
+    facts: list[LoopFact] = []
+    for loop in cfg.loops:
+        stmt = loop.stmt
+        fact = LoopFact(func.name, stmt.pos, loop.order, bound=None)
+        facts.append(fact)
+        cond = stmt.cond
+        if isinstance(cond, IntLit):
+            if cond.value != 0:
+                fact.divergent = True
+            else:
+                fact.bound = 0  # while (0): never runs
+            continue
+        if not (
+            isinstance(cond, Binary)
+            and cond.op in ("<", "<=")
+            and isinstance(cond.lhs, Var)
+            and isinstance(cond.rhs, IntLit)
+        ):
+            continue
+        name, limit = cond.lhs.name, cond.rhs.value
+        writes = _assignments_to(stmt.body, name)
+        if len(writes) != 1 or _address_taken_in(stmt.body, name):
+            continue
+        step = _step_of(writes[0], name)
+        if step is None:
+            continue
+        start = _initial_value(cfg, loop, name)
+        if start is None:
+            continue
+        span = limit - start + (1 if cond.op == "<=" else 0)
+        fact.bound = max(0, -(-span // step))  # ceil division
+    return facts
+
+
+# --------------------------------------------------------------------------
+# The analyzer entry points
+# --------------------------------------------------------------------------
+
+
+def _call_names(stmt: Stmt) -> set[str]:
+    names: set[str] = set()
+
+    def walk_expr(expr: Expr) -> None:
+        if isinstance(expr, Call):
+            names.add(expr.name)
+            for arg in expr.args:
+                walk_expr(arg)
+        elif isinstance(expr, Unary):
+            walk_expr(expr.operand)
+        elif isinstance(expr, Binary):
+            walk_expr(expr.lhs)
+            walk_expr(expr.rhs)
+        elif isinstance(expr, Member):
+            walk_expr(expr.obj)
+        elif isinstance(expr, Index):
+            walk_expr(expr.base)
+            walk_expr(expr.index)
+
+    def walk_stmt(s: Stmt) -> None:
+        if isinstance(s, Block):
+            for inner in s.stmts:
+                walk_stmt(inner)
+        elif isinstance(s, IfStmt):
+            walk_expr(s.cond)
+            walk_stmt(s.then)
+            if s.els is not None:
+                walk_stmt(s.els)
+        elif isinstance(s, WhileStmt):
+            walk_expr(s.cond)
+            walk_stmt(s.body)
+        elif isinstance(s, DeclStmt) and s.init is not None:
+            walk_expr(s.init)
+        elif isinstance(s, AssignStmt):
+            walk_expr(s.lhs)
+            walk_expr(s.rhs)
+        elif isinstance(s, ExprStmt):
+            walk_expr(s.expr)
+        elif isinstance(s, ReturnStmt) and s.value is not None:
+            walk_expr(s.value)
+
+    walk_stmt(stmt)
+    return names
+
+
+def analyze_program(
+    typed: TypedProgram, source_name: str = "<minic>"
+) -> DiagnosticReport:
+    """Run every static check over a typed program."""
+    report = DiagnosticReport(source_name=source_name)
+    with obs.span("lint.analyze", file=source_name):
+        cfgs = {f.name: build_cfg(f) for f in typed.program.functions}
+
+        # Call graph roots: functions nobody calls, plus main.
+        called: set[str] = set()
+        for func in typed.program.functions:
+            called |= _call_names(func.body) & set(cfgs)
+        roots = {name for name in cfgs if name not in called}
+        if "main" in cfgs:
+            roots.add("main")
+
+        # Marker discipline (MD001-MD004).
+        markers = _MarkerAnalysis(typed, cfgs)
+        markers.compute_summaries()
+        markers.compute_contexts(roots)
+        markers.report_into(report, roots)
+
+        # Per-function CFG and dataflow checks.
+        all_bounds: dict[str, list[int]] = {}
+        unbounded: dict[str, bool] = {}
+        for func in typed.program.functions:
+            cfg = cfgs[func.name]
+            _check_unreachable(cfg, report)
+            _check_missing_return(cfg, report)
+            _check_definite_assignment(cfg, report)
+            facts = infer_loop_bounds(func, cfg)
+            bounds: list[int] = []
+            for fact in facts:
+                if fact.divergent:
+                    report.add(make_diagnostic(
+                        "LB003",
+                        "constant-true loop never terminates (scheduler-"
+                        "style); excluded from WCET bounding",
+                        fact.pos,
+                        func.name,
+                    ))
+                elif fact.bound is None:
+                    report.add(make_diagnostic(
+                        "LB002",
+                        "loop iteration count cannot be bounded statically; "
+                        "its WCET contribution is unknown",
+                        fact.pos,
+                        func.name,
+                        hint="rewrite as a counting loop with a constant "
+                        "limit, or supply bounds externally (repro wcet "
+                        "--backlog)",
+                    ))
+                else:
+                    report.add(make_diagnostic(
+                        "LB001",
+                        f"loop bound inferred: at most {fact.bound} "
+                        "iteration(s)",
+                        fact.pos,
+                        func.name,
+                    ))
+                    bounds.append(fact.bound)
+            if len(bounds) == len(facts):
+                all_bounds[func.name] = bounds
+            else:
+                unbounded[func.name] = True
+
+        # Cost facts for fully bounded functions (CF001/CF002).
+        analyzer = CostAnalyzer(typed, all_bounds)
+        for func in typed.program.functions:
+            if func.name in unbounded:
+                continue
+            try:
+                cost = analyzer.function_cost(func.name)
+            except CostError as exc:
+                if "recursion" in str(exc):
+                    report.add(make_diagnostic(
+                        "CF002",
+                        f"cost unbounded: {exc}",
+                        func.pos,
+                        func.name,
+                        hint="MiniC cost analysis rejects recursion; "
+                        "restructure into bounded loops",
+                    ))
+                continue  # a callee's loop is unbounded: LB002 already said so
+            report.add(make_diagnostic(
+                "CF001",
+                f"static worst-case cost: {cost} VM instruction(s)",
+                func.pos,
+                func.name,
+            ))
+
+    for diag in report.diagnostics:
+        obs.inc(f"lint.check.{diag.check_id}")
+    obs.inc("lint.diagnostics", len(report.diagnostics))
+    obs.inc("lint.files")
+    return report
+
+
+def _check_unreachable(cfg: CFG, report: DiagnosticReport) -> None:
+    reachable = cfg.reachable()
+    for block in cfg.blocks:
+        if block.index in reachable or block.kind == "exit":
+            continue
+        if block.preds:
+            continue  # interior of a dead region: one report per region
+        pos: Pos | None = None
+        if block.stmts:
+            pos = block.stmts[0].pos
+        elif block.cond is not None:
+            pos = getattr(block.cond, "pos", None)
+        if pos is None:
+            continue  # empty structural block: nothing to report
+        report.add(make_diagnostic(
+            "UC001",
+            "unreachable code (control cannot arrive here)",
+            pos,
+            cfg.function.name,
+            hint="remove it, or fix the branch/return that cuts it off",
+        ))
+
+
+def _check_missing_return(cfg: CFG, report: DiagnosticReport) -> None:
+    func = cfg.function
+    if isinstance(func.ret, TVoid):
+        return
+    reachable = cfg.reachable()
+    falling = [b for b in cfg.fallthrough_preds if b in reachable]
+    if falling:
+        report.add(make_diagnostic(
+            "MR001",
+            f"control may reach the end of {func.name}() without a return "
+            f"(declared {func.ret})",
+            func.pos,
+            func.name,
+            hint="add a return on the falling-off path (running off the "
+            "end is undefined behaviour at runtime)",
+        ))
+
+
+def _check_definite_assignment(cfg: CFG, report: DiagnosticReport) -> None:
+    tracked: set[str] = set()
+    for block in cfg.blocks:
+        for stmt in block.stmts:
+            if (
+                isinstance(stmt, DeclStmt)
+                and stmt.init is None
+                and isinstance(stmt.ctype, (TInt, TPtr))
+            ):
+                tracked.add(stmt.name)
+    if not tracked:
+        return
+    for use in definite_assignment(cfg, tracked):
+        report.add(make_diagnostic(
+            "DA001",
+            f"{use.name!r} may be read before initialization",
+            use.pos,
+            cfg.function.name,
+            hint=f"initialize {use.name!r} at its declaration",
+        ))
+
+
+def analyze_source(source: str, source_name: str = "<minic>") -> DiagnosticReport:
+    """Front end + checks; front-end failures become FE diagnostics."""
+    report = DiagnosticReport(source_name=source_name)
+    from repro.lang.parser import parse_program
+
+    try:
+        program = parse_program(source)
+    except LexError as exc:
+        report.add(make_diagnostic(
+            "FE001", str(exc), Pos(exc.line, exc.col)
+        ))
+        return report
+    except ParseError as exc:
+        report.add(make_diagnostic(
+            "FE002", str(exc), Pos(exc.line, exc.col)
+        ))
+        return report
+    try:
+        typed = typecheck(program)
+    except TypeError_ as exc:
+        report.add(make_diagnostic("FE003", str(exc), None))
+        return report
+    checked = analyze_program(typed, source_name)
+    report.extend(checked.diagnostics)
+    return report
+
+
+def analyze_client(client, source_name: str = "<rossl>") -> DiagnosticReport:
+    """Lint the generated Rössl translation unit for a deployment."""
+    from repro.rossl.source import rossl_source
+
+    return analyze_source(rossl_source(client), source_name)
+
+
+def bound_warnings(report: DiagnosticReport) -> tuple[str, ...]:
+    """The loop-bound/cost warnings, formatted for adequacy reports."""
+    lines = []
+    for diag in report.sorted():
+        if diag.check_id in ("LB002", "CF002"):
+            where = f"{diag.function or '?'} at {diag.pos}" if diag.pos else (
+                diag.function or "?"
+            )
+            lines.append(f"[{diag.check_id}] {where}: {diag.message}")
+    return tuple(lines)

@@ -1,0 +1,348 @@
+"""Classic dataflow analyses over the MiniC CFG.
+
+A small generic worklist solver plus three instantiations:
+
+* **reaching definitions** (forward, may) — which assignments can reach
+  each block;
+* **liveness** (backward, may) — which variables are live into/out of
+  each block;
+* **definite assignment** (forward, must) — which scalar locals are
+  certainly initialized; the residue powers the ``DA001``
+  use-before-initialization check.
+
+All three work on variable *names*: MiniC scoping is lexical and the
+type checker has already resolved shadowing, so a declaration without an
+initializer simply kills the name (the inner variable starts
+uninitialized even if an outer one was set).  Aggregates (structs,
+arrays) and address-taken variables are treated conservatively as
+always-initialized storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.lang.analysis.cfg import CFG, BasicBlock, LinearStmt
+from repro.lang.syntax import (
+    AssignStmt,
+    Binary,
+    Call,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    Index,
+    IntLit,
+    Member,
+    NullLit,
+    Pos,
+    ReturnStmt,
+    SizeofType,
+    TInt,
+    TPtr,
+    Unary,
+    Var,
+)
+
+# --------------------------------------------------------------------------
+# Syntax-directed def/use extraction
+# --------------------------------------------------------------------------
+
+
+def expr_reads(expr: Expr) -> Iterator[Var]:
+    """Variables *read* by ``expr``, in evaluation order.
+
+    ``&x`` does not read ``x`` (it only takes its address), so its
+    direct operand is skipped; everything below a deref or index is a
+    genuine read.
+    """
+    if isinstance(expr, (IntLit, NullLit, SizeofType)):
+        return
+    if isinstance(expr, Var):
+        yield expr
+        return
+    if isinstance(expr, Unary):
+        if expr.op == "&" and isinstance(expr.operand, Var):
+            return
+        yield from expr_reads(expr.operand)
+        return
+    if isinstance(expr, Binary):
+        yield from expr_reads(expr.lhs)
+        yield from expr_reads(expr.rhs)
+        return
+    if isinstance(expr, Call):
+        for arg in expr.args:
+            yield from expr_reads(arg)
+        return
+    if isinstance(expr, Member):
+        yield from expr_reads(expr.obj)
+        return
+    if isinstance(expr, Index):
+        yield from expr_reads(expr.base)
+        yield from expr_reads(expr.index)
+        return
+    raise AssertionError(f"unhandled expression {expr!r}")  # pragma: no cover
+
+
+def expr_address_taken(expr: Expr) -> Iterator[str]:
+    """Names whose address is taken anywhere inside ``expr``."""
+    if isinstance(expr, Unary):
+        if expr.op == "&" and isinstance(expr.operand, Var):
+            yield expr.operand.name
+        yield from expr_address_taken(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from expr_address_taken(expr.lhs)
+        yield from expr_address_taken(expr.rhs)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from expr_address_taken(arg)
+    elif isinstance(expr, Member):
+        yield from expr_address_taken(expr.obj)
+    elif isinstance(expr, Index):
+        yield from expr_address_taken(expr.base)
+        yield from expr_address_taken(expr.index)
+
+
+def stmt_exprs(stmt: LinearStmt) -> Iterator[Expr]:
+    """The expressions a linear statement evaluates, in order."""
+    if isinstance(stmt, DeclStmt):
+        if stmt.init is not None:
+            yield stmt.init
+    elif isinstance(stmt, AssignStmt):
+        # rhs first is how both semantics evaluate; for def/use sets the
+        # order only matters for `x = x + 1`, where the read precedes
+        # the write either way.
+        yield stmt.rhs
+        if not isinstance(stmt.lhs, Var):
+            yield stmt.lhs  # lvalue path reads (e.g. `*p`, `a[i]`)
+    elif isinstance(stmt, ExprStmt):
+        yield stmt.expr
+    elif isinstance(stmt, ReturnStmt):
+        if stmt.value is not None:
+            yield stmt.value
+
+
+def stmt_def(stmt: LinearStmt) -> str | None:
+    """The variable name a statement directly assigns, if any."""
+    if isinstance(stmt, DeclStmt) and stmt.init is not None:
+        return stmt.name
+    if isinstance(stmt, AssignStmt) and isinstance(stmt.lhs, Var):
+        return stmt.lhs.name
+    return None
+
+
+# --------------------------------------------------------------------------
+# Generic worklist solver
+# --------------------------------------------------------------------------
+
+
+def solve(
+    cfg: CFG,
+    *,
+    forward: bool,
+    init: Callable[[BasicBlock], frozenset],
+    boundary: frozenset,
+    merge: Callable[[list[frozenset]], frozenset],
+    transfer: Callable[[BasicBlock, frozenset], frozenset],
+) -> tuple[dict[int, frozenset], dict[int, frozenset]]:
+    """Iterate ``transfer`` to a fixpoint; returns (in_sets, out_sets).
+
+    ``boundary`` seeds the entry (forward) or exit (backward) block;
+    ``init`` gives every other block's starting out-set (bottom).
+    """
+    preds = {b.index: b.preds for b in cfg.blocks}
+    succs = {b.index: b.succs for b in cfg.blocks}
+    inputs, outputs = (preds, succs) if forward else (succs, preds)
+    start = cfg.entry if forward else cfg.exit
+
+    in_sets: dict[int, frozenset] = {}
+    out_sets: dict[int, frozenset] = {b.index: init(b) for b in cfg.blocks}
+    work = [b.index for b in cfg.blocks]
+    while work:
+        index = work.pop(0)
+        block = cfg.blocks[index]
+        if index == start:
+            in_value = boundary
+        else:
+            incoming = [out_sets[p] for p in inputs[index]]
+            in_value = merge(incoming) if incoming else boundary
+        in_sets[index] = in_value
+        out_value = transfer(block, in_value)
+        if out_value != out_sets[index]:
+            out_sets[index] = out_value
+            for nxt in outputs[index]:
+                if nxt not in work:
+                    work.append(nxt)
+    return in_sets, out_sets
+
+
+def _union(sets: list[frozenset]) -> frozenset:
+    result: frozenset = frozenset()
+    for s in sets:
+        result |= s
+    return result
+
+
+def _intersection(sets: list[frozenset]) -> frozenset:
+    result = sets[0]
+    for s in sets[1:]:
+        result &= s
+    return result
+
+
+# --------------------------------------------------------------------------
+# Reaching definitions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Definition:
+    """One definition site: variable name + position (``None``: a
+    parameter's implicit definition at function entry)."""
+
+    name: str
+    pos: Pos | None
+
+    def __repr__(self) -> str:  # compact for golden/debug output
+        return f"{self.name}@{self.pos or 'entry'}"
+
+
+def reaching_definitions(cfg: CFG) -> tuple[dict[int, frozenset], dict[int, frozenset]]:
+    """Forward may-analysis: definitions reaching each block boundary."""
+    param_defs = frozenset(
+        Definition(p.name, None) for p in cfg.function.params
+    )
+
+    def transfer(block: BasicBlock, value: frozenset) -> frozenset:
+        live = set(value)
+        for stmt in block.stmts:
+            name = stmt_def(stmt)
+            if isinstance(stmt, DeclStmt) and stmt.init is None:
+                name = None  # declaration alone defines nothing
+            if name is not None:
+                live = {d for d in live if d.name != name}
+                live.add(Definition(name, stmt.pos))
+        return frozenset(live)
+
+    return solve(
+        cfg,
+        forward=True,
+        init=lambda b: frozenset(),
+        boundary=param_defs,
+        merge=_union,
+        transfer=transfer,
+    )
+
+
+# --------------------------------------------------------------------------
+# Liveness
+# --------------------------------------------------------------------------
+
+
+def liveness(cfg: CFG) -> tuple[dict[int, frozenset], dict[int, frozenset]]:
+    """Backward may-analysis over variable names.
+
+    Returns ``(live_out, live_in)`` per block — the solver's (in, out)
+    in backward orientation.
+    """
+
+    def transfer(block: BasicBlock, live_after: frozenset) -> frozenset:
+        live = set(live_after)
+        if block.cond is not None:
+            live |= {v.name for v in expr_reads(block.cond)}
+            live |= set(expr_address_taken(block.cond))
+        for stmt in reversed(block.stmts):
+            name = stmt_def(stmt)
+            if name is not None:
+                live.discard(name)
+            for expr in stmt_exprs(stmt):
+                live |= {v.name for v in expr_reads(expr)}
+                # Address-taken names stay live: writes may flow indirectly.
+                live |= set(expr_address_taken(expr))
+        return frozenset(live)
+
+    return solve(
+        cfg,
+        forward=False,
+        init=lambda b: frozenset(),
+        boundary=frozenset(),
+        merge=_union,
+        transfer=transfer,
+    )
+
+
+# --------------------------------------------------------------------------
+# Definite assignment
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class UseBeforeInit:
+    """A read of ``name`` at ``pos`` not dominated by an assignment."""
+
+    name: str
+    pos: Pos
+
+
+def definite_assignment(cfg: CFG, tracked: set[str]) -> list[UseBeforeInit]:
+    """Forward must-analysis; reports reads of ``tracked`` scalar names
+    possibly performed before any assignment."""
+    everything = frozenset(tracked) | {p.name for p in cfg.function.params}
+
+    def flow_stmt(stmt: LinearStmt, assigned: set[str]) -> None:
+        for expr in stmt_exprs(stmt):
+            for name in expr_address_taken(expr):
+                assigned.add(name)  # conservative: &x may initialize x
+        name = stmt_def(stmt)
+        if isinstance(stmt, DeclStmt):
+            if stmt.init is not None:
+                assigned.add(stmt.name)
+            elif isinstance(stmt.ctype, (TInt, TPtr)):
+                assigned.discard(stmt.name)  # fresh, uninitialized scalar
+            else:
+                assigned.add(stmt.name)  # aggregates are storage, not values
+        elif name is not None:
+            assigned.add(name)
+
+    def transfer(block: BasicBlock, value: frozenset) -> frozenset:
+        assigned = set(value)
+        for stmt in block.stmts:
+            flow_stmt(stmt, assigned)
+        if block.cond is not None:
+            for name in expr_address_taken(block.cond):
+                assigned.add(name)
+        return frozenset(assigned)
+
+    in_sets, _ = solve(
+        cfg,
+        forward=True,
+        init=lambda b: everything,  # top: must-analysis starts optimistic
+        boundary=frozenset(p.name for p in cfg.function.params),
+        merge=_intersection,
+        transfer=transfer,
+    )
+
+    # Reporting pass: walk each reachable block with its fixpoint in-set.
+    found: list[UseBeforeInit] = []
+    seen: set[tuple[str, int, int]] = set()
+    for index in sorted(cfg.reachable()):
+        block = cfg.blocks[index]
+        assigned = set(in_sets.get(index, frozenset()))
+        exprs = [(s, list(stmt_exprs(s))) for s in block.stmts]
+        for stmt, stmt_expr_list in exprs:
+            for expr in stmt_expr_list:
+                for var in expr_reads(expr):
+                    if var.name in tracked and var.name not in assigned:
+                        key = (var.name, var.pos.line, var.pos.col)
+                        if key not in seen:
+                            seen.add(key)
+                            found.append(UseBeforeInit(var.name, var.pos))
+            flow_stmt(stmt, assigned)
+        if block.cond is not None:
+            for var in expr_reads(block.cond):
+                if var.name in tracked and var.name not in assigned:
+                    key = (var.name, var.pos.line, var.pos.col)
+                    if key not in seen:
+                        seen.add(key)
+                        found.append(UseBeforeInit(var.name, var.pos))
+    return found

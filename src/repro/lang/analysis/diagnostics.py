@@ -1,0 +1,183 @@
+"""Structured diagnostics for the MiniC static-analysis pass.
+
+Every check emits :class:`Diagnostic` records — severity, source span,
+a stable check id from :data:`CHECKS`, a message, and an optional fix
+hint — collected into a :class:`DiagnosticReport`.  The CLI renders
+them (text or JSON) and maps them to exit codes; `--Werror` promotes
+warnings to errors at the report level, never inside the checks.
+
+The id scheme groups checks by family:
+
+* ``FE0xx`` — front-end failures (lex/parse/type), produced when the
+  analyzer is asked to lint a file that does not even build;
+* ``MD0xx`` — marker discipline (the Fig. 6 trace protocol);
+* ``UC``/``MR``/``DA`` — classic CFG/dataflow checks;
+* ``LB``/``CF`` — static loop-bound and cost facts feeding the WCET
+  story (docs/lang-analysis.md has the full catalog).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.lang.syntax import Pos
+
+
+class Severity(Enum):
+    """Diagnostic severity; the ordering is used for sorting and exit codes."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+#: Stable check catalog: id → (default severity, one-line description).
+CHECKS: dict[str, tuple[Severity, str]] = {
+    "FE001": (Severity.ERROR, "lexical error"),
+    "FE002": (Severity.ERROR, "syntax error"),
+    "FE003": (Severity.ERROR, "type error"),
+    "MD001": (Severity.ERROR, "marker emitted inside an open marker region"),
+    "MD002": (Severity.ERROR, "marker region left open (or open only on some paths) at function exit"),
+    "MD003": (Severity.ERROR, "region-closing call without a matching open region"),
+    "MD004": (Severity.ERROR, "marker region state not loop-invariant (trace index drifts across iterations)"),
+    "UC001": (Severity.WARNING, "unreachable code"),
+    "MR001": (Severity.ERROR, "control may reach the end of a non-void function without returning"),
+    "DA001": (Severity.WARNING, "variable may be read before initialization"),
+    "LB001": (Severity.INFO, "loop bound inferred statically"),
+    "LB002": (Severity.WARNING, "loop iteration count cannot be bounded statically"),
+    "LB003": (Severity.INFO, "intentionally non-terminating loop (constant-true condition)"),
+    "CF001": (Severity.INFO, "static worst-case cost bound computed"),
+    "CF002": (Severity.WARNING, "function cost unbounded (recursion)"),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One finding: where, what, how bad, and how to fix it."""
+
+    check_id: str
+    severity: Severity
+    message: str
+    pos: Pos | None
+    function: str | None = None
+    hint: str | None = None
+
+    def format(self, source_name: str = "<minic>") -> str:
+        where = f"{source_name}:{self.pos}" if self.pos else source_name
+        scope = f" [{self.function}]" if self.function else ""
+        text = f"{where}: {self.severity.value}: {self.check_id}: {self.message}{scope}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "check_id": self.check_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "line": self.pos.line if self.pos else None,
+            "col": self.pos.col if self.pos else None,
+            "function": self.function,
+            "hint": self.hint,
+        }
+
+
+def make_diagnostic(
+    check_id: str,
+    message: str,
+    pos: Pos | None,
+    function: str | None = None,
+    hint: str | None = None,
+    severity: Severity | None = None,
+) -> Diagnostic:
+    """Build a diagnostic, defaulting the severity from the catalog."""
+    if check_id not in CHECKS:
+        raise KeyError(f"unknown check id {check_id!r}")
+    return Diagnostic(
+        check_id=check_id,
+        severity=severity or CHECKS[check_id][0],
+        message=message,
+        pos=pos,
+        function=function,
+        hint=hint,
+    )
+
+
+@dataclass
+class DiagnosticReport:
+    """All diagnostics for one translation unit, in a stable order."""
+
+    source_name: str = "<minic>"
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: list[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def sorted(self) -> list[Diagnostic]:
+        """Source order first, then severity, then check id — stable for
+        goldens and CI output."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                d.pos.line if d.pos else 0,
+                d.pos.col if d.pos else 0,
+                d.severity.rank,
+                d.check_id,
+                d.message,
+            ),
+        )
+
+    def by_check(self, check_id: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.check_id == check_id]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def exit_code(self, werror: bool = False) -> int:
+        """0 clean, 1 if any error (or any warning under ``--Werror``)."""
+        if self.errors:
+            return 1
+        if werror and self.warnings:
+            return 1
+        return 0
+
+    def format(self, min_severity: Severity = Severity.INFO) -> str:
+        lines = [
+            d.format(self.source_name)
+            for d in self.sorted()
+            if d.severity.rank <= min_severity.rank
+        ]
+        counts = (
+            f"{self.source_name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), "
+            f"{len(self.diagnostics) - len(self.errors) - len(self.warnings)} note(s)"
+        )
+        return "\n".join(lines + [counts])
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "source": self.source_name,
+                "ok": self.ok,
+                "diagnostics": [d.to_dict() for d in self.sorted()],
+            },
+            indent=2,
+        )

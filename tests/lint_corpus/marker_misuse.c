@@ -1,0 +1,18 @@
+// Seeded marker-discipline violation (kept out of examples/ so shipped
+// examples lint clean): the execution region opened for the job is only
+// closed on the taken branch, so one CFG path leaves the function with
+// the region still open -> MD002, exit 1.
+
+int handle(int job) {
+    dispatch_start(&job, 1);
+    execution_start(&job, 1);
+    if (job) {
+        completion_start(&job, 1);
+        return 1;
+    }
+    return 0;
+}
+
+int main() {
+    return handle(3);
+}

@@ -1,0 +1,15 @@
+// Seeded unboundable loop: the limit is a runtime parameter, so the
+// counting-loop pattern does not apply and the loop's WCET contribution
+// is unknowable statically -> LB002 (warning; exit 1 under --Werror).
+
+int drain(int budget) {
+    int used = 0;
+    while (used < budget) {
+        used = used + 1;
+    }
+    return used;
+}
+
+int main() {
+    return drain(16);
+}

@@ -94,6 +94,23 @@ def test_generated_programs_have_loops_sometimes():
     assert with_loops > 10
 
 
+@pytest.mark.parametrize("seed", SEEDS[:40])
+def test_static_analyzer_never_crashes_on_generated_programs(seed: int):
+    """The analyzer must be total over the generator's output: whatever
+    it reports, it reports as diagnostics, not exceptions — and never an
+    FE diagnostic, since generated programs are well-typed by
+    construction."""
+    from repro.lang.analysis import analyze_source
+
+    generated = generate_program(seed, helpers=2, body_size=5)
+    report = analyze_source(generated.source, source_name=f"<fuzz-{seed}>")
+    assert all(
+        not d.check_id.startswith("FE") for d in report.diagnostics
+    ), report.format()
+    # Generated programs emit no markers, so marker discipline holds too.
+    assert not report.errors, report.format()
+
+
 def test_cost_bound_reasonably_tight():
     """The static bound should not be astronomically loose: on average
     within ~8x of the actual count for generated programs (branches and

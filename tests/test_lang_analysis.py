@@ -1,0 +1,559 @@
+"""The static-analysis subsystem: CFG construction, dataflow, and the
+check catalog (marker discipline, CFG hygiene, loop bounds), plus the
+``repro lint`` CLI surface.
+
+CFG shapes are pinned with :func:`repro.lang.analysis.describe` goldens;
+the checks are exercised with paired positive (clean) and negative
+(seeded-defect) programs, including the committed corpus under
+``tests/lint_corpus/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.cli import main
+from repro.lang.analysis import (
+    CHECKS,
+    DiagnosticReport,
+    Severity,
+    analyze_source,
+    build_cfg,
+    definite_assignment,
+    describe,
+    infer_loop_bounds,
+    liveness,
+    make_diagnostic,
+    reaching_definitions,
+)
+from repro.lang.parser import parse_program
+from repro.lang.syntax import Pos
+from repro.lang.typecheck import typecheck
+
+REPO = Path(__file__).resolve().parent.parent
+CORPUS = Path(__file__).resolve().parent / "lint_corpus"
+SPEC = str(REPO / "examples" / "specs" / "robot.json")
+
+
+def cfg_of(source: str, name: str | None = None):
+    typed = typecheck(parse_program(dedent(source)))
+    functions = {f.name: f for f in typed.program.functions}
+    func = functions[name] if name else typed.program.functions[0]
+    return build_cfg(func)
+
+
+def check_ids(source: str) -> set[str]:
+    report = analyze_source(dedent(source))
+    return {d.check_id for d in report.diagnostics}
+
+
+# --------------------------------------------------------------------------
+# CFG goldens
+# --------------------------------------------------------------------------
+
+
+def test_cfg_if_else_diamond():
+    cfg = cfg_of("""
+        int pick(int x) {
+            int r = 0;
+            if (x < 10) {
+                r = 1;
+            } else {
+                r = 2;
+            }
+            return r;
+        }
+    """)
+    assert describe(cfg) == dedent("""\
+        fn pick:
+          B0(entry): decl r = 0 | branch x < 10 -> B1, B2
+          B1: r = 1 -> B3
+          B2: r = 2 -> B3
+          B3: return r -> B4
+          B4(exit): - -> -""")
+
+
+def test_cfg_while_loop():
+    cfg = cfg_of("""
+        int count() {
+            int i = 0;
+            while (i < 4) {
+                i = i + 1;
+            }
+            return i;
+        }
+    """)
+    assert describe(cfg) == dedent("""\
+        fn count:
+          B0(entry): decl i = 0 -> B1
+          B1(loop-head): - | branch i < 4 -> B2, B3
+          B2: i = i + 1 -> B1
+          B3: return i -> B4
+          B4(exit): - -> -
+          loops: loop#0@4:5 head=B1 latches=['B2']""")
+
+
+def test_cfg_nested_loops_in_source_preorder():
+    cfg = cfg_of("""
+        int grid() {
+            int acc = 0;
+            int i = 0;
+            while (i < 3) {
+                int j = 0;
+                while (j < 2) {
+                    acc = acc + 1;
+                    j = j + 1;
+                }
+                i = i + 1;
+            }
+            return acc;
+        }
+    """)
+    assert describe(cfg) == dedent("""\
+        fn grid:
+          B0(entry): decl acc = 0; decl i = 0 -> B1
+          B1(loop-head): - | branch i < 3 -> B2, B3
+          B2: decl j = 0 -> B4
+          B3: return acc -> B7
+          B4(loop-head): - | branch j < 2 -> B5, B6
+          B5: acc = acc + 1; j = j + 1 -> B4
+          B6: i = i + 1 -> B1
+          B7(exit): - -> -
+          loops: loop#0@5:5 head=B1 latches=['B6']; loop#1@7:9 head=B4 latches=['B5']""")
+    # Pre-order matches cost.py's bound-consumption order: outer first.
+    assert [info.order for info in cfg.loops] == [0, 1]
+    assert cfg.loops[0].pos.line < cfg.loops[1].pos.line
+
+
+def test_cfg_while_true_has_no_false_edge():
+    cfg = cfg_of("""
+        void spin() {
+            while (1) {
+                idling_start();
+            }
+        }
+    """)
+    head = next(b for b in cfg.blocks if b.kind == "loop-head")
+    assert cfg.exit not in head.succs
+    assert cfg.exit not in cfg.reachable()
+
+
+def test_cfg_code_after_return_is_detached():
+    cfg = cfg_of("""
+        int f() {
+            return 1;
+            return 2;
+        }
+    """)
+    detached = [
+        b for b in cfg.blocks
+        if b.index not in cfg.reachable() and b.stmts
+    ]
+    assert len(detached) == 1
+    assert not detached[0].preds
+
+
+# --------------------------------------------------------------------------
+# Dataflow
+# --------------------------------------------------------------------------
+
+
+def test_reaching_definitions_merge_at_join():
+    cfg = cfg_of("""
+        int f(int x) {
+            int r = 0;
+            if (x) {
+                r = 1;
+            }
+            return r;
+        }
+    """)
+    in_sets, _ = reaching_definitions(cfg)
+    exit_defs = {d for d in in_sets[cfg.exit] if d.name == "r"}
+    # Both the initializer and the then-arm assignment reach the exit.
+    assert len(exit_defs) == 2
+    assert {d.name for d in in_sets[cfg.exit]} == {"x", "r"}
+
+
+def test_liveness_through_loop():
+    cfg = cfg_of("""
+        int count() {
+            int i = 0;
+            int dead = 7;
+            while (i < 4) {
+                i = i + 1;
+            }
+            return i;
+        }
+    """)
+    live_out, _ = liveness(cfg)
+    # `i` is live out of the entry block (the loop reads it); `dead` never is.
+    assert "i" in live_out[cfg.entry]
+    assert all("dead" not in live_out[b.index] for b in cfg.blocks)
+
+
+def test_definite_assignment_flags_one_armed_init():
+    cfg = cfg_of("""
+        int f(int x) {
+            int r;
+            if (x) {
+                r = 1;
+            }
+            return r;
+        }
+    """)
+    uses = definite_assignment(cfg, {"r"})
+    assert [u.name for u in uses] == ["r"]
+
+
+def test_definite_assignment_accepts_both_arms_init():
+    cfg = cfg_of("""
+        int f(int x) {
+            int r;
+            if (x) {
+                r = 1;
+            } else {
+                r = 2;
+            }
+            return r;
+        }
+    """)
+    assert definite_assignment(cfg, {"r"}) == []
+
+
+def test_definite_assignment_treats_address_of_as_init():
+    # `read(sock, &n, 1)` may initialize n through the pointer.
+    assert "DA001" not in check_ids("""
+        int f(int sock) {
+            int n;
+            if (read(sock, &n, 1) < 0) {
+                return 0;
+            }
+            return n;
+        }
+    """)
+
+
+# --------------------------------------------------------------------------
+# Marker discipline
+# --------------------------------------------------------------------------
+
+CLEAN_MARKERS = """
+    int serve(int sock) {
+        int msg = 0;
+        read_start();
+        int got = read(sock, &msg, 1);
+        if (got < 0) {
+            return 0;
+        }
+        dispatch_start(&msg, 1);
+        execution_start(&msg, 1);
+        completion_start(&msg, 1);
+        return 1;
+    }
+
+    int main() {
+        return serve(0);
+    }
+"""
+
+
+def test_marker_discipline_accepts_clean_protocol():
+    report = analyze_source(dedent(CLEAN_MARKERS))
+    assert not report.errors, report.format()
+
+
+def test_marker_unpaired_on_one_path_is_md002():
+    ids = check_ids("""
+        int handle(int job) {
+            dispatch_start(&job, 1);
+            execution_start(&job, 1);
+            if (job) {
+                completion_start(&job, 1);
+                return 1;
+            }
+            return 0;
+        }
+    """)
+    assert "MD002" in ids
+
+
+def test_marker_inside_open_region_is_md001():
+    ids = check_ids("""
+        void f(int job) {
+            dispatch_start(&job, 1);
+            selection_start();
+            execution_start(&job, 1);
+            completion_start(&job, 1);
+        }
+    """)
+    assert "MD001" in ids
+
+
+def test_stray_closer_is_md003():
+    ids = check_ids("""
+        void f(int job) {
+            completion_start(&job, 1);
+        }
+    """)
+    assert "MD003" in ids
+
+
+def test_phase_drift_across_loop_is_md004():
+    ids = check_ids("""
+        void f(int job) {
+            int i = 0;
+            while (i < 4) {
+                dispatch_start(&job, 1);
+                i = i + 1;
+            }
+        }
+    """)
+    assert "MD004" in ids
+
+
+def test_interprocedural_split_markers_check_clean():
+    # The callee closes a region its caller opened — the scheduler's
+    # npfp_dispatch shape; legal in its actual calling context.
+    report = analyze_source(dedent("""
+        void finish(int job) {
+            execution_start(&job, 1);
+            completion_start(&job, 1);
+        }
+
+        int main() {
+            int job = 1;
+            dispatch_start(&job, 1);
+            finish(job);
+            return 0;
+        }
+    """))
+    assert not report.errors, report.format()
+
+
+def test_generated_scheduler_lints_clean():
+    from repro.config import load_deployment
+    from repro.lang.analysis import analyze_client
+
+    deployment = load_deployment(SPEC)
+    report = analyze_client(deployment.client)
+    assert not report.errors, report.format()
+    # The unbounded list-walking loops are flagged, the divergent
+    # scheduler loop is classified, and nothing is a false error.
+    ids = {d.check_id for d in report.diagnostics}
+    assert "LB002" in ids and "LB003" in ids
+
+
+# --------------------------------------------------------------------------
+# CFG hygiene, loop bounds, cost
+# --------------------------------------------------------------------------
+
+
+def test_unreachable_code_is_uc001():
+    ids = check_ids("""
+        int f() {
+            return 1;
+            return 2;
+        }
+    """)
+    assert "UC001" in ids
+
+
+def test_missing_return_is_mr001():
+    ids = check_ids("""
+        int f(int x) {
+            if (x) {
+                return 1;
+            }
+        }
+    """)
+    assert "MR001" in ids
+
+
+def test_void_function_never_mr001():
+    assert "MR001" not in check_ids("""
+        void f(int x) {
+            if (x) {
+                return;
+            }
+        }
+    """)
+
+
+def test_loop_bound_inference():
+    cfg = cfg_of("""
+        int f(int n) {
+            int total = 0;
+            int i = 2;
+            while (i <= 10) {
+                total = total + i;
+                i = i + 3;
+            }
+            while (i < n) {
+                i = i + 1;
+            }
+            while (0) {
+                i = i + 1;
+            }
+            return total;
+        }
+    """)
+    facts = infer_loop_bounds(cfg.function, cfg)
+    assert [f.bound for f in facts] == [3, None, 0]  # ceil((10-2+1)/3) = 3
+    assert not any(f.divergent for f in facts)
+
+
+def test_bounded_program_gets_cost_fact():
+    report = analyze_source(dedent("""
+        int main() {
+            int acc = 0;
+            int i = 0;
+            while (i < 8) {
+                acc = acc + i;
+                i = i + 1;
+            }
+            return acc;
+        }
+    """))
+    by_id = {d.check_id: d for d in report.diagnostics}
+    assert "LB001" in by_id and "at most 8" in by_id["LB001"].message
+    assert "CF001" in by_id
+    assert not report.errors
+
+
+def test_recursion_is_cf002():
+    ids = check_ids("""
+        int f(int n) {
+            if (n < 1) {
+                return 0;
+            }
+            return f(n + -1);
+        }
+
+        int main() {
+            return f(3);
+        }
+    """)
+    assert "CF002" in ids
+
+
+# --------------------------------------------------------------------------
+# Diagnostics plumbing
+# --------------------------------------------------------------------------
+
+
+def test_front_end_errors_become_fe_diagnostics():
+    lex = analyze_source("int main() { return `; }")
+    parse = analyze_source("int main( {")
+    types = analyze_source("int main() { return missing(); }")
+    assert [d.check_id for d in lex.diagnostics] == ["FE001"]
+    assert [d.check_id for d in parse.diagnostics] == ["FE002"]
+    assert [d.check_id for d in types.diagnostics] == ["FE003"]
+    for report in (lex, parse, types):
+        assert report.exit_code(werror=False) == 1
+
+
+def test_unknown_check_id_rejected():
+    with pytest.raises(KeyError):
+        make_diagnostic("XX999", "nope", Pos(1, 1))
+
+
+def test_every_check_id_has_catalog_entry():
+    for check_id, (severity, description) in CHECKS.items():
+        assert isinstance(severity, Severity)
+        assert description
+
+
+def test_report_sorting_and_exit_codes():
+    report = DiagnosticReport(source_name="t.c")
+    report.add(make_diagnostic("LB001", "b", Pos(9, 1), "f"))
+    report.add(make_diagnostic("MR001", "a", Pos(2, 1), "f"))
+    assert [d.check_id for d in report.sorted()] == ["MR001", "LB001"]
+    assert report.exit_code(werror=False) == 1  # MR001 is an error
+    clean = DiagnosticReport(source_name="t.c")
+    clean.add(make_diagnostic("LB002", "w", Pos(1, 1), "f"))
+    assert clean.exit_code(werror=False) == 0
+    assert clean.exit_code(werror=True) == 1
+
+
+# --------------------------------------------------------------------------
+# The lint CLI (including the committed corpus)
+# --------------------------------------------------------------------------
+
+
+def test_lint_cli_clean_examples_exit_zero(capsys):
+    examples = sorted(str(p) for p in (REPO / "examples" / "minic").glob("*.c"))
+    assert examples, "examples/minic/*.c missing"
+    assert main(["lint", *examples]) == 0
+    err = capsys.readouterr().err
+    assert "0 error(s)" in err
+
+
+def test_lint_cli_spec_exits_zero(capsys):
+    assert main(["lint", SPEC]) == 0
+    assert "LB003" in capsys.readouterr().err
+
+
+def test_lint_cli_corpus_marker_misuse_fails(capsys):
+    assert main(["lint", str(CORPUS / "marker_misuse.c")]) == 1
+    assert "MD002" in capsys.readouterr().err
+
+
+def test_lint_cli_corpus_unbounded_loop_warns(capsys):
+    path = str(CORPUS / "unbounded_loop.c")
+    assert main(["lint", path]) == 0
+    assert "LB002" in capsys.readouterr().err
+    assert main(["lint", "--Werror", path]) == 1
+
+
+def test_lint_cli_front_end_error_no_traceback(tmp_path, capsys):
+    bad = tmp_path / "broken.c"
+    bad.write_text("int main( {\n")
+    assert main(["lint", str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "FE002" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_lint_cli_missing_file_exits_two(capsys):
+    assert main(["lint", "definitely-not-here.c"]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_lint_cli_json_output(tmp_path, capsys):
+    src = tmp_path / "ok.c"
+    src.write_text("int main() { return 0; }\n")
+    assert main(["lint", "--json", str(src)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["source"] == str(src)
+    assert payload["ok"] is True
+    assert payload["diagnostics"] == [] or all(
+        "check_id" in d for d in payload["diagnostics"]
+    )
+
+
+def test_analyze_with_lint_gate_runs(capsys):
+    assert main(["analyze", SPEC, "--lint"]) == 0
+    captured = capsys.readouterr()
+    assert "LB002" in captured.err
+    assert "R+J (arrival)" in captured.out
+
+
+def test_analyze_with_lint_werror_refuses(capsys):
+    assert main(["analyze", SPEC, "--lint", "--Werror"]) == 1
+    # The gate stops before any analysis output reaches stdout.
+    assert "R+J" not in capsys.readouterr().out
+
+
+def test_simulate_with_lint_appends_static_caveats(capsys):
+    code = main([
+        "simulate", SPEC, "--lint", "--horizon", "20000", "--runs", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "static-analysis caveats:" in out
+    assert "[LB002]" in out
