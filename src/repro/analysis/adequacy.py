@@ -73,6 +73,15 @@ class TimingCorrectnessReport:
     #: the cost pass could not bound, so the WCET inputs rest on the
     #: spec's declared values alone.  Presentation-only, never compared.
     static_warnings: tuple[str, ...] = field(default=(), compare=False)
+    #: shards the parallel runner lost to worker failures (timeouts,
+    #: crashes) past the retry budget — their runs are simply missing
+    #: from the tallies.  Never compared: jobs=1 trivially has none.
+    shard_failures: tuple = field(default=(), compare=False)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether worker failures left this report partial."""
+        return bool(self.shard_failures)
 
     @property
     def ok(self) -> bool:
@@ -112,6 +121,13 @@ class TimingCorrectnessReport:
             text += "\nstatic-analysis caveats:"
             for line in self.static_warnings:
                 text += f"\n  {line}"
+        if self.shard_failures:
+            text += (
+                f"\nDEGRADED: {len(self.shard_failures)} shard(s) lost to "
+                "worker failures; their runs are missing from the tallies:"
+            )
+            for failure in self.shard_failures:
+                text += f"\n  {failure}"
         if show_elapsed and self.elapsed_seconds is not None:
             text += "\n" + format_elapsed(self.elapsed_seconds)
         return text
@@ -276,6 +292,9 @@ def run_adequacy_campaign(
     analysis_horizon: int = 1_000_000,
     engine: str | SchedulerEngine = "python",
     jobs: int = 1,
+    worker_timeout: float | None = None,
+    worker_retries: int = 1,
+    worker_fault=None,
 ) -> TimingCorrectnessReport:
     """Randomized campaign: ``runs`` simulations, all checked.
 
@@ -287,10 +306,16 @@ def run_adequacy_campaign(
     engine); ``jobs > 1`` fans the runs out over a process pool
     (:mod:`repro.analysis.parallel`) — results are bit-identical to the
     serial campaign because every run's randomness derives from
-    ``seed + run_index`` alone.
+    ``seed + run_index`` alone.  Worker failures past the retry budget
+    (``worker_timeout``/``worker_retries``; ``worker_fault`` injects
+    them deterministically, see
+    :class:`~repro.analysis.parallel.WorkerFault`) degrade the report —
+    the lost shards land in :attr:`TimingCorrectnessReport.shard_failures`
+    instead of killing the campaign.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    shard_failures: tuple = ()
     with obs.span("campaign.adequacy", runs=runs, jobs=jobs) as sp:
         analysis = analyse(client, wcet, analysis_horizon)
         if not analysis.schedulable:
@@ -298,11 +323,14 @@ def run_adequacy_campaign(
         if jobs > 1:
             from repro.analysis.parallel import run_campaign_parallel
 
-            outcomes = run_campaign_parallel(
+            outcomes, shard_failures = run_campaign_parallel(
                 client, wcet, analysis, horizon, runs,
                 seed_root=seed, intensity=intensity,
                 adversarial_fraction=adversarial_fraction,
                 engine=engine, jobs=jobs,
+                worker_timeout=worker_timeout,
+                worker_retries=worker_retries,
+                worker_fault=worker_fault,
             )
         else:
             backend = as_engine(engine, client)
@@ -315,6 +343,7 @@ def run_adequacy_campaign(
                 for index in range(runs)
             ]
         report = merge_outcomes(analysis, outcomes)
-    obs.inc("campaign.runs_completed", runs)
+        report.shard_failures = shard_failures
+    obs.inc("campaign.runs_completed", report.runs)
     report.elapsed_seconds = sp.elapsed_seconds
     return report

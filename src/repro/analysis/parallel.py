@@ -16,14 +16,22 @@ Design points:
   (parse/typecheck/compile of the Rössl program) exactly once in its
   initializer, not once per run;
 * **chunked submission** — run indices are submitted in contiguous
-  chunks (a few per worker) to amortize task dispatch over the pool.
+  chunks (a few per worker) to amortize task dispatch over the pool;
+* **failure containment** — a worker that hangs, dies, or raises costs
+  its chunk one attempt; the pool is rebuilt and the chunk retried on a
+  fresh worker, and a chunk that exhausts its retries becomes a recorded
+  :class:`ShardFailure` instead of an exception or a hang.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro import obs
@@ -41,6 +49,10 @@ R = TypeVar("R")
 #: costs, large enough to amortize dispatch.
 CHUNKS_PER_JOB = 4
 
+#: how long an injected ``hang`` fault sleeps — far beyond any sane
+#: per-chunk timeout, so the parent's timeout path is what ends it.
+_HANG_SECONDS = 3600.0
+
 
 def fork_available() -> bool:
     """Whether the platform supports fork-based worker processes."""
@@ -56,28 +68,261 @@ def split_chunks(items: Sequence[T], jobs: int) -> list[Sequence[T]]:
     return [items[start:start + size] for start in range(0, len(items), size)]
 
 
+@dataclass(frozen=True)
+class WorkerFault:
+    """A deterministic failure injected into pool workers (never the
+    parent): the worker executing chunk ``chunk_index`` misbehaves
+    during the first ``times`` pool rounds.
+
+    ``kind`` is ``"crash"`` (the worker process exits abruptly via
+    ``os._exit``, breaking the pool) or ``"hang"`` (the worker sleeps
+    past any reasonable timeout).  Used by :mod:`repro.faults` to prove
+    the degradation machinery below actually degrades.
+    """
+
+    kind: str
+    chunk_index: int = 0
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "hang"):
+            raise ValueError(f"unknown worker fault kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One chunk of work that could not be completed.
+
+    ``reason`` is ``"timeout"`` (the chunk exceeded the per-chunk
+    timeout), ``"crash"`` (the pool broke while the chunk was
+    unfinished — worker death cannot be attributed more precisely than
+    that), or ``"error"`` (the chunk function raised).  ``detail`` is a
+    stable, machine-free description (no pids, no wall-clock) so reports
+    carrying failures stay deterministic.
+    """
+
+    chunk_index: int
+    attempts: int
+    reason: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"shard {self.chunk_index}: {self.reason} after "
+            f"{self.attempts} attempt(s) — {self.detail}"
+        )
+
+
+@dataclass
+class PoolOutcome:
+    """What a hardened pool map produced: per-chunk results (``None``
+    where the shard ultimately failed) plus the recorded failures."""
+
+    results: list
+    failures: tuple[ShardFailure, ...]
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+    def completed_results(self) -> list:
+        """The results of the chunks that succeeded, in chunk order."""
+        return [r for r in self.results if r is not None]
+
+
+# Worker-side call table.  Set in the parent immediately before each
+# pool round is forked, so the forked workers inherit it by memory —
+# this is how the (unpicklable-by-design) fault spec and the current
+# round number reach :func:`_run_chunk` without travelling through the
+# call queue.
+_POOL_CALL: dict = {}
+
+
+def _pool_initializer(initializer: Callable[..., None] | None, initargs: tuple) -> None:
+    # Runs in the worker.  The flag keeps injected faults from ever
+    # firing in the parent (e.g. on the serial fallback path).
+    _POOL_CALL["in_worker"] = True
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _run_chunk(chunk_index: int, chunk) -> object:
+    fault = _POOL_CALL.get("fault")
+    if (
+        fault is not None
+        and _POOL_CALL.get("in_worker")
+        and chunk_index == fault.chunk_index
+        and _POOL_CALL.get("round", 0) < fault.times
+    ):
+        if fault.kind == "crash":
+            os._exit(3)
+        time.sleep(_HANG_SECONDS)
+    return _POOL_CALL["fn"](chunk)
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    # There is no public API to interrupt a running future in a process
+    # pool; killing the worker processes is the only way to unstick a
+    # hung chunk.  ``_processes`` is private but stable across the
+    # CPython versions we support; degrade to a plain shutdown if it
+    # ever disappears.
+    processes = getattr(pool, "_processes", None)
+    for proc in list((processes or {}).values()):
+        proc.kill()
+
+
 def pool_map_chunks(
     chunks: Sequence[T],
     chunk_fn: Callable[[T], R],
     initializer: Callable[..., None],
     initargs: tuple,
     jobs: int,
-) -> list[R] | None:
+    timeout: float | None = None,
+    retries: int = 1,
+    fault: WorkerFault | None = None,
+) -> PoolOutcome | None:
     """Map ``chunk_fn`` over ``chunks`` on a fork-based process pool,
     preserving order.  Returns ``None`` when the platform lacks fork —
     callers run their serial path instead (same results, one process).
+
+    Failure handling: each chunk gets ``1 + retries`` attempts.  A chunk
+    that times out (``timeout`` seconds, ``None`` = wait forever) or
+    raises costs itself one attempt; when the pool *breaks* (a worker
+    died) every chunk still unfinished in that round is charged, because
+    worker death cannot be attributed to a single chunk.  Chunks that
+    merely never got to run in an aborted round are retried for free.
+    Each retry round forks a fresh pool — and once a round has aborted,
+    retries run **quarantined**, one chunk per single-worker pool, so a
+    deterministically-crashing chunk exhausts only its own attempts
+    instead of taking the whole pool (and every innocent chunk's retry
+    budget) down with it on each round.  Chunks out of attempts are
+    reported as :class:`ShardFailure` in the returned
+    :class:`PoolOutcome` — this function does not raise for worker
+    failures and does not hang on worker hangs (given a timeout).
     """
     if not fork_available():
         return None
     context = multiprocessing.get_context("fork")
-    workers = max(1, min(jobs, len(chunks)))
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=context,
-        initializer=initializer,
-        initargs=initargs,
-    ) as pool:
-        return list(pool.map(chunk_fn, chunks))
+    max_attempts = 1 + max(0, retries)
+    results: list = [None] * len(chunks)
+    attempts = [0] * len(chunks)
+    last_reason: dict[int, tuple[str, str]] = {}
+    pending = list(range(len(chunks)))
+    rounds = 0
+    quarantine = False
+    while pending:
+        groups = [[ci] for ci in pending] if quarantine else [pending]
+        next_pending: list[int] = []
+        any_failed = False
+        for group in groups:
+            # Arm the worker-side call table *before* forking: the
+            # workers inherit fn/fault/round via fork memory.
+            _POOL_CALL["fn"] = chunk_fn
+            _POOL_CALL["fault"] = fault
+            _POOL_CALL["round"] = rounds
+            rounds += 1
+            workers = max(1, min(jobs, len(group)))
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_pool_initializer,
+                initargs=(initializer, initargs),
+            )
+            aborted = False
+            failed_round: list[int] = []
+            still_pending: list[int] = []
+            try:
+                futures = {
+                    ci: pool.submit(_run_chunk, ci, chunks[ci]) for ci in group
+                }
+                for ci in group:
+                    future = futures[ci]
+                    if aborted:
+                        # The pool is already torn down; harvest chunks
+                        # that finished cleanly, retry the rest without
+                        # charging them an attempt (they never really
+                        # ran).
+                        if future.done():
+                            try:
+                                results[ci] = future.result(timeout=0)
+                                continue
+                            except Exception:
+                                pass
+                        still_pending.append(ci)
+                        continue
+                    try:
+                        results[ci] = future.result(timeout=timeout)
+                    except FuturesTimeoutError:
+                        attempts[ci] += 1
+                        last_reason[ci] = (
+                            "timeout",
+                            "chunk exceeded the per-chunk timeout; "
+                            "worker killed",
+                        )
+                        failed_round.append(ci)
+                        obs.inc("parallel.worker_failures")
+                        _kill_pool_processes(pool)
+                        aborted = True
+                    except BrokenProcessPool:
+                        # A worker died; every unfinished chunk of this
+                        # round (this one included) is charged an
+                        # attempt.  A broken pool marks *all* remaining
+                        # futures done with the exception set, so
+                        # "finished cleanly" means done with no
+                        # exception.
+                        aborted = True
+                        for other in group:
+                            if results[other] is not None:
+                                continue
+                            peer = futures[other]
+                            if (
+                                other != ci
+                                and peer.done()
+                                and peer.exception() is None
+                            ):
+                                continue
+                            attempts[other] += 1
+                            last_reason[other] = (
+                                "crash",
+                                "worker process died before the chunk "
+                                "completed",
+                            )
+                            failed_round.append(other)
+                            obs.inc("parallel.worker_failures")
+                    except Exception as exc:
+                        # The chunk function itself raised (the pool is
+                        # still healthy) — keep going with the round.
+                        attempts[ci] += 1
+                        last_reason[ci] = (
+                            "error", f"{type(exc).__name__}: {exc}"
+                        )
+                        failed_round.append(ci)
+                        obs.inc("parallel.worker_failures")
+            finally:
+                pool.shutdown(wait=not aborted, cancel_futures=True)
+            if aborted:
+                quarantine = True
+            if failed_round:
+                any_failed = True
+            for ci in still_pending + failed_round:
+                if results[ci] is None and attempts[ci] < max_attempts:
+                    next_pending.append(ci)
+        if any_failed and next_pending:
+            obs.inc("parallel.pool_retries")
+        pending = sorted(set(next_pending))
+    failures = tuple(
+        ShardFailure(
+            chunk_index=ci,
+            attempts=attempts[ci],
+            reason=last_reason[ci][0],
+            detail=last_reason[ci][1],
+        )
+        for ci in range(len(chunks))
+        if results[ci] is None and ci in last_reason
+    )
+    if failures:
+        obs.inc("parallel.shards_failed", len(failures))
+    return PoolOutcome(results=results, failures=failures)
 
 
 # -- worker-side observability ---------------------------------------------
@@ -176,13 +421,19 @@ def run_campaign_parallel(
     adversarial_fraction: float = 0.5,
     engine: str | SchedulerEngine = "python",
     jobs: int = 2,
-) -> list[RunOutcome]:
+    worker_timeout: float | None = None,
+    worker_retries: int = 1,
+    worker_fault: WorkerFault | None = None,
+) -> tuple[list[RunOutcome], tuple[ShardFailure, ...]]:
     """Execute ``runs`` adequacy runs across ``jobs`` workers.
 
-    Returns the per-run outcomes (callers merge them with
-    :func:`repro.analysis.adequacy.merge_outcomes`).  Falls back to
-    serial in-process execution when ``jobs <= 1``, the campaign is
-    trivially small, or the platform lacks fork.
+    Returns ``(outcomes, shard_failures)``: the per-run outcomes
+    (callers merge them with
+    :func:`repro.analysis.adequacy.merge_outcomes`) plus any shards
+    whose runs are missing because their workers failed past the retry
+    budget (see :func:`pool_map_chunks`).  Falls back to serial
+    in-process execution (no failures possible) when ``jobs <= 1``, the
+    campaign is trivially small, or the platform lacks fork.
     """
     engine_name = resolve_engine_name(
         engine if isinstance(engine, str) else engine.name
@@ -190,9 +441,10 @@ def run_campaign_parallel(
     indices = list(range(runs))
     chunks = split_chunks(indices, jobs)
     outcomes: list[RunOutcome] | None = None
+    failures: tuple[ShardFailure, ...] = ()
     if jobs > 1 and len(chunks) > 1:
         with obs.span("campaign.parallel", jobs=jobs, runs=runs):
-            per_chunk = pool_map_chunks(
+            pooled = pool_map_chunks(
                 chunks,
                 _campaign_chunk,
                 initializer=_init_campaign_worker,
@@ -202,12 +454,18 @@ def run_campaign_parallel(
                     obs.enabled(),
                 ),
                 jobs=jobs,
+                timeout=worker_timeout,
+                retries=worker_retries,
+                fault=worker_fault,
             )
-        if per_chunk is not None:
-            merge_worker_snapshots(snap for _, snap in per_chunk)
+        if pooled is not None:
+            merge_worker_snapshots(snap for _, snap in pooled.completed_results())
             outcomes = [
-                outcome for chunk, _ in per_chunk for outcome in chunk
+                outcome
+                for chunk, _ in pooled.completed_results()
+                for outcome in chunk
             ]
+            failures = pooled.failures
     if outcomes is None:
         backend = create_engine(engine_name, client)
         outcomes = [
@@ -218,7 +476,7 @@ def run_campaign_parallel(
             )
             for index in indices
         ]
-    return outcomes
+    return outcomes, failures
 
 
 # -- parameter sweeps ------------------------------------------------------
@@ -259,6 +517,9 @@ def parallel_sweep(
     metrics: Sequence[str],
     evaluate: Callable,
     jobs: int = 2,
+    worker_timeout: float | None = None,
+    worker_retries: int = 1,
+    worker_fault: WorkerFault | None = None,
 ) -> CampaignResult:
     """A parameter sweep across a process pool (rows stay in order).
 
@@ -266,7 +527,10 @@ def parallel_sweep(
     parallelizes like the campaigns do.  With fork workers, ``evaluate``
     is inherited rather than pickled, so closures work; only the result
     rows must be picklable.  Falls back to serial evaluation when the
-    pool is unavailable.
+    pool is unavailable.  Chunks whose workers failed past the retry
+    budget are re-evaluated serially in the parent — a sweep's rows are
+    its whole point, so degradation here means losing the speedup, not
+    the rows.
     """
     from repro.analysis.campaigns import sweep
 
@@ -275,16 +539,40 @@ def parallel_sweep(
     chunks = split_chunks(value_list, jobs)
     if jobs > 1 and len(chunks) > 1:
         with obs.span("sweep.parallel", jobs=jobs, values=len(value_list)) as sp:
-            per_chunk = pool_map_chunks(
+            pooled = pool_map_chunks(
                 chunks,
                 _sweep_chunk,
                 initializer=_init_sweep_worker,
                 initargs=(evaluate, metric_names, obs.enabled()),
                 jobs=jobs,
+                timeout=worker_timeout,
+                retries=worker_retries,
+                fault=worker_fault,
             )
-        if per_chunk is not None:
-            merge_worker_snapshots(snap for _, snap in per_chunk)
-            rows = tuple(row for chunk, _ in per_chunk for row in chunk)
+        if pooled is not None:
+            merge_worker_snapshots(
+                snap for r in pooled.results if r is not None for snap in [r[1]]
+            )
+            rows_by_chunk: list = []
+            for index, pooled_result in enumerate(pooled.results):
+                if pooled_result is not None:
+                    rows_by_chunk.append(pooled_result[0])
+                else:
+                    # Worker(s) for this chunk failed: recover the rows
+                    # serially in the parent.  Deterministic errors in
+                    # ``evaluate`` reproduce here instead of being
+                    # swallowed as shard failures.
+                    recovered = []
+                    for value in chunks[index]:
+                        cells = tuple(evaluate(value))
+                        if len(cells) != len(metric_names):
+                            raise ValueError(
+                                f"evaluate returned {len(cells)} cells for "
+                                f"{len(metric_names)} metrics"
+                            )
+                        recovered.append((value, *cells))
+                    rows_by_chunk.append(recovered)
+            rows = tuple(row for chunk_rows in rows_by_chunk for row in chunk_rows)
             return CampaignResult(
                 parameter, metric_names, rows,
                 elapsed_seconds=sp.elapsed_seconds,

@@ -17,7 +17,18 @@ Commands:
 * ``wcet``     — static cost bounds for the scheduler helpers plus
   VM-measured basic-action maxima (the WCET toolchain);
 * ``profile``  — run ``analyze``/``simulate``/``verify`` with
-  observability on and print the span/metric profile (docs/observability.md).
+  observability on and print the span/metric profile (docs/observability.md);
+* ``faults``   — deterministic fault injection (docs/faults.md):
+  ``faults run`` injects a seeded fault plan and reports the detection
+  rate (exit 0 only at 100% on a clean baseline); ``faults report``
+  re-renders a saved JSON report.
+
+``simulate`` and ``verify`` also take ``--inject PLAN.json``:
+``simulate`` arms worker faults in the process pool (the campaign
+degrades gracefully and says so) and refuses to bless runs whose
+injected artifact faults were flagged; ``verify`` model-checks the
+engine wrapped with the planned engine-level faults.  A plan with no
+faults changes nothing — output stays byte-identical.
 
 ``analyze`` and ``simulate`` also take ``--lint`` (run the static
 analyzer over the generated scheduler first; refuse to run on errors)
@@ -45,6 +56,7 @@ from repro.analysis.adequacy import run_adequacy_campaign
 from repro.analysis.report import format_elapsed, format_table
 from repro.config import Deployment, SpecError, load_deployment
 from repro.engine import engine_names
+from repro.faults.plan import PlanError
 from repro.lang.errors import MiniCError
 from repro.rta.npfp import analyse
 
@@ -100,6 +112,20 @@ def _cmd_analyze(deployment: Deployment, args: argparse.Namespace) -> int:
     return 0 if analysis.schedulable else 1
 
 
+def _split_inject_plan(args: argparse.Namespace):
+    """Load ``--inject`` and split it into (plan, worker specs, artifact
+    specs).  Returns ``(None, [], [])`` when no plan was given."""
+    path = getattr(args, "inject", None)
+    if path is None:
+        return None, [], []
+    from repro.faults.plan import FaultPlan
+
+    plan = FaultPlan.load(path)
+    workers = [f for f in plan.faults if f.kind.startswith("worker_")]
+    artifacts = [f for f in plan.faults if not f.kind.startswith("worker_")]
+    return plan, workers, artifacts
+
+
 def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
     client, wcet = deployment.client, deployment.wcet
     if client.policy == "edf":
@@ -109,6 +135,23 @@ def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
     lint_report = _lint_gate(deployment, args)
     if lint_report is not None and lint_report.exit_code(args.werror):
         return 1
+    plan, worker_specs, artifact_specs = _split_inject_plan(args)
+    worker_fault = None
+    worker_timeout = None
+    if worker_specs:
+        from repro.analysis.parallel import WorkerFault
+
+        spec = worker_specs[0]
+        kind = spec.kind.removeprefix("worker_")
+        # times ≥ retries+1 so the fault survives the retry budget and
+        # the degradation is actually observable in the report.
+        worker_fault = WorkerFault(
+            kind=kind, chunk_index=spec.site, times=max(spec.param, 2)
+        )
+        if kind == "hang":
+            from repro.faults.campaign import HANG_PROBE_TIMEOUT
+
+            worker_timeout = HANG_PROBE_TIMEOUT
     report = run_adequacy_campaign(
         client,
         wcet,
@@ -118,6 +161,8 @@ def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
         intensity=args.intensity,
         engine=args.engine or deployment.engine,
         jobs=args.jobs,
+        worker_timeout=worker_timeout,
+        worker_fault=worker_fault,
     )
     if lint_report is not None:
         from repro.lang.analysis import bound_warnings
@@ -128,7 +173,36 @@ def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
     print(report.table())
     if report.elapsed_seconds is not None:
         print(format_elapsed(report.elapsed_seconds), file=sys.stderr)
-    return 0 if report.ok else 1
+    code = 0 if report.ok else 1
+    if artifact_specs:
+        # Artifact faults corrupt run products, not the live campaign:
+        # inject them into a baseline run, report what the checkers made
+        # of each (stderr — stdout keeps the campaign table only), and
+        # never bless a run whose artifacts were flagged.
+        from repro.faults.campaign import run_fault_campaign
+        from repro.faults.plan import FaultPlan
+
+        sub_plan = FaultPlan(seed=plan.seed, faults=tuple(artifact_specs))
+        fault_report = run_fault_campaign(
+            sub_plan, client, wcet, horizon=min(args.horizon, 20_000)
+        )
+        any_flagged = False
+        for outcome in fault_report.outcomes:
+            if outcome.flagged:
+                any_flagged = True
+                print(
+                    f"injected {outcome.kind}: flagged by "
+                    f"{', '.join(name for name, _ in outcome.flagged)}",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"injected {outcome.kind}: NOT flagged — {outcome.detail}",
+                    file=sys.stderr,
+                )
+        if any_flagged:
+            code = 1
+    return code
 
 
 def _cmd_verify(deployment: Deployment, args: argparse.Namespace) -> int:
@@ -141,13 +215,46 @@ def _cmd_verify(deployment: Deployment, args: argparse.Namespace) -> int:
             payloads.append((task.type_tag, 10_000))
         else:
             payloads.append((task.type_tag, 0))
-    report = explore(
-        client,
-        payloads,
-        max_reads=args.depth,
-        implementation=args.engine or args.semantics,
-        jobs=args.jobs,
-    )
+    plan, worker_specs, artifact_specs = _split_inject_plan(args)
+    if plan is not None and plan.faults:
+        # Only engine-level faults make sense under 'verify': the model
+        # checker examines the engine, not simulated artifacts.
+        from repro.engine import create_engine, resolve_engine_name
+        from repro.faults import inject as fault_inject
+        from repro.verification.model_check import explore_with_engine
+
+        wrappers = {
+            "heap_corruption": fault_inject.heap_corruption_engine,
+            "trace_state_desync": fault_inject.trace_desync_engine,
+        }
+        unsupported = [
+            f.kind for f in plan.faults if f.kind not in wrappers
+        ]
+        if unsupported:
+            print(
+                "error: verify --inject supports engine-level faults only "
+                f"({', '.join(sorted(wrappers))}); plan contains "
+                f"{', '.join(unsupported)}",
+                file=sys.stderr,
+            )
+            return 2
+        engine = create_engine(
+            resolve_engine_name(args.engine or args.semantics), client
+        )
+        for fault in plan.faults:
+            engine = wrappers[fault.kind](engine)
+        print(f"injecting into engine: {engine.name}", file=sys.stderr)
+        report = explore_with_engine(
+            client, payloads, max_reads=args.depth, engine=engine
+        )
+    else:
+        report = explore(
+            client,
+            payloads,
+            max_reads=args.depth,
+            implementation=args.engine or args.semantics,
+            jobs=args.jobs,
+        )
     print(report.summary())
     for violation in report.violations[:5]:
         print(f"  [{violation.kind}] {violation.detail}")
@@ -275,6 +382,51 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return worst
 
 
+def _cmd_faults_run(deployment: Deployment, args: argparse.Namespace) -> int:
+    """Inject a fault plan and demand 100% detection (docs/faults.md)."""
+    from repro.faults.campaign import run_fault_campaign
+    from repro.faults.corpus import curated_plan
+    from repro.faults.plan import FaultPlan
+
+    client, wcet = deployment.client, deployment.wcet
+    if client.policy == "edf":
+        print("faults run targets the NPFP pipeline; EDF specs are not "
+              "supported", file=sys.stderr)
+        return 2
+    if args.plan is not None:
+        plan = FaultPlan.load(args.plan)
+    else:
+        plan = curated_plan(args.seed)
+    report = run_fault_campaign(plan, client, wcet, horizon=args.horizon)
+    if args.json:
+        print(report.to_json(), end="")
+    else:
+        print(report.table())
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"wrote detection report to {args.report_out}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_faults_report(args: argparse.Namespace) -> int:
+    """Re-render a saved detection report (JSON → text)."""
+    from repro.faults.campaign import FaultCampaignReport
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            report = FaultCampaignReport.from_json(handle.read())
+    except OSError as exc:
+        print(f"error: cannot read {args.report}: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: {args.report} is not a detection report: {exc}",
+              file=sys.stderr)
+        return 2
+    print(report.table())
+    return 0 if report.ok else 1
+
+
 def _add_lint_flags(parser: argparse.ArgumentParser) -> None:
     """``--lint``/``--Werror`` shared by analyze and simulate."""
     parser.add_argument(
@@ -333,6 +485,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_jobs_count, default=1,
         help="worker processes for the campaign (≥ 1)",
     )
+    simulate.add_argument(
+        "--inject", metavar="PLAN", default=None,
+        help="fault plan (JSON, docs/faults.md): worker faults are armed "
+        "in the process pool; artifact faults are injected into a "
+        "baseline run and their detection reported on stderr",
+    )
     _add_lint_flags(simulate)
     _add_obs_flags(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
@@ -351,6 +509,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--jobs", type=_jobs_count, default=1,
         help="worker processes for the exploration (≥ 1)",
+    )
+    verify.add_argument(
+        "--inject", metavar="PLAN", default=None,
+        help="fault plan with engine-level faults (heap_corruption, "
+        "trace_state_desync): model-check the wrapped engine",
     )
     _add_obs_flags(verify)
     verify.set_defaults(handler=_cmd_verify)
@@ -421,6 +584,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.set_defaults(handler=_cmd_lint, needs_spec=False)
 
+    faults = sub.add_parser(
+        "faults", help="deterministic fault-injection campaigns"
+    )
+    fsub = faults.add_subparsers(dest="faults_command", required=True)
+    frun = fsub.add_parser(
+        "run", help="inject a seeded fault plan and report detection"
+    )
+    frun.add_argument("spec", help="deployment spec (JSON)")
+    frun.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the curated all-kinds plan (ignored with --plan)",
+    )
+    frun.add_argument(
+        "--plan", metavar="PLAN", default=None,
+        help="fault plan JSON (default: the curated plan, one fault of "
+        "every kind)",
+    )
+    frun.add_argument("--horizon", type=int, default=20_000)
+    frun.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="also write the detection report as JSON to PATH",
+    )
+    frun.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report on stdout instead of the text table",
+    )
+    _add_obs_flags(frun)
+    frun.set_defaults(handler=_cmd_faults_run)
+    freport = fsub.add_parser(
+        "report", help="re-render a saved detection report"
+    )
+    freport.add_argument(
+        "report", help="REPORT.json written by 'faults run --report-out'"
+    )
+    freport.set_defaults(handler=_cmd_faults_report, needs_spec=False)
+
     wcet = sub.add_parser("wcet", help="static + measured WCETs")
     wcet.add_argument("spec")
     wcet.add_argument("--backlog", type=int, default=4,
@@ -452,6 +651,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     except MiniCError as exc:
         # Front-end failures (lexer/parser/typechecker) are user errors,
         # not crashes: report on stderr, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except PlanError as exc:
+        # Malformed fault plans (--inject / faults run --plan) likewise.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:

@@ -103,6 +103,21 @@ class PythonModelEngine(_EngineBase):
         return RunStats()
 
 
+def _attach_endpoints(machine: object, env: Environment, sink: MarkerSink) -> None:
+    """Offer the executing machine to any env/sink with an ``attach`` hook.
+
+    This is how the VM-timed drivers obtain the instruction clock and how
+    the fault injectors (:mod:`repro.faults`) reach machine state (e.g.
+    the heap) without the engines knowing about either.
+    """
+    attached: list[object] = []
+    for endpoint in (env, sink):
+        attach = getattr(endpoint, "attach", None)
+        if attach is not None and not any(endpoint is a for a in attached):
+            attach(machine)
+            attached.append(endpoint)
+
+
 class MiniCInterpEngine(_EngineBase):
     """The MiniC source under the instrumented definitional semantics."""
 
@@ -121,13 +136,15 @@ class MiniCInterpEngine(_EngineBase):
     def run(
         self, env: Environment, sink: MarkerSink, fuel: int | None = None
     ) -> RunStats:
-        from repro.lang.interp import run_program
+        from repro.lang.interp import Interpreter
 
+        machine = Interpreter(
+            self.typed, env, sink,
+            fuel=self.default_fuel if fuel is None else fuel,
+        )
+        _attach_endpoints(machine, env, sink)
         try:
-            run_program(
-                self.typed, env, sink, entry="main",
-                fuel=self.default_fuel if fuel is None else fuel,
-            )
+            machine.call("main", [])
         except (OutOfFuel, HorizonReached):
             return RunStats()
         raise AssertionError("fds_run returned — unreachable")  # pragma: no cover

@@ -1,0 +1,53 @@
+"""Deterministic fault injection: adversarial validation of the checkers.
+
+The verification layers (protocol, validity, WCET, consistency,
+compliance, the online monitor, the bounded model checker) exist to
+*reject* bad executions — but a test suite that only ever feeds them
+well-formed traces cannot tell a working checker from a vacuous one.
+This package injects seeded faults at every layer the paper's argument
+crosses and asserts that the checker responsible for that layer flags
+the fault:
+
+* **trace mutation** (markers dropped / duplicated / reordered /
+  corrupted, duplicated job ids, phantom idles) — caught by ``tr_prot``
+  / ``tr_valid``;
+* **timing perturbation** (WCET overruns, clock skew, jitter spikes) —
+  caught by the WCET / consistency / compliance checkers;
+* **scheduler misbehavior** (priority inversion, the E16 skipped
+  wait-set wakeup) — caught live by the online monitor;
+* **engine-level corruption** (heap poisoning, trace-state desync) —
+  caught by the bounded model checker as stuck/invalid executions;
+* **infrastructure failure** (worker crash / hang) — absorbed by the
+  hardened parallel runner as recorded shard failures.
+
+Everything is deterministic: a :class:`~repro.faults.plan.FaultPlan`
+fixes the fault list and the RNG seed, no wall clock enters any report,
+and running the same plan twice produces byte-identical output.
+"""
+
+from repro.faults.campaign import (
+    FaultCampaignReport,
+    FaultOutcome,
+    run_fault_campaign,
+)
+from repro.faults.corpus import baseline_workload, curated_plan
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    PlanError,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultCampaignReport",
+    "FaultKind",
+    "FaultOutcome",
+    "FaultPlan",
+    "FaultSpec",
+    "PlanError",
+    "baseline_workload",
+    "curated_plan",
+    "run_fault_campaign",
+]

@@ -1,0 +1,508 @@
+"""The detection campaign: inject every planned fault, demand detection.
+
+For each :class:`~repro.faults.plan.FaultSpec` the campaign
+
+1. derives the fault's RNG from the plan (``seed + 1009·index`` — faults
+   are independent of each other and of execution order),
+2. injects the fault into the layer it targets (mutating baseline
+   artifacts, re-running the simulator with a perturbation, running a
+   misbehaving scheduler model, wrapping an engine, or arming a worker
+   fault in the process pool), and
+3. runs the *regular* checker battery over whatever artifacts the fault
+   produced — the same ``tr_prot`` / ``tr_valid`` / WCET / consistency /
+   compliance / monitor / model-check code paths that bless healthy
+   runs.
+
+A fault counts as **detected** when the checker its taxonomy entry
+names (:attr:`~repro.faults.plan.FaultKind.expected_checker`) flags it;
+other checkers flagging too is fine.  The campaign also re-checks the
+unfaulted baseline (``baseline_clean``) so a trigger-happy checker
+cannot fake a perfect detection rate.
+
+Everything in the report is a deterministic function of the plan and
+the client: no wall clock, no pids, sorted JSON keys — running the same
+plan twice produces byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.engine import create_engine
+from repro.faults import inject
+from repro.faults.corpus import baseline_workload
+from repro.faults.plan import FaultPlan, FaultSpec, PlanError
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rossl.env import QueueEnvironment
+from repro.rossl.runtime import TeeSink, TraceRecorder
+from repro.rta.compliance import ComplianceError, check_jitter_compliance
+from repro.rta.jitter import jitter_bound
+from repro.schedule.conversion import ConversionError, convert
+from repro.sim.simulator import SimulationResult, UniformDurations, simulate
+from repro.timing.arrivals import ArrivalSequence
+from repro.timing.timed_trace import ConsistencyError, TimedTrace, check_consistency
+from repro.timing.wcet import WcetError, WcetModel, check_wcet_respected
+from repro.traces.markers import Trace
+from repro.traces.protocol import ProtocolError
+from repro.traces.validity import TraceValidityError, check_tr_valid
+from repro.verification.model_check import explore_with_engine
+from repro.verification.monitor import OnlineMonitor
+
+
+@dataclass
+class _Artifacts:
+    """What one (possibly faulted) run left behind for the checkers.
+
+    ``None`` fields mean the fault did not produce that artifact, and
+    the checkers needing it are skipped (e.g. a pure trace mutation has
+    no timestamps for the WCET checker to look at).
+    """
+
+    trace: list | None = None
+    timed: TimedTrace | None = None
+    arrivals: ArrivalSequence | None = None
+
+
+def _run_checkers(
+    client: RosslClient, wcet: WcetModel, artifacts: _Artifacts
+) -> dict[str, str]:
+    """The battery: every applicable checker, each recording why it
+    flagged (checker name → first error message)."""
+    flagged: dict[str, str] = {}
+    trace: Trace | None = artifacts.trace
+    if trace is None and artifacts.timed is not None:
+        trace = artifacts.timed.trace
+    if trace is not None:
+        try:
+            client.protocol().check(trace)
+        except ProtocolError as exc:
+            flagged["traces.protocol"] = str(exc)
+        try:
+            check_tr_valid(trace, client.priority_fn())
+        except TraceValidityError as exc:
+            flagged["traces.validity"] = str(exc)
+    if artifacts.timed is not None:
+        try:
+            check_wcet_respected(artifacts.timed, client.tasks, wcet)
+        except WcetError as exc:
+            flagged["timing.wcet"] = str(exc)
+        if artifacts.arrivals is not None:
+            try:
+                check_consistency(artifacts.timed, artifacts.arrivals)
+            except ConsistencyError as exc:
+                flagged["timing.consistency"] = str(exc)
+            # Compliance needs a schedule, which needs a protocol-clean
+            # trace; strict=False keeps it reporting *its* property even
+            # when consistency is already known to be broken.
+            if "traces.protocol" not in flagged:
+                bound = jitter_bound(wcet, client.num_sockets).bound
+                try:
+                    schedule = convert(artifacts.timed, client.sockets)
+                    check_jitter_compliance(
+                        artifacts.timed,
+                        artifacts.arrivals,
+                        schedule,
+                        client.priority_fn(),
+                        bound,
+                        strict=False,
+                    )
+                except ConversionError:
+                    pass
+                except ComplianceError as exc:
+                    flagged["rta.compliance"] = str(exc)
+    return flagged
+
+
+# -- per-layer injection drivers --------------------------------------------
+
+_TRACE_MUTATORS = {
+    "drop_marker": inject.drop_marker,
+    "duplicate_marker": inject.duplicate_marker,
+    "reorder_markers": inject.reorder_markers,
+    "corrupt_marker": inject.corrupt_marker,
+    "duplicate_job_id": inject.duplicate_job_id,
+    "phantom_idle": inject.phantom_idle,
+}
+
+
+def _extreme_priority_messages(client: RosslClient) -> tuple[tuple, tuple]:
+    tasks = sorted(client.tasks, key=lambda t: t.priority)
+    if tasks[0].priority == tasks[-1].priority:
+        raise inject.InjectionError(
+            "priority inversion needs two tasks with distinct priorities"
+        )
+    return (tasks[0].type_tag, 0), (tasks[-1].type_tag, 0)
+
+
+def _run_live_model(client: RosslClient, model, messages) -> dict[str, str]:
+    """Run a misbehaving scheduler model against the online monitor.
+
+    The recorder is tee'd *before* the monitor so the offending marker
+    is part of the record when the monitor fails fast.
+    """
+    env = QueueEnvironment(client.sockets)
+    for sock, data in messages:
+        env.inject(sock, data)
+    recorder = TraceRecorder()
+    monitor = OnlineMonitor(client.sockets, client.priority_fn())
+    try:
+        model.run(env, TeeSink(recorder, monitor), max_iterations=4)
+    except (ProtocolError, TraceValidityError) as exc:
+        return {"verification.monitor": str(exc)}
+    return {}
+
+
+def _run_faulty_engine(client: RosslClient, wrap) -> dict[str, str]:
+    """Model-check a fault-wrapped engine through the standard bounded
+    exploration; any violation is a detection.
+
+    Depth matters: after a successful read the polling loop needs a
+    full all-fail pass before it reaches selection and touches the
+    (possibly corrupted) queue, so the scripts must span two passes
+    plus slack — ``2 · num_sockets + 2`` read outcomes.  One payload
+    suffices (faults here do not depend on the task mix) and keeps the
+    exploration to ``2^depth`` scripts.
+    """
+    engine = wrap(create_engine("interp", client))
+    payloads = [(next(iter(client.tasks)).type_tag, 0)]
+    report = explore_with_engine(
+        client, payloads, max_reads=2 * client.num_sockets + 2, engine=engine
+    )
+    if report.violations:
+        first = report.violations[0]
+        return {
+            "verification.model_check": f"[{first.kind}] {first.detail}"
+        }
+    return {}
+
+
+def _pool_probe_client() -> tuple[RosslClient, WcetModel]:
+    """A small fixed deployment for the worker-fault probes.
+
+    Worker faults test the *runner*, not the client's task system, so
+    the probe is independent of the spec under campaign — it needs
+    arrival curves and schedulability, which arbitrary clients may lack.
+    """
+    from repro.rta.curves import SporadicCurve
+
+    tasks = TaskSystem(
+        [
+            Task(name="slow", priority=1, wcet=20, type_tag=1),
+            Task(name="fast", priority=2, wcet=5, type_tag=2),
+        ],
+        {"slow": SporadicCurve(400), "fast": SporadicCurve(150)},
+    )
+    wcet = WcetModel(
+        failed_read=2, success_read=2, selection=1, dispatch=1,
+        completion=1, idling=1,
+    )
+    return RosslClient.make(tasks, [0]), wcet
+
+
+#: Per-chunk timeout for the worker-hang probe: generous against a slow
+#: machine (healthy probe chunks finish in milliseconds) but the only
+#: wall-clock cost of detecting the hang.
+HANG_PROBE_TIMEOUT = 5.0
+
+
+def _run_worker_fault(kind: str, spec: FaultSpec, seed: int) -> dict[str, str]:
+    from repro.analysis.parallel import WorkerFault, fork_available
+    from repro.analysis.adequacy import run_adequacy_campaign
+
+    if not fork_available():
+        return {}
+    probe_client, probe_wcet = _pool_probe_client()
+    fault = WorkerFault(
+        kind=kind, chunk_index=spec.site, times=max(1, spec.param)
+    )
+    report = run_adequacy_campaign(
+        probe_client,
+        probe_wcet,
+        horizon=2000,
+        runs=8,
+        seed=seed,
+        jobs=2,
+        worker_retries=0,
+        worker_timeout=HANG_PROBE_TIMEOUT if kind == "hang" else None,
+        worker_fault=fault,
+    )
+    if report.degraded:
+        # Only the stable fact goes into the report: *which* shards a
+        # crash takes down depends on pool scheduling, but that the
+        # campaign degraded (and completed) does not.
+        return {
+            "analysis.parallel": (
+                "campaign completed degraded: shard failures recorded, "
+                "surviving runs merged"
+            )
+        }
+    return {}
+
+
+def _flags_for_fault(
+    spec: FaultSpec,
+    index: int,
+    plan: FaultPlan,
+    client: RosslClient,
+    wcet: WcetModel,
+    horizon: int,
+    baseline: SimulationResult,
+) -> dict[str, str]:
+    rng = random.Random(plan.fault_seed(index))
+    kind = spec.kind
+    if kind in _TRACE_MUTATORS:
+        mutated = _TRACE_MUTATORS[kind](
+            list(baseline.timed_trace.trace), rng, spec.site
+        )
+        return _run_checkers(client, wcet, _Artifacts(trace=mutated))
+    if kind == "wcet_overrun":
+        timed = inject.wcet_overrun(
+            baseline.timed_trace, client, wcet, rng, spec.site
+        )
+        return _run_checkers(
+            client, wcet, _Artifacts(timed=timed, arrivals=baseline.arrivals)
+        )
+    if kind == "clock_skew":
+        skew = spec.param if spec.param else horizon
+        skewed = inject.skew_arrivals(baseline.arrivals, skew)
+        return _run_checkers(
+            client, wcet,
+            _Artifacts(timed=baseline.timed_trace, arrivals=skewed),
+        )
+    if kind == "jitter_spike":
+        bound = jitter_bound(wcet, client.num_sockets).bound
+        blackout = spec.param if spec.param else 4 * bound + 2
+        driver = inject.simulate_with_gate(
+            client,
+            baseline.arrivals,
+            wcet,
+            horizon,
+            UniformDurations(rng),
+            inject.delivery_blackout(blackout),
+        )
+        return _run_checkers(
+            client, wcet,
+            _Artifacts(timed=driver.timed_trace(), arrivals=baseline.arrivals),
+        )
+    if kind == "priority_inversion":
+        lo, hi = _extreme_priority_messages(client)
+        model = inject.PriorityInversionModel(client.sockets, client.tasks)
+        sock = client.sockets[0]
+        return _run_live_model(client, model, [(sock, lo), (sock, hi)])
+    if kind == "skipped_wakeup":
+        if client.num_sockets < 2:
+            raise inject.InjectionError(
+                "the wait-set bug needs at least two registered sockets"
+            )
+        model = inject.SkippedWakeupModel(client.sockets, client.tasks)
+        message = (next(iter(client.tasks)).type_tag, 0)
+        return _run_live_model(
+            client, model, [(client.sockets[1], message)]
+        )
+    if kind == "heap_corruption":
+        return _run_faulty_engine(client, inject.heap_corruption_engine)
+    if kind == "trace_state_desync":
+        return _run_faulty_engine(client, inject.trace_desync_engine)
+    if kind in ("worker_crash", "worker_hang"):
+        return _run_worker_fault(
+            kind.removeprefix("worker_"), spec, plan.fault_seed(index)
+        )
+    raise PlanError(f"no injector for fault kind {kind!r}")  # pragma: no cover
+
+
+# -- outcomes and the report ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """One injected fault and what the checker battery made of it."""
+
+    index: int
+    kind: str
+    layer: str
+    expected: str
+    detected: bool
+    #: every checker that flagged, with its message, sorted by name.
+    flagged: tuple[tuple[str, str], ...]
+    #: the headline: the expected checker's message, or why detection
+    #: failed.
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "layer": self.layer,
+            "expected": self.expected,
+            "detected": self.detected,
+            "flagged": [
+                {"checker": name, "message": message}
+                for name, message in self.flagged
+            ],
+            "detail": self.detail,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultOutcome":
+        return FaultOutcome(
+            index=data["index"],
+            kind=data["kind"],
+            layer=data["layer"],
+            expected=data["expected"],
+            detected=data["detected"],
+            flagged=tuple(
+                (entry["checker"], entry["message"])
+                for entry in data["flagged"]
+            ),
+            detail=data["detail"],
+        )
+
+
+@dataclass(frozen=True)
+class FaultCampaignReport:
+    """The detection-rate report — the campaign's first-class artifact."""
+
+    seed: int
+    horizon: int
+    baseline_clean: bool
+    outcomes: tuple[FaultOutcome, ...] = field(default=())
+
+    @property
+    def injected(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for o in self.outcomes if o.detected)
+
+    @property
+    def detection_rate(self) -> float:
+        """Detected / injected (1.0 for the empty campaign)."""
+        if not self.outcomes:
+            return 1.0
+        return self.detected / self.injected
+
+    @property
+    def ok(self) -> bool:
+        """100% detection on a clean baseline — the acceptance bar."""
+        return self.baseline_clean and self.detected == self.injected
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "baseline_clean": self.baseline_clean,
+            "injected": self.injected,
+            "detected": self.detected,
+            "detection_rate": self.detection_rate,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultCampaignReport":
+        return FaultCampaignReport(
+            seed=data["seed"],
+            horizon=data["horizon"],
+            baseline_clean=data["baseline_clean"],
+            outcomes=tuple(
+                FaultOutcome.from_dict(entry) for entry in data["outcomes"]
+            ),
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "FaultCampaignReport":
+        return FaultCampaignReport.from_dict(json.loads(text))
+
+    def table(self) -> str:
+        rate = f"{100.0 * self.detection_rate:.1f}%"
+        lines = [
+            f"Fault-injection campaign (seed {self.seed}): "
+            f"{self.detected}/{self.injected} detected ({rate})",
+            "baseline: " + ("clean" if self.baseline_clean else "NOT CLEAN"),
+        ]
+        width_kind = max((len(o.kind) for o in self.outcomes), default=0)
+        width_exp = max((len(o.expected) for o in self.outcomes), default=0)
+        for o in self.outcomes:
+            status = "  ok" if o.detected else "MISS"
+            lines.append(
+                f"  [{status}] {o.kind:<{width_kind}}  "
+                f"{o.expected:<{width_exp}}  {o.detail}"
+            )
+        return "\n".join(lines)
+
+
+def run_fault_campaign(
+    plan: FaultPlan,
+    client: RosslClient,
+    wcet: WcetModel,
+    horizon: int = 20_000,
+) -> FaultCampaignReport:
+    """Inject every fault in ``plan`` and run the checker battery.
+
+    Deterministic in ``(plan, client, wcet, horizon)``: reports are
+    byte-identical across runs of the same inputs.
+    """
+    with obs.span("faults.campaign", faults=len(plan.faults), seed=plan.seed):
+        arrivals = baseline_workload(client, horizon)
+        baseline = simulate(
+            client,
+            arrivals,
+            wcet,
+            horizon,
+            durations=UniformDurations(random.Random(plan.seed)),
+            engine="python",
+        )
+        baseline_flags = _run_checkers(
+            client, wcet,
+            _Artifacts(timed=baseline.timed_trace, arrivals=arrivals),
+        )
+        outcomes = []
+        for index, spec in enumerate(plan.faults):
+            meta = spec.meta
+            try:
+                flags = _flags_for_fault(
+                    spec, index, plan, client, wcet, horizon, baseline
+                )
+            except inject.InjectionError as exc:
+                flags = {}
+                detail = f"injection failed: {exc}"
+            else:
+                if meta.expected_checker in flags:
+                    detail = flags[meta.expected_checker]
+                elif flags:
+                    others = ", ".join(sorted(flags))
+                    detail = (
+                        f"expected {meta.expected_checker}, "
+                        f"only {others} flagged"
+                    )
+                else:
+                    detail = f"no checker flagged ({meta.description})"
+            detected = meta.expected_checker in flags
+            obs.inc("faults.injected")
+            obs.inc("faults.detected" if detected else "faults.undetected")
+            outcomes.append(
+                FaultOutcome(
+                    index=index,
+                    kind=spec.kind,
+                    layer=meta.layer,
+                    expected=meta.expected_checker,
+                    detected=detected,
+                    flagged=tuple(sorted(flags.items())),
+                    detail=detail,
+                )
+            )
+    return FaultCampaignReport(
+        seed=plan.seed,
+        horizon=horizon,
+        baseline_clean=not baseline_flags,
+        outcomes=tuple(outcomes),
+    )

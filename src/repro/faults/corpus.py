@@ -1,0 +1,58 @@
+"""The curated corpus: the baseline workload and the all-kinds plan.
+
+The campaign needs a workload that exercises every injection surface:
+multiple rounds of arrivals (so traces have several dispatch triples
+and ≥ 2 successful reads), arrivals spread across all sockets (so the
+wait-set bug is observable), and arrivals early in the run (so a
+delivery blackout visibly delays a read).  ``baseline_workload`` builds
+that deterministically from the client alone — no RNG, no wall clock.
+
+``curated_plan`` is the CI corpus: one fault of every kind in the
+taxonomy, under a caller-chosen seed.  The acceptance bar is 100%
+detection on this plan.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.rossl.client import RosslClient
+from repro.timing.arrivals import Arrival, ArrivalSequence
+
+#: Arrival rounds in the baseline workload.
+ROUNDS = 3
+#: Time between two rounds.
+ROUND_SPACING = 101
+#: Time between two tasks' arrivals within a round.
+TASK_SPACING = 7
+
+
+def baseline_workload(client: RosslClient, horizon: int = 20_000) -> ArrivalSequence:
+    """A deterministic workload covering every injection surface.
+
+    Each round sends one message per task; sockets rotate round-by-round
+    so every socket carries traffic.  All arrivals land in the first few
+    hundred time units — far inside any reasonable horizon — so the
+    trace completes every job and contains multiple polling passes,
+    successful reads, and dispatch triples.
+    """
+    nsocks = len(client.sockets)
+    arrivals = []
+    serial = 0
+    for round_index in range(ROUNDS):
+        base = 1 + ROUND_SPACING * round_index
+        for task_index, task in enumerate(client.tasks):
+            sock = client.sockets[(task_index + round_index) % nsocks]
+            time = base + TASK_SPACING * task_index
+            if time >= horizon:
+                break
+            arrivals.append(Arrival(time, sock, (task.type_tag, serial)))
+            serial += 1
+    return ArrivalSequence(arrivals)
+
+
+def curated_plan(seed: int = 0) -> FaultPlan:
+    """One fault of every kind in the taxonomy, in taxonomy order."""
+    return FaultPlan(
+        seed=seed,
+        faults=tuple(FaultSpec(kind=name) for name in FAULT_KINDS),
+    )

@@ -1,0 +1,384 @@
+"""The injectors: one deterministic mutation per fault kind.
+
+Trace mutators are pure functions ``(trace, rng, site) → trace`` — they
+never modify their input.  Timing mutators act on the ``(tr, ts)`` pair
+or on the arrival sequence.  Scheduler misbehavior is injected as
+:class:`~repro.rossl.runtime.RosslModel` subclasses that reproduce real
+bug classes (priority inversion; the E16 wait-set construction bug).
+Engine-level faults wrap a registry engine so the *same* model-checking
+code path that blesses the healthy engine is what has to reject the
+corrupted one.
+
+Why each fault is guaranteed detectable is argued at the injection
+site; the short version is that the Fig. 5 protocol automaton expects
+exactly one marker type in every state (two in the post-selection
+state), and adjacent markers never share a type — so dropping,
+duplicating, swapping, or retyping a marker always confronts the
+automaton with a type it does not accept.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.engine import SchedulerEngine
+from repro.model.job import Job
+from repro.rossl.client import RosslClient
+from repro.rossl.env import Environment
+from repro.rossl.runtime import MarkerSink, RosslModel
+from repro.sim.simulator import DurationPolicy, TimedDriver
+from repro.timing.arrivals import Arrival, ArrivalSequence
+from repro.timing.timed_trace import TimedTrace
+from repro.timing.wcet import WcetModel
+from repro.traces.markers import (
+    Marker,
+    MCompletion,
+    MDispatch,
+    MExecution,
+    MIdling,
+    MReadE,
+    MReadS,
+    MSelection,
+    Trace,
+)
+
+
+class InjectionError(Exception):
+    """The fault cannot be applied to this trace/client (e.g. the trace
+    has no successful read to duplicate).  Campaigns surface this as an
+    undetected fault with the reason — never silently skip."""
+
+
+def _pick(rng: random.Random, site: int, limit: int) -> int:
+    """Deterministic site selection: an explicit non-zero ``site`` wins
+    (mod ``limit``), otherwise the fault's own RNG chooses."""
+    if limit <= 0:
+        raise InjectionError("no eligible injection site")
+    if site:
+        return site % limit
+    return rng.randrange(limit)
+
+
+# -- trace mutation ---------------------------------------------------------
+
+
+def drop_marker(trace: Trace, rng: random.Random, site: int = 0) -> list[Marker]:
+    """Delete one *interior* marker.
+
+    Dropping the final marker would leave a shorter but still valid
+    prefix (finite traces are always prefixes of the infinite run), so
+    only indices ``[0, len-2]`` are eligible — and for those, the
+    successor marker is never of the type the automaton now expects.
+    """
+    if len(trace) < 2:
+        raise InjectionError("trace too short to drop an interior marker")
+    index = _pick(rng, site, len(trace) - 1)
+    return [m for i, m in enumerate(trace) if i != index]
+
+
+def duplicate_marker(trace: Trace, rng: random.Random, site: int = 0) -> list[Marker]:
+    """Emit one marker twice.  No protocol state accepts two markers of
+    the same type in a row, so any index is detectable."""
+    if not trace:
+        raise InjectionError("empty trace")
+    index = _pick(rng, site, len(trace))
+    mutated = list(trace)
+    mutated.insert(index, trace[index])
+    return mutated
+
+
+def reorder_markers(trace: Trace, rng: random.Random, site: int = 0) -> list[Marker]:
+    """Swap two adjacent markers.  Adjacent markers always differ in
+    type, so the swapped-forward marker is never accepted."""
+    if len(trace) < 2:
+        raise InjectionError("trace too short to reorder")
+    index = _pick(rng, site, len(trace) - 1)
+    mutated = list(trace)
+    mutated[index], mutated[index + 1] = mutated[index + 1], mutated[index]
+    return mutated
+
+
+def corrupt_marker(trace: Trace, rng: random.Random, site: int = 0) -> list[Marker]:
+    """Replace one marker with a marker of a different type
+    (``M_Selection``, or ``M_Idling`` when the victim *is* a selection).
+    Every protocol state expects a specific other type at that point."""
+    if not trace:
+        raise InjectionError("empty trace")
+    index = _pick(rng, site, len(trace))
+    replacement: Marker = (
+        MIdling() if isinstance(trace[index], MSelection) else MSelection()
+    )
+    mutated = list(trace)
+    mutated[index] = replacement
+    return mutated
+
+
+def duplicate_job_id(trace: Trace, rng: random.Random, site: int = 0) -> list[Marker]:
+    """Rewrite a later successful read to carry an earlier read's job.
+
+    The socket stays as observed (so the protocol remains satisfied);
+    only the job id repeats — precisely the unique-ids clause of
+    Def. 3.2, which ``tr_valid`` must reject.
+    """
+    successes = [
+        i for i, m in enumerate(trace) if isinstance(m, MReadE) and m.job is not None
+    ]
+    if len(successes) < 2:
+        raise InjectionError("need at least two successful reads to duplicate an id")
+    which = 1 + _pick(rng, site, len(successes) - 1)
+    victim_index = successes[which]
+    earlier = trace[successes[which - 1]]
+    victim = trace[victim_index]
+    assert isinstance(victim, MReadE) and isinstance(earlier, MReadE)
+    mutated = list(trace)
+    mutated[victim_index] = MReadE(victim.sock, earlier.job)
+    return mutated
+
+
+def phantom_idle(trace: Trace, rng: random.Random, site: int = 0) -> list[Marker]:
+    """Replace a dispatch/execution/completion triple with ``M_Idling``.
+
+    The protocol accepts this (post-selection, idling is enabled), but
+    the dispatched job was pending — the idle-implies-empty clause of
+    Def. 3.2 is violated, and only ``tr_valid`` can see it.
+    """
+    triples = [
+        i
+        for i in range(len(trace) - 2)
+        if isinstance(trace[i], MDispatch)
+        and isinstance(trace[i + 1], MExecution)
+        and isinstance(trace[i + 2], MCompletion)
+    ]
+    if not triples:
+        raise InjectionError("no complete dispatch/execution/completion triple")
+    index = triples[_pick(rng, site, len(triples))]
+    return list(trace[:index]) + [MIdling()] + list(trace[index + 3:])
+
+
+# -- timing perturbation ----------------------------------------------------
+
+#: Marker kinds whose action spans exactly one marker interval, so a
+#: timestamp shift after them translates directly into an overrun of a
+#: known bound.  (Reads span two intervals and are skipped.)
+_SINGLE_INTERVAL = (MSelection, MDispatch, MExecution, MCompletion, MIdling)
+
+
+def wcet_overrun(
+    timed: TimedTrace,
+    client: RosslClient,
+    wcet: WcetModel,
+    rng: random.Random,
+    site: int = 0,
+) -> TimedTrace:
+    """Stretch one single-interval basic action past its WCET by
+    shifting every later timestamp (and the horizon) by the bound."""
+    candidates = [
+        i
+        for i, m in enumerate(timed.trace)
+        if isinstance(m, _SINGLE_INTERVAL) and i + 1 < len(timed.trace)
+    ]
+    if not candidates:
+        raise InjectionError("no complete single-interval action to stretch")
+    index = candidates[_pick(rng, site, len(candidates))]
+    marker = timed.trace[index]
+    if isinstance(marker, MSelection):
+        bound = wcet.selection
+    elif isinstance(marker, MDispatch):
+        bound = wcet.dispatch
+    elif isinstance(marker, MExecution):
+        bound = client.tasks.msg_to_task(marker.job.data).wcet
+    elif isinstance(marker, MCompletion):
+        bound = wcet.completion
+    else:
+        bound = wcet.idling
+    delta = bound  # old duration ≥ 1, so new duration ≥ bound + 1 > bound
+    ts = tuple(t if i <= index else t + delta for i, t in enumerate(timed.ts))
+    return TimedTrace(timed.trace, ts, timed.horizon + delta)
+
+
+def skew_arrivals(arrivals: ArrivalSequence, skew: int) -> ArrivalSequence:
+    """Shift every arrival ``skew`` units into the future.  With a skew
+    past the horizon, every successful read in the trace consumed a
+    message that had not arrived — Def. 2.1 consistency is broken."""
+    if skew <= 0:
+        raise InjectionError("clock skew must be positive")
+    return ArrivalSequence(
+        Arrival(a.time + skew, a.sock, a.data) for a in arrivals
+    )
+
+
+def delivery_blackout(until: int) -> Callable[[int], bool]:
+    """A :attr:`~repro.sim.simulator.TimedDriver.delivery_gate` that
+    suppresses all message delivery while ``clock < until``.  With
+    ``until`` beyond the jitter bound ``J``, a job arriving early is
+    overlooked for longer than Def. 4.3 allows — the compliance checker
+    must report a needed jitter exceeding ``J``."""
+
+    def gate(clock: int) -> bool:
+        return clock >= until
+
+    return gate
+
+
+def simulate_with_gate(
+    client: RosslClient,
+    arrivals: ArrivalSequence,
+    wcet: WcetModel,
+    horizon: int,
+    durations: DurationPolicy,
+    gate: Callable[[int], bool],
+    engine: str | SchedulerEngine = "python",
+) -> TimedDriver:
+    """One timed run with a delivery gate installed — the ``jitter_spike``
+    execution path.  Returns the driver (trace + timestamps)."""
+    from repro.engine import as_engine
+
+    backend = as_engine(engine, client)
+    driver = TimedDriver(client, arrivals, wcet, horizon, durations)
+    driver.delivery_gate = gate
+    backend.run(driver, driver)
+    return driver
+
+
+# -- scheduler misbehavior --------------------------------------------------
+
+
+class PriorityInversionModel(RosslModel):
+    """Dequeues the *lowest*-priority pending job: dispatching it while
+    a higher-priority job is pending violates the highest-priority
+    clause of Def. 3.2 at the dispatch marker."""
+
+    def _npfp_dequeue(self) -> Job | None:
+        if not self._queue:
+            return None
+        worst_index = 0
+        worst_priority = self.tasks.priority_of(self._queue[0].data)
+        for i in range(1, len(self._queue)):
+            priority = self.tasks.priority_of(self._queue[i].data)
+            if priority < worst_priority:
+                worst_index, worst_priority = i, priority
+        return self._queue.pop(worst_index)
+
+
+class SkippedWakeupModel(RosslModel):
+    """Polls only the first socket — the E16 wait-set construction bug
+    (a job on any other socket is in the system but never in the wait
+    set).  The Fig. 5 automaton rejects the incomplete polling pass
+    within the first pass."""
+
+    def _check_sockets_until_empty(self, env: Environment, sink: MarkerSink) -> None:
+        while True:
+            any_success = False
+            sock = self.sockets[0]  # BUG: the other sockets are skipped
+            sink.emit(MReadS())
+            data = env.read(sock)
+            if data is None:
+                sink.emit(MReadE(sock, None))
+            else:
+                job = self.trace_state.record_read(tuple(data))
+                self._queue.append(job)
+                any_success = True
+                sink.emit(MReadE(sock, job))
+            if not any_success:
+                return
+
+
+# -- engine-level faults ----------------------------------------------------
+
+
+class _AttachForwardingSink:
+    """Base for fault sinks: forwards markers to the wrapped sink and
+    accepts the engine's ``attach`` offer (keeping a handle on the
+    executing machine for heap access)."""
+
+    def __init__(self, inner: MarkerSink) -> None:
+        self._inner = inner
+        self._machine = None
+
+    def attach(self, machine: object) -> None:
+        self._machine = machine
+        # Keep VM-timing and other attach-aware endpoints working when
+        # they sit behind this wrapper.
+        attach = getattr(self._inner, "attach", None)
+        if attach is not None:
+            attach(machine)
+
+    def emit(self, marker: Marker) -> None:  # pragma: no cover - overridden
+        self._inner.emit(marker)
+
+
+class HeapPoisonSink(_AttachForwardingSink):
+    """On the first successful read, clobber every initialized heap cell
+    back to ``Undef`` (:meth:`repro.lang.heap.Heap.poison`).  The next
+    load of scheduler state is then indeterminate, which the semantics
+    treats as stuck — the model checker must report the execution as a
+    ``stuck`` violation (Thm. 3.4's adequacy direction)."""
+
+    def __init__(self, inner: MarkerSink) -> None:
+        super().__init__(inner)
+        self.poisoned_cells: int | None = None
+
+    def emit(self, marker: Marker) -> None:
+        self._inner.emit(marker)
+        if (
+            self.poisoned_cells is None
+            and isinstance(marker, MReadE)
+            and marker.job is not None
+        ):
+            heap = getattr(self._machine, "heap", None)
+            if heap is not None:
+                self.poisoned_cells = heap.poison()
+
+
+class TraceDesyncSink(_AttachForwardingSink):
+    """Rewrites the second successful read to repeat the first read's
+    job — the emitted trace desynchronizes from the engine's internal
+    trace state ``σ_trace``, and the repeated id violates the unique-ids
+    clause the monitor checks at every step."""
+
+    def __init__(self, inner: MarkerSink) -> None:
+        super().__init__(inner)
+        self._first_job: Job | None = None
+        self._desynced = False
+
+    def emit(self, marker: Marker) -> None:
+        if isinstance(marker, MReadE) and marker.job is not None:
+            if self._first_job is None:
+                self._first_job = marker.job
+            elif not self._desynced:
+                self._desynced = True
+                marker = MReadE(marker.sock, self._first_job)
+        self._inner.emit(marker)
+
+
+class FaultyEngine:
+    """A registry engine with a fault sink spliced into its marker path.
+
+    Exposes the :class:`~repro.engine.SchedulerEngine` surface, so the
+    bounded model checker explores it through the exact code path that
+    certifies healthy engines (:func:`repro.verification.model_check.explore_with_engine`).
+    """
+
+    def __init__(
+        self,
+        inner: SchedulerEngine,
+        sink_factory: Callable[[MarkerSink], MarkerSink],
+        label: str,
+    ) -> None:
+        self._inner = inner
+        self._sink_factory = sink_factory
+        self.name = f"{inner.name}+{label}"
+        self.client = inner.client
+        self.capabilities = inner.capabilities
+
+    def run(self, env, sink, fuel: int | None = None):
+        return self._inner.run(env, self._sink_factory(sink), fuel=fuel)
+
+
+def heap_corruption_engine(inner: SchedulerEngine) -> FaultyEngine:
+    return FaultyEngine(inner, HeapPoisonSink, "heap_corruption")
+
+
+def trace_desync_engine(inner: SchedulerEngine) -> FaultyEngine:
+    return FaultyEngine(inner, TraceDesyncSink, "trace_state_desync")

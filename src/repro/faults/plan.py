@@ -1,0 +1,225 @@
+"""Fault plans: which fault, where, and under which seed.
+
+A :class:`FaultPlan` is the complete, serializable description of one
+injection campaign: a root seed plus an ordered list of
+:class:`FaultSpec` entries.  Every piece of randomness in the campaign
+derives from ``seed`` and the fault's position in the list, so a plan
+is a *reproducer* — the JSON file alone replays the exact faults.
+
+Plan file format (``PLAN.json``)::
+
+    {
+      "seed": 7,
+      "faults": [
+        {"kind": "drop_marker"},
+        {"kind": "wcet_overrun", "site": 3},
+        {"kind": "worker_crash", "param": 2}
+      ]
+    }
+
+``site`` locates the fault (a marker/read/chunk index, interpreted per
+kind; 0 lets the seeded RNG choose) and ``param`` is a kind-specific
+knob (e.g. how many pool rounds a worker fault fires for).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+class PlanError(Exception):
+    """A fault plan is malformed or names an unknown fault kind."""
+
+
+@dataclass(frozen=True)
+class FaultKind:
+    """One entry of the fault taxonomy.
+
+    ``layer`` names the subsystem the fault is injected into;
+    ``expected_checker`` names the checker that must flag it (the
+    campaign's detection criterion — other checkers may also flag,
+    which is fine, but *this* one has to).
+    """
+
+    name: str
+    layer: str
+    expected_checker: str
+    description: str
+
+
+#: The fault taxonomy.  Keep docs/faults.md's table in sync.
+FAULT_KINDS: dict[str, FaultKind] = {
+    kind.name: kind
+    for kind in (
+        FaultKind(
+            "drop_marker", "traces", "traces.protocol",
+            "delete one interior marker from the trace",
+        ),
+        FaultKind(
+            "duplicate_marker", "traces", "traces.protocol",
+            "emit one marker twice in a row",
+        ),
+        FaultKind(
+            "reorder_markers", "traces", "traces.protocol",
+            "swap two adjacent markers",
+        ),
+        FaultKind(
+            "corrupt_marker", "traces", "traces.protocol",
+            "replace one marker with a marker of a different type",
+        ),
+        FaultKind(
+            "duplicate_job_id", "traces", "traces.validity",
+            "rewrite a successful read to reuse an earlier job id",
+        ),
+        FaultKind(
+            "phantom_idle", "traces", "traces.validity",
+            "replace a dispatch/execution/completion triple with idling "
+            "while jobs are pending",
+        ),
+        FaultKind(
+            "wcet_overrun", "timing", "timing.wcet",
+            "stretch one basic action past its WCET",
+        ),
+        FaultKind(
+            "clock_skew", "timing", "timing.consistency",
+            "skew all arrivals past the trace, so reads consume "
+            "messages that have not arrived",
+        ),
+        FaultKind(
+            "jitter_spike", "sim", "rta.compliance",
+            "suppress message delivery for a window longer than the "
+            "jitter bound J",
+        ),
+        FaultKind(
+            "priority_inversion", "rossl", "verification.monitor",
+            "scheduler dequeues the lowest-priority pending job",
+        ),
+        FaultKind(
+            "skipped_wakeup", "rossl", "verification.monitor",
+            "scheduler polls only the first socket (the E16 wait-set "
+            "construction bug)",
+        ),
+        FaultKind(
+            "heap_corruption", "lang", "verification.model_check",
+            "poison the engine heap after the first successful read",
+        ),
+        FaultKind(
+            "trace_state_desync", "lang", "verification.model_check",
+            "desynchronize emitted job ids from the engine's trace state",
+        ),
+        FaultKind(
+            "worker_crash", "analysis.parallel", "analysis.parallel",
+            "a campaign worker process dies abruptly mid-shard",
+        ),
+        FaultKind(
+            "worker_hang", "analysis.parallel", "analysis.parallel",
+            "a campaign worker process hangs past the shard timeout",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject: its kind plus kind-specific locators."""
+
+    kind: str
+    site: int = 0
+    param: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(sorted(FAULT_KINDS))
+            raise PlanError(f"unknown fault kind {self.kind!r} (known: {known})")
+        if self.site < 0 or self.param < 0:
+            raise PlanError(f"site/param must be non-negative in {self}")
+
+    @property
+    def meta(self) -> FaultKind:
+        return FAULT_KINDS[self.kind]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered fault list — one campaign, fully pinned."""
+
+    seed: int = 0
+    faults: tuple[FaultSpec, ...] = field(default=())
+
+    def fault_seed(self, index: int) -> int:
+        """The RNG seed of fault ``index`` — a function of the plan seed
+        and the position only, so faults are independent of each other
+        and of execution order."""
+        return self.seed + 1009 * index
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [
+                {"kind": f.kind, "site": f.site, "param": f.param}
+                for f in self.faults
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @staticmethod
+    def from_dict(data: object) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise PlanError(f"a fault plan must be a JSON object, got {type(data).__name__}")
+        unknown = set(data) - {"seed", "faults"}
+        if unknown:
+            raise PlanError(f"unknown plan keys: {sorted(unknown)}")
+        seed = data.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise PlanError(f"plan seed must be an integer, got {seed!r}")
+        raw_faults = data.get("faults", [])
+        if not isinstance(raw_faults, list):
+            raise PlanError("plan 'faults' must be a list")
+        faults = []
+        for position, entry in enumerate(raw_faults):
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise PlanError(
+                    f"fault #{position} must be an object with a 'kind' key"
+                )
+            extra = set(entry) - {"kind", "site", "param"}
+            if extra:
+                raise PlanError(f"fault #{position}: unknown keys {sorted(extra)}")
+            for int_key in ("site", "param"):
+                value = entry.get(int_key, 0)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise PlanError(
+                        f"fault #{position}: {int_key} must be an integer"
+                    )
+            faults.append(
+                FaultSpec(
+                    kind=entry["kind"],
+                    site=entry.get("site", 0),
+                    param=entry.get("param", 0),
+                )
+            )
+        return FaultPlan(seed=seed, faults=tuple(faults))
+
+    @staticmethod
+    def from_json(text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PlanError(f"plan is not valid JSON: {exc}") from exc
+        return FaultPlan.from_dict(data)
+
+    @staticmethod
+    def load(path: str) -> "FaultPlan":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return FaultPlan.from_json(handle.read())
+        except OSError as exc:
+            raise PlanError(f"cannot read plan {path}: {exc}") from exc
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())

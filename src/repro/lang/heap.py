@@ -96,6 +96,28 @@ class Heap:
             block is not None and block.alive and 0 <= ptr.offset < len(block.cells)
         )
 
+    def poison(self) -> int:
+        """Fault injection: clobber every initialized cell of every live
+        ``malloc`` block back to ``Undef``.
+
+        Models random memory corruption of the scheduler's dynamic state
+        (the pending queue, message buffers).  Any later :meth:`load` of
+        a poisoned cell raises :class:`UndefinedBehavior` — i.e. the
+        corruption is *detectable* exactly because the semantics treats
+        indeterminate reads as stuck (Thm. 3.4).  Returns the number of
+        cells poisoned.  Used by :mod:`repro.faults`; never called on
+        healthy runs.
+        """
+        count = 0
+        for block in self._blocks.values():
+            if not block.alive or block.kind != "malloc":
+                continue
+            for offset, cell in enumerate(block.cells):
+                if not isinstance(cell, Undef):
+                    block.cells[offset] = UNDEF
+                    count += 1
+        return count
+
     @property
     def live_blocks(self) -> int:
         """Number of live blocks (for leak checks in tests)."""

@@ -110,11 +110,21 @@ class TimedDriver:
         self._pending_arrivals = list(arrivals.restricted_to(client.sockets))
         self._delivered = 0
         self._read_syscall_duration: int | None = None
+        #: Optional delivery gate ``(clock) -> bool``; while it returns
+        #: ``False`` no arrivals are moved into the socket queues, so
+        #: reads fail as if the messages had not come in yet.  This is
+        #: the injection point for the ``jitter_spike`` fault
+        #: (:mod:`repro.faults`): suppressed windows force idling between
+        #: a job's arrival and its read.  ``None`` (the default) delivers
+        #: normally.
+        self.delivery_gate = None
 
     # -- Environment protocol ------------------------------------------------
 
     def _deliver_up_to_clock(self) -> None:
         """Move arrivals with time < clock into the socket queues."""
+        if self.delivery_gate is not None and not self.delivery_gate(self.clock):
+            return
         while (
             self._delivered < len(self._pending_arrivals)
             and self._pending_arrivals[self._delivered].time < self.clock

@@ -153,15 +153,24 @@ def consistent(timed: TimedTrace, arrivals: ArrivalSequence) -> bool:
 
 
 def job_arrival_times(
-    timed: TimedTrace, arrivals: ArrivalSequence
+    timed: TimedTrace, arrivals: ArrivalSequence, check: bool = True
 ) -> dict[Job, int]:
     """Map each read job to the arrival time of the message it consumed.
 
     Uses the same FIFO replay as :func:`check_consistency` (which must
     hold); this is the witness for the existential in Def. 2.1 and the
     ``t_arr`` against which response times are measured (Thm. 5.1).
+
+    ``check=False`` skips the consistency precondition and maps each
+    successful read to the next unconsumed arrival on its socket (jobs
+    beyond the queue are dropped).  Checkers downstream of consistency
+    (e.g. :mod:`repro.rta.compliance`) use this to keep reporting *their*
+    property on traces whose consistency is already known to be broken —
+    without it, every timing fault would collapse into a
+    :class:`ConsistencyError`.
     """
-    check_consistency(timed, arrivals)
+    if check:
+        check_consistency(timed, arrivals)
     result: dict[Job, int] = {}
     position: dict[int, int] = {}
     queues: dict[int, tuple[Arrival, ...]] = {}
@@ -171,6 +180,7 @@ def job_arrival_times(
             if sock not in queues:
                 queues[sock] = arrivals.on_socket(sock)
                 position[sock] = 0
-            result[marker.job] = queues[sock][position[sock]].time
+            if position[sock] < len(queues[sock]):
+                result[marker.job] = queues[sock][position[sock]].time
             position[sock] += 1
     return result

@@ -204,16 +204,31 @@ def explore(
     with obs.span("verify.explore", depth=max_reads, jobs=jobs):
         chunks = split_chunks(scripts, jobs)
         if jobs > 1 and len(chunks) > 1:
-            per_chunk = pool_map_chunks(
+            pooled = pool_map_chunks(
                 chunks,
                 _explore_chunk,
                 initializer=_init_explore_worker,
                 initargs=(client, engine_name, fuel, obs.enabled()),
                 jobs=jobs,
             )
-            if per_chunk is not None:
-                merge_worker_snapshots(snap for _, snap in per_chunk)
-                partials = [partial for partial, _ in per_chunk]
+            if pooled is not None:
+                merge_worker_snapshots(
+                    snap for r in pooled.results if r is not None for snap in [r[1]]
+                )
+                # Exploration must stay exhaustive-in-the-bound — a
+                # partial exploration proves nothing — so chunks lost to
+                # worker failures are re-explored serially in the parent.
+                engine = None
+                partials = []
+                for index, pooled_result in enumerate(pooled.results):
+                    if pooled_result is not None:
+                        partials.append(pooled_result[0])
+                    else:
+                        if engine is None:
+                            engine = create_engine(engine_name, client)
+                        partials.append(
+                            _explore_scripts(client, chunks[index], engine, fuel)
+                        )
             else:
                 partials = None
         else:
@@ -226,6 +241,34 @@ def explore(
         report = ExplorationReport()
         for partial in partials:
             report.absorb(partial)
+    obs.inc("verify.scripts_explored", report.scripts_explored)
+    obs.inc("verify.markers_observed", report.markers_observed)
+    obs.inc("verify.violations", len(report.violations))
+    return report
+
+
+def explore_with_engine(
+    client: RosslClient,
+    payloads: Sequence[MsgData],
+    max_reads: int,
+    engine: SchedulerEngine,
+    fuel: int = 100_000,
+) -> ExplorationReport:
+    """Serial exploration against an *already-built* engine.
+
+    The engine need not come from the registry — fault injection wraps
+    a registry engine (:mod:`repro.faults`) and checks the wrapped
+    artifact through exactly the same exploration the healthy engine
+    gets, which is what makes "the model checker catches engine-level
+    corruption" a statement about this code path and not a bespoke test
+    harness.
+    """
+    if max_reads < 0:
+        raise ValueError("max_reads must be non-negative")
+    alphabet: list[MsgData | None] = [None] + [tuple(p) for p in payloads]
+    scripts = list(product(alphabet, repeat=max_reads))
+    with obs.span("verify.explore", depth=max_reads, jobs=1):
+        report = _explore_scripts(client, scripts, engine, fuel)
     obs.inc("verify.scripts_explored", report.scripts_explored)
     obs.inc("verify.markers_observed", report.markers_observed)
     obs.inc("verify.violations", len(report.violations))

@@ -1,0 +1,117 @@
+"""Property tests for the fault injectors (hypothesis).
+
+The contract under test: *every* mutation an injector can produce —
+any site, any rng seed — is rejected by the checker its taxonomy entry
+names.  The example-based tests in test_faults.py pin one site per
+injector; here hypothesis sweeps the space.
+
+The baseline trace is simulated once at module scope: the properties
+quantify over injection parameters, not workloads, and re-simulating
+per example would dominate the runtime.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultPlan, run_fault_campaign
+from repro.faults import inject
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.sim.simulator import UniformDurations, simulate
+from repro.timing.wcet import WcetError, WcetModel, check_wcet_respected
+from repro.traces.protocol import ProtocolError
+from repro.traces.validity import TraceValidityError, check_tr_valid
+
+WCET = WcetModel(
+    failed_read=2, success_read=4, selection=2, dispatch=2, completion=2,
+    idling=2,
+)
+
+TASKS = TaskSystem(
+    [
+        Task(name="control", priority=3, wcet=1000, type_tag=1),
+        Task(name="lidar", priority=2, wcet=8000, type_tag=2),
+        Task(name="telemetry", priority=1, wcet=3000, type_tag=3),
+    ]
+)
+CLIENT = RosslClient.make(TASKS, [0, 1])
+
+from repro.faults import baseline_workload  # noqa: E402
+
+_BASELINE = simulate(
+    CLIENT, baseline_workload(CLIENT, 20_000), WCET, 20_000,
+    durations=UniformDurations(random.Random(7)),
+)
+TRACE = list(_BASELINE.timed_trace.trace)
+
+PROTOCOL_MUTATORS = [
+    inject.drop_marker,
+    inject.duplicate_marker,
+    inject.reorder_markers,
+    inject.corrupt_marker,
+]
+VALIDITY_MUTATORS = [inject.duplicate_job_id, inject.phantom_idle]
+
+sites = st.integers(min_value=0, max_value=10_000)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@pytest.mark.parametrize(
+    "mutator", PROTOCOL_MUTATORS, ids=lambda m: m.__name__
+)
+@given(site=sites, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_protocol_mutations_always_rejected(mutator, site, seed):
+    mutated = mutator(TRACE, random.Random(seed), site=site)
+    assert mutated != TRACE
+    with pytest.raises(ProtocolError):
+        CLIENT.protocol().check(mutated)
+
+
+@pytest.mark.parametrize(
+    "mutator", VALIDITY_MUTATORS, ids=lambda m: m.__name__
+)
+@given(site=sites, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_validity_mutations_are_stealthy_but_rejected(mutator, site, seed):
+    """These faults are protocol-clean by construction — only the
+    validity clauses catch them."""
+    mutated = mutator(TRACE, random.Random(seed), site=site)
+    assert mutated != TRACE
+    CLIENT.protocol().check(mutated)
+    with pytest.raises(TraceValidityError):
+        check_tr_valid(mutated, CLIENT.priority_fn())
+
+
+@given(site=sites, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_wcet_overrun_always_flagged(site, seed):
+    mutated = inject.wcet_overrun(
+        _BASELINE.timed_trace, CLIENT, WCET, random.Random(seed), site=site
+    )
+    with pytest.raises(WcetError):
+        check_wcet_respected(mutated, CLIENT.tasks, WCET)
+
+
+@given(site=sites, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_mutators_are_deterministic_in_their_seed(site, seed):
+    for mutator in PROTOCOL_MUTATORS + VALIDITY_MUTATORS:
+        once = mutator(TRACE, random.Random(seed), site=site)
+        again = mutator(TRACE, random.Random(seed), site=site)
+        assert once == again
+
+
+@given(seed=st.integers(min_value=0, max_value=1_000))
+@settings(max_examples=5, deadline=None)
+def test_zero_fault_campaign_is_byte_identical(seed):
+    plan = FaultPlan(seed=seed)
+    first = run_fault_campaign(plan, CLIENT, WCET, horizon=10_000)
+    second = run_fault_campaign(plan, CLIENT, WCET, horizon=10_000)
+    assert first.to_json() == second.to_json()
+    assert first.baseline_clean
+    assert first.ok

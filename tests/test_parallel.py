@@ -128,18 +128,20 @@ class TestCampaignRunner:
     def test_run_campaign_parallel_returns_all_runs(self):
         client = light_client()
         analysis = analyse(client, WCET)
-        outcomes = run_campaign_parallel(
+        outcomes, failures = run_campaign_parallel(
             client, WCET, analysis, horizon=2000, runs=5, seed_root=3, jobs=2
         )
+        assert failures == ()
         assert sorted(o.run_index for o in outcomes) == list(range(5))
 
     def test_serial_fallback_when_single_chunk(self):
         # One run → one chunk → in-process execution, same outcome type.
         client = light_client()
         analysis = analyse(client, WCET)
-        outcomes = run_campaign_parallel(
+        outcomes, failures = run_campaign_parallel(
             client, WCET, analysis, horizon=1500, runs=1, seed_root=0, jobs=4
         )
+        assert failures == ()
         assert len(outcomes) == 1
         assert outcomes[0].run_index == 0
 

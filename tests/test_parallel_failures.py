@@ -1,0 +1,214 @@
+"""Failure-path tests for the hardened parallel runner.
+
+``pool_map_chunks`` promises: worker crashes and hangs never hang or
+crash the parent; failed shards are retried in quarantine (one chunk
+per single-worker pool) so a deterministic crasher cannot exhaust
+innocent chunks' retry budgets; exhausted shards surface as
+:class:`ShardFailure` records instead of exceptions; and observability
+counters record every worker failure even when the workers died.
+
+All tests fork real processes (guarded by ``fork_available``) with the
+deterministic :class:`WorkerFault` used by ``repro.faults``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.analysis.adequacy import run_adequacy_campaign
+from repro.analysis.parallel import (
+    PoolOutcome,
+    ShardFailure,
+    WorkerFault,
+    fork_available,
+    pool_map_chunks,
+    split_chunks,
+)
+from repro.faults.campaign import _pool_probe_client
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks fork-based process pools"
+)
+
+# A short timeout is enough: the injected hang sleeps for an hour, so
+# any value the CI machine can overshoot by still distinguishes the two.
+TIMEOUT = 2.0
+
+
+def double(chunk):
+    return [x * 2 for x in chunk]
+
+
+def explode_on_nine(chunk):
+    if 9 in chunk:
+        raise ValueError("nine is right out")
+    return list(chunk)
+
+
+@pytest.fixture
+def fresh_obs():
+    obs.reset()
+    obs.enable()
+    yield
+    obs.reset()
+    obs.disable()
+
+
+CHUNKS = [[0, 1], [2, 3], [4, 5], [6, 7], [8, 9], [10, 11]]
+DOUBLED = [[0, 2], [4, 6], [8, 10], [12, 14], [16, 18], [20, 22]]
+
+
+class TestCrash:
+    def test_deterministic_crasher_only_loses_its_own_shard(self):
+        """Quarantine: a chunk that crashes its worker on every attempt
+        exhausts only its own budget — every innocent chunk completes."""
+        outcome = pool_map_chunks(
+            CHUNKS, double, initializer=None, initargs=(), jobs=2,
+            retries=1, fault=WorkerFault("crash", chunk_index=1, times=99),
+        )
+        assert isinstance(outcome, PoolOutcome)
+        assert not outcome.complete
+        assert [f.chunk_index for f in outcome.failures] == [1]
+        failure = outcome.failures[0]
+        assert failure.reason == "crash"
+        assert failure.attempts == 2  # 1 + retries, all consumed
+        assert outcome.results[1] is None
+        for index in (0, 2, 3, 4, 5):
+            assert outcome.results[index] == DOUBLED[index]
+        assert outcome.completed_results() == [
+            DOUBLED[i] for i in (0, 2, 3, 4, 5)
+        ]
+
+    def test_transient_crash_recovers_on_retry(self):
+        """A fault that fires only in the first round costs an attempt
+        but the retry succeeds — no failures recorded."""
+        outcome = pool_map_chunks(
+            CHUNKS, double, initializer=None, initargs=(), jobs=2,
+            retries=1, fault=WorkerFault("crash", chunk_index=0, times=1),
+        )
+        assert outcome.complete
+        assert outcome.results == DOUBLED
+
+    def test_retry_exhaustion_is_reported_not_raised(self):
+        outcome = pool_map_chunks(
+            [[1, 2]], double, initializer=None, initargs=(), jobs=1,
+            retries=0, fault=WorkerFault("crash", chunk_index=0, times=99),
+        )
+        assert outcome.results == [None]
+        (failure,) = outcome.failures
+        assert failure.reason == "crash"
+        assert failure.attempts == 1
+        assert "worker process died" in str(failure)
+
+
+class TestHang:
+    def test_hung_worker_is_killed_and_chunk_retried(self):
+        outcome = pool_map_chunks(
+            CHUNKS, double, initializer=None, initargs=(), jobs=2,
+            timeout=TIMEOUT, retries=1,
+            fault=WorkerFault("hang", chunk_index=0, times=1),
+        )
+        assert outcome.complete
+        assert outcome.results == DOUBLED
+
+    def test_persistent_hang_exhausts_and_degrades(self):
+        outcome = pool_map_chunks(
+            [[1], [2]], double, initializer=None, initargs=(), jobs=2,
+            timeout=TIMEOUT, retries=0,
+            fault=WorkerFault("hang", chunk_index=0, times=99),
+        )
+        failed = {f.chunk_index: f for f in outcome.failures}
+        assert 0 in failed
+        assert failed[0].reason == "timeout"
+        assert outcome.results[0] is None
+
+
+class TestChunkErrors:
+    def test_chunk_exception_does_not_abort_the_round(self):
+        chunks = [[1, 2], [9], [3, 4]]
+        outcome = pool_map_chunks(
+            chunks, explode_on_nine, initializer=None, initargs=(),
+            jobs=2, retries=0,
+        )
+        assert outcome.results[0] == [1, 2]
+        assert outcome.results[2] == [3, 4]
+        (failure,) = outcome.failures
+        assert failure.chunk_index == 1
+        assert failure.reason == "error"
+        assert "ValueError" in failure.detail
+
+
+class TestObservability:
+    def test_failure_counters_recorded(self, fresh_obs):
+        pool_map_chunks(
+            [[1, 2]], double, initializer=None, initargs=(), jobs=1,
+            retries=1, fault=WorkerFault("crash", chunk_index=0, times=99),
+        )
+        assert obs.counter_value("parallel.worker_failures") >= 2
+        assert obs.counter_value("parallel.pool_retries") >= 1
+        assert obs.counter_value("parallel.shards_failed") == 1
+
+    def test_clean_run_records_no_failures(self, fresh_obs):
+        outcome = pool_map_chunks(
+            CHUNKS, double, initializer=None, initargs=(), jobs=2,
+        )
+        assert outcome.complete
+        assert obs.counter_value("parallel.worker_failures") == 0
+        assert obs.counter_value("parallel.shards_failed") == 0
+
+
+class TestAdequacyDegradation:
+    """The user-facing contract: a campaign whose workers die completes
+    with partial results and a recorded failure instead of hanging or
+    raising."""
+
+    def test_campaign_with_crashing_worker_degrades(self):
+        client, wcet = _pool_probe_client()
+        # times=2 outlasts the retry budget for the faulted shard, while
+        # quarantined retries let every innocent shard recover.
+        report = run_adequacy_campaign(
+            client, wcet, horizon=2_000, runs=8, seed=3, jobs=2,
+            worker_retries=1,
+            worker_fault=WorkerFault("crash", chunk_index=0, times=2),
+        )
+        assert report.degraded
+        assert report.shard_failures
+        assert all(
+            isinstance(f, ShardFailure) for f in report.shard_failures
+        )
+        # Surviving shards were merged back: some runs completed.
+        assert 0 < report.runs < 8
+        assert "DEGRADED" in report.table()
+
+    def test_campaign_without_fault_is_complete(self):
+        client, wcet = _pool_probe_client()
+        report = run_adequacy_campaign(
+            client, wcet, horizon=2_000, runs=8, seed=3, jobs=2,
+        )
+        assert not report.degraded
+        assert report.shard_failures == ()
+        assert report.runs == 8
+        assert "DEGRADED" not in report.table()
+
+    def test_worker_obs_merge_back_despite_deaths(self, fresh_obs):
+        """Metrics from shards whose pool-mates died still reach the
+        parent registry, and the failure counters account for the dead."""
+        client, wcet = _pool_probe_client()
+        run_adequacy_campaign(
+            client, wcet, horizon=2_000, runs=8, seed=3, jobs=2,
+            worker_retries=1,
+            worker_fault=WorkerFault("crash", chunk_index=0, times=2),
+        )
+        assert obs.counter_value("parallel.shards_failed") >= 1
+        assert obs.counter_value("parallel.worker_failures") >= 1
+        # The parent registry still holds a merged, coherent snapshot.
+        counters = dict(obs.snapshot().counters)
+        assert counters  # merge-back produced data, not an empty registry
+
+
+def test_split_chunks_covers_all_items():
+    items = list(range(23))
+    chunks = split_chunks(items, jobs=3)
+    flat = [x for chunk in chunks for x in chunk]
+    assert flat == items
