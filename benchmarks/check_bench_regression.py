@@ -18,6 +18,10 @@ generous — CI runners are noisy timeshared boxes — and checks:
 * fresh ``serial_seconds`` is within ``--tolerance``× the baseline
   (default 4×) — catching order-of-magnitude slowdowns, not jitter.
 
+A *missing* baseline file is not a failure: the first run of a new
+benchmark (E19's ``BENCH_cache.json``, say) has nothing committed yet,
+so the gate records the fresh run and passes — "record, don't fail".
+
 Exit code 0 on pass, 1 on regression, 2 on unusable input.
 """
 
@@ -25,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 #: Campaign-configuration keys that must match exactly.
@@ -84,6 +89,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.tolerance <= 0:
         parser.error("--tolerance must be positive")
+    if not os.path.exists(args.baseline):
+        # First run of a new benchmark: nothing committed to compare
+        # against.  Validate the fresh record and pass.
+        fresh = load(args.fresh)
+        print(f"no committed baseline at {args.baseline}: recording "
+              f"fresh run only (serial {fresh['serial_seconds']:.3f}s)")
+        print("benchmark gate: ok (record, don't fail)")
+        return 0
     baseline, fresh = load(args.baseline), load(args.fresh)
 
     ratio = fresh["serial_seconds"] / max(baseline["serial_seconds"], 1e-9)

@@ -1,0 +1,111 @@
+"""E19 (engineering): persistent result cache, cold vs warm.
+
+Runs the same adequacy campaign twice through a persistent
+:class:`repro.cache.ResultStore` — cold (empty directory) and warm (a
+*fresh* store instance over the same directory, so every answer really
+came off disk) — and asserts the two reports are byte-identical in both
+their text table and JSON forms while the warm run answers everything
+from the cache.  Wall clocks and the measured speedup land in
+``BENCH_cache.json`` at the repo root (checked by
+``check_bench_regression.py``, which treats a missing committed baseline
+as "record, don't fail").
+
+The memo step cache is reset by the campaign boundary itself
+(:func:`repro.rta.curves.memo_cache_clear` inside
+``run_adequacy_campaign``), so the cold run cannot borrow warm in-process
+state from earlier tests in this pytest process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from conftest import print_experiment
+from repro import obs
+from repro.analysis.adequacy import run_adequacy_campaign
+from repro.cache import ResultStore
+
+RUNS = 120
+JOBS = 1
+SEED = 2026
+HORIZON = 6_000
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cache.json"
+
+
+def run_campaign(client, wcet, store):
+    obs.reset()
+    report = run_adequacy_campaign(
+        client, wcet, horizon=HORIZON, runs=RUNS, seed=SEED, jobs=JOBS,
+        cache=store,
+    )
+    return report, report.elapsed_seconds
+
+
+def test_cache_cold_vs_warm(benchmark, embedded_client, embedded_wcet, tmp_path):
+    cache_dir = tmp_path / "cache"
+    obs.enable()
+    try:
+        cold_store = ResultStore(cache_dir)
+        cold, cold_s = benchmark.pedantic(
+            lambda: run_campaign(embedded_client, embedded_wcet, cold_store),
+            rounds=1, iterations=1,
+        )
+        # A fresh store instance over the same directory: the warm run's
+        # answers must come from disk, not from in-process state.
+        warm_store = ResultStore(cache_dir)
+        warm, warm_s = run_campaign(embedded_client, embedded_wcet, warm_store)
+    finally:
+        obs.disable()
+        obs.reset()
+
+    # Determinism first: warm must not change a single byte.
+    assert cold.table() == warm.table()
+    assert cold.to_json() == warm.to_json()
+    assert cold.runs == warm.runs == RUNS
+    assert cold.ok
+
+    # The warm run answered everything from the store: the analysis plus
+    # every campaign run, with nothing recomputed or rewritten.
+    assert warm_store.hits == RUNS + 1
+    assert warm_store.misses == 0
+    assert cold_store.misses == RUNS + 1
+    assert warm_store.stats().corrupt == 0
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    record = {
+        "experiment": "E19",
+        "runs": RUNS,
+        "jobs": JOBS,
+        "seed": SEED,
+        "horizon": HORIZON,
+        "cpu_count": os.cpu_count() or 1,
+        # the gate compares "serial_seconds": for E19 that is the cold
+        # (fully computing) campaign
+        "serial_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+        "cache": {
+            "entries": warm_store.stats().entries,
+            "bytes": warm_store.stats().bytes,
+            "cold_misses": cold_store.misses,
+            "warm_hits": warm_store.hits,
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_experiment(
+        "E19 — persistent result cache",
+        f"{RUNS}-run campaign: cold {cold_s:.2f}s, warm {warm_s:.3f}s — "
+        f"{speedup:.1f}x; {warm_store.hits} warm hits, 0 misses; reports "
+        f"byte-identical (text and JSON); recorded in {RESULT_PATH.name}",
+    )
+
+    # A warm campaign does no simulation and no fixpoint search; even on
+    # a noisy box it must clearly beat the cold run.
+    assert speedup >= 2.0, (
+        f"expected the warm run to beat cold by >=2x, got {speedup:.2f}x "
+        f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s)"
+    )

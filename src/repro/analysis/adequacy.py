@@ -24,7 +24,7 @@ from repro import obs
 from repro.analysis.report import format_elapsed, format_table
 from repro.engine import SchedulerEngine, as_engine
 from repro.rossl.client import RosslClient
-from repro.rta.curves import check_curve_respected
+from repro.rta.curves import check_curve_respected, memo_cache_clear
 from repro.rta.npfp import AnalysisResult, analyse
 from repro.sim.simulator import (
     DurationPolicy,
@@ -131,6 +131,33 @@ class TimingCorrectnessReport:
         if show_elapsed and self.elapsed_seconds is not None:
             text += "\n" + format_elapsed(self.elapsed_seconds)
         return text
+
+    def to_json(self) -> dict:
+        """A deterministic JSON form of the report (no wall-clock, no
+        machine detail) — warm cache reruns must byte-match cold ones."""
+        bounds = {}
+        for task in self.analysis.tasks:
+            name = task.name
+            bounds[name] = (
+                self.analysis.response_time_bound(name)
+                if self.analysis.bounds[name].schedulable
+                else None
+            )
+        return {
+            "runs": self.runs,
+            "jobs_checked": self.jobs_checked,
+            "jobs_beyond_horizon": self.jobs_beyond_horizon,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "bounds": bounds,
+            "observed_worst": dict(sorted(self.observed_worst.items())),
+            "violations": [
+                [v.task, v.arrival, v.bound, v.completion]
+                for v in self.violations
+            ],
+            "shard_failures": [str(f) for f in self.shard_failures],
+            "static_warnings": list(self.static_warnings),
+        }
 
 
 def check_timing_correctness(
@@ -295,6 +322,7 @@ def run_adequacy_campaign(
     worker_timeout: float | None = None,
     worker_retries: int = 1,
     worker_fault=None,
+    cache=None,
 ) -> TimingCorrectnessReport:
     """Randomized campaign: ``runs`` simulations, all checked.
 
@@ -312,18 +340,76 @@ def run_adequacy_campaign(
     :class:`~repro.analysis.parallel.WorkerFault`) degrade the report —
     the lost shards land in :attr:`TimingCorrectnessReport.shard_failures`
     instead of killing the campaign.
+
+    ``cache`` (a :class:`repro.cache.ResultStore`) makes the campaign
+    *incremental*: the analysis and every run already answered by the
+    store are skipped and only the missing runs execute — merged reports
+    stay bit-identical to cold ones because :class:`RunOutcome` is the
+    exact unit the serial runner produces.  The cache is bypassed
+    entirely when a ``worker_fault`` is injected, and an engine the
+    fingerprint layer rejects (e.g. a fault-wrapped one) disables
+    caching for the whole campaign — a cached clean result can never
+    mask an injected defect.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    # Campaign boundary: reset the in-process step cache so within-run
+    # timing is independent of what ran earlier in this process.
+    memo_cache_clear()
+    # Safety rail: deterministic fault injection must observe the real
+    # (faulty) pipeline, never a cached clean result.
+    store = None if worker_fault is not None else cache
     shard_failures: tuple = ()
     with obs.span("campaign.adequacy", runs=runs, jobs=jobs) as sp:
-        analysis = analyse(client, wcet, analysis_horizon)
+        if store is not None:
+            from repro.cache import cached_analyse
+
+            analysis = cached_analyse(client, wcet, analysis_horizon, store)
+        else:
+            analysis = analyse(client, wcet, analysis_horizon)
         if not analysis.schedulable:
             raise ValueError("campaigns need a schedulable system")
-        if jobs > 1:
+        keys: list[str] | None = None
+        cached_outcomes: list[RunOutcome] = []
+        missing = list(range(runs))
+        if store is not None:
+            from repro.cache import (
+                UnfingerprintableError,
+                campaign_run_key,
+                outcome_from_payload,
+            )
+
+            try:
+                keys = [
+                    campaign_run_key(
+                        client, wcet, engine,
+                        horizon=horizon, runs=runs, seed_root=seed,
+                        intensity=intensity,
+                        adversarial_fraction=adversarial_fraction,
+                        analysis_horizon=analysis_horizon, index=index,
+                    )
+                    for index in range(runs)
+                ]
+            except UnfingerprintableError:
+                keys = None
+            if keys is not None:
+                missing = []
+                for index in range(runs):
+                    payload = store.get(keys[index])
+                    outcome = (
+                        outcome_from_payload(payload)
+                        if payload is not None
+                        else None
+                    )
+                    if outcome is not None and outcome.run_index == index:
+                        cached_outcomes.append(outcome)
+                    else:
+                        missing.append(index)
+        fresh: list[RunOutcome] = []
+        if missing and jobs > 1:
             from repro.analysis.parallel import run_campaign_parallel
 
-            outcomes, shard_failures = run_campaign_parallel(
+            fresh, shard_failures = run_campaign_parallel(
                 client, wcet, analysis, horizon, runs,
                 seed_root=seed, intensity=intensity,
                 adversarial_fraction=adversarial_fraction,
@@ -331,18 +417,24 @@ def run_adequacy_campaign(
                 worker_timeout=worker_timeout,
                 worker_retries=worker_retries,
                 worker_fault=worker_fault,
+                indices=missing,
             )
-        else:
+        elif missing:
             backend = as_engine(engine, client)
-            outcomes = [
+            fresh = [
                 adequacy_run(
                     client, wcet, analysis, horizon, runs, index,
                     seed_root=seed, intensity=intensity,
                     adversarial_fraction=adversarial_fraction, engine=backend,
                 )
-                for index in range(runs)
+                for index in missing
             ]
-        report = merge_outcomes(analysis, outcomes)
+        if store is not None and keys is not None:
+            from repro.cache import outcome_payload
+
+            for outcome in fresh:
+                store.put(keys[outcome.run_index], outcome_payload(outcome))
+        report = merge_outcomes(analysis, cached_outcomes + fresh)
         report.shard_failures = shard_failures
     obs.inc("campaign.runs_completed", report.runs)
     report.elapsed_seconds = sp.elapsed_seconds

@@ -424,6 +424,7 @@ def run_campaign_parallel(
     worker_timeout: float | None = None,
     worker_retries: int = 1,
     worker_fault: WorkerFault | None = None,
+    indices: Sequence[int] | None = None,
 ) -> tuple[list[RunOutcome], tuple[ShardFailure, ...]]:
     """Execute ``runs`` adequacy runs across ``jobs`` workers.
 
@@ -434,11 +435,16 @@ def run_campaign_parallel(
     budget (see :func:`pool_map_chunks`).  Falls back to serial
     in-process execution (no failures possible) when ``jobs <= 1``, the
     campaign is trivially small, or the platform lacks fork.
+
+    ``indices`` restricts execution to a subset of the run-index space
+    (incremental campaigns: the cache answered the rest); ``runs`` stays
+    the *full* campaign size because it determines each run's
+    adversarial/uniform split.  Default: all of ``range(runs)``.
     """
     engine_name = resolve_engine_name(
         engine if isinstance(engine, str) else engine.name
     )
-    indices = list(range(runs))
+    indices = list(range(runs)) if indices is None else list(indices)
     chunks = split_chunks(indices, jobs)
     outcomes: list[RunOutcome] | None = None
     failures: tuple[ShardFailure, ...] = ()

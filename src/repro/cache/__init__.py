@@ -1,0 +1,83 @@
+"""Persistent content-addressed result cache (see ``docs/caching.md``).
+
+Splits into three layers:
+
+* :mod:`repro.cache.fingerprint` — stable content hashes of analysis
+  inputs (workload, engine + capability version, config, schema
+  version); whatever cannot be hashed raises
+  :class:`~repro.cache.fingerprint.UnfingerprintableError` and runs
+  uncached — notably fault-wrapped engines, by construction.
+* :mod:`repro.cache.store` — the on-disk JSONL store with atomic
+  appends, corruption tolerance (garbage ⇒ miss, never a crash) and
+  size-bounded LRU eviction.
+* :mod:`repro.cache.cached` — wrappers over the expensive result
+  boundaries (``rta.npfp.analyse``, campaign run outcomes, bounded
+  model checks) that serialize to / rebuild from payloads.
+
+The campaign runners (:mod:`repro.analysis.adequacy`) accept a store and
+recompute only the runs the cache cannot answer — incremental campaigns.
+"""
+
+from repro.cache.cached import (
+    analysis_from_payload,
+    analysis_payload,
+    cached_analyse,
+    cached_explore,
+    exploration_from_payload,
+    exploration_payload,
+    outcome_from_payload,
+    outcome_payload,
+)
+from repro.cache.fingerprint import (
+    ENGINE_CAPABILITY_VERSIONS,
+    SCHEMA_VERSION,
+    UnfingerprintableError,
+    analysis_key,
+    campaign_run_key,
+    canonical_json,
+    client_descriptor,
+    curve_descriptor,
+    engine_descriptor,
+    exploration_key,
+    fingerprint,
+    wcet_descriptor,
+)
+from repro.cache.store import (
+    DEFAULT_MAX_BYTES,
+    ENV_CACHE_DIR,
+    ENV_CACHE_MAX_BYTES,
+    ResultStore,
+    StoreStats,
+    default_cache_dir,
+    default_store,
+)
+
+__all__ = [
+    "ENGINE_CAPABILITY_VERSIONS",
+    "SCHEMA_VERSION",
+    "DEFAULT_MAX_BYTES",
+    "ENV_CACHE_DIR",
+    "ENV_CACHE_MAX_BYTES",
+    "ResultStore",
+    "StoreStats",
+    "UnfingerprintableError",
+    "analysis_from_payload",
+    "analysis_key",
+    "analysis_payload",
+    "cached_analyse",
+    "cached_explore",
+    "campaign_run_key",
+    "canonical_json",
+    "client_descriptor",
+    "curve_descriptor",
+    "default_cache_dir",
+    "default_store",
+    "engine_descriptor",
+    "exploration_from_payload",
+    "exploration_key",
+    "exploration_payload",
+    "fingerprint",
+    "outcome_from_payload",
+    "outcome_payload",
+    "wcet_descriptor",
+]

@@ -1,0 +1,243 @@
+"""Cache-aware wrappers over the expensive result boundaries.
+
+Each wrapper follows the same discipline:
+
+* try to *fingerprint* the inputs — if they are unfingerprintable
+  (fault-wrapped engine, ad-hoc curve), run cold; the cache is a pure
+  optimization and never a requirement;
+* on a hit, rebuild the result object from the stored payload; a payload
+  that does not parse (schema drift, hand-edited file) is discarded and
+  recomputed — wrong shape degrades to a miss, never to a crash;
+* on a miss, compute, then store the payload.
+
+Payloads carry only the parts a recomputation cannot rederive cheaply:
+for an RTA result that is the per-task aRSA solutions (the busy-window
+fixpoint search), while the jitter bound and the (lazy) supply bound
+function are rebuilt from the inputs — they are cheap and hold
+unpicklable structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.cache.fingerprint import UnfingerprintableError, analysis_key
+from repro.cache.store import ResultStore
+from repro.rossl.client import RosslClient
+from repro.rta.arsa import ArsaResult
+from repro.rta.curves import ArrivalCurve, memoized_curve, release_curve
+from repro.rta.jitter import jitter_bound
+from repro.rta.npfp import AnalysisResult, TaskBound, analyse
+from repro.rta.sbf import make_sbf
+from repro.timing.wcet import WcetModel
+
+
+# -- rta.npfp.analyse --------------------------------------------------------
+
+
+def analysis_payload(result: AnalysisResult) -> dict:
+    """The cacheable portion of an analysis result: per-task aRSA data."""
+    tasks: dict[str, Any] = {}
+    for name, bound in result.bounds.items():
+        if bound.arsa is None:
+            tasks[name] = None
+        else:
+            arsa = bound.arsa
+            tasks[name] = {
+                "blocking": arsa.blocking,
+                "busy_window": arsa.busy_window,
+                "response_bound": arsa.response_bound,
+                "offsets": [list(step) for step in arsa.offsets],
+            }
+    return {"tasks": tasks}
+
+
+def analysis_from_payload(
+    client: RosslClient, wcet: WcetModel, payload: Any
+) -> AnalysisResult | None:
+    """Rebuild an :class:`AnalysisResult`, or ``None`` if the payload is
+    malformed (callers then recompute — a stale/garbled entry is a miss)."""
+    tasks = client.tasks
+    try:
+        stored = payload["tasks"]
+        if set(stored) != {task.name for task in tasks}:
+            return None
+        jitter = jitter_bound(wcet, client.num_sockets)
+        release_curves: dict[str, ArrivalCurve] = {
+            task.name: memoized_curve(
+                release_curve(tasks.arrival_curve(task.name), jitter.bound)
+            )
+            for task in tasks
+        }
+        sbf = make_sbf(tasks.tasks, release_curves, wcet, client.num_sockets)
+        bounds: dict[str, TaskBound] = {}
+        for task in tasks:
+            entry = stored[task.name]
+            if entry is None:
+                bounds[task.name] = TaskBound(task, None)
+                continue
+            arsa = ArsaResult(
+                task=task,
+                blocking=int(entry["blocking"]),
+                busy_window=int(entry["busy_window"]),
+                response_bound=int(entry["response_bound"]),
+                offsets=tuple(
+                    (int(a), int(s), int(r)) for a, s, r in entry["offsets"]
+                ),
+            )
+            bounds[task.name] = TaskBound(task, arsa)
+    except (KeyError, TypeError, ValueError):
+        return None
+    return AnalysisResult(
+        tasks=tasks,
+        wcet=wcet,
+        num_sockets=client.num_sockets,
+        jitter=jitter,
+        sbf=sbf,
+        bounds=bounds,
+    )
+
+
+def cached_analyse(
+    client: RosslClient,
+    wcet: WcetModel,
+    horizon: int = 1_000_000,
+    store: ResultStore | None = None,
+) -> AnalysisResult:
+    """:func:`repro.rta.npfp.analyse` through the persistent cache."""
+    if store is None:
+        return analyse(client, wcet, horizon)
+    try:
+        key = analysis_key(client, wcet, horizon)
+    except UnfingerprintableError:
+        return analyse(client, wcet, horizon)
+    payload = store.get(key)
+    if payload is not None:
+        result = analysis_from_payload(client, wcet, payload)
+        if result is not None:
+            return result
+    result = analyse(client, wcet, horizon)
+    store.put(key, analysis_payload(result))
+    return result
+
+
+# -- campaign run outcomes ---------------------------------------------------
+
+
+def outcome_payload(outcome) -> dict:
+    """JSON form of a :class:`repro.analysis.adequacy.RunOutcome`."""
+    return {
+        "run_index": outcome.run_index,
+        "jobs_checked": outcome.jobs_checked,
+        "jobs_beyond_horizon": outcome.jobs_beyond_horizon,
+        "observed_worst": [[name, worst] for name, worst in outcome.observed_worst],
+        "violations": [
+            [v.task, v.arrival, v.bound, v.completion]
+            for v in outcome.violations
+        ],
+    }
+
+
+def outcome_from_payload(payload: Any):
+    """Rebuild a ``RunOutcome``, or ``None`` on a malformed payload."""
+    from repro.analysis.adequacy import BoundViolation, RunOutcome
+
+    try:
+        return RunOutcome(
+            run_index=int(payload["run_index"]),
+            jobs_checked=int(payload["jobs_checked"]),
+            jobs_beyond_horizon=int(payload["jobs_beyond_horizon"]),
+            observed_worst=tuple(
+                (str(name), int(worst))
+                for name, worst in payload["observed_worst"]
+            ),
+            violations=tuple(
+                BoundViolation(
+                    task=str(task),
+                    arrival=int(arrival),
+                    bound=int(bound),
+                    completion=None if completion is None else int(completion),
+                )
+                for task, arrival, bound, completion in payload["violations"]
+            ),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+# -- verification explorations -----------------------------------------------
+
+
+def exploration_payload(report) -> dict:
+    """JSON form of a :class:`~repro.verification.model_check.ExplorationReport`.
+
+    Violation scripts and trace prefixes are dropped: the CLI reports
+    kind and detail, and a cached *failing* exploration is rare enough
+    that re-running it cold (to recover the trace) is the right answer.
+    """
+    return {
+        "scripts_explored": report.scripts_explored,
+        "markers_observed": report.markers_observed,
+        "max_trace_length": report.max_trace_length,
+        "violations": [[v.kind, v.detail] for v in report.violations],
+    }
+
+
+def exploration_from_payload(payload: Any):
+    """Rebuild an ``ExplorationReport``, or ``None`` when malformed."""
+    from repro.verification.model_check import ExplorationReport, Violation
+
+    try:
+        return ExplorationReport(
+            scripts_explored=int(payload["scripts_explored"]),
+            markers_observed=int(payload["markers_observed"]),
+            max_trace_length=int(payload["max_trace_length"]),
+            violations=[
+                Violation(
+                    script=(),
+                    kind=str(kind),
+                    detail=str(detail),
+                    trace_prefix=(),
+                )
+                for kind, detail in payload["violations"]
+            ],
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def cached_explore(
+    client: RosslClient,
+    payloads: Sequence[Sequence[int]],
+    max_reads: int,
+    implementation: str,
+    jobs: int,
+    store: ResultStore | None,
+):
+    """Bounded model check through the persistent cache."""
+    from repro.cache.fingerprint import exploration_key
+    from repro.verification.model_check import explore
+
+    if store is None:
+        return explore(
+            client, payloads, max_reads=max_reads,
+            implementation=implementation, jobs=jobs,
+        )
+    try:
+        key = exploration_key(client, payloads, max_reads, implementation)
+    except UnfingerprintableError:
+        return explore(
+            client, payloads, max_reads=max_reads,
+            implementation=implementation, jobs=jobs,
+        )
+    stored = store.get(key)
+    if stored is not None:
+        report = exploration_from_payload(stored)
+        if report is not None:
+            return report
+    report = explore(
+        client, payloads, max_reads=max_reads,
+        implementation=implementation, jobs=jobs,
+    )
+    store.put(key, exploration_payload(report))
+    return report

@@ -1,0 +1,286 @@
+"""Content-addressed fingerprints of analysis/simulation inputs.
+
+A fingerprint is the SHA-256 of a *canonical* JSON encoding of
+everything a result depends on: the workload/task-set descriptor, the
+engine id plus its capability version, the analysis configuration, and
+the cache schema version.  Canonicalization makes the hash insensitive
+to dict ordering and to equal-but-not-identical specs (two
+``SporadicCurve(200)`` instances, a task list built in a different
+order) while any *semantic* change — a WCET, a priority, a curve
+parameter, the horizon, the engine — flips it.
+
+What cannot be fingerprinted must not be cached:
+:class:`UnfingerprintableError` is raised for ad-hoc curves (lambdas in
+tests), unregistered engines, and — by construction — fault-wrapped
+engines (:class:`repro.faults.inject.FaultyEngine` is not a registry
+engine class and carries a non-registry name), so an injected defect
+can never be masked by a cached clean result.  Callers treat the error
+as "run cold"; the safety rail is that the faulty artifact can never be
+*keyed*, hence never stored or retrieved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Mapping, Sequence
+
+from repro.engine import SchedulerEngine, resolve_engine_name
+from repro.engine.engines import MiniCInterpEngine, PythonModelEngine, VmEngine
+from repro.model.task import Task
+from repro.rossl.client import RosslClient
+from repro.rta.curves import (
+    ArrivalCurve,
+    LeakyBucketCurve,
+    MemoCurve,
+    ShiftedCurve,
+    SporadicCurve,
+    TableCurve,
+)
+from repro.timing.wcet import WcetModel
+
+#: Bump when the *meaning* of any cached payload or key changes — old
+#: entries then simply stop matching (a miss, never a wrong answer).
+SCHEMA_VERSION = 1
+
+#: Per-engine capability versions.  Bump an entry when that engine's
+#: observable semantics change (a trace it emits differs for some
+#: input); every cached result produced through it is then invalidated.
+#: Engines registered by extensions are absent on purpose: the cache
+#: does not know when their semantics change, so they are
+#: unfingerprintable until listed here.
+ENGINE_CAPABILITY_VERSIONS: dict[str, int] = {
+    "python": 1,
+    "interp": 1,
+    "vm": 1,
+    "vm-opt": 1,
+}
+
+#: The exact engine classes the registry builds for each canonical name.
+#: An engine *instance* is fingerprintable only if its concrete type is
+#: one of these — wrappers (fault-injected engines, ad-hoc test doubles)
+#: fail the check no matter what ``name`` they advertise.
+_PRISTINE_ENGINE_TYPES = (PythonModelEngine, MiniCInterpEngine, VmEngine)
+
+
+class UnfingerprintableError(TypeError):
+    """The object has no stable content fingerprint; run uncached."""
+
+
+def _canonical(value: Any) -> Any:
+    """Normalize ``value`` into a JSON-able form with a unique encoding."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise UnfingerprintableError("non-finite float in fingerprint input")
+        return value
+    if isinstance(value, Mapping):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise UnfingerprintableError(
+                    f"mapping keys must be strings, got {type(key).__name__}"
+                )
+            out[key] = _canonical(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    raise UnfingerprintableError(
+        f"cannot fingerprint a {type(value).__name__}"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON encoding hashing is defined over."""
+    return json.dumps(
+        _canonical(value), sort_keys=True, separators=(",", ":"),
+        ensure_ascii=True, allow_nan=False,
+    )
+
+
+def fingerprint(value: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+# -- domain descriptors ------------------------------------------------------
+
+
+def curve_descriptor(curve: ArrivalCurve) -> dict:
+    """A structural descriptor of a shipped curve type.
+
+    Mirrors the spec-file curve format (:mod:`repro.config`) so a curve
+    parsed from JSON and one constructed in code hash identically.
+    """
+    if isinstance(curve, MemoCurve):
+        return curve_descriptor(curve.base)
+    if isinstance(curve, SporadicCurve):
+        return {"kind": "sporadic", "min_separation": curve.min_separation}
+    if isinstance(curve, LeakyBucketCurve):
+        return {
+            "kind": "leaky-bucket",
+            "burst": curve.burst,
+            "rate_separation": curve.rate_separation,
+        }
+    if isinstance(curve, TableCurve):
+        return {
+            "kind": "table",
+            "steps": [[window, count] for window, count in curve.steps],
+            "tail_separation": curve.tail_separation,
+        }
+    if isinstance(curve, ShiftedCurve):
+        return {
+            "kind": "shifted",
+            "shift": curve.shift,
+            "base": curve_descriptor(curve.base),
+        }
+    raise UnfingerprintableError(
+        f"curve type {type(curve).__name__} has no stable descriptor"
+    )
+
+
+def task_descriptor(task: Task, curve: ArrivalCurve | None) -> dict:
+    return {
+        "name": task.name,
+        "priority": task.priority,
+        "wcet": task.wcet,
+        "type_tag": task.type_tag,
+        "deadline": task.deadline,
+        "curve": None if curve is None else curve_descriptor(curve),
+    }
+
+
+def client_descriptor(client: RosslClient) -> dict:
+    """The full workload descriptor of a deployment's client.
+
+    Task order is part of the descriptor on purpose: ``TaskSystem``
+    iteration order feeds report row order, so two clients listing the
+    same tasks in different orders produce different (byte-level)
+    reports and must not share cache entries.
+    """
+    tasks = []
+    for task in client.tasks:
+        try:
+            curve: ArrivalCurve | None = client.tasks.arrival_curve(task.name)
+        except KeyError:
+            curve = None
+        tasks.append(task_descriptor(task, curve))
+    return {
+        "policy": client.policy,
+        "sockets": list(client.sockets),
+        "tasks": tasks,
+    }
+
+
+def wcet_descriptor(wcet: WcetModel) -> dict:
+    return {
+        "failed_read": wcet.failed_read,
+        "success_read": wcet.success_read,
+        "selection": wcet.selection,
+        "dispatch": wcet.dispatch,
+        "completion": wcet.completion,
+        "idling": wcet.idling,
+    }
+
+
+def engine_descriptor(engine: str | SchedulerEngine) -> dict:
+    """Engine id + capability version, or :class:`UnfingerprintableError`.
+
+    Accepts a registry name (including aliases) or a built engine
+    instance.  Instances are fingerprintable only when their concrete
+    type is one of the pristine registry engine classes *and* their name
+    resolves in the registry — a fault-wrapped engine
+    (``"python+heap_corruption"``, a non-registry class) fails both
+    tests, so faulty results are uncacheable by construction.
+    """
+    if isinstance(engine, str):
+        try:
+            name = resolve_engine_name(engine)
+        except ValueError as exc:
+            raise UnfingerprintableError(str(exc)) from exc
+    else:
+        if type(engine) not in _PRISTINE_ENGINE_TYPES:
+            raise UnfingerprintableError(
+                f"engine {getattr(engine, 'name', engine)!r} is not a "
+                "pristine registry engine (wrapped or custom engines are "
+                "unfingerprintable by construction)"
+            )
+        try:
+            name = resolve_engine_name(engine.name)
+        except ValueError as exc:
+            raise UnfingerprintableError(str(exc)) from exc
+    version = ENGINE_CAPABILITY_VERSIONS.get(name)
+    if version is None:
+        raise UnfingerprintableError(
+            f"engine {name!r} has no declared capability version; "
+            "extension engines are uncacheable until versioned"
+        )
+    return {"engine": name, "capability_version": version}
+
+
+# -- cache keys --------------------------------------------------------------
+
+
+def analysis_key(client: RosslClient, wcet: WcetModel, horizon: int) -> str:
+    """Key of one :func:`repro.rta.npfp.analyse` result."""
+    return fingerprint({
+        "kind": "rta.analyse",
+        "schema": SCHEMA_VERSION,
+        "client": client_descriptor(client),
+        "wcet": wcet_descriptor(wcet),
+        "horizon": horizon,
+    })
+
+
+def campaign_run_key(
+    client: RosslClient,
+    wcet: WcetModel,
+    engine: str | SchedulerEngine,
+    *,
+    horizon: int,
+    runs: int,
+    seed_root: int,
+    intensity: float,
+    adversarial_fraction: float,
+    analysis_horizon: int,
+    index: int,
+) -> str:
+    """Key of one adequacy-campaign run outcome.
+
+    Everything :func:`repro.analysis.adequacy.adequacy_run` reads is in
+    the key — including ``runs`` (it sets the adversarial cutoff) and
+    ``analysis_horizon`` (it determines the bounds checked against).
+    """
+    return fingerprint({
+        "kind": "campaign.run",
+        "schema": SCHEMA_VERSION,
+        "client": client_descriptor(client),
+        "wcet": wcet_descriptor(wcet),
+        "engine": engine_descriptor(engine),
+        "horizon": horizon,
+        "runs": runs,
+        "seed_root": seed_root,
+        "intensity": intensity,
+        "adversarial_fraction": adversarial_fraction,
+        "analysis_horizon": analysis_horizon,
+        "index": index,
+    })
+
+
+def exploration_key(
+    client: RosslClient,
+    payloads: Sequence[Sequence[int]],
+    max_reads: int,
+    engine: str | SchedulerEngine,
+) -> str:
+    """Key of one bounded-model-check exploration report."""
+    return fingerprint({
+        "kind": "verify.explore",
+        "schema": SCHEMA_VERSION,
+        "client": client_descriptor(client),
+        "payloads": [list(p) for p in payloads],
+        "max_reads": max_reads,
+        "engine": engine_descriptor(engine),
+    })

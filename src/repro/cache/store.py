@@ -1,0 +1,259 @@
+"""On-disk content-addressed result store (JSONL, append-only + compaction).
+
+Layout: a directory holding ``entries.jsonl``; each line is one entry
+
+    {"key": "<sha256 fingerprint>", "sha": "<sha256 of payload JSON>",
+     "payload": ...}
+
+Appends are single ``os.write`` calls on an ``O_APPEND`` descriptor, so
+concurrent writers interleave whole lines on POSIX; compaction (LRU
+eviction when the file exceeds the byte budget) rewrites to a temp file
+in the same directory and ``os.replace``s it — readers always see either
+the old or the new file, never a partial one.
+
+Corruption tolerance is absolute: a torn tail, a garbage line, a payload
+whose checksum does not match — each is skipped (counted in
+``stats().corrupt``) and simply reads as a miss.  I/O errors on write
+degrade to "did not cache"; the store never raises out of :meth:`get` /
+:meth:`put`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro import obs
+
+ENTRIES_NAME = "entries.jsonl"
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: Environment overrides honoured by :func:`default_store`.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
+
+
+def _payload_sha(payload: Any) -> str:
+    encoded = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def _encode_entry(key: str, payload: Any) -> bytes:
+    line = json.dumps(
+        {"key": key, "sha": _payload_sha(payload), "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+    )
+    return (line + "\n").encode("utf-8")
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """A point-in-time snapshot of one store's state and session counters."""
+
+    path: str
+    entries: int
+    bytes: int
+    max_bytes: int
+    hits: int
+    misses: int
+    evictions: int
+    corrupt: int
+
+
+class ResultStore:
+    """Size-bounded LRU key→payload store persisted as JSONL.
+
+    Payloads must be JSON-serializable; keys are fingerprint hex digests
+    (any string works).  All filesystem failures degrade gracefully: an
+    unreadable file is an empty store, an unwritable one just stops
+    persisting.
+    """
+
+    def __init__(self, path: Path | str, max_bytes: int = DEFAULT_MAX_BYTES):
+        self.directory = Path(path)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.corrupt = 0
+        self._entries: OrderedDict[str, Any] | None = None  # key -> payload
+        self._sizes: dict[str, int] = {}  # key -> encoded size of live entry
+        self._file_bytes = 0
+        self._torn_tail = False
+
+    @property
+    def entries_path(self) -> Path:
+        return self.directory / ENTRIES_NAME
+
+    # -- loading -------------------------------------------------------------
+
+    def _load(self) -> OrderedDict[str, Any]:
+        if self._entries is not None:
+            return self._entries
+        entries: OrderedDict[str, Any] = OrderedDict()
+        sizes: dict[str, int] = {}
+        raw = b""
+        try:
+            raw = self.entries_path.read_bytes()
+        except OSError:
+            pass
+        self._file_bytes = len(raw)
+        self._torn_tail = bool(raw) and not raw.endswith(b"\n")
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                key = record["key"]
+                payload = record["payload"]
+                if not isinstance(key, str) or record["sha"] != _payload_sha(payload):
+                    raise ValueError("checksum mismatch")
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                self.corrupt += 1
+                continue
+            # Later duplicates win and refresh recency (append-only log:
+            # the newest line for a key is the current value).
+            entries.pop(key, None)
+            entries[key] = payload
+            sizes[key] = len(line) + 1
+        self._entries = entries
+        self._sizes = sizes
+        return entries
+
+    # -- core API ------------------------------------------------------------
+
+    def get(self, key: str) -> Any | None:
+        """The payload stored under ``key``, or ``None`` (a miss)."""
+        entries = self._load()
+        if key in entries:
+            entries.move_to_end(key)
+            self.hits += 1
+            obs.inc("cache.hits")
+            return entries[key]
+        self.misses += 1
+        obs.inc("cache.misses")
+        return None
+
+    def put(self, key: str, payload: Any) -> None:
+        """Store ``payload`` under ``key`` (JSON-serializable only)."""
+        entries = self._load()
+        encoded = _encode_entry(key, payload)
+        entries.pop(key, None)
+        entries[key] = payload
+        self._sizes[key] = len(encoded)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd = os.open(
+                self.entries_path,
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+            try:
+                if self._torn_tail:
+                    # Seal a torn tail left by a crashed writer so our
+                    # entry starts on a fresh line.
+                    encoded = b"\n" + encoded
+                    self._torn_tail = False
+                os.write(fd, encoded)
+            finally:
+                os.close(fd)
+            self._file_bytes += len(encoded)
+        except OSError:
+            return  # degrade: result stays usable in-process only
+        if self._file_bytes > self.max_bytes:
+            self._compact()
+        if obs.enabled():
+            obs.gauge("cache.bytes", self._file_bytes)
+
+    def _compact(self, budget: int | None = None) -> None:
+        """Rewrite live entries, evicting least-recently-used to fit."""
+        entries = self._load()
+        budget = self.max_bytes if budget is None else budget
+        live_bytes = sum(self._sizes[key] for key in entries)
+        while entries and live_bytes > budget:
+            key, _ = entries.popitem(last=False)
+            live_bytes -= self._sizes.pop(key)
+            self.evictions += 1
+            obs.inc("cache.evictions")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self.entries_path.with_name(
+                f".{ENTRIES_NAME}.{os.getpid()}.tmp"
+            )
+            with open(tmp, "wb") as handle:
+                for key, payload in entries.items():
+                    handle.write(_encode_entry(key, payload))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.entries_path)
+            self._file_bytes = live_bytes
+            self._torn_tail = False
+        except OSError:
+            pass
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        entries = self._load()
+        dropped = len(entries)
+        entries.clear()
+        self._sizes.clear()
+        try:
+            self.entries_path.unlink(missing_ok=True)
+        except OSError:
+            pass
+        self._file_bytes = 0
+        self._torn_tail = False
+        return dropped
+
+    def gc(self, max_bytes: int | None = None) -> int:
+        """Compact the log down to ``max_bytes`` (default: the store's
+        budget), evicting LRU entries as needed; returns evictions."""
+        before = self.evictions
+        self._compact(self.max_bytes if max_bytes is None else max_bytes)
+        if obs.enabled():
+            obs.gauge("cache.bytes", self._file_bytes)
+        return self.evictions - before
+
+    def stats(self) -> StoreStats:
+        entries = self._load()
+        return StoreStats(
+            path=str(self.directory),
+            entries=len(entries),
+            bytes=self._file_bytes,
+            max_bytes=self.max_bytes,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            corrupt=self.corrupt,
+        )
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def default_store() -> ResultStore:
+    """The store the CLI uses, honouring the environment overrides."""
+    max_bytes = DEFAULT_MAX_BYTES
+    raw = os.environ.get(ENV_CACHE_MAX_BYTES)
+    if raw:
+        try:
+            max_bytes = int(raw)
+        except ValueError:
+            pass
+    return ResultStore(default_cache_dir(), max_bytes=max_bytes)

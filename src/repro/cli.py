@@ -21,7 +21,10 @@ Commands:
 * ``faults``   — deterministic fault injection (docs/faults.md):
   ``faults run`` injects a seeded fault plan and reports the detection
   rate (exit 0 only at 100% on a clean baseline); ``faults report``
-  re-renders a saved JSON report.
+  re-renders a saved JSON report;
+* ``cache``    — persistent result cache maintenance (docs/caching.md):
+  ``stats``, ``clear`` (``--memo`` also resets the in-process step
+  cache), ``gc``.
 
 ``simulate`` and ``verify`` also take ``--inject PLAN.json``:
 ``simulate`` arms worker faults in the process pool (the campaign
@@ -39,6 +42,13 @@ to stderr; results stay on stdout.
 ``--metrics-out PATH`` (JSONL metrics) and ``--trace-out PATH``
 (Chrome trace-event JSON); recording is observational only and never
 changes a result.
+
+``analyze``, ``simulate``, and ``verify`` accept ``--cache`` (answer
+from / populate the persistent result cache, docs/caching.md) and
+``--no-cache`` (the explicit default).  Cached results are
+byte-identical to cold ones on stdout; cache notes go to stderr.  A
+``--inject`` plan bypasses the cache entirely.  ``repro cache
+stats|clear|gc`` maintains the store.
 
 All commands read the deployment from a JSON spec (see
 :mod:`repro.config` for the format).
@@ -72,6 +82,36 @@ def _jobs_count(text: str) -> int:
     return value
 
 
+def _cache_store(args: argparse.Namespace):
+    """The persistent result store selected by ``--cache``, or ``None``.
+
+    Safety rail: any ``--inject`` fault plan bypasses the cache entirely
+    (with a stderr note) — a cached clean result must never mask an
+    injected defect, and a defective run must never poison the store.
+    """
+    if not getattr(args, "cache", False):
+        return None
+    if getattr(args, "inject", None) is not None:
+        print(
+            "cache: bypassed (--inject present; fault injection never "
+            "reads or writes the cache)",
+            file=sys.stderr,
+        )
+        return None
+    from repro.cache import default_store
+
+    return default_store()
+
+
+def _cache_note(store) -> None:
+    """Hit/miss note on stderr — stdout stays byte-identical."""
+    print(
+        f"cache: {store.hits} hit(s), {store.misses} miss(es) "
+        f"[{store.stats().path}]",
+        file=sys.stderr,
+    )
+
+
 def _lint_gate(deployment: Deployment, args: argparse.Namespace):
     """Run the static analyzer over the generated scheduler when
     ``--lint`` was given.  Returns the report, or ``None`` when linting
@@ -103,7 +143,14 @@ def _cmd_analyze(deployment: Deployment, args: argparse.Namespace) -> int:
         if result.failing_window is not None:
             print(f"demand exceeds supply at window length {result.failing_window}")
         return 0 if result.schedulable else 1
-    analysis = analyse(client, wcet, horizon=args.horizon)
+    store = _cache_store(args)
+    if store is not None:
+        from repro.cache import cached_analyse
+
+        analysis = cached_analyse(client, wcet, args.horizon, store)
+        _cache_note(store)
+    else:
+        analysis = analyse(client, wcet, horizon=args.horizon)
     rows = analysis.rows()
     print(f"policy: NPFP; jitter bound J = {analysis.jitter.bound}")
     print(format_table(
@@ -152,6 +199,7 @@ def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
             from repro.faults.campaign import HANG_PROBE_TIMEOUT
 
             worker_timeout = HANG_PROBE_TIMEOUT
+    store = _cache_store(args)
     report = run_adequacy_campaign(
         client,
         wcet,
@@ -163,7 +211,10 @@ def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
         jobs=args.jobs,
         worker_timeout=worker_timeout,
         worker_fault=worker_fault,
+        cache=store,
     )
+    if store is not None:
+        _cache_note(store)
     if lint_report is not None:
         from repro.lang.analysis import bound_warnings
 
@@ -173,6 +224,14 @@ def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
     print(report.table())
     if report.elapsed_seconds is not None:
         print(format_elapsed(report.elapsed_seconds), file=sys.stderr)
+    report_out = getattr(args, "report_out", None)
+    if report_out:
+        import json
+
+        with open(report_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote campaign report to {report_out}", file=sys.stderr)
     code = 0 if report.ok else 1
     if artifact_specs:
         # Artifact faults corrupt run products, not the live campaign:
@@ -248,13 +307,27 @@ def _cmd_verify(deployment: Deployment, args: argparse.Namespace) -> int:
             client, payloads, max_reads=args.depth, engine=engine
         )
     else:
-        report = explore(
-            client,
-            payloads,
-            max_reads=args.depth,
-            implementation=args.engine or args.semantics,
-            jobs=args.jobs,
-        )
+        store = _cache_store(args)
+        if store is not None:
+            from repro.cache import cached_explore
+
+            report = cached_explore(
+                client,
+                payloads,
+                max_reads=args.depth,
+                implementation=args.engine or args.semantics,
+                jobs=args.jobs,
+                store=store,
+            )
+            _cache_note(store)
+        else:
+            report = explore(
+                client,
+                payloads,
+                max_reads=args.depth,
+                implementation=args.engine or args.semantics,
+                jobs=args.jobs,
+            )
     print(report.summary())
     for violation in report.violations[:5]:
         print(f"  [{violation.kind}] {violation.detail}")
@@ -427,6 +500,53 @@ def _cmd_faults_report(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Persistent-cache maintenance: ``repro cache stats|clear|gc``."""
+    from repro.cache import default_store
+
+    store = default_store()
+    if args.cache_command == "stats":
+        stats = store.stats()
+        print(f"cache directory: {stats.path}")
+        print(f"entries: {stats.entries}")
+        print(f"bytes: {stats.bytes} (budget {stats.max_bytes})")
+        if stats.corrupt:
+            print(f"corrupt entries skipped: {stats.corrupt}")
+        return 0
+    if args.cache_command == "clear":
+        dropped = store.clear()
+        print(f"dropped {dropped} cached entr{'y' if dropped == 1 else 'ies'}")
+        if args.memo:
+            from repro.rta.curves import memo_cache_clear
+
+            memo_cache_clear()
+            print("reset the in-process memo cache")
+        return 0
+    if args.cache_command == "gc":
+        evicted = store.gc(args.max_bytes)
+        stats = store.stats()
+        print(
+            f"evicted {evicted} entr{'y' if evicted == 1 else 'ies'}; "
+            f"{stats.entries} left, {stats.bytes} bytes on disk"
+        )
+        return 0
+    raise AssertionError(f"unknown cache command {args.cache_command!r}")
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """``--cache``/``--no-cache`` shared by analyze, simulate, verify."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--cache", action="store_true",
+        help="answer from / populate the persistent result cache "
+        "(docs/caching.md); results are byte-identical to cold runs",
+    )
+    group.add_argument(
+        "--no-cache", dest="no_cache", action="store_true",
+        help="run without the persistent cache (the default, spelled out)",
+    )
+
+
 def _add_lint_flags(parser: argparse.ArgumentParser) -> None:
     """``--lint``/``--Werror`` shared by analyze and simulate."""
     parser.add_argument(
@@ -469,6 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--horizon", type=int, default=1_000_000)
     _add_lint_flags(analyze)
     _add_obs_flags(analyze)
+    _add_cache_flags(analyze)
     analyze.set_defaults(handler=_cmd_analyze)
 
     simulate = sub.add_parser("simulate", help="timed simulation campaign")
@@ -491,8 +612,13 @@ def build_parser() -> argparse.ArgumentParser:
         "in the process pool; artifact faults are injected into a "
         "baseline run and their detection reported on stderr",
     )
+    simulate.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="also write the campaign report as deterministic JSON to PATH",
+    )
     _add_lint_flags(simulate)
     _add_obs_flags(simulate)
+    _add_cache_flags(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     verify = sub.add_parser("verify", help="bounded model check of the C code")
@@ -516,6 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace_state_desync): model-check the wrapped engine",
     )
     _add_obs_flags(verify)
+    _add_cache_flags(verify)
     verify.set_defaults(handler=_cmd_verify)
 
     profile = sub.add_parser(
@@ -619,6 +746,28 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="REPORT.json written by 'faults run --report-out'"
     )
     freport.set_defaults(handler=_cmd_faults_report, needs_spec=False)
+
+    cache = sub.add_parser(
+        "cache", help="persistent result cache maintenance (docs/caching.md)"
+    )
+    csub = cache.add_subparsers(dest="cache_command", required=True)
+    cstats = csub.add_parser("stats", help="show cache location and size")
+    cstats.set_defaults(handler=_cmd_cache, needs_spec=False)
+    cclear = csub.add_parser("clear", help="drop every cached entry")
+    cclear.add_argument(
+        "--memo", action="store_true",
+        help="also reset the in-process MemoCurve step cache",
+    )
+    cclear.set_defaults(handler=_cmd_cache, needs_spec=False)
+    cgc = csub.add_parser(
+        "gc", help="compact the store, evicting LRU entries to fit the budget"
+    )
+    cgc.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="target size in bytes (default: the store's budget, "
+        "$REPRO_CACHE_MAX_BYTES or 64 MiB)",
+    )
+    cgc.set_defaults(handler=_cmd_cache, needs_spec=False)
 
     wcet = sub.add_parser("wcet", help="static + measured WCETs")
     wcet.add_argument("spec")

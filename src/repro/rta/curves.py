@@ -12,10 +12,12 @@ sequence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from itertools import islice
 from math import ceil
-from typing import Callable, Protocol, Sequence, runtime_checkable
+from typing import Callable, Iterator, NamedTuple, Protocol, Sequence, runtime_checkable
 
 
 @runtime_checkable
@@ -122,13 +124,108 @@ def release_curve(alpha: ArrivalCurve, max_jitter: int) -> ArrivalCurve:
 # -- memoized evaluation ---------------------------------------------------
 #
 # The RTA hot paths (busy-window iteration, SBF extension, ablation
-# sweeps) evaluate the same staircase steps thousands of times.  All
-# shipped curves are frozen dataclasses, i.e. hashable pure functions of
-# their descriptors, so step evaluations can be shared process-wide.
+# sweeps) evaluate the same staircase steps thousands of times — and a
+# diverging busy window (an unschedulable deployment) evaluates
+# *millions* of distinct steps, so the per-evaluation overhead of this
+# layer is what bounds the analysis's worst case.  All shipped curves
+# are frozen dataclasses, i.e. hashable pure functions of their
+# descriptors, so step evaluations can be shared process-wide.
+#
+# The cache is an explicit dict (not ``functools.lru_cache``) for two
+# reasons: it can be reset at campaign/benchmark boundaries
+# (:func:`memo_cache_clear`), and hits/misses can be attributed to the
+# *current* analysis via :func:`memo_accounting` without double-counting
+# when analyses nest.  To keep evaluations at C-dict speed, the hot path
+# avoids structural hashing entirely: each distinct curve descriptor is
+# assigned a small integer token once, the cache key is ``token | delta``
+# (both ints), and accounting never touches the hot path — brackets
+# snapshot the process totals and settle at exit.
 
-@lru_cache(maxsize=1 << 18)
-def _memoized_value(curve: ArrivalCurve, delta: int) -> int:
-    return curve.base(delta) if isinstance(curve, MemoCurve) else curve(delta)
+_MEMO_MAXSIZE = 1 << 18
+_MEMO_CACHE: dict[int, int] = {}
+#: Process-wide [hits, misses] totals.  Updated under the GIL without a
+#: lock; per-analysis attribution comes from the bracket snapshots below.
+_MEMO_TOTALS = [0, 0]
+_MEMO_ACCOUNTS = threading.local()
+#: Curve descriptor → pre-shifted token.  Keyed structurally (frozen
+#: dataclass equality), so equal-but-distinct descriptors share cache
+#: entries.  Never cleared: a token is an identity, and live
+#: :class:`MemoCurve` instances cache theirs.
+_CURVE_TOKENS: dict[ArrivalCurve, int] = {}
+_TOKEN_SHIFT = 60
+#: Windows at or beyond 2**60 are evaluated uncached — they would
+#: alias other tokens' keys, and no finite analysis reaches them.
+_DELTA_LIMIT = 1 << _TOKEN_SHIFT
+
+
+def _curve_token(curve: ArrivalCurve) -> int:
+    token = _CURVE_TOKENS.get(curve)
+    if token is None:
+        token = _CURVE_TOKENS.setdefault(
+            curve, len(_CURVE_TOKENS) << _TOKEN_SHIFT
+        )
+    return token
+
+
+class MemoCacheInfo(NamedTuple):
+    """Shape-compatible with ``functools``' ``CacheInfo``."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+@dataclass
+class MemoAccount:
+    """Hits/misses of the shared step cache attributed to one bracket.
+
+    The counts are only valid after the bracket exits (they are settled
+    from totals snapshots in the ``finally`` clause).
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+
+@contextmanager
+def memo_accounting() -> Iterator[MemoAccount]:
+    """Attribute step-cache hits/misses to the enclosed computation.
+
+    Each bracket snapshots the process totals on entry and settles on
+    exit: its counts are the totals delta minus whatever brackets nested
+    *inside* it consumed, so every evaluation is credited to exactly one
+    account — the innermost bracket open around it — and the
+    per-analysis counters sum to the process totals instead of
+    double-counting when analyses nest (baseline comparisons) or run
+    back to back.  Brackets stack per thread; attribution is exact for
+    the single-threaded analyses this repo runs (cross-process
+    parallelism never shares the cache).
+    """
+    stack = getattr(_MEMO_ACCOUNTS, "stack", None)
+    if stack is None:
+        stack = _MEMO_ACCOUNTS.stack = []
+    account = MemoAccount()
+    # [start_hits, start_misses, child_hits, child_misses]
+    frame = [_MEMO_TOTALS[0], _MEMO_TOTALS[1], 0, 0]
+    stack.append((account, frame))
+    try:
+        yield account
+    finally:
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] is account:
+                del stack[index]
+                break
+        # max(0, ...) guards a memo_cache_clear() inside the bracket
+        # (it zeroes the totals, making the raw delta meaningless).
+        raw_hits = max(0, _MEMO_TOTALS[0] - frame[0])
+        raw_misses = max(0, _MEMO_TOTALS[1] - frame[1])
+        account.hits = max(0, raw_hits - frame[2])
+        account.misses = max(0, raw_misses - frame[3])
+        if stack:
+            parent = stack[-1][1]
+            parent[2] += raw_hits
+            parent[3] += raw_misses
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,21 +238,64 @@ class MemoCurve:
     """
 
     base: ArrivalCurve
+    _token: int = field(default=-1, init=False, compare=False, repr=False)
 
     def __call__(self, delta: int) -> int:
-        return _memoized_value(self, delta)
+        if delta <= 0:
+            return 0  # every staircase satisfies α(Δ) = 0 for Δ ≤ 0
+        if delta >= _DELTA_LIMIT:
+            return self.base(delta)
+        token = self._token
+        if token < 0:
+            token = _curve_token(self.base)
+            object.__setattr__(self, "_token", token)
+        key = token | delta
+        cache = _MEMO_CACHE
+        value = cache.get(key)
+        if value is None:
+            value = self.base(delta)
+            if len(cache) >= _MEMO_MAXSIZE:
+                # Bulk-evict the oldest half (insertion order) in one
+                # sweep.  One-at-a-time eviction of the front key is
+                # quadratic on CPython — each ``next(iter(cache))``
+                # re-walks the tombstones earlier deletions left.
+                for stale in list(islice(cache, _MEMO_MAXSIZE >> 1)):
+                    del cache[stale]
+            cache[key] = value
+            _MEMO_TOTALS[1] += 1
+        else:
+            _MEMO_TOTALS[0] += 1
+        return value
 
 
-def memo_cache_info():
+def memo_cache_info() -> MemoCacheInfo:
     """Hit/miss statistics of the shared step cache.
 
-    Returns the ``functools`` ``CacheInfo`` of the process-wide
-    :class:`MemoCurve` evaluation cache — the observability layer
-    records deltas of this around each analysis
-    (:func:`repro.rta.npfp.analyse`), exposing the cache as the
+    Process-wide totals of the :class:`MemoCurve` evaluation cache; the
+    observability layer exposes per-analysis attributions (via
+    :func:`memo_accounting` in :func:`repro.rta.npfp.analyse`) as the
     ``rta.memo_curve.hits`` / ``rta.memo_curve.misses`` counters.
     """
-    return _memoized_value.cache_info()
+    return MemoCacheInfo(
+        hits=_MEMO_TOTALS[0],
+        misses=_MEMO_TOTALS[1],
+        maxsize=_MEMO_MAXSIZE,
+        currsize=len(_MEMO_CACHE),
+    )
+
+
+def memo_cache_clear() -> None:
+    """Reset the shared step cache (entries and hit/miss totals).
+
+    Campaign and benchmark boundaries call this so warm-cache state left
+    by earlier in-process work cannot make timing measurements
+    order-dependent; results never change (memoization is transparent).
+    A :func:`memo_accounting` bracket open across a clear settles to at
+    most the evaluations it saw after the clear.
+    """
+    _MEMO_CACHE.clear()
+    _MEMO_TOTALS[0] = 0
+    _MEMO_TOTALS[1] = 0
 
 
 def memoized_curve(curve: ArrivalCurve) -> ArrivalCurve:

@@ -23,7 +23,7 @@ from repro.rossl.client import RosslClient
 from repro.rta.arsa import ArsaResult, solve_response_time
 from repro.rta.curves import (
     ArrivalCurve,
-    memo_cache_info,
+    memo_accounting,
     memoized_curve,
     release_curve,
 )
@@ -97,8 +97,13 @@ def analyse(
     tasks = client.tasks
     if not tasks.has_curves:
         raise ValueError("every task needs an arrival curve for the analysis")
-    cache_before = memo_cache_info() if obs.enabled() else None
-    with obs.span("rta.analyse", tasks=len(tasks.tasks), horizon=horizon):
+    # Per-analysis step-cache accounting: the account sees exactly this
+    # analysis's evaluations (thread-local, innermost-bracket), so
+    # nested or interleaved analyses in one process never double-count
+    # the rta.memo_curve.* counters.
+    with obs.span(
+        "rta.analyse", tasks=len(tasks.tasks), horizon=horizon
+    ), memo_accounting() as memo_account:
         jitter = jitter_bound(wcet, client.num_sockets)
         # Memoized release curves: busy-window iteration, SBF extension,
         # and repeat analyses of the same deployment share step
@@ -119,13 +124,10 @@ def analyse(
             )
             for task in tasks
         }
-    if cache_before is not None:
-        cache_after = memo_cache_info()
+    if obs.enabled():
         obs.inc("rta.analyses")
-        obs.inc("rta.memo_curve.hits", cache_after.hits - cache_before.hits)
-        obs.inc(
-            "rta.memo_curve.misses", cache_after.misses - cache_before.misses
-        )
+        obs.inc("rta.memo_curve.hits", memo_account.hits)
+        obs.inc("rta.memo_curve.misses", memo_account.misses)
         obs.gauge("rta.sbf.extended_to", sbf.extended_to)
     return AnalysisResult(
         tasks=tasks,

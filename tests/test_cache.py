@@ -1,0 +1,554 @@
+"""Tests for the persistent result cache (repro.cache).
+
+Covers the three layers — fingerprints, the on-disk store, and the
+cached result boundaries — plus the campaign integration (warm reruns
+byte-identical to cold, incremental recomputation), the fault-injection
+bypass rails, the memo-cache accounting fix, and the CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.analysis.adequacy import run_adequacy_campaign
+from repro.analysis.parallel import WorkerFault
+from repro.cache import (
+    ResultStore,
+    UnfingerprintableError,
+    analysis_key,
+    cached_analyse,
+    campaign_run_key,
+    client_descriptor,
+    engine_descriptor,
+    fingerprint,
+    outcome_from_payload,
+    outcome_payload,
+)
+from repro.cache.store import ENTRIES_NAME
+from repro.cli import main
+from repro.engine import create_engine
+from repro.faults.inject import heap_corruption_engine
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.curves import (
+    LeakyBucketCurve,
+    SporadicCurve,
+    memo_accounting,
+    memo_cache_clear,
+    memo_cache_info,
+)
+from repro.rta.npfp import analyse
+from repro.timing.wcet import WcetModel
+
+WCET = WcetModel(2, 2, 1, 1, 1, 1)
+
+
+def make_client(min_separation: int = 300) -> RosslClient:
+    tasks = TaskSystem(
+        [
+            Task(name="a", priority=2, wcet=10, type_tag=1),
+            Task(name="b", priority=1, wcet=20, type_tag=2),
+        ],
+        arrival_curves={
+            "a": SporadicCurve(min_separation),
+            "b": LeakyBucketCurve(2, 500),
+        },
+    )
+    return RosslClient.make(tasks, sockets=[0])
+
+
+SPEC = {
+    "policy": "npfp",
+    "sockets": [0],
+    "wcet": {
+        "failed_read": 2, "success_read": 2, "selection": 1,
+        "dispatch": 1, "completion": 1, "idling": 1,
+    },
+    "tasks": [
+        {
+            "name": "a", "priority": 2, "wcet": 10, "type_tag": 1,
+            "curve": {"kind": "sporadic", "min_separation": 300},
+        },
+        {
+            "name": "b", "priority": 1, "wcet": 20, "type_tag": 2,
+            "curve": {"kind": "leaky-bucket", "burst": 2,
+                      "rate_separation": 500},
+        },
+    ],
+}
+
+
+@pytest.fixture
+def spec_path(tmp_path: Path) -> str:
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC))
+    return str(path)
+
+
+@pytest.fixture
+def cache_env(tmp_path: Path, monkeypatch) -> Path:
+    cache_dir = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    return cache_dir
+
+
+class TestFingerprint:
+    def test_dict_order_insensitive(self):
+        assert fingerprint({"a": 1, "b": [2, {"x": 3, "y": 4}]}) == fingerprint(
+            {"b": [2, {"y": 4, "x": 3}], "a": 1}
+        )
+
+    def test_equal_but_distinct_specs_hash_identically(self):
+        assert fingerprint(client_descriptor(make_client())) == fingerprint(
+            client_descriptor(make_client())
+        )
+
+    def test_semantic_change_flips_hash(self):
+        assert fingerprint(client_descriptor(make_client(300))) != fingerprint(
+            client_descriptor(make_client(301))
+        )
+
+    def test_analysis_key_depends_on_horizon(self):
+        client = make_client()
+        assert analysis_key(client, WCET, 1_000) != analysis_key(
+            client, WCET, 2_000
+        )
+
+    def test_campaign_key_depends_on_index_and_seed(self):
+        client = make_client()
+
+        def key(**overrides):
+            params = dict(
+                horizon=1_000, runs=4, seed_root=0, intensity=1.0,
+                adversarial_fraction=0.5, analysis_horizon=10_000, index=0,
+            )
+            params.update(overrides)
+            return campaign_run_key(client, WCET, "python", **params)
+
+        assert key() == key()
+        assert key(index=1) != key()
+        assert key(seed_root=7) != key()
+        assert key(runs=8) != key()
+
+    def test_engine_aliases_canonicalize(self):
+        assert engine_descriptor("minic") == engine_descriptor("interp")
+        assert engine_descriptor("reference") == engine_descriptor("python")
+
+    def test_engine_instance_fingerprints_like_its_name(self):
+        client = make_client()
+        assert engine_descriptor(
+            create_engine("python", client)
+        ) == engine_descriptor("python")
+
+    def test_fault_wrapped_engine_unfingerprintable(self):
+        client = make_client()
+        faulty = heap_corruption_engine(create_engine("python", client))
+        with pytest.raises(UnfingerprintableError):
+            engine_descriptor(faulty)
+
+    def test_unknown_engine_name_unfingerprintable(self):
+        with pytest.raises(UnfingerprintableError):
+            engine_descriptor("python+heap_corruption")
+
+    def test_adhoc_curve_unfingerprintable(self):
+        tasks = TaskSystem(
+            [Task(name="a", priority=1, wcet=5, type_tag=1)],
+            arrival_curves={"a": lambda delta: delta},
+        )
+        client = RosslClient.make(tasks, sockets=[0])
+        with pytest.raises(UnfingerprintableError):
+            client_descriptor(client)
+
+    def test_non_json_value_unfingerprintable(self):
+        with pytest.raises(UnfingerprintableError):
+            fingerprint({"x": object()})
+        with pytest.raises(UnfingerprintableError):
+            fingerprint(float("nan"))
+
+
+class TestStore:
+    def test_roundtrip_and_persistence(self, tmp_path: Path):
+        store = ResultStore(tmp_path / "c")
+        assert store.get("k") is None
+        store.put("k", {"v": 1})
+        assert store.get("k") == {"v": 1}
+        # A fresh instance over the same directory reads it back.
+        again = ResultStore(tmp_path / "c")
+        assert again.get("k") == {"v": 1}
+        assert again.stats().entries == 1
+
+    def test_last_write_wins(self, tmp_path: Path):
+        store = ResultStore(tmp_path / "c")
+        store.put("k", 1)
+        store.put("k", 2)
+        assert ResultStore(tmp_path / "c").get("k") == 2
+
+    def test_garbage_line_is_skipped(self, tmp_path: Path):
+        store = ResultStore(tmp_path / "c")
+        store.put("good", [1, 2])
+        path = tmp_path / "c" / ENTRIES_NAME
+        with open(path, "ab") as handle:
+            handle.write(b"{not json at all\n")
+        again = ResultStore(tmp_path / "c")
+        assert again.get("good") == [1, 2]
+        assert again.stats().corrupt == 1
+
+    def test_torn_tail_is_a_miss_then_sealed(self, tmp_path: Path):
+        store = ResultStore(tmp_path / "c")
+        store.put("a", 1)
+        store.put("b", 2)
+        path = tmp_path / "c" / ENTRIES_NAME
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])  # tear the last entry mid-line
+        again = ResultStore(tmp_path / "c")
+        assert again.get("a") == 1
+        assert again.get("b") is None
+        again.put("b", 3)  # append must seal the torn tail first
+        final = ResultStore(tmp_path / "c")
+        assert final.get("a") == 1
+        assert final.get("b") == 3
+
+    def test_checksum_mismatch_is_a_miss(self, tmp_path: Path):
+        store = ResultStore(tmp_path / "c")
+        store.put("k", {"v": 1})
+        path = tmp_path / "c" / ENTRIES_NAME
+        text = path.read_text().replace('"v":1', '"v":9')
+        path.write_text(text)
+        again = ResultStore(tmp_path / "c")
+        assert again.get("k") is None
+        assert again.stats().corrupt == 1
+
+    def test_lru_eviction_under_byte_budget(self, tmp_path: Path):
+        store = ResultStore(tmp_path / "c", max_bytes=600)
+        for i in range(10):
+            store.put(f"k{i}", "x" * 50)
+        assert store.evictions > 0
+        stats = store.stats()
+        assert stats.bytes <= 600
+        # The most recent key survives eviction.
+        assert store.get("k9") == "x" * 50
+        # Everything the store still holds is readable from disk.
+        again = ResultStore(tmp_path / "c", max_bytes=600)
+        assert again.stats().entries == stats.entries
+
+    def test_get_refreshes_recency(self, tmp_path: Path):
+        store = ResultStore(tmp_path / "c", max_bytes=10_000)
+        store.put("old", "x" * 50)
+        store.put("mid", "x" * 50)
+        assert store.get("old") == "x" * 50  # refresh: 'mid' is now LRU
+        store.gc(max_bytes=150)
+        assert store.get("old") is not None
+        assert store.get("mid") is None
+
+    def test_clear_and_gc(self, tmp_path: Path):
+        store = ResultStore(tmp_path / "c")
+        store.put("k", 1)
+        assert store.clear() == 1
+        assert store.get("k") is None
+        assert not (tmp_path / "c" / ENTRIES_NAME).exists()
+        assert store.gc() == 0
+
+    def test_unwritable_directory_degrades(self, tmp_path: Path):
+        blocker = tmp_path / "file"
+        blocker.write_text("in the way")
+        store = ResultStore(blocker / "cache")  # parent is a file: ENOTDIR
+        store.put("k", 1)  # must not raise
+        assert store.get("k") == 1  # still usable in-process
+        assert ResultStore(blocker / "cache").get("k") is None
+
+
+class TestCachedAnalyse:
+    def test_hit_equals_cold(self, tmp_path: Path):
+        client = make_client()
+        store = ResultStore(tmp_path / "c")
+        cold = cached_analyse(client, WCET, 10_000, store)
+        warm = cached_analyse(client, WCET, 10_000, ResultStore(tmp_path / "c"))
+        plain = analyse(client, WCET, 10_000)
+        assert cold.rows() == warm.rows() == plain.rows()
+        assert warm.jitter == plain.jitter
+        assert warm.schedulable == plain.schedulable
+        for name in ("a", "b"):
+            assert warm.bounds[name].arsa == plain.bounds[name].arsa
+
+    def test_no_store_is_plain_analyse(self):
+        client = make_client()
+        assert cached_analyse(client, WCET, 10_000, None).rows() == analyse(
+            client, WCET, 10_000
+        ).rows()
+
+    def test_malformed_payload_recomputes(self, tmp_path: Path):
+        client = make_client()
+        store = ResultStore(tmp_path / "c")
+        key = analysis_key(client, WCET, 10_000)
+        store.put(key, {"tasks": {"a": {"nonsense": True}}})
+        result = cached_analyse(client, WCET, 10_000, store)
+        assert result.rows() == analyse(client, WCET, 10_000).rows()
+
+    def test_outcome_payload_roundtrip(self, tmp_path: Path):
+        client = make_client()
+        report = run_adequacy_campaign(
+            client, WCET, horizon=5_000, runs=2, seed=1,
+            cache=ResultStore(tmp_path / "c"),
+        )
+        assert report.runs == 2
+        # Round-trip an outcome payload through JSON explicitly.
+        from repro.analysis.adequacy import BoundViolation, RunOutcome
+
+        outcome = RunOutcome(
+            run_index=3, jobs_checked=5, jobs_beyond_horizon=1,
+            observed_worst=(("a", 42),),
+            violations=(BoundViolation("a", 10, 20, None),),
+        )
+        payload = json.loads(json.dumps(outcome_payload(outcome)))
+        assert outcome_from_payload(payload) == outcome
+        assert outcome_from_payload({"run_index": "zero"}) is None
+
+
+class TestCampaignIntegration:
+    def test_warm_campaign_identical_and_all_hits(self, tmp_path: Path):
+        client = make_client()
+        kwargs = dict(horizon=5_000, runs=4, seed=3)
+        cold_store = ResultStore(tmp_path / "c")
+        cold = run_adequacy_campaign(client, WCET, cache=cold_store, **kwargs)
+        warm_store = ResultStore(tmp_path / "c")
+        warm = run_adequacy_campaign(client, WCET, cache=warm_store, **kwargs)
+        none = run_adequacy_campaign(client, WCET, **kwargs)
+        assert cold.table() == warm.table() == none.table()
+        assert cold.to_json() == warm.to_json() == none.to_json()
+        assert warm_store.hits == 4 + 1  # every run plus the analysis
+        assert warm_store.misses == 0
+        assert cold_store.misses == 4 + 1
+
+    def test_incremental_recompute_only_missing_runs(self, tmp_path: Path):
+        client = make_client()
+        store = ResultStore(tmp_path / "c")
+        run_adequacy_campaign(
+            client, WCET, horizon=5_000, runs=3, seed=3, cache=store
+        )
+        # Growing the campaign re-keys every run (runs is in the key:
+        # it sets the adversarial split), so nothing is reused...
+        grown_store = ResultStore(tmp_path / "c")
+        grown = run_adequacy_campaign(
+            client, WCET, horizon=5_000, runs=5, seed=3, cache=grown_store
+        )
+        assert grown.runs == 5
+        assert grown_store.hits == 1  # ...except the analysis itself
+        # ...but re-running the grown campaign is fully incremental.
+        rerun_store = ResultStore(tmp_path / "c")
+        rerun = run_adequacy_campaign(
+            client, WCET, horizon=5_000, runs=5, seed=3, cache=rerun_store
+        )
+        assert rerun_store.hits == 5 + 1
+        assert rerun_store.misses == 0
+        assert rerun.table() == grown.table()
+
+    def test_parallel_warm_campaign_identical(self, tmp_path: Path):
+        client = make_client()
+        kwargs = dict(horizon=5_000, runs=6, seed=3, jobs=2)
+        cold = run_adequacy_campaign(
+            client, WCET, cache=ResultStore(tmp_path / "c"), **kwargs
+        )
+        warm_store = ResultStore(tmp_path / "c")
+        warm = run_adequacy_campaign(client, WCET, cache=warm_store, **kwargs)
+        serial = run_adequacy_campaign(
+            client, WCET, horizon=5_000, runs=6, seed=3, jobs=1
+        )
+        assert cold.table() == warm.table() == serial.table()
+        assert warm_store.misses == 0
+
+    def test_worker_fault_bypasses_cache(self, tmp_path: Path):
+        client = make_client()
+        store = ResultStore(tmp_path / "c")
+        report = run_adequacy_campaign(
+            client, WCET, horizon=5_000, runs=8, seed=3, jobs=2,
+            worker_timeout=5.0, worker_retries=0,
+            worker_fault=WorkerFault(kind="crash", chunk_index=0, times=9),
+            cache=store,
+        )
+        # The faulted campaign never touched the store.
+        assert store.hits == 0 and store.misses == 0
+        assert store.stats().entries == 0
+        assert report.degraded
+
+    def test_faulty_engine_disables_caching(self, tmp_path: Path):
+        client = make_client()
+        store = ResultStore(tmp_path / "c")
+        faulty = heap_corruption_engine(create_engine("python", client))
+        # The engine is unfingerprintable, so no run outcome may be
+        # stored or read — the analysis (engine-independent) still may.
+        run_adequacy_campaign(
+            client, WCET, horizon=5_000, runs=2, seed=3, engine=faulty,
+            cache=store,
+        )
+        assert all(
+            json.loads(line)["payload"].get("tasks") is not None
+            for line in (tmp_path / "c" / ENTRIES_NAME).read_text().splitlines()
+        )
+
+    def test_memo_cache_cleared_at_campaign_boundary(self):
+        client = make_client()
+        analyse(client, WCET, 10_000)  # warm the step cache
+        assert memo_cache_info().currsize > 0
+        run_adequacy_campaign(client, WCET, horizon=2_000, runs=1, seed=0)
+        # The boundary reset: totals restarted from zero for this campaign.
+        info = memo_cache_info()
+        assert info.hits + info.misses > 0
+
+
+class TestMemoAccounting:
+    def test_two_analyses_sum_exactly(self):
+        """The regression for the double-count bug: each analysis's
+        attributed counters (what ``analyse`` reports to obs) must sum
+        exactly to the process totals."""
+        client = make_client()
+        memo_cache_clear()
+        obs.reset()
+        obs.enable()
+        try:
+            analyse(client, WCET, 10_000)
+            first = dict(obs.snapshot().counters)
+            analyse(client, WCET, 10_000)
+            both = dict(obs.snapshot().counters)
+        finally:
+            obs.disable()
+            obs.reset()
+        second_hits = both["rta.memo_curve.hits"] - first["rta.memo_curve.hits"]
+        second_misses = (
+            both["rta.memo_curve.misses"] - first["rta.memo_curve.misses"]
+        )
+        total = memo_cache_info()
+        assert both["rta.memo_curve.hits"] == total.hits
+        assert both["rta.memo_curve.misses"] == total.misses
+        # The second analysis of the same deployment reuses the first's
+        # step evaluations: all hits, no misses — the old global-delta
+        # bracketing credited it with the first analysis's misses too.
+        assert second_misses == 0
+        assert second_hits > 0
+        assert first["rta.memo_curve.misses"] > 0
+
+    def test_nested_accounting_attributes_to_innermost(self):
+        from repro.rta.curves import memoized_curve
+
+        curve = memoized_curve(SporadicCurve(7919))
+        memo_cache_clear()
+        with memo_accounting() as outer:
+            curve(10)  # miss: credited to outer (the only open account)
+            with memo_accounting() as inner:
+                curve(10)  # hit: credited to inner ONLY, never both
+        assert (outer.hits, outer.misses) == (0, 1)
+        assert (inner.hits, inner.misses) == (1, 0)
+        total = memo_cache_info()
+        assert outer.hits + inner.hits == total.hits
+        assert outer.misses + inner.misses == total.misses
+
+    def test_analysis_inside_user_bracket_not_double_counted(self):
+        client = make_client()
+        memo_cache_clear()
+        with memo_accounting() as outer:
+            analyse(client, WCET, 10_000)
+        # ``analyse`` opens its own (innermost) account, so the outer
+        # bracket sees none of the analysis's evaluations — summing the
+        # per-analysis counters with any enclosing bracket stays exact.
+        assert (outer.hits, outer.misses) == (0, 0)
+
+    def test_obs_counters_sum_exactly_over_two_analyses(self):
+        client = make_client()
+        memo_cache_clear()
+        obs.reset()
+        obs.enable()
+        try:
+            analyse(client, WCET, 10_000)
+            analyse(client, WCET, 10_000)
+            counters = dict(obs.snapshot().counters)
+        finally:
+            obs.disable()
+            obs.reset()
+        total = memo_cache_info()
+        assert counters["rta.memo_curve.hits"] == total.hits
+        assert counters["rta.memo_curve.misses"] == total.misses
+
+    def test_memo_cache_clear_resets(self):
+        client = make_client()
+        analyse(client, WCET, 10_000)
+        memo_cache_clear()
+        info = memo_cache_info()
+        assert info.hits == 0 and info.misses == 0 and info.currsize == 0
+
+
+class TestCacheCli:
+    def test_analyze_cache_stdout_identical(self, spec_path, cache_env, capsys):
+        assert main(["analyze", spec_path]) == 0
+        plain = capsys.readouterr().out
+        assert main(["analyze", spec_path, "--cache"]) == 0
+        cold = capsys.readouterr()
+        assert main(["analyze", spec_path, "--cache"]) == 0
+        warm = capsys.readouterr()
+        assert plain == cold.out == warm.out
+        assert "1 miss(es)" in cold.err
+        assert "1 hit(s)" in warm.err
+
+    def test_no_cache_is_a_noop(self, spec_path, cache_env, capsys):
+        assert main(["simulate", spec_path, "--runs", "2",
+                     "--horizon", "5000"]) == 0
+        default = capsys.readouterr().out
+        assert main(["simulate", spec_path, "--runs", "2",
+                     "--horizon", "5000", "--no-cache"]) == 0
+        explicit = capsys.readouterr().out
+        assert default == explicit
+        assert not cache_env.exists()  # --no-cache never writes anything
+
+    def test_cache_flags_mutually_exclusive(self, spec_path):
+        with pytest.raises(SystemExit):
+            main(["analyze", spec_path, "--cache", "--no-cache"])
+
+    def test_simulate_report_out_identical_cold_vs_warm(
+        self, spec_path, cache_env, tmp_path, capsys
+    ):
+        r1, r2 = tmp_path / "r1.json", tmp_path / "r2.json"
+        argv = ["simulate", spec_path, "--runs", "2", "--horizon", "5000",
+                "--cache"]
+        assert main(argv + ["--report-out", str(r1)]) == 0
+        cold_out = capsys.readouterr().out
+        assert main(argv + ["--report-out", str(r2)]) == 0
+        warm_out = capsys.readouterr().out
+        assert cold_out == warm_out
+        assert r1.read_bytes() == r2.read_bytes()
+        assert json.loads(r1.read_text())["runs"] == 2
+
+    def test_verify_cache_stdout_identical(self, spec_path, cache_env, capsys):
+        argv = ["verify", spec_path, "--depth", "2", "--cache"]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert cold.out == warm.out
+        assert "1 hit(s)" in warm.err
+
+    def test_inject_bypasses_cache(self, spec_path, cache_env, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"seed": 0, "faults": []}))
+        assert main(["simulate", spec_path, "--runs", "2", "--horizon",
+                     "5000", "--cache", "--inject", str(plan)]) == 0
+        captured = capsys.readouterr()
+        assert "cache: bypassed" in captured.err
+        assert not cache_env.exists()
+
+    def test_cache_stats_clear_gc(self, spec_path, cache_env, capsys):
+        assert main(["cache", "stats"]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+        assert main(["analyze", spec_path, "--cache"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        assert "entries: 1" in capsys.readouterr().out
+        assert main(["cache", "gc"]) == 0
+        assert "evicted 0" in capsys.readouterr().out
+        assert main(["cache", "clear", "--memo"]) == 0
+        out = capsys.readouterr().out
+        assert "dropped 1 cached entry" in out
+        assert "memo cache" in out
+        assert main(["cache", "stats"]) == 0
+        assert "entries: 0" in capsys.readouterr().out

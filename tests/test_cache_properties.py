@@ -1,0 +1,172 @@
+"""Property tests (hypothesis) for the persistent cache.
+
+Two families, straight from the issue spec:
+
+* **fingerprint stability** — dict insertion-order permutations and
+  equal-but-distinct spec objects hash identically, while any semantic
+  field change flips the hash;
+* **store corruption tolerance** — random truncation or garbage
+  injection anywhere in the entries file makes affected entries a
+  *miss*, never an exception, and never a wrong value.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import (
+    ResultStore,
+    client_descriptor,
+    fingerprint,
+    wcet_descriptor,
+)
+from repro.cache.store import ENTRIES_NAME
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.curves import LeakyBucketCurve, SporadicCurve
+from repro.timing.wcet import WcetModel
+
+# JSON-like values made only of fingerprintable leaves.
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-10**9, 10**9) | st.text(max_size=8),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=6), children, max_size=4),
+    max_leaves=12,
+)
+
+
+def shuffled(value, rng):
+    """A deep copy of ``value`` with every dict's insertion order shuffled."""
+    if isinstance(value, dict):
+        keys = list(value)
+        rng.shuffle(keys)
+        return {k: shuffled(value[k], rng) for k in keys}
+    if isinstance(value, list):
+        return [shuffled(item, rng) for item in value]
+    return value
+
+
+class TestFingerprintProperties:
+    @given(value=json_values, rng=st.randoms(use_true_random=False))
+    def test_dict_order_never_matters(self, value, rng):
+        assert fingerprint(value) == fingerprint(shuffled(value, rng))
+
+    @given(
+        min_separation=st.integers(1, 10_000),
+        burst=st.integers(1, 50),
+        rate=st.integers(1, 10_000),
+        wcet_a=st.integers(1, 100),
+        prio_a=st.integers(1, 100),
+    )
+    def test_equal_but_distinct_clients_hash_identically(
+        self, min_separation, burst, rate, wcet_a, prio_a
+    ):
+        def build():
+            tasks = TaskSystem(
+                [
+                    Task(name="a", priority=prio_a, wcet=wcet_a, type_tag=1),
+                    Task(name="b", priority=prio_a + 1, wcet=7, type_tag=2),
+                ],
+                arrival_curves={
+                    "a": SporadicCurve(min_separation),
+                    "b": LeakyBucketCurve(burst, rate),
+                },
+            )
+            return RosslClient.make(tasks, sockets=[0, 1])
+
+        assert fingerprint(client_descriptor(build())) == fingerprint(
+            client_descriptor(build())
+        )
+
+    @given(
+        base=st.integers(1, 1_000),
+        bump=st.integers(1, 100),
+        field=st.sampled_from(
+            ["min_separation", "wcet", "priority", "socket", "policy"]
+        ),
+    )
+    def test_semantic_change_flips_client_hash(self, base, bump, field):
+        def build(mutated: bool):
+            delta = bump if mutated else 0
+            tasks = TaskSystem(
+                [
+                    Task(
+                        name="a",
+                        priority=10 + (delta if field == "priority" else 0),
+                        wcet=base + (delta if field == "wcet" else 0),
+                        type_tag=1,
+                    )
+                ],
+                arrival_curves={
+                    "a": SporadicCurve(
+                        base + (delta if field == "min_separation" else 0)
+                    )
+                },
+            )
+            sockets = [0, 1 + (delta if field == "socket" else 0)]
+            policy = "edf" if (field == "policy" and mutated) else "npfp"
+            return RosslClient.make(tasks, sockets=sockets, policy=policy)
+
+        assert fingerprint(client_descriptor(build(False))) != fingerprint(
+            client_descriptor(build(True))
+        )
+
+    @given(
+        values=st.lists(st.integers(2, 500), min_size=6, max_size=6),
+        index=st.integers(0, 5),
+        bump=st.integers(1, 50),
+    )
+    def test_semantic_change_flips_wcet_hash(self, values, index, bump):
+        mutated = list(values)
+        mutated[index] += bump
+        assert fingerprint(wcet_descriptor(WcetModel(*values))) != fingerprint(
+            wcet_descriptor(WcetModel(*mutated))
+        )
+
+
+@st.composite
+def corruptions(draw):
+    """An edit to apply to the raw entries file: truncate somewhere, or
+    splice garbage bytes in at a random offset."""
+    kind = draw(st.sampled_from(["truncate", "garbage"]))
+    offset = draw(st.floats(0.0, 1.0))
+    junk = draw(st.binary(min_size=1, max_size=40))
+    return kind, offset, junk
+
+
+class TestStoreCorruptionProperties:
+    @settings(max_examples=40)
+    @given(
+        payloads=st.lists(json_values, min_size=1, max_size=5),
+        corruption=corruptions(),
+    )
+    def test_corruption_is_a_miss_never_a_crash(
+        self, tmp_path_factory: pytest.TempPathFactory, payloads, corruption
+    ):
+        directory = tmp_path_factory.mktemp("cache")
+        store = ResultStore(directory)
+        keys = [f"key-{i}" for i in range(len(payloads))]
+        for key, payload in zip(keys, payloads):
+            store.put(key, payload)
+        path = directory / ENTRIES_NAME
+        raw = path.read_bytes()
+        kind, offset_frac, junk = corruption
+        cut = int(len(raw) * offset_frac)
+        if kind == "truncate":
+            path.write_bytes(raw[:cut])
+        else:
+            path.write_bytes(raw[:cut] + junk + raw[cut:])
+        # Never an exception; every answered key answers correctly.
+        reopened = ResultStore(directory)
+        for key, payload in zip(keys, payloads):
+            value = reopened.get(key)
+            assert value is None or value == payload
+        stats = reopened.stats()
+        assert stats.entries <= len(payloads)
+        # The store stays writable after corruption: a fresh put of a
+        # damaged key must be served on the next load.
+        reopened.put(keys[0], payloads[0])
+        assert ResultStore(directory).get(keys[0]) == payloads[0]
