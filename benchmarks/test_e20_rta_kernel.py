@@ -1,0 +1,124 @@
+"""E20 (engineering): the step-table RTA kernel vs the legacy scans.
+
+A divergent-heavy sweep — three of the eight cells are overloaded, so
+the legacy path's busy-window search extends its supply bound function
+one Δ at a time all the way to the analysis horizon before giving up.
+The kernel compiles every curve to a breakpoint array and builds SBF
+segments in bulk, so the same divergent cells cost O(#breakpoints)
+instead of O(horizon).
+
+Asserts the kernel sweep returns byte-identical analysis rows and
+beats the legacy sweep by >= 5x, then records both wall clocks in
+``BENCH_rta_kernel.json`` at the repo root (checked by
+``check_bench_regression.py``; a missing committed baseline records
+rather than fails).  ``serial_seconds`` is the *legacy* sweep so the
+gate keeps guarding the fallback path's performance too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from conftest import print_experiment
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.curves import LeakyBucketCurve, SporadicCurve, TableCurve
+from repro.rta.npfp import analyse, analyse_batch
+from repro.timing.wcet import WcetModel
+
+SEPARATIONS = (90, 110, 130, 150, 180, 220, 300, 420)
+JOBS = 1
+SEED = 0  # the sweep is deterministic; kept for the gate's config check
+HORIZON = 120_000
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_rta_kernel.json"
+
+WCET = WcetModel(
+    failed_read=6, success_read=9, selection=5, dispatch=4,
+    completion=4, idling=5,
+)
+
+
+def deploy(separation: int) -> tuple[RosslClient, WcetModel]:
+    tasks = TaskSystem(
+        [
+            Task(name="sample", priority=1, wcet=60, type_tag=1),
+            Task(name="radio", priority=2, wcet=45, type_tag=2),
+            Task(name="log", priority=3, wcet=30, type_tag=3),
+        ],
+        {
+            "sample": SporadicCurve(separation),
+            "radio": LeakyBucketCurve(burst=3, rate_separation=2 * separation),
+            "log": TableCurve(
+                steps=((1, 1), (separation, 3)),
+                tail_separation=4 * separation,
+            ),
+        },
+    )
+    return RosslClient.make(tasks, sockets=[0]), WCET
+
+
+def test_kernel_vs_legacy_divergent_sweep(benchmark):
+    cells = [deploy(separation) for separation in SEPARATIONS]
+
+    legacy, legacy_s = benchmark.pedantic(
+        lambda: _timed(lambda: [
+            analyse(client, wcet, HORIZON, kernel=False)
+            for client, wcet in cells
+        ]),
+        rounds=1, iterations=1,
+    )
+    fast, fast_s = _timed(lambda: analyse_batch(cells, HORIZON, kernel=True))
+
+    # Determinism first: the kernel must not change a single byte.
+    assert [a.rows() for a in fast] == [a.rows() for a in legacy]
+    assert [a.jitter for a in fast] == [a.jitter for a in legacy]
+    divergent = sum(1 for a in legacy if not a.schedulable)
+    assert divergent >= 3, (
+        f"workload drifted: expected >=3 divergent cells, got {divergent}"
+    )
+
+    speedup = legacy_s / fast_s if fast_s > 0 else float("inf")
+    record = {
+        "experiment": "E20",
+        "runs": len(SEPARATIONS),
+        "jobs": JOBS,
+        "seed": SEED,
+        "horizon": HORIZON,
+        "cpu_count": os.cpu_count() or 1,
+        # the gate compares "serial_seconds": for E20 that is the
+        # legacy (per-Δ scanning) sweep
+        "serial_seconds": round(legacy_s, 4),
+        "kernel_seconds": round(fast_s, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+        "cells": {
+            "total": len(SEPARATIONS),
+            "divergent": divergent,
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_experiment(
+        "E20 — step-table RTA kernel",
+        f"{len(SEPARATIONS)}-cell sweep ({divergent} divergent, horizon "
+        f"{HORIZON:,}): legacy {legacy_s:.2f}s, kernel {fast_s:.3f}s — "
+        f"{speedup:.1f}x; analysis rows byte-identical; recorded in "
+        f"{RESULT_PATH.name}",
+    )
+
+    # The kernel skips the per-Δ supply scan entirely; even on a noisy
+    # box the divergent cells must clearly beat the legacy path.
+    assert speedup >= 5.0, (
+        f"expected the kernel to beat the legacy path by >=5x, got "
+        f"{speedup:.2f}x (legacy {legacy_s:.3f}s, kernel {fast_s:.3f}s)"
+    )
+
+
+def _timed(thunk):
+    import time
+
+    start = time.perf_counter()
+    result = thunk()
+    return result, time.perf_counter() - start

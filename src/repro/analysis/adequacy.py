@@ -323,6 +323,7 @@ def run_adequacy_campaign(
     worker_retries: int = 1,
     worker_fault=None,
     cache=None,
+    kernel: bool | None = None,
 ) -> TimingCorrectnessReport:
     """Randomized campaign: ``runs`` simulations, all checked.
 
@@ -350,6 +351,10 @@ def run_adequacy_campaign(
     fingerprint layer rejects (e.g. a fault-wrapped one) disables
     caching for the whole campaign — a cached clean result can never
     mask an injected defect.
+
+    ``kernel`` selects the RTA evaluation path (see
+    :func:`repro.rta.npfp.analyse`); reports are byte-identical either
+    way.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
@@ -364,9 +369,11 @@ def run_adequacy_campaign(
         if store is not None:
             from repro.cache import cached_analyse
 
-            analysis = cached_analyse(client, wcet, analysis_horizon, store)
+            analysis = cached_analyse(
+                client, wcet, analysis_horizon, store, kernel=kernel
+            )
         else:
-            analysis = analyse(client, wcet, analysis_horizon)
+            analysis = analyse(client, wcet, analysis_horizon, kernel=kernel)
         if not analysis.schedulable:
             raise ValueError("campaigns need a schedulable system")
         keys: list[str] | None = None

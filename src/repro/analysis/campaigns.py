@@ -85,3 +85,80 @@ def sweep(
     return CampaignResult(
         parameter, metric_names, tuple(rows), elapsed_seconds=sp.elapsed_seconds
     )
+
+
+def analysis_sweep(
+    parameter: str,
+    values: Iterable[P],
+    metrics: Sequence[str],
+    deploy: Callable[[P], tuple],
+    summarize: Callable[[P, object], Sequence[object]],
+    jobs: int = 1,
+    horizon: int = 1_000_000,
+    kernel: bool | None = None,
+) -> CampaignResult:
+    """An RTA sweep: one analysis per parameter value, batched.
+
+    ``deploy(value)`` maps a parameter value to ``(client, wcet)``;
+    ``summarize(value, analysis)`` turns the
+    :class:`~repro.rta.npfp.AnalysisResult` into one cell per metric.
+
+    Serially the cells go through
+    :func:`repro.rta.npfp.analyse_batch`, so compiled step tables and
+    pooled supplies are shared across all cells even when the sweep is
+    wider than the steady-state pool limits.  With ``jobs > 1`` the
+    cells fan out over the process pool; the parent precompiles every
+    cell's tables first (:func:`repro.rta.kernel.precompile_release_tables`)
+    so forked workers inherit a warm table cache.  Rows are identical
+    either way.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    from repro.rta import kernel as step_kernel
+
+    value_list = list(values)
+    deployments = [deploy(value) for value in value_list]
+    use_kernel = step_kernel.kernel_enabled(kernel)
+    if jobs > 1:
+        from repro.analysis.parallel import parallel_sweep
+        from repro.rta.npfp import analyse
+
+        warm_init = None
+        if use_kernel:
+            # Compile every cell's tables in the parent: fork workers
+            # inherit the warm cache, so no worker compiles anything.
+            # The same warm-up doubles as the per-worker initializer
+            # for pools that do not inherit parent memory.
+            def warm_init() -> None:
+                for client, wcet in deployments:
+                    step_kernel.precompile_release_tables(client, wcet)
+
+            warm_init()
+
+        def evaluate(value: P) -> Sequence[object]:
+            client, wcet = deploy(value)
+            return summarize(
+                value, analyse(client, wcet, horizon, kernel=kernel)
+            )
+
+        return parallel_sweep(
+            parameter, value_list, metrics, evaluate, jobs=jobs,
+            warm_init=warm_init,
+        )
+    from repro.rta.npfp import analyse_batch
+
+    metric_names = tuple(metrics)
+    with obs.span("sweep.analysis", parameter=parameter) as sp:
+        analyses = analyse_batch(deployments, horizon, kernel=kernel)
+        rows = []
+        for value, analysis in zip(value_list, analyses):
+            cells = tuple(summarize(value, analysis))
+            if len(cells) != len(metric_names):
+                raise ValueError(
+                    f"summarize returned {len(cells)} cells for "
+                    f"{len(metric_names)} metrics"
+                )
+            rows.append((value, *cells))
+    return CampaignResult(
+        parameter, metric_names, tuple(rows), elapsed_seconds=sp.elapsed_seconds
+    )

@@ -492,9 +492,16 @@ def _init_sweep_worker(
     evaluate: Callable,
     metric_names: tuple[str, ...],
     obs_enabled: bool = False,
+    warm_init: Callable[[], None] | None = None,
 ) -> None:
     init_worker_obs(obs_enabled)
     _WORKER["sweep"] = (evaluate, metric_names)
+    if warm_init is not None:
+        # Per-worker warm-up, once per process instead of once per cell
+        # (e.g. compiling the step tables every cell of an RTA sweep
+        # evaluates — see repro.analysis.campaigns.analysis_sweep).
+        with obs.span("sweep.worker_init", pid=os.getpid()):
+            warm_init()
 
 
 def _sweep_chunk(
@@ -526,6 +533,7 @@ def parallel_sweep(
     worker_timeout: float | None = None,
     worker_retries: int = 1,
     worker_fault: WorkerFault | None = None,
+    warm_init: Callable[[], None] | None = None,
 ) -> CampaignResult:
     """A parameter sweep across a process pool (rows stay in order).
 
@@ -537,6 +545,11 @@ def parallel_sweep(
     budget are re-evaluated serially in the parent — a sweep's rows are
     its whole point, so degradation here means losing the speedup, not
     the rows.
+
+    ``warm_init`` runs once in each worker's initializer before any
+    cell — sweeps whose cells share expensive derived state (compiled
+    step tables, pooled supplies) amortize it per worker instead of
+    paying it per cell.
     """
     from repro.analysis.campaigns import sweep
 
@@ -549,7 +562,7 @@ def parallel_sweep(
                 chunks,
                 _sweep_chunk,
                 initializer=_init_sweep_worker,
-                initargs=(evaluate, metric_names, obs.enabled()),
+                initargs=(evaluate, metric_names, obs.enabled(), warm_init),
                 jobs=jobs,
                 timeout=worker_timeout,
                 retries=worker_retries,

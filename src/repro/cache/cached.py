@@ -103,20 +103,27 @@ def cached_analyse(
     wcet: WcetModel,
     horizon: int = 1_000_000,
     store: ResultStore | None = None,
+    *,
+    kernel: bool | None = None,
 ) -> AnalysisResult:
-    """:func:`repro.rta.npfp.analyse` through the persistent cache."""
+    """:func:`repro.rta.npfp.analyse` through the persistent cache.
+
+    The cache key does not mention the kernel switch: both evaluation
+    paths produce byte-identical results, so entries written with
+    either are valid for both.
+    """
     if store is None:
-        return analyse(client, wcet, horizon)
+        return analyse(client, wcet, horizon, kernel=kernel)
     try:
         key = analysis_key(client, wcet, horizon)
     except UnfingerprintableError:
-        return analyse(client, wcet, horizon)
+        return analyse(client, wcet, horizon, kernel=kernel)
     payload = store.get(key)
     if payload is not None:
         result = analysis_from_payload(client, wcet, payload)
         if result is not None:
             return result
-    result = analyse(client, wcet, horizon)
+    result = analyse(client, wcet, horizon, kernel=kernel)
     store.put(key, analysis_payload(result))
     return result
 

@@ -134,7 +134,9 @@ def _cmd_analyze(deployment: Deployment, args: argparse.Namespace) -> int:
     if client.policy == "edf":
         from repro.edf import edf_analysis
 
-        result = edf_analysis(client, wcet, horizon=args.horizon)
+        result = edf_analysis(
+            client, wcet, horizon=args.horizon, kernel=_kernel_choice(args)
+        )
         print(f"policy: EDF (non-preemptive)")
         print(f"jitter bound J = {result.jitter.bound}")
         print(f"schedulable: {result.schedulable}")
@@ -147,10 +149,14 @@ def _cmd_analyze(deployment: Deployment, args: argparse.Namespace) -> int:
     if store is not None:
         from repro.cache import cached_analyse
 
-        analysis = cached_analyse(client, wcet, args.horizon, store)
+        analysis = cached_analyse(
+            client, wcet, args.horizon, store, kernel=_kernel_choice(args)
+        )
         _cache_note(store)
     else:
-        analysis = analyse(client, wcet, horizon=args.horizon)
+        analysis = analyse(
+            client, wcet, horizon=args.horizon, kernel=_kernel_choice(args)
+        )
     rows = analysis.rows()
     print(f"policy: NPFP; jitter bound J = {analysis.jitter.bound}")
     print(format_table(
@@ -212,6 +218,7 @@ def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
         worker_timeout=worker_timeout,
         worker_fault=worker_fault,
         cache=store,
+        kernel=_kernel_choice(args),
     )
     if store is not None:
         _cache_note(store)
@@ -506,12 +513,34 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
     store = default_store()
     if args.cache_command == "stats":
+        from repro.rta.curves import memo_cache_info, token_table_info
+        from repro.rta.kernel import supply_pool_info, table_cache_info
+        from repro.rta.sbf import sbf_pool_info
+
         stats = store.stats()
         print(f"cache directory: {stats.path}")
         print(f"entries: {stats.entries}")
         print(f"bytes: {stats.bytes} (budget {stats.max_bytes})")
         if stats.corrupt:
             print(f"corrupt entries skipped: {stats.corrupt}")
+        memo = memo_cache_info()
+        print(
+            f"memo cache: {memo.currsize}/{memo.maxsize} entries "
+            f"({memo.hits} hits, {memo.misses} misses)"
+        )
+        tokens = token_table_info()
+        print(
+            f"curve token table: {tokens.size}/{tokens.limit} tokens "
+            f"(epoch {tokens.epoch})"
+        )
+        legacy_pool = sbf_pool_info()
+        kernel_pool = supply_pool_info()
+        print(
+            f"SBF pools: legacy {legacy_pool.size}/{legacy_pool.limit}, "
+            f"kernel {kernel_pool.size}/{kernel_pool.limit}"
+        )
+        tables = table_cache_info()
+        print(f"compiled step tables: {tables.size}/{tables.limit}")
         return 0
     if args.cache_command == "clear":
         dropped = store.clear()
@@ -545,6 +574,26 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache", dest="no_cache", action="store_true",
         help="run without the persistent cache (the default, spelled out)",
     )
+
+
+def _add_kernel_flags(parser: argparse.ArgumentParser) -> None:
+    """``--kernel``/``--no-kernel`` shared by analyze, simulate, profile.
+
+    Both paths produce byte-identical results (docs/rta-kernel.md);
+    ``--no-kernel`` is the escape hatch / differential oracle."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--kernel", dest="kernel", action="store_true", default=None,
+        help="force the step-table RTA kernel (the default path)",
+    )
+    group.add_argument(
+        "--no-kernel", dest="kernel", action="store_false",
+        help="use the legacy call-per-step RTA path (differential oracle)",
+    )
+
+
+def _kernel_choice(args: argparse.Namespace) -> bool | None:
+    return getattr(args, "kernel", None)
 
 
 def _add_lint_flags(parser: argparse.ArgumentParser) -> None:
@@ -590,6 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_lint_flags(analyze)
     _add_obs_flags(analyze)
     _add_cache_flags(analyze)
+    _add_kernel_flags(analyze)
     analyze.set_defaults(handler=_cmd_analyze)
 
     simulate = sub.add_parser("simulate", help="timed simulation campaign")
@@ -619,6 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_lint_flags(simulate)
     _add_obs_flags(simulate)
     _add_cache_flags(simulate)
+    _add_kernel_flags(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     verify = sub.add_parser("verify", help="bounded model check of the C code")
@@ -676,6 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (≥ 1); worker metrics merge into the profile",
     )
     _add_obs_flags(profile)
+    _add_kernel_flags(profile)
     profile.set_defaults(handler=_cmd_profile)
 
     source = sub.add_parser("source", help="print the generated MiniC")

@@ -25,9 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.rossl.client import RosslClient
+from repro.rta import kernel as step_kernel
 from repro.rta.curves import ArrivalCurve, memoized_curve, release_curve
 from repro.rta.jitter import JitterBounds, jitter_bound
-from repro.rta.sbf import SupplyBoundFunction, make_sbf
+from repro.rta.sbf import make_sbf
 from repro.timing.wcet import WcetModel
 
 
@@ -48,10 +49,16 @@ def edf_analysis(
     client: RosslClient,
     wcet: WcetModel,
     horizon: int = 200_000,
+    *,
+    kernel: bool | None = None,
 ) -> EdfAnalysis:
     """Run the demand-bound schedulability test.
 
     Every task must carry an arrival curve and a relative deadline.
+    ``kernel`` selects the step-table kernel (``None``: process
+    default); both paths return identical analyses — the kernel checks
+    only the window lengths where demand or blocking can change, which
+    provably include the first failing window (see docs/rta-kernel.md).
     """
     tasks = client.tasks
     if not tasks.has_curves:
@@ -76,7 +83,19 @@ def edf_analysis(
         betas[task.name] = memoized_curve(
             release_curve(tasks.arrival_curve(task.name), jitter.bound)
         )
-    sbf = make_sbf(tasks.tasks, betas, wcet, client.num_sockets)
+    tables = (
+        step_kernel.compile_release_tables(tasks.tasks, betas)
+        if step_kernel.kernel_enabled(kernel)
+        else None
+    )
+    if tables is not None:
+        sbf = step_kernel.shared_supply(
+            tuple(tables[task.name] for task in tasks), wcet, client.num_sockets
+        )
+        curve_of = {name: table.value for name, table in tables.items()}
+    else:
+        sbf = make_sbf(tasks.tasks, betas, wcet, client.num_sockets)
+        curve_of = betas
 
     # Busy bound: least L with all released work + blocking ≤ supply.
     max_blocking = max(0, max(t.wcet for t in tasks) - 1)
@@ -84,7 +103,7 @@ def edf_analysis(
     length = 1
     while length <= horizon:
         demand = max_blocking + sum(
-            betas[t.name](length) * t.wcet for t in tasks
+            curve_of[t.name](length) * t.wcet for t in tasks
         )
         if demand <= sbf(length):
             busy_bound = length
@@ -99,13 +118,23 @@ def edf_analysis(
     # Demand-bound check over every window length up to the busy bound.
     # Windows shorter than the earliest effective deadline carry no due
     # work (h(Δ) = 0), so no job can miss within them — the classic
-    # criterion starts at Δ = D_min.
-    for delta in range(min(effective.values()), busy_bound + 1):
+    # criterion starts at Δ = D_min.  The kernel reduces the scan to
+    # the window lengths where demand or blocking can change: between
+    # two such candidates the left side of the check is constant while
+    # SBF is non-decreasing, so the first failing window (if any) is
+    # always a candidate.
+    if tables is not None:
+        windows_to_check = step_kernel.edf_candidate_windows(
+            tables, effective, tasks.tasks, busy_bound
+        )
+    else:
+        windows_to_check = range(min(effective.values()), busy_bound + 1)
+    for delta in windows_to_check:
         demand = 0
         for task in tasks:
             window = delta - effective[task.name] + 1
             if window > 0:
-                demand += betas[task.name](window) * task.wcet
+                demand += curve_of[task.name](window) * task.wcet
         if demand == 0:
             continue
         blocking = max(
@@ -118,10 +147,14 @@ def edf_analysis(
 
 
 def edf_schedulable(
-    client: RosslClient, wcet: WcetModel, horizon: int = 200_000
+    client: RosslClient,
+    wcet: WcetModel,
+    horizon: int = 200_000,
+    *,
+    kernel: bool | None = None,
 ) -> bool:
     """Boolean form of :func:`edf_analysis`."""
-    return edf_analysis(client, wcet, horizon).schedulable
+    return edf_analysis(client, wcet, horizon, kernel=kernel).schedulable
 
 
 @dataclass

@@ -68,11 +68,15 @@ class LeakyBucketCurve:
         return self.burst + (delta - 1) // self.rate_separation
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TableCurve:
     """An explicit staircase: ``steps[k] = (window, count)`` means the
     curve jumps to ``count`` at window length ``window``; beyond the
-    table it continues with ``tail_separation`` between extra jobs."""
+    table it continues with ``tail_separation`` between extra jobs.
+
+    Steps must be strictly increasing in *both* coordinates: a step
+    that repeats the previous count is not a jump (it would make the
+    table ambiguous about where the staircase actually steps)."""
 
     steps: tuple[tuple[int, int], ...]
     tail_separation: int
@@ -80,7 +84,7 @@ class TableCurve:
     def __post_init__(self) -> None:
         previous_window, previous_count = 0, 0
         for window, count in self.steps:
-            if window <= previous_window or count < previous_count:
+            if window <= previous_window or count <= previous_count:
                 raise ValueError("table steps must be strictly increasing")
             previous_window, previous_count = window, count
         if self.tail_separation <= 0:
@@ -92,12 +96,13 @@ class TableCurve:
         result = 0
         last_window = 0
         for window, count in self.steps:
-            if delta >= window:
-                result = count
-                last_window = window
-            else:
-                return result
-        return result + (delta - last_window) // self.tail_separation
+            if delta < window:
+                break
+            result = count
+            last_window = window
+        else:
+            return result + (delta - last_window) // self.tail_separation
+        return result
 
 
 @dataclass(frozen=True, slots=True)
@@ -149,9 +154,15 @@ _MEMO_TOTALS = [0, 0]
 _MEMO_ACCOUNTS = threading.local()
 #: Curve descriptor → pre-shifted token.  Keyed structurally (frozen
 #: dataclass equality), so equal-but-distinct descriptors share cache
-#: entries.  Never cleared: a token is an identity, and live
-#: :class:`MemoCurve` instances cache theirs.
+#: entries.  Bounded: a long-lived process (the future ``repro serve``)
+#: sweeping ad-hoc deployments would otherwise grow the table without
+#: limit.  When full, both the token table and the memo cache are
+#: dropped and the *epoch* advances; live :class:`MemoCurve` instances
+#: notice the epoch change and re-fetch their token (token numbers are
+#: reused across epochs, so stale tokens must never touch the cache).
 _CURVE_TOKENS: dict[ArrivalCurve, int] = {}
+_TOKEN_LIMIT = 4096
+_TOKEN_EPOCH = [0]
 _TOKEN_SHIFT = 60
 #: Windows at or beyond 2**60 are evaluated uncached — they would
 #: alias other tokens' keys, and no finite analysis reaches them.
@@ -161,10 +172,27 @@ _DELTA_LIMIT = 1 << _TOKEN_SHIFT
 def _curve_token(curve: ArrivalCurve) -> int:
     token = _CURVE_TOKENS.get(curve)
     if token is None:
+        if len(_CURVE_TOKENS) >= _TOKEN_LIMIT:
+            _CURVE_TOKENS.clear()
+            _MEMO_CACHE.clear()
+            _TOKEN_EPOCH[0] += 1
         token = _CURVE_TOKENS.setdefault(
             curve, len(_CURVE_TOKENS) << _TOKEN_SHIFT
         )
     return token
+
+
+class TokenTableInfo(NamedTuple):
+    """Occupancy of the curve-token table (``repro cache stats``)."""
+
+    size: int
+    limit: int
+    epoch: int
+
+
+def token_table_info() -> TokenTableInfo:
+    """Occupancy and epoch of the bounded curve-token table."""
+    return TokenTableInfo(len(_CURVE_TOKENS), _TOKEN_LIMIT, _TOKEN_EPOCH[0])
 
 
 class MemoCacheInfo(NamedTuple):
@@ -239,6 +267,7 @@ class MemoCurve:
 
     base: ArrivalCurve
     _token: int = field(default=-1, init=False, compare=False, repr=False)
+    _token_epoch: int = field(default=-1, init=False, compare=False, repr=False)
 
     def __call__(self, delta: int) -> int:
         if delta <= 0:
@@ -246,9 +275,13 @@ class MemoCurve:
         if delta >= _DELTA_LIMIT:
             return self.base(delta)
         token = self._token
-        if token < 0:
+        if token < 0 or self._token_epoch != _TOKEN_EPOCH[0]:
+            # First use, or the token table was recycled since: tokens
+            # are reused across epochs, so fetch afresh (and read the
+            # epoch *after* fetching — the fetch itself may advance it).
             token = _curve_token(self.base)
             object.__setattr__(self, "_token", token)
+            object.__setattr__(self, "_token_epoch", _TOKEN_EPOCH[0])
         key = token | delta
         cache = _MEMO_CACHE
         value = cache.get(key)

@@ -1,0 +1,593 @@
+"""Batched step-table kernel for the RTA core (ROADMAP item 2).
+
+The legacy analysis advances one window length per Python-level call:
+``MemoCurve.__call__`` per curve evaluation, and
+``SupplyBoundFunction._extend_to`` per Δ of supply.  Campaigns that
+evaluate thousands of nearly identical cells pay that interpreter
+overhead on every cell, and a *divergent* cell (busy window that never
+closes) pays it for every Δ up to the horizon.
+
+This module compiles every shipped curve class into a canonical
+:class:`StepTable` — a breakpoint array ``(windows, counts)`` plus a
+tail rate — and rebuilds the three hot paths on top of it:
+
+* curve evaluation is a ``bisect`` over the breakpoint array (or a
+  closed-form tail formula), with **no** per-step memo dict;
+* the supply bound function is extended **segment-at-a-time**: between
+  two consecutive breakpoints of the merged release curves the blackout
+  bound is constant, so the slack ``δ − BlackoutBound(δ)`` is linear
+  with slope 1 and a whole segment of values is emitted with two
+  ``list.extend`` calls instead of one Python iteration per Δ;
+* offset enumeration (``_offsets_to_check``) walks the breakpoints
+  directly instead of probing every Δ in the busy window.
+
+The kernel is *exact*: compiled tables agree with direct curve
+evaluation at every Δ (property-tested in ``tests/test_kernel.py``),
+the segment recurrence is algebraically identical to the legacy
+``max(previous, δ − blackout(δ), 0)`` recurrence, and the fixed-point
+solvers mirror the legacy iteration step for step — so analysis results
+and campaign reports are byte-identical with the kernel on or off.  The
+legacy path stays available for unhashable ad-hoc curves (automatic
+fallback) and as a differential oracle (``--no-kernel``).
+
+See ``docs/rta-kernel.md`` for the representation, the segment
+extension, and the equivalence argument.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left, bisect_right
+from heapq import heappop, heappush
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Mapping, NamedTuple, Sequence
+
+from repro import obs
+from repro.model.task import Task
+from repro.rta.arsa import ArsaResult, blocking_bound
+from repro.rta.curves import (
+    ArrivalCurve,
+    LeakyBucketCurve,
+    MemoCurve,
+    ShiftedCurve,
+    SporadicCurve,
+    TableCurve,
+)
+from repro.timing.wcet import WcetModel
+
+
+# -- kernel default ---------------------------------------------------------
+
+def _env_default() -> bool:
+    return os.environ.get("REPRO_RTA_KERNEL", "").strip().lower() not in {
+        "0",
+        "off",
+        "no",
+        "false",
+    }
+
+
+_KERNEL_DEFAULT = _env_default()
+
+
+def kernel_enabled(choice: bool | None = None) -> bool:
+    """Resolve a tri-state kernel choice: ``None`` means the process
+    default (on unless ``REPRO_RTA_KERNEL=0``)."""
+    if choice is None:
+        return _KERNEL_DEFAULT
+    return bool(choice)
+
+
+def set_kernel_default(enabled: bool) -> None:
+    """Flip the process default (benchmarks and the CLI escape hatch)."""
+    global _KERNEL_DEFAULT
+    _KERNEL_DEFAULT = bool(enabled)
+
+
+# -- the canonical staircase ------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class StepTable:
+    """A monotone staircase as breakpoint arrays plus a periodic tail.
+
+    ``windows`` are the strictly increasing window lengths at which the
+    curve jumps, ``counts[k]`` the value from ``windows[k]`` on.  Beyond
+    the last breakpoint the staircase continues with one extra unit per
+    ``tail_sep``: for ``Δ ≥ windows[-1]``,
+    ``value(Δ) = counts[-1] + (Δ − windows[-1]) // tail_sep``.
+    An empty head anchors the tail at 0: ``value(Δ) = Δ // tail_sep``.
+
+    Invariants (established by :func:`compile_curve`): windows strictly
+    increasing and ≥ 1; counts strictly increasing and ≥ 1;
+    ``tail_sep ≥ 1``.  Every jump therefore has a positive increment,
+    which :meth:`jump_at` relies on.
+    """
+
+    windows: tuple[int, ...]
+    counts: tuple[int, ...]
+    tail_sep: int
+
+    def value(self, delta: int) -> int:
+        """The staircase value at window length ``delta``."""
+        if delta <= 0:
+            return 0
+        windows = self.windows
+        if not windows:
+            return delta // self.tail_sep
+        last = windows[-1]
+        if delta >= last:
+            return self.counts[-1] + (delta - last) // self.tail_sep
+        index = bisect_right(windows, delta)
+        return self.counts[index - 1] if index else 0
+
+    def jump_at(self, pos: int) -> tuple[int, int]:
+        """The ``pos``-th jump (0-based) as ``(window, increment)``.
+
+        Jumps are returned in strictly increasing window order: first
+        the explicit breakpoints, then the periodic tail
+        (``windows[-1] + k·tail_sep`` with increment 1).
+        """
+        windows = self.windows
+        head = len(windows)
+        if pos < head:
+            counts = self.counts
+            increment = counts[pos] - (counts[pos - 1] if pos else 0)
+            return windows[pos], increment
+        anchor = windows[-1] if head else 0
+        return anchor + (pos - head + 1) * self.tail_sep, 1
+
+
+def _shift_table(base: StepTable, shift: int) -> StepTable:
+    """The table of ``Δ ↦ base.value(Δ + shift)`` for ``shift ≥ 0``."""
+    if shift == 0:
+        return base
+    value_at_one = base.value(1 + shift)
+    windows: list[int] = []
+    counts: list[int] = []
+    if value_at_one > 0:
+        windows.append(1)
+        counts.append(value_at_one)
+    for window, count in zip(base.windows, base.counts):
+        if window - shift > 1:
+            windows.append(window - shift)
+            counts.append(count)
+    sep = base.tail_sep
+    anchor = base.windows[-1] if base.windows else 0
+    if anchor - shift <= 1:
+        # Every explicit breakpoint collapsed into value_at_one; the
+        # shifted staircase is pure tail.  Re-anchor at the first tail
+        # jump strictly after Δ = 1 — unless Δ = 1 already sits on the
+        # tail grid, in which case the tail formula anchored at 1 is
+        # phase-exact as-is.
+        phase = (1 + shift - anchor) % sep
+        if phase != 0:
+            windows.append(1 + sep - phase)
+            counts.append(value_at_one + 1)
+    return StepTable(tuple(windows), tuple(counts), sep)
+
+
+def _compile(curve: ArrivalCurve) -> StepTable | None:
+    if isinstance(curve, MemoCurve):
+        return compile_curve(curve.base)
+    if isinstance(curve, SporadicCurve):
+        return StepTable((1,), (1,), curve.min_separation)
+    if isinstance(curve, LeakyBucketCurve):
+        return StepTable((1,), (curve.burst,), curve.rate_separation)
+    if isinstance(curve, TableCurve):
+        windows = tuple(window for window, _ in curve.steps)
+        counts = tuple(count for _, count in curve.steps)
+        return StepTable(windows, counts, curve.tail_separation)
+    if isinstance(curve, ShiftedCurve):
+        if curve.shift < 0:
+            return None
+        base = compile_curve(curve.base)
+        if base is None:
+            return None
+        return _shift_table(base, curve.shift)
+    return None
+
+
+#: Curve descriptor → compiled table (or None for uncompilable kinds).
+#: Bounded like the token table: compiled tables are tiny, but ad-hoc
+#: sweeps can mint unboundedly many distinct descriptors.
+_TABLE_CACHE: dict[ArrivalCurve, StepTable | None] = {}
+_TABLE_CACHE_LIMIT = 4096
+
+
+def compile_curve(curve: ArrivalCurve) -> StepTable | None:
+    """Compile ``curve`` to its canonical step table, or ``None`` when
+    the curve is not one of the shipped staircase classes (the caller
+    falls back to the legacy evaluation path)."""
+    try:
+        cached = _TABLE_CACHE.get(curve)
+    except TypeError:  # unhashable ad-hoc curve
+        obs.inc("rta.kernel.table_compile_misses")
+        return _compile(curve)
+    if cached is None and curve not in _TABLE_CACHE:
+        obs.inc("rta.kernel.table_compile_misses")
+        cached = _compile(curve)
+        if len(_TABLE_CACHE) >= _TABLE_CACHE_LIMIT:
+            _TABLE_CACHE.clear()
+        _TABLE_CACHE[curve] = cached
+    else:
+        obs.inc("rta.kernel.table_compile_hits")
+    return cached
+
+
+# -- segment-at-a-time supply -----------------------------------------------
+
+class KernelSupply:
+    """The supply bound function over compiled tables.
+
+    Value-identical to :class:`repro.rta.sbf.SupplyBoundFunction` built
+    from the same release curves: the blackout bound factors as
+    ``P · (Σ_k β_k(δ) + carry·K)`` with ``P`` the per-job overhead sum,
+    so between two consecutive breakpoints of the merged tables the
+    blackout is constant and the slack ``δ − blackout`` rises with
+    slope 1.  :meth:`_extend_to` walks breakpoints (a merge over the
+    per-table jump streams) and emits each segment with two
+    ``list.extend`` calls: a flat stretch while the running max
+    dominates, then an arithmetic ramp.
+
+    The per-table jump positions are plain integers (no generators), so
+    instances pickle and can ride through the fork-based campaign pool
+    like the legacy SBF.
+    """
+
+    def __init__(
+        self,
+        tables: Sequence[StepTable],
+        wcet: WcetModel,
+        num_sockets: int,
+        carry_in: int = 1,
+    ) -> None:
+        self._tables = tuple(tables)
+        per_job = (
+            wcet.read_ovh_bound(num_sockets)
+            + wcet.polling_bound(num_sockets)
+            + wcet.selection_bound
+            + wcet.dispatch_bound
+            + wcet.completion_bound
+        )
+        self._per_job = per_job
+        self._base_blackout = per_job * carry_in * len(self._tables)
+        self._values: list[int] = [0]  # SBF(0) = 0
+        self._sum = 0  # Σ_k β_k at the current frontier
+        # Merged jump stream: per-table next-jump index, and the sorted
+        # worklist of (next window, table index).
+        self._positions = [0] * len(self._tables)
+        self._heap = sorted(
+            (table.jump_at(0)[0], index)
+            for index, table in enumerate(self._tables)
+        )
+
+    @property
+    def extended_to(self) -> int:
+        """The largest ``Δ`` whose value is materialized so far."""
+        return len(self._values) - 1
+
+    def _extend_to(self, target: int) -> None:
+        values = self._values
+        if target <= len(values) - 1:
+            return
+        heap = self._heap
+        tables = self._tables
+        positions = self._positions
+        per_job = self._per_job
+        base = self._base_blackout
+        current = values[-1]
+        delta = len(values)
+        segments = 0
+        while delta <= target:
+            # Absorb every jump at or before `delta`, so `self._sum` is
+            # Σ β_k(δ) for the whole upcoming segment.
+            while heap and heap[0][0] <= delta:
+                _, index = heappop(heap)
+                table = tables[index]
+                position = positions[index]
+                _, increment = table.jump_at(position)
+                self._sum += increment
+                positions[index] = position + 1
+                heappush(heap, (table.jump_at(position + 1)[0], index))
+            segments += 1
+            segment_end = min(target, heap[0][0] - 1) if heap else target
+            blackout = base + per_job * self._sum
+            # Flat stretch: δ − blackout ≤ current  ⇔  δ ≤ current + blackout.
+            flat_end = min(segment_end, current + blackout)
+            if flat_end >= delta:
+                values.extend([current] * (flat_end - delta + 1))
+                delta = flat_end + 1
+            if delta <= segment_end:
+                values.extend(range(delta - blackout, segment_end - blackout + 1))
+                current = segment_end - blackout
+                delta = segment_end + 1
+        if obs.enabled():
+            obs.inc("rta.kernel.sbf_segments", segments)
+
+    def __call__(self, delta: int) -> int:
+        if delta < 0:
+            raise ValueError("window length must be non-negative")
+        self._extend_to(delta)
+        return self._values[delta]
+
+    def inverse(self, demand: int, ceiling: int) -> int | None:
+        """Least ``Δ ≤ ceiling`` with ``SBF(Δ) ≥ demand``; ``None`` if
+        the demand is not met within the ceiling."""
+        if demand <= 0:
+            return 0
+        values = self._values
+        while values[-1] < demand and len(values) - 1 < ceiling:
+            frontier = len(values) - 1
+            self._extend_to(min(ceiling, max(2 * frontier, frontier + 1024)))
+        hi = min(ceiling, len(values) - 1)
+        if values[hi] < demand:
+            return None
+        return bisect_left(values, demand, 0, hi + 1)
+
+
+# -- supply pooling ---------------------------------------------------------
+#
+# Same contract as repro.rta.sbf.shared_sbf: a KernelSupply's values
+# depend only on (tables, wcet, sockets, carry-in), so campaign cells of
+# the same deployment reuse the instance and every segment already
+# materialized.  analyse_batch() opens a batch scope that suspends
+# eviction so a sweep wider than the LRU limit still shares supplies
+# across all its cells.
+
+_SUPPLY_POOL: OrderedDict[tuple, KernelSupply] = OrderedDict()
+_SUPPLY_POOL_LIMIT = 64
+_BATCH_DEPTH = 0
+
+
+class PoolInfo(NamedTuple):
+    """Occupancy of a bounded in-process pool."""
+
+    size: int
+    limit: int
+
+
+def supply_pool_info() -> PoolInfo:
+    return PoolInfo(len(_SUPPLY_POOL), _SUPPLY_POOL_LIMIT)
+
+
+def table_cache_info() -> PoolInfo:
+    return PoolInfo(len(_TABLE_CACHE), _TABLE_CACHE_LIMIT)
+
+
+@contextmanager
+def batch_scope():
+    """Pin pooled supplies for the duration of a batched analysis.
+
+    Inside the scope the supply pool grows without eviction (every cell
+    of the batch keeps its warm supply); on exit it is trimmed back to
+    the steady-state limit, oldest first.
+    """
+    global _BATCH_DEPTH
+    _BATCH_DEPTH += 1
+    try:
+        yield
+    finally:
+        _BATCH_DEPTH -= 1
+        if _BATCH_DEPTH == 0:
+            while len(_SUPPLY_POOL) > _SUPPLY_POOL_LIMIT:
+                _SUPPLY_POOL.popitem(last=False)
+
+
+def shared_supply(
+    tables: Sequence[StepTable],
+    wcet: WcetModel,
+    num_sockets: int,
+    carry_in: int = 1,
+) -> KernelSupply:
+    """The pooled :class:`KernelSupply` for this deployment fingerprint."""
+    key = (tuple(tables), wcet, num_sockets, carry_in)
+    cached = _SUPPLY_POOL.get(key)
+    if cached is None:
+        obs.inc("rta.kernel.supply_pool_misses")
+        cached = KernelSupply(tables, wcet, num_sockets, carry_in)
+        _SUPPLY_POOL[key] = cached
+        if _BATCH_DEPTH == 0 and len(_SUPPLY_POOL) > _SUPPLY_POOL_LIMIT:
+            _SUPPLY_POOL.popitem(last=False)
+    else:
+        obs.inc("rta.kernel.supply_pool_hits")
+        _SUPPLY_POOL.move_to_end(key)
+    return cached
+
+
+# -- the fixed-point solver over tables -------------------------------------
+#
+# Step-for-step mirrors of repro.rta.arsa: the demand expressions, the
+# inverse-jump rule, and the convergence tests are identical, so the
+# iterates — and with them every field of the ArsaResult, including the
+# per-offset detail — are equal to the legacy solver's.
+
+def busy_window_bound(
+    task: Task,
+    tasks: Sequence[Task],
+    tables: Mapping[str, StepTable],
+    sbf: KernelSupply,
+    horizon: int,
+) -> int | None:
+    """The least ``L > 0`` closing the busy window, or ``None``."""
+    own_and_hep = [
+        (tables[t.name], t.wcet) for t in tasks if t.priority >= task.priority
+    ]
+    blocking = blocking_bound(task, tasks)
+    length = 1
+    iterations = 0
+    try:
+        while length <= horizon:
+            iterations += 1
+            demand = blocking + sum(
+                table.value(length) * weight for table, weight in own_and_hep
+            )
+            if demand <= sbf(length):
+                return length
+            nxt = sbf.inverse(demand, horizon)
+            if nxt is None:
+                return None
+            length = max(nxt, length + 1)
+        return None
+    finally:
+        obs.inc("rta.kernel.busy_window_iterations", iterations)
+
+
+def offsets_to_check(table: StepTable, busy_window: int) -> list[int]:
+    """Offsets where ``β_i(A+1)`` steps: ``A = window − 1`` for every
+    jump window ≤ the busy window.  Walks the breakpoint stream directly
+    instead of probing every Δ like the legacy ``_offsets_to_check``."""
+    offsets = []
+    position = 0
+    while True:
+        window, _ = table.jump_at(position)
+        if window > busy_window:
+            return offsets
+        offsets.append(window - 1)
+        position += 1
+
+
+def start_time_bound(
+    task: Task,
+    tasks: Sequence[Task],
+    tables: Mapping[str, StepTable],
+    sbf: KernelSupply,
+    offset: int,
+    horizon: int,
+) -> int | None:
+    """Least ``s`` at which the offset-``A`` job can start."""
+    blocking = blocking_bound(task, tasks)
+    hep = [
+        (tables[t.name], t.wcet)
+        for t in tasks
+        if t.name != task.name and t.priority >= task.priority
+    ]
+    prior_own = (tables[task.name].value(offset + 1) - 1) * task.wcet
+    s = 0
+    iterations = 0
+    try:
+        while s <= horizon:
+            iterations += 1
+            demand = (
+                blocking
+                + prior_own
+                + sum(table.value(s + 1) * weight for table, weight in hep)
+                + 1
+            )
+            needed = sbf.inverse(demand, horizon + 1)
+            if needed is None:
+                return None
+            candidate = max(needed - 1, 0)
+            if candidate <= s:
+                return s if sbf(s + 1) >= demand else None
+            s = candidate
+        return None
+    finally:
+        obs.inc("rta.kernel.start_time_iterations", iterations)
+
+
+def solve_response_time(
+    task: Task,
+    tasks: Sequence[Task],
+    tables: Mapping[str, StepTable],
+    sbf: KernelSupply,
+    horizon: int = 1_000_000,
+) -> ArsaResult | None:
+    """The kernel twin of :func:`repro.rta.arsa.solve_response_time`."""
+    obs.inc("rta.kernel.tasks_solved")
+    window = busy_window_bound(task, tasks, tables, sbf, horizon)
+    if window is None:
+        return None
+    per_offset: list[tuple[int, int, int]] = []
+    worst = 0
+    for offset in offsets_to_check(tables[task.name], window):
+        start = start_time_bound(task, tasks, tables, sbf, offset, horizon)
+        if start is None:
+            return None
+        response = start + task.wcet - offset
+        per_offset.append((offset, start, response))
+        worst = max(worst, response)
+    if not per_offset:
+        worst = task.wcet
+    return ArsaResult(
+        task=task,
+        blocking=blocking_bound(task, tasks),
+        busy_window=window,
+        response_bound=worst,
+        offsets=tuple(per_offset),
+    )
+
+
+def compile_release_tables(
+    tasks: Sequence[Task],
+    release_curves: Mapping[str, ArrivalCurve],
+) -> dict[str, StepTable] | None:
+    """Compile every task's release curve, or ``None`` (legacy fallback)
+    when any curve is not a shipped staircase class."""
+    tables: dict[str, StepTable] = {}
+    for task in tasks:
+        table = compile_curve(release_curves[task.name])
+        if table is None:
+            obs.inc("rta.kernel.fallbacks")
+            return None
+        tables[task.name] = table
+    return tables
+
+
+def precompile_release_tables(client, wcet: WcetModel) -> bool:
+    """Warm the process-wide table cache for a deployment.
+
+    Campaign pools call this in the parent before forking workers: the
+    children inherit the compiled tables and each cell then compiles
+    nothing.  Returns whether every curve compiled.
+    """
+    from repro.rta.curves import release_curve
+    from repro.rta.jitter import jitter_bound
+
+    tasks = client.tasks
+    if not tasks.has_curves:
+        return False
+    jitter = jitter_bound(wcet, client.num_sockets).bound
+    release_curves = {
+        task.name: release_curve(tasks.arrival_curve(task.name), jitter)
+        for task in tasks
+    }
+    return compile_release_tables(tasks.tasks, release_curves) is not None
+
+
+# -- EDF segment reduction --------------------------------------------------
+
+def edf_candidate_windows(
+    tables: Mapping[str, StepTable],
+    effective: Mapping[str, int],
+    tasks: Sequence[Task],
+    busy_bound: int,
+) -> list[int]:
+    """The window lengths at which the EDF demand-bound check can first
+    fail.
+
+    Between candidates, per-task demand ``β_k(Δ − D'_k + 1)·C_k`` and
+    the blocking term are constant while SBF is non-decreasing — so if
+    the check passes at a segment's first window it passes throughout,
+    and the *first* failing window is always a candidate.  Candidates:
+    the scan start ``min D'``, every demand jump ``w + D'_k − 1`` for a
+    jump window ``w`` of ``β_k``, and every blocking drop ``D'_k``.
+    """
+    lo = min(effective.values())
+    candidates = {lo}
+    for task in tasks:
+        deadline = effective[task.name]
+        if lo <= deadline <= busy_bound:
+            candidates.add(deadline)
+        table = tables[task.name]
+        position = 0
+        while True:
+            window, _ = table.jump_at(position)
+            delta = window + deadline - 1
+            if delta > busy_bound:
+                break
+            if delta >= lo:
+                candidates.add(delta)
+            position += 1
+    return sorted(candidates)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro import obs
 from repro.model.task import Task, TaskSystem
 from repro.rossl.client import RosslClient
+from repro.rta import kernel as step_kernel
 from repro.rta.arsa import ArsaResult, solve_response_time
 from repro.rta.curves import (
     ArrivalCurve,
@@ -28,6 +29,7 @@ from repro.rta.curves import (
     release_curve,
 )
 from repro.rta.jitter import JitterBounds, jitter_bound
+from repro.rta.kernel import KernelSupply
 from repro.rta.sbf import SupplyBoundFunction, make_sbf
 from repro.timing.wcet import WcetModel
 
@@ -58,7 +60,7 @@ class AnalysisResult:
     wcet: WcetModel
     num_sockets: int
     jitter: JitterBounds
-    sbf: SupplyBoundFunction
+    sbf: SupplyBoundFunction | KernelSupply
     bounds: dict[str, TaskBound]
 
     @property
@@ -87,20 +89,30 @@ def analyse(
     client: RosslClient,
     wcet: WcetModel,
     horizon: int = 1_000_000,
+    *,
+    kernel: bool | None = None,
 ) -> AnalysisResult:
     """Run the overhead-aware RTA for a deployment.
 
     Every task of the client must carry an arrival curve.  ``horizon``
     bounds the busy-window search; tasks whose busy window does not
     close within it are reported unschedulable.
+
+    ``kernel`` selects the evaluation strategy: ``True`` forces the
+    step-table kernel (:mod:`repro.rta.kernel`), ``False`` the legacy
+    call-per-step path, ``None`` the process default.  Both paths
+    produce byte-identical results; curves the kernel cannot compile
+    (ad-hoc callables) fall back to the legacy path automatically.
     """
     tasks = client.tasks
     if not tasks.has_curves:
         raise ValueError("every task needs an arrival curve for the analysis")
+    use_kernel = step_kernel.kernel_enabled(kernel)
     # Per-analysis step-cache accounting: the account sees exactly this
     # analysis's evaluations (thread-local, innermost-bracket), so
     # nested or interleaved analyses in one process never double-count
-    # the rta.memo_curve.* counters.
+    # the rta.memo_curve.* counters.  (The kernel path never touches the
+    # memo cache; its account settles to zero.)
     with obs.span(
         "rta.analyse", tasks=len(tasks.tasks), horizon=horizon
     ), memo_accounting() as memo_account:
@@ -114,18 +126,41 @@ def analyse(
             )
             for task in tasks
         }
-        sbf = make_sbf(tasks.tasks, release_curves, wcet, client.num_sockets)
-        bounds = {
-            task.name: TaskBound(
-                task,
-                solve_response_time(
-                    task, tasks.tasks, release_curves, sbf, horizon
-                ),
+        tables = (
+            step_kernel.compile_release_tables(tasks.tasks, release_curves)
+            if use_kernel
+            else None
+        )
+        if tables is not None:
+            sbf: SupplyBoundFunction | KernelSupply = step_kernel.shared_supply(
+                tuple(tables[task.name] for task in tasks),
+                wcet,
+                client.num_sockets,
             )
-            for task in tasks
-        }
+            bounds = {
+                task.name: TaskBound(
+                    task,
+                    step_kernel.solve_response_time(
+                        task, tasks.tasks, tables, sbf, horizon
+                    ),
+                )
+                for task in tasks
+            }
+        else:
+            sbf = make_sbf(tasks.tasks, release_curves, wcet, client.num_sockets)
+            bounds = {
+                task.name: TaskBound(
+                    task,
+                    solve_response_time(
+                        task, tasks.tasks, release_curves, sbf, horizon
+                    ),
+                )
+                for task in tasks
+            }
     if obs.enabled():
         obs.inc("rta.analyses")
+        if tables is not None:
+            obs.inc("rta.kernel.analyses")
         obs.inc("rta.memo_curve.hits", memo_account.hits)
         obs.inc("rta.memo_curve.misses", memo_account.misses)
         obs.gauge("rta.sbf.extended_to", sbf.extended_to)
@@ -137,6 +172,32 @@ def analyse(
         sbf=sbf,
         bounds=bounds,
     )
+
+
+def analyse_batch(
+    deployments,
+    horizon: int = 1_000_000,
+    *,
+    kernel: bool | None = None,
+) -> list[AnalysisResult]:
+    """Analyse many deployments, amortizing kernel state across cells.
+
+    ``deployments`` yields ``(client, wcet)`` pairs or objects with
+    ``client``/``wcet`` attributes (:class:`repro.config.Deployment`).
+    Within the batch, compiled step tables and pooled supplies are
+    pinned (:func:`repro.rta.kernel.batch_scope`), so a sweep wider
+    than the steady-state pool limit still shares every table and every
+    materialized SBF segment across all its cells.
+    """
+    pairs = [
+        (item.client, item.wcet) if hasattr(item, "client") else tuple(item)
+        for item in deployments
+    ]
+    with obs.span("rta.analyse_batch", cells=len(pairs)), step_kernel.batch_scope():
+        return [
+            analyse(client, wcet, horizon, kernel=kernel)
+            for client, wcet in pairs
+        ]
 
 
 def response_time_bound(

@@ -26,7 +26,7 @@ Then (section 4.4)::
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Mapping, Sequence
+from typing import Mapping, NamedTuple, Sequence
 
 from repro import obs
 from repro.model.task import Task
@@ -178,6 +178,18 @@ class IdealSupply:
 
 _SBF_POOL: OrderedDict[tuple, SupplyBoundFunction] = OrderedDict()
 _SBF_POOL_LIMIT = 64
+
+
+class SbfPoolInfo(NamedTuple):
+    """Occupancy of the SBF prefix pool (``repro cache stats``)."""
+
+    size: int
+    limit: int
+
+
+def sbf_pool_info() -> SbfPoolInfo:
+    """Occupancy of the bounded legacy-SBF pool."""
+    return SbfPoolInfo(len(_SBF_POOL), _SBF_POOL_LIMIT)
 
 
 def shared_sbf(

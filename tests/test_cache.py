@@ -391,9 +391,11 @@ class TestCampaignIntegration:
 
     def test_memo_cache_cleared_at_campaign_boundary(self):
         client = make_client()
-        analyse(client, WCET, 10_000)  # warm the step cache
+        analyse(client, WCET, 10_000, kernel=False)  # warm the step cache
         assert memo_cache_info().currsize > 0
-        run_adequacy_campaign(client, WCET, horizon=2_000, runs=1, seed=0)
+        run_adequacy_campaign(
+            client, WCET, horizon=2_000, runs=1, seed=0, kernel=False
+        )
         # The boundary reset: totals restarted from zero for this campaign.
         info = memo_cache_info()
         assert info.hits + info.misses > 0
@@ -409,9 +411,9 @@ class TestMemoAccounting:
         obs.reset()
         obs.enable()
         try:
-            analyse(client, WCET, 10_000)
+            analyse(client, WCET, 10_000, kernel=False)
             first = dict(obs.snapshot().counters)
-            analyse(client, WCET, 10_000)
+            analyse(client, WCET, 10_000, kernel=False)
             both = dict(obs.snapshot().counters)
         finally:
             obs.disable()
@@ -449,7 +451,7 @@ class TestMemoAccounting:
         client = make_client()
         memo_cache_clear()
         with memo_accounting() as outer:
-            analyse(client, WCET, 10_000)
+            analyse(client, WCET, 10_000, kernel=False)
         # ``analyse`` opens its own (innermost) account, so the outer
         # bracket sees none of the analysis's evaluations — summing the
         # per-analysis counters with any enclosing bracket stays exact.
@@ -461,8 +463,8 @@ class TestMemoAccounting:
         obs.reset()
         obs.enable()
         try:
-            analyse(client, WCET, 10_000)
-            analyse(client, WCET, 10_000)
+            analyse(client, WCET, 10_000, kernel=False)
+            analyse(client, WCET, 10_000, kernel=False)
             counters = dict(obs.snapshot().counters)
         finally:
             obs.disable()
@@ -473,7 +475,7 @@ class TestMemoAccounting:
 
     def test_memo_cache_clear_resets(self):
         client = make_client()
-        analyse(client, WCET, 10_000)
+        analyse(client, WCET, 10_000, kernel=False)
         memo_cache_clear()
         info = memo_cache_info()
         assert info.hits == 0 and info.misses == 0 and info.currsize == 0

@@ -1,0 +1,448 @@
+"""The step-table kernel (repro.rta.kernel).
+
+Three layers of evidence that the kernel is exact:
+
+* **compilation**: for every shipped curve class — including
+  ``ShiftedCurve`` over every base, i.e. release curves — the compiled
+  :class:`StepTable` agrees with direct curve evaluation at every Δ
+  (property-based, with Δ ranges far past the table head and several
+  tail periods);
+* **supply**: :class:`KernelSupply` values and inverses equal the
+  legacy :class:`SupplyBoundFunction` on the same deployment;
+* **end to end**: analyses, EDF verdicts, and adequacy-campaign
+  reports (text *and* JSON) are byte-identical with the kernel on and
+  off — the acceptance criterion of the refactor.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.adequacy import run_adequacy_campaign
+from repro.analysis.campaigns import analysis_sweep
+from repro.edf.analysis import edf_analysis
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.curves import (
+    LeakyBucketCurve,
+    ShiftedCurve,
+    SporadicCurve,
+    TableCurve,
+    memoized_curve,
+    release_curve,
+)
+from repro.rta.kernel import (
+    KernelSupply,
+    batch_scope,
+    compile_curve,
+    edf_candidate_windows,
+    kernel_enabled,
+    offsets_to_check,
+    supply_pool_info,
+    table_cache_info,
+)
+from repro.rta.arsa import _offsets_to_check, solve_response_time
+from repro.rta import kernel as kernel_mod
+from repro.rta.npfp import analyse, analyse_batch
+from repro.rta.sbf import SupplyBoundFunction
+from repro.timing.wcet import WcetModel
+
+WCET = WcetModel(
+    failed_read=2, success_read=3, selection=2, dispatch=2, completion=2,
+    idling=1,
+)
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+sporadic = st.integers(1, 300).map(SporadicCurve)
+leaky = st.tuples(st.integers(1, 6), st.integers(1, 200)).map(
+    lambda t: LeakyBucketCurve(burst=t[0], rate_separation=t[1])
+)
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(0, 5))
+    steps, window, count = [], 0, 0
+    for _ in range(n):
+        window += draw(st.integers(1, 40))
+        count += draw(st.integers(1, 4))
+        steps.append((window, count))
+    return TableCurve(tuple(steps), draw(st.integers(1, 60)))
+
+
+base_curves = st.one_of(sporadic, leaky, tables())
+shifted = st.tuples(base_curves, st.integers(0, 400)).map(
+    lambda t: ShiftedCurve(t[0], t[1])
+)
+all_curves = st.one_of(base_curves, shifted)
+
+
+def assert_table_matches(curve, deltas) -> None:
+    table = compile_curve(curve)
+    assert table is not None
+    for delta in deltas:
+        assert table.value(delta) == curve(delta), (
+            f"{curve} disagrees at Δ={delta}: "
+            f"table {table.value(delta)}, direct {curve(delta)}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# compilation exactness
+# ---------------------------------------------------------------------------
+
+
+class TestCompileCurve:
+    @given(sporadic, st.integers(-5, 5_000))
+    def test_sporadic(self, curve, delta):
+        assert compile_curve(curve).value(delta) == curve(delta)
+
+    @given(leaky, st.integers(-5, 5_000))
+    def test_leaky_bucket(self, curve, delta):
+        assert compile_curve(curve).value(delta) == curve(delta)
+
+    @given(tables(), st.integers(-5, 5_000))
+    def test_table(self, curve, delta):
+        assert compile_curve(curve).value(delta) == curve(delta)
+
+    @given(shifted, st.integers(-5, 5_000))
+    def test_shifted(self, curve, delta):
+        assert compile_curve(curve).value(delta) == curve(delta)
+
+    @settings(max_examples=60)
+    @given(st.tuples(tables(), st.integers(0, 400)), st.integers(0, 300))
+    def test_shifted_table_dense_prefix(self, pair, extra):
+        """ShiftedCurve over TableCurve, checked densely — every Δ of a
+        prefix covering the whole head and several tail periods."""
+        base, shift = pair
+        curve = ShiftedCurve(base, shift)
+        last = base.steps[-1][0] if base.steps else 0
+        horizon = last + 4 * base.tail_separation + extra + 3
+        assert_table_matches(curve, range(-2, horizon + 1))
+
+    @given(all_curves)
+    def test_dense_prefix_and_far_tail(self, curve):
+        table = compile_curve(curve)
+        assert table is not None
+        head_end = table.windows[-1] if table.windows else 0
+        deltas = list(range(-2, head_end + 3 * table.tail_sep + 2))
+        deltas += [10_000, 123_457, 10**7]
+        for delta in deltas:
+            assert table.value(delta) == curve(delta)
+
+    @given(st.tuples(all_curves, st.integers(0, 50), st.integers(0, 50)))
+    def test_nested_shifts_compose(self, triple):
+        base, s1, s2 = triple
+        curve = ShiftedCurve(ShiftedCurve(base, s1), s2)
+        assert_table_matches(curve, range(0, 600))
+
+    @given(all_curves)
+    def test_memo_wrapper_is_transparent(self, curve):
+        assert compile_curve(memoized_curve(curve)) == compile_curve(curve)
+
+    @given(all_curves)
+    def test_table_invariants(self, curve):
+        table = compile_curve(curve)
+        assert table.tail_sep >= 1
+        assert all(w >= 1 for w in table.windows)
+        assert list(table.windows) == sorted(set(table.windows))
+        assert list(table.counts) == sorted(set(table.counts))
+        assert all(c >= 1 for c in table.counts)
+
+    @given(all_curves, st.integers(0, 40))
+    def test_jump_stream_matches_value(self, curve, jumps):
+        """jump_at enumerates exactly the Δ where the value increases,
+        with the right increments."""
+        table = compile_curve(curve)
+        position, total = 0, 0
+        previous_window = 0
+        for position in range(jumps):
+            window, increment = table.jump_at(position)
+            assert window > previous_window
+            assert increment >= 1
+            assert table.value(window) == table.value(window - 1) + increment
+            previous_window = window
+            total += increment
+
+    def test_release_curve_compiles(self):
+        curve = release_curve(SporadicCurve(50), 17)
+        assert_table_matches(curve, range(0, 500))
+
+    def test_adhoc_curve_falls_back(self):
+        assert compile_curve(lambda delta: max(0, delta)) is None
+
+    def test_negative_shift_falls_back(self):
+        assert compile_curve(ShiftedCurve(SporadicCurve(5), -1)) is None
+
+    def test_compile_cache_bounded(self):
+        info = table_cache_info()
+        assert info.size <= info.limit
+
+
+# ---------------------------------------------------------------------------
+# supply equivalence
+# ---------------------------------------------------------------------------
+
+
+def make_client(curves_by_name, deadlines=None, num_sockets=1, policy="npfp"):
+    deadlines = deadlines or {}
+    tasks = [
+        Task(name=name, priority=i, wcet=3 + i, type_tag=i,
+             deadline=deadlines.get(name))
+        for i, name in enumerate(sorted(curves_by_name))
+    ]
+    return RosslClient(
+        tasks=TaskSystem(tasks, dict(curves_by_name)),
+        sockets=tuple(range(num_sockets)),
+        policy=policy,
+    )
+
+
+class TestKernelSupply:
+    @settings(max_examples=40)
+    @given(st.lists(all_curves, min_size=1, max_size=4), st.integers(1, 3))
+    def test_values_match_legacy(self, curves, num_sockets):
+        tables_ = [compile_curve(c) for c in curves]
+        kernel_sbf = KernelSupply(tables_, WCET, num_sockets)
+        legacy_sbf = SupplyBoundFunction(curves, WCET, num_sockets)
+        for delta in list(range(0, 400)) + [1_000, 5_000]:
+            assert kernel_sbf(delta) == legacy_sbf(delta)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(all_curves, min_size=1, max_size=3),
+        st.integers(0, 2_000),
+        st.integers(1, 3_000),
+    )
+    def test_inverse_matches_legacy(self, curves, demand, ceiling):
+        tables_ = [compile_curve(c) for c in curves]
+        kernel_sbf = KernelSupply(tables_, WCET, 1)
+        legacy_sbf = SupplyBoundFunction(curves, WCET, 1)
+        assert kernel_sbf.inverse(demand, ceiling) == legacy_sbf.inverse(
+            demand, ceiling
+        )
+
+    def test_rejects_negative_delta(self):
+        supply = KernelSupply([compile_curve(SporadicCurve(5))], WCET, 1)
+        with pytest.raises(ValueError):
+            supply(-1)
+
+    def test_pickles_mid_extension(self):
+        import pickle
+
+        supply = KernelSupply([compile_curve(SporadicCurve(7))], WCET, 1)
+        supply(123)
+        clone = pickle.loads(pickle.dumps(supply))
+        for delta in range(0, 500):
+            assert clone(delta) == supply(delta)
+
+
+class TestOffsets:
+    @settings(max_examples=60)
+    @given(all_curves, st.integers(0, 2_000))
+    def test_matches_legacy_offsets(self, curve, busy_window):
+        table = compile_curve(curve)
+        assert offsets_to_check(table, busy_window) == _offsets_to_check(
+            curve, busy_window
+        )
+
+
+# ---------------------------------------------------------------------------
+# end-to-end byte identity
+# ---------------------------------------------------------------------------
+
+ROBOT_CURVES = {
+    "ctrl": SporadicCurve(40),
+    "plan": LeakyBucketCurve(burst=2, rate_separation=150),
+    "log": TableCurve(steps=((1, 1), (30, 3)), tail_separation=80),
+}
+
+
+class TestAnalysisIdentity:
+    @settings(max_examples=25)
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]), all_curves,
+            min_size=1, max_size=3,
+        ),
+        st.integers(1, 3),
+    )
+    def test_random_systems(self, curves_by_name, num_sockets):
+        client = make_client(curves_by_name, num_sockets=num_sockets)
+        fast = analyse(client, WCET, 20_000, kernel=True)
+        slow = analyse(client, WCET, 20_000, kernel=False)
+        assert fast.rows() == slow.rows()
+        assert fast.jitter == slow.jitter
+        for name in curves_by_name:
+            assert fast.bounds[name].arsa == slow.bounds[name].arsa
+
+    def test_unhashable_curve_falls_back_to_legacy(self):
+        client = make_client({"a": SporadicCurve(60)})
+        curves = {"a": lambda delta: max(0, -(-delta // 60))}
+        client = RosslClient(
+            tasks=TaskSystem(client.tasks.tasks, curves), sockets=(0,)
+        )
+        fast = analyse(client, WCET, 20_000, kernel=True)
+        slow = analyse(client, WCET, 20_000, kernel=False)
+        assert fast.rows() == slow.rows()
+
+    def test_analyse_batch_matches_individual(self):
+        cells = []
+        for separation in (40, 60, 80, 100):
+            cells.append((
+                make_client({"t": SporadicCurve(separation)}), WCET
+            ))
+        batched = analyse_batch(cells, 20_000)
+        single = [analyse(client, wcet, 20_000) for client, wcet in cells]
+        assert [a.rows() for a in batched] == [a.rows() for a in single]
+
+    def test_batch_scope_pins_supplies(self):
+        with batch_scope():
+            for separation in range(5, 5 + supply_pool_info().limit + 8):
+                analyse(
+                    make_client({"t": SporadicCurve(separation)}),
+                    WCET, 5_000, kernel=True,
+                )
+            assert supply_pool_info().size > supply_pool_info().limit
+        info = supply_pool_info()
+        assert info.size <= info.limit
+
+    def test_kernel_solver_matches_legacy_solver_directly(self):
+        client = make_client(ROBOT_CURVES)
+        tasks = client.tasks
+        betas = {
+            t.name: memoized_curve(release_curve(tasks.arrival_curve(t.name), 9))
+            for t in tasks
+        }
+        tables_ = {name: compile_curve(c) for name, c in betas.items()}
+        kernel_sbf = KernelSupply(
+            [tables_[t.name] for t in tasks], WCET, 1
+        )
+        legacy_sbf = SupplyBoundFunction(
+            [betas[t.name] for t in tasks], WCET, 1
+        )
+        for task in tasks:
+            fast = kernel_mod.solve_response_time(
+                task, tasks.tasks, tables_, kernel_sbf, 50_000
+            )
+            slow = solve_response_time(
+                task, tasks.tasks, betas, legacy_sbf, 50_000
+            )
+            assert fast == slow
+
+
+class TestEdfIdentity:
+    @settings(max_examples=25)
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]), all_curves,
+            min_size=1, max_size=3,
+        ),
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]), st.integers(5, 600),
+            min_size=3, max_size=3,
+        ),
+    )
+    def test_random_systems(self, curves_by_name, deadlines):
+        client = make_client(curves_by_name, deadlines, policy="edf")
+        fast = edf_analysis(client, WCET, 20_000, kernel=True)
+        slow = edf_analysis(client, WCET, 20_000, kernel=False)
+        assert fast == slow  # includes failing_window and busy_bound
+
+    def test_candidates_cover_scan_range(self):
+        curves = {"a": SporadicCurve(25), "b": LeakyBucketCurve(2, 90)}
+        deadlines = {"a": 60, "b": 200}
+        client = make_client(curves, deadlines, policy="edf")
+        analysis = edf_analysis(client, WCET, kernel=True)
+        tables_ = {
+            name: compile_curve(
+                release_curve(curve, analysis.jitter.bound)
+            )
+            for name, curve in curves.items()
+        }
+        candidates = edf_candidate_windows(
+            tables_, analysis.effective_deadlines,
+            client.tasks.tasks, analysis.busy_bound,
+        )
+        lo = min(analysis.effective_deadlines.values())
+        assert candidates[0] == lo
+        assert all(lo <= c <= analysis.busy_bound for c in candidates)
+        assert candidates == sorted(set(candidates))
+
+
+class TestCampaignByteIdentity:
+    def test_reports_identical_kernel_on_off(self):
+        client = make_client(ROBOT_CURVES)
+        on = run_adequacy_campaign(
+            client, WCET, horizon=4_000, runs=3, seed=11, kernel=True
+        )
+        off = run_adequacy_campaign(
+            client, WCET, horizon=4_000, runs=3, seed=11, kernel=False
+        )
+        assert on.table() == off.table()
+        assert (
+            json.dumps(on.to_json(), sort_keys=True)
+            == json.dumps(off.to_json(), sort_keys=True)
+        )
+
+    def test_analysis_sweep_serial_matches_plain_sweep(self):
+        def deploy(separation):
+            return make_client({"t": SporadicCurve(separation)}), WCET
+
+        def summarize(separation, analysis):
+            return (analysis.response_time_bound("t"),)
+
+        swept = analysis_sweep(
+            "separation", [40, 60, 80], ["bound"], deploy, summarize,
+            horizon=20_000,
+        )
+        direct = [
+            analyse(*deploy(v), 20_000).response_time_bound("t")
+            for v in (40, 60, 80)
+        ]
+        assert [row[1] for row in swept.rows] == direct
+        assert swept.column("bound") == direct
+
+
+class TestTokenEpoch:
+    def test_memo_curves_survive_token_table_overflow(self):
+        """Flooding the token table past its limit clears it (bounded
+        memory) but memoized curves keep evaluating correctly — they
+        re-register under the new epoch."""
+        from repro.rta import curves as curves_mod
+
+        survivor = memoized_curve(SporadicCurve(37))
+        assert survivor(123) == SporadicCurve(37)(123)
+        epoch_before = curves_mod.token_table_info().epoch
+        for separation in range(1, curves_mod._TOKEN_LIMIT + 10):
+            memoized_curve(LeakyBucketCurve(burst=9, rate_separation=separation))(1)
+        info = curves_mod.token_table_info()
+        assert info.epoch > epoch_before
+        assert info.size <= info.limit
+        for delta in (0, 1, 36, 37, 38, 370, 12_345):
+            assert survivor(delta) == SporadicCurve(37)(delta)
+
+
+class TestKernelToggle:
+    def test_default_resolution(self):
+        assert kernel_enabled(None) in (True, False)
+        assert kernel_enabled(True) is True
+        assert kernel_enabled(False) is False
+
+    def test_set_default_roundtrip(self):
+        before = kernel_enabled(None)
+        try:
+            kernel_mod.set_kernel_default(False)
+            assert kernel_enabled(None) is False
+            kernel_mod.set_kernel_default(True)
+            assert kernel_enabled(None) is True
+        finally:
+            kernel_mod.set_kernel_default(before)

@@ -217,6 +217,15 @@ class TestDeterminism:
         assert plain.schedulable == observed.schedulable
         # ...and the instrumentation did record the analysis.
         assert obs.counter_value("rta.analyses") == 1
+        assert obs.counter_value("rta.kernel.tasks_solved") == 2
+
+    def test_analysis_identical_with_obs_enabled_legacy_path(self):
+        client = small_client()
+        plain = analyse(client, WCET, horizon=100_000, kernel=False)
+        obs.enable()
+        observed = analyse(client, WCET, horizon=100_000, kernel=False)
+        assert plain.rows() == observed.rows()
+        assert obs.counter_value("rta.analyses") == 1
         assert obs.counter_value("rta.arsa.tasks_solved") == 2
 
     def test_campaign_identical_with_obs_enabled(self):
@@ -322,13 +331,35 @@ class TestCli:
             json.loads(line) for line in metrics.read_text().splitlines()
         ]
         assert entries, "metrics JSONL is empty"
+        kernel_runs = [
+            e for e in entries
+            if e["type"] == "counter" and e["name"] == "rta.kernel.analyses"
+        ]
+        assert kernel_runs and kernel_runs[0]["value"] > 0
+        loaded = json.loads(trace.read_text())
+        assert loaded["traceEvents"], "chrome trace has no events"
+
+    def test_analyze_legacy_path_memo_counters(
+        self, spec_path: str, tmp_path: Path
+    ):
+        # --no-kernel keeps the memoized call-per-step path, whose
+        # per-analysis attribution feeds the rta.memo_curve.* counters.
+        metrics = tmp_path / "m.jsonl"
+        assert main([
+            "analyze", spec_path, "--no-kernel", "--metrics-out", str(metrics),
+        ]) == 0
+        entries = [
+            json.loads(line) for line in metrics.read_text().splitlines()
+        ]
         hits = [
             e for e in entries
             if e["type"] == "counter" and e["name"] == "rta.memo_curve.hits"
         ]
         assert hits and hits[0]["value"] > 0
-        loaded = json.loads(trace.read_text())
-        assert loaded["traceEvents"], "chrome trace has no events"
+        assert not any(
+            e["name"] == "rta.kernel.analyses" for e in entries
+            if e["type"] == "counter"
+        )
 
     def test_simulate_metrics_out(self, spec_path: str, tmp_path: Path, capsys):
         metrics = tmp_path / "m.jsonl"
@@ -348,7 +379,14 @@ class TestCli:
     def test_profile_subcommand(self, spec_path: str, capsys):
         assert main(["profile", spec_path]) == 0
         out = capsys.readouterr().out
+        assert "counters" in out and "rta.kernel.analyses" in out
+        assert "spans" in out
+
+    def test_profile_subcommand_no_kernel(self, spec_path: str, capsys):
+        assert main(["profile", spec_path, "--no-kernel"]) == 0
+        out = capsys.readouterr().out
         assert "counters" in out and "rta.memo_curve.hits" in out
+        assert "rta.kernel.analyses" not in out
         assert "spans" in out
 
     def test_verify_metrics_out(self, spec_path: str, tmp_path: Path, capsys):
