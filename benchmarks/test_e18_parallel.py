@@ -1,9 +1,13 @@
 """E18 (engineering): parallel campaign throughput and determinism.
 
-Runs the same 200-run adequacy campaign serially (``jobs=1``) and on the
-process pool (``jobs=4``), asserts the reports are bit-identical (the
-determinism contract of :mod:`repro.analysis.parallel`), and records the
-wall-clock comparison in ``BENCH_parallel.json`` at the repo root.
+Runs the same 200-run adequacy campaign serially (``jobs=1``), on the
+fork-per-campaign process pool (``jobs=4``), and twice against a
+resident :class:`repro.serve.ResidentPool` (cold dispatch, then warm —
+the serve-daemon deployment where fork and engine construction are paid
+once per process lifetime, not per campaign).  All variants must be
+bit-identical (the determinism contract of
+:mod:`repro.analysis.parallel`); the wall-clock comparison lands in
+``BENCH_parallel.json`` at the repo root.
 
 Timing comes from the observability span tree (``campaign.adequacy``,
 ``campaign.worker_init``, ``campaign.chunk``) rather than ad-hoc
@@ -28,6 +32,7 @@ from conftest import print_experiment
 from repro import obs
 from repro.analysis.adequacy import run_adequacy_campaign
 from repro.analysis.parallel import fork_available
+from repro.serve import ResidentPool
 
 RUNS = 200
 JOBS = 4
@@ -36,10 +41,11 @@ HORIZON = 6_000
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 
-def run_campaign(client, wcet, jobs):
+def run_campaign(client, wcet, jobs, pool=None):
     obs.reset()
     report = run_adequacy_campaign(
-        client, wcet, horizon=HORIZON, runs=RUNS, seed=SEED, jobs=jobs
+        client, wcet, horizon=HORIZON, runs=RUNS, seed=SEED, jobs=jobs,
+        pool=pool,
     )
     return report, report.elapsed_seconds, obs.snapshot()
 
@@ -81,9 +87,24 @@ def test_parallel_campaign_speedup(benchmark, embedded_client, embedded_wcet):
         parallel, parallel_s, snapshot = run_campaign(
             embedded_client, embedded_wcet, JOBS
         )
+        # Resident-pool variant (repro.serve): the same campaign against
+        # a pool of long-lived workers.  The first dispatch pays fork +
+        # engine construction once; the second runs against warm workers
+        # whose memo caches and kernel tables survive between campaigns —
+        # the daemon deployment the fork-per-campaign pool cannot model.
+        with ResidentPool(JOBS) as pool:
+            first, first_s, _ = run_campaign(
+                embedded_client, embedded_wcet, JOBS, pool=pool
+            )
+            warm, warm_s, _ = run_campaign(
+                embedded_client, embedded_wcet, JOBS, pool=pool
+            )
     finally:
         obs.disable()
         obs.reset()
+
+    assert first.table() == serial.table()
+    assert warm.table() == serial.table()
 
     # Determinism first: the pool must not change a single cell.
     assert serial.table() == parallel.table()
@@ -120,6 +141,14 @@ def test_parallel_campaign_speedup(benchmark, embedded_client, embedded_wcet):
         "parallel_seconds": round(parallel_s, 4),
         "speedup": round(speedup, 3),
         "bit_identical": True,
+        "warm_pool": {
+            "first_seconds": round(first_s, 4),
+            "warm_seconds": round(warm_s, 4),
+            "speedup_vs_serial": round(
+                serial_s / warm_s if warm_s > 0 else float("inf"), 3
+            ),
+            "bit_identical": True,
+        },
         "breakdown": {
             "worker_init_seconds": round(init_s, 4),
             "worker_busy_wall_seconds": round(busy_wall_s, 4),
@@ -135,8 +164,10 @@ def test_parallel_campaign_speedup(benchmark, embedded_client, embedded_wcet):
         f"{RUNS}-run campaign: serial {serial_s:.2f}s, jobs={JOBS} "
         f"{parallel_s:.2f}s — {speedup:.2f}x on {cpus} CPU(s); breakdown: "
         f"init {init_s:.4f}s, {mean_open_workers:.1f} workers open on "
-        f"average, pool tax {pool_tax_s:+.2f}s vs serial; reports "
-        f"bit-identical; recorded in {RESULT_PATH.name}",
+        f"average, pool tax {pool_tax_s:+.2f}s vs serial; resident pool "
+        f"(repro.serve): first {first_s:.2f}s, warm {warm_s:.2f}s "
+        f"({serial_s / warm_s if warm_s > 0 else float('inf'):.2f}x vs "
+        f"serial); reports bit-identical; recorded in {RESULT_PATH.name}",
     )
 
     if cpus >= JOBS and fork_available():

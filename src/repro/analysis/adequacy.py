@@ -324,6 +324,7 @@ def run_adequacy_campaign(
     worker_fault=None,
     cache=None,
     kernel: bool | None = None,
+    pool=None,
 ) -> TimingCorrectnessReport:
     """Randomized campaign: ``runs`` simulations, all checked.
 
@@ -355,6 +356,12 @@ def run_adequacy_campaign(
     ``kernel`` selects the RTA evaluation path (see
     :func:`repro.rta.npfp.analyse`); reports are byte-identical either
     way.
+
+    ``pool`` (a :class:`repro.serve.pool.ResidentPool`) hands the runs
+    to externally owned resident workers instead of forking a fresh
+    pool — same outcomes, no per-campaign spin-up.  Ignored when a
+    ``worker_fault`` is injected (fault injection targets fork-pool
+    rounds).
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
@@ -413,7 +420,8 @@ def run_adequacy_campaign(
                     else:
                         missing.append(index)
         fresh: list[RunOutcome] = []
-        if missing and jobs > 1:
+        use_pool = pool is not None and worker_fault is None
+        if missing and (jobs > 1 or use_pool):
             from repro.analysis.parallel import run_campaign_parallel
 
             fresh, shard_failures = run_campaign_parallel(
@@ -425,6 +433,7 @@ def run_adequacy_campaign(
                 worker_retries=worker_retries,
                 worker_fault=worker_fault,
                 indices=missing,
+                pool=pool if use_pool else None,
             )
         elif missing:
             backend = as_engine(engine, client)

@@ -425,6 +425,7 @@ def run_campaign_parallel(
     worker_retries: int = 1,
     worker_fault: WorkerFault | None = None,
     indices: Sequence[int] | None = None,
+    pool=None,
 ) -> tuple[list[RunOutcome], tuple[ShardFailure, ...]]:
     """Execute ``runs`` adequacy runs across ``jobs`` workers.
 
@@ -440,11 +441,40 @@ def run_campaign_parallel(
     (incremental campaigns: the cache answered the rest); ``runs`` stays
     the *full* campaign size because it determines each run's
     adversarial/uniform split.  Default: all of ``range(runs)``.
+
+    ``pool`` (a :class:`repro.serve.pool.ResidentPool`) runs the chunks
+    on externally owned **resident** workers instead of forking a pool
+    per campaign — the daemon's path, and the warm-worker fix for the
+    per-campaign spin-up E18 measures.  Outcomes stay bit-identical
+    (same ``adequacy_run``, same chunks); ``jobs`` is ignored in favor
+    of the pool's worker count.  A ``worker_fault`` forces the fork-pool
+    path: injection targets pool *rounds*, which resident workers do not
+    have.
     """
     engine_name = resolve_engine_name(
         engine if isinstance(engine, str) else engine.name
     )
     indices = list(range(runs)) if indices is None else list(indices)
+    if pool is not None and worker_fault is None:
+        setup = (
+            client, wcet, analysis, horizon, runs,
+            seed_root, intensity, adversarial_fraction, engine_name,
+        )
+        chunks = split_chunks(indices, pool.workers)
+        with obs.span(
+            "campaign.resident", workers=pool.workers, runs=len(indices)
+        ):
+            results, failures = pool.map_campaign_chunks(
+                setup, chunks,
+                timeout=worker_timeout, retries=worker_retries,
+            )
+        outcomes = [
+            outcome
+            for chunk in results
+            if chunk is not None
+            for outcome in chunk
+        ]
+        return outcomes, failures
     chunks = split_chunks(indices, jobs)
     outcomes: list[RunOutcome] | None = None
     failures: tuple[ShardFailure, ...] = ()

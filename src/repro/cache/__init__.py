@@ -52,7 +52,59 @@ from repro.cache.store import (
     default_store,
 )
 
+def cache_stats_payload(store: ResultStore | None = None) -> dict:
+    """The machine-readable cache statistics document.
+
+    One schema, three consumers: ``repro cache stats --json``, the
+    daemon's ``GET /cache/stats`` endpoint, and CI — so dashboards never
+    have to reconcile two spellings of the same numbers.  Covers the
+    persistent store plus every in-process cache layer (memo cache,
+    curve token table, SBF pools, compiled step tables).
+    """
+    from repro.rta.curves import memo_cache_info, token_table_info
+    from repro.rta.kernel import supply_pool_info, table_cache_info
+    from repro.rta.sbf import sbf_pool_info
+
+    if store is None:
+        store = default_store()
+    stats = store.stats()
+    memo = memo_cache_info()
+    tokens = token_table_info()
+    legacy_pool = sbf_pool_info()
+    kernel_pool = supply_pool_info()
+    tables = table_cache_info()
+    return {
+        "store": {
+            "path": str(stats.path),
+            "entries": stats.entries,
+            "bytes": stats.bytes,
+            "max_bytes": stats.max_bytes,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "corrupt": stats.corrupt,
+        },
+        "memo_cache": {
+            "currsize": memo.currsize,
+            "maxsize": memo.maxsize,
+            "hits": memo.hits,
+            "misses": memo.misses,
+        },
+        "token_table": {
+            "size": tokens.size,
+            "limit": tokens.limit,
+            "epoch": tokens.epoch,
+        },
+        "sbf_pools": {
+            "legacy": {"size": legacy_pool.size, "limit": legacy_pool.limit},
+            "kernel": {"size": kernel_pool.size, "limit": kernel_pool.limit},
+        },
+        "step_tables": {"size": tables.size, "limit": tables.limit},
+    }
+
+
 __all__ = [
+    "cache_stats_payload",
     "ENGINE_CAPABILITY_VERSIONS",
     "SCHEMA_VERSION",
     "DEFAULT_MAX_BYTES",

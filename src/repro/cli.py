@@ -126,6 +126,38 @@ def _lint_gate(deployment: Deployment, args: argparse.Namespace):
     return report
 
 
+def format_edf_analysis(result) -> tuple[str, int]:
+    """The exact stdout bytes of ``repro analyze`` on an EDF spec, plus
+    the exit code.  Shared with :mod:`repro.serve` so daemon responses
+    are byte-identical to offline CLI output by construction."""
+    lines = [
+        "policy: EDF (non-preemptive)",
+        f"jitter bound J = {result.jitter.bound}",
+        f"schedulable: {result.schedulable}",
+    ]
+    if result.busy_bound is not None:
+        lines.append(f"busy bound: {result.busy_bound}")
+    if result.failing_window is not None:
+        lines.append(
+            f"demand exceeds supply at window length {result.failing_window}"
+        )
+    return "\n".join(lines) + "\n", 0 if result.schedulable else 1
+
+
+def format_npfp_analysis(analysis) -> tuple[str, int]:
+    """The exact stdout bytes of ``repro analyze`` on an NPFP spec, plus
+    the exit code (shared with :mod:`repro.serve`)."""
+    text = (
+        f"policy: NPFP; jitter bound J = {analysis.jitter.bound}\n"
+        + format_table(
+            ["task", "C_i", "priority", "R (release)", "R+J (arrival)"],
+            analysis.rows(),
+        )
+        + "\n"
+    )
+    return text, 0 if analysis.schedulable else 1
+
+
 def _cmd_analyze(deployment: Deployment, args: argparse.Namespace) -> int:
     lint_report = _lint_gate(deployment, args)
     if lint_report is not None and lint_report.exit_code(args.werror):
@@ -137,14 +169,9 @@ def _cmd_analyze(deployment: Deployment, args: argparse.Namespace) -> int:
         result = edf_analysis(
             client, wcet, horizon=args.horizon, kernel=_kernel_choice(args)
         )
-        print(f"policy: EDF (non-preemptive)")
-        print(f"jitter bound J = {result.jitter.bound}")
-        print(f"schedulable: {result.schedulable}")
-        if result.busy_bound is not None:
-            print(f"busy bound: {result.busy_bound}")
-        if result.failing_window is not None:
-            print(f"demand exceeds supply at window length {result.failing_window}")
-        return 0 if result.schedulable else 1
+        text, code = format_edf_analysis(result)
+        sys.stdout.write(text)
+        return code
     store = _cache_store(args)
     if store is not None:
         from repro.cache import cached_analyse
@@ -157,12 +184,9 @@ def _cmd_analyze(deployment: Deployment, args: argparse.Namespace) -> int:
         analysis = analyse(
             client, wcet, horizon=args.horizon, kernel=_kernel_choice(args)
         )
-    rows = analysis.rows()
-    print(f"policy: NPFP; jitter bound J = {analysis.jitter.bound}")
-    print(format_table(
-        ["task", "C_i", "priority", "R (release)", "R+J (arrival)"], rows
-    ))
-    return 0 if analysis.schedulable else 1
+    text, code = format_npfp_analysis(analysis)
+    sys.stdout.write(text)
+    return code
 
 
 def _split_inject_plan(args: argparse.Namespace):
@@ -271,16 +295,32 @@ def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
     return code
 
 
-def _cmd_verify(deployment: Deployment, args: argparse.Namespace) -> int:
-    from repro.verification.model_check import explore
-
-    client = deployment.client
+def verification_payloads(client) -> list[tuple[int, int]]:
+    """The message payloads ``repro verify`` explores for a client —
+    one per task type (shared with :mod:`repro.serve`)."""
     payloads = []
     for task in client.tasks:
         if client.policy == "edf":
             payloads.append((task.type_tag, 10_000))
         else:
             payloads.append((task.type_tag, 0))
+    return payloads
+
+
+def format_verification(report) -> tuple[str, int]:
+    """The exact stdout bytes of ``repro verify``, plus the exit code
+    (shared with :mod:`repro.serve`)."""
+    lines = [report.summary()]
+    for violation in report.violations[:5]:
+        lines.append(f"  [{violation.kind}] {violation.detail}")
+    return "\n".join(lines) + "\n", 0 if report.ok else 1
+
+
+def _cmd_verify(deployment: Deployment, args: argparse.Namespace) -> int:
+    from repro.verification.model_check import explore
+
+    client = deployment.client
+    payloads = verification_payloads(client)
     plan, worker_specs, artifact_specs = _split_inject_plan(args)
     if plan is not None and plan.faults:
         # Only engine-level faults make sense under 'verify': the model
@@ -335,10 +375,9 @@ def _cmd_verify(deployment: Deployment, args: argparse.Namespace) -> int:
                 implementation=args.engine or args.semantics,
                 jobs=args.jobs,
             )
-    print(report.summary())
-    for violation in report.violations[:5]:
-        print(f"  [{violation.kind}] {violation.detail}")
-    return 0 if report.ok else 1
+    text, code = format_verification(report)
+    sys.stdout.write(text)
+    return code
 
 
 def _cmd_source(deployment: Deployment, args: argparse.Namespace) -> int:
@@ -513,6 +552,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
     store = default_store()
     if args.cache_command == "stats":
+        if getattr(args, "json", False):
+            # Machine-readable form — the same document the daemon's
+            # GET /cache/stats endpoint serves (one schema, docs/serving.md).
+            import json
+
+            from repro.cache import cache_stats_payload
+
+            print(json.dumps(cache_stats_payload(store), indent=2,
+                             sort_keys=True))
+            return 0
         from repro.rta.curves import memo_cache_info, token_table_info
         from repro.rta.kernel import supply_pool_info, table_cache_info
         from repro.rta.sbf import sbf_pool_info
@@ -560,6 +609,114 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         )
         return 0
     raise AssertionError(f"unknown cache command {args.cache_command!r}")
+
+
+def _parse_deadline_overrides(pairs):
+    """``--deadline CLASS=MS`` overrides over the default policies."""
+    from repro.serve.admission import DEFAULT_POLICIES, ClassPolicy
+
+    policies = {p.name: p for p in DEFAULT_POLICIES}
+    for pair in pairs or ():
+        name, sep, value = pair.partition("=")
+        if not sep or name not in policies:
+            known = ", ".join(sorted(policies))
+            raise SystemExit(
+                f"error: --deadline takes CLASS=MILLISECONDS with CLASS "
+                f"one of {known}; got {pair!r}"
+            )
+        try:
+            deadline_ms = int(value)
+        except ValueError:
+            raise SystemExit(
+                f"error: --deadline {name}: {value!r} is not an integer"
+            )
+        base = policies[name]
+        policies[name] = ClassPolicy(
+            name=base.name, priority=base.priority,
+            deadline_ms=deadline_ms, default_cost_ms=base.default_cost_ms,
+        )
+    return tuple(policies[p.name] for p in DEFAULT_POLICIES)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analysis daemon (docs/serving.md)."""
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        admission=not args.no_admission,
+        policies=_parse_deadline_overrides(args.deadline),
+        request_timeout=args.request_timeout,
+    )
+    return run_server(config)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Talk to a running daemon; analysis output lands on stdout exactly
+    as the offline command would have printed it."""
+    import json
+
+    from repro.serve.client import ServeClient, ServeConnectionError
+
+    client = ServeClient(host=args.host, port=args.port, timeout=args.timeout)
+    try:
+        command = args.client_command
+        if command in ("metrics", "healthz", "cache-stats"):
+            fetch = {
+                "metrics": client.metrics,
+                "healthz": client.healthz,
+                "cache-stats": client.cache_stats,
+            }[command]
+            print(json.dumps(fetch(), indent=2, sort_keys=True))
+            return 0
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                spec = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read spec {args.spec}: {exc}", file=sys.stderr)
+            return 2
+        options = {}
+        for name in ("horizon", "runs", "seed", "intensity", "engine",
+                     "depth"):
+            value = getattr(args, name, None)
+            if value is not None:
+                options[name] = value
+        if getattr(args, "cache", False):
+            options["cache"] = True
+        if command == "lint":
+            # Offline lint names diagnostics after the spec path; ship
+            # the same name so remote output byte-matches `repro lint
+            # --json SPEC`.
+            options["source_name"] = str(args.spec)
+        status, payload = client.call(command, spec, options)
+    except ServeConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if status == 503:
+        retry_after = payload.get("retry_after", 1)
+        print(
+            f"server shed the request ({payload.get('reason', 'overload')}); "
+            f"retry after {retry_after}s",
+            file=sys.stderr,
+        )
+        return 75  # EX_TEMPFAIL
+    if status != 200:
+        print(
+            f"error: server answered {status}: "
+            f"{payload.get('error') or payload.get('stderr') or payload}",
+            file=sys.stderr,
+        )
+        return 2
+    if payload.get("stderr"):
+        sys.stderr.write(payload["stderr"])
+        if not payload["stderr"].endswith("\n"):
+            sys.stderr.write("\n")
+    sys.stdout.write(payload.get("stdout", ""))
+    return int(payload.get("exit_code", 0))
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
@@ -804,6 +961,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     csub = cache.add_subparsers(dest="cache_command", required=True)
     cstats = csub.add_parser("stats", help="show cache location and size")
+    cstats.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable stats document (the same schema "
+        "the daemon's GET /cache/stats endpoint serves)",
+    )
     cstats.set_defaults(handler=_cmd_cache, needs_spec=False)
     cclear = csub.add_parser("clear", help="drop every cached entry")
     cclear.add_argument(
@@ -820,6 +982,81 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_CACHE_MAX_BYTES or 64 MiB)",
     )
     cgc.set_defaults(handler=_cmd_cache, needs_spec=False)
+
+    serve = sub.add_parser(
+        "serve", help="run the analysis daemon (docs/serving.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8750,
+        help="TCP port (0 picks a free one; the bound port is announced "
+        "on stderr)",
+    )
+    serve.add_argument(
+        "--workers", type=_jobs_count, default=2,
+        help="resident worker processes (≥ 1)",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="how long the first analyze call of a batch waits for "
+        "compatible company (milliseconds)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="most analyze calls coalesced into one dispatch",
+    )
+    serve.add_argument(
+        "--no-admission", action="store_true",
+        help="disable RTA-informed admission control (every request queues)",
+    )
+    serve.add_argument(
+        "--deadline", action="append", metavar="CLASS=MS", default=None,
+        help="override a class deadline, e.g. --deadline analyze=500 "
+        "(repeatable; classes: lint, analyze, verify, simulate)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=300.0,
+        help="per-dispatch worker timeout in seconds (a worker past it "
+        "is killed and respawned)",
+    )
+    serve.set_defaults(handler=_cmd_serve, needs_spec=False)
+
+    client = sub.add_parser(
+        "client", help="call a running analysis daemon (docs/serving.md)"
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=8750)
+    client.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="HTTP timeout in seconds",
+    )
+    clsub = client.add_subparsers(dest="client_command", required=True)
+    canalyze = clsub.add_parser("analyze", help="remote response-time analysis")
+    canalyze.add_argument("spec")
+    canalyze.add_argument("--horizon", type=int, default=None)
+    canalyze.add_argument("--cache", action="store_true")
+    csimulate = clsub.add_parser("simulate", help="remote simulation campaign")
+    csimulate.add_argument("spec")
+    csimulate.add_argument("--horizon", type=int, default=None)
+    csimulate.add_argument("--runs", type=int, default=None)
+    csimulate.add_argument("--seed", type=int, default=None)
+    csimulate.add_argument("--intensity", type=float, default=None)
+    csimulate.add_argument("--engine", choices=engine_names(), default=None)
+    csimulate.add_argument("--cache", action="store_true")
+    cverify = clsub.add_parser("verify", help="remote bounded model check")
+    cverify.add_argument("spec")
+    cverify.add_argument("--depth", type=int, default=None)
+    cverify.add_argument("--engine", choices=engine_names(), default=None)
+    cverify.add_argument("--cache", action="store_true")
+    clint = clsub.add_parser("lint", help="remote static analysis (JSON out)")
+    clint.add_argument("spec")
+    for probe, description in (
+        ("metrics", "print the daemon's /metrics document"),
+        ("healthz", "print the daemon's /healthz document"),
+        ("cache-stats", "print the daemon's /cache/stats document"),
+    ):
+        clsub.add_parser(probe, help=description)
+    client.set_defaults(handler=_cmd_client, needs_spec=False)
 
     wcet = sub.add_parser("wcet", help="static + measured WCETs")
     wcet.add_argument("spec")

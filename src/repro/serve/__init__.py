@@ -1,0 +1,81 @@
+"""repro.serve — analysis-as-a-service (see ``docs/serving.md``).
+
+The long-lived counterpart of the CLI: a stdlib-only asyncio daemon
+(``repro serve``) that keeps the expensive state — memo caches,
+compiled step tables, pooled supplies, built engines — warm in a
+resident worker pool and answers ``analyze`` / ``simulate`` /
+``verify`` / ``lint`` over HTTP/JSON, byte-identically to the offline
+CLI.  Concurrent compatible analyze calls coalesce into
+``analyse_batch`` dispatches, and an admission controller applies the
+repository's *own* response-time analysis to the service's request
+queue, shedding requests whose bound exceeds their class deadline with
+a fast ``503 + Retry-After``.
+
+Layers:
+
+* :mod:`repro.serve.protocol`  — request/response wire types;
+* :mod:`repro.serve.pool`      — the resident worker pool + execution;
+* :mod:`repro.serve.batching`  — the micro-batching queue;
+* :mod:`repro.serve.admission` — RTA-informed admission control;
+* :mod:`repro.serve.server`    — the asyncio HTTP daemon;
+* :mod:`repro.serve.client`    — the thin stdlib client.
+"""
+
+from repro.serve.admission import (
+    DEFAULT_POLICIES,
+    AdmissionController,
+    ClassPolicy,
+    Verdict,
+)
+from repro.serve.batching import MicroBatcher
+from repro.serve.client import ServeClient, ServeConnectionError
+from repro.serve.pool import (
+    PoolError,
+    PoolShutDown,
+    ResidentPool,
+    WorkerCrashed,
+    WorkerTimeout,
+    execute_batch,
+    execute_request,
+)
+from repro.serve.protocol import (
+    COMMAND_OPTIONS,
+    ProtocolError,
+    Request,
+    Response,
+    batch_key,
+    parse_request,
+)
+from repro.serve.server import (
+    AnalysisServer,
+    ServeConfig,
+    ServerThread,
+    run_server,
+)
+
+__all__ = [
+    "COMMAND_OPTIONS",
+    "AdmissionController",
+    "AnalysisServer",
+    "ClassPolicy",
+    "DEFAULT_POLICIES",
+    "MicroBatcher",
+    "PoolError",
+    "PoolShutDown",
+    "ProtocolError",
+    "Request",
+    "ResidentPool",
+    "Response",
+    "ServeClient",
+    "ServeConfig",
+    "ServeConnectionError",
+    "ServerThread",
+    "Verdict",
+    "WorkerCrashed",
+    "WorkerTimeout",
+    "batch_key",
+    "execute_batch",
+    "execute_request",
+    "parse_request",
+    "run_server",
+]

@@ -1,0 +1,363 @@
+"""RTA-informed admission control: the service schedules itself.
+
+The daemon's request queue is exactly the object this repository
+analyzes: sporadically arriving work classes (``analyze`` … ``simulate``)
+with per-class costs, competing for ``K`` workers under per-class
+deadlines.  So the admission controller does not guess with a magic
+queue-length threshold — it builds a sporadic task set out of its own
+observed traffic and runs the repo's response-time analysis
+(:func:`repro.rta.npfp.analyse`, Thm. 4.2) over it:
+
+* each request class becomes a :class:`~repro.model.task.Task` whose
+  WCET is the (quantized) worst observed service time and whose arrival
+  curve is a :class:`~repro.rta.curves.SporadicCurve` at the (quantized)
+  **mean** inter-arrival separation over the observation window,
+  widened by the worker count (each resident worker serves ~1/K of the
+  stream) — the mean estimates the *sustained* rate, which is what a
+  long-run schedulability verdict is about, while transient bursts are
+  the backlog check's job;
+* a request of class ``i`` is admitted only if the instantaneous
+  backlog (admitted-but-unfinished cost ahead of it) leaves room for
+  its own cost within its deadline **and** — once the class has a full
+  observation window, so the curve estimate means something — the
+  class's response-time bound ``R_i + J`` fits its deadline;
+* *every* arrival is observed, shed ones included (arrival ≠
+  admission): when clients back off, the measured rate decays and a
+  previously overloaded class becomes admittable again;
+* rejected requests get ``503`` with a ``Retry-After`` derived from the
+  excess — shedding is *fast* (no queueing, no worker time) and *safe*
+  (a shed request is never answered wrongly, only late-shifted).
+
+Quantization (powers of two) keeps the synthetic task set piecewise
+constant under noisy measurements, so RTA verdicts memoize well: the
+analysis reruns only when traffic genuinely changes shape.
+
+Everything takes an injectable ``clock`` so tests drive admission
+decisions deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from math import ceil
+from typing import Callable, Mapping, Sequence
+
+from repro import obs
+
+#: Time unit of the synthetic task set: one millisecond.
+_MS = 1000.0
+
+#: Sliding-window length of the per-class duration / arrival histories.
+_HISTORY = 64
+
+#: Memoized RTA verdicts (one per quantized traffic shape).
+_RTA_MEMO_LIMIT = 128
+
+#: Busy-window search horizon of the self-analysis, in ms.
+_SELF_RTA_HORIZON = 600_000
+
+
+@dataclass(frozen=True)
+class ClassPolicy:
+    """Admission policy of one request class.
+
+    ``priority`` follows the repo convention (larger = higher);
+    ``deadline_ms`` is the class's response-time budget — the bound the
+    RTA check must fit; ``default_cost_ms`` seeds the cost estimate
+    until real durations have been observed.
+    """
+
+    name: str
+    priority: int
+    deadline_ms: int
+    default_cost_ms: int
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms <= 0:
+            raise ValueError(f"class {self.name!r}: deadline must be positive")
+        if self.default_cost_ms <= 0:
+            raise ValueError(f"class {self.name!r}: default cost must be positive")
+
+
+#: Interactive classes get tight deadlines and high priority; the heavy
+#: batch-ish classes get room.  Priorities mirror "cheap preempts
+#: expensive" — the NPFP ordering that keeps lint latency flat while a
+#: verify burst drains.
+DEFAULT_POLICIES: tuple[ClassPolicy, ...] = (
+    ClassPolicy("lint", priority=4, deadline_ms=1_000, default_cost_ms=20),
+    ClassPolicy("analyze", priority=3, deadline_ms=2_000, default_cost_ms=50),
+    ClassPolicy("verify", priority=2, deadline_ms=10_000, default_cost_ms=500),
+    ClassPolicy("simulate", priority=1, deadline_ms=30_000, default_cost_ms=2_000),
+)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One admission decision."""
+
+    admitted: bool
+    reason: str
+    retry_after: int = 0  # seconds, for the 503's Retry-After header
+    bound_ms: int | None = None  # the RTA bound, when one was computed
+    deadline_ms: int = 0
+
+
+def _quantize_up(value: float) -> int:
+    """Smallest power of two ≥ ``value`` (≥ 1)."""
+    result = 1
+    while result < value:
+        result *= 2
+    return result
+
+
+def _quantize_down(value: float) -> int:
+    """Largest power of two ≤ ``value`` (≥ 1)."""
+    if value <= 1:
+        return 1
+    result = 1
+    while result * 2 <= value:
+        result *= 2
+    return result
+
+
+class AdmissionController:
+    """Admit/shed decisions over the daemon's own request stream.
+
+    Thread-safe; the HTTP layer calls :meth:`admit` before queueing a
+    request, then :meth:`on_admit` / :meth:`on_complete` around its
+    execution so the observed histograms keep feeding the model.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        policies: Sequence[ClassPolicy] = DEFAULT_POLICIES,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("admission needs at least 1 worker")
+        self.workers = workers
+        self.policies: dict[str, ClassPolicy] = {p.name: p for p in policies}
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._durations: dict[str, deque[float]] = {
+            name: deque(maxlen=_HISTORY) for name in self.policies
+        }
+        self._arrivals: dict[str, deque[float]] = {
+            name: deque(maxlen=_HISTORY) for name in self.policies
+        }
+        self._inflight: dict[str, int] = {name: 0 for name in self.policies}
+        self._rta_memo: dict[tuple, dict[str, int | None]] = {}
+        self.admitted = 0
+        self.shed = 0
+
+    # -- observation ---------------------------------------------------------
+
+    def on_admit(self, class_name: str) -> None:
+        """Mark an admitted request as queued (arrival was already
+        recorded by :meth:`admit` — shed requests arrive too)."""
+        with self._lock:
+            self._inflight[class_name] += 1
+
+    def on_complete(self, class_name: str, duration_s: float) -> None:
+        """Record a finished request's service time."""
+        with self._lock:
+            self._durations[class_name].append(duration_s * _MS)
+            self._inflight[class_name] = max(0, self._inflight[class_name] - 1)
+
+    # -- the model -----------------------------------------------------------
+
+    def _cost_ms(self, class_name: str) -> int:
+        """Quantized cost estimate of one request of ``class_name``."""
+        history = self._durations[class_name]
+        observed = max(history) if history else self.policies[class_name].default_cost_ms
+        return _quantize_up(max(1.0, observed))
+
+    def _separation_ms(self, class_name: str) -> int:
+        """Quantized mean inter-arrival separation of ``class_name``.
+
+        The mean over the sliding window estimates the *sustained* rate
+        (a one-shot burst has tiny minimum gaps but a modest mean; a
+        steady overload has a tiny mean too).  With fewer than two
+        observed arrivals the class is modeled at its deadline period —
+        one request per budget window, the lightest load consistent
+        with "this class exists".
+        """
+        arrivals = self._arrivals[class_name]
+        if len(arrivals) < 2:
+            return _quantize_down(self.policies[class_name].deadline_ms)
+        span = arrivals[-1] - arrivals[0]
+        mean_gap = span / (len(arrivals) - 1)
+        return _quantize_down(max(1.0, mean_gap * _MS))
+
+    def _traffic_key(self) -> tuple:
+        """The quantized traffic shape — the RTA memo key."""
+        return tuple(
+            (name, self._cost_ms(name), self._separation_ms(name))
+            for name in sorted(self.policies)
+            if self._arrivals[name] or self._inflight[name]
+        )
+
+    def _self_rta(self, key: tuple) -> dict[str, int | None]:
+        """Response-time bounds of the service's own task set (memoized).
+
+        Per-class bound in ms, ``None`` where the class's busy window
+        never closes (unschedulable at the current traffic shape).
+        """
+        cached = self._rta_memo.get(key)
+        if cached is not None:
+            return cached
+        from repro.model.task import Task, TaskSystem
+        from repro.rossl.client import RosslClient
+        from repro.rta.curves import SporadicCurve
+        from repro.rta.npfp import analyse
+        from repro.timing.wcet import WcetModel
+
+        tasks = []
+        curves = {}
+        for index, (name, cost_ms, separation_ms) in enumerate(key):
+            tasks.append(
+                Task(
+                    name=name,
+                    priority=self.policies[name].priority,
+                    wcet=cost_ms,
+                    type_tag=index,
+                )
+            )
+            # Each resident worker serves ~1/K of the stream, so one
+            # worker's view of the class is K× sparser.
+            curves[name] = SporadicCurve(
+                min_separation=separation_ms * self.workers
+            )
+        client = RosslClient.make(
+            TaskSystem(tasks, curves), sockets=[0], policy="npfp"
+        )
+        # Dispatch overheads of the asyncio/queue layer are microseconds
+        # against millisecond costs: the smallest legal WCET model.
+        overheads = WcetModel(
+            failed_read=2, success_read=2,
+            selection=1, dispatch=1, completion=1, idling=1,
+        )
+        with obs.span("serve.admission_rta", classes=len(key)):
+            analysis = analyse(client, overheads, horizon=_SELF_RTA_HORIZON)
+        bounds: dict[str, int | None] = {}
+        for name, _, _ in key:
+            if analysis.bounds[name].schedulable:
+                bounds[name] = analysis.response_time_bound(name)
+            else:
+                bounds[name] = None
+        if len(self._rta_memo) >= _RTA_MEMO_LIMIT:
+            self._rta_memo.clear()
+        self._rta_memo[key] = bounds
+        obs.inc("serve.admission_rta_runs")
+        return bounds
+
+    # -- the decision --------------------------------------------------------
+
+    def admit(self, class_name: str) -> Verdict:
+        """Decide whether one incoming request of ``class_name`` may queue."""
+        policy = self.policies.get(class_name)
+        if policy is None:
+            return Verdict(admitted=True, reason="unmodeled class")
+        with self._lock:
+            # Every arrival feeds the model, shed ones included — the
+            # arrival stream exists whether or not we serve it, and
+            # observing rejections is what lets the rate estimate decay
+            # back to admittable once clients back off.
+            self._arrivals[class_name].append(self._clock())
+            deadline = policy.deadline_ms
+            cost = self._cost_ms(class_name)
+            # Fast backlog check: everything already admitted and not
+            # yet finished is (conservatively) ahead of this request on
+            # the K workers; its own cost rides on top.
+            backlog = sum(
+                self._inflight[name] * self._cost_ms(name)
+                for name in self.policies
+            )
+            wait_ms = backlog / self.workers + cost
+            if wait_ms > deadline:
+                self.shed += 1
+                obs.inc("serve.requests_shed")
+                excess_ms = wait_ms - deadline
+                return Verdict(
+                    admitted=False,
+                    reason=(
+                        f"backlog {backlog:.0f}ms across {self.workers} "
+                        f"worker(s) leaves no room for a {cost}ms "
+                        f"{class_name} within its {deadline}ms deadline"
+                    ),
+                    retry_after=max(1, ceil(excess_ms / 1000.0)),
+                    deadline_ms=deadline,
+                )
+            # RTA check: at the observed sustained traffic shape, does
+            # the class's response-time bound fit its deadline at all?
+            # Only once the observation window is full — a half-window
+            # rate estimate says "burst", not "sustained", and bursts
+            # are already governed by the exact backlog check above.
+            if len(self._arrivals[class_name]) < _HISTORY:
+                self.admitted += 1
+                obs.inc("serve.requests_admitted")
+                return Verdict(
+                    admitted=True,
+                    reason=(
+                        f"fits backlog; observation window warming "
+                        f"({len(self._arrivals[class_name])}/{_HISTORY})"
+                    ),
+                    deadline_ms=deadline,
+                )
+            key = self._traffic_key()
+            bounds = self._self_rta(key)
+        bound = bounds.get(class_name)
+        if bound is None or bound > deadline:
+            with self._lock:
+                self.shed += 1
+            obs.inc("serve.requests_shed")
+            if bound is None:
+                reason = (
+                    f"self-RTA: the {class_name} busy window never closes "
+                    "at the current traffic shape"
+                )
+                retry_after = max(1, ceil(deadline / 1000.0))
+            else:
+                reason = (
+                    f"self-RTA bound {bound}ms exceeds the {class_name} "
+                    f"deadline {deadline}ms"
+                )
+                retry_after = max(1, ceil((bound - deadline) / 1000.0))
+            return Verdict(
+                admitted=False, reason=reason, retry_after=retry_after,
+                bound_ms=bound, deadline_ms=deadline,
+            )
+        with self._lock:
+            self.admitted += 1
+        obs.inc("serve.requests_admitted")
+        return Verdict(
+            admitted=True, reason="fits", bound_ms=bound, deadline_ms=deadline
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The admission state for ``GET /metrics``."""
+        with self._lock:
+            classes: dict[str, Mapping] = {}
+            for name, policy in sorted(self.policies.items()):
+                history = self._durations[name]
+                classes[name] = {
+                    "priority": policy.priority,
+                    "deadline_ms": policy.deadline_ms,
+                    "cost_estimate_ms": self._cost_ms(name),
+                    "min_separation_ms": self._separation_ms(name),
+                    "observed_durations": len(history),
+                    "inflight": self._inflight[name],
+                }
+            return {
+                "workers": self.workers,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "rta_memo_entries": len(self._rta_memo),
+                "classes": classes,
+            }

@@ -1,0 +1,119 @@
+"""Micro-batching: coalesce concurrent compatible requests into one
+resident-worker dispatch.
+
+``analyze`` requests that share a :func:`repro.serve.protocol.batch_key`
+(same options; specs may differ) and arrive within a few milliseconds of
+each other are executed as one :func:`repro.rta.npfp.analyse_batch`
+dispatch — one pipe round-trip, one ``batch_scope``, shared compiled
+step tables across every cell.  Each caller still gets exactly the
+response a solo dispatch would have produced; batching changes *when*
+work is grouped, never what any request answers.
+
+The batcher is purely asyncio-side: the first pending request of a key
+arms a ``loop.call_later`` flush, a full batch flushes immediately, and
+requests whose key is ``None`` (everything but ``analyze``) dispatch
+alone without waiting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Sequence
+
+from repro import obs
+from repro.serve.protocol import Request, Response, batch_key
+
+#: How long the first request of a batch waits for company, in seconds.
+#: Two milliseconds is far below any class deadline and far above the
+#: asyncio scheduling jitter of concurrent arrivals.
+DEFAULT_WINDOW_S = 0.002
+
+#: Hard cap on coalesced requests per dispatch.
+DEFAULT_MAX_BATCH = 8
+
+#: A dispatch function: a compatible request group in, responses (in the
+#: same order) out.  Runs in an executor thread — it blocks on the pool.
+DispatchFn = Callable[[Sequence[Request]], Awaitable[list[Response]]]
+
+
+class MicroBatcher:
+    """Group compatible requests, dispatch groups, fan results back out."""
+
+    def __init__(
+        self,
+        dispatch: DispatchFn,
+        window_s: float = DEFAULT_WINDOW_S,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self._dispatch = dispatch
+        self.window_s = window_s
+        self.max_batch = max_batch
+        # key -> list of (request, future) awaiting the next flush
+        self._pending: dict[str, list[tuple[Request, asyncio.Future]]] = {}
+        self._timers: dict[str, asyncio.TimerHandle] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self.batches_dispatched = 0
+        self.requests_batched = 0
+
+    async def submit(self, request: Request) -> Response:
+        """The response for ``request``, via a solo or coalesced dispatch."""
+        key = batch_key(request)
+        if key is None or self.max_batch == 1:
+            return (await self._dispatch([request]))[0]
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        group = self._pending.setdefault(key, [])
+        group.append((request, future))
+        if len(group) >= self.max_batch:
+            self._flush(key)
+        elif len(group) == 1:
+            self._timers[key] = loop.call_later(
+                self.window_s, self._flush, key
+            )
+        return await future
+
+    def _flush(self, key: str) -> None:
+        group = self._pending.pop(key, [])
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        if not group:
+            return
+        self.batches_dispatched += 1
+        self.requests_batched += len(group)
+        obs.inc("serve.batches_dispatched")
+        obs.observe("serve.batch_size", len(group))
+        task = asyncio.get_running_loop().create_task(self._run(group))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run(self, group: list[tuple[Request, asyncio.Future]]) -> None:
+        requests = [request for request, _ in group]
+        try:
+            responses = await self._dispatch(requests)
+        except Exception as exc:
+            for _, future in group:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), response in zip(group, responses):
+            if not future.done():
+                future.set_result(response)
+
+    async def drain(self) -> None:
+        """Flush everything pending and wait for in-flight dispatches."""
+        for key in list(self._pending):
+            self._flush(key)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    def stats(self) -> dict:
+        return {
+            "window_ms": self.window_s * 1000.0,
+            "max_batch": self.max_batch,
+            "batches_dispatched": self.batches_dispatched,
+            "requests_batched": self.requests_batched,
+            "pending": sum(len(g) for g in self._pending.values()),
+        }

@@ -1,0 +1,119 @@
+"""Thin stdlib client for the analysis daemon.
+
+One connection per call (the server closes connections anyway), JSON in
+and out, no retries — callers own their retry policy because the 503
+payload carries the server-computed ``retry_after``.  Used by the
+``repro client`` CLI subcommand, the test suite, and the E21 benchmark.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping
+
+
+class ServeConnectionError(Exception):
+    """The daemon could not be reached (or answered garbage)."""
+
+
+class ServeClient:
+    """Calls against one ``repro serve`` instance."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8750,
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, dict]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"}
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                raw = connection.getresponse()
+                payload_bytes = raw.read()
+                status = raw.status
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeConnectionError(
+                    f"cannot reach repro serve at "
+                    f"{self.host}:{self.port}: {exc}"
+                ) from exc
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(payload_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeConnectionError(
+                f"non-JSON answer from {self.host}:{self.port} "
+                f"(status {status}): {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ServeConnectionError(
+                f"unexpected answer shape from {self.host}:{self.port}"
+            )
+        return status, payload
+
+    # -- analysis calls ------------------------------------------------------
+
+    def call(
+        self,
+        command: str,
+        spec: Mapping[str, Any],
+        options: Mapping[str, Any] | None = None,
+        request_id: str = "",
+    ) -> tuple[int, dict]:
+        """POST one analysis request; returns ``(http_status, payload)``.
+
+        On 200 the payload is the response document (``stdout`` holds
+        the CLI-identical bytes, ``exit_code`` the CLI's exit code); on
+        503 it carries the admission verdict and ``retry_after``.
+        """
+        document: dict[str, Any] = {"command": command, "spec": dict(spec)}
+        if options:
+            document["options"] = dict(options)
+        if request_id:
+            document["request_id"] = request_id
+        body = json.dumps(document).encode("utf-8")
+        return self._request("POST", f"/v1/{command}", body)
+
+    def analyze(self, spec, options=None, request_id=""):
+        return self.call("analyze", spec, options, request_id)
+
+    def simulate(self, spec, options=None, request_id=""):
+        return self.call("simulate", spec, options, request_id)
+
+    def verify(self, spec, options=None, request_id=""):
+        return self.call("verify", spec, options, request_id)
+
+    def lint(self, spec, options=None, request_id=""):
+        return self.call("lint", spec, options, request_id)
+
+    # -- introspection -------------------------------------------------------
+
+    def healthz(self) -> dict:
+        status, payload = self._request("GET", "/healthz")
+        if status != 200:
+            raise ServeConnectionError(f"/healthz answered {status}")
+        return payload
+
+    def metrics(self) -> dict:
+        status, payload = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeConnectionError(f"/metrics answered {status}")
+        return payload
+
+    def cache_stats(self) -> dict:
+        status, payload = self._request("GET", "/cache/stats")
+        if status != 200:
+            raise ServeConnectionError(f"/cache/stats answered {status}")
+        return payload

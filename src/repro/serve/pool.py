@@ -1,0 +1,715 @@
+"""Resident worker pool: long-lived analysis processes with warm caches.
+
+The fork-pool runner (:mod:`repro.analysis.parallel`) builds a fresh
+process pool per campaign — BENCH_parallel.json's E18 measures that
+spin-up as a net *loss* on small boxes.  The daemon cannot afford that
+per request, so this module keeps ``K`` worker processes alive for the
+life of the service:
+
+* each worker's in-process caches stay **warm across requests** — the
+  MemoCurve step cache, the compiled step tables and pooled supplies of
+  :mod:`repro.rta.kernel`, per-client engines, and (when enabled) the
+  persistent result store;
+* batched analyze dispatches run under
+  :func:`repro.rta.npfp.analyse_batch`, sharing compiled tables across
+  every cell of the batch;
+* the PR 4 failure machinery is adapted to long-lived workers: a
+  request that exceeds its timeout gets its worker **killed and
+  respawned** (a hung resident worker would otherwise poison every
+  later request), a worker that dies mid-request is respawned and the
+  request retried once on the fresh process — the quarantine idea,
+  reshaped: a deterministically-crashing request exhausts its own
+  retry, never another request's worker.
+
+Execution reuses the CLI's own rendering helpers
+(:func:`repro.cli.format_npfp_analysis` et al.), which is what makes
+daemon responses byte-identical to offline CLI stdout by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import multiprocessing
+import os
+import pickle
+import queue
+import threading
+from contextlib import redirect_stderr
+from typing import Any, Callable, Sequence
+
+from repro import obs
+from repro.config import SpecError, parse_deployment
+from repro.serve.protocol import Request, Response
+
+#: Worker-side job kinds.
+JOB_BATCH = "batch"
+JOB_CAMPAIGN_CHUNK = "campaign_chunk"
+JOB_CACHE_STATS = "cache_stats"
+JOB_PING = "ping"
+JOB_STOP = "stop"
+
+#: Per-worker engine cache bound — engines are rebuilt (cheaply, the
+#: parse/typecheck/compile is per deployment) past this many distinct
+#: (engine, client) pairs.
+_ENGINE_CACHE_LIMIT = 32
+
+
+class PoolError(Exception):
+    """Base for resident-pool dispatch failures."""
+
+
+class WorkerCrashed(PoolError):
+    """The worker died before answering; it has been respawned."""
+
+
+class WorkerTimeout(PoolError):
+    """The job exceeded its timeout; the worker was killed and respawned."""
+
+
+class PoolShutDown(PoolError):
+    """The pool is no longer accepting work."""
+
+
+# -- request execution (worker side) ----------------------------------------
+
+_ENGINE_CACHE: dict = {}
+
+
+def _cached_engine(engine_name: str, client):
+    """The worker's engine for ``(engine_name, client)``, built once."""
+    from repro.engine import create_engine, resolve_engine_name
+
+    name = resolve_engine_name(engine_name)
+    key = (name, hashlib.sha256(pickle.dumps(client)).hexdigest())
+    engine = _ENGINE_CACHE.get(key)
+    if engine is None:
+        if len(_ENGINE_CACHE) >= _ENGINE_CACHE_LIMIT:
+            _ENGINE_CACHE.clear()
+        with obs.span("serve.engine_build", engine=name):
+            engine = create_engine(name, client)
+        _ENGINE_CACHE[key] = engine
+        obs.inc("serve.engine_builds")
+    else:
+        obs.inc("serve.engine_cache_hits")
+    return engine
+
+
+def _store_for(request: Request):
+    """The persistent result store, when the request opted in."""
+    if not request.option("cache", False):
+        return None
+    from repro.cache import default_store
+
+    return default_store()
+
+
+def _error_response(request: Request, status: int, message: str) -> Response:
+    return Response(
+        request_id=request.request_id,
+        command=request.command,
+        status=status,
+        exit_code=2,
+        stdout="",
+        stderr=message,
+    )
+
+
+def _exec_analyze(request: Request, deployment, analysis=None) -> Response:
+    from repro.cli import format_edf_analysis, format_npfp_analysis
+    from repro.rta.npfp import analyse
+
+    client, wcet = deployment.client, deployment.wcet
+    horizon = request.option("horizon", 1_000_000)
+    kernel = request.option("kernel")
+    if client.policy == "edf":
+        from repro.edf import edf_analysis
+
+        result = edf_analysis(client, wcet, horizon=horizon, kernel=kernel)
+        text, code = format_edf_analysis(result)
+    else:
+        if analysis is None:
+            store = _store_for(request)
+            if store is not None:
+                from repro.cache import cached_analyse
+
+                analysis = cached_analyse(
+                    client, wcet, horizon, store, kernel=kernel
+                )
+            else:
+                analysis = analyse(client, wcet, horizon=horizon, kernel=kernel)
+        text, code = format_npfp_analysis(analysis)
+    return Response(
+        request_id=request.request_id, command="analyze",
+        status=200, exit_code=code, stdout=text,
+    )
+
+
+def _exec_simulate(request: Request, deployment) -> Response:
+    from repro.analysis.adequacy import run_adequacy_campaign
+
+    client, wcet = deployment.client, deployment.wcet
+    if client.policy == "edf":
+        return _error_response(
+            request, 400,
+            "simulate currently drives the NPFP analysis pipeline; "
+            "EDF specs are checked with 'analyze'",
+        )
+    report = run_adequacy_campaign(
+        client,
+        wcet,
+        horizon=request.option("horizon", 100_000),
+        runs=request.option("runs", 5),
+        seed=request.option("seed", 0),
+        intensity=request.option("intensity", 1.0),
+        engine=request.option("engine") or deployment.engine,
+        jobs=1,  # the worker *is* the parallelism; no nested pools
+        cache=_store_for(request),
+        kernel=request.option("kernel"),
+    )
+    return Response(
+        request_id=request.request_id, command="simulate",
+        status=200, exit_code=0 if report.ok else 1,
+        stdout=report.table() + "\n",
+    )
+
+
+def _exec_verify(request: Request, deployment) -> Response:
+    from repro.cli import format_verification, verification_payloads
+    from repro.verification.model_check import explore
+
+    client = deployment.client
+    payloads = verification_payloads(client)
+    depth = request.option("depth", 4)
+    engine = request.option("engine", "minic")
+    store = _store_for(request)
+    if store is not None:
+        from repro.cache import cached_explore
+
+        report = cached_explore(
+            client, payloads, max_reads=depth,
+            implementation=engine, jobs=1, store=store,
+        )
+    else:
+        report = explore(
+            client, payloads, max_reads=depth, implementation=engine, jobs=1
+        )
+    text, code = format_verification(report)
+    return Response(
+        request_id=request.request_id, command="verify",
+        status=200, exit_code=code, stdout=text,
+    )
+
+
+def _exec_lint(request: Request, deployment) -> Response:
+    from repro.lang.analysis import analyze_client
+
+    source_name = request.option("source_name", "<request>")
+    report = analyze_client(deployment.client, source_name=source_name)
+    return Response(
+        request_id=request.request_id, command="lint",
+        status=200, exit_code=report.exit_code(False),
+        stdout=report.to_json() + "\n",
+    )
+
+
+_EXECUTORS: dict[str, Callable] = {
+    "analyze": _exec_analyze,
+    "simulate": _exec_simulate,
+    "verify": _exec_verify,
+    "lint": _exec_lint,
+}
+
+
+def execute_request(request: Request) -> Response:
+    """Execute one request; never raises — failures become responses."""
+    try:
+        deployment = parse_deployment(request.spec)
+    except SpecError as exc:
+        return _error_response(request, 400, f"error: {exc}")
+    sink = io.StringIO()
+    try:
+        # Stray diagnostics (cache notes, campaign elapsed lines) go to
+        # the response's stderr field, exactly as the CLI sends them to
+        # the terminal's stderr; stdout stays reserved for the result.
+        with obs.span("serve.request", command=request.command), \
+                redirect_stderr(sink):
+            response = _EXECUTORS[request.command](request, deployment)
+    except Exception as exc:  # a bug, not a bad request
+        obs.inc("serve.request_errors")
+        return _error_response(
+            request, 500, f"{type(exc).__name__}: {exc}"
+        )
+    if sink.getvalue() and not response.stderr:
+        response = Response(
+            request_id=response.request_id, command=response.command,
+            status=response.status, exit_code=response.exit_code,
+            stdout=response.stdout, stderr=sink.getvalue(),
+        )
+    return response
+
+
+def execute_batch(requests: Sequence[Request]) -> list[Response]:
+    """Execute a compatible batch in one dispatch.
+
+    NPFP ``analyze`` requests are analysed through
+    :func:`repro.rta.npfp.analyse_batch` — one batch scope, shared
+    compiled step tables and pooled supplies across every cell; all
+    other requests (EDF analyses included) run individually inside the
+    same pinned scope.  Per-request results are byte-identical to solo
+    execution: ``analyse_batch`` is the same solver with shared state.
+    """
+    from repro.rta import kernel as step_kernel
+
+    if len(requests) == 1:
+        return [execute_request(requests[0])]
+    obs.inc("serve.batches")
+    obs.observe("serve.batch_size", len(requests))
+    responses: dict[int, Response] = {}
+    analyzable: list[tuple[int, Request, Any]] = []
+    with step_kernel.batch_scope():
+        for index, request in enumerate(requests):
+            if request.command != "analyze":
+                responses[index] = execute_request(request)
+                continue
+            try:
+                deployment = parse_deployment(request.spec)
+            except SpecError as exc:
+                responses[index] = _error_response(
+                    request, 400, f"error: {exc}"
+                )
+                continue
+            if deployment.client.policy == "edf" or request.option("cache", False):
+                responses[index] = execute_request(request)
+            else:
+                analyzable.append((index, request, deployment))
+        if analyzable:
+            from repro.rta.npfp import analyse_batch
+
+            first = analyzable[0][1]
+            horizon = first.option("horizon", 1_000_000)
+            kernel = first.option("kernel")
+            try:
+                with obs.span("serve.analyse_batch", cells=len(analyzable)):
+                    analyses = analyse_batch(
+                        [d for _, _, d in analyzable],
+                        horizon=horizon,
+                        kernel=kernel,
+                    )
+            except Exception as exc:
+                for index, request, _ in analyzable:
+                    responses[index] = _error_response(
+                        request, 500, f"{type(exc).__name__}: {exc}"
+                    )
+            else:
+                for (index, request, deployment), analysis in zip(
+                    analyzable, analyses
+                ):
+                    responses[index] = _exec_analyze(
+                        request, deployment, analysis=analysis
+                    )
+    return [responses[index] for index in range(len(requests))]
+
+
+# -- campaign chunks (satellite of E18: warm-pool campaigns) ----------------
+
+
+def _execute_campaign_chunk(setup: tuple, indices: Sequence[int]) -> list:
+    """One adequacy-campaign chunk on a resident worker.
+
+    Mirrors :func:`repro.analysis.parallel._campaign_chunk`, except the
+    engine comes from the worker's warm cache instead of a per-pool
+    initializer — the whole point of keeping the workers resident.
+    """
+    from repro.analysis.adequacy import adequacy_run
+
+    (client, wcet, analysis, horizon, runs,
+     seed_root, intensity, adversarial_fraction, engine_name) = setup
+    engine = _cached_engine(engine_name, client)
+    # The registry pins engines to their client by *identity*; chunks
+    # arrive with fresh unpickled (value-equal) copies, so run against
+    # the cached engine's own client.
+    client = engine.client
+    with obs.span("campaign.chunk", pid=os.getpid(), runs=len(indices)):
+        return [
+            adequacy_run(
+                client, wcet, analysis, horizon, runs, index,
+                seed_root=seed_root, intensity=intensity,
+                adversarial_fraction=adversarial_fraction, engine=engine,
+            )
+            for index in indices
+        ]
+
+
+# -- the worker process -----------------------------------------------------
+
+
+def _worker_main(conn, obs_enabled: bool) -> None:
+    """Resident worker loop: recv job, execute, send (id, status, result,
+    obs-delta) until the pipe closes or a stop job arrives."""
+    from repro.analysis.parallel import init_worker_obs
+
+    init_worker_obs(obs_enabled)
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError):
+            break
+        job_id, kind, payload = job
+        if kind == JOB_STOP:
+            try:
+                conn.send((job_id, "ok", None, None))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        before = obs.snapshot() if obs.enabled() else None
+        try:
+            if kind == JOB_PING:
+                result: Any = os.getpid()
+            elif kind == JOB_BATCH:
+                result = execute_batch(payload)
+            elif kind == JOB_CAMPAIGN_CHUNK:
+                result = _execute_campaign_chunk(*payload)
+            elif kind == JOB_CACHE_STATS:
+                from repro.cache import cache_stats_payload
+
+                result = cache_stats_payload()
+            else:
+                raise ValueError(f"unknown job kind {kind!r}")
+            delta = obs.snapshot().diff(before) if before is not None else None
+            conn.send((job_id, "ok", result, delta))
+        except Exception as exc:
+            try:
+                conn.send(
+                    (job_id, "error", f"{type(exc).__name__}: {exc}", None)
+                )
+            except (BrokenPipeError, OSError, TypeError):
+                break
+
+
+class _Worker:
+    """Parent-side handle of one resident worker process."""
+
+    __slots__ = ("proc", "conn")
+
+    def __init__(self, context, obs_enabled: bool) -> None:
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        self.proc = context.Process(
+            target=_worker_main,
+            args=(child_conn, obs_enabled),
+            daemon=True,
+            name="repro-serve-worker",
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except (OSError, AttributeError, ValueError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def join(self, timeout: float | None = None) -> None:
+        self.proc.join(timeout)
+
+
+class ResidentPool:
+    """``K`` long-lived workers behind a thread-safe dispatch façade.
+
+    ``submit`` hands one job to an idle worker and blocks until the
+    answer (or the timeout) — callers queue on the idle-worker queue,
+    which is exactly the queue the admission controller models.  Thread
+    safe: the HTTP layer calls it from executor threads, the campaign
+    runner from a thread per chunk.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        request_timeout: float | None = None,
+        obs_enabled: bool | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a resident pool needs at least 1 worker")
+        self.workers = workers
+        self.request_timeout = request_timeout
+        self._obs_enabled = obs_enabled
+        methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._idle: queue.Queue[_Worker] = queue.Queue()
+        self._lock = threading.Lock()
+        self._live: set[_Worker] = set()
+        self._job_counter = 0
+        self._started = False
+        self._closed = False
+        self.respawns = 0
+        self.jobs_ok = 0
+        self.jobs_failed = 0
+        self.timeouts = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ResidentPool":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            enabled = (
+                obs.enabled() if self._obs_enabled is None else self._obs_enabled
+            )
+            self._obs_enabled = enabled
+            for _ in range(self.workers):
+                worker = _Worker(self._context, enabled)
+                self._live.add(worker)
+                self._idle.put(worker)
+        return self
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop every worker; idempotent.  Graceful first (stop job on
+        the idle ones), then kill whatever is left."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            live = list(self._live)
+            self._live.clear()
+        # Drain the idle queue so no submit can grab a dying worker.
+        while True:
+            try:
+                worker = self._idle.get_nowait()
+            except queue.Empty:
+                break
+            try:
+                self._job_counter += 1
+                worker.conn.send((self._job_counter, JOB_STOP, None))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in live:
+            worker.join(timeout)
+            if worker.alive():
+                worker.kill()
+                worker.join(1.0)
+
+    def __enter__(self) -> "ResidentPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- health --------------------------------------------------------------
+
+    def worker_pids(self) -> list[int]:
+        with self._lock:
+            return sorted(w.pid for w in self._live if w.pid is not None)
+
+    def reap_and_respawn(self) -> int:
+        """Replace dead idle workers; returns how many are alive now.
+
+        Called by the health endpoint so a killed worker is repaired
+        proactively, not on the next unlucky request.
+        """
+        repaired: list[_Worker] = []
+        stale: list[_Worker] = []
+        while True:
+            try:
+                worker = self._idle.get_nowait()
+            except queue.Empty:
+                break
+            if worker.alive():
+                repaired.append(worker)
+            else:
+                stale.append(worker)
+        for worker in stale:
+            repaired.append(self._respawn(worker))
+        for worker in repaired:
+            self._idle.put(worker)
+        with self._lock:
+            return sum(1 for w in self._live if w.alive())
+
+    def stats(self) -> dict:
+        with self._lock:
+            alive = sum(1 for w in self._live if w.alive())
+        return {
+            "workers": self.workers,
+            "alive": alive,
+            "respawns": self.respawns,
+            "jobs_ok": self.jobs_ok,
+            "jobs_failed": self.jobs_failed,
+            "timeouts": self.timeouts,
+        }
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _respawn(self, worker: _Worker) -> _Worker:
+        worker.kill()
+        with self._lock:
+            self._live.discard(worker)
+            if self._closed:
+                raise PoolShutDown("resident pool is shut down")
+            fresh = _Worker(self._context, bool(self._obs_enabled))
+            self._live.add(fresh)
+            self.respawns += 1
+        obs.inc("serve.worker_respawns")
+        return fresh
+
+    def submit(self, kind: str, payload: Any, timeout: float | None = None):
+        """Run one job on an idle worker; blocks for a free worker, then
+        for the answer.  Raises :class:`WorkerTimeout` /
+        :class:`WorkerCrashed` after repairing the pool."""
+        if not self._started:
+            self.start()
+        if self._closed:
+            raise PoolShutDown("resident pool is shut down")
+        timeout = self.request_timeout if timeout is None else timeout
+        worker = self._idle.get()
+        if self._closed:
+            raise PoolShutDown("resident pool is shut down")
+        # A worker that died while idle (killed out-of-band) is replaced
+        # here, before dispatch — it never costs the caller an attempt.
+        while not worker.alive():
+            worker = self._respawn(worker)
+        with self._lock:
+            self._job_counter += 1
+            job_id = self._job_counter
+        try:
+            worker.conn.send((job_id, kind, payload))
+            if timeout is not None and not worker.conn.poll(timeout):
+                raise WorkerTimeout(
+                    f"job exceeded {timeout:.1f}s; worker killed"
+                )
+            reply_id, status, result, delta = worker.conn.recv()
+        except WorkerTimeout:
+            self.timeouts += 1
+            self.jobs_failed += 1
+            obs.inc("serve.worker_timeouts")
+            self._idle.put(self._respawn(worker))
+            raise
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            self.jobs_failed += 1
+            self._idle.put(self._respawn(worker))
+            raise WorkerCrashed(
+                f"worker died before answering ({type(exc).__name__})"
+            ) from exc
+        self._idle.put(worker)
+        if delta is not None:
+            obs.merge_snapshot(delta)
+        if status != "ok":
+            self.jobs_failed += 1
+            raise PoolError(str(result))
+        if reply_id != job_id:
+            # A stale answer can only follow a protocol bug; treat the
+            # worker as corrupted rather than mis-attribute results.
+            self._idle.get_nowait()
+            self._idle.put(self._respawn(worker))
+            raise PoolError(f"job id mismatch: sent {job_id}, got {reply_id}")
+        self.jobs_ok += 1
+        return result
+
+    def submit_batch(
+        self,
+        requests: Sequence[Request],
+        timeout: float | None = None,
+        retries: int = 1,
+    ) -> list[Response]:
+        """Execute a request batch, retrying once on a fresh worker if
+        the first one crashes; failures degrade to error responses so
+        the HTTP layer always has something to send."""
+        attempts = 1 + max(0, retries)
+        last: PoolError | None = None
+        for attempt in range(attempts):
+            try:
+                return self.submit(JOB_BATCH, list(requests), timeout=timeout)
+            except WorkerTimeout as exc:
+                last = exc
+                break  # a timed-out job blew its deadline; don't re-run it
+            except (WorkerCrashed, PoolError) as exc:
+                if isinstance(exc, PoolShutDown):
+                    raise
+                last = exc
+        detail = f"error: request execution failed ({last})"
+        return [
+            Response(
+                request_id=request.request_id, command=request.command,
+                status=500, exit_code=2, stdout="", stderr=detail,
+            )
+            for request in requests
+        ]
+
+    def map_campaign_chunks(
+        self,
+        setup: tuple,
+        chunks: Sequence[Sequence[int]],
+        timeout: float | None = None,
+        retries: int = 1,
+    ) -> tuple[list, tuple]:
+        """Adequacy-campaign chunks across the resident workers.
+
+        The resident analog of
+        :func:`repro.analysis.parallel.pool_map_chunks`: per-chunk
+        results in chunk order (``None`` where a chunk failed past its
+        retry budget) plus :class:`ShardFailure` records.  Retries run
+        on freshly respawned workers, so a deterministic crasher
+        exhausts only its own budget.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.analysis.parallel import ShardFailure
+
+        max_attempts = 1 + max(0, retries)
+        results: list = [None] * len(chunks)
+        failures: list = []
+
+        def run_chunk(chunk_index: int):
+            reason = detail = ""
+            for _ in range(max_attempts):
+                try:
+                    results[chunk_index] = self.submit(
+                        JOB_CAMPAIGN_CHUNK,
+                        (setup, list(chunks[chunk_index])),
+                        timeout=timeout,
+                    )
+                    return
+                except WorkerTimeout:
+                    reason = "timeout"
+                    detail = (
+                        "chunk exceeded the per-chunk timeout; worker killed"
+                    )
+                    obs.inc("parallel.worker_failures")
+                except WorkerCrashed:
+                    reason = "crash"
+                    detail = "worker process died before the chunk completed"
+                    obs.inc("parallel.worker_failures")
+                except PoolError as exc:
+                    if isinstance(exc, PoolShutDown):
+                        raise
+                    reason = "error"
+                    detail = str(exc)
+                    obs.inc("parallel.worker_failures")
+            failures.append(
+                ShardFailure(
+                    chunk_index=chunk_index,
+                    attempts=max_attempts,
+                    reason=reason,
+                    detail=detail,
+                )
+            )
+
+        with ThreadPoolExecutor(max_workers=self.workers) as executor:
+            list(executor.map(run_chunk, range(len(chunks))))
+        if failures:
+            obs.inc("parallel.shards_failed", len(failures))
+        return results, tuple(sorted(failures, key=lambda f: f.chunk_index))

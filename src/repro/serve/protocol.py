@@ -1,0 +1,167 @@
+"""Wire types of the analysis service (see ``docs/serving.md``).
+
+A request is one JSON document::
+
+    {"command": "analyze" | "simulate" | "verify" | "lint",
+     "spec": { ...deployment spec, repro.config format... },
+     "options": { ...per-command knobs, all optional... },
+     "request_id": "client-chosen identifier"}
+
+and a response mirrors the offline CLI exactly::
+
+    {"request_id": ..., "command": ..., "status": 200,
+     "exit_code": 0, "stdout": "<the bytes the CLI would print>",
+     "stderr": ""}
+
+The ``stdout`` field is the byte-identity contract: for every supported
+command it equals what ``python -m repro <command> <spec>`` (with the
+same options) prints on stdout — the daemon changes *where* analyses
+run, never what they answer.  Statuses follow HTTP: 200 (done, whatever
+the analysis verdict — the verdict is ``exit_code``), 400 (malformed
+request or spec), 500 (execution failed), 503 (admission control shed
+the request; the HTTP layer adds ``Retry-After``).
+
+Everything here is plain data: requests and responses are picklable
+(they travel to resident pool workers over pipes) and JSON-serializable
+(they travel to clients over HTTP).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+#: Commands the service executes, with the options each accepts.
+#: Option values are validated loosely (type checks only) — the
+#: execution layer re-uses the CLI's own handlers, which reject
+#: nonsense the same way the CLI does.
+COMMAND_OPTIONS: dict[str, dict[str, type]] = {
+    "analyze": {"horizon": int, "kernel": bool, "cache": bool},
+    "simulate": {
+        "horizon": int, "runs": int, "seed": int, "intensity": float,
+        "engine": str, "kernel": bool, "cache": bool,
+    },
+    "verify": {"depth": int, "engine": str, "cache": bool},
+    "lint": {"source_name": str},
+}
+
+COMMANDS = tuple(sorted(COMMAND_OPTIONS))
+
+
+class ProtocolError(Exception):
+    """A request the protocol layer rejects (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One analysis request, decoded and validated."""
+
+    command: str
+    spec: Mapping[str, Any]
+    options: Mapping[str, Any] = field(default_factory=dict)
+    request_id: str = ""
+
+    def option(self, name: str, default: Any = None) -> Any:
+        return self.options.get(name, default)
+
+
+@dataclass(frozen=True)
+class Response:
+    """One analysis response; ``stdout`` carries the CLI-identical bytes."""
+
+    request_id: str
+    command: str
+    status: int
+    exit_code: int
+    stdout: str
+    stderr: str = ""
+
+    def to_json(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "Response":
+        return cls(
+            request_id=payload.get("request_id", ""),
+            command=payload.get("command", ""),
+            status=int(payload.get("status", 500)),
+            exit_code=int(payload.get("exit_code", 1)),
+            stdout=payload.get("stdout", ""),
+            stderr=payload.get("stderr", ""),
+        )
+
+
+def parse_request(body: bytes | str, request_id_fallback: str = "") -> Request:
+    """Decode and validate one request body; raises :class:`ProtocolError`."""
+    if isinstance(body, bytes):
+        try:
+            body = body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request body is not UTF-8: {exc}") from exc
+    try:
+        document = json.loads(body) if body.strip() else {}
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request body is not JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ProtocolError("request body must be a JSON object")
+    command = document.get("command")
+    if command not in COMMAND_OPTIONS:
+        raise ProtocolError(
+            f"unknown command {command!r}; expected one of {', '.join(COMMANDS)}"
+        )
+    spec = document.get("spec")
+    if not isinstance(spec, dict):
+        raise ProtocolError("'spec' must be a JSON object (a deployment spec)")
+    options = document.get("options", {})
+    if not isinstance(options, dict):
+        raise ProtocolError("'options' must be a JSON object")
+    allowed = COMMAND_OPTIONS[command]
+    for name, value in options.items():
+        if name not in allowed:
+            raise ProtocolError(
+                f"option {name!r} is not valid for {command!r}; "
+                f"allowed: {', '.join(sorted(allowed))}"
+            )
+        expected = allowed[name]
+        # bool is an int subclass; keep the check strict so e.g.
+        # horizon=true is rejected rather than silently truthy.
+        if expected is int and isinstance(value, bool):
+            raise ProtocolError(f"option {name!r} must be an integer")
+        if expected is float and isinstance(value, int) and not isinstance(value, bool):
+            value = float(value)
+        if not isinstance(value, expected):
+            raise ProtocolError(
+                f"option {name!r} must be {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    request_id = document.get("request_id", request_id_fallback)
+    if not isinstance(request_id, str):
+        raise ProtocolError("'request_id' must be a string")
+    return Request(
+        command=command, spec=spec, options=dict(options), request_id=request_id
+    )
+
+
+def batch_key(request: Request) -> str | None:
+    """The micro-batching compatibility key of ``request``.
+
+    Two requests may share one resident-worker dispatch iff their keys
+    are equal and non-``None``.  Only ``analyze`` requests batch — they
+    are the cheap, high-volume class whose compiled step tables and
+    pooled supplies :func:`repro.rta.npfp.analyse_batch` shares across
+    cells; the spec itself is deliberately *not* part of the key
+    (distinct deployments batch fine).  ``None`` means "dispatch alone".
+    """
+    if request.command != "analyze":
+        return None
+    options = json.dumps(
+        dict(sorted(request.options.items())),
+        sort_keys=True, separators=(",", ":"),
+    )
+    return f"analyze:{options}"
+
+
+def encode_json(payload: Any) -> bytes:
+    """Canonical JSON bytes for HTTP bodies (sorted keys, newline)."""
+    return (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode("utf-8")

@@ -1,0 +1,492 @@
+"""The analysis daemon: asyncio HTTP front end over the resident pool.
+
+Request path (``POST /v1/analyze`` etc.):
+
+1. **parse** — the JSON body becomes a validated
+   :class:`repro.serve.protocol.Request` (400 on nonsense);
+2. **admit** — the RTA-informed controller
+   (:mod:`repro.serve.admission`) either queues the request or sheds it
+   fast with ``503 + Retry-After`` before it costs any worker time;
+3. **batch** — the micro-batcher (:mod:`repro.serve.batching`) holds
+   compatible analyze calls for a couple of milliseconds and dispatches
+   groups as one ``analyse_batch``;
+4. **execute** — the group runs on a resident worker
+   (:mod:`repro.serve.pool`) whose memo caches and compiled step tables
+   are warm from every previous request;
+5. **respond** — the JSON response's ``stdout`` field is byte-identical
+   to the offline CLI's stdout for the same invocation.
+
+Introspection: ``GET /healthz`` (liveness + worker repair),
+``GET /metrics`` (:mod:`repro.obs` counters plus serve-layer state),
+``GET /cache/stats`` (the :func:`repro.cache.cache_stats_payload`
+schema, read from a worker so it reflects the caches doing the work).
+
+The HTTP dialect is deliberately minimal — HTTP/1.1, one request per
+connection, ``Connection: close`` — because every supported client
+(``repro client``, curl, the test suite) speaks it, and a dependency-free
+server beats a featureful one here.  SIGTERM/SIGINT drain gracefully:
+stop accepting, finish in-flight work, stop the pool, exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import signal
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro import obs
+from repro.serve.admission import (
+    DEFAULT_POLICIES,
+    AdmissionController,
+    ClassPolicy,
+)
+from repro.serve.batching import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_WINDOW_S,
+    MicroBatcher,
+)
+from repro.serve.pool import ResidentPool
+from repro.serve.protocol import (
+    COMMAND_OPTIONS,
+    ProtocolError,
+    Response,
+    encode_json,
+    parse_request,
+)
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+#: Largest accepted request body (a deployment spec is a few KiB).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``repro serve`` configures."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    batch_window_s: float = DEFAULT_WINDOW_S
+    max_batch: int = DEFAULT_MAX_BATCH
+    admission: bool = True
+    policies: tuple[ClassPolicy, ...] = DEFAULT_POLICIES
+    request_timeout: float | None = 300.0
+    request_retries: int = 1
+
+
+@dataclass
+class _HttpRequest:
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+class AnalysisServer:
+    """One daemon instance: pool + batcher + admission + HTTP."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.pool = ResidentPool(
+            workers=config.workers,
+            request_timeout=config.request_timeout,
+        )
+        self.batcher = MicroBatcher(
+            self._dispatch,
+            window_s=config.batch_window_s,
+            max_batch=config.max_batch,
+        )
+        self.admission = (
+            AdmissionController(config.workers, config.policies)
+            if config.admission
+            else None
+        )
+        # Executor threads block on pipe round-trips; a few more threads
+        # than workers keeps queueing in the pool (where admission
+        # models it), not in the executor.
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.workers + 2,
+            thread_name_prefix="repro-serve-dispatch",
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._inflight = 0
+        self._draining = False
+        self._stopped: asyncio.Event | None = None
+        self.requests_total = 0
+        self.started_monotonic = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self.pool.start()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        print(
+            f"repro serve: listening on {self.config.host}:{self.port} "
+            f"({self.config.workers} workers)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    async def drain(self) -> None:
+        """Graceful stop: no new connections, finish in-flight, stop pool."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.batcher.drain()
+        while self._inflight > 0:
+            await asyncio.sleep(0.01)
+        self.pool.shutdown()
+        self._executor.shutdown(wait=True)
+        print("repro serve: drained", file=sys.stderr, flush=True)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Run until :meth:`drain` completes (signal handlers call it)."""
+        assert self._stopped is not None, "start() first"
+        await self._stopped.wait()
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch(self, requests: Sequence) -> list[Response]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor,
+            functools.partial(
+                self.pool.submit_batch,
+                list(requests),
+                retries=self.config.request_retries,
+            ),
+        )
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> _HttpRequest | None:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        if length:
+            body = await reader.readexactly(length)
+        return _HttpRequest(method=method, path=path, headers=headers, body=body)
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload,
+        extra_headers: Sequence[tuple[str, str]] = (),
+    ) -> None:
+        body = encode_json(payload)
+        head = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            "Content-Type: application/json; charset=utf-8",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        head.extend(f"{name}: {value}" for name, value in extra_headers)
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                http = await self._read_request(reader)
+            except ProtocolError as exc:
+                await self._write_response(writer, 413, {"error": str(exc)})
+                return
+            except asyncio.IncompleteReadError:
+                return
+            if http is None:
+                return
+            await self._route(http, writer)
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    # -- routing -------------------------------------------------------------
+
+    async def _route(
+        self, http: _HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        if http.method == "GET":
+            if http.path == "/healthz":
+                await self._write_response(writer, 200, self._healthz_payload())
+                return
+            if http.path == "/metrics":
+                await self._write_response(writer, 200, self._metrics_payload())
+                return
+            if http.path == "/cache/stats":
+                await self._write_response(
+                    writer, 200, await self._cache_stats_payload()
+                )
+                return
+            await self._write_response(
+                writer, 404, {"error": f"no such resource {http.path!r}"}
+            )
+            return
+        if http.method != "POST":
+            await self._write_response(
+                writer, 405, {"error": f"method {http.method} not supported"}
+            )
+            return
+        command = None
+        if http.path.startswith("/v1/"):
+            candidate = http.path[len("/v1/"):]
+            if candidate in COMMAND_OPTIONS:
+                command = candidate
+        if command is None:
+            await self._write_response(
+                writer, 404,
+                {"error": f"no such endpoint {http.path!r}; POST /v1/<command>"},
+            )
+            return
+        await self._handle_analysis(command, http, writer)
+
+    async def _handle_analysis(
+        self, command: str, http: _HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        self.requests_total += 1
+        try:
+            import json as _json
+
+            document = _json.loads(http.body.decode("utf-8")) if http.body else {}
+            if not isinstance(document, dict):
+                raise ProtocolError("request body must be a JSON object")
+            body_command = document.setdefault("command", command)
+            if body_command != command:
+                raise ProtocolError(
+                    f"request body says command {body_command!r} but was "
+                    f"POSTed to /v1/{command}"
+                )
+            request = parse_request(
+                _json.dumps(document),
+                request_id_fallback=f"req-{self.requests_total}",
+            )
+        except (ProtocolError, UnicodeDecodeError, ValueError) as exc:
+            await self._write_response(writer, 400, {"error": str(exc)})
+            return
+        if self._draining:
+            await self._write_response(
+                writer, 503,
+                {"error": "draining", "retry_after": 1},
+                extra_headers=[("Retry-After", "1")],
+            )
+            return
+        if self.admission is not None:
+            verdict = self.admission.admit(command)
+            if not verdict.admitted:
+                await self._write_response(
+                    writer, 503,
+                    {
+                        "error": "admission control shed this request",
+                        "reason": verdict.reason,
+                        "retry_after": verdict.retry_after,
+                        "bound_ms": verdict.bound_ms,
+                        "deadline_ms": verdict.deadline_ms,
+                    },
+                    extra_headers=[("Retry-After", str(verdict.retry_after))],
+                )
+                return
+            self.admission.on_admit(command)
+        self._inflight += 1
+        started = time.monotonic()
+        try:
+            response = await self.batcher.submit(request)
+        except Exception as exc:  # dispatch machinery failed, not the job
+            response = Response(
+                request_id=request.request_id, command=command,
+                status=500, exit_code=2, stdout="",
+                stderr=f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            self._inflight -= 1
+            if self.admission is not None:
+                self.admission.on_complete(
+                    command, time.monotonic() - started
+                )
+        obs.inc("serve.requests_total")
+        await self._write_response(
+            writer, response.status, response.to_json()
+        )
+
+    # -- introspection payloads ---------------------------------------------
+
+    def _healthz_payload(self) -> dict:
+        alive = self.pool.reap_and_respawn()
+        pool_stats = self.pool.stats()
+        healthy = alive >= 1 and not self._draining
+        return {
+            "status": "ok" if healthy else "degraded",
+            "draining": self._draining,
+            "workers": pool_stats["workers"],
+            "workers_alive": alive,
+            "respawns": pool_stats["respawns"],
+            "inflight": self._inflight,
+            "uptime_seconds": round(
+                time.monotonic() - self.started_monotonic, 3
+            ),
+        }
+
+    def _metrics_payload(self) -> dict:
+        snap = obs.snapshot()
+        histograms = {}
+        for name, state in snap.histograms:
+            histograms[name] = {
+                "total": state.total,
+                "sum": state.sum,
+                "buckets": list(state.buckets),
+                "counts": list(state.counts),
+            }
+        return {
+            "serve": {
+                "requests_total": self.requests_total,
+                "inflight": self._inflight,
+                "uptime_seconds": round(
+                    time.monotonic() - self.started_monotonic, 3
+                ),
+                "pool": self.pool.stats(),
+                "batching": self.batcher.stats(),
+            },
+            "admission": (
+                self.admission.snapshot() if self.admission is not None else None
+            ),
+            "counters": dict(snap.counters),
+            "gauges": dict(snap.gauges),
+            "histograms": histograms,
+        }
+
+    async def _cache_stats_payload(self) -> dict:
+        from repro.serve.pool import JOB_CACHE_STATS, PoolError
+
+        loop = asyncio.get_running_loop()
+        try:
+            # Read from a worker: the warm caches live where the work
+            # runs, not in the asyncio parent.
+            return await loop.run_in_executor(
+                self._executor,
+                functools.partial(
+                    self.pool.submit, JOB_CACHE_STATS, None, timeout=10.0
+                ),
+            )
+        except PoolError:
+            from repro.cache import cache_stats_payload
+
+            return cache_stats_payload()
+
+
+def run_server(config: ServeConfig) -> int:
+    """Blocking entry point of ``repro serve``; returns the exit code."""
+    # The daemon always records its own metrics — /metrics is a primary
+    # endpoint, and recording never changes results (the obs contract).
+    obs.enable()
+
+    async def _main() -> int:
+        server = AnalysisServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(server.drain())
+            )
+        await server.serve_until_stopped()
+        return 0
+
+    return asyncio.run(_main())
+
+
+class ServerThread:
+    """A daemon running on a background thread — the in-process harness
+    tests and benchmarks drive (``with ServerThread(config) as srv:``)."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.server: AnalysisServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = None
+        self._ready = None
+
+    def __enter__(self) -> "ServerThread":
+        import threading
+
+        self._ready = threading.Event()
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            self.server = AnalysisServer(self.config)
+            loop.run_until_complete(self.server.start())
+            self._ready.set()
+            loop.run_until_complete(self.server.serve_until_stopped())
+            loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("serve thread failed to start")
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self.server is not None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.drain(), self._loop
+            )
+            future.result(timeout=60.0)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)

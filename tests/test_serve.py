@@ -1,0 +1,627 @@
+"""Tests for repro.serve: protocol, pool, batching, admission, daemon.
+
+The contract under test everywhere: a daemon response's ``stdout`` is
+byte-identical to what the offline CLI prints for the same invocation —
+the service changes where analyses run, never what they answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import io
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cache import cache_stats_payload
+from repro.cli import main
+from repro.serve import (
+    AdmissionController,
+    ClassPolicy,
+    MicroBatcher,
+    ProtocolError,
+    Request,
+    ResidentPool,
+    Response,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+    batch_key,
+    execute_batch,
+    execute_request,
+    parse_request,
+)
+from repro.serve.pool import JOB_PING
+
+SPEC = {
+    "policy": "npfp",
+    "sockets": [0],
+    "wcet": {
+        "failed_read": 2, "success_read": 2, "selection": 1,
+        "dispatch": 1, "completion": 1, "idling": 1,
+    },
+    "tasks": [
+        {
+            "name": "a", "priority": 2, "wcet": 10, "type_tag": 1,
+            "curve": {"kind": "sporadic", "min_separation": 300},
+        },
+        {
+            "name": "b", "priority": 1, "wcet": 20, "type_tag": 2,
+            "curve": {"kind": "leaky-bucket", "burst": 2,
+                      "rate_separation": 500},
+        },
+    ],
+}
+
+EDF_SPEC = json.loads(json.dumps(SPEC))
+EDF_SPEC["policy"] = "edf"
+EDF_SPEC["tasks"][0]["deadline"] = 200
+EDF_SPEC["tasks"][1]["deadline"] = 900
+
+
+def cli_capture(argv: list[str]) -> tuple[str, str, int]:
+    """(stdout, stderr, exit code) of one offline CLI invocation."""
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = main(argv)
+    return out.getvalue(), err.getvalue(), code
+
+
+@pytest.fixture(scope="module")
+def spec_file(tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("serve") / "spec.json"
+    path.write_text(json.dumps(SPEC))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def edf_spec_file(tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("serve-edf") / "edf.json"
+    path.write_text(json.dumps(EDF_SPEC))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    """One shared daemon for the read-only end-to-end tests."""
+    with ServerThread(ServeConfig(port=0, workers=2)) as srv:
+        yield srv
+
+
+# -- protocol ---------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_parse_request_roundtrip(self):
+        request = parse_request(json.dumps({
+            "command": "analyze", "spec": SPEC,
+            "options": {"horizon": 50_000}, "request_id": "r1",
+        }))
+        assert request.command == "analyze"
+        assert request.option("horizon") == 50_000
+        assert request.request_id == "r1"
+
+    @pytest.mark.parametrize("body, fragment", [
+        ("[]", "JSON object"),
+        ("{not json", "not JSON"),
+        (json.dumps({"command": "explode", "spec": {}}), "unknown command"),
+        (json.dumps({"command": "analyze", "spec": 3}), "'spec'"),
+        (json.dumps({"command": "analyze", "spec": {}, "options": 7}),
+         "'options'"),
+        (json.dumps({"command": "analyze", "spec": {},
+                     "options": {"depth": 4}}), "not valid for"),
+        (json.dumps({"command": "analyze", "spec": {},
+                     "options": {"horizon": True}}), "must be an integer"),
+        (json.dumps({"command": "analyze", "spec": {},
+                     "options": {"horizon": "big"}}), "must be int"),
+    ])
+    def test_parse_request_rejects(self, body, fragment):
+        with pytest.raises(ProtocolError, match=re.escape(fragment)):
+            parse_request(body)
+
+    def test_batch_key_analyze_only(self):
+        analyze = Request(command="analyze", spec=SPEC)
+        verify = Request(command="verify", spec=SPEC)
+        assert batch_key(verify) is None
+        assert batch_key(analyze) is not None
+        # same options (different specs) share a key …
+        other = Request(command="analyze", spec=EDF_SPEC)
+        assert batch_key(analyze) == batch_key(other)
+        # … different options do not.
+        horizoned = Request(
+            command="analyze", spec=SPEC, options={"horizon": 9}
+        )
+        assert batch_key(analyze) != batch_key(horizoned)
+
+    def test_response_json_roundtrip(self):
+        response = Response(
+            request_id="r", command="analyze", status=200,
+            exit_code=1, stdout="out\n", stderr="",
+        )
+        assert Response.from_json(response.to_json()) == response
+
+
+# -- worker-side execution (no daemon needed) -------------------------------
+
+
+class TestExecution:
+    def test_analyze_matches_cli(self, spec_file):
+        offline, _, code = cli_capture(["analyze", spec_file])
+        response = execute_request(Request(command="analyze", spec=SPEC))
+        assert response.status == 200
+        assert response.stdout == offline
+        assert response.exit_code == code
+
+    def test_analyze_edf_matches_cli(self, edf_spec_file):
+        offline, _, code = cli_capture(["analyze", edf_spec_file])
+        response = execute_request(Request(command="analyze", spec=EDF_SPEC))
+        assert response.stdout == offline
+        assert response.exit_code == code
+
+    def test_verify_matches_cli(self, spec_file):
+        offline, _, code = cli_capture(["verify", spec_file, "--depth", "2"])
+        response = execute_request(
+            Request(command="verify", spec=SPEC, options={"depth": 2})
+        )
+        assert response.stdout == offline
+        assert response.exit_code == code
+
+    def test_lint_matches_cli(self, spec_file):
+        offline, _, code = cli_capture(["lint", "--json", spec_file])
+        response = execute_request(
+            Request(command="lint", spec=SPEC,
+                    options={"source_name": spec_file})
+        )
+        assert response.stdout == offline
+        assert response.exit_code == code
+
+    def test_simulate_matches_cli(self, spec_file):
+        offline, _, code = cli_capture(
+            ["simulate", spec_file, "--runs", "2", "--horizon", "5000"]
+        )
+        response = execute_request(
+            Request(command="simulate", spec=SPEC,
+                    options={"runs": 2, "horizon": 5000})
+        )
+        assert response.stdout == offline
+        assert response.exit_code == code
+
+    def test_bad_spec_is_400_not_crash(self):
+        response = execute_request(
+            Request(command="analyze", spec={"tasks": "nonsense"})
+        )
+        assert response.status == 400
+        assert response.exit_code == 2
+        assert "error" in response.stderr
+
+    def test_batch_matches_solo(self):
+        requests = [
+            Request(command="analyze", spec=SPEC, request_id="a"),
+            Request(command="analyze", spec=EDF_SPEC, request_id="b"),
+            Request(command="analyze", spec=SPEC, request_id="c"),
+        ]
+        solo = [execute_request(r) for r in requests]
+        batched = execute_batch(requests)
+        assert batched == solo
+
+
+# -- resident pool ----------------------------------------------------------
+
+
+class TestResidentPool:
+    def test_ping_and_stats(self):
+        with ResidentPool(workers=2) as pool:
+            pids = {pool.submit(JOB_PING, None) for _ in range(4)}
+            assert pids <= set(pool.worker_pids())
+            stats = pool.stats()
+            assert stats["alive"] == 2
+            assert stats["jobs_ok"] == 4
+
+    def test_dead_idle_worker_is_replaced_before_dispatch(self):
+        with ResidentPool(workers=1) as pool:
+            pool.submit(JOB_PING, None)
+            (pid,) = pool.worker_pids()
+            os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                try:
+                    os.kill(pid, 0)
+                except OSError:
+                    break
+                time.sleep(0.01)
+            fresh = pool.submit(JOB_PING, None)
+            assert fresh != pid
+            assert pool.respawns == 1
+
+    def test_campaign_bit_identical_to_serial(self):
+        from repro.analysis.adequacy import run_adequacy_campaign
+        from repro.config import parse_deployment
+
+        deployment = parse_deployment(SPEC)
+        serial = run_adequacy_campaign(
+            deployment.client, deployment.wcet, horizon=5000, runs=12, seed=3
+        )
+        with ResidentPool(workers=2) as pool:
+            warm = run_adequacy_campaign(
+                deployment.client, deployment.wcet,
+                horizon=5000, runs=12, seed=3, pool=pool,
+            )
+            again = run_adequacy_campaign(
+                deployment.client, deployment.wcet,
+                horizon=5000, runs=12, seed=3, pool=pool,
+            )
+        assert warm.table() == serial.table()
+        assert warm.to_json() == serial.to_json()
+        assert again.to_json() == serial.to_json()
+
+
+# -- micro-batching ---------------------------------------------------------
+
+
+class TestMicroBatcher:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_concurrent_compatible_requests_coalesce(self):
+        dispatched: list[list[str]] = []
+
+        async def dispatch(requests):
+            dispatched.append([r.request_id for r in requests])
+            return [
+                Response(request_id=r.request_id, command=r.command,
+                         status=200, exit_code=0, stdout=r.request_id)
+                for r in requests
+            ]
+
+        async def scenario():
+            batcher = MicroBatcher(dispatch, window_s=0.05, max_batch=8)
+            responses = await asyncio.gather(*[
+                batcher.submit(
+                    Request(command="analyze", spec=SPEC, request_id=f"r{i}")
+                )
+                for i in range(5)
+            ])
+            await batcher.drain()
+            return responses
+
+        responses = self._run(scenario())
+        # one coalesced dispatch; every caller got its own answer back
+        assert [len(group) for group in dispatched] == [5]
+        assert [r.stdout for r in responses] == [f"r{i}" for i in range(5)]
+
+    def test_max_batch_flushes_early(self):
+        sizes: list[int] = []
+
+        async def dispatch(requests):
+            sizes.append(len(requests))
+            return [
+                Response(request_id=r.request_id, command=r.command,
+                         status=200, exit_code=0, stdout="")
+                for r in requests
+            ]
+
+        async def scenario():
+            batcher = MicroBatcher(dispatch, window_s=10.0, max_batch=2)
+            await asyncio.gather(*[
+                batcher.submit(
+                    Request(command="analyze", spec=SPEC, request_id=str(i))
+                )
+                for i in range(4)
+            ])
+            await batcher.drain()
+
+        self._run(scenario())
+        assert sizes == [2, 2]  # window never expires; max_batch drives it
+
+    def test_incompatible_requests_dispatch_alone(self):
+        sizes: list[int] = []
+
+        async def dispatch(requests):
+            sizes.append(len(requests))
+            return [
+                Response(request_id=r.request_id, command=r.command,
+                         status=200, exit_code=0, stdout="")
+                for r in requests
+            ]
+
+        async def scenario():
+            batcher = MicroBatcher(dispatch, window_s=10.0, max_batch=8)
+            await batcher.submit(Request(command="verify", spec=SPEC))
+            await batcher.drain()
+
+        self._run(scenario())
+        assert sizes == [1]
+
+
+# -- admission control ------------------------------------------------------
+
+
+class _ManualClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestAdmission:
+    POLICIES = (
+        ClassPolicy("analyze", priority=3, deadline_ms=2_000,
+                    default_cost_ms=50),
+        ClassPolicy("verify", priority=2, deadline_ms=10_000,
+                    default_cost_ms=500),
+    )
+
+    def test_light_traffic_admits(self):
+        clock = _ManualClock()
+        controller = AdmissionController(2, self.POLICIES, clock=clock)
+        for _ in range(10):
+            verdict = controller.admit("analyze")
+            assert verdict.admitted
+            controller.on_admit("analyze")
+            controller.on_complete("analyze", 0.05)
+            clock.advance(1.0)
+
+    def test_backlog_sheds_fast(self):
+        clock = _ManualClock()
+        controller = AdmissionController(1, self.POLICIES, clock=clock)
+        # 50 admitted-but-unfinished analyzes at the 64ms quantized cost
+        # estimate exceed the 2s deadline on one worker.
+        for _ in range(50):
+            controller.on_admit("analyze")
+        verdict = controller.admit("analyze")
+        assert not verdict.admitted
+        assert "backlog" in verdict.reason
+        assert verdict.retry_after >= 1
+        assert controller.shed == 1
+
+    def test_sustained_overload_trips_the_rta_check(self):
+        clock = _ManualClock()
+        controller = AdmissionController(1, self.POLICIES, clock=clock)
+        # Sustained: one 400ms verify every 100ms, forever.  Individually
+        # each fits its 10s deadline with an empty queue, so the backlog
+        # check alone would keep admitting; the sporadic self-model says
+        # the busy window never closes.
+        shed = []
+        for _ in range(80):
+            verdict = controller.admit("verify")
+            shed.append(not verdict.admitted)
+            if verdict.admitted:
+                controller.on_admit("verify")
+                controller.on_complete("verify", 0.4)
+            clock.advance(0.1)
+        assert not any(shed[:10])  # observation window still warming
+        assert any(shed)  # …but the full window triggers RTA shedding
+        snapshot = controller.snapshot()
+        assert snapshot["shed"] >= 1
+        assert snapshot["classes"]["verify"]["cost_estimate_ms"] == 512
+
+    def test_recovery_after_backoff(self):
+        clock = _ManualClock()
+        controller = AdmissionController(1, self.POLICIES, clock=clock)
+        for _ in range(70):
+            verdict = controller.admit("verify")
+            if verdict.admitted:
+                controller.on_admit("verify")
+                controller.on_complete("verify", 0.4)
+            clock.advance(0.1)
+        assert controller.shed > 0
+        # Clients back off to one request per 2s: the windowed rate
+        # estimate decays and verify becomes admittable again.
+        admitted_late = []
+        for _ in range(70):
+            clock.advance(2.0)
+            verdict = controller.admit("verify")
+            admitted_late.append(verdict.admitted)
+            if verdict.admitted:
+                controller.on_admit("verify")
+                controller.on_complete("verify", 0.4)
+        assert admitted_late[-1]
+
+    def test_snapshot_schema(self):
+        controller = AdmissionController(2, self.POLICIES)
+        snapshot = controller.snapshot()
+        assert set(snapshot) == {
+            "workers", "admitted", "shed", "rta_memo_entries", "classes",
+        }
+        assert set(snapshot["classes"]) == {"analyze", "verify"}
+
+
+# -- end-to-end -------------------------------------------------------------
+
+
+class TestDaemonEndToEnd:
+    def test_analyze_byte_identical(self, daemon, spec_file):
+        offline, _, code = cli_capture(["analyze", spec_file])
+        status, payload = ServeClient(port=daemon.port).analyze(SPEC)
+        assert status == 200
+        assert payload["stdout"] == offline
+        assert payload["exit_code"] == code
+
+    def test_verify_byte_identical(self, daemon, spec_file):
+        offline, _, code = cli_capture(["verify", spec_file, "--depth", "2"])
+        status, payload = ServeClient(port=daemon.port).verify(
+            SPEC, {"depth": 2}
+        )
+        assert status == 200
+        assert payload["stdout"] == offline
+        assert payload["exit_code"] == code
+
+    def test_concurrent_clients_batch_deterministically(self, daemon,
+                                                        spec_file,
+                                                        edf_spec_file):
+        offline_npfp, _, _ = cli_capture(["analyze", spec_file])
+        offline_edf, _, _ = cli_capture(["analyze", edf_spec_file])
+        results: list = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def call(index: int) -> None:
+            spec = SPEC if index % 2 else EDF_SPEC
+            barrier.wait()
+            results[index] = ServeClient(port=daemon.port).analyze(spec)
+
+        threads = [
+            threading.Thread(target=call, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index, (status, payload) in enumerate(results):
+            expected = offline_npfp if index % 2 else offline_edf
+            assert status == 200
+            assert payload["stdout"] == expected
+
+    def test_unknown_endpoint_404(self, daemon):
+        client = ServeClient(port=daemon.port)
+        status, payload = client._request("GET", "/nope")
+        assert status == 404
+
+    def test_malformed_body_400(self, daemon):
+        client = ServeClient(port=daemon.port)
+        status, payload = client._request(
+            "POST", "/v1/analyze", body=b"{broken"
+        )
+        assert status == 400
+        assert "error" in payload
+
+    def test_healthz(self, daemon):
+        payload = ServeClient(port=daemon.port).healthz()
+        assert payload["status"] == "ok"
+        assert payload["workers_alive"] >= 1
+
+    def test_metrics(self, daemon):
+        payload = ServeClient(port=daemon.port).metrics()
+        assert payload["serve"]["pool"]["workers"] == 2
+        assert "batching" in payload["serve"]
+        assert "admission" in payload
+
+    def test_cache_stats_endpoint_matches_cli_schema(self, daemon):
+        endpoint = ServeClient(port=daemon.port).cache_stats()
+        out, _, code = cli_capture(["cache", "stats", "--json"])
+        assert code == 0
+        offline = json.loads(out)
+        assert set(endpoint) == set(offline)
+        assert set(endpoint["store"]) == set(offline["store"])
+        local = cache_stats_payload()
+        assert set(local) == set(endpoint)
+
+    def test_worker_death_recovers(self, daemon, spec_file):
+        offline, _, _ = cli_capture(["analyze", spec_file])
+        for pid in daemon.server.pool.worker_pids():
+            os.kill(pid, signal.SIGKILL)
+        time.sleep(0.2)
+        status, payload = ServeClient(port=daemon.port).analyze(SPEC)
+        assert status == 200
+        assert payload["stdout"] == offline
+        health = ServeClient(port=daemon.port).healthz()
+        assert health["respawns"] >= 2
+        assert health["workers_alive"] == 2
+
+    def test_client_cli_round_trip(self, daemon, spec_file):
+        offline, _, code = cli_capture(["analyze", spec_file])
+        out, _, client_code = cli_capture([
+            "client", "--port", str(daemon.port), "analyze", spec_file,
+        ])
+        assert out == offline
+        assert client_code == code
+
+    def test_client_cli_probes(self, daemon):
+        out, _, code = cli_capture([
+            "client", "--port", str(daemon.port), "healthz",
+        ])
+        assert code == 0
+        assert json.loads(out)["status"] == "ok"
+
+
+class TestAdmissionEndToEnd:
+    def test_overload_sheds_some_but_answers_right(self, spec_file):
+        """Burst past a deliberately tiny capacity: some 503s, and every
+        200 is byte-identical — shedding never corrupts an answer."""
+        offline, _, _ = cli_capture(["analyze", spec_file])
+        policies = (
+            ClassPolicy("analyze", priority=3, deadline_ms=1,
+                        default_cost_ms=50),
+        )
+        config = ServeConfig(
+            port=0, workers=1, policies=policies, max_batch=1
+        )
+        with ServerThread(config) as srv:
+            results: list = [None] * 10
+            barrier = threading.Barrier(10)
+
+            def call(index: int) -> None:
+                barrier.wait()
+                results[index] = ServeClient(port=srv.port).analyze(SPEC)
+            threads = [
+                threading.Thread(target=call, args=(i,)) for i in range(10)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            statuses = [status for status, _ in results]
+            assert 503 in statuses  # the 1ms deadline is unmeetable
+            for status, payload in results:
+                if status == 200:
+                    assert payload["stdout"] == offline
+                else:
+                    assert status == 503
+                    assert payload["retry_after"] >= 1
+
+    def test_client_cli_maps_503_to_tempfail(self, spec_file):
+        policies = (
+            ClassPolicy("analyze", priority=3, deadline_ms=1,
+                        default_cost_ms=50),
+        )
+        with ServerThread(ServeConfig(port=0, workers=1,
+                                      policies=policies)) as srv:
+            err = io.StringIO()
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out), \
+                    contextlib.redirect_stderr(err):
+                code = main([
+                    "client", "--port", str(srv.port), "analyze", spec_file,
+                ])
+            assert code == 75
+            assert "shed" in err.getvalue()
+            assert out.getvalue() == ""
+
+
+class TestGracefulDrain:
+    def test_sigterm_drains_and_exits_zero(self, spec_file, tmp_path):
+        env = dict(os.environ)
+        repo_src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", "0", "--workers", "1"],
+            env=env, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            banner = proc.stderr.readline()
+            match = re.search(r":(\d+) \(", banner)
+            assert match, f"no port in banner: {banner!r}"
+            port = int(match.group(1))
+            status, payload = ServeClient(port=port).analyze(SPEC)
+            assert status == 200
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=30)
+            rest = proc.stderr.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert code == 0
+        assert "drained" in rest
