@@ -1,0 +1,129 @@
+"""E22 (engineering): distributed campaign fabric — kill, resume, verify.
+
+Three phases over the embedded deployment:
+
+1. **serial** — the uninterrupted single-process campaign, timed: the
+   reference for both bytes and wall clock;
+2. **interrupted populate** — a 3-worker fabric campaign with a seeded
+   ``kill -9`` (worker 0 dies at its first claim), stealing disabled and
+   a one-round budget, so the kill genuinely leaves a gap: the survivors'
+   outcomes land in the store, the dead worker's shard stays missing;
+3. **warm resume** — a fresh 3-worker fabric over the same store, timed:
+   it recomputes only the missing shard (in parallel) and must reproduce
+   the serial report byte-for-byte.
+
+The record lands in ``BENCH_dist.json`` (gated by
+``check_bench_regression.py``: config drift, ``bit_identical``, and a
+generous wall-clock tolerance on ``serial_seconds``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from conftest import print_experiment
+from repro import obs
+from repro.analysis.adequacy import run_adequacy_campaign
+from repro.cache import ResultStore
+from repro.dist import FabricConfig, KillSpec
+
+RUNS = 96
+WORKERS = 3
+SEED = 2026
+HORIZON = 20_000
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_dist.json"
+
+
+def run_campaign(client, wcet, store=None, fabric=None):
+    obs.reset()
+    report = run_adequacy_campaign(
+        client, wcet, horizon=HORIZON, runs=RUNS, seed=SEED,
+        cache=store, fabric=fabric,
+    )
+    return report, report.elapsed_seconds
+
+
+def test_dist_kill_resume_vs_serial(
+    benchmark, embedded_client, embedded_wcet, tmp_path
+):
+    from repro.analysis.parallel import fork_available
+
+    if not fork_available():  # pragma: no cover - non-POSIX runner
+        import pytest
+
+        pytest.skip("the fabric benchmark needs fork-based workers")
+
+    serial, serial_s = benchmark.pedantic(
+        lambda: run_campaign(embedded_client, embedded_wcet),
+        rounds=1, iterations=1,
+    )
+    assert serial.ok and serial.runs == RUNS
+
+    store = ResultStore(tmp_path / "cache")
+    interrupted, _ = run_campaign(
+        embedded_client, embedded_wcet, store=store,
+        fabric=FabricConfig(
+            workers=WORKERS,
+            kill=KillSpec(worker=0, event="claim", occurrence=1),
+            steal=False, max_rounds=1,
+        ),
+    )
+    missing_after_kill = len(interrupted.shard_failures)
+    assert missing_after_kill > 0, "the kill must leave a visible gap"
+    assert interrupted.runs == RUNS - missing_after_kill
+
+    # Resume through a *fresh* store instance: everything it skips truly
+    # came off disk, everything it computes goes through the fabric.
+    resumed, resume_s = run_campaign(
+        embedded_client, embedded_wcet,
+        store=ResultStore(tmp_path / "cache"),
+        fabric=FabricConfig(workers=WORKERS),
+    )
+
+    # Determinism first: the resumed report must not differ by one byte.
+    assert resumed.table() == serial.table()
+    assert json.dumps(resumed.to_json(), sort_keys=True) == json.dumps(
+        serial.to_json(), sort_keys=True
+    )
+    assert not resumed.shard_failures
+
+    speedup = serial_s / resume_s if resume_s > 0 else float("inf")
+    record = {
+        "experiment": "E22",
+        "runs": RUNS,
+        "jobs": WORKERS,
+        "seed": SEED,
+        "horizon": HORIZON,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_seconds": round(serial_s, 4),
+        "resume_seconds": round(resume_s, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+        "dist": {
+            "workers": WORKERS,
+            "missing_after_kill": missing_after_kill,
+            "cached_after_kill": RUNS - missing_after_kill,
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_experiment(
+        "E22 — distributed campaign fabric",
+        f"{RUNS}-run campaign, {WORKERS} workers, worker 0 killed at its "
+        f"first claim: {missing_after_kill} run(s) lost, resume recomputed "
+        f"only those — serial {serial_s:.2f}s vs resume {resume_s:.3f}s "
+        f"({speedup:.1f}x); reports byte-identical (text and JSON); "
+        f"recorded in {RESULT_PATH.name}",
+    )
+
+    # The resume recomputes ~1/WORKERS of the campaign with WORKERS
+    # processes; even a noisy box clears 1.8x against the serial run.
+    assert speedup >= 1.8, (
+        f"expected warm multi-worker resume to beat serial by >=1.8x, "
+        f"got {speedup:.2f}x (serial {serial_s:.3f}s, resume {resume_s:.3f}s)"
+    )

@@ -325,6 +325,7 @@ def run_adequacy_campaign(
     cache=None,
     kernel: bool | None = None,
     pool=None,
+    fabric=None,
 ) -> TimingCorrectnessReport:
     """Randomized campaign: ``runs`` simulations, all checked.
 
@@ -362,9 +363,30 @@ def run_adequacy_campaign(
     pool — same outcomes, no per-campaign spin-up.  Ignored when a
     ``worker_fault`` is injected (fault injection targets fork-pool
     rounds).
+
+    ``fabric`` (a :class:`repro.dist.FabricConfig`) runs the missing
+    runs through the distributed work-stealing fabric instead: workers
+    claim fingerprints from the store via lease files and the campaign
+    is resumable after any worker (or driver) death — see
+    ``docs/distributed.md``.  Requires ``cache`` (the store *is* the
+    coordination substrate) and fingerprintable inputs; combines with
+    ``pool`` for warm resident execution.  Report bytes stay identical
+    to the serial campaign for every worker count and interleaving.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    if fabric is not None:
+        if worker_fault is not None:
+            raise ValueError(
+                "fabric campaigns cannot inject worker faults: a "
+                "fault-wrapped pipeline is uncacheable by construction "
+                "and the fabric coordinates through the cache"
+            )
+        if cache is None:
+            raise ValueError(
+                "run_adequacy_campaign(fabric=...) needs cache=: the "
+                "shared store is the fabric's coordination substrate"
+            )
     # Campaign boundary: reset the in-process step cache so within-run
     # timing is independent of what ran earlier in this process.
     memo_cache_clear()
@@ -405,6 +427,12 @@ def run_adequacy_campaign(
                     for index in range(runs)
                 ]
             except UnfingerprintableError:
+                if fabric is not None:
+                    raise ValueError(
+                        "fabric campaigns need fingerprintable inputs: "
+                        "the distributed fabric names work by content "
+                        "fingerprint"
+                    )
                 keys = None
             if keys is not None:
                 missing = []
@@ -420,8 +448,21 @@ def run_adequacy_campaign(
                     else:
                         missing.append(index)
         fresh: list[RunOutcome] = []
+        fabric_ran = False
         use_pool = pool is not None and worker_fault is None
-        if missing and (jobs > 1 or use_pool):
+        if missing and fabric is not None:
+            from repro.dist.fabric import run_fabric_campaign
+
+            fresh, shard_failures = run_fabric_campaign(
+                client, wcet, analysis, horizon, runs,
+                seed_root=seed, intensity=intensity,
+                adversarial_fraction=adversarial_fraction,
+                engine=engine, store=store, keys=keys,
+                indices=missing, config=fabric,
+                pool=pool if use_pool else None,
+            )
+            fabric_ran = True
+        elif missing and (jobs > 1 or use_pool):
             from repro.analysis.parallel import run_campaign_parallel
 
             fresh, shard_failures = run_campaign_parallel(
@@ -445,7 +486,7 @@ def run_adequacy_campaign(
                 )
                 for index in missing
             ]
-        if store is not None and keys is not None:
+        if store is not None and keys is not None and not fabric_ran:
             from repro.cache import outcome_payload
 
             for outcome in fresh:

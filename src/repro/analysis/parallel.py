@@ -94,9 +94,11 @@ class ShardFailure:
     """One chunk of work that could not be completed.
 
     ``reason`` is ``"timeout"`` (the chunk exceeded the per-chunk
-    timeout), ``"crash"`` (the pool broke while the chunk was
-    unfinished — worker death cannot be attributed more precisely than
-    that), or ``"error"`` (the chunk function raised).  ``detail`` is a
+    timeout), ``"crash"`` (the pool broke while the chunk was claimed
+    and unfinished — worker death cannot be attributed more precisely
+    than that), ``"error"`` (the chunk function raised), or
+    ``"missing"`` (a distributed campaign's round budget ran out before
+    the run was computed; see :mod:`repro.dist`).  ``detail`` is a
     stable, machine-free description (no pids, no wall-clock) so reports
     carrying failures stay deterministic.
     """
@@ -147,6 +149,13 @@ def _pool_initializer(initializer: Callable[..., None] | None, initargs: tuple) 
 
 
 def _run_chunk(chunk_index: int, chunk) -> object:
+    claims = _POOL_CALL.get("claims")
+    if claims is not None:
+        # Mark the claim *before* any work (or injected fault) so the
+        # parent can tell "died while running this chunk" from "never
+        # started it" when a pool breaks — the latter is retried for
+        # free.  Shared fork memory: the parent reads it post-mortem.
+        claims[chunk_index] = 1
     fault = _POOL_CALL.get("fault")
     if (
         fault is not None
@@ -188,15 +197,21 @@ def pool_map_chunks(
     Failure handling: each chunk gets ``1 + retries`` attempts.  A chunk
     that times out (``timeout`` seconds, ``None`` = wait forever) or
     raises costs itself one attempt; when the pool *breaks* (a worker
-    died) every chunk still unfinished in that round is charged, because
-    worker death cannot be attributed to a single chunk.  Chunks that
-    merely never got to run in an aborted round are retried for free.
-    Each retry round forks a fresh pool — and once a round has aborted,
-    retries run **quarantined**, one chunk per single-worker pool, so a
-    deterministically-crashing chunk exhausts only its own attempts
-    instead of taking the whole pool (and every innocent chunk's retry
-    budget) down with it on each round.  Chunks out of attempts are
-    reported as :class:`ShardFailure` in the returned
+    died) every chunk a worker had actually *claimed* but not finished
+    is charged, because worker death cannot be attributed to a single
+    claimed chunk.  Chunks that were never claimed in an aborted round —
+    queued behind the crash, or whose worker died before reaching them —
+    are clean-crash-before-write casualties and are retried for free (a
+    bounded number of times, so a pathological pre-claim crasher still
+    terminates).  Each retry round forks a fresh pool — and once a round
+    has aborted, retries run **quarantined**, one chunk per
+    single-worker pool, so a deterministically-crashing chunk exhausts
+    only its own attempts instead of taking the whole pool (and every
+    innocent chunk's retry budget) down with it on each round.  A chunk
+    whose budget was consumed entirely by shared-pool crash charges,
+    without ever getting a pool of its own, earns one extra quarantined
+    solo attempt before being declared failed.  Chunks out of attempts
+    are reported as :class:`ShardFailure` in the returned
     :class:`PoolOutcome` — this function does not raise for worker
     failures and does not hang on worker hangs (given a timeout).
     """
@@ -206,10 +221,17 @@ def pool_map_chunks(
     max_attempts = 1 + max(0, retries)
     results: list = [None] * len(chunks)
     attempts = [0] * len(chunks)
+    free_passes = [0] * len(chunks)
+    solo_attempted = [False] * len(chunks)
+    bonus_granted = [False] * len(chunks)
     last_reason: dict[int, tuple[str, str]] = {}
     pending = list(range(len(chunks)))
     rounds = 0
     quarantine = False
+    # Shared fork memory: workers flag each chunk they actually start,
+    # so a broken pool can distinguish claimed-but-lost work (charged)
+    # from never-started work (free retry).
+    claims = context.Array("b", len(chunks), lock=False)
     while pending:
         groups = [[ci] for ci in pending] if quarantine else [pending]
         next_pending: list[int] = []
@@ -220,6 +242,11 @@ def pool_map_chunks(
             _POOL_CALL["fn"] = chunk_fn
             _POOL_CALL["fault"] = fault
             _POOL_CALL["round"] = rounds
+            _POOL_CALL["claims"] = claims
+            for ci in group:
+                claims[ci] = 0
+            if len(group) == 1:
+                solo_attempted[group[0]] = True
             rounds += 1
             workers = max(1, min(jobs, len(group)))
             pool = ProcessPoolExecutor(
@@ -264,12 +291,14 @@ def pool_map_chunks(
                         _kill_pool_processes(pool)
                         aborted = True
                     except BrokenProcessPool:
-                        # A worker died; every unfinished chunk of this
-                        # round (this one included) is charged an
+                        # A worker died; every *claimed* unfinished chunk
+                        # of this round (this one included) is charged an
                         # attempt.  A broken pool marks *all* remaining
                         # futures done with the exception set, so
                         # "finished cleanly" means done with no
-                        # exception.
+                        # exception.  Chunks no worker ever claimed died
+                        # cleanly before any work (or write) happened —
+                        # retryable, not a permanent shard loss.
                         aborted = True
                         for other in group:
                             if results[other] is not None:
@@ -280,6 +309,14 @@ def pool_map_chunks(
                                 and peer.done()
                                 and peer.exception() is None
                             ):
+                                continue
+                            if (
+                                not claims[other]
+                                and free_passes[other] < max_attempts
+                            ):
+                                free_passes[other] += 1
+                                still_pending.append(other)
+                                obs.inc("parallel.clean_crash_retries")
                                 continue
                             attempts[other] += 1
                             last_reason[other] = (
@@ -305,8 +342,22 @@ def pool_map_chunks(
             if failed_round:
                 any_failed = True
             for ci in still_pending + failed_round:
-                if results[ci] is None and attempts[ci] < max_attempts:
+                if results[ci] is not None:
+                    continue
+                if attempts[ci] < max_attempts:
                     next_pending.append(ci)
+                elif (
+                    last_reason.get(ci, ("", ""))[0] == "crash"
+                    and not solo_attempted[ci]
+                    and not bonus_granted[ci]
+                ):
+                    # Every charge came from a shared pool breaking
+                    # around this chunk and it never had a pool of its
+                    # own: clean-crash collateral, not a proven crasher.
+                    # One extra quarantined solo attempt decides it.
+                    bonus_granted[ci] = True
+                    next_pending.append(ci)
+                    obs.inc("parallel.clean_crash_retries")
         if any_failed and next_pending:
             obs.inc("parallel.pool_retries")
         pending = sorted(set(next_pending))

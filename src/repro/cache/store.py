@@ -11,6 +11,19 @@ eviction when the file exceeds the byte budget) rewrites to a temp file
 in the same directory and ``os.replace``s it — readers always see either
 the old or the new file, never a partial one.
 
+Multi-process coordination: appenders take a *shared* ``flock`` on a
+stable sidecar lock file (``.entries.lock``) and compaction takes it
+*exclusive*, then absorbs any line appended between its last scan and
+the lock acquisition before renaming into place — a concurrent append
+can therefore never be dropped by a compaction (the torn-tail window).
+The lock file, not the log itself, carries the lock so an appender can
+never be left holding a descriptor to an unlinked pre-compaction inode.
+:meth:`refresh` gives long-lived instances a cheap way to absorb other
+processes' appends (tail read when the inode is unchanged, full reload
+after a compaction), and :meth:`missing` / :meth:`peek` scan without
+touching hit/miss counters or LRU recency — the claim scan the
+distributed campaign fabric (:mod:`repro.dist`) is built on.
+
 Corruption tolerance is absolute: a torn tail, a garbage line, a payload
 whose checksum does not match — each is skipped (counted in
 ``stats().corrupt``) and simply reads as a miss.  I/O errors on write
@@ -24,14 +37,29 @@ import hashlib
 import json
 import os
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator, Sequence
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
 from repro import obs
 
 ENTRIES_NAME = "entries.jsonl"
+LOCK_NAME = ".entries.lock"
 DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: How many trailing bytes of the scanned prefix are remembered to
+#: detect a replaced log.  Inode numbers get recycled (unlink a log,
+#: compact again, and the new temp file can receive the freed inode), so
+#: the inode check alone is an ABA hazard; a tail-window probe catches
+#: the swap because a rewrite virtually never reproduces the same bytes
+#: at the same offset.
+SCAN_TAIL_BYTES = 64
 
 #: Environment overrides honoured by :func:`default_store`.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -88,27 +116,64 @@ class ResultStore:
         self._entries: OrderedDict[str, Any] | None = None  # key -> payload
         self._sizes: dict[str, int] = {}  # key -> encoded size of live entry
         self._file_bytes = 0
-        self._torn_tail = False
+        self._scanned = 0  # log bytes already merged into _entries
+        self._ino: int | None = None  # inode of the log those bytes came from
+        self._scan_tail = b""  # last bytes of the scanned prefix (ABA probe)
 
     @property
     def entries_path(self) -> Path:
         return self.directory / ENTRIES_NAME
 
+    # -- locking -------------------------------------------------------------
+
+    @contextmanager
+    def _locked(self, *, exclusive: bool) -> Iterator[bool]:
+        """``flock`` the sidecar lock file; yields whether the lock held.
+
+        The lock lives on a stable sidecar file, never on the log itself:
+        compaction replaces the log's inode, and an appender blocked on
+        the *old* inode's lock would wake up holding a descriptor to an
+        unlinked file and write entries into oblivion.  Appenders take it
+        shared, compaction exclusive.  Any failure (no ``fcntl``, an
+        unwritable directory) degrades to unlocked single-process
+        behaviour rather than raising.
+        """
+        fd = None
+        locked = False
+        if fcntl is not None:
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                fd = os.open(
+                    self.directory / LOCK_NAME,
+                    os.O_RDWR | os.O_CREAT,
+                    0o644,
+                )
+                fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+                locked = True
+            except OSError:
+                pass
+        try:
+            yield locked
+        finally:
+            if fd is not None:
+                try:
+                    os.close(fd)  # closing drops the flock
+                except OSError:
+                    pass
+
     # -- loading -------------------------------------------------------------
 
-    def _load(self) -> OrderedDict[str, Any]:
-        if self._entries is not None:
-            return self._entries
-        entries: OrderedDict[str, Any] = OrderedDict()
-        sizes: dict[str, int] = {}
-        raw = b""
-        try:
-            raw = self.entries_path.read_bytes()
-        except OSError:
-            pass
-        self._file_bytes = len(raw)
-        self._torn_tail = bool(raw) and not raw.endswith(b"\n")
-        for line in raw.split(b"\n"):
+    def _merge_lines(self, blob: bytes, *, preserve_recency: bool = False) -> int:
+        """Parse whole lines from ``blob`` into the entry map; returns
+        how many valid entries were merged (duplicates included).
+
+        ``preserve_recency`` is used when absorbing a tail we may have
+        written ourselves: a line whose payload equals the in-memory
+        value keeps its current LRU position (re-reading our own append
+        must not demote keys this process touched since)."""
+        assert self._entries is not None
+        merged = 0
+        for line in blob.split(b"\n"):
             if not line.strip():
                 continue
             try:
@@ -120,14 +185,155 @@ class ResultStore:
             except (ValueError, KeyError, TypeError, UnicodeDecodeError):
                 self.corrupt += 1
                 continue
+            merged += 1
+            if preserve_recency and key in self._entries and (
+                self._entries[key] == payload
+            ):
+                self._sizes[key] = len(line) + 1
+                continue
             # Later duplicates win and refresh recency (append-only log:
             # the newest line for a key is the current value).
-            entries.pop(key, None)
-            entries[key] = payload
-            sizes[key] = len(line) + 1
-        self._entries = entries
-        self._sizes = sizes
-        return entries
+            self._entries.pop(key, None)
+            self._entries[key] = payload
+            self._sizes[key] = len(line) + 1
+        return merged
+
+    def _load(self) -> OrderedDict[str, Any]:
+        if self._entries is not None:
+            return self._entries
+        self._entries = OrderedDict()
+        self._sizes = {}
+        raw = b""
+        ino: int | None = None
+        try:
+            fd = os.open(self.entries_path, os.O_RDONLY)
+            try:
+                ino = os.fstat(fd).st_ino
+                chunks = []
+                while True:
+                    chunk = os.read(fd, 1 << 20)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+                raw = b"".join(chunks)
+            finally:
+                os.close(fd)
+        except OSError:
+            pass
+        self._ino = ino
+        self._file_bytes = len(raw)
+        self._scanned = len(raw)
+        self._scan_tail = raw[-SCAN_TAIL_BYTES:]
+        self._merge_lines(raw)
+        return self._entries
+
+    def _absorb_tail(self) -> int | None:
+        """Merge whole lines appended past the scanned offset; returns
+        how many entries were absorbed, or ``None`` when the log under
+        the path is not the one we scanned (inode changed, file shrank,
+        or the tail-window probe found different bytes — the recycled-
+        inode case) and a full re-read is needed.  A trailing partial
+        line is left unscanned — either an in-flight writer will
+        complete it or compaction will drop it."""
+        try:
+            fd = os.open(self.entries_path, os.O_RDONLY)
+        except OSError:
+            return 0
+        try:
+            stt = os.fstat(fd)
+            if (
+                self._ino is None
+                or stt.st_ino != self._ino
+                or stt.st_size < self._scanned
+            ):
+                return None
+            if self._scan_tail:
+                probe = os.pread(
+                    fd, len(self._scan_tail),
+                    self._scanned - len(self._scan_tail),
+                )
+                if probe != self._scan_tail:
+                    return None
+            if stt.st_size == self._scanned:
+                return 0
+            os.lseek(fd, self._scanned, os.SEEK_SET)
+            chunks = []
+            while True:
+                chunk = os.read(fd, 1 << 20)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            raw = b"".join(chunks)
+        except OSError:
+            return 0
+        finally:
+            os.close(fd)
+        if raw.endswith(b"\n"):
+            complete, advance = raw, len(raw)
+        else:
+            cut = raw.rfind(b"\n")
+            if cut < 0:
+                return 0
+            complete, advance = raw[: cut + 1], cut + 1
+        absorbed = self._merge_lines(complete, preserve_recency=True)
+        self._scanned += advance
+        self._scan_tail = (self._scan_tail + complete)[-SCAN_TAIL_BYTES:]
+        self._file_bytes = max(self._file_bytes, self._scanned)
+        return absorbed
+
+    def _reload(self) -> int:
+        """Re-read the whole log, preserving this instance's LRU order
+        for keys whose payload is unchanged (a compaction by another
+        process must not demote keys this process recently touched)."""
+        raw = b""
+        ino: int | None = None
+        try:
+            fd = os.open(self.entries_path, os.O_RDONLY)
+            try:
+                ino = os.fstat(fd).st_ino
+                chunks = []
+                while True:
+                    chunk = os.read(fd, 1 << 20)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+                raw = b"".join(chunks)
+            finally:
+                os.close(fd)
+        except OSError:
+            pass
+        self._ino = ino
+        self._file_bytes = len(raw)
+        self._scanned = len(raw)
+        self._scan_tail = raw[-SCAN_TAIL_BYTES:]
+        return self._merge_lines(raw, preserve_recency=True)
+
+    def refresh(self) -> int:
+        """Absorb entries other processes appended since our last scan.
+
+        Cheap when the log is still the one we scanned (an incremental
+        tail read, guarded by an inode + tail-window check); falls back
+        to a full re-read after a compaction replaced the file.  Returns
+        how many entries were merged.  A store that was never loaded
+        simply loads."""
+        if self._entries is None:
+            return len(self._load())
+        try:
+            os.stat(self.entries_path)
+        except OSError:
+            # The log vanished (cleared by another process): empty store.
+            self._entries = OrderedDict()
+            self._sizes = {}
+            self._file_bytes = 0
+            self._scanned = 0
+            self._ino = None
+            self._scan_tail = b""
+            return 0
+        absorbed = self._absorb_tail()
+        if absorbed is None:
+            # Compacted (or re-created) underneath us: full re-read.
+            return self._reload()
+        return absorbed
 
     # -- core API ------------------------------------------------------------
 
@@ -143,6 +349,22 @@ class ResultStore:
         obs.inc("cache.misses")
         return None
 
+    def peek(self, key: str) -> Any | None:
+        """Like :meth:`get` but without touching hit/miss counters or
+        LRU recency — the claim scan used by :mod:`repro.dist`."""
+        return self._load().get(key)
+
+    def missing(self, keys: Sequence[str], *, refresh: bool = True) -> list[str]:
+        """The subset of ``keys`` with no stored payload, in order.
+
+        Counter- and recency-neutral; by default re-reads other
+        processes' appends first so a campaign driver's miss scan
+        reflects the shared log, not a stale snapshot."""
+        if refresh:
+            self.refresh()
+        entries = self._load()
+        return [key for key in keys if key not in entries]
+
     def put(self, key: str, payload: Any) -> None:
         """Store ``payload`` under ``key`` (JSON-serializable only)."""
         entries = self._load()
@@ -152,23 +374,42 @@ class ResultStore:
         self._sizes[key] = len(encoded)
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            fd = os.open(
-                self.entries_path,
-                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
-                0o644,
-            )
-            try:
-                if self._torn_tail:
-                    # Seal a torn tail left by a crashed writer so our
-                    # entry starts on a fresh line.
-                    encoded = b"\n" + encoded
-                    self._torn_tail = False
-                os.write(fd, encoded)
-            finally:
-                os.close(fd)
+            with self._locked(exclusive=False):
+                # Open *after* taking the shared lock: if a compaction
+                # replaced the log while we waited, the path now resolves
+                # to the new inode and our append lands in it.
+                # O_RDWR, not O_WRONLY: the torn-tail probe below preads
+                # the last byte through this same descriptor.
+                fd = os.open(
+                    self.entries_path,
+                    os.O_RDWR | os.O_CREAT | os.O_APPEND,
+                    0o644,
+                )
+                try:
+                    # Seal a torn tail left by a crashed writer (ours or
+                    # anyone's) so our entry starts on a fresh line.  The
+                    # check reads the actual file: a tear may have landed
+                    # after our last scan.
+                    stt = os.fstat(fd)
+                    if stt.st_size > 0 and (
+                        os.pread(fd, 1, stt.st_size - 1) != b"\n"
+                    ):
+                        encoded = b"\n" + encoded
+                    os.write(fd, encoded)
+                    if self._ino is None:
+                        # Our append (or a racing writer's) created the
+                        # log: remember its identity so later refreshes
+                        # can tail-read instead of reloading from scratch.
+                        self._ino = stt.st_ino
+                finally:
+                    os.close(fd)
             self._file_bytes += len(encoded)
         except OSError:
             return  # degrade: result stays usable in-process only
+        # Deliberately do NOT advance _scanned past our own line: another
+        # writer may have interleaved an append before ours, and re-parsing
+        # our own (idempotent, later-duplicate-wins) line on the next
+        # refresh is harmless while skipping theirs would lose it.
         if self._file_bytes > self.max_bytes:
             self._compact()
         if obs.enabled():
@@ -178,27 +419,48 @@ class ResultStore:
         """Rewrite live entries, evicting least-recently-used to fit."""
         entries = self._load()
         budget = self.max_bytes if budget is None else budget
-        live_bytes = sum(self._sizes[key] for key in entries)
-        while entries and live_bytes > budget:
-            key, _ = entries.popitem(last=False)
-            live_bytes -= self._sizes.pop(key)
-            self.evictions += 1
-            obs.inc("cache.evictions")
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            tmp = self.entries_path.with_name(
-                f".{ENTRIES_NAME}.{os.getpid()}.tmp"
-            )
-            with open(tmp, "wb") as handle:
-                for key, payload in entries.items():
-                    handle.write(_encode_entry(key, payload))
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, self.entries_path)
-            self._file_bytes = live_bytes
-            self._torn_tail = False
         except OSError:
-            pass
+            return
+        with self._locked(exclusive=True):
+            # Absorb everything that landed between our last scan and the
+            # exclusive lock: compaction must never drop a concurrent
+            # writer's entry (the torn-tail window), and if another
+            # process compacted underneath us the inode changed and only
+            # a full reload sees its rewrite — refresh() handles both.
+            self.refresh()
+            entries = self._load()
+            live_bytes = sum(self._sizes[key] for key in entries)
+            while entries and live_bytes > budget:
+                key, _ = entries.popitem(last=False)
+                live_bytes -= self._sizes.pop(key)
+                self.evictions += 1
+                obs.inc("cache.evictions")
+            try:
+                tmp = self.entries_path.with_name(
+                    f".{ENTRIES_NAME}.{os.getpid()}.tmp"
+                )
+                written = 0
+                tail = b""
+                with open(tmp, "wb") as handle:
+                    for key, payload in entries.items():
+                        line = _encode_entry(key, payload)
+                        handle.write(line)
+                        written += len(line)
+                        tail = (tail + line)[-SCAN_TAIL_BYTES:]
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, self.entries_path)
+                self._file_bytes = written
+                self._scanned = written
+                self._scan_tail = tail
+                try:
+                    self._ino = os.stat(self.entries_path).st_ino
+                except OSError:
+                    self._ino = None
+            except OSError:
+                pass
 
     # -- maintenance ---------------------------------------------------------
 
@@ -213,7 +475,9 @@ class ResultStore:
         except OSError:
             pass
         self._file_bytes = 0
-        self._torn_tail = False
+        self._scanned = 0
+        self._ino = None
+        self._scan_tail = b""
         return dropped
 
     def gc(self, max_bytes: int | None = None) -> int:

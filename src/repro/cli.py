@@ -57,6 +57,7 @@ All commands read the deployment from a JSON spec (see
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from typing import Sequence
@@ -293,6 +294,137 @@ def _cmd_simulate(deployment: Deployment, args: argparse.Namespace) -> int:
         if any_flagged:
             code = 1
     return code
+
+
+def _campaign_keys(client, wcet, engine, args) -> list[str]:
+    """The content-addressed key of every run of the CLI campaign, or
+    ``SpecError`` when the inputs cannot be fingerprinted."""
+    from repro.cache import UnfingerprintableError, campaign_run_key
+
+    try:
+        return [
+            campaign_run_key(
+                client, wcet, engine,
+                horizon=args.horizon, runs=args.runs, seed_root=args.seed,
+                intensity=args.intensity, adversarial_fraction=0.5,
+                analysis_horizon=1_000_000, index=index,
+            )
+            for index in range(args.runs)
+        ]
+    except UnfingerprintableError as exc:
+        raise SpecError(
+            f"campaign inputs cannot be fingerprinted: {exc}"
+        ) from exc
+
+
+def _cmd_campaign_run(deployment: Deployment, args: argparse.Namespace) -> int:
+    """``repro campaign run``: the distributed, resumable campaign.
+
+    stdout carries exactly the bytes ``repro simulate`` would print for
+    the same spec/seed/horizon — byte-identical regardless of worker
+    count, interleaving, kill points, or how many resumes it took.  An
+    incomplete campaign (round budget exhausted) prints nothing to
+    stdout and exits 3; rerunning with ``--resume`` continues from the
+    store.
+    """
+    from repro.cache import default_store
+    from repro.dist import FabricConfig, LeaseBroker, leases_dir
+
+    client, wcet = deployment.client, deployment.wcet
+    if client.policy == "edf":
+        print("campaign currently drives the NPFP analysis pipeline; "
+              "EDF specs are checked with 'analyze'", file=sys.stderr)
+        return 2
+    engine = args.engine or deployment.engine
+    store = default_store()
+    keys = _campaign_keys(client, wcet, engine, args)
+    broker = LeaseBroker(leases_dir(store.directory), owner=f"cli:{os.getpid()}")
+    if args.resume:
+        held = sum(1 for key in keys if broker.holder(key) is not None)
+        if held:
+            print(
+                f"resume: {held} lease(s) left by earlier workers "
+                "(dead owners are reclaimed, live ones respected)",
+                file=sys.stderr,
+            )
+    else:
+        # A fresh (non-resume) run owns its coordination state: drop any
+        # lease left on this campaign's keys by an earlier attempt.
+        dropped = sum(1 for key in keys if broker.break_lease(key))
+        if dropped:
+            print(f"cleared {dropped} stale lease(s)", file=sys.stderr)
+    config = FabricConfig(
+        workers=args.dist_workers,
+        lease_ttl=args.lease_ttl,
+        steal=not args.no_steal,
+        max_rounds=args.max_rounds,
+    )
+    report = run_adequacy_campaign(
+        client, wcet,
+        horizon=args.horizon, runs=args.runs, seed=args.seed,
+        intensity=args.intensity, engine=engine,
+        cache=store, kernel=_kernel_choice(args), fabric=config,
+    )
+    _cache_note(store)
+    if report.shard_failures:
+        print(
+            f"campaign incomplete: {len(report.shard_failures)} run(s) "
+            f"still missing after the round budget; rerun with --resume "
+            "to continue from the store",
+            file=sys.stderr,
+        )
+        return 3
+    print(report.table())
+    if report.elapsed_seconds is not None:
+        print(format_elapsed(report.elapsed_seconds), file=sys.stderr)
+    report_out = getattr(args, "report_out", None)
+    if report_out:
+        import json
+
+        with open(report_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote campaign report to {report_out}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_campaign_status(deployment: Deployment, args: argparse.Namespace) -> int:
+    """``repro campaign status``: cached/missing/leased counts for one
+    campaign configuration.  Exits 0 when complete, 3 otherwise."""
+    from repro.cache import default_store
+    from repro.dist import LeaseBroker, leases_dir, stored_outcome
+
+    client, wcet = deployment.client, deployment.wcet
+    if client.policy == "edf":
+        print("campaign currently drives the NPFP analysis pipeline; "
+              "EDF specs are checked with 'analyze'", file=sys.stderr)
+        return 2
+    engine = args.engine or deployment.engine
+    store = default_store()
+    keys = _campaign_keys(client, wcet, engine, args)
+    missing = [
+        index for index in range(args.runs)
+        if stored_outcome(store, keys[index], index) is None
+    ]
+    broker = LeaseBroker(leases_dir(store.directory), owner=f"cli:{os.getpid()}")
+    leased = expired = 0
+    for index in missing:
+        info = broker.holder(keys[index])
+        if info is None:
+            continue
+        if broker.expired(info):
+            expired += 1
+        else:
+            leased += 1
+    complete = not missing
+    print(f"campaign: runs={args.runs} seed={args.seed} "
+          f"horizon={args.horizon} engine={engine}")
+    print(f"store: {store.stats().path}")
+    print(f"cached: {args.runs - len(missing)}/{args.runs}")
+    print(f"missing: {len(missing)}")
+    print(f"leased: {leased} active, {expired} expired")
+    print(f"complete: {'yes' if complete else 'no'}")
+    return 0 if complete else 3
 
 
 def verification_payloads(client) -> list[tuple[int, int]]:
@@ -828,6 +960,70 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(simulate)
     _add_kernel_flags(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="distributed, resumable simulation campaigns "
+        "(docs/distributed.md)",
+    )
+    campsub = campaign.add_subparsers(dest="campaign_command", required=True)
+    crun = campsub.add_parser(
+        "run",
+        help="run (or resume) a campaign on work-stealing workers over "
+        "the shared result store",
+    )
+    crun.add_argument("spec")
+    crun.add_argument("--horizon", type=int, default=100_000)
+    crun.add_argument("--runs", type=int, default=5)
+    crun.add_argument("--seed", type=int, default=0)
+    crun.add_argument("--intensity", type=float, default=1.0)
+    crun.add_argument(
+        "--engine", choices=engine_names(), default=None,
+        help="execution backend (default: the spec's engine, or 'python')",
+    )
+    crun.add_argument(
+        "--dist-workers", type=_jobs_count, default=2, metavar="N",
+        help="fabric worker processes per round (≥ 1)",
+    )
+    crun.add_argument(
+        "--resume", action="store_true",
+        help="respect leases left by a previous (possibly killed) run "
+        "instead of clearing them",
+    )
+    crun.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="lease expiry: how long a silent worker keeps its claim",
+    )
+    crun.add_argument(
+        "--max-rounds", type=int, default=8, metavar="N",
+        help="round budget before the campaign reports incomplete "
+        "(exit 3; rerun with --resume)",
+    )
+    crun.add_argument(
+        "--no-steal", action="store_true",
+        help="disable cross-shard work stealing (testing/benchmarks)",
+    )
+    crun.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="also write the campaign report as deterministic JSON to PATH",
+    )
+    _add_obs_flags(crun)
+    _add_kernel_flags(crun)
+    crun.set_defaults(handler=_cmd_campaign_run)
+    cstatus = campsub.add_parser(
+        "status",
+        help="cached/missing/leased counts for one campaign configuration",
+    )
+    cstatus.add_argument("spec")
+    cstatus.add_argument("--horizon", type=int, default=100_000)
+    cstatus.add_argument("--runs", type=int, default=5)
+    cstatus.add_argument("--seed", type=int, default=0)
+    cstatus.add_argument("--intensity", type=float, default=1.0)
+    cstatus.add_argument(
+        "--engine", choices=engine_names(), default=None,
+        help="execution backend (default: the spec's engine, or 'python')",
+    )
+    cstatus.set_defaults(handler=_cmd_campaign_status)
 
     verify = sub.add_parser("verify", help="bounded model check of the C code")
     verify.add_argument("spec")

@@ -1,0 +1,56 @@
+"""Distributed campaign fabric (see ``docs/distributed.md``).
+
+Turns the content-addressed result store into a coordination substrate:
+workers claim missing campaign fingerprints via atomic lease files,
+compute them, append to the shared JSONL log, and release — so a
+campaign is "resume until no misses remain" and survives ``kill -9`` of
+any worker at any point, with reports byte-identical to a serial run.
+
+* :mod:`repro.dist.lease` — advisory atomic lease files with TTL expiry
+  and verified stealing.
+* :mod:`repro.dist.chaos` — seeded kill-point injection
+  (:class:`~repro.dist.chaos.KillSpec`), also armed via the
+  ``REPRO_DIST_KILL`` environment variable.
+* :mod:`repro.dist.fabric` — the work-stealing driver and worker loop;
+  plugs into :func:`repro.analysis.adequacy.run_adequacy_campaign` as
+  its ``fabric=`` argument and into the PR 7 resident pool for warm
+  execution.
+"""
+
+from repro.dist.chaos import ENV_KILL, EVENTS, ChaosMonkey, KillSpec, kill_spec_from_env
+from repro.dist.fabric import (
+    JOB_DIST_SHARD,
+    LEASES_DIRNAME,
+    FabricConfig,
+    execute_dist_shard,
+    leases_dir,
+    run_fabric_campaign,
+    stored_outcome,
+)
+from repro.dist.lease import (
+    DEFAULT_TTL,
+    LeaseBroker,
+    LeaseInfo,
+    owner_pid,
+    pid_alive,
+)
+
+__all__ = [
+    "ENV_KILL",
+    "EVENTS",
+    "ChaosMonkey",
+    "KillSpec",
+    "kill_spec_from_env",
+    "JOB_DIST_SHARD",
+    "LEASES_DIRNAME",
+    "FabricConfig",
+    "execute_dist_shard",
+    "leases_dir",
+    "run_fabric_campaign",
+    "stored_outcome",
+    "DEFAULT_TTL",
+    "LeaseBroker",
+    "LeaseInfo",
+    "owner_pid",
+    "pid_alive",
+]

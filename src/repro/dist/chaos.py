@@ -1,0 +1,99 @@
+"""Deterministic chaos hooks for the campaign fabric.
+
+A :class:`KillSpec` names one seeded kill point — *worker W dies (via
+``SIGKILL``, exactly as ``kill -9`` would) at its N-th occurrence of
+lifecycle event E* — and :class:`ChaosMonkey` fires it from inside the
+worker loop.  The four events bracket every state transition of the
+claim protocol, so a spec can kill a worker:
+
+- ``claim``   — before it acquires a lease (no trace left),
+- ``compute`` — holding a lease, before any work ran,
+- ``put``     — holding a lease, work done, *before* the store append
+                (the clean-crash-before-write point),
+- ``release`` — after the append, lease left dangling.
+
+Specs travel two ways: explicitly through ``FabricConfig.kill`` (the
+test harness), or via the ``REPRO_DIST_KILL`` environment variable
+(``"worker=1,event=put,n=3"``) so the CI job can kill a real CLI
+worker without touching code.  Parsing is strict — a malformed spec is
+an error, never a silently armed-or-not monkey.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+
+EVENTS = ("claim", "compute", "put", "release")
+ENV_KILL = "REPRO_DIST_KILL"
+
+
+@dataclass(frozen=True)
+class KillSpec:
+    """Die at the ``occurrence``-th time ``worker`` reaches ``event``."""
+
+    worker: int
+    event: str
+    occurrence: int = 1
+
+    def __post_init__(self) -> None:
+        if self.event not in EVENTS:
+            raise ValueError(
+                f"unknown kill event {self.event!r}; expected one of {EVENTS}"
+            )
+        if self.occurrence < 1:
+            raise ValueError("kill occurrence is 1-based")
+
+    @classmethod
+    def parse(cls, text: str) -> "KillSpec":
+        """Parse ``"worker=W,event=E,n=K"`` (``n`` optional, default 1)."""
+        fields: dict[str, str] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(f"malformed kill spec field {part!r}")
+            fields[name.strip()] = value.strip()
+        unknown = set(fields) - {"worker", "event", "n"}
+        if unknown:
+            raise ValueError(f"unknown kill spec fields: {sorted(unknown)}")
+        if "worker" not in fields or "event" not in fields:
+            raise ValueError("kill spec needs worker= and event=")
+        return cls(
+            worker=int(fields["worker"]),
+            event=fields["event"],
+            occurrence=int(fields.get("n", "1")),
+        )
+
+    def format(self) -> str:
+        return f"worker={self.worker},event={self.event},n={self.occurrence}"
+
+
+def kill_spec_from_env() -> KillSpec | None:
+    """The :data:`ENV_KILL` spec, if set."""
+    raw = os.environ.get(ENV_KILL)
+    if not raw:
+        return None
+    return KillSpec.parse(raw)
+
+
+class ChaosMonkey:
+    """Counts one worker's lifecycle events and fires its kill point."""
+
+    def __init__(self, spec: KillSpec | None, worker_id: int):
+        self.spec = spec
+        self.worker_id = worker_id
+        self.count = 0
+
+    def observe(self, event: str) -> None:
+        spec = self.spec
+        if spec is None or spec.worker != self.worker_id or spec.event != event:
+            return
+        self.count += 1
+        if self.count >= spec.occurrence:
+            # The real thing: SIGKILL is uncatchable, no cleanup runs,
+            # leases stay on disk, pipes just close.
+            os.kill(os.getpid(), signal.SIGKILL)

@@ -1,0 +1,496 @@
+"""Work-stealing campaign fabric over the content-addressed store.
+
+The unit of distribution is one adequacy run: its fingerprint key
+(:func:`repro.cache.campaign_run_key`) names the work, the shared
+:class:`~repro.cache.ResultStore` holds the answer, and a lease file
+(:mod:`repro.dist.lease`) marks it in-flight.  Every worker runs the
+same loop — *claim → compute → atomic JSONL append → release* — first
+over its own round-robin shard of the missing indices, then in steal
+sweeps over whatever is still missing anywhere.  A campaign is therefore
+just "resume until no misses remain": workers are stateless, carry no
+partial results, and can be ``kill -9``-ed at any point — the worst a
+death costs is one abandoned lease (expired by TTL or broken by the
+driver once the owner pid is dead) and one recomputation.
+
+Determinism: the final report is *never* assembled from worker message
+order.  The driver re-reads every outcome from the store and merges them
+in run-index order (:func:`repro.analysis.adequacy.merge_outcomes`), and
+each outcome is fully determined by ``seed_root + index`` — so the
+report bytes are identical for any worker count, interleaving, kill
+point, or resume schedule.  Duplicated work (a lease race, a steal of a
+live-but-slow worker's claim) appends byte-identical payloads the store
+dedupes harmlessly.
+
+Failure taxonomy (driver side, per round):
+
+- a missing index whose lease owner's pid is dead ⇒ a *crash charge*;
+  past ``index_retries`` charges the index is quarantined and computed
+  serially in the driver (the PR 4 idea: one suspect, own sandbox);
+- a worker alive past ``round_timeout`` ⇒ a straggler, killed like a
+  crasher (its leases expire or are broken the same way);
+- anything still missing after ``max_rounds`` ⇒ a degraded report with
+  ``reason="missing"`` :class:`~repro.analysis.parallel.ShardFailure`
+  records — rerunning with the same store resumes exactly there.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro import obs
+from repro.analysis.adequacy import RunOutcome, adequacy_run
+from repro.analysis.parallel import (
+    ShardFailure,
+    fork_available,
+    init_worker_obs,
+    merge_worker_snapshots,
+)
+from repro.cache import outcome_from_payload, outcome_payload
+from repro.cache.store import ResultStore
+from repro.dist.chaos import ChaosMonkey, KillSpec, kill_spec_from_env
+from repro.dist.lease import (
+    DEFAULT_TTL,
+    LeaseBroker,
+    owner_pid,
+    pid_alive,
+)
+from repro.engine import as_engine, resolve_engine_name
+
+#: Lease files live beside the entry log, inside the store directory.
+LEASES_DIRNAME = "leases"
+
+#: Job kind the resident pool dispatches to :func:`execute_dist_shard`.
+JOB_DIST_SHARD = "dist_shard"
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """How one distributed campaign runs.
+
+    ``order_seed`` permutes each worker's visit order (the harness uses
+    it to exercise interleavings); ``kill`` arms a seeded kill point in
+    the workers (see :mod:`repro.dist.chaos`).  Neither affects report
+    bytes — only which worker computes what, when.
+    """
+
+    workers: int = 2
+    lease_ttl: float = DEFAULT_TTL
+    steal: bool = True
+    steal_sweeps: int = 4
+    steal_backoff: float = 0.01
+    max_rounds: int = 8
+    index_retries: int = 1
+    round_timeout: float | None = None
+    order_seed: int | None = None
+    kill: KillSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("a fabric needs at least one worker")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+
+
+def leases_dir(store: ResultStore | Path | str) -> Path:
+    base = store.directory if isinstance(store, ResultStore) else Path(store)
+    return base / LEASES_DIRNAME
+
+
+def stored_outcome(store: ResultStore, key: str, index: int) -> RunOutcome | None:
+    """The validated outcome for ``index`` under ``key``, else ``None``
+    (counter-neutral: this is the fabric's claim scan)."""
+    payload = store.peek(key)
+    if payload is None:
+        return None
+    outcome = outcome_from_payload(payload)
+    if outcome is None or outcome.run_index != index:
+        return None
+    return outcome
+
+
+def _permuted(items: Sequence[int], order_seed: int | None, salt: int) -> list[int]:
+    out = list(items)
+    if order_seed is not None:
+        random.Random(order_seed * 1_000_003 + salt).shuffle(out)
+    return out
+
+
+def _work_shard(
+    worker_id: int,
+    config: FabricConfig,
+    setup: tuple,
+    keys: Sequence[str],
+    own: Sequence[int],
+    everything: Sequence[int],
+    store: ResultStore,
+    broker: LeaseBroker,
+    chaos: ChaosMonkey,
+    engine,
+) -> dict:
+    """One worker's claim→compute→append→release loop (both execution
+    modes run exactly this)."""
+    (client, wcet, analysis, horizon, runs,
+     seed_root, intensity, adversarial_fraction, _engine_name) = setup
+    stats = {"claims": 0, "steals": 0, "computed": 0}
+    own_set = set(own)
+
+    def attempt(index: int, stolen: bool) -> None:
+        key = keys[index]
+        if store.peek(key) is not None:
+            return
+        chaos.observe("claim")
+        if not broker.acquire(key):
+            return
+        stats["claims"] += 1
+        if stolen:
+            stats["steals"] += 1
+            obs.inc("dist.steals")
+        chaos.observe("compute")
+        outcome = adequacy_run(
+            client, wcet, analysis, horizon, runs, index,
+            seed_root=seed_root, intensity=intensity,
+            adversarial_fraction=adversarial_fraction, engine=engine,
+        )
+        chaos.observe("put")
+        store.put(key, outcome_payload(outcome))
+        stats["computed"] += 1
+        chaos.observe("release")
+        broker.release(key)
+
+    for index in _permuted(own, config.order_seed, worker_id):
+        attempt(index, stolen=False)
+    if config.steal:
+        for sweep in range(config.steal_sweeps):
+            store.refresh()
+            rest = [i for i in everything if store.peek(keys[i]) is None]
+            if not rest:
+                break
+            for index in _permuted(
+                rest, config.order_seed, worker_id + 1000 * (sweep + 1)
+            ):
+                attempt(index, stolen=index not in own_set)
+            if config.steal_backoff > 0:
+                time.sleep(config.steal_backoff)
+    return stats
+
+
+def _worker_owner(worker_id: int) -> str:
+    return f"w{worker_id}:{os.getpid()}"
+
+
+def _fabric_worker_main(
+    worker_id: int,
+    config: FabricConfig,
+    setup: tuple,
+    keys: Sequence[str],
+    own: Sequence[int],
+    everything: Sequence[int],
+    store_dir: str,
+    max_bytes: int,
+    conn,
+    obs_enabled: bool,
+) -> None:
+    """Entry point of one forked fabric worker."""
+    init_worker_obs(obs_enabled)
+    spec = config.kill if config.kill is not None else kill_spec_from_env()
+    chaos = ChaosMonkey(spec, worker_id)
+    store = ResultStore(store_dir, max_bytes=max_bytes)
+    broker = LeaseBroker(
+        leases_dir(store), _worker_owner(worker_id), ttl=config.lease_ttl
+    )
+    (client, *_rest, engine_name) = setup
+    try:
+        engine = as_engine(engine_name, client)
+        stats = _work_shard(
+            worker_id, config, setup, keys, own, everything,
+            store, broker, chaos, engine,
+        )
+    except Exception:
+        try:
+            conn.close()
+        finally:
+            os._exit(1)
+        return
+    delta = obs.snapshot() if obs.enabled() else None
+    try:
+        conn.send(("done", stats, delta))
+        conn.close()
+    except (BrokenPipeError, OSError):
+        pass
+
+
+def _serial_round(setup: tuple, keys, remaining, store: ResultStore) -> None:
+    """No fork, no pool: compute the missing runs in-process (the fabric
+    still works, it just isn't parallel)."""
+    (client, wcet, analysis, horizon, runs,
+     seed_root, intensity, adversarial_fraction, engine_name) = setup
+    engine = as_engine(engine_name, client)
+    for index in remaining:
+        outcome = adequacy_run(
+            client, wcet, analysis, horizon, runs, index,
+            seed_root=seed_root, intensity=intensity,
+            adversarial_fraction=adversarial_fraction, engine=engine,
+        )
+        store.put(keys[index], outcome_payload(outcome))
+
+
+def _fork_round(
+    setup: tuple,
+    keys: Sequence[str],
+    remaining: Sequence[int],
+    config: FabricConfig,
+    store: ResultStore,
+) -> None:
+    """One round of forked workers over ``remaining``; joins them all."""
+    if not fork_available():  # pragma: no cover - non-POSIX fallback
+        _serial_round(setup, keys, remaining, store)
+        return
+    context = multiprocessing.get_context("fork")
+    workers = max(1, min(config.workers, len(remaining)))
+    procs = []
+    for worker_id in range(workers):
+        own = list(remaining)[worker_id::workers]
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        proc = context.Process(
+            target=_fabric_worker_main,
+            args=(
+                worker_id, config, setup, keys, own, list(remaining),
+                str(store.directory), store.max_bytes, child_conn,
+                obs.enabled(),
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        procs.append((proc, parent_conn))
+    obs.inc("dist.workers_spawned", workers)
+    deadline = (
+        time.monotonic() + config.round_timeout
+        if config.round_timeout is not None
+        else None
+    )
+    for proc, conn in procs:
+        budget = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        proc.join(budget)
+        if proc.is_alive():
+            # Straggler: kill it like any crasher; its leases expire or
+            # get broken by dead-pid attribution.
+            proc.kill()
+            proc.join()
+            obs.inc("dist.stragglers")
+        if proc.exitcode not in (0, None):
+            obs.inc("dist.worker_deaths")
+        try:
+            if conn.poll(0):
+                message = conn.recv()
+                if message and message[0] == "done":
+                    merge_worker_snapshots([message[2]])
+        except (EOFError, OSError):
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _pool_round(
+    pool,
+    setup: tuple,
+    keys: Sequence[str],
+    remaining: Sequence[int],
+    config: FabricConfig,
+    store: ResultStore,
+) -> None:
+    """One round on resident workers (PR 7 pool): each worker gets a
+    shard plus the full missing list for its steal sweeps."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serve.pool import PoolError, PoolShutDown
+
+    workers = max(1, min(config.workers, pool.workers, len(remaining)))
+    shards = [
+        (worker_id, list(remaining)[worker_id::workers])
+        for worker_id in range(workers)
+    ]
+
+    def run(shard) -> None:
+        worker_id, own = shard
+        try:
+            pool.submit(
+                JOB_DIST_SHARD,
+                (
+                    setup, list(keys), own, list(remaining),
+                    str(store.directory), store.max_bytes, config, worker_id,
+                ),
+                timeout=config.round_timeout,
+            )
+        except PoolShutDown:
+            raise
+        except PoolError:
+            obs.inc("dist.worker_deaths")
+
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        list(executor.map(run, shards))
+
+
+def execute_dist_shard(
+    setup: tuple,
+    keys: Sequence[str],
+    own: Sequence[int],
+    everything: Sequence[int],
+    store_dir: str,
+    max_bytes: int,
+    config: FabricConfig,
+    worker_id: int,
+) -> dict:
+    """One fabric shard on a resident worker (``JOB_DIST_SHARD``).
+
+    Mirrors :func:`_fabric_worker_main` but draws the engine from the
+    worker's warm cache, the whole point of resident execution."""
+    from repro.serve.pool import _cached_engine
+
+    (client, wcet, analysis, horizon, runs,
+     seed_root, intensity, adversarial_fraction, engine_name) = setup
+    engine = _cached_engine(engine_name, client)
+    # The registry pins engines to their client by identity; the shard
+    # arrived with a fresh unpickled copy, so run against the cached
+    # engine's own client.
+    client = engine.client
+    setup = (client, wcet, analysis, horizon, runs,
+             seed_root, intensity, adversarial_fraction, engine_name)
+    spec = config.kill if config.kill is not None else kill_spec_from_env()
+    chaos = ChaosMonkey(spec, worker_id)
+    store = ResultStore(store_dir, max_bytes=max_bytes)
+    broker = LeaseBroker(
+        leases_dir(store), _worker_owner(worker_id), ttl=config.lease_ttl
+    )
+    return _work_shard(
+        worker_id, config, setup, keys, own, everything,
+        store, broker, chaos, engine,
+    )
+
+
+def run_fabric_campaign(
+    client,
+    wcet,
+    analysis,
+    horizon: int,
+    runs: int,
+    *,
+    seed_root: int,
+    intensity: float,
+    adversarial_fraction: float,
+    engine,
+    store: ResultStore,
+    keys: Sequence[str],
+    indices: Sequence[int],
+    config: FabricConfig,
+    pool=None,
+) -> tuple[list[RunOutcome], tuple[ShardFailure, ...]]:
+    """Drive rounds of workers until no fingerprints are missing.
+
+    Returns the outcomes of ``indices`` as re-read from the store (the
+    only source of truth) plus degraded-report failures for whatever is
+    still missing after the round budget.  ``pool`` switches execution
+    to resident workers; otherwise each round forks fresh ones.
+    """
+    engine_name = resolve_engine_name(
+        engine if isinstance(engine, str) else engine.name
+    )
+    setup = (client, wcet, analysis, horizon, runs,
+             seed_root, intensity, adversarial_fraction, engine_name)
+    driver = LeaseBroker(
+        leases_dir(store), f"driver:{os.getpid()}", ttl=config.lease_ttl
+    )
+    crash_counts: dict[int, int] = {}
+    failures: list[ShardFailure] = []
+    rounds = 0
+    backend = None
+    with obs.span("campaign.fabric", runs=len(indices), workers=config.workers):
+        while True:
+            store.refresh()
+            remaining = [
+                i for i in indices if stored_outcome(store, keys[i], i) is None
+            ]
+            if not remaining:
+                break
+            quarantined = [
+                i for i in remaining
+                if crash_counts.get(i, 0) > config.index_retries
+            ]
+            if quarantined:
+                # Repeat offenders run serially in the driver: if the
+                # input itself kills workers, it gets one supervised
+                # computation instead of burning rounds.
+                if backend is None:
+                    backend = as_engine(engine, client)
+                for index in quarantined:
+                    driver.break_lease(keys[index])
+                    outcome = adequacy_run(
+                        client, wcet, analysis, horizon, runs, index,
+                        seed_root=seed_root, intensity=intensity,
+                        adversarial_fraction=adversarial_fraction,
+                        engine=backend,
+                    )
+                    store.put(keys[index], outcome_payload(outcome))
+                    obs.inc("dist.quarantined")
+                continue
+            if rounds >= config.max_rounds:
+                failures = [
+                    ShardFailure(
+                        chunk_index=index,
+                        attempts=max(1, crash_counts.get(index, 0)),
+                        reason="missing",
+                        detail=(
+                            "run not computed within the fabric round "
+                            "budget; rerun with the same store to resume"
+                        ),
+                    )
+                    for index in remaining
+                ]
+                obs.inc("parallel.shards_failed", len(failures))
+                break
+            rounds += 1
+            obs.inc("dist.rounds")
+            # Pre-round sweep: leases whose owner pid is dead (a killed
+            # worker from a previous round or a previous *process*, the
+            # resume case) must not stall the round until TTL expiry.
+            for index in remaining:
+                info = driver.holder(keys[index])
+                if info is None:
+                    continue
+                pid = owner_pid(info.owner)
+                if pid is None or not pid_alive(pid):
+                    driver.break_lease(keys[index])
+            if pool is not None:
+                _pool_round(pool, setup, keys, remaining, config, store)
+            else:
+                _fork_round(setup, keys, remaining, config, store)
+            # Attribution: a run still missing while a dead pid holds its
+            # lease means the worker died mid-computation — charge it so
+            # repeat offenders reach quarantine.
+            store.refresh()
+            for index in remaining:
+                if stored_outcome(store, keys[index], index) is not None:
+                    continue
+                info = driver.holder(keys[index])
+                if info is None:
+                    continue
+                pid = owner_pid(info.owner)
+                if pid is None or not pid_alive(pid):
+                    crash_counts[index] = crash_counts.get(index, 0) + 1
+                    driver.break_lease(keys[index])
+    outcomes = []
+    for index in indices:
+        outcome = stored_outcome(store, keys[index], index)
+        if outcome is not None:
+            outcomes.append(outcome)
+    return outcomes, tuple(failures)

@@ -1,0 +1,243 @@
+"""Atomic lease files: advisory work claims over content-addressed keys.
+
+A lease on key ``K`` is the file ``<dir>/<K>.lease`` holding a small
+JSON document ``{"owner": ..., "acquired": <clock>, "ttl": <seconds>}``.
+Claiming is atomic: the owner document is written to a unique temp file
+and ``os.link``-ed to the lease path — ``EEXIST`` means someone else
+holds the claim.  Releasing unlinks the file; a holder killed with
+``kill -9`` simply leaves its lease behind, and once ``ttl`` seconds of
+the broker's clock have passed the lease is *expired* and any other
+worker may steal it (an atomic ``os.replace`` of its own document over
+the stale one, verified by re-reading).
+
+Leases are strictly advisory.  Correctness in the campaign fabric never
+depends on mutual exclusion: outcomes are content-addressed and
+idempotent (two workers computing the same key append byte-identical
+payloads, and later duplicates win harmlessly in the store), so the
+worst a lost lease race costs is one duplicated computation.  That is
+also why the unavoidable steal/steal and release-after-steal TOCTOU
+windows below are acceptable: both "winners" do the same work and write
+the same bytes.
+
+The clock is injectable (``clock=``) so tests — and the chaos harness in
+``tests/dist_harness.py`` — can expire leases deterministically instead
+of sleeping.
+
+Counters (via :mod:`repro.obs`): ``dist.claims`` for successful
+acquisitions, ``dist.lease_expiries`` for expired/abandoned leases
+broken or stolen.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro import obs
+
+LEASE_SUFFIX = ".lease"
+DEFAULT_TTL = 30.0
+
+_SAFE_KEY = re.compile(r"[A-Za-z0-9_.-]+")
+_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """One lease as read back from disk."""
+
+    key: str
+    owner: str
+    acquired: float
+    ttl: float
+
+
+def owner_pid(owner: str) -> int | None:
+    """The pid encoded in a fabric owner id (``"w<id>:<pid>"`` or
+    ``"<label>:<pid>"``), or ``None`` for foreign formats."""
+    _, _, tail = owner.rpartition(":")
+    try:
+        return int(tail)
+    except ValueError:
+        return None
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe; unknown (EPERM) counts as alive."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+class LeaseBroker:
+    """Claims, releases, and steals leases for one owner identity."""
+
+    def __init__(
+        self,
+        directory: Path | str,
+        owner: str,
+        *,
+        ttl: float = DEFAULT_TTL,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.directory = Path(directory)
+        self.owner = owner
+        self.ttl = ttl
+        self.clock = clock
+
+    def _path(self, key: str) -> Path:
+        if not _SAFE_KEY.fullmatch(key):
+            # Keys are fingerprint hex digests in practice; anything else
+            # gets a stable digest-shaped filename.
+            import hashlib
+
+            key = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.directory / f"{key}{LEASE_SUFFIX}"
+
+    def _read(self, path: Path, key: str) -> LeaseInfo | None:
+        try:
+            record = json.loads(path.read_text("utf-8"))
+            return LeaseInfo(
+                key=key,
+                owner=str(record["owner"]),
+                acquired=float(record["acquired"]),
+                ttl=float(record["ttl"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _document(self) -> tuple[bytes, float]:
+        acquired = float(self.clock())
+        doc = json.dumps(
+            {"owner": self.owner, "acquired": acquired, "ttl": self.ttl},
+            sort_keys=True,
+        ).encode("utf-8")
+        return doc, acquired
+
+    def expired(self, info: LeaseInfo | None) -> bool:
+        """An unreadable/unparseable lease counts as expired (a torn
+        write from a dying process holds no claim)."""
+        if info is None:
+            return True
+        return self.clock() >= info.acquired + info.ttl
+
+    def holder(self, key: str) -> LeaseInfo | None:
+        """The current lease on ``key`` as read from disk, or ``None``."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        return self._read(path, key)
+
+    def acquire(self, key: str) -> bool:
+        """Try to claim ``key``; steals an expired lease.  Returns
+        whether this owner now (verifiably) holds the claim."""
+        path = self._path(key)
+        doc, acquired = self._document()
+        tmp = self.directory / (
+            f".{os.getpid()}.{next(_counter)}{LEASE_SUFFIX}.tmp"
+        )
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(doc)
+        except OSError:
+            return False
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            current = self._read(path, key)
+            if current is not None and not self.expired(current):
+                _unlink_quiet(tmp)
+                return False
+            # Expired (or torn) lease: steal by atomic replace, then
+            # verify we won — concurrent stealers race, last one wins.
+            try:
+                os.replace(tmp, path)
+            except OSError:
+                _unlink_quiet(tmp)
+                return False
+            obs.inc("dist.lease_expiries")
+            mine = self._read(path, key)
+            won = (
+                mine is not None
+                and mine.owner == self.owner
+                and mine.acquired == acquired
+            )
+            if won:
+                obs.inc("dist.claims")
+            return won
+        except OSError:
+            _unlink_quiet(tmp)
+            return False
+        _unlink_quiet(tmp)
+        obs.inc("dist.claims")
+        return True
+
+    def release(self, key: str) -> None:
+        """Drop this owner's lease on ``key`` (a no-op if someone stole
+        it in the meantime)."""
+        path = self._path(key)
+        info = self._read(path, key)
+        if info is not None and info.owner != self.owner:
+            return
+        _unlink_quiet(path)
+
+    def break_lease(self, key: str) -> bool:
+        """Forcibly remove whatever lease is on ``key`` (driver-side:
+        the owner is known dead).  Returns whether one was removed."""
+        path = self._path(key)
+        if not path.exists():
+            return False
+        _unlink_quiet(path)
+        obs.inc("dist.lease_expiries")
+        return True
+
+    def sweep(self, keys: Iterable[str] | None = None) -> int:
+        """Remove expired leases (all in the directory, or just those of
+        ``keys``); returns how many were removed."""
+        removed = 0
+        if keys is not None:
+            paths = [self._path(key) for key in keys]
+        else:
+            try:
+                paths = sorted(self.directory.glob(f"*{LEASE_SUFFIX}"))
+            except OSError:
+                return 0
+        for path in paths:
+            if not path.exists():
+                continue
+            info = self._read(path, path.name[: -len(LEASE_SUFFIX)])
+            if self.expired(info):
+                _unlink_quiet(path)
+                obs.inc("dist.lease_expiries")
+                removed += 1
+        return removed
+
+    def active(self) -> list[LeaseInfo]:
+        """Unexpired leases currently on disk, sorted by key."""
+        out = []
+        try:
+            paths = sorted(self.directory.glob(f"*{LEASE_SUFFIX}"))
+        except OSError:
+            return []
+        for path in paths:
+            info = self._read(path, path.name[: -len(LEASE_SUFFIX)])
+            if info is not None and not self.expired(info):
+                out.append(info)
+        return out
+
+
+def _unlink_quiet(path: Path) -> None:
+    try:
+        path.unlink(missing_ok=True)
+    except OSError:
+        pass

@@ -216,9 +216,14 @@ def _run_worker_fault(kind: str, spec: FaultSpec, seed: int) -> dict[str, str]:
     if not fork_available():
         return {}
     probe_client, probe_wcet = _pool_probe_client()
-    fault = WorkerFault(
-        kind=kind, chunk_index=spec.site, times=max(1, spec.param)
-    )
+    # A crash probe must be *persistent* (fire on every attempt): the
+    # pool machinery deliberately absorbs transient crashes — chunks that
+    # never ran when a pool-mate died get a free retry, and a crasher
+    # gets one quarantined solo attempt — so only a deterministic crasher
+    # exhausts the budget and degrades the report.  A hang keeps its
+    # parameterized count: every timeout is charged, absorbed or not.
+    times = max(1, spec.param) if kind == "hang" else max(99, spec.param)
+    fault = WorkerFault(kind=kind, chunk_index=spec.site, times=times)
     report = run_adequacy_campaign(
         probe_client,
         probe_wcet,

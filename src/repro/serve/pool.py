@@ -46,6 +46,7 @@ from repro.serve.protocol import Request, Response
 JOB_BATCH = "batch"
 JOB_CAMPAIGN_CHUNK = "campaign_chunk"
 JOB_CACHE_STATS = "cache_stats"
+JOB_DIST_SHARD = "dist_shard"
 JOB_PING = "ping"
 JOB_STOP = "stop"
 
@@ -370,6 +371,10 @@ def _worker_main(conn, obs_enabled: bool) -> None:
                 result = execute_batch(payload)
             elif kind == JOB_CAMPAIGN_CHUNK:
                 result = _execute_campaign_chunk(*payload)
+            elif kind == JOB_DIST_SHARD:
+                from repro.dist.fabric import execute_dist_shard
+
+                result = execute_dist_shard(*payload)
             elif kind == JOB_CACHE_STATS:
                 from repro.cache import cache_stats_payload
 

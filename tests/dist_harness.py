@@ -1,0 +1,124 @@
+"""Deterministic chaos harness for the distributed campaign fabric.
+
+Shared by ``tests/test_dist.py``, ``tests/test_dist_properties.py`` and
+``benchmarks/test_e22_dist.py``.  Everything here is seed-driven:
+
+- :func:`seeded_kill_spec` derives a kill point (worker, lifecycle
+  event, occurrence) from one integer, so a property test sweeps kill
+  points by sweeping seeds;
+- :class:`ManualClock` drives lease expiry without sleeping;
+- ``order_seed`` (threaded through :class:`repro.dist.FabricConfig`)
+  permutes every worker's visit order, exercising different
+  interleavings of the same campaign.
+
+The workload is self-contained (no pytest fixtures) so the benchmark
+suite can import it too.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.analysis.adequacy import run_adequacy_campaign
+from repro.dist import EVENTS, FabricConfig, KillSpec
+from repro.model.task import Task, TaskSystem
+from repro.rossl.client import RosslClient
+from repro.rta.curves import LeakyBucketCurve, SporadicCurve
+from repro.timing.wcet import WcetModel
+
+#: Small but non-trivial campaign defaults: fast enough for property
+#: tests, rich enough that every run index does real work.
+CAMPAIGN = {"horizon": 4_000, "runs": 8, "seed": 3, "intensity": 1.0}
+
+WCET = WcetModel(2, 2, 1, 1, 1, 1)
+
+
+def make_client() -> RosslClient:
+    """The two-task NPFP workload used throughout the dist tests."""
+    tasks = TaskSystem(
+        [
+            Task(name="a", priority=2, wcet=10, type_tag=1),
+            Task(name="b", priority=1, wcet=20, type_tag=2),
+        ],
+        arrival_curves={
+            "a": SporadicCurve(300),
+            "b": LeakyBucketCurve(2, 500),
+        },
+    )
+    return RosslClient.make(tasks, sockets=[0])
+
+
+class ManualClock:
+    """An injectable clock for :class:`repro.dist.LeaseBroker`: leases
+    expire exactly when a test says so, never by wall time."""
+
+    def __init__(self, now: float = 1_000.0):
+        self.now = now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def seeded_kill_spec(seed: int, workers: int, max_occurrence: int = 3) -> KillSpec:
+    """A deterministic kill point drawn from ``seed``."""
+    rng = random.Random(seed)
+    return KillSpec(
+        worker=rng.randrange(workers),
+        event=rng.choice(EVENTS),
+        occurrence=rng.randint(1, max_occurrence),
+    )
+
+
+def serial_report(client, wcet=WCET, **overrides):
+    """The uninterrupted single-process campaign — the reference bytes."""
+    params = {**CAMPAIGN, **overrides}
+    return run_adequacy_campaign(client, wcet, **params)
+
+
+def fabric_report(client, store, config: FabricConfig, wcet=WCET,
+                  pool=None, **overrides):
+    """The same campaign through the distributed fabric."""
+    params = {**CAMPAIGN, **overrides}
+    return run_adequacy_campaign(
+        client, wcet, cache=store, fabric=config, pool=pool, **params
+    )
+
+
+def report_bytes(report) -> tuple[str, str]:
+    """The two deterministic renderings a campaign must reproduce."""
+    return report.table(), json.dumps(report.to_json(), sort_keys=True)
+
+
+def interrupt_then_resume(
+    client,
+    store,
+    kill: KillSpec,
+    *,
+    workers_first: int,
+    workers_second: int,
+    order_seed: int | None = None,
+    wcet=WCET,
+    **overrides,
+):
+    """Kill a worker at the seeded point (round budget 1, stealing off,
+    so the interruption actually leaves a gap), then resume with a
+    different worker count.  Returns the resumed report."""
+    interrupted = fabric_report(
+        client, store,
+        FabricConfig(
+            workers=workers_first, kill=kill, steal=False,
+            max_rounds=1, order_seed=order_seed,
+        ),
+        wcet=wcet, **overrides,
+    )
+    assert interrupted.runs <= overrides.get("runs", CAMPAIGN["runs"])
+    resumed = fabric_report(
+        client, store,
+        FabricConfig(workers=workers_second, order_seed=order_seed),
+        wcet=wcet, **overrides,
+    )
+    return resumed

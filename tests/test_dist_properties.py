@@ -1,0 +1,223 @@
+"""Property tests for the distributed fabric and the shared store.
+
+Three layers of evidence, increasingly end-to-end:
+
+1. a Hypothesis *stateful* machine drives interleaved put / get /
+   refresh / gc / corruption-injection through several
+   :class:`ResultStore` instances sharing one directory — the model is a
+   last-write-wins dict and a fresh reader must always reproduce it;
+2. a true multi-process stress: worker processes append concurrently
+   with parent-side compactions — no entry lost, no checksum failures;
+3. the resume-determinism property of ISSUE 9: any campaign prefix,
+   killed at a seeded point and resumed with a different worker count,
+   yields byte-identical reports to the uninterrupted serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from dist_harness import (
+    interrupt_then_resume,
+    make_client,
+    report_bytes,
+    seeded_kill_spec,
+    serial_report,
+)
+from repro.analysis.parallel import fork_available
+from repro.cache import ResultStore
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks fork-based worker processes"
+)
+
+KEYS = [f"key-{i}" for i in range(6)]
+NO_EVICTION = 1 << 30  # byte budget far above anything these tests write
+
+
+# -- 1. stateful interleaving machine ---------------------------------------
+
+
+class StoreMachine(RuleBasedStateMachine):
+    """Interleaved operations from several store instances over one
+    directory, checked against a last-write-wins model.
+
+    Invariant: a *fresh* reader (new instance, full load) sees exactly
+    the model — no lost appends, no resurrected evictions, no entry
+    corrupted by a compaction racing an append or by injected garbage.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._tmp = tempfile.TemporaryDirectory(prefix="repro-dist-prop-")
+        self.directory = Path(self._tmp.name) / "store"
+        self.model: dict[str, int] = {}
+        self.stores: list[ResultStore] = []
+
+    def teardown(self):
+        self._tmp.cleanup()
+
+    @initialize(instances=st.integers(min_value=2, max_value=4))
+    def open_instances(self, instances):
+        self.stores = [
+            ResultStore(self.directory, max_bytes=NO_EVICTION)
+            for _ in range(instances)
+        ]
+
+    stores_idx = st.runner().flatmap(
+        lambda self: st.integers(0, len(self.stores) - 1)
+    )
+
+    @rule(idx=stores_idx, key=st.sampled_from(KEYS), value=st.integers(0, 999))
+    def put(self, idx, key, value):
+        self.stores[idx].put(key, value)
+        self.model[key] = value
+
+    @rule(idx=stores_idx, key=st.sampled_from(KEYS))
+    def get_after_refresh(self, idx, key):
+        store = self.stores[idx]
+        store.refresh()
+        assert store.peek(key) == self.model.get(key)
+
+    @rule(idx=stores_idx)
+    def refresh(self, idx):
+        self.stores[idx].refresh()
+
+    @rule(idx=stores_idx)
+    def compact(self, idx):
+        # Budget far above live bytes: compaction rewrites, evicts nothing.
+        self.stores[idx].gc()
+
+    @rule()
+    def inject_torn_tail(self):
+        """A crashed writer's partial line: everyone must tolerate it and
+        the next append must seal it."""
+        path = self.directory / "entries.jsonl"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "ab") as handle:
+            handle.write(b'{"key": "torn-mid-wri')
+
+    @rule()
+    def inject_garbage_line(self):
+        path = self.directory / "entries.jsonl"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "ab") as handle:
+            handle.write(b"not json at all\n")
+
+    @invariant()
+    def fresh_reader_sees_the_model(self):
+        fresh = ResultStore(self.directory, max_bytes=NO_EVICTION)
+        seen = {key: fresh.peek(key) for key in self.model}
+        assert seen == self.model
+        assert fresh.stats().entries == len(self.model)
+
+
+TestStoreMachine = pytest.mark.filterwarnings("ignore::ResourceWarning")(
+    StoreMachine.TestCase
+)
+TestStoreMachine.settings = settings(
+    max_examples=25,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- 2. true multi-process append vs compaction -----------------------------
+
+
+def _appender(directory: str, worker: int, count: int) -> None:
+    store = ResultStore(directory, max_bytes=NO_EVICTION)
+    for i in range(count):
+        store.put(f"w{worker}-k{i}", {"worker": worker, "i": i})
+        if i % 7 == 0:
+            time.sleep(0.001)
+    os._exit(0)
+
+
+def test_concurrent_appends_survive_parent_compactions(tmp_path: Path):
+    """N processes append while the parent compacts in a loop: every
+    entry survives and the final log parses checksum-clean."""
+    directory = str(tmp_path / "c")
+    workers, count = 4, 40
+    context = multiprocessing.get_context("fork")
+    procs = [
+        context.Process(target=_appender, args=(directory, w, count))
+        for w in range(workers)
+    ]
+    for proc in procs:
+        proc.start()
+    parent = ResultStore(directory, max_bytes=NO_EVICTION)
+    while any(proc.is_alive() for proc in procs):
+        parent.gc()
+        time.sleep(0.002)
+    for proc in procs:
+        proc.join()
+        assert proc.exitcode == 0
+    parent.gc()  # one final compaction over the complete log
+    fresh = ResultStore(directory, max_bytes=NO_EVICTION)
+    stats = fresh.stats()
+    assert stats.entries == workers * count
+    assert stats.corrupt == 0
+    for w in range(workers):
+        for i in range(count):
+            assert fresh.peek(f"w{w}-k{i}") == {"worker": w, "i": i}
+
+
+# -- 3. resume determinism --------------------------------------------------
+
+
+_BASELINE = None
+
+
+def _baseline():
+    global _BASELINE
+    if _BASELINE is None:
+        _BASELINE = report_bytes(serial_report(make_client()))
+    return _BASELINE
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    workers_first=st.integers(min_value=2, max_value=3),
+    workers_second=st.integers(min_value=1, max_value=3),
+    order_seed=st.one_of(st.none(), st.integers(min_value=0, max_value=99)),
+)
+def test_killed_prefix_resumes_byte_identical(
+    seed, workers_first, workers_second, order_seed
+):
+    """ISSUE 9's acceptance property: kill any worker at a seeded point,
+    resume with a different worker count, and the reports (text table
+    and sorted JSON) are byte-identical to the uninterrupted run."""
+    client = make_client()
+    with tempfile.TemporaryDirectory(prefix="repro-dist-resume-") as tmp:
+        store = ResultStore(Path(tmp) / "c", max_bytes=NO_EVICTION)
+        resumed = interrupt_then_resume(
+            client,
+            store,
+            seeded_kill_spec(seed, workers=workers_first),
+            workers_first=workers_first,
+            workers_second=workers_second,
+            order_seed=order_seed,
+        )
+    assert report_bytes(resumed) == _baseline()
+    assert not resumed.shard_failures

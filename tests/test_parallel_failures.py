@@ -102,6 +102,46 @@ class TestCrash:
         assert "worker process died" in str(failure)
 
 
+class TestCleanCrash:
+    """Chunks that never started when a pool-mate crashed get a free
+    retry: a clean crash before any write is retryable, not terminal."""
+
+    def test_zero_retries_still_survive_a_transient_pool_mate_crash(self):
+        """Pre-fix, retries=0 charged every chunk in the broken pool one
+        attempt, so innocents that never ran were failed permanently."""
+        outcome = pool_map_chunks(
+            CHUNKS, double, initializer=None, initargs=(), jobs=2,
+            retries=0, fault=WorkerFault("crash", chunk_index=0, times=1),
+        )
+        assert outcome.complete
+        assert outcome.results == DOUBLED
+
+    def test_deterministic_crasher_still_fails_alone(self, fresh_obs):
+        """Free passes must not let a guilty chunk dodge its budget: the
+        crasher fails after its bonus solo attempt, innocents complete."""
+        outcome = pool_map_chunks(
+            CHUNKS, double, initializer=None, initargs=(), jobs=2,
+            retries=0, fault=WorkerFault("crash", chunk_index=1, times=99),
+        )
+        assert not outcome.complete
+        assert [f.chunk_index for f in outcome.failures] == [1]
+        assert outcome.failures[0].attempts == 2  # group crash + solo
+        for index in (0, 2, 3, 4, 5):
+            assert outcome.results[index] == DOUBLED[index]
+        assert obs.counter_value("parallel.clean_crash_retries") >= 1
+
+    def test_free_passes_are_capped(self):
+        """A chunk that crashes the pool before even claiming work still
+        terminates: free passes stop at the attempt budget."""
+        outcome = pool_map_chunks(
+            [[1, 2]], double, initializer=None, initargs=(), jobs=1,
+            retries=1, fault=WorkerFault("crash", chunk_index=0, times=99),
+        )
+        assert not outcome.complete
+        (failure,) = outcome.failures
+        assert failure.reason == "crash"
+
+
 class TestHang:
     def test_hung_worker_is_killed_and_chunk_retried(self):
         outcome = pool_map_chunks(
