@@ -1,12 +1,14 @@
 """E17 (engineering): execution-engine throughput on the Rössl workload.
 
-Compares the four registered execution engines — the Python reference
+Compares the five registered execution engines — the Python reference
 model, the definitional interpreter (the verification semantics), the
-bytecode VM (the cost semantics), and the peephole-optimized VM — on an
-identical read-outcome script, all built through the engine registry
-(:mod:`repro.engine`).  All emit the same marker trace; the comparison
-is wall-clock throughput and (for the VMs) executed instruction counts,
-quantifying the cost of each level of semantic fidelity.
+bytecode VM (the cost semantics), the peephole-optimized VM, and the
+Python-codegen engine (the VM's cost semantics compiled to native
+Python, experiment E23) — on an identical read-outcome script, all
+built through the engine registry (:mod:`repro.engine`).  All emit the
+same marker trace; the comparison is wall-clock throughput and (for
+the counted engines) executed instruction counts, quantifying the cost
+of each level of semantic fidelity.
 """
 
 from __future__ import annotations
@@ -51,6 +53,9 @@ def test_engines_agree(benchmark, fig3_client):
     cost_vm = results["vm"][1]
     cost_opt = results["vm-opt"][1]
     assert cost_opt <= cost_vm
+    # Codegen compiles the *unoptimized* program, so its instruction
+    # clock must land exactly on the plain VM's.
+    assert results["codegen"][1] == cost_vm
     print_experiment(
         "E17a — engine agreement",
         f"{len(reference)} markers identical across "
@@ -76,6 +81,13 @@ def test_benchmark_vm(benchmark, fig3_client):
 
 def test_benchmark_optimized_vm(benchmark, fig3_client):
     engine = create_engine("vm-opt", fig3_client)
+    script = make_script(fig3_client)
+    trace, _ = benchmark(run_engine, engine, script)
+    assert trace
+
+
+def test_benchmark_codegen(benchmark, fig3_client):
+    engine = create_engine("codegen", fig3_client)
     script = make_script(fig3_client)
     trace, _ = benchmark(run_engine, engine, script)
     assert trace

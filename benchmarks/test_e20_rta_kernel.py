@@ -60,7 +60,10 @@ def deploy(separation: int) -> tuple[RosslClient, WcetModel]:
 
 
 def test_kernel_vs_legacy_divergent_sweep(benchmark):
+    from repro.rta.kernel import clear_fallback_info, fallback_info
+
     cells = [deploy(separation) for separation in SEPARATIONS]
+    clear_fallback_info()
 
     legacy, legacy_s = benchmark.pedantic(
         lambda: _timed(lambda: [
@@ -74,6 +77,10 @@ def test_kernel_vs_legacy_divergent_sweep(benchmark):
     # Determinism first: the kernel must not change a single byte.
     assert [a.rows() for a in fast] == [a.rows() for a in legacy]
     assert [a.jitter for a in fast] == [a.jitter for a in legacy]
+    # Every E20 curve is a shipped staircase class: if the kernel fell
+    # back to the legacy path even once, the "kernel sweep" above timed
+    # the wrong code and the speedup is fiction.
+    assert fallback_info() == (), fallback_info()
     divergent = sum(1 for a in legacy if not a.schedulable)
     assert divergent >= 3, (
         f"workload drifted: expected >=3 divergent cells, got {divergent}"

@@ -27,7 +27,12 @@ import math
 from typing import Any, Mapping, Sequence
 
 from repro.engine import SchedulerEngine, resolve_engine_name
-from repro.engine.engines import MiniCInterpEngine, PythonModelEngine, VmEngine
+from repro.engine.engines import (
+    CodegenEngine,
+    MiniCInterpEngine,
+    PythonModelEngine,
+    VmEngine,
+)
 from repro.model.task import Task
 from repro.rossl.client import RosslClient
 from repro.rta.curves import (
@@ -55,13 +60,19 @@ ENGINE_CAPABILITY_VERSIONS: dict[str, int] = {
     "interp": 1,
     "vm": 1,
     "vm-opt": 1,
+    "codegen": 1,
 }
 
 #: The exact engine classes the registry builds for each canonical name.
 #: An engine *instance* is fingerprintable only if its concrete type is
 #: one of these — wrappers (fault-injected engines, ad-hoc test doubles)
 #: fail the check no matter what ``name`` they advertise.
-_PRISTINE_ENGINE_TYPES = (PythonModelEngine, MiniCInterpEngine, VmEngine)
+_PRISTINE_ENGINE_TYPES = (
+    PythonModelEngine,
+    MiniCInterpEngine,
+    VmEngine,
+    CodegenEngine,
+)
 
 
 class UnfingerprintableError(TypeError):

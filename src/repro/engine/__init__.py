@@ -1,6 +1,6 @@
 """Execution engines for Rössl deployments, behind one registry.
 
-The reproduction can execute a deployment's scheduler four ways, each a
+The reproduction can execute a deployment's scheduler five ways, each a
 different point on the fidelity/throughput spectrum (experiment E17):
 
 * ``"python"``  — the pure-Python reference model (fast, the spec);
@@ -9,9 +9,11 @@ different point on the fidelity/throughput spectrum (experiment E17):
 * ``"vm"``      — the compiled bytecode VM (the cost semantics, one
   unit per executed instruction);
 * ``"vm-opt"``  — the peephole-optimized VM build (same traces, fewer
-  instructions per basic action).
+  instructions per basic action);
+* ``"codegen"`` — MiniC compiled to Python source (same traces and the
+  ``vm`` engine's exact instruction counts, near-host speed).
 
-All four are trace-equivalent on identical inputs (enforced by the
+All five are trace-equivalent on identical inputs (enforced by the
 differential tests), so every layer that *drives* a scheduler — the
 timed simulator, the adequacy campaigns, the bounded model checker, the
 VM-timed WCET measurement, the CLI — selects one by name through
@@ -22,6 +24,7 @@ committing to it.
 """
 
 from repro.engine.engines import (
+    CodegenEngine,
     EngineCapabilities,
     MiniCInterpEngine,
     PythonModelEngine,
@@ -40,6 +43,7 @@ from repro.engine.registry import (
 )
 
 __all__ = [
+    "CodegenEngine",
     "EngineCapabilities",
     "MiniCInterpEngine",
     "PythonModelEngine",

@@ -1,4 +1,4 @@
-"""The four execution engines behind the registry.
+"""The five execution engines behind the registry.
 
 Every engine runs the *same* scheduling loop (the client's policy over
 its sockets) against an :class:`~repro.rossl.env.Environment` and a
@@ -11,7 +11,8 @@ under every engine.
 
 Construction cost differs deliberately: the Python model is free, the
 interpreter pays parse+typecheck once, the VM engines additionally pay
-compilation (and optimization for ``vm-opt``).  Engines are therefore
+compilation (and optimization for ``vm-opt``), and the codegen engine
+pays Python source generation + ``compile()``.  Engines are therefore
 built once and reused across runs — each :meth:`run` gets fresh
 scheduler state, the compiled artifacts are shared.
 """
@@ -203,3 +204,45 @@ class VmEngine(_EngineBase):
         except (OutOfFuel, HorizonReached):
             pass
         return RunStats(instructions=vm.executed)
+
+
+class CodegenEngine(_EngineBase):
+    """MiniC compiled to Python source (:mod:`repro.lang.codegen`).
+
+    The top rung of the engine ladder: the typed AST is lowered to one
+    Python function per MiniC function, with the VM's marker-trace and
+    instruction-count semantics preserved exactly — so it supports
+    VM-timed runs and model checking like the VM engines do, an order of
+    magnitude faster.  Generated code is compiled once per engine and
+    shared by every run; a fresh :class:`~repro.lang.codegen.CodegenMachine`
+    per run carries the mutable state.
+    """
+
+    name = "codegen"
+    capabilities = EngineCapabilities(vm_timing=True, model_check=True)
+    default_fuel = 50_000_000
+
+    def __init__(self, client: RosslClient, msg_cap: int = DEFAULT_MSG_CAP) -> None:
+        from repro.lang.codegen import compile_to_python
+        from repro.rossl.source import build_rossl
+
+        self.client = client
+        with obs.span("engine.build", engine=self.name):
+            self.compiled = compile_to_python(build_rossl(client, msg_cap))
+        obs.inc("engine.builds")
+
+    def run(
+        self, env: Environment, sink: MarkerSink, fuel: int | None = None
+    ) -> RunStats:
+        from repro.lang.codegen import CodegenMachine
+
+        machine = CodegenMachine(
+            self.compiled, env, sink,
+            fuel=self.default_fuel if fuel is None else fuel,
+        )
+        _attach_endpoints(machine, env, sink)
+        try:
+            machine.call("main", [])
+        except (OutOfFuel, HorizonReached):
+            pass
+        return RunStats(instructions=machine.executed)

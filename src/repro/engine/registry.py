@@ -1,7 +1,8 @@
 """The engine registry: names, aliases, capabilities, construction.
 
-Canonical names are ``"python"``, ``"interp"``, ``"vm"``, ``"vm-opt"``;
-``"minic"`` is accepted as a historical alias for ``"interp"`` (the CLI
+Canonical names are ``"python"``, ``"interp"``, ``"vm"``, ``"vm-opt"``,
+``"codegen"``; ``"minic"`` is accepted as a historical alias for
+``"interp"`` (the CLI
 ``--semantics minic`` spelling and the simulator's old ``implementation``
 parameter).  :func:`register_engine` lets extensions (e.g. an
 alternative policy backend) plug in without touching the consumers.
@@ -12,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, Mapping
 
 from repro.engine.engines import (
+    CodegenEngine,
     EngineCapabilities,
     MiniCInterpEngine,
     PythonModelEngine,
@@ -41,6 +43,7 @@ _FACTORIES: dict[str, EngineFactory] = {
     "interp": lambda client, msg_cap: MiniCInterpEngine(client, msg_cap),
     "vm": _make_vm,
     "vm-opt": _make_vm_opt,
+    "codegen": lambda client, msg_cap: CodegenEngine(client, msg_cap),
 }
 
 _CAPABILITIES: dict[str, EngineCapabilities] = {
@@ -48,12 +51,14 @@ _CAPABILITIES: dict[str, EngineCapabilities] = {
     "interp": MiniCInterpEngine.capabilities,
     "vm": VmEngine.capabilities,
     "vm-opt": VmEngine.capabilities,
+    "codegen": CodegenEngine.capabilities,
 }
 
 _ALIASES: dict[str, str] = {
     "minic": "interp",
     "reference": "python",
     "vm-optimized": "vm-opt",
+    "native": "codegen",
 }
 
 

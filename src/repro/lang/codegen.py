@@ -1,0 +1,875 @@
+"""Native-speed MiniC backend: compile the typed AST to Python source.
+
+The last rung of the engine ladder (python/interp/vm/vm-opt →
+**codegen**): a visitor over the type-checked AST emits one Python
+function per MiniC function, ``compile()``s the generated module once,
+and executes at near-host speed.  The paper's §6 conjecture — that the
+source-level verification story survives compilation — is tested here at
+a second compilation level: the generated code must be observationally
+identical to the VM, and the differential sweep checks that it is.
+
+Two invariants make the generated code a drop-in engine:
+
+* **Marker traces are identical** to the interpreter and the VM: the
+  generated code calls the same :class:`~repro.lang.builtins.TraceRuntime`
+  over the same block-structured :class:`~repro.lang.heap.Heap`, with the
+  same evaluation order, the same UB checks (messages included), and the
+  VM's function-scoped local lifetimes.
+
+* **The cost semantics is the VM's, exactly.**  Every generated function
+  advances ``m.executed`` by the number of bytecode instructions the
+  *unoptimized* VM would have executed on the same path — computed
+  statically per AST node from the compiler's lowering shapes, with
+  path-dependent counts for ``&&``/``||``, ``if``/``else``, ``break``
+  and ``continue``.  At every builtin call the counter is up to date, so
+  VM-timed drivers (``attach``/``clock``) read byte-identical timestamps,
+  and the static bounds of :mod:`repro.lang.cost` still dominate.
+
+Escape analysis keeps hot scalars out of the heap: a local of type
+``int`` or pointer whose address is never taken (and which cannot read
+itself uninitialized) becomes a plain Python variable; arrays, structs,
+and address-taken scalars get real heap blocks, allocated at function
+entry and killed at return — the VM's lifetime model.
+
+Known (and deliberate) fuel-exactness corner: the VM checks the budget
+before *every* instruction, the generated code at loop heads, call
+sites, and function exit.  Straight-line segments between checks contain
+no observable events, so traces and ``executed`` totals agree; only the
+exception *type* can differ in the one-instruction window where the
+budget expires immediately before an undefined operation.  (The same
+"typechecked, so unreachable" assumptions the VM makes — e.g. integer
+arithmetic never sees a pointer — hold here too.)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import obs
+from repro.lang.builtins import BUILTIN_ARITY, TraceRuntime
+from repro.lang.errors import OutOfFuel, UndefinedBehavior
+from repro.lang.heap import Heap
+from repro.lang.syntax import (
+    AssignStmt,
+    Binary,
+    Block,
+    BreakStmt,
+    Call,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FuncDef,
+    IfStmt,
+    Index,
+    IntLit,
+    Member,
+    NullLit,
+    ReturnStmt,
+    SizeofType,
+    Stmt,
+    TArray,
+    TInt,
+    TPtr,
+    TStruct,
+    TVoid,
+    Unary,
+    Var,
+    WhileStmt,
+)
+from repro.lang.typecheck import BUILTINS, TypedProgram
+from repro.lang.values import NULL, Value, VInt, VPtr
+from repro.rossl.env import Environment
+from repro.rossl.runtime import MarkerSink
+
+#: Version of the codegen lowering; bumped whenever generated code could
+#: change observable behaviour (mirrored by the engine capability version
+#: in :mod:`repro.cache.fingerprint`).
+CODEGEN_VERSION = 1
+
+
+# -- runtime helpers injected into the generated module ----------------------
+
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        raise UndefinedBehavior("division by zero")
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _c_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise UndefinedBehavior("division by zero")
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return a - quotient * b
+
+
+def _nc(ptr: VPtr) -> VPtr:
+    """The VM's ``null_check``: ``->`` through NULL is UB."""
+    if ptr.block == 0:
+        raise UndefinedBehavior("-> through NULL pointer")
+    return ptr
+
+
+def _ix(ptr: VPtr, index: int, scale: int, bound: int) -> VPtr:
+    """The VM's bounds-checked ``index`` instruction."""
+    if 0 <= index < bound:
+        return ptr.moved(index * scale)
+    raise UndefinedBehavior(f"array index {index} out of bounds [0,{bound})")
+
+
+_HELPER_GLOBALS = {
+    "VInt": VInt,
+    "VPtr": VPtr,
+    "NULL": NULL,
+    "UndefinedBehavior": UndefinedBehavior,
+    "OutOfFuel": OutOfFuel,
+    "_c_div": _c_div,
+    "_c_mod": _c_mod,
+    "_nc": _nc,
+    "_ix": _ix,
+}
+
+
+# -- escape analysis ---------------------------------------------------------
+
+
+@dataclass
+class _SlotInfo:
+    """One local-variable slot, mirroring the bytecode compiler's slots."""
+
+    name: str
+    ctype: CType
+    is_param: bool
+    has_init: bool
+    address_taken: bool = False
+    self_ref_init: bool = False
+
+    @property
+    def promoted(self) -> bool:
+        """True if this slot lives as a plain Python variable."""
+        return (
+            isinstance(self.ctype, (TInt, TPtr))
+            and not self.address_taken
+            and (self.is_param or self.has_init)
+            and not self.self_ref_init
+        )
+
+
+class _FunctionAnalyzer:
+    """Slot assignment + escape analysis, with the compiler's exact scope
+    discipline so every ``Var`` node resolves to the same slot."""
+
+    def __init__(self, typed: TypedProgram, func: FuncDef) -> None:
+        self.typed = typed
+        self.func = func
+        self.slots: list[_SlotInfo] = []
+        self.scopes: list[dict[str, int]] = [{}]
+        self.var_slot: dict[int, int] = {}
+        self.decl_slot: dict[int, int] = {}
+        self.builtins_used: set[str] = set()
+        self._pending_decl: int | None = None
+
+    def analyze(self) -> "_FunctionAnalyzer":
+        for param in self.func.params:
+            self._new_slot(param.name, param.ctype, is_param=True, has_init=True)
+        self._stmt(self.func.body)
+        return self
+
+    def _new_slot(
+        self, name: str, ctype: CType, is_param: bool, has_init: bool
+    ) -> int:
+        slot = len(self.slots)
+        self.slots.append(_SlotInfo(name, ctype, is_param, has_init))
+        self.scopes[-1][name] = slot
+        return slot
+
+    def _slot_of(self, name: str) -> int:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise AssertionError(f"unresolved variable {name!r}")  # pragma: no cover
+
+    def _stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            self.scopes.append({})
+            for inner in stmt.stmts:
+                self._stmt(inner)
+            self.scopes.pop()
+        elif isinstance(stmt, DeclStmt):
+            slot = self._new_slot(
+                stmt.name, stmt.ctype, is_param=False, has_init=stmt.init is not None
+            )
+            self.decl_slot[id(stmt)] = slot
+            if stmt.init is not None:
+                previous = self._pending_decl
+                self._pending_decl = slot
+                self._expr(stmt.init)
+                self._pending_decl = previous
+        elif isinstance(stmt, AssignStmt):
+            self._expr(stmt.lhs)
+            self._expr(stmt.rhs)
+        elif isinstance(stmt, ExprStmt):
+            self._expr(stmt.expr)
+        elif isinstance(stmt, IfStmt):
+            self._expr(stmt.cond)
+            self._stmt(stmt.then)
+            if stmt.els is not None:
+                self._stmt(stmt.els)
+        elif isinstance(stmt, WhileStmt):
+            self._expr(stmt.cond)
+            self._stmt(stmt.body)
+        elif isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+        elif isinstance(stmt, (BreakStmt, ContinueStmt)):
+            pass
+        else:  # pragma: no cover - parser emits only known statements
+            raise AssertionError(f"unhandled statement {stmt!r}")
+
+    def _expr(self, expr: Expr) -> None:
+        if isinstance(expr, Var):
+            slot = self._slot_of(expr.name)
+            self.var_slot[id(expr)] = slot
+            if slot == self._pending_decl:
+                # ``int x = x + 1;`` — the initializer reads the slot it
+                # initializes; keep it heap-backed so the uninitialized
+                # load raises the VM's UB instead of a NameError.
+                self.slots[slot].self_ref_init = True
+        elif isinstance(expr, Unary):
+            self._expr(expr.operand)
+            if expr.op == "&":
+                root = self._addr_root(expr.operand)
+                if root is not None:
+                    self.slots[self.var_slot[id(root)]].address_taken = True
+        elif isinstance(expr, Binary):
+            self._expr(expr.lhs)
+            self._expr(expr.rhs)
+        elif isinstance(expr, Call):
+            if expr.name in BUILTIN_ARITY:
+                self.builtins_used.add(expr.name)
+            for arg in expr.args:
+                self._expr(arg)
+        elif isinstance(expr, Member):
+            self._expr(expr.obj)
+        elif isinstance(expr, Index):
+            self._expr(expr.base)
+            self._expr(expr.index)
+        elif isinstance(expr, (IntLit, NullLit, SizeofType)):
+            pass
+        else:  # pragma: no cover - parser emits only known expressions
+            raise AssertionError(f"unhandled expression {expr!r}")
+
+    def _addr_root(self, expr: Expr) -> Var | None:
+        """The local whose *storage* a ``&`` lvalue chain addresses, if any."""
+        while True:
+            if isinstance(expr, Var):
+                return expr
+            if isinstance(expr, Member) and not expr.arrow:
+                expr = expr.obj
+                continue
+            if isinstance(expr, Index) and isinstance(
+                self.typed.type_of(expr.base), TArray
+            ):
+                expr = expr.base
+                continue
+            # ``&*p``, ``&p->f``, ``&p[i]`` address whatever ``p`` points
+            # to, not ``p``'s own slot.
+            return None
+
+
+# -- code emission -----------------------------------------------------------
+
+_ATOM = re.compile(r"^(?:[A-Za-z_][A-Za-z0-9_]*|-?\d+)$")
+
+_OUT_OF_FUEL = "instruction budget exhausted in {name}"
+
+
+class _FunctionEmitter:
+    """Emits one Python function with the VM's exact instruction counts.
+
+    ``pending`` is the compile-time count of VM instructions executed
+    since the last emitted ``m.executed += N``; it is flushed before
+    every effect boundary (builtin/user call, loop head, return) and at
+    every control-flow join, so the counter is exact whenever anything
+    can observe it.
+    """
+
+    def __init__(
+        self, typed: TypedProgram, func: FuncDef, analysis: _FunctionAnalyzer
+    ) -> None:
+        self.typed = typed
+        self.func = func
+        self.an = analysis
+        self.lines: list[str] = []
+        self.indent = 1
+        self.pending = 0
+        self.tmp = 0
+
+    # -- low-level emission --------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def flush(self) -> None:
+        if self.pending:
+            self.emit(f"m.executed += {self.pending}")
+            self.pending = 0
+
+    def _emit_fuel_raise(self) -> None:
+        self.emit("if m.executed >= m.fuel:")
+        self.emit("    m.executed = m.fuel")
+        message = _OUT_OF_FUEL.format(name=self.func.name)
+        self.emit(f"    raise OutOfFuel({message!r})")
+
+    def flush_boundary(self) -> None:
+        """Flush and check the budget at an instruction boundary (the VM
+        checks ``executed >= fuel`` before the next instruction)."""
+        self.flush()
+        self._emit_fuel_raise()
+
+    def flush_call_site(self) -> None:
+        """Flush (pending includes the call instruction itself) and raise
+        if the call instruction was not affordable."""
+        self.flush()
+        self.emit("if m.executed > m.fuel:")
+        self.emit("    m.executed = m.fuel")
+        message = _OUT_OF_FUEL.format(name=self.func.name)
+        self.emit(f"    raise OutOfFuel({message!r})")
+
+    def new_tmp(self) -> str:
+        self.tmp += 1
+        return f"t{self.tmp}"
+
+    def materialize(self, value: str) -> str:
+        if _ATOM.match(value):
+            return value
+        name = self.new_tmp()
+        self.emit(f"{name} = {value}")
+        return name
+
+    # -- naming / typing helpers ---------------------------------------------
+
+    def slot_name(self, slot: int) -> str:
+        info = self.an.slots[slot]
+        prefix = "v" if info.promoted else "s"
+        return f"{prefix}{slot}_{info.name}"
+
+    def type_of(self, expr: Expr):
+        return self.typed.type_of(expr)
+
+    def truthy(self, value: str, expr: Expr) -> str:
+        if isinstance(self.type_of(expr), TInt):
+            return f"({value}) != 0"
+        return f"({value}).block != 0"
+
+    def box(self, value: str, expr: Expr) -> str:
+        """Box a raw value for a heap cell / builtin argument."""
+        if isinstance(self.type_of(expr), TInt):
+            return f"VInt({value})"
+        return value
+
+    def _forces_stmts(self, expr: Expr) -> bool:
+        """Does compiling ``expr`` emit statements (calls, short-circuit)?"""
+        if isinstance(expr, Call):
+            return True
+        if isinstance(expr, Binary):
+            if expr.op in ("&&", "||"):
+                return True
+            return self._forces_stmts(expr.lhs) or self._forces_stmts(expr.rhs)
+        if isinstance(expr, Unary):
+            return self._forces_stmts(expr.operand)
+        if isinstance(expr, Member):
+            return self._forces_stmts(expr.obj)
+        if isinstance(expr, Index):
+            return self._forces_stmts(expr.base) or self._forces_stmts(expr.index)
+        return False
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, e: Expr) -> str:
+        if isinstance(e, IntLit):
+            self.pending += 1  # push
+            return repr(e.value)
+        if isinstance(e, NullLit):
+            self.pending += 1  # push_null
+            return "NULL"
+        if isinstance(e, SizeofType):
+            self.pending += 1  # push
+            return str(self.typed.sizeof(e.ctype))
+        if isinstance(e, Var):
+            slot = self.an.var_slot[id(e)]
+            info = self.an.slots[slot]
+            if isinstance(self.type_of(e), TArray):
+                self.pending += 1  # local (arrays decay: no load)
+                return self.slot_name(slot)
+            self.pending += 2  # local + load
+            if info.promoted:
+                return self.slot_name(slot)
+            if isinstance(info.ctype, TInt):
+                return f"H.load({self.slot_name(slot)}).value"
+            return f"H.load({self.slot_name(slot)})"
+        if isinstance(e, Unary):
+            return self._unary(e)
+        if isinstance(e, Binary):
+            return self._binary(e)
+        if isinstance(e, Call):
+            result = self._call(e, keep_result=True)
+            assert result is not None
+            return result
+        if isinstance(e, (Member, Index)):
+            address = self.addr(e)
+            if isinstance(self.type_of(e), TArray):
+                return address
+            self.pending += 1  # load
+            if isinstance(self.type_of(e), TInt):
+                return f"H.load({address}).value"
+            return f"H.load({address})"
+        raise AssertionError(f"unhandled expression {e!r}")  # pragma: no cover
+
+    def _unary(self, e: Unary) -> str:
+        if e.op == "&":
+            return self.addr(e.operand)
+        if e.op == "*":
+            inner = self.expr(e.operand)
+            self.pending += 1  # load
+            if isinstance(self.type_of(e), TInt):
+                return f"H.load({inner}).value"
+            return f"H.load({inner})"
+        inner = self.expr(e.operand)
+        self.pending += 1  # neg / not
+        if e.op == "-":
+            return f"(-({inner}))"
+        return f"(0 if {self.truthy(inner, e.operand)} else 1)"
+
+    def _binary(self, e: Binary) -> str:
+        if e.op in ("&&", "||"):
+            return self._short_circuit(e)
+        lhs = self.expr(e.lhs)
+        if self._forces_stmts(e.rhs):
+            lhs = self.materialize(lhs)
+        rhs = self.expr(e.rhs)
+        self.pending += 1  # the one arithmetic/compare/ptr_add instruction
+        static = self.type_of(e)
+        if e.op in ("+", "-") and isinstance(static, TPtr):
+            scale = self.typed.sizeof(static.target)
+            factor = scale if e.op == "+" else -scale
+            return f"({lhs}).moved({factor} * ({rhs}))"
+        if e.op in ("+", "-", "*"):
+            return f"(({lhs}) {e.op} ({rhs}))"
+        if e.op == "/":
+            return f"_c_div({lhs}, {rhs})"
+        if e.op == "%":
+            return f"_c_mod({lhs}, {rhs})"
+        if e.op in ("<", "<=", ">", ">=", "==", "!="):
+            return f"(1 if ({lhs}) {e.op} ({rhs}) else 0)"
+        raise AssertionError(f"unhandled operator {e.op!r}")  # pragma: no cover
+
+    def _short_circuit(self, e: Binary) -> str:
+        # Path costs match the VM's short-circuit jump lowering exactly:
+        # && short = lhs+2, full-false = lhs+rhs+3, full-true = lhs+rhs+4
+        # (|| symmetric with the results flipped).
+        result = self.new_tmp()
+        lhs = self.expr(e.lhs)
+        self.pending += 1  # the first jz/jnz, executed on both paths
+        self.flush()
+        short_value = 0 if e.op == "&&" else 1
+        enter_rhs = (
+            self.truthy(lhs, e.lhs)
+            if e.op == "&&"
+            else f"not ({self.truthy(lhs, e.lhs)})"
+        )
+        self.emit(f"if {enter_rhs}:")
+        self.indent += 1
+        rhs = self.expr(e.rhs)
+        self.pending += 1  # the second jz/jnz, on both rhs sub-paths
+        self.flush()
+        full_true = (
+            self.truthy(rhs, e.rhs)
+            if e.op == "&&"
+            else f"not ({self.truthy(rhs, e.rhs)})"
+        )
+        self.emit(f"if {full_true}:")
+        self.emit(f"    {result} = {1 - short_value}")
+        self.emit("    m.executed += 2")  # push result + jmp over the target
+        self.emit("else:")
+        self.emit(f"    {result} = {short_value}")
+        self.emit("    m.executed += 1")  # push at the short-circuit target
+        self.indent -= 1
+        self.emit("else:")
+        self.emit(f"    {result} = {short_value}")
+        self.emit("    m.executed += 1")  # push at the short-circuit target
+        return result
+
+    def _call(self, e: Call, keep_result: bool) -> str | None:
+        values = []
+        for arg in e.args:
+            values.append(self.materialize(self.expr(arg)))
+        self.pending += 1  # callb / call
+        self.flush_call_site()
+        if e.name in BUILTIN_ARITY:
+            returns = not isinstance(BUILTINS[e.name][1], TVoid)
+            boxed = ", ".join(
+                self.box(value, arg) for value, arg in zip(values, e.args)
+            )
+            invoke = f"B_{e.name}([{boxed}])"
+            if returns and isinstance(BUILTINS[e.name][1], TInt):
+                invoke += ".value"
+        else:
+            returns = not isinstance(self.typed.functions[e.name].ret, TVoid)
+            invoke = ", ".join(["m"] + values)
+            invoke = f"F_{e.name}({invoke})"
+        if not returns:
+            self.emit(invoke)
+            return None
+        result = self.new_tmp()
+        self.emit(f"{result} = {invoke}")
+        if not keep_result:
+            self.pending += 1  # pop of the discarded result
+            return None
+        return result
+
+    def addr(self, e: Expr) -> str:
+        """The lvalue address of ``e`` as a ``VPtr`` expression."""
+        if isinstance(e, Var):
+            slot = self.an.var_slot[id(e)]
+            assert not self.an.slots[slot].promoted, "address of promoted slot"
+            self.pending += 1  # local
+            return self.slot_name(slot)
+        if isinstance(e, Unary) and e.op == "*":
+            return self.expr(e.operand)
+        if isinstance(e, Member):
+            obj_type = self.type_of(e.obj)
+            if e.arrow:
+                assert isinstance(obj_type, TPtr) and isinstance(
+                    obj_type.target, TStruct
+                )
+                obj = self.expr(e.obj)
+                self.pending += 1  # null_check
+                struct_name = obj_type.target.name
+                base = f"_nc({obj})"
+            else:
+                assert isinstance(obj_type, TStruct)
+                struct_name = obj_type.name
+                base = self.addr(e.obj)
+            offset = self.typed.layouts[struct_name].offsets[e.fieldname]
+            if offset:
+                self.pending += 1  # offset
+                return f"({base}).moved({offset})"
+            return base
+        if isinstance(e, Index):
+            base_type = self.type_of(e.base)
+            if isinstance(base_type, TArray):
+                base = self.addr(e.base)
+                if self._forces_stmts(e.index):
+                    base = self.materialize(base)
+                index = self.expr(e.index)
+                self.pending += 1  # bounds-checked index
+                scale = self.typed.sizeof(base_type.elem)
+                return f"_ix({base}, {index}, {scale}, {base_type.size})"
+            assert isinstance(base_type, TPtr)
+            base = self.expr(e.base)
+            if self._forces_stmts(e.index):
+                base = self.materialize(base)
+            index = self.expr(e.index)
+            self.pending += 1  # unchecked index (pointer base)
+            scale = self.typed.sizeof(base_type.target)
+            return f"({base}).moved(({index}) * {scale})"
+        raise AssertionError(f"not an lvalue: {e!r}")  # pragma: no cover
+
+    # -- statements ----------------------------------------------------------
+
+    def stmt(self, s: Stmt) -> None:
+        if isinstance(s, Block):
+            for inner in s.stmts:
+                self.stmt(inner)
+        elif isinstance(s, DeclStmt):
+            if s.init is None:
+                return  # slot exists; zero instructions
+            slot = self.an.decl_slot[id(s)]
+            info = self.an.slots[slot]
+            self.pending += 1  # local
+            value = self.expr(s.init)
+            self.pending += 1  # store
+            if info.promoted:
+                self.emit(f"{self.slot_name(slot)} = {value}")
+            else:
+                boxed = self.box(value, s.init)
+                self.emit(f"H.store({self.slot_name(slot)}, {boxed})")
+        elif isinstance(s, AssignStmt):
+            if isinstance(s.lhs, Var):
+                slot = self.an.var_slot[id(s.lhs)]
+                if self.an.slots[slot].promoted:
+                    self.pending += 1  # local
+                    value = self.expr(s.rhs)
+                    self.pending += 1  # store
+                    self.emit(f"{self.slot_name(slot)} = {value}")
+                    return
+            address = self.addr(s.lhs)
+            if self._forces_stmts(s.rhs):
+                address = self.materialize(address)
+            value = self.expr(s.rhs)
+            self.pending += 1  # store
+            self.emit(f"H.store({address}, {self.box(value, s.rhs)})")
+        elif isinstance(s, ExprStmt):
+            if isinstance(s.expr, Call):
+                self._call(s.expr, keep_result=False)
+            else:
+                value = self.expr(s.expr)
+                if not _ATOM.match(value):
+                    self.emit(value)  # evaluate for effects (loads can raise)
+        elif isinstance(s, IfStmt):
+            cond = self.expr(s.cond)
+            self.pending += 1  # jz
+            self.flush()
+            self.emit(f"if {self.truthy(cond, s.cond)}:")
+            self.indent += 1
+            mark = len(self.lines)
+            self.stmt(s.then)
+            if s.els is not None:
+                self.pending += 1  # jmp over the else branch
+            self.flush()
+            if len(self.lines) == mark:
+                self.emit("pass")
+            self.indent -= 1
+            if s.els is not None:
+                self.emit("else:")
+                self.indent += 1
+                mark = len(self.lines)
+                self.stmt(s.els)
+                self.flush()
+                if len(self.lines) == mark:
+                    self.emit("pass")
+                self.indent -= 1
+        elif isinstance(s, WhileStmt):
+            self.flush()
+            self.emit("while True:")
+            self.indent += 1
+            cond = self.expr(s.cond)
+            self.pending += 1  # jz
+            self.flush_boundary()
+            self.emit(f"if not ({self.truthy(cond, s.cond)}):")
+            self.emit("    break")
+            self.stmt(s.body)
+            self.pending += 1  # the back jmp
+            self.flush()
+            self.indent -= 1
+        elif isinstance(s, ReturnStmt):
+            if s.value is None:
+                self.pending += 1  # ret
+                self.flush()
+                self._emit_kills()
+                self.emit("return None")
+            else:
+                value = self.expr(s.value)
+                self.pending += 1  # retv
+                value = self.materialize(value)
+                self.flush()
+                self._emit_kills()
+                self.emit(f"return {value}")
+        elif isinstance(s, BreakStmt):
+            self.pending += 1  # jmp to the loop end
+            self.flush()
+            self.emit("break")
+        elif isinstance(s, ContinueStmt):
+            self.pending += 2  # own jmp + the loop's shared back jmp
+            self.flush()
+            self.emit("continue")
+        else:  # pragma: no cover - parser emits only known statements
+            raise AssertionError(f"unhandled statement {s!r}")
+
+    def _emit_kills(self) -> None:
+        """The VM's ``_leave``: kill every heap-backed slot, in slot order
+        (promoted slots never had blocks)."""
+        for slot, info in enumerate(self.an.slots):
+            if not info.promoted:
+                self.emit(f"H.kill({self.slot_name(slot)})")
+
+    # -- whole function ------------------------------------------------------
+
+    def emit_function(self) -> str:
+        params: list[str] = []
+        for slot, _param in enumerate(self.func.params):
+            info = self.an.slots[slot]
+            params.append(self.slot_name(slot) if info.promoted else f"a{slot}")
+        header = ", ".join(["m"] + params)
+        self.lines.append(f"def F_{self.func.name}({header}):")
+        self.emit("H = m.heap")
+        for name in sorted(self.an.builtins_used):
+            self.emit(f"B_{name} = m.runtime.builtin_{name}")
+        # The VM's _enter: allocate every heap-backed slot up front, then
+        # store the arguments.
+        for slot, info in enumerate(self.an.slots):
+            if not info.promoted:
+                size = self.typed.sizeof(info.ctype)
+                self.emit(f"{self.slot_name(slot)} = H.alloc({size}, kind='local')")
+        for slot, _param in enumerate(self.func.params):
+            info = self.an.slots[slot]
+            if not info.promoted:
+                boxed = f"VInt(a{slot})" if isinstance(info.ctype, TInt) else f"a{slot}"
+                self.emit(f"H.store({self.slot_name(slot)}, {boxed})")
+        self.stmt(self.func.body)
+        if isinstance(self.func.ret, TVoid):
+            self.pending += 1  # the implicit ret
+            self.flush()
+            self._emit_kills()
+            self.emit("return None")
+        else:
+            # The fell_off instruction: budget boundary first, then UB
+            # (the VM does not kill the frame's blocks on this path).
+            self.flush()
+            self._emit_fuel_raise()
+            self.emit("m.executed += 1")
+            message = f"{self.func.name}: fell off the end of a non-void function"
+            self.emit(f"raise UndefinedBehavior({message!r})")
+        return "\n".join(self.lines)
+
+
+# -- program-level compilation ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """Callable + calling convention for one generated function."""
+
+    fn: Callable[..., Any]
+    param_kinds: tuple[str, ...]  # "int" | "ptr"
+    ret_kind: str  # "int" | "ptr" | "void"
+
+
+@dataclass
+class CodegenProgram:
+    """A MiniC program compiled to Python functions."""
+
+    typed: TypedProgram
+    source: str
+    entries: dict[str, _Entry] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.source
+
+
+def generate_source(typed: TypedProgram) -> str:
+    """The generated Python module source for ``typed`` (for inspection)."""
+    chunks = []
+    for func in typed.functions.values():
+        analysis = _FunctionAnalyzer(typed, func).analyze()
+        chunks.append(_FunctionEmitter(typed, func, analysis).emit_function())
+    return "\n\n\n".join(chunks) + "\n"
+
+
+def _ret_kind(ctype: CType) -> str:
+    if isinstance(ctype, TVoid):
+        return "void"
+    if isinstance(ctype, TInt):
+        return "int"
+    return "ptr"
+
+
+def compile_to_python(typed: TypedProgram) -> CodegenProgram:
+    """Compile every function of a type-checked program to Python."""
+    with obs.span("codegen.compile"):
+        source = generate_source(typed)
+        namespace = dict(_HELPER_GLOBALS)
+        exec(compile(source, "<minic-codegen>", "exec"), namespace)
+        program = CodegenProgram(typed=typed, source=source)
+        for name, func in typed.functions.items():
+            program.entries[name] = _Entry(
+                fn=namespace[f"F_{name}"],
+                param_kinds=tuple(
+                    "int" if isinstance(p.ctype, TInt) else "ptr"
+                    for p in func.params
+                ),
+                ret_kind=_ret_kind(func.ret),
+            )
+    obs.inc("codegen.compiles")
+    return program
+
+
+#: compile_to_python memo: one compiled module per TypedProgram identity
+#: (the strong reference keeps ids from being reused).
+_MEMO: dict[int, tuple[TypedProgram, CodegenProgram]] = {}
+
+
+def compiled_for(typed: TypedProgram) -> CodegenProgram:
+    """The cached compiled module for ``typed`` (compiled on first use)."""
+    cached = _MEMO.get(id(typed))
+    if cached is not None and cached[0] is typed:
+        return cached[1]
+    program = compile_to_python(typed)
+    _MEMO[id(typed)] = (typed, program)
+    return program
+
+
+# -- execution ---------------------------------------------------------------
+
+
+class CodegenMachine:
+    """Executes a compiled-to-Python program; duck-compatible with the VM
+    where it matters (``executed``/``fuel`` for the timed drivers,
+    ``heap``/``runtime`` for the fault injectors)."""
+
+    def __init__(
+        self,
+        program: CodegenProgram,
+        env: Environment,
+        sink: MarkerSink,
+        fuel: int = 10_000_000,
+    ) -> None:
+        self.program = program
+        self.fuel = fuel
+        self.heap = Heap()
+        self.runtime = TraceRuntime(self.heap, env, sink)
+        #: executed-instruction counter: the VM's cost semantics, exactly.
+        self.executed = 0
+
+    def call(self, name: str, args: list[Value]) -> Value | None:
+        """Run ``name`` to completion; returns its value (None for void)."""
+        entry = self.program.entries.get(name)
+        if entry is None:  # pragma: no cover - typechecked
+            raise UndefinedBehavior(f"call to undefined function {name!r}")
+        if len(args) != len(entry.param_kinds):
+            raise UndefinedBehavior(
+                f"{name}: expected {len(entry.param_kinds)} arguments, "
+                f"got {len(args)}"
+            )
+        raw = [
+            arg.value if isinstance(arg, VInt) else arg for arg in args
+        ]
+        start_executed = self.executed
+        try:
+            result = entry.fn(self, *raw)
+            if self.executed > self.fuel:
+                # The VM would have stopped at the budget boundary; the
+                # generated code only checks at loop heads and call sites,
+                # so a terminating tail can overshoot — clamp and raise.
+                self.executed = self.fuel
+                raise OutOfFuel(_OUT_OF_FUEL.format(name=name))
+            if entry.ret_kind == "void":
+                return None
+            if entry.ret_kind == "int":
+                return VInt(result)
+            return result
+        finally:
+            if obs.enabled():
+                obs.inc("codegen.calls")
+                obs.inc("codegen.instructions", self.executed - start_executed)
+
+
+def run_codegen(
+    typed: TypedProgram,
+    env: Environment,
+    sink: MarkerSink,
+    entry: str = "main",
+    fuel: int = 10_000_000,
+    args: list[Value] | None = None,
+) -> Value | None:
+    """Compile-and-run convenience mirroring :func:`repro.lang.interp.run_program`."""
+    machine = CodegenMachine(compiled_for(typed), env, sink, fuel=fuel)
+    return machine.call(entry, args or [])

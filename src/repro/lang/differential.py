@@ -1,0 +1,201 @@
+"""Differential execution of one MiniC program across all semantics.
+
+The toolchain carries three executable semantics for the same program —
+the definitional interpreter (:mod:`repro.lang.interp`), the bytecode VM
+(:mod:`repro.lang.vm`), and the compiled-to-Python backend
+(:mod:`repro.lang.codegen`).  On UB-free programs they agree to the
+marker; the differential tests enforce exactly that.  But the semantics
+deliberately differ on one axis: **local lifetimes**.
+
+The interpreter is the verification semantics and follows the C
+standard: a block's locals die when the block exits (``_Frame.pop_scope``
+kills each local's heap block), so a pointer that escapes its block is
+*dangling* and any later dereference is undefined behaviour.  The VM —
+and codegen, which mirrors the VM's storage model instruction for
+instruction — allocates every slot at function entry and kills it only
+at return: locals get *function-scoped* lifetimes, so the same escaped
+pointer still targets live storage and the dereference quietly yields
+the stale value.
+
+A plain "results differ" report on such a program sends the reader
+hunting for a compiler bug that is not there.  This module classifies
+the disagreement: when the interpreter alone stops with a
+dangling-pointer UB while the VM and codegen agree with each other, the
+verdict is ``"lifetime-divergence"`` — the program left the UB-free
+fragment both semantics coincide on, and the *stricter* (interpreter)
+answer is the authoritative one.  Any other disagreement stays a hard
+``"divergence"``: those are toolchain bugs.
+
+The committed witness is ``tests/lang_corpus/dangling_block_local.c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.codegen import CodegenMachine, compiled_for
+from repro.lang.compile import compile_program
+from repro.lang.errors import OutOfFuel, UndefinedBehavior
+from repro.lang.interp import run_program
+from repro.lang.typecheck import TypedProgram
+from repro.lang.values import Value
+from repro.lang.vm import VM
+from repro.rossl.env import ScriptedEnvironment
+from repro.rossl.runtime import TraceRecorder
+from repro.traces.markers import Marker
+
+#: The engines a lang-level differential run covers, in the order they
+#: appear in every verdict.
+LANG_ENGINES = ("interp", "vm", "codegen")
+
+DEFAULT_FUEL = 2_000_000
+
+
+@dataclass(frozen=True)
+class EngineOutcome:
+    """What one semantics did with the program.
+
+    ``kind`` is ``"value"`` (ran to completion, ``value``/``executed``
+    filled in), ``"ub"`` (stopped with undefined behaviour, ``detail``
+    holds the message), or ``"fuel"`` (instruction budget exhausted).
+    """
+
+    engine: str
+    kind: str
+    value: Value | None = None
+    trace: tuple[Marker, ...] = ()
+    executed: int | None = None
+    detail: str = ""
+
+    @property
+    def dangling(self) -> bool:
+        """Whether this outcome is a dangling-pointer UB — the signature
+        of the interpreter's block-scoped lifetime model."""
+        return self.kind == "ub" and "dangling pointer" in self.detail
+
+    def agrees_with(self, other: "EngineOutcome") -> bool:
+        """Same observable behaviour: result kind, value, and trace."""
+        return (
+            self.kind == other.kind
+            and self.value == other.value
+            and self.trace == other.trace
+            and self.detail == other.detail
+        )
+
+
+@dataclass(frozen=True)
+class DifferentialVerdict:
+    """The classified outcome of one differential run.
+
+    ``kind`` is one of:
+
+    * ``"agree"`` — all engines produced the same observable behaviour;
+    * ``"lifetime-divergence"`` — the interpreter alone stopped with a
+      dangling-pointer UB while the VM and codegen agree with each
+      other: the program observes the lifetime-model gap, not a bug;
+    * ``"divergence"`` — any other disagreement (a toolchain bug).
+    """
+
+    kind: str
+    outcomes: tuple[EngineOutcome, ...]
+    detail: str
+
+    @property
+    def agreed(self) -> bool:
+        return self.kind == "agree"
+
+    def outcome(self, engine: str) -> EngineOutcome:
+        for out in self.outcomes:
+            if out.engine == engine:
+                return out
+        raise KeyError(engine)
+
+
+def run_one(
+    typed: TypedProgram,
+    engine: str,
+    script: list | None = None,
+    fuel: int = DEFAULT_FUEL,
+) -> EngineOutcome:
+    """Run ``typed`` under one lang-level semantics, capturing the outcome."""
+    env = ScriptedEnvironment(list(script) if script else [])
+    sink = TraceRecorder()
+    executed: int | None = None
+    try:
+        if engine == "interp":
+            value = run_program(typed, env, sink, fuel=fuel)
+        elif engine == "vm":
+            vm = VM(compile_program(typed), env, sink, fuel=fuel)
+            value = vm.call("main", [])
+            executed = vm.executed
+        elif engine == "codegen":
+            machine = CodegenMachine(compiled_for(typed), env, sink, fuel=fuel)
+            value = machine.call("main", [])
+            executed = machine.executed
+        else:
+            raise ValueError(
+                f"unknown lang engine {engine!r}; expected one of "
+                f"{', '.join(LANG_ENGINES)}"
+            )
+    except UndefinedBehavior as exc:
+        return EngineOutcome(
+            engine=engine, kind="ub", trace=tuple(sink.trace), detail=str(exc)
+        )
+    except OutOfFuel:
+        return EngineOutcome(
+            engine=engine, kind="fuel", trace=tuple(sink.trace)
+        )
+    return EngineOutcome(
+        engine=engine, kind="value", value=value, trace=tuple(sink.trace),
+        executed=executed,
+    )
+
+
+def classify(outcomes: tuple[EngineOutcome, ...]) -> DifferentialVerdict:
+    """Classify a set of per-engine outcomes (see
+    :class:`DifferentialVerdict` for the vocabulary)."""
+    first = outcomes[0]
+    if all(out.agrees_with(first) for out in outcomes[1:]):
+        return DifferentialVerdict(
+            kind="agree", outcomes=outcomes,
+            detail=f"all {len(outcomes)} engines agree ({first.kind})",
+        )
+    by_engine = {out.engine: out for out in outcomes}
+    interp = by_engine.get("interp")
+    rest = [out for out in outcomes if out.engine != "interp"]
+    if (
+        interp is not None
+        and interp.dangling
+        and rest
+        and all(out.agrees_with(rest[0]) for out in rest[1:])
+        and not rest[0].dangling
+    ):
+        return DifferentialVerdict(
+            kind="lifetime-divergence", outcomes=outcomes,
+            detail=(
+                "block-scoped vs function-scoped local lifetimes: the "
+                f"interpreter stopped with UB ({interp.detail!r}) while "
+                f"{'/'.join(o.engine for o in rest)} agree on a "
+                f"{rest[0].kind} outcome — the program dereferences a "
+                "pointer that outlived its block"
+            ),
+        )
+    disagreeing = ", ".join(
+        f"{out.engine}={out.kind}" for out in outcomes
+    )
+    return DifferentialVerdict(
+        kind="divergence", outcomes=outcomes,
+        detail=f"engines disagree ({disagreeing}); this is a toolchain bug",
+    )
+
+
+def differential_check(
+    typed: TypedProgram,
+    script: list | None = None,
+    fuel: int = DEFAULT_FUEL,
+    engines: tuple[str, ...] = LANG_ENGINES,
+) -> DifferentialVerdict:
+    """Run ``typed`` under every lang-level semantics and classify."""
+    return classify(
+        tuple(run_one(typed, engine, script, fuel) for engine in engines)
+    )

@@ -104,8 +104,8 @@ def simulate_vm(
     fewer instructions per basic action, hence smaller measured WCETs
     (like measuring on a higher optimization level).  ``engine`` may name
     any registry engine with the ``vm_timing`` capability (``"vm"``,
-    ``"vm-opt"``) or be a pre-built one, amortizing compilation across
-    many measurement runs.
+    ``"vm-opt"``, ``"codegen"``) or be a pre-built one, amortizing
+    compilation across many measurement runs.
     """
     from repro.engine import as_engine
 
@@ -116,7 +116,7 @@ def simulate_vm(
     if not backend.capabilities.vm_timing:
         raise ValueError(
             f"engine {backend.name!r} has no instruction counter; "
-            "VM timing needs the 'vm' or 'vm-opt' engine"
+            "VM timing needs the 'vm', 'vm-opt', or 'codegen' engine"
         )
     driver = VmTimedDriver(client, arrivals)
     stats = backend.run(driver, driver, fuel=instruction_budget)

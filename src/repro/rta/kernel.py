@@ -519,17 +519,77 @@ def solve_response_time(
     )
 
 
+@dataclass(frozen=True)
+class KernelFallback:
+    """One recorded kernel→legacy fallback: which task's curve refused
+    to compile, and why."""
+
+    task: str
+    curve_class: str
+    reason: str
+
+
+#: Recent fallbacks, newest last — obs-independent introspection (the
+#: counters only exist while observability is on).  Bounded: campaign
+#: sweeps can fall back once per analysed cell.
+_FALLBACKS: list[KernelFallback] = []
+_FALLBACK_LIMIT = 64
+
+
+def fallback_info() -> tuple[KernelFallback, ...]:
+    """The recent recorded fallbacks (see :class:`KernelFallback`)."""
+    return tuple(_FALLBACKS)
+
+
+def clear_fallback_info() -> None:
+    _FALLBACKS.clear()
+
+
+def fallback_reason(curve: ArrivalCurve) -> str:
+    """Why ``curve`` has no step-table compilation, as a stable label.
+
+    Mirrors :func:`_compile`'s refusal paths: a negative shift, or a
+    curve class outside the shipped staircase set (ad-hoc callables in
+    tests, extension curve types).  Wrappers are looked through so the
+    label names the actual culprit.
+    """
+    if isinstance(curve, MemoCurve):
+        return fallback_reason(curve.base)
+    if isinstance(curve, ShiftedCurve):
+        if curve.shift < 0:
+            return "negative-shift"
+        return fallback_reason(curve.base)
+    return f"unsupported-class:{type(curve).__name__}"
+
+
 def compile_release_tables(
     tasks: Sequence[Task],
     release_curves: Mapping[str, ArrivalCurve],
 ) -> dict[str, StepTable] | None:
     """Compile every task's release curve, or ``None`` (legacy fallback)
-    when any curve is not a shipped staircase class."""
+    when any curve is not a shipped staircase class.
+
+    Each fallback is attributed: the reason lands on a labeled counter
+    (``rta.kernel.fallbacks.<reason>`` — one line in the ``repro
+    profile`` output) and in :func:`fallback_info`, so "the kernel
+    silently fell back" is always answerable with *which curve* and
+    *why*.
+    """
     tables: dict[str, StepTable] = {}
     for task in tasks:
-        table = compile_curve(release_curves[task.name])
+        curve = release_curves[task.name]
+        table = compile_curve(curve)
         if table is None:
+            reason = fallback_reason(curve)
             obs.inc("rta.kernel.fallbacks")
+            obs.inc(f"rta.kernel.fallbacks.{reason}")
+            if len(_FALLBACKS) >= _FALLBACK_LIMIT:
+                del _FALLBACKS[0]
+            _FALLBACKS.append(KernelFallback(
+                task=task.name,
+                curve_class=type(curve).__name__,
+                reason=reason,
+            ))
             return None
         tables[task.name] = table
     return tables

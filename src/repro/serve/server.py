@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import secrets
 import signal
 import sys
 import time
@@ -124,6 +125,14 @@ class AnalysisServer:
         self._stopped: asyncio.Event | None = None
         self.requests_total = 0
         self.started_monotonic = time.monotonic()
+        # Fallback request ids must be unique across the daemon's whole
+        # life *and* across respawns: a bare per-process counter restarts
+        # at 1 after every respawn, so two requests in different
+        # incarnations (or two racing connections, if the handler ever
+        # awaits between bump and use) would share "req-1" — and clients
+        # correlating responses by id would pair them wrongly.  An
+        # incarnation token makes the id globally fresh.
+        self._incarnation = secrets.token_hex(4)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -295,6 +304,7 @@ class AnalysisServer:
         self, command: str, http: _HttpRequest, writer: asyncio.StreamWriter
     ) -> None:
         self.requests_total += 1
+        serial = self.requests_total
         try:
             import json as _json
 
@@ -309,7 +319,7 @@ class AnalysisServer:
                 )
             request = parse_request(
                 _json.dumps(document),
-                request_id_fallback=f"req-{self.requests_total}",
+                request_id_fallback=f"req-{self._incarnation}-{serial}",
             )
         except (ProtocolError, UnicodeDecodeError, ValueError) as exc:
             await self._write_response(writer, 400, {"error": str(exc)})

@@ -1,0 +1,23 @@
+// Witness for the lifetime-model gap between the semantics (kept out
+// of examples/ on purpose: this program is NOT UB-free).
+//
+// `x` lives in the inner block.  Under the definitional interpreter
+// (block-scoped lifetimes, the C standard's rule) its storage dies at
+// the closing brace, so the dereference of `p` below is UB: "load
+// through dangling pointer".  Under the VM and the codegen backend
+// (function-scoped lifetimes: slots are allocated at entry, killed at
+// return) the storage is still live and the load yields 7.
+//
+// The differential checker must classify this exact pattern as a
+// "lifetime-divergence", not a toolchain bug.
+
+int main() {
+    int* p = NULL;
+    int keep = 0;
+    while (keep < 1) {
+        int x = 7;
+        p = &x;
+        keep = keep + 1;
+    }
+    return *p;
+}

@@ -1,0 +1,336 @@
+"""Trace-equivalence sweep for the codegen engine (`repro.lang.codegen`).
+
+The codegen backend's contract is *exact* agreement with the rest of the
+engine ladder: identical marker traces to every other engine, and the
+unoptimized VM's instruction counts to the unit.  This file sweeps that
+contract across every surface the issue names:
+
+* the shipped MiniC examples (``examples/minic/*.c``) — result, trace,
+  and executed-instruction parity across interp, VM, and codegen;
+* the Rössl case studies and fixture deployments at engine level;
+* fuel exhaustion — OutOfFuel at the same budget with the same partial
+  trace and a clamped counter;
+* the fault corpus — codegen wrapped in every engine-level fault
+  injector must be *caught* by the bounded model checker, through the
+  same exploration path that certifies it healthy;
+* the cache rails — fault-wrapped codegen engines are unfingerprintable
+  (their runs bypass the result store), pristine ones fingerprint like
+  their registry name;
+* the generated source itself — promoted locals are host variables,
+  address-taken storage stays heap-backed, compilation memoizes.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.cache import ResultStore, UnfingerprintableError, engine_descriptor
+from repro.cache.store import ENTRIES_NAME
+from repro.engine import create_engine, engine_names
+from repro.faults.inject import heap_corruption_engine, trace_desync_engine
+from repro.lang.codegen import (
+    CodegenMachine,
+    compile_to_python,
+    compiled_for,
+    generate_source,
+    run_codegen,
+)
+from repro.lang.compile import compile_program
+from repro.lang.interp import run_program
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck
+from repro.lang.vm import VM, OutOfFuel
+from repro.rossl.env import ScriptedEnvironment
+from repro.rossl.runtime import TraceRecorder
+
+MINIC_EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples" / "minic").glob("*.c")
+)
+
+FUEL = 2_000_000
+
+
+def typed_example(path: Path):
+    return typecheck(parse_program(path.read_text()))
+
+
+def make_script(client, length=120, seed=11):
+    rng = random.Random(seed)
+    tags = [t.type_tag for t in client.tasks.tasks]
+    return [
+        None if rng.random() < 0.6 else (rng.choice(tags), rng.randrange(40))
+        for _ in range(length)
+    ]
+
+
+# --------------------------------------------------------------------------
+# MiniC programs: interp == vm == codegen
+# --------------------------------------------------------------------------
+
+
+class TestMiniCExamples:
+    def test_examples_present(self):
+        assert MINIC_EXAMPLES, "examples/minic/*.c missing"
+
+    @pytest.mark.parametrize(
+        "path", MINIC_EXAMPLES, ids=lambda p: p.name
+    )
+    def test_result_trace_and_instruction_parity(self, path: Path):
+        typed = typed_example(path)
+        # Single-word messages: the examples read into 1-word buffers.
+        script = [(7,), None, (3,), None, None, (1,), None, None]
+
+        interp_sink = TraceRecorder()
+        interp_result = run_program(
+            typed, ScriptedEnvironment(list(script)), interp_sink, fuel=FUEL
+        )
+
+        vm_sink = TraceRecorder()
+        vm = VM(
+            compile_program(typed), ScriptedEnvironment(list(script)),
+            vm_sink, fuel=FUEL,
+        )
+        vm_result = vm.call("main", [])
+
+        gen_sink = TraceRecorder()
+        machine = CodegenMachine(
+            compile_to_python(typed), ScriptedEnvironment(list(script)),
+            gen_sink, fuel=FUEL,
+        )
+        gen_result = machine.call("main", [])
+
+        assert gen_result == interp_result == vm_result
+        assert gen_sink.trace == interp_sink.trace == vm_sink.trace
+        assert machine.executed == vm.executed
+
+    @pytest.mark.parametrize(
+        "path", MINIC_EXAMPLES, ids=lambda p: p.name
+    )
+    def test_fuel_exhaustion_parity(self, path: Path):
+        """OutOfFuel fires at the same budget, leaves the same partial
+        trace, and clamps the counter to exactly the budget."""
+        typed = typed_example(path)
+        compiled_vm = compile_program(typed)
+        compiled_gen = compile_to_python(typed)
+
+        def env():
+            return ScriptedEnvironment([None] * 8)  # all reads fail
+
+        full = VM(compiled_vm, env(), TraceRecorder(), fuel=FUEL)
+        full.call("main", [])
+        total = full.executed
+        for fuel in (1, 7, total // 3, total // 2, total - 1):
+            vm_sink = TraceRecorder()
+            vm = VM(compiled_vm, env(), vm_sink, fuel=fuel)
+            with pytest.raises(OutOfFuel):
+                vm.call("main", [])
+            gen_sink = TraceRecorder()
+            machine = CodegenMachine(compiled_gen, env(), gen_sink, fuel=fuel)
+            with pytest.raises(OutOfFuel):
+                machine.call("main", [])
+            assert machine.executed == vm.executed == fuel, fuel
+            assert gen_sink.trace == vm_sink.trace, fuel
+
+    def test_run_codegen_convenience(self):
+        typed = typed_example(MINIC_EXAMPLES[0])
+        sink = TraceRecorder()
+        result = run_codegen(typed, ScriptedEnvironment([]), sink)
+        vm_sink = TraceRecorder()
+        vm = VM(compile_program(typed), ScriptedEnvironment([]), vm_sink,
+                fuel=FUEL)
+        assert result == vm.call("main", [])
+        assert sink.trace == vm_sink.trace
+
+
+# --------------------------------------------------------------------------
+# Engine level: the Rössl scheduler, fixtures and case studies
+# --------------------------------------------------------------------------
+
+
+class TestEngineSweep:
+    def test_codegen_agrees_with_every_engine(self, two_task_client):
+        script = make_script(two_task_client)
+        reference = None
+        for name in engine_names():
+            engine = create_engine(name, two_task_client)
+            trace = engine.run_to_trace(ScriptedEnvironment(list(script)))
+            if reference is None:
+                reference = trace
+                assert reference  # non-trivial run
+            assert trace == reference, f"engine {name} diverged from python"
+
+    def test_instruction_parity_with_vm(self, two_socket_client):
+        script = make_script(two_socket_client, length=200, seed=5)
+        vm_stats = create_engine("vm", two_socket_client).run(
+            ScriptedEnvironment(list(script)), TraceRecorder()
+        )
+        gen_stats = create_engine("codegen", two_socket_client).run(
+            ScriptedEnvironment(list(script)), TraceRecorder()
+        )
+        assert gen_stats.instructions == vm_stats.instructions
+
+    def test_case_studies_trace_and_instruction_parity(self):
+        from repro.casestudies import ALL_CASE_STUDIES
+
+        for factory in ALL_CASE_STUDIES:
+            client = factory().client
+            script = make_script(client, length=150, seed=29)
+            vm_sink, gen_sink = TraceRecorder(), TraceRecorder()
+            vm_stats = create_engine("vm", client).run(
+                ScriptedEnvironment(list(script)), vm_sink
+            )
+            gen_stats = create_engine("codegen", client).run(
+                ScriptedEnvironment(list(script)), gen_sink
+            )
+            assert gen_sink.trace == vm_sink.trace, factory.__name__
+            assert gen_stats.instructions == vm_stats.instructions, (
+                factory.__name__
+            )
+
+    def test_fuel_cutoff_parity_at_engine_level(self, two_task_client):
+        """Under a tight budget both engines stop at the same boundary
+        with the same partial trace (the engine catches OutOfFuel)."""
+        script = make_script(two_task_client, length=400, seed=3)
+        for fuel in (137, 1_000, 5_000):
+            vm_sink, gen_sink = TraceRecorder(), TraceRecorder()
+            vm_stats = create_engine("vm", two_task_client).run(
+                ScriptedEnvironment(list(script)), vm_sink, fuel=fuel
+            )
+            gen_stats = create_engine("codegen", two_task_client).run(
+                ScriptedEnvironment(list(script)), gen_sink, fuel=fuel
+            )
+            assert gen_sink.trace == vm_sink.trace, fuel
+            assert gen_stats.instructions == vm_stats.instructions, fuel
+
+    def test_engine_reusable_across_runs(self, two_task_client):
+        engine = create_engine("codegen", two_task_client)
+        script = make_script(two_task_client, length=80)
+        first = engine.run_to_trace(ScriptedEnvironment(list(script)))
+        second = engine.run_to_trace(ScriptedEnvironment(list(script)))
+        assert first == second
+
+
+# --------------------------------------------------------------------------
+# The fault corpus: injected defects must be caught, never cached
+# --------------------------------------------------------------------------
+
+
+class TestFaultCorpus:
+    @pytest.mark.parametrize(
+        "wrap", [heap_corruption_engine, trace_desync_engine],
+        ids=["heap_corruption", "trace_state_desync"],
+    )
+    def test_model_checker_catches_faulty_codegen(self, two_task_client, wrap):
+        from repro.verification.model_check import explore_with_engine
+
+        faulty = wrap(create_engine("codegen", two_task_client))
+        payloads = [(next(iter(two_task_client.tasks)).type_tag, 0)]
+        depth = 2 * two_task_client.num_sockets + 2
+        report = explore_with_engine(
+            two_task_client, payloads, max_reads=depth, engine=faulty
+        )
+        assert report.violations, faulty.name
+
+    def test_healthy_codegen_explores_clean(self, two_task_client):
+        from repro.verification.model_check import explore_with_engine
+
+        engine = create_engine("codegen", two_task_client)
+        payloads = [(next(iter(two_task_client.tasks)).type_tag, 0)]
+        report = explore_with_engine(
+            two_task_client, payloads, max_reads=3, engine=engine
+        )
+        assert not report.violations
+        assert report.scripts_explored == 2 ** 3
+
+    @pytest.mark.parametrize(
+        "wrap", [heap_corruption_engine, trace_desync_engine],
+        ids=["heap_corruption", "trace_state_desync"],
+    )
+    def test_fault_wrapped_codegen_unfingerprintable(
+        self, two_task_client, wrap
+    ):
+        faulty = wrap(create_engine("codegen", two_task_client))
+        with pytest.raises(UnfingerprintableError):
+            engine_descriptor(faulty)
+
+    def test_pristine_codegen_fingerprints_like_its_name(self, two_task_client):
+        assert engine_descriptor(
+            create_engine("codegen", two_task_client)
+        ) == engine_descriptor("codegen")
+
+    def test_faulty_codegen_campaign_bypasses_run_cache(self, tmp_path):
+        """Mirror of the ``test_cache`` rail for codegen: a fault-wrapped
+        codegen engine must never store or read run outcomes — only the
+        engine-independent analysis entries may land in the store.
+
+        Unlike the python reference engine (no ``heap`` attribute, so
+        the poison sink is inert there), the codegen machine exposes its
+        heap and the corruption actually fires: the campaign dies loudly
+        on the poisoned load.  The rail under test is that nothing it
+        computed was cached on the way down."""
+        from repro.analysis.adequacy import run_adequacy_campaign
+        from repro.lang.errors import UndefinedBehavior
+        from repro.model.task import Task, TaskSystem
+        from repro.rossl.client import RosslClient
+        from repro.rta.curves import SporadicCurve
+        from repro.timing.wcet import WcetModel
+
+        tasks = TaskSystem(
+            [
+                Task(name="a", priority=2, wcet=10, type_tag=1),
+                Task(name="b", priority=1, wcet=20, type_tag=2),
+            ],
+            arrival_curves={
+                "a": SporadicCurve(300), "b": SporadicCurve(500),
+            },
+        )
+        client = RosslClient.make(tasks, sockets=[0])
+        store = ResultStore(tmp_path / "c")
+        faulty = heap_corruption_engine(create_engine("codegen", client))
+        with pytest.raises(UndefinedBehavior, match="uninitialized"):
+            run_adequacy_campaign(
+                client, WcetModel(2, 2, 1, 1, 1, 1), horizon=5_000, runs=2,
+                seed=3, engine=faulty, cache=store,
+            )
+        assert all(
+            json.loads(line)["payload"].get("tasks") is not None
+            for line in (tmp_path / "c" / ENTRIES_NAME).read_text().splitlines()
+        )
+
+
+# --------------------------------------------------------------------------
+# The generated source
+# --------------------------------------------------------------------------
+
+
+class TestGeneratedSource:
+    def test_promoted_locals_are_host_variables(self):
+        source = generate_source(typecheck(parse_program(
+            "int main() { int a = 1; int b = a + 2; return a + b; }"
+        )))
+        # Neither local is address-taken, so no heap block is allocated
+        # and both live as plain Python variables.
+        assert "H.alloc" not in source
+        assert "v0_a" in source and "v1_b" in source
+
+    def test_address_taken_locals_stay_heap_backed(self):
+        source = generate_source(typecheck(parse_program(
+            "int main() { int a = 1; int* p = &a; return *p; }"
+        )))
+        assert "H.alloc" in source  # `a` escapes through &a
+        assert "s0_a" in source     # heap-backed slot naming
+        assert "v1_p" in source     # the pointer itself is promoted
+
+    def test_compilation_memoizes_per_typed_program(self):
+        typed = typed_example(MINIC_EXAMPLES[0])
+        assert compiled_for(typed) is compiled_for(typed)
+
+    def test_generated_source_round_trips_through_str(self):
+        typed = typed_example(MINIC_EXAMPLES[0])
+        program = compile_to_python(typed)
+        assert str(program) == program.source
+        assert "def F_main(" in program.source

@@ -44,7 +44,9 @@ def make_script(client, length=120, seed=11):
 
 class TestRegistryNames:
     def test_canonical_names(self):
-        assert set(engine_names()) == {"python", "interp", "vm", "vm-opt"}
+        assert set(engine_names()) == {
+            "python", "interp", "vm", "vm-opt", "codegen",
+        }
 
     def test_every_name_round_trips(self, two_task_client):
         for name in engine_names():
@@ -88,7 +90,7 @@ class TestCapabilities:
         assert engine_capabilities("interp") == EngineCapabilities(
             vm_timing=False, model_check=True
         )
-        for name in ("vm", "vm-opt"):
+        for name in ("vm", "vm-opt", "codegen"):
             assert engine_capabilities(name) == EngineCapabilities(
                 vm_timing=True, model_check=True
             )

@@ -3,8 +3,9 @@
 For each randomly generated, correct-by-construction program:
 
 * it typechecks (the generator's well-typedness invariant);
-* the interpreter and the VM compute the same result (semantic
-  equivalence of the two semantics);
+* the interpreter, the VM, and the codegen backend compute the same
+  result (semantic equivalence of the three semantics), with codegen
+  matching the VM's executed-instruction count exactly;
 * neither raises undefined behaviour (the generator's UB-freedom);
 * the pretty-printed source reparses to an equal AST and evaluates to
   the same result (front-end round trip);
@@ -33,6 +34,8 @@ SEEDS = list(range(60))
 
 
 def run_all_ways(generated):
+    from repro.lang.codegen import CodegenMachine, compile_to_python
+
     typed = typecheck(parse_program(generated.source))
     interp_result = run_program(
         typed, ScriptedEnvironment([]), TraceRecorder(), fuel=2_000_000
@@ -40,6 +43,13 @@ def run_all_ways(generated):
     vm = VM(compile_program(typed), ScriptedEnvironment([]), TraceRecorder(),
             fuel=2_000_000)
     vm_result = vm.call("main", [])
+    machine = CodegenMachine(
+        compile_to_python(typed), ScriptedEnvironment([]), TraceRecorder(),
+        fuel=2_000_000,
+    )
+    gen_result = machine.call("main", [])
+    assert gen_result == vm_result, generated.source
+    assert machine.executed == vm.executed, generated.source
     return typed, interp_result, vm_result, vm.executed
 
 

@@ -446,3 +446,73 @@ class TestKernelToggle:
             assert kernel_enabled(None) is True
         finally:
             kernel_mod.set_kernel_default(before)
+
+
+class TestFallbackAttribution:
+    """Every kernel→legacy fallback must say which curve and why —
+    a bare counter bump is not actionable."""
+
+    def setup_method(self):
+        kernel_mod.clear_fallback_info()
+
+    def test_adhoc_curve_fallback_is_attributed(self):
+        client = make_client({"a": SporadicCurve(60)})
+        curves = {"a": lambda delta: max(0, -(-delta // 60))}
+        client = RosslClient(
+            tasks=TaskSystem(client.tasks.tasks, curves), sockets=(0,)
+        )
+        analyse(client, WCET, 20_000, kernel=True)
+        info = kernel_mod.fallback_info()
+        assert len(info) == 1
+        record = info[0]
+        assert record.task == "a"
+        assert record.reason.startswith("unsupported-class:")
+        # The release pipeline wraps the raw lambda; the reason names
+        # the innermost culprit, the record the outermost class.
+        assert "function" in record.reason
+
+    def test_labeled_counter_emitted(self):
+        from repro import obs
+
+        client = make_client({"a": SporadicCurve(60)})
+        curves = {"a": lambda delta: max(0, -(-delta // 60))}
+        client = RosslClient(
+            tasks=TaskSystem(client.tasks.tasks, curves), sockets=(0,)
+        )
+        obs.enable()
+        try:
+            before = obs.snapshot()
+            analyse(client, WCET, 20_000, kernel=True)
+            delta = obs.snapshot().diff(before)
+            labeled = {
+                name: value for name, value in delta.counters
+                if name.startswith("rta.kernel.fallbacks.")
+            }
+            assert labeled, delta.counters
+            assert all("unsupported-class:" in name for name in labeled)
+            # The bare aggregate counter still moves (dashboards key on it).
+            assert delta.counter("rta.kernel.fallbacks") >= 1
+        finally:
+            obs.disable()
+
+    def test_negative_shift_reason(self):
+        curve = ShiftedCurve(SporadicCurve(5), -1)
+        assert kernel_mod.fallback_reason(curve) == "negative-shift"
+
+    def test_clean_compile_records_nothing(self):
+        client = make_client({"a": SporadicCurve(60)})
+        analyse(client, WCET, 20_000, kernel=True)
+        assert kernel_mod.fallback_info() == ()
+
+    def test_fallback_log_bounded(self):
+        for i in range(kernel_mod._FALLBACK_LIMIT + 10):
+            client = make_client({"a": SporadicCurve(60)})
+            curves = {"a": lambda delta: max(0, -(-delta // 60))}
+            client = RosslClient(
+                tasks=TaskSystem(client.tasks.tasks, curves), sockets=(0,)
+            )
+            kernel_mod.compile_release_tables(
+                client.tasks.tasks,
+                {"a": curves["a"]},
+            )
+        assert len(kernel_mod.fallback_info()) == kernel_mod._FALLBACK_LIMIT

@@ -21,9 +21,20 @@ from repro.traces.validity import tr_valid
 
 
 def run_both(client: RosslClient, script, fuel: int = 200_000):
-    """Run MiniC and Python Rössl on the same read-outcome script."""
+    """Run MiniC and Python Rössl on the same read-outcome script.
+
+    The codegen backend rides along on every differential case: its
+    trace is asserted against the interpreter's here, so the returned
+    pair still captures all three semantics.
+    """
+    from repro.engine import create_engine
+
     minic = MiniCRossl(client)
     trace_c = minic.run_to_trace(ScriptedEnvironment(script), fuel=fuel)
+    trace_gen = create_engine("codegen", client).run_to_trace(
+        ScriptedEnvironment(script), fuel=fuel
+    )
+    assert trace_gen == trace_c, "codegen diverged from the interpreter"
     model = client.model()
     trace_py = model.run_to_trace(ScriptedEnvironment(script))
     return trace_c, trace_py

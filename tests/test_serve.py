@@ -484,6 +484,40 @@ class TestDaemonEndToEnd:
             assert status == 200
             assert payload["stdout"] == expected
 
+    def test_fallback_request_ids_unique_across_incarnations(self, spec_file):
+        """Regression: the fallback id used to be ``req-{counter}``, and
+        the counter restarts at 1 with every daemon respawn — the first
+        id-less request of *any* two incarnations collided on "req-1".
+        Each incarnation now carries a fresh token, so fallback ids are
+        globally unique."""
+        ids = []
+        for _ in range(2):
+            with ServerThread(ServeConfig(port=0, workers=1)) as srv:
+                status, payload = ServeClient(port=srv.port).lint(
+                    SPEC, {"source_name": spec_file}
+                )
+                assert status == 200
+                ids.append(payload["request_id"])
+        assert all(rid.startswith("req-") for rid in ids)
+        assert len(set(ids)) == len(ids), ids
+
+    def test_fallback_request_ids_unique_within_one_daemon(self, daemon,
+                                                           spec_file):
+        client = ServeClient(port=daemon.port)
+        ids = []
+        for _ in range(3):
+            status, payload = client.lint(SPEC, {"source_name": spec_file})
+            assert status == 200
+            ids.append(payload["request_id"])
+        assert len(set(ids)) == len(ids), ids
+
+    def test_explicit_request_id_still_echoed(self, daemon, spec_file):
+        status, payload = ServeClient(port=daemon.port).lint(
+            SPEC, {"source_name": spec_file}, request_id="mine"
+        )
+        assert status == 200
+        assert payload["request_id"] == "mine"
+
     def test_unknown_endpoint_404(self, daemon):
         client = ServeClient(port=daemon.port)
         status, payload = client._request("GET", "/nope")
